@@ -1,0 +1,277 @@
+//! Channels: instantiated protocol stacks.
+//!
+//! A channel binds a QoS (an ordered list of layers) to a concrete stack of
+//! sessions. The channel is also responsible for *event routing*: for each
+//! payload type it computes the ordered set of sessions that accept it and
+//! caches the result, so subsequent events of the same type skip directly
+//! between interested sessions — the "automatic optimisation of the flow of
+//! events" described in the paper.
+
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Direction, EventPayload, EventSpec};
+use crate::session::SessionRef;
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// Identifier of a channel inside one kernel instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub u32);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl Wire for ChannelId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.0);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ChannelId(r.get_u32()?))
+    }
+}
+
+/// One slot of a channel stack: the layer name, its accept specification and
+/// the session instance.
+pub(crate) struct StackSlot {
+    pub(crate) layer_name: String,
+    pub(crate) accepts: Vec<EventSpec>,
+    pub(crate) session: SessionRef,
+}
+
+/// A protocol stack instance.
+pub struct Channel {
+    id: ChannelId,
+    name: String,
+    slots: Vec<StackSlot>,
+    route_cache: HashMap<TypeId, Vec<usize>>,
+}
+
+impl Channel {
+    /// Creates a channel from an ordered (bottom-up) stack of slots.
+    pub(crate) fn new(id: ChannelId, name: impl Into<String>, slots: Vec<StackSlot>) -> Self {
+        Self { id, name: name.into(), slots, route_cache: HashMap::new() }
+    }
+
+    /// The channel identifier.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The channel name (unique inside a kernel).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sessions in the stack.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Names of the layers in the stack, bottom-up.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.slots.iter().map(|slot| slot.layer_name.clone()).collect()
+    }
+
+    /// Whether the stack contains a layer with the given name.
+    pub fn has_layer(&self, layer_name: &str) -> bool {
+        self.slots.iter().any(|slot| slot.layer_name == layer_name)
+    }
+
+    /// The session at the given stack position (0 = bottom).
+    pub fn session_at(&self, index: usize) -> Option<SessionRef> {
+        self.slots.get(index).map(|slot| slot.session.clone())
+    }
+
+    /// The session of the layer with the given name, if present.
+    pub fn session_of(&self, layer_name: &str) -> Option<SessionRef> {
+        self.slots
+            .iter()
+            .find(|slot| slot.layer_name == layer_name)
+            .map(|slot| slot.session.clone())
+    }
+
+    /// Returns (computing and caching if needed) the ascending list of stack
+    /// positions whose sessions accept the given payload.
+    fn route_for(&mut self, payload: &dyn EventPayload) -> &[usize] {
+        let type_id = payload.as_any().type_id();
+        self.route_cache.entry(type_id).or_insert_with(|| {
+            self.slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.accepts.iter().any(|spec| spec.matches(payload)))
+                .map(|(index, _)| index)
+                .collect()
+        })
+    }
+
+    /// Number of distinct payload types routed so far (cache size).
+    pub fn cached_route_count(&self) -> usize {
+        self.route_cache.len()
+    }
+
+    /// Computes the next stack position that should handle the event.
+    ///
+    /// `from` is the position of the session that just handled it (`None`
+    /// when the event is entering the channel from one of its ends).
+    pub(crate) fn next_hop(
+        &mut self,
+        payload: &dyn EventPayload,
+        direction: Direction,
+        from: Option<usize>,
+    ) -> Option<usize> {
+        let last_index = self.slots.len().checked_sub(1)?;
+        let route = self.route_for(payload);
+        match direction {
+            Direction::Up => {
+                let start = match from {
+                    Some(index) => index + 1,
+                    None => 0,
+                };
+                route.iter().copied().find(|&index| index >= start)
+            }
+            Direction::Down => {
+                let start = match from {
+                    Some(0) => return None,
+                    Some(index) => index - 1,
+                    None => last_index,
+                };
+                route.iter().copied().rev().find(|&index| index <= start)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Channel")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("layers", &self.layer_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use super::*;
+    use crate::event::{Category, Event};
+    use crate::events::{ChannelInit, DataEvent};
+    use crate::kernel::EventContext;
+    use crate::message::Message;
+    use crate::platform::NodeId;
+    use crate::session::Session;
+
+    struct NullSession(&'static str);
+
+    impl Session for NullSession {
+        fn layer_name(&self) -> &str {
+            self.0
+        }
+
+        fn handle(&mut self, _event: Event, _ctx: &mut EventContext<'_>) {}
+    }
+
+    fn slot(name: &'static str, accepts: Vec<EventSpec>) -> StackSlot {
+        StackSlot {
+            layer_name: name.to_string(),
+            accepts,
+            session: Rc::new(RefCell::new(Box::new(NullSession(name)) as Box<dyn Session>)),
+        }
+    }
+
+    fn sample_channel() -> Channel {
+        // bottom: net (all sendable), middle: fifo (DataEvent), top: app (DataEvent + init)
+        Channel::new(
+            ChannelId(1),
+            "data",
+            vec![
+                slot("net", vec![EventSpec::Category(Category::Sendable)]),
+                slot("fifo", vec![EventSpec::of::<DataEvent>()]),
+                slot("app", vec![EventSpec::of::<DataEvent>(), EventSpec::of::<ChannelInit>()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let channel = sample_channel();
+        assert_eq!(channel.id(), ChannelId(1));
+        assert_eq!(channel.name(), "data");
+        assert_eq!(channel.len(), 3);
+        assert!(channel.has_layer("fifo"));
+        assert!(!channel.has_layer("total"));
+        assert!(channel.session_of("app").is_some());
+        assert!(channel.session_at(9).is_none());
+    }
+
+    #[test]
+    fn up_route_visits_accepting_sessions_in_order() {
+        let mut channel = sample_channel();
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+
+        let first = channel.next_hop(&data, Direction::Up, None).unwrap();
+        assert_eq!(first, 0);
+        let second = channel.next_hop(&data, Direction::Up, Some(first)).unwrap();
+        assert_eq!(second, 1);
+        let third = channel.next_hop(&data, Direction::Up, Some(second)).unwrap();
+        assert_eq!(third, 2);
+        assert_eq!(channel.next_hop(&data, Direction::Up, Some(third)), None);
+    }
+
+    #[test]
+    fn down_route_skips_uninterested_sessions() {
+        let mut channel = sample_channel();
+        let init = ChannelInit {};
+
+        // Only the app layer accepts ChannelInit, so going down from the top
+        // it is the first and last stop.
+        let first = channel.next_hop(&init, Direction::Down, None).unwrap();
+        assert_eq!(first, 2);
+        assert_eq!(channel.next_hop(&init, Direction::Down, Some(first)), None);
+    }
+
+    #[test]
+    fn down_route_from_bottom_terminates() {
+        let mut channel = sample_channel();
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        assert_eq!(channel.next_hop(&data, Direction::Down, Some(0)), None);
+    }
+
+    #[test]
+    fn routes_are_cached_per_payload_type() {
+        let mut channel = sample_channel();
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        let init = ChannelInit {};
+        assert_eq!(channel.cached_route_count(), 0);
+        channel.next_hop(&data, Direction::Up, None);
+        channel.next_hop(&data, Direction::Down, None);
+        assert_eq!(channel.cached_route_count(), 1);
+        channel.next_hop(&init, Direction::Up, None);
+        assert_eq!(channel.cached_route_count(), 2);
+    }
+
+    #[test]
+    fn empty_channel_has_no_hops() {
+        let mut channel = Channel::new(ChannelId(9), "empty", vec![]);
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        assert_eq!(channel.next_hop(&data, Direction::Up, None), None);
+        assert!(channel.is_empty());
+    }
+}

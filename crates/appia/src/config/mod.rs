@@ -1,0 +1,35 @@
+//! Declarative channel descriptions — the AppiaXML analogue.
+//!
+//! The Morpheus Core subsystem ships stack configurations to every node as a
+//! small XML-like textual description; each node's local module hands the
+//! parsed [`ChannelConfig`] to the kernel, which instantiates (or replaces)
+//! the channel dynamically. This module provides the data model
+//! ([`LayerSpec`], [`ChannelConfig`], [`StackConfig`]), the textual format
+//! and its parser.
+//!
+//! Layers are listed **bottom-first**: the first `<layer>` element is the
+//! layer closest to the network.
+//!
+//! ```
+//! use morpheus_appia::config::ChannelConfig;
+//!
+//! let text = r#"
+//! <channel name="data">
+//!   <layer name="network"/>
+//!   <layer name="mecho">
+//!     <param key="mode" value="wireless"/>
+//!   </layer>
+//!   <layer name="app"/>
+//! </channel>
+//! "#;
+//! let config = ChannelConfig::from_xml(text).unwrap();
+//! assert_eq!(config.name, "data");
+//! assert_eq!(config.layers.len(), 3);
+//! assert_eq!(config.layers[1].params.get("mode").unwrap(), "wireless");
+//! ```
+
+mod model;
+mod parser;
+
+pub use model::{ChannelConfig, LayerSpec, StackConfig};
+pub use parser::{parse_document, Element};

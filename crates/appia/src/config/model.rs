@@ -1,0 +1,280 @@
+//! The channel/stack configuration data model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::parser::{parse_document, Element};
+use crate::error::{AppiaError, Result};
+use crate::layer::LayerParams;
+
+/// One layer slot in a channel description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Registered name of the layer.
+    pub layer: String,
+    /// Parameters handed to the layer when creating its session.
+    #[serde(default)]
+    pub params: LayerParams,
+    /// When set, the session is shared: channels (and successive
+    /// configurations of the same channel) naming the same share key reuse
+    /// the same session instance, preserving its state.
+    #[serde(default)]
+    pub share: Option<String>,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec with no parameters.
+    pub fn new(layer: impl Into<String>) -> Self {
+        Self { layer: layer.into(), params: LayerParams::new(), share: None }
+    }
+
+    /// Adds a parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Marks the session as shared under the given key (builder style).
+    pub fn shared(mut self, key: impl Into<String>) -> Self {
+        self.share = Some(key.into());
+        self
+    }
+
+    fn to_element(&self) -> Element {
+        let mut element = Element::new("layer").with_attr("name", &self.layer);
+        if let Some(share) = &self.share {
+            element = element.with_attr("share", share);
+        }
+        for (key, value) in &self.params {
+            element = element
+                .with_child(Element::new("param").with_attr("key", key).with_attr("value", value));
+        }
+        element
+    }
+
+    fn from_element(element: &Element) -> Result<Self> {
+        if element.name != "layer" {
+            return Err(AppiaError::Config(format!(
+                "expected <layer>, found <{}>",
+                element.name
+            )));
+        }
+        let mut spec = LayerSpec::new(element.require_attr("name")?);
+        if let Some(share) = element.attr("share") {
+            spec.share = Some(share.to_string());
+        }
+        for param in element.children_named("param") {
+            spec.params
+                .insert(param.require_attr("key")?.to_string(), param.require_attr("value")?.to_string());
+        }
+        Ok(spec)
+    }
+}
+
+/// A declarative description of one channel: its name plus its layer stack,
+/// listed bottom-first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Channel name, unique within a kernel.
+    pub name: String,
+    /// Layer stack, bottom-first.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ChannelConfig {
+    /// Creates an empty channel configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Appends a layer at the top of the stack (builder style).
+    pub fn with_layer(mut self, layer: LayerSpec) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer by name with no parameters (builder style).
+    pub fn with_layer_named(self, name: impl Into<String>) -> Self {
+        self.with_layer(LayerSpec::new(name))
+    }
+
+    /// Names of the layers, bottom-first.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(|spec| spec.layer.as_str()).collect()
+    }
+
+    /// Whether the stack contains the given layer.
+    pub fn has_layer(&self, name: &str) -> bool {
+        self.layers.iter().any(|spec| spec.layer == name)
+    }
+
+    /// Returns a copy with one layer replaced by another spec (used by
+    /// adaptation policies that swap a single micro-protocol).
+    pub fn with_layer_replaced(&self, name: &str, replacement: LayerSpec) -> Self {
+        let mut config = self.clone();
+        for spec in &mut config.layers {
+            if spec.layer == name {
+                *spec = replacement;
+                return config;
+            }
+        }
+        config.layers.push(replacement);
+        config
+    }
+
+    fn to_element(&self) -> Element {
+        let mut element = Element::new("channel").with_attr("name", &self.name);
+        for layer in &self.layers {
+            element = element.with_child(layer.to_element());
+        }
+        element
+    }
+
+    /// Builds a configuration from a parsed `<channel>` element.
+    pub fn from_element(element: &Element) -> Result<Self> {
+        if element.name != "channel" {
+            return Err(AppiaError::Config(format!(
+                "expected <channel>, found <{}>",
+                element.name
+            )));
+        }
+        let mut config = ChannelConfig::new(element.require_attr("name")?);
+        for child in element.children_named("layer") {
+            config.layers.push(LayerSpec::from_element(child)?);
+        }
+        if config.layers.is_empty() {
+            return Err(AppiaError::Config(format!(
+                "channel `{}` declares no layers",
+                config.name
+            )));
+        }
+        Ok(config)
+    }
+
+    /// Serialises the configuration to the textual description format.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Parses a configuration from the textual description format.
+    pub fn from_xml(text: &str) -> Result<Self> {
+        Self::from_element(&parse_document(text)?)
+    }
+}
+
+/// A named set of channel configurations (the unit the Core subsystem ships
+/// to nodes during adaptation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Name of the stack configuration (e.g. `"homogeneous"`, `"hybrid-mobile"`).
+    pub name: String,
+    /// The channels making up the configuration.
+    pub channels: Vec<ChannelConfig>,
+}
+
+impl StackConfig {
+    /// Creates an empty stack configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), channels: Vec::new() }
+    }
+
+    /// Adds a channel (builder style).
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channels.push(channel);
+        self
+    }
+
+    /// The channel with the given name, if present.
+    pub fn channel(&self, name: &str) -> Option<&ChannelConfig> {
+        self.channels.iter().find(|channel| channel.name == name)
+    }
+
+    /// Serialises the stack to the textual description format.
+    pub fn to_xml(&self) -> String {
+        let mut element = Element::new("stack").with_attr("name", &self.name);
+        for channel in &self.channels {
+            element = element.with_child(channel.to_element());
+        }
+        element.to_xml()
+    }
+
+    /// Parses a stack from the textual description format.
+    pub fn from_xml(text: &str) -> Result<Self> {
+        let root = parse_document(text)?;
+        if root.name != "stack" {
+            return Err(AppiaError::Config(format!("expected <stack>, found <{}>", root.name)));
+        }
+        let mut stack = StackConfig::new(root.require_attr("name")?);
+        for child in root.children_named("channel") {
+            stack.channels.push(ChannelConfig::from_element(child)?);
+        }
+        Ok(stack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hybrid_channel() -> ChannelConfig {
+        ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(
+                LayerSpec::new("mecho")
+                    .with_param("mode", "wireless")
+                    .with_param("relay", "0"),
+            )
+            .with_layer(LayerSpec::new("app"))
+    }
+
+    #[test]
+    fn channel_xml_roundtrip() {
+        let config = hybrid_channel();
+        let text = config.to_xml();
+        let parsed = ChannelConfig::from_xml(&text).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn stack_xml_roundtrip() {
+        let stack = StackConfig::new("hybrid")
+            .with_channel(hybrid_channel())
+            .with_channel(ChannelConfig::new("ctrl").with_layer_named("network").with_layer_named("app"));
+        let text = stack.to_xml();
+        let parsed = StackConfig::from_xml(&text).unwrap();
+        assert_eq!(parsed, stack);
+        assert!(parsed.channel("ctrl").is_some());
+        assert!(parsed.channel("nope").is_none());
+    }
+
+    #[test]
+    fn channel_requires_layers() {
+        assert!(ChannelConfig::from_xml(r#"<channel name="empty"></channel>"#).is_err());
+    }
+
+    #[test]
+    fn layer_replacement_swaps_in_place() {
+        let config = hybrid_channel();
+        let replaced = config.with_layer_replaced("mecho", LayerSpec::new("beb"));
+        assert_eq!(replaced.layer_names(), vec!["network", "beb", "app"]);
+        assert!(!replaced.has_layer("mecho"));
+
+        let appended = config.with_layer_replaced("missing", LayerSpec::new("extra"));
+        assert_eq!(appended.layers.len(), config.layers.len() + 1);
+    }
+
+    #[test]
+    fn shared_sessions_survive_the_roundtrip() {
+        let config = ChannelConfig::new("ctrl")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("vsync").shared("group-state"))
+            .with_layer(LayerSpec::new("app"));
+        let parsed = ChannelConfig::from_xml(&config.to_xml()).unwrap();
+        assert_eq!(parsed.layers[1].share.as_deref(), Some("group-state"));
+    }
+
+    #[test]
+    fn wrong_root_elements_are_rejected() {
+        assert!(ChannelConfig::from_xml("<stack name=\"x\"/>").is_err());
+        assert!(StackConfig::from_xml("<channel name=\"x\"/>").is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! A tiny XML-subset parser for channel descriptions.
+//!
+//! The subset is deliberately small: elements, attributes, self-closing tags
+//! and comments. There are no namespaces, processing instructions, CDATA
+//! sections or entities beyond the five predefined ones. Text content between
+//! elements is ignored (the configuration format carries all information in
+//! attributes).
+
+use std::collections::BTreeMap;
+
+use crate::error::AppiaError;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order (keyed, last occurrence wins).
+    pub attributes: BTreeMap<String, String>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Creates an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), attributes: BTreeMap::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes.get(key).map(String::as_str)
+    }
+
+    /// Looks up a required attribute, reporting a configuration error if missing.
+    pub fn require_attr(&self, key: &str) -> Result<&str, AppiaError> {
+        self.attr(key).ok_or_else(|| {
+            AppiaError::Config(format!("element <{}> is missing attribute `{}`", self.name, key))
+        })
+    }
+
+    /// All children with the given tag name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |child| child.name == name)
+    }
+
+    /// Serialises the element (and its subtree) back to text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out, 0);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (key, value) in &self.attributes {
+            out.push(' ');
+            out.push_str(key);
+            out.push_str("=\"");
+            out.push_str(&escape(value));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+        } else {
+            out.push_str(">\n");
+            for child in &self.children {
+                child.write_xml(out, indent + 1);
+            }
+            out.push_str(&pad);
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+        }
+    }
+}
+
+/// Escapes the characters that are special inside attribute values.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(value: &str) -> Result<String, AppiaError> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '&' {
+            out.push(ch);
+            continue;
+        }
+        let mut entity = String::new();
+        for next in chars.by_ref() {
+            if next == ';' {
+                break;
+            }
+            entity.push(next);
+            if entity.len() > 8 {
+                return Err(AppiaError::Config(format!("unterminated entity `&{entity}`")));
+            }
+        }
+        match entity.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => return Err(AppiaError::Config(format!("unknown entity `&{other};`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { input: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> AppiaError {
+        AppiaError::Config(format!("{} (at byte {})", message.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        Some(byte)
+    }
+
+    fn skip_whitespace_and_text(&mut self) {
+        while let Some(byte) = self.peek() {
+            if byte == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comments_and_prolog(&mut self) -> Result<(), AppiaError> {
+        loop {
+            self.skip_whitespace_and_text();
+            if self.starts_with("<!--") {
+                match find_subslice(&self.input[self.pos..], b"-->") {
+                    Some(offset) => self.pos += offset + 3,
+                    None => return Err(self.error("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match find_subslice(&self.input[self.pos..], b"?>") {
+                    Some(offset) => self.pos += offset + 2,
+                    None => return Err(self.error("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, AppiaError> {
+        let start = self.pos;
+        while let Some(byte) = self.peek() {
+            if byte.is_ascii_alphanumeric() || byte == b'-' || byte == b'_' || byte == b'.' || byte == b':'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_attributes(&mut self) -> Result<BTreeMap<String, String>, AppiaError> {
+        let mut attributes = BTreeMap::new();
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                Some(b'/') | Some(b'>') | None => return Ok(attributes),
+                _ => {}
+            }
+            let key = self.parse_name()?;
+            self.skip_spaces();
+            if self.bump() != Some(b'=') {
+                return Err(self.error(format!("expected `=` after attribute `{key}`")));
+            }
+            self.skip_spaces();
+            let quote = self.bump();
+            if quote != Some(b'"') && quote != Some(b'\'') {
+                return Err(self.error(format!("expected quoted value for attribute `{key}`")));
+            }
+            let quote = quote.unwrap();
+            let start = self.pos;
+            while let Some(byte) = self.peek() {
+                if byte == quote {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek() != Some(quote) {
+                return Err(self.error(format!("unterminated value for attribute `{key}`")));
+            }
+            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            self.pos += 1;
+            attributes.insert(key, unescape(&raw)?);
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, AppiaError> {
+        if self.bump() != Some(b'<') {
+            return Err(self.error("expected `<`"));
+        }
+        let name = self.parse_name()?;
+        let attributes = self.parse_attributes()?;
+        let mut element = Element { name, attributes, children: Vec::new() };
+
+        self.skip_spaces();
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok(element);
+        }
+        if self.bump() != Some(b'>') {
+            return Err(self.error(format!("malformed start tag for <{}>", element.name)));
+        }
+
+        loop {
+            self.skip_comments_and_prolog()?;
+            if self.peek().is_none() {
+                return Err(self.error(format!("missing closing tag for <{}>", element.name)));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.parse_name()?;
+                if closing != element.name {
+                    return Err(self.error(format!(
+                        "mismatched closing tag: expected </{}>, found </{closing}>",
+                        element.name
+                    )));
+                }
+                self.skip_spaces();
+                if self.bump() != Some(b'>') {
+                    return Err(self.error("malformed closing tag"));
+                }
+                return Ok(element);
+            }
+            element.children.push(self.parse_element()?);
+        }
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|window| window == needle)
+}
+
+/// Parses a document containing a single root element.
+pub fn parse_document(input: &str) -> Result<Element, AppiaError> {
+    let mut parser = Parser::new(input);
+    parser.skip_comments_and_prolog()?;
+    if parser.peek().is_none() {
+        return Err(AppiaError::Config("empty document".into()));
+    }
+    let root = parser.parse_element()?;
+    parser.skip_comments_and_prolog()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("unexpected content after root element"));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = parse_document(
+            r#"
+            <!-- a stack description -->
+            <stack name="hybrid">
+              <channel name="data">
+                <layer name="network"/>
+                <layer name="mecho">
+                  <param key="mode" value="wireless"/>
+                </layer>
+              </channel>
+            </stack>
+            "#,
+        )
+        .unwrap();
+
+        assert_eq!(doc.name, "stack");
+        assert_eq!(doc.attr("name"), Some("hybrid"));
+        let channel = doc.children_named("channel").next().unwrap();
+        assert_eq!(channel.attr("name"), Some("data"));
+        assert_eq!(channel.children.len(), 2);
+        let mecho = &channel.children[1];
+        assert_eq!(mecho.attr("name"), Some("mecho"));
+        assert_eq!(mecho.children[0].attr("key"), Some("mode"));
+        assert_eq!(mecho.children[0].attr("value"), Some("wireless"));
+    }
+
+    #[test]
+    fn roundtrips_through_to_xml() {
+        let original = Element::new("stack")
+            .with_attr("name", "x")
+            .with_child(Element::new("channel").with_attr("name", "data"));
+        let text = original.to_xml();
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn handles_escaped_attribute_values() {
+        let element = Element::new("param").with_attr("value", "a<b&\"c\"");
+        let text = element.to_xml();
+        let parsed = parse_document(&text).unwrap();
+        assert_eq!(parsed.attr("value"), Some("a<b&\"c\""));
+    }
+
+    #[test]
+    fn rejects_mismatched_closing_tags() {
+        let err = parse_document("<a><b></a></a>").unwrap_err();
+        assert!(err.to_string().contains("mismatched closing tag"));
+    }
+
+    #[test]
+    fn rejects_missing_closing_tag() {
+        let err = parse_document("<a><b/>").unwrap_err();
+        assert!(err.to_string().contains("missing closing tag"));
+    }
+
+    #[test]
+    fn rejects_unknown_entities() {
+        let err = parse_document(r#"<a x="&bogus;"/>"#).unwrap_err();
+        assert!(err.to_string().contains("unknown entity"));
+    }
+
+    #[test]
+    fn rejects_empty_documents() {
+        assert!(parse_document("   \n ").is_err());
+        assert!(parse_document("<!-- only a comment -->").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(err.to_string().contains("unexpected content"));
+    }
+
+    #[test]
+    fn require_attr_reports_missing_keys() {
+        let element = Element::new("layer");
+        assert!(element.require_attr("name").is_err());
+    }
+
+    #[test]
+    fn accepts_prolog_and_single_quotes() {
+        let doc = parse_document("<?xml version='1.0'?><a x='1'/>").unwrap();
+        assert_eq!(doc.attr("x"), Some("1"));
+    }
+}

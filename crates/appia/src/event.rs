@@ -1,0 +1,494 @@
+//! Typed events flowing through a channel's session stack.
+//!
+//! Events are the only way sessions communicate with each other. Each event
+//! carries a direction ([`Direction::Up`] towards the application or
+//! [`Direction::Down`] towards the network) and a typed payload implementing
+//! [`EventPayload`]. Layers declare the payload types they are interested in
+//! ([`EventSpec`]) and the channel routes each event only through the
+//! interested sessions, caching the computed route per payload type.
+//!
+//! Payloads that must cross the network additionally implement [`Sendable`]:
+//! they carry a [`SendHeader`] (source, destination, accounting class) and a
+//! [`crate::message::Message`] holding the application payload and the
+//! headers pushed by each layer.
+
+use std::any::{Any, TypeId};
+use std::fmt;
+
+use crate::message::Message;
+use crate::platform::{NodeId, PacketClass};
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// Direction of travel of an event inside a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards the application (from the network upward).
+    Up,
+    /// Towards the network (from the application downward).
+    Down,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+}
+
+/// Broad categories of events, usable in accept specifications so a layer can
+/// subscribe to a whole family of payload types at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Events that can be transmitted over the network.
+    Sendable,
+    /// Channel lifecycle events (init / close).
+    ChannelLifecycle,
+    /// Timer expirations.
+    Timer,
+    /// Internal coordination events that never leave the node.
+    Internal,
+}
+
+/// What payload types a layer wants to see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSpec {
+    /// A specific concrete payload type.
+    Type(TypeId),
+    /// Every payload declaring the given category.
+    Category(Category),
+    /// Every event flowing through the channel.
+    All,
+}
+
+impl EventSpec {
+    /// Convenience constructor for a concrete payload type.
+    pub fn of<T: EventPayload>() -> Self {
+        EventSpec::Type(TypeId::of::<T>())
+    }
+
+    /// Whether a payload matches this specification.
+    pub fn matches(&self, payload: &dyn EventPayload) -> bool {
+        match self {
+            EventSpec::Type(type_id) => payload.as_any().type_id() == *type_id,
+            EventSpec::Category(category) => payload.categories().contains(category),
+            EventSpec::All => true,
+        }
+    }
+}
+
+/// Addressing of a sendable event before it reaches the network driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dest {
+    /// A single destination node.
+    Node(NodeId),
+    /// An explicit list of destination nodes (one point-to-point packet each).
+    Nodes(Vec<NodeId>),
+    /// The whole group; a multicast layer is expected to resolve this into
+    /// point-to-point sends, a relay or native multicast before the event
+    /// reaches the network driver.
+    Group,
+}
+
+impl Dest {
+    /// Number of point-to-point transmissions this destination implies, if
+    /// already resolved.
+    pub fn fanout(&self) -> Option<usize> {
+        match self {
+            Dest::Node(_) => Some(1),
+            Dest::Nodes(nodes) => Some(nodes.len()),
+            Dest::Group => None,
+        }
+    }
+}
+
+/// Header shared by every sendable event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendHeader {
+    /// The originating node.
+    pub source: NodeId,
+    /// Where the event should be delivered.
+    pub dest: Dest,
+    /// Accounting class of the resulting packets.
+    pub class: PacketClass,
+}
+
+impl SendHeader {
+    /// Creates a header for a group-addressed event.
+    pub fn to_group(source: NodeId, class: PacketClass) -> Self {
+        Self { source, dest: Dest::Group, class }
+    }
+
+    /// Creates a header addressed to a single node.
+    pub fn to_node(source: NodeId, dest: NodeId, class: PacketClass) -> Self {
+        Self { source, dest: Dest::Node(dest), class }
+    }
+}
+
+/// Wire representation of a [`SendHeader`]. Only the information the remote
+/// side needs is serialised: the source and the accounting class. The
+/// destination is implicit in the packet addressing.
+impl Wire for SendHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.source.encode(w);
+        self.class.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let source = NodeId::decode(r)?;
+        let class = PacketClass::decode(r)?;
+        Ok(Self { source, dest: Dest::Group, class })
+    }
+}
+
+/// Behaviour shared by payloads that can be serialised onto the network.
+pub trait Sendable: EventPayload {
+    /// The addressing and accounting header.
+    fn header(&self) -> &SendHeader;
+
+    /// Mutable access to the addressing and accounting header.
+    fn header_mut(&mut self) -> &mut SendHeader;
+
+    /// The carried message (payload plus layer headers).
+    fn message(&self) -> &Message;
+
+    /// Mutable access to the carried message.
+    fn message_mut(&mut self) -> &mut Message;
+
+    /// The name used to reconstruct the payload type on the receiving node.
+    fn wire_name(&self) -> &'static str {
+        self.type_name()
+    }
+}
+
+/// A typed event payload.
+pub trait EventPayload: Any + fmt::Debug {
+    /// Human-readable, unique name of the payload type.
+    fn type_name(&self) -> &'static str;
+
+    /// Categories this payload belongs to.
+    fn categories(&self) -> &'static [Category] {
+        &[]
+    }
+
+    /// Upcast to [`Any`] for downcasting to the concrete type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast to [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Consuming upcast to [`Any`], used to recover the concrete type.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Returns the sendable view of the payload, if it is sendable.
+    fn as_sendable(&self) -> Option<&dyn Sendable> {
+        None
+    }
+
+    /// Returns the mutable sendable view of the payload, if it is sendable.
+    fn as_sendable_mut(&mut self) -> Option<&mut dyn Sendable> {
+        None
+    }
+}
+
+/// An event travelling through a channel.
+#[derive(Debug)]
+pub struct Event {
+    /// Direction of travel.
+    pub direction: Direction,
+    /// The typed payload.
+    pub payload: Box<dyn EventPayload>,
+}
+
+impl Event {
+    /// Creates an event travelling in the given direction.
+    pub fn new(direction: Direction, payload: impl EventPayload) -> Self {
+        Self { direction, payload: Box::new(payload) }
+    }
+
+    /// Creates an upward-travelling event.
+    pub fn up(payload: impl EventPayload) -> Self {
+        Self::new(Direction::Up, payload)
+    }
+
+    /// Creates a downward-travelling event.
+    pub fn down(payload: impl EventPayload) -> Self {
+        Self::new(Direction::Down, payload)
+    }
+
+    /// Creates an event from an already boxed payload.
+    pub fn from_boxed(direction: Direction, payload: Box<dyn EventPayload>) -> Self {
+        Self { direction, payload }
+    }
+
+    /// Whether the payload is of concrete type `T`.
+    pub fn is<T: EventPayload>(&self) -> bool {
+        self.payload.as_any().is::<T>()
+    }
+
+    /// Borrows the payload as `T` if it has that concrete type.
+    pub fn get<T: EventPayload>(&self) -> Option<&T> {
+        self.payload.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the payload as `T` if it has that concrete type.
+    pub fn get_mut<T: EventPayload>(&mut self) -> Option<&mut T> {
+        self.payload.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Consumes the event and returns the payload as `T`, or gives the event
+    /// back unchanged if the payload has a different type.
+    pub fn into_payload<T: EventPayload>(self) -> Result<(Direction, T), Event> {
+        if self.payload.as_any().is::<T>() {
+            let direction = self.direction;
+            let concrete: Box<T> = self
+                .payload
+                .into_any()
+                .downcast()
+                .expect("concrete type checked before downcast");
+            Ok((direction, *concrete))
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Name of the payload type.
+    pub fn type_name(&self) -> &'static str {
+        self.payload.type_name()
+    }
+
+    /// Whether the payload is sendable.
+    pub fn is_sendable(&self) -> bool {
+        self.payload.as_sendable().is_some()
+    }
+}
+
+/// Declares a non-sendable (node-local) event payload type.
+///
+/// ```
+/// use morpheus_appia::internal_event;
+///
+/// internal_event! {
+///     /// Tells lower layers a new view was installed.
+///     pub struct ViewInstalled {
+///         pub view_id: u64,
+///     }
+///     categories: [Internal]
+/// }
+/// ```
+#[macro_export]
+macro_rules! internal_event {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $($(#[$fmeta:meta])* pub $field:ident : $ty:ty),* $(,)?
+        }
+        categories: [$($cat:ident),* $(,)?]
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field : $ty),*
+        }
+
+        impl $crate::event::EventPayload for $name {
+            fn type_name(&self) -> &'static str {
+                stringify!($name)
+            }
+
+            fn categories(&self) -> &'static [$crate::event::Category] {
+                &[$($crate::event::Category::$cat),*]
+            }
+
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+    };
+}
+
+/// Declares a sendable event payload type carrying a [`SendHeader`] and a
+/// [`Message`], and provides the wire factory used to reconstruct it on the
+/// receiving node.
+///
+/// ```
+/// use morpheus_appia::sendable_event;
+///
+/// sendable_event! {
+///     /// A heartbeat used by the failure detector.
+///     pub struct Heartbeat, class: Control
+/// }
+/// ```
+#[macro_export]
+macro_rules! sendable_event {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident, class: $class:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// Addressing and accounting header.
+            pub header: $crate::event::SendHeader,
+            /// Carried message (payload plus layer headers).
+            pub message: $crate::message::Message,
+        }
+
+        impl $name {
+            /// Name used on the wire to reconstruct this payload type.
+            pub const WIRE_NAME: &'static str = stringify!($name);
+
+            /// Creates a new event payload with the given addressing.
+            pub fn new(
+                source: $crate::platform::NodeId,
+                dest: $crate::event::Dest,
+                message: $crate::message::Message,
+            ) -> Self {
+                Self {
+                    header: $crate::event::SendHeader {
+                        source,
+                        dest,
+                        class: $crate::platform::PacketClass::$class,
+                    },
+                    message,
+                }
+            }
+
+            /// Creates a group-addressed event payload.
+            pub fn to_group(
+                source: $crate::platform::NodeId,
+                message: $crate::message::Message,
+            ) -> Self {
+                Self::new(source, $crate::event::Dest::Group, message)
+            }
+
+            /// Registers the wire factory for this payload type.
+            pub fn register(factories: &mut $crate::registry::EventFactoryRegistry) {
+                factories.register(Self::WIRE_NAME, |header, message| {
+                    Box::new(Self { header, message })
+                });
+            }
+        }
+
+        impl $crate::event::EventPayload for $name {
+            fn type_name(&self) -> &'static str {
+                Self::WIRE_NAME
+            }
+
+            fn categories(&self) -> &'static [$crate::event::Category] {
+                &[$crate::event::Category::Sendable]
+            }
+
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+
+            fn as_sendable(&self) -> Option<&dyn $crate::event::Sendable> {
+                Some(self)
+            }
+
+            fn as_sendable_mut(&mut self) -> Option<&mut dyn $crate::event::Sendable> {
+                Some(self)
+            }
+        }
+
+        impl $crate::event::Sendable for $name {
+            fn header(&self) -> &$crate::event::SendHeader {
+                &self.header
+            }
+
+            fn header_mut(&mut self) -> &mut $crate::event::SendHeader {
+                &mut self.header
+            }
+
+            fn message(&self) -> &$crate::message::Message {
+                &self.message
+            }
+
+            fn message_mut(&mut self) -> &mut $crate::message::Message {
+                &mut self.message
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{ChannelInit, DataEvent};
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Up.reverse(), Direction::Down);
+        assert_eq!(Direction::Down.reverse(), Direction::Up);
+    }
+
+    #[test]
+    fn event_downcasting() {
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..])));
+        assert!(event.is::<DataEvent>());
+        assert!(!event.is::<ChannelInit>());
+        assert!(event.get::<DataEvent>().is_some());
+        assert!(event.is_sendable());
+        assert_eq!(event.type_name(), "DataEvent");
+    }
+
+    #[test]
+    fn event_into_payload_success_and_failure() {
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::new()));
+        let (direction, data) = event.into_payload::<DataEvent>().unwrap();
+        assert_eq!(direction, Direction::Down);
+        assert_eq!(data.header.source, NodeId(1));
+
+        let event = Event::up(ChannelInit {});
+        assert!(event.into_payload::<DataEvent>().is_err());
+    }
+
+    #[test]
+    fn event_spec_matching() {
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        let init = ChannelInit {};
+
+        assert!(EventSpec::of::<DataEvent>().matches(&data));
+        assert!(!EventSpec::of::<DataEvent>().matches(&init));
+        assert!(EventSpec::Category(Category::Sendable).matches(&data));
+        assert!(!EventSpec::Category(Category::Sendable).matches(&init));
+        assert!(EventSpec::All.matches(&data));
+        assert!(EventSpec::All.matches(&init));
+    }
+
+    #[test]
+    fn dest_fanout() {
+        assert_eq!(Dest::Node(NodeId(1)).fanout(), Some(1));
+        assert_eq!(Dest::Nodes(vec![NodeId(1), NodeId(2)]).fanout(), Some(2));
+        assert_eq!(Dest::Group.fanout(), None);
+    }
+
+    #[test]
+    fn send_header_wire_roundtrip_keeps_source_and_class() {
+        let header = SendHeader::to_node(NodeId(3), NodeId(9), PacketClass::Control);
+        let bytes = header.to_bytes();
+        let decoded = SendHeader::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.source, NodeId(3));
+        assert_eq!(decoded.class, PacketClass::Control);
+        assert_eq!(decoded.dest, Dest::Group);
+    }
+}

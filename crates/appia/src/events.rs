@@ -1,0 +1,88 @@
+//! Standard events shipped with the kernel.
+//!
+//! Protocol suites define their own event types with the
+//! [`crate::internal_event!`] and [`crate::sendable_event!`] macros; the
+//! kernel itself only needs these few.
+
+use crate::{internal_event, sendable_event};
+
+sendable_event! {
+    /// Application data travelling through a channel.
+    ///
+    /// Going down it is created by the application interface layer with a
+    /// group destination; going up it is delivered to the application by the
+    /// same layer.
+    pub struct DataEvent, class: Data
+}
+
+internal_event! {
+    /// Emitted bottom-up through a channel when it is created, so every
+    /// session can initialise its state and arm periodic timers.
+    pub struct ChannelInit {}
+    categories: [ChannelLifecycle]
+}
+
+internal_event! {
+    /// Emitted bottom-up through a channel right before it is torn down.
+    pub struct ChannelClose {}
+    categories: [ChannelLifecycle]
+}
+
+internal_event! {
+    /// A one-shot timer armed by a session has fired.
+    ///
+    /// The `owner` field carries the layer name of the session that armed the
+    /// timer; sessions ignore expirations they do not own.
+    pub struct TimerExpired {
+        /// Layer name of the session that armed the timer.
+        pub owner: String,
+        /// Caller-chosen discriminator to tell multiple timers apart.
+        pub tag: u32,
+        /// Kernel-assigned identifier of the timer that fired.
+        pub timer_id: u64,
+    }
+    categories: [Timer]
+}
+
+internal_event! {
+    /// A free-form diagnostic event used by tests and debugging layers.
+    pub struct DebugEvent {
+        /// Arbitrary human-readable note.
+        pub note: String,
+    }
+    categories: [Internal]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, EventPayload, Sendable};
+    use crate::message::Message;
+    use crate::platform::{NodeId, PacketClass};
+
+    #[test]
+    fn data_event_is_sendable_with_data_class() {
+        let event = DataEvent::to_group(NodeId(4), Message::with_payload(&b"hi"[..]));
+        assert_eq!(event.header.class, PacketClass::Data);
+        assert_eq!(event.categories(), &[Category::Sendable]);
+        assert_eq!(event.wire_name(), "DataEvent");
+        assert_eq!(event.message().payload().as_ref(), b"hi");
+    }
+
+    #[test]
+    fn lifecycle_events_have_expected_categories() {
+        assert_eq!(ChannelInit {}.categories(), &[Category::ChannelLifecycle]);
+        assert_eq!(ChannelClose {}.categories(), &[Category::ChannelLifecycle]);
+        assert_eq!(
+            TimerExpired { owner: "x".into(), tag: 0, timer_id: 1 }.categories(),
+            &[Category::Timer]
+        );
+    }
+
+    #[test]
+    fn debug_event_keeps_note() {
+        let event = DebugEvent { note: "probe".into() };
+        assert_eq!(event.note, "probe");
+        assert_eq!(event.type_name(), "DebugEvent");
+    }
+}

@@ -1,0 +1,635 @@
+//! The protocol execution kernel.
+//!
+//! The kernel owns every channel of one node, schedules events through the
+//! session stacks, arms timers on behalf of sessions, serialises outgoing
+//! events into packets and reconstructs incoming packets into typed events.
+//! It also implements the primitive the Morpheus Core subsystem relies on for
+//! run-time adaptation: [`Kernel::replace_channel`], which swaps a channel's
+//! stack for a new configuration while preserving sessions that are shared or
+//! carried over by name.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use crate::channel::{Channel, ChannelId, StackSlot};
+use crate::config::ChannelConfig;
+use crate::error::{AppiaError, Result};
+use crate::event::{Direction, Event};
+use crate::events::{ChannelClose, ChannelInit, TimerExpired};
+use crate::layers;
+use crate::platform::{
+    AppDelivery, DeliveryKind, InPacket, NodeId, NodeProfile, OutPacket, PacketClass, PacketDest,
+    Platform, ReconfigRequest,
+};
+use crate::qos::Qos;
+use crate::registry::{decode_event, EventFactoryRegistry, LayerRegistry};
+use crate::session::{share, SessionRef};
+use crate::timer::TimerKey;
+
+/// An event waiting to be routed.
+struct Pending {
+    channel: ChannelId,
+    /// Stack position of the session that already handled the event, or
+    /// `None` when the event enters the channel from one of its ends.
+    from: Option<usize>,
+    event: Event,
+}
+
+/// Book-keeping for one armed timer.
+#[derive(Debug, Clone)]
+struct TimerRecord {
+    channel: ChannelId,
+    owner: String,
+    tag: u32,
+}
+
+#[derive(Debug, Default)]
+struct TimerTable {
+    next_id: u64,
+    records: HashMap<u64, TimerRecord>,
+}
+
+/// The execution context handed to a session while it handles an event.
+///
+/// Everything a session may do — forwarding the event, creating new events,
+/// arming timers, sending packets, delivering to the application — goes
+/// through this context, which keeps sessions free of references to the
+/// kernel itself.
+pub struct EventContext<'a> {
+    channel_id: ChannelId,
+    channel_name: &'a str,
+    layer_name: &'a str,
+    session_index: usize,
+    queue: &'a mut VecDeque<Pending>,
+    timers: &'a mut TimerTable,
+    platform: &'a mut dyn Platform,
+}
+
+impl<'a> EventContext<'a> {
+    /// The channel the current event belongs to.
+    pub fn channel_id(&self) -> ChannelId {
+        self.channel_id
+    }
+
+    /// Name of the channel the current event belongs to.
+    pub fn channel_name(&self) -> &str {
+        self.channel_name
+    }
+
+    /// Name of the layer whose session is handling the event.
+    pub fn layer_name(&self) -> &str {
+        self.layer_name
+    }
+
+    /// Position of the handling session in the stack (0 = bottom).
+    pub fn stack_position(&self) -> usize {
+        self.session_index
+    }
+
+    /// Current local time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.platform.now_ms()
+    }
+
+    /// Identifier of the local node.
+    pub fn node_id(&self) -> NodeId {
+        self.platform.node_id()
+    }
+
+    /// Snapshot of the local system context.
+    pub fn profile(&self) -> NodeProfile {
+        self.platform.profile()
+    }
+
+    /// A deterministic pseudo-random value from the platform.
+    pub fn random_u64(&mut self) -> u64 {
+        self.platform.random_u64()
+    }
+
+    /// Lets the event continue along its route from the current position.
+    pub fn forward(&mut self, event: Event) {
+        self.queue.push_back(Pending {
+            channel: self.channel_id,
+            from: Some(self.session_index),
+            event,
+        });
+    }
+
+    /// Injects a new event at the current stack position; it travels in its
+    /// own direction starting from the next interested session.
+    pub fn dispatch(&mut self, event: Event) {
+        self.forward(event);
+    }
+
+    /// Injects a new event at the edge of the stack: upward events start at
+    /// the bottom, downward events start at the top.
+    pub fn dispatch_from_edge(&mut self, event: Event) {
+        self.queue.push_back(Pending { channel: self.channel_id, from: None, event });
+    }
+
+    /// Injects an event into *another* channel of the same kernel, entering
+    /// at the edge. Used by sessions shared between channels and by control
+    /// channels steering data channels.
+    pub fn dispatch_to_channel(&mut self, channel: ChannelId, event: Event) {
+        self.queue.push_back(Pending { channel, from: None, event });
+    }
+
+    /// Arms a one-shot timer owned by the handling session's layer.
+    ///
+    /// When it fires, a [`TimerExpired`] event with the layer name as `owner`
+    /// and the given `tag` travels up the channel. Returns the timer id.
+    pub fn set_timer(&mut self, delay_ms: u64, tag: u32) -> u64 {
+        self.timers.next_id += 1;
+        let timer_id = self.timers.next_id;
+        self.timers.records.insert(
+            timer_id,
+            TimerRecord {
+                channel: self.channel_id,
+                owner: self.layer_name.to_string(),
+                tag,
+            },
+        );
+        self.platform.set_timer(delay_ms, TimerKey::new(self.channel_id, timer_id));
+        timer_id
+    }
+
+    /// Cancels a previously armed timer.
+    pub fn cancel_timer(&mut self, timer_id: u64) {
+        if self.timers.records.remove(&timer_id).is_some() {
+            self.platform.cancel_timer(TimerKey::new(self.channel_id, timer_id));
+        }
+    }
+
+    /// Sends a raw packet. Intended for the network-driver layer at the
+    /// bottom of the stack; higher layers should forward sendable events
+    /// downward instead.
+    pub fn send_packet(&mut self, dest: PacketDest, class: PacketClass, payload: Bytes) {
+        let packet = OutPacket {
+            from: self.platform.node_id(),
+            dest,
+            class,
+            channel: self.channel_name.to_string(),
+            payload,
+        };
+        self.platform.send(packet);
+    }
+
+    /// Delivers data or a notification to the local application.
+    pub fn deliver(&mut self, kind: DeliveryKind) {
+        let delivery = AppDelivery { channel: self.channel_name.to_string(), kind };
+        self.platform.deliver(delivery);
+    }
+
+    /// Asks the node runtime to replace a channel's stack. The request is
+    /// recorded by the platform and applied by the runtime after event
+    /// processing finishes (a session cannot mutate the kernel it is being
+    /// called from).
+    pub fn request_reconfiguration(&mut self, request: ReconfigRequest) {
+        self.platform.request_reconfiguration(request);
+    }
+}
+
+/// The single-threaded protocol execution kernel of one node.
+pub struct Kernel {
+    layers: LayerRegistry,
+    events: EventFactoryRegistry,
+    channels: HashMap<ChannelId, Channel>,
+    names: HashMap<String, ChannelId>,
+    shared_sessions: HashMap<String, SessionRef>,
+    queue: VecDeque<Pending>,
+    timers: TimerTable,
+    next_channel: u32,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with the built-in layers and event types registered.
+    pub fn new() -> Self {
+        let mut kernel = Self {
+            layers: LayerRegistry::new(),
+            events: EventFactoryRegistry::new(),
+            channels: HashMap::new(),
+            names: HashMap::new(),
+            shared_sessions: HashMap::new(),
+            queue: VecDeque::new(),
+            timers: TimerTable::default(),
+            next_channel: 0,
+        };
+        layers::register_builtin(&mut kernel.layers);
+        crate::events::DataEvent::register(&mut kernel.events);
+        kernel
+    }
+
+    /// The layer registry (used by protocol suites to add their layers).
+    pub fn layers_mut(&mut self) -> &mut LayerRegistry {
+        &mut self.layers
+    }
+
+    /// The layer registry, read-only.
+    pub fn layers(&self) -> &LayerRegistry {
+        &self.layers
+    }
+
+    /// The event factory registry (used by protocol suites to add their
+    /// sendable event types).
+    pub fn events_mut(&mut self) -> &mut EventFactoryRegistry {
+        &mut self.events
+    }
+
+    /// The event factory registry, read-only.
+    pub fn events(&self) -> &EventFactoryRegistry {
+        &self.events
+    }
+
+    /// Identifier of the channel with the given name, if any.
+    pub fn channel_id(&self, name: &str) -> Option<ChannelId> {
+        self.names.get(name).copied()
+    }
+
+    /// The channel with the given identifier, if any.
+    pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
+        self.channels.get(&id)
+    }
+
+    /// The channel with the given name, if any.
+    pub fn channel_by_name(&self, name: &str) -> Option<&Channel> {
+        self.channel_id(name).and_then(|id| self.channels.get(&id))
+    }
+
+    /// Names of all existing channels, sorted.
+    pub fn channel_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.names.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of events currently queued for processing.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn build_slots(&mut self, config: &ChannelConfig) -> Result<Vec<StackSlot>> {
+        // Validate the composition first so errors carry the QoS context.
+        let mut layer_refs = Vec::with_capacity(config.layers.len());
+        for spec in &config.layers {
+            layer_refs.push(self.layers.get(&spec.layer)?);
+        }
+        Qos::new(config.name.clone(), layer_refs.clone()).validate()?;
+
+        let mut slots = Vec::with_capacity(config.layers.len());
+        for (spec, layer) in config.layers.iter().zip(layer_refs) {
+            let session = match &spec.share {
+                Some(key) => {
+                    let full_key = format!("{}::{}", spec.layer, key);
+                    self.shared_sessions
+                        .entry(full_key)
+                        .or_insert_with(|| share(layer.create_session(&spec.params)))
+                        .clone()
+                }
+                None => share(layer.create_session(&spec.params)),
+            };
+            slots.push(StackSlot {
+                layer_name: spec.layer.clone(),
+                accepts: layer.accepted_events(),
+                session,
+            });
+        }
+        Ok(slots)
+    }
+
+    /// Creates a channel from a declarative configuration and runs its
+    /// initialisation ([`ChannelInit`] travels bottom-up through the stack).
+    pub fn create_channel(
+        &mut self,
+        config: &ChannelConfig,
+        platform: &mut dyn Platform,
+    ) -> Result<ChannelId> {
+        if self.names.contains_key(&config.name) {
+            return Err(AppiaError::DuplicateChannel(config.name.clone()));
+        }
+        let slots = self.build_slots(config)?;
+        self.next_channel += 1;
+        let id = ChannelId(self.next_channel);
+        let channel = Channel::new(id, config.name.clone(), slots);
+        self.channels.insert(id, channel);
+        self.names.insert(config.name.clone(), id);
+
+        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelInit {}) });
+        self.process(platform);
+        Ok(id)
+    }
+
+    /// Destroys a channel, sending [`ChannelClose`] through its stack first.
+    pub fn destroy_channel(&mut self, name: &str, platform: &mut dyn Platform) -> Result<()> {
+        let id = self
+            .channel_id(name)
+            .ok_or_else(|| AppiaError::UnknownChannel(name.to_string()))?;
+        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelClose {}) });
+        self.process(platform);
+        self.channels.remove(&id);
+        self.names.remove(name);
+        self.timers.records.retain(|_, record| record.channel != id);
+        Ok(())
+    }
+
+    /// Replaces the stack of an existing channel with a new configuration.
+    ///
+    /// This is the kernel-level primitive behind Morpheus's run-time
+    /// adaptation: the old stack receives [`ChannelClose`], the new stack is
+    /// built (re-using shared sessions where the configuration says so) and
+    /// receives [`ChannelInit`]. The caller is responsible for having driven
+    /// the channel to quiescence beforehand (the Core subsystem does this via
+    /// a view change, as described in the paper).
+    pub fn replace_channel(
+        &mut self,
+        name: &str,
+        config: &ChannelConfig,
+        platform: &mut dyn Platform,
+    ) -> Result<ChannelId> {
+        if !self.names.contains_key(name) {
+            return Err(AppiaError::UnknownChannel(name.to_string()));
+        }
+        // Build the new slots first so a bad configuration leaves the old
+        // channel untouched.
+        let slots = self.build_slots(config)?;
+        self.destroy_channel(name, platform)?;
+
+        self.next_channel += 1;
+        let id = ChannelId(self.next_channel);
+        let channel = Channel::new(id, config.name.clone(), slots);
+        self.channels.insert(id, channel);
+        self.names.insert(config.name.clone(), id);
+        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelInit {}) });
+        self.process(platform);
+        Ok(id)
+    }
+
+    /// Injects an event into a channel at the edge (bottom for upward events,
+    /// top for downward events) without processing the queue.
+    pub fn dispatch(&mut self, channel: ChannelId, event: Event) {
+        self.queue.push_back(Pending { channel, from: None, event });
+    }
+
+    /// Injects an event and immediately processes the queue to completion.
+    pub fn dispatch_and_process(
+        &mut self,
+        channel: ChannelId,
+        event: Event,
+        platform: &mut dyn Platform,
+    ) {
+        self.dispatch(channel, event);
+        self.process(platform);
+    }
+
+    /// Delivers a packet received from the network: the serialised event is
+    /// reconstructed through the event-factory registry and travels up the
+    /// stack of the channel named in the packet.
+    pub fn deliver_packet(&mut self, packet: InPacket, platform: &mut dyn Platform) -> Result<()> {
+        let id = self
+            .channel_id(&packet.channel)
+            .ok_or_else(|| AppiaError::UnknownChannel(packet.channel.clone()))?;
+        let mut payload = decode_event(&self.events, &packet.payload)?;
+        if let Some(sendable) = payload.as_sendable_mut() {
+            sendable.header_mut().dest = crate::event::Dest::Node(packet.to);
+        }
+        self.queue.push_back(Pending {
+            channel: id,
+            from: None,
+            event: Event::from_boxed(Direction::Up, payload),
+        });
+        self.process(platform);
+        Ok(())
+    }
+
+    /// Reports that a timer armed through an [`EventContext`] has fired. The
+    /// owning channel receives a [`TimerExpired`] event travelling up.
+    pub fn timer_expired(&mut self, key: TimerKey, platform: &mut dyn Platform) {
+        let Some(record) = self.timers.records.remove(&key.timer_id) else {
+            return;
+        };
+        if !self.channels.contains_key(&record.channel) {
+            return;
+        }
+        self.queue.push_back(Pending {
+            channel: record.channel,
+            from: None,
+            event: Event::up(TimerExpired {
+                owner: record.owner,
+                tag: record.tag,
+                timer_id: key.timer_id,
+            }),
+        });
+        self.process(platform);
+    }
+
+    /// Processes queued events until the queue drains.
+    pub fn process(&mut self, platform: &mut dyn Platform) {
+        while let Some(pending) = self.queue.pop_front() {
+            let Some(channel) = self.channels.get_mut(&pending.channel) else {
+                continue;
+            };
+            let Some(index) =
+                channel.next_hop(pending.event.payload.as_ref(), pending.event.direction, pending.from)
+            else {
+                continue;
+            };
+            let session = channel.session_at(index).expect("next_hop returned a valid index");
+            let channel_name = channel.name().to_string();
+            let layer_name = channel
+                .layer_names()
+                .get(index)
+                .cloned()
+                .unwrap_or_default();
+
+            let mut ctx = EventContext {
+                channel_id: pending.channel,
+                channel_name: &channel_name,
+                layer_name: &layer_name,
+                session_index: index,
+                queue: &mut self.queue,
+                timers: &mut self.timers,
+                platform,
+            };
+            session.borrow_mut().handle(pending.event, &mut ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("channels", &self.channel_names())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelConfig, LayerSpec};
+    use crate::events::DataEvent;
+    use crate::message::Message;
+    use crate::platform::TestPlatform;
+
+    fn basic_config(name: &str) -> ChannelConfig {
+        ChannelConfig {
+            name: name.to_string(),
+            layers: vec![
+                LayerSpec::new("network"),
+                LayerSpec::new("logger"),
+                LayerSpec::new("app"),
+            ],
+        }
+    }
+
+    #[test]
+    fn create_channel_and_send_data_point_to_point() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        let id = kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::new(
+            NodeId(1),
+            crate::event::Dest::Nodes(vec![NodeId(2), NodeId(3)]),
+            Message::with_payload(&b"hello"[..]),
+        ));
+        kernel.dispatch_and_process(id, event, &mut platform);
+
+        let sent = platform.take_sent();
+        assert_eq!(sent.len(), 2, "one packet per destination");
+        assert!(sent.iter().all(|p| p.channel == "data"));
+        assert!(sent.iter().all(|p| matches!(p.class, PacketClass::Data)));
+    }
+
+    #[test]
+    fn duplicate_channel_names_are_rejected() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        let err = kernel.create_channel(&basic_config("data"), &mut platform).unwrap_err();
+        assert!(matches!(err, AppiaError::DuplicateChannel(_)));
+    }
+
+    #[test]
+    fn unknown_layer_is_rejected() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        let config = ChannelConfig {
+            name: "broken".into(),
+            layers: vec![LayerSpec::new("does-not-exist")],
+        };
+        let err = kernel.create_channel(&config, &mut platform).unwrap_err();
+        assert!(matches!(err, AppiaError::UnknownLayer(_)));
+    }
+
+    #[test]
+    fn packet_roundtrip_between_two_kernels() {
+        let mut sender = Kernel::new();
+        let mut receiver = Kernel::new();
+        let mut platform_a = TestPlatform::new(NodeId(1));
+        let mut platform_b = TestPlatform::new(NodeId(2));
+
+        let channel_a = sender.create_channel(&basic_config("data"), &mut platform_a).unwrap();
+        receiver.create_channel(&basic_config("data"), &mut platform_b).unwrap();
+
+        let event = Event::down(DataEvent::new(
+            NodeId(1),
+            crate::event::Dest::Node(NodeId(2)),
+            Message::with_payload(&b"ping"[..]),
+        ));
+        sender.dispatch_and_process(channel_a, event, &mut platform_a);
+
+        let sent = platform_a.take_sent();
+        assert_eq!(sent.len(), 1);
+        let packet = InPacket {
+            from: NodeId(1),
+            to: NodeId(2),
+            class: sent[0].class,
+            channel: sent[0].channel.clone(),
+            payload: sent[0].payload.clone(),
+        };
+        receiver.deliver_packet(packet, &mut platform_b).unwrap();
+
+        let deliveries = platform_b.take_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        match &deliveries[0].kind {
+            DeliveryKind::Data { from, payload } => {
+                assert_eq!(*from, NodeId(1));
+                assert_eq!(payload.as_ref(), b"ping");
+            }
+            other => panic!("unexpected delivery {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destroy_channel_removes_it_and_its_timers() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        assert!(kernel.channel_by_name("data").is_some());
+        kernel.destroy_channel("data", &mut platform).unwrap();
+        assert!(kernel.channel_by_name("data").is_none());
+        assert!(kernel.destroy_channel("data", &mut platform).is_err());
+    }
+
+    #[test]
+    fn replace_channel_swaps_the_stack() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+
+        let new_config = ChannelConfig {
+            name: "data".into(),
+            layers: vec![LayerSpec::new("network"), LayerSpec::new("app")],
+        };
+        kernel.replace_channel("data", &new_config, &mut platform).unwrap();
+        let channel = kernel.channel_by_name("data").unwrap();
+        assert_eq!(channel.layer_names(), vec!["network", "app"]);
+    }
+
+    #[test]
+    fn replace_channel_requires_existing_channel() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        let err = kernel
+            .replace_channel("missing", &basic_config("missing"), &mut platform)
+            .unwrap_err();
+        assert!(matches!(err, AppiaError::UnknownChannel(_)));
+    }
+
+    #[test]
+    fn shared_sessions_are_reused_across_channels() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+
+        let mut config_a = basic_config("a");
+        config_a.layers[1] = LayerSpec::new("logger").shared("metrics");
+        let mut config_b = basic_config("b");
+        config_b.layers[1] = LayerSpec::new("logger").shared("metrics");
+
+        let id_a = kernel.create_channel(&config_a, &mut platform).unwrap();
+        let id_b = kernel.create_channel(&config_b, &mut platform).unwrap();
+
+        let session_a = kernel.channel(id_a).unwrap().session_of("logger").unwrap();
+        let session_b = kernel.channel(id_b).unwrap().session_of("logger").unwrap();
+        assert!(std::rc::Rc::ptr_eq(&session_a, &session_b));
+    }
+
+    #[test]
+    fn timer_expiry_reaches_the_owning_layer() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        // The logger layer arms no timers, so exercise the machinery directly:
+        // dispatching an unknown timer key must be a no-op.
+        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        kernel.timer_expired(TimerKey::new(ChannelId(99), 7), &mut platform);
+        assert_eq!(kernel.pending_events(), 0);
+    }
+}

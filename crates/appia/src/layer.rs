@@ -1,0 +1,88 @@
+//! Layers: micro-protocol factories.
+//!
+//! A [`Layer`] describes a micro-protocol: which event types it accepts,
+//! which it produces and which it needs other layers to produce. Layers are
+//! stateless descriptions; the per-channel state lives in the
+//! [`crate::session::Session`] objects they create.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::event::EventSpec;
+use crate::session::Session;
+
+/// Free-form, string-valued parameters handed to a layer when a session is
+/// created. They originate from the declarative channel description.
+pub type LayerParams = BTreeMap<String, String>;
+
+/// Parses a parameter as a value of type `T`, falling back to a default.
+pub fn param_or<T: std::str::FromStr>(params: &LayerParams, key: &str, default: T) -> T {
+    params.get(key).and_then(|raw| raw.parse().ok()).unwrap_or(default)
+}
+
+/// Parses a comma-separated list of `u32` node identifiers from a parameter.
+pub fn param_node_list(params: &LayerParams, key: &str) -> Vec<crate::platform::NodeId> {
+    params
+        .get(key)
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|part| part.trim().parse::<u32>().ok())
+                .map(crate::platform::NodeId)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// A micro-protocol description and session factory.
+pub trait Layer {
+    /// Unique name of the layer, used in channel descriptions.
+    fn name(&self) -> &str;
+
+    /// Event specifications this layer's sessions want to receive.
+    fn accepted_events(&self) -> Vec<EventSpec>;
+
+    /// Names of event types this layer may create (documentation and
+    /// composition validation).
+    fn provided_events(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Names of event types this layer requires some other layer (or the
+    /// kernel) to provide.
+    fn required_events(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Creates a fresh session holding this layer's per-channel state.
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session>;
+}
+
+/// Shared, reference-counted handle to a layer description.
+pub type LayerRef = Rc<dyn Layer>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::NodeId;
+
+    #[test]
+    fn param_or_parses_and_defaults() {
+        let mut params = LayerParams::new();
+        params.insert("fanout".into(), "3".into());
+        params.insert("broken".into(), "abc".into());
+        assert_eq!(param_or(&params, "fanout", 1usize), 3);
+        assert_eq!(param_or(&params, "missing", 7u32), 7);
+        assert_eq!(param_or(&params, "broken", 9u32), 9);
+    }
+
+    #[test]
+    fn param_node_list_parses_members() {
+        let mut params = LayerParams::new();
+        params.insert("members".into(), "1, 2,3".into());
+        assert_eq!(
+            param_node_list(&params, "members"),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert!(param_node_list(&params, "missing").is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The application interface layer: the top of every stack.
+
+use crate::event::{Direction, Event, EventSpec};
+use crate::events::DataEvent;
+use crate::kernel::EventContext;
+use crate::layer::{Layer, LayerParams};
+use crate::platform::DeliveryKind;
+use crate::session::Session;
+
+/// Registered name of the application interface layer.
+pub const APP_LAYER: &str = "app";
+
+/// Layer delivering upward application data to the local application and
+/// passing application sends downward unchanged.
+pub struct AppInterfaceLayer;
+
+impl Layer for AppInterfaceLayer {
+    fn name(&self) -> &str {
+        APP_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::of::<DataEvent>()]
+    }
+
+    fn required_events(&self) -> Vec<&'static str> {
+        vec!["DataEvent"]
+    }
+
+    fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+        Box::new(AppInterfaceSession::default())
+    }
+}
+
+/// Session state of the application interface layer.
+#[derive(Debug, Default)]
+pub struct AppInterfaceSession {
+    delivered: u64,
+}
+
+impl Session for AppInterfaceSession {
+    fn layer_name(&self) -> &str {
+        APP_LAYER
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        match event.direction {
+            Direction::Up => {
+                if let Some(data) = event.get::<DataEvent>() {
+                    self.delivered += 1;
+                    ctx.deliver(DeliveryKind::Data {
+                        from: data.header.source,
+                        payload: data.message.payload().clone(),
+                    });
+                } else {
+                    ctx.forward(event);
+                }
+            }
+            Direction::Down => ctx.forward(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelConfig, LayerSpec};
+    use crate::event::Dest;
+    use crate::kernel::Kernel;
+    use crate::message::Message;
+    use crate::platform::{NodeId, TestPlatform};
+
+    #[test]
+    fn upward_data_is_delivered_to_the_application() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(5));
+        let config = ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("app"));
+        let id = kernel.create_channel(&config, &mut platform).unwrap();
+
+        let event = Event::up(DataEvent::new(
+            NodeId(9),
+            Dest::Node(NodeId(5)),
+            Message::with_payload(&b"hello"[..]),
+        ));
+        kernel.dispatch_and_process(id, event, &mut platform);
+
+        let deliveries = platform.take_deliveries();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].channel, "data");
+        match &deliveries[0].kind {
+            DeliveryKind::Data { from, payload } => {
+                assert_eq!(*from, NodeId(9));
+                assert_eq!(payload.as_ref(), b"hello");
+            }
+            other => panic!("unexpected delivery {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downward_data_passes_through() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(5));
+        let config = ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("app"));
+        let id = kernel.create_channel(&config, &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::new(
+            NodeId(5),
+            Dest::Node(NodeId(2)),
+            Message::with_payload(&b"out"[..]),
+        ));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        assert_eq!(platform.take_sent().len(), 1);
+        assert!(platform.take_deliveries().is_empty());
+    }
+}

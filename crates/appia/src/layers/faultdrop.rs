@@ -1,0 +1,120 @@
+//! A fault-injection layer that drops a fraction of sendable events.
+
+use crate::event::{Category, Direction, Event, EventSpec};
+use crate::kernel::EventContext;
+use crate::layer::{param_or, Layer, LayerParams};
+use crate::session::Session;
+
+/// Registered name of the fault-injection layer.
+pub const FAULTDROP_LAYER: &str = "faultdrop";
+
+/// Layer that drops a configurable fraction of sendable events, used by
+/// tests and experiments that need message loss independent of the network
+/// model.
+///
+/// Parameters:
+///
+/// * `drop_rate` — probability in `[0, 1]` of dropping a matching event
+///   (default `0.0`).
+/// * `direction` — `"down"`, `"up"` or `"both"` (default `"down"`).
+pub struct FaultDropLayer;
+
+impl Layer for FaultDropLayer {
+    fn name(&self) -> &str {
+        FAULTDROP_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::Category(Category::Sendable)]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let direction = params.get("direction").map(String::as_str).unwrap_or("down");
+        Box::new(FaultDropSession {
+            drop_rate: param_or(params, "drop_rate", 0.0f64).clamp(0.0, 1.0),
+            match_down: direction == "down" || direction == "both",
+            match_up: direction == "up" || direction == "both",
+            dropped: 0,
+            passed: 0,
+        })
+    }
+}
+
+/// Session state of the fault-injection layer.
+#[derive(Debug)]
+pub struct FaultDropSession {
+    drop_rate: f64,
+    match_down: bool,
+    match_up: bool,
+    dropped: u64,
+    passed: u64,
+}
+
+impl Session for FaultDropSession {
+    fn layer_name(&self) -> &str {
+        FAULTDROP_LAYER
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        let matches = match event.direction {
+            Direction::Down => self.match_down,
+            Direction::Up => self.match_up,
+        };
+        if matches && self.drop_rate > 0.0 {
+            // Map the platform's random value onto [0, 1).
+            let sample = (ctx.random_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if sample < self.drop_rate {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.passed += 1;
+        ctx.forward(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChannelConfig, LayerSpec};
+    use crate::event::Dest;
+    use crate::events::DataEvent;
+    use crate::kernel::Kernel;
+    use crate::message::Message;
+    use crate::platform::{NodeId, TestPlatform};
+
+    fn run_with_drop_rate(rate: &str, sends: usize) -> usize {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        let config = ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("faultdrop").with_param("drop_rate", rate))
+            .with_layer(LayerSpec::new("app"));
+        let id = kernel.create_channel(&config, &mut platform).unwrap();
+        for _ in 0..sends {
+            let event = Event::down(DataEvent::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                Message::new(),
+            ));
+            kernel.dispatch_and_process(id, event, &mut platform);
+        }
+        platform.take_sent().len()
+    }
+
+    #[test]
+    fn zero_drop_rate_passes_everything() {
+        assert_eq!(run_with_drop_rate("0.0", 50), 50);
+    }
+
+    #[test]
+    fn full_drop_rate_drops_everything() {
+        assert_eq!(run_with_drop_rate("1.0", 50), 0);
+    }
+
+    #[test]
+    fn partial_drop_rate_drops_some() {
+        let passed = run_with_drop_rate("0.5", 200);
+        assert!(passed > 20 && passed < 180, "passed {passed} of 200");
+    }
+}

@@ -1,0 +1,187 @@
+//! Protocol messages with a stack of layer headers.
+//!
+//! Following the discipline used by protocol kernels such as Appia and
+//! x-kernel, a [`Message`] carries an application payload plus a stack of
+//! opaque headers. A layer pushes its header when an event travels *down* the
+//! stack and pops it when the corresponding event travels back *up* on the
+//! receiving node. Because headers are pushed and popped in strictly opposite
+//! orders, the stack discipline guarantees each layer only ever sees its own
+//! header.
+
+use bytes::Bytes;
+
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// A network message: an application payload plus a stack of layer headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Message {
+    /// Header stack. The *last* element is the most recently pushed header
+    /// (i.e. the header of the lowest layer that has touched the message).
+    headers: Vec<Bytes>,
+    /// Application payload.
+    payload: Bytes,
+}
+
+impl Message {
+    /// Creates an empty message (no payload, no headers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a message wrapping the given application payload.
+    pub fn with_payload(payload: impl Into<Bytes>) -> Self {
+        Self { headers: Vec::new(), payload: payload.into() }
+    }
+
+    /// Returns the application payload.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// Replaces the application payload.
+    pub fn set_payload(&mut self, payload: impl Into<Bytes>) {
+        self.payload = payload.into();
+    }
+
+    /// Number of headers currently on the stack.
+    pub fn header_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Total size in bytes of payload plus all headers (excluding framing).
+    pub fn size(&self) -> usize {
+        self.payload.len() + self.headers.iter().map(Bytes::len).sum::<usize>()
+    }
+
+    /// Pushes a raw header chunk onto the stack.
+    pub fn push_header(&mut self, header: impl Into<Bytes>) {
+        self.headers.push(header.into());
+    }
+
+    /// Pops the most recently pushed header chunk.
+    pub fn pop_header(&mut self) -> Option<Bytes> {
+        self.headers.pop()
+    }
+
+    /// Returns the most recently pushed header without removing it.
+    pub fn peek_header(&self) -> Option<&Bytes> {
+        self.headers.last()
+    }
+
+    /// Encodes `value` with the wire format and pushes it as a header.
+    pub fn push<T: Wire>(&mut self, value: &T) {
+        let mut w = WireWriter::new();
+        value.encode(&mut w);
+        self.headers.push(w.finish());
+    }
+
+    /// Pops the top header and decodes it as `T`.
+    ///
+    /// Returns an error if the header stack is empty or decoding fails. When
+    /// decoding fails the header is *not* restored; callers treat this as a
+    /// malformed message and drop it.
+    pub fn pop<T: Wire>(&mut self) -> Result<T, WireError> {
+        let header = self.headers.pop().ok_or(WireError::Malformed("missing header"))?;
+        let mut r = WireReader::new(&header);
+        let value = T::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes in header"));
+        }
+        Ok(value)
+    }
+
+    /// Decodes the top header as `T` without removing it.
+    pub fn peek<T: Wire>(&self) -> Result<T, WireError> {
+        let header = self.headers.last().ok_or(WireError::Malformed("missing header"))?;
+        let mut r = WireReader::new(header);
+        T::decode(&mut r)
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.headers.len() as u32);
+        for header in &self.headers {
+            w.put_bytes(header);
+        }
+        w.put_bytes(&self.payload);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        if count as u64 > crate::wire::MAX_FIELD_LEN {
+            return Err(WireError::LengthOutOfRange(count as u64));
+        }
+        let mut headers = Vec::with_capacity(count);
+        for _ in 0..count {
+            headers.push(r.get_bytes()?);
+        }
+        let payload = r.get_bytes()?;
+        Ok(Self { headers, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let msg = Message::with_payload(&b"hello"[..]);
+        assert_eq!(msg.payload().as_ref(), b"hello");
+        assert_eq!(msg.header_count(), 0);
+        assert_eq!(msg.size(), 5);
+    }
+
+    #[test]
+    fn header_stack_is_lifo() {
+        let mut msg = Message::with_payload(&b"data"[..]);
+        msg.push_header(&b"fifo"[..]);
+        msg.push_header(&b"beb"[..]);
+        assert_eq!(msg.header_count(), 2);
+        assert_eq!(msg.pop_header().unwrap().as_ref(), b"beb");
+        assert_eq!(msg.pop_header().unwrap().as_ref(), b"fifo");
+        assert!(msg.pop_header().is_none());
+    }
+
+    #[test]
+    fn typed_headers_roundtrip() {
+        let mut msg = Message::new();
+        msg.push(&42u64);
+        msg.push(&"causal".to_string());
+        assert_eq!(msg.pop::<String>().unwrap(), "causal");
+        assert_eq!(msg.pop::<u64>().unwrap(), 42);
+        assert!(msg.pop::<u64>().is_err());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut msg = Message::new();
+        msg.push(&7u32);
+        assert_eq!(msg.peek::<u32>().unwrap(), 7);
+        assert_eq!(msg.peek::<u32>().unwrap(), 7);
+        assert_eq!(msg.pop::<u32>().unwrap(), 7);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_header_order() {
+        let mut msg = Message::with_payload(&b"payload"[..]);
+        msg.push(&1u32);
+        msg.push(&2u32);
+        msg.push(&"top".to_string());
+
+        let bytes = msg.to_bytes();
+        let mut decoded = Message::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.payload().as_ref(), b"payload");
+        assert_eq!(decoded.pop::<String>().unwrap(), "top");
+        assert_eq!(decoded.pop::<u32>().unwrap(), 2);
+        assert_eq!(decoded.pop::<u32>().unwrap(), 1);
+    }
+
+    #[test]
+    fn size_accounts_for_headers() {
+        let mut msg = Message::with_payload(&b"12345"[..]);
+        msg.push_header(&b"abc"[..]);
+        assert_eq!(msg.size(), 8);
+    }
+}

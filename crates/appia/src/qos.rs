@@ -1,0 +1,196 @@
+//! Quality-of-service definitions: ordered compositions of layers.
+
+use std::collections::BTreeSet;
+
+use crate::error::{AppiaError, Result};
+use crate::layer::LayerRef;
+
+/// Event type names the kernel itself provides to every channel.
+const KERNEL_PROVIDED: &[&str] = &["ChannelInit", "ChannelClose", "TimerExpired", "DataEvent"];
+
+/// An ordered composition of layers describing a quality of service.
+///
+/// The composition is ordered bottom-up: `layers()[0]` is the layer closest
+/// to the network, the last element is the layer closest to the application.
+#[derive(Clone)]
+pub struct Qos {
+    name: String,
+    layers: Vec<LayerRef>,
+}
+
+impl Qos {
+    /// Creates a QoS from an ordered (bottom-up) list of layers.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerRef>) -> Self {
+        Self { name: name.into(), layers }
+    }
+
+    /// Name of the QoS.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers, bottom-up.
+    pub fn layers(&self) -> &[LayerRef] {
+        &self.layers
+    }
+
+    /// Number of layers in the composition.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the composition has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Names of the layers, bottom-up.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|layer| layer.name().to_string()).collect()
+    }
+
+    /// Validates the composition.
+    ///
+    /// The stack must be non-empty, layer names must be unique within the
+    /// stack, and every event type a layer requires must be provided either
+    /// by another layer in the stack or by the kernel itself.
+    pub fn validate(&self) -> Result<()> {
+        if self.layers.is_empty() {
+            return Err(AppiaError::InvalidComposition(format!(
+                "QoS `{}` has no layers",
+                self.name
+            )));
+        }
+
+        let mut seen = BTreeSet::new();
+        for layer in &self.layers {
+            if !seen.insert(layer.name().to_string()) {
+                return Err(AppiaError::InvalidComposition(format!(
+                    "QoS `{}` contains layer `{}` more than once",
+                    self.name,
+                    layer.name()
+                )));
+            }
+        }
+
+        let mut provided: BTreeSet<&str> = KERNEL_PROVIDED.iter().copied().collect();
+        for layer in &self.layers {
+            for event in layer.provided_events() {
+                provided.insert(event);
+            }
+        }
+        for layer in &self.layers {
+            for required in layer.required_events() {
+                if !provided.contains(required) {
+                    return Err(AppiaError::InvalidComposition(format!(
+                        "QoS `{}`: layer `{}` requires event `{}` which no layer provides",
+                        self.name,
+                        layer.name(),
+                        required
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Qos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Qos")
+            .field("name", &self.name)
+            .field("layers", &self.layer_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use super::*;
+    use crate::event::EventSpec;
+    use crate::layer::{Layer, LayerParams};
+    use crate::session::Session;
+
+    struct FakeLayer {
+        name: &'static str,
+        provides: Vec<&'static str>,
+        requires: Vec<&'static str>,
+    }
+
+    struct FakeSession(&'static str);
+
+    impl Session for FakeSession {
+        fn layer_name(&self) -> &str {
+            self.0
+        }
+
+        fn handle(&mut self, _event: crate::event::Event, _ctx: &mut crate::kernel::EventContext<'_>) {}
+    }
+
+    impl Layer for FakeLayer {
+        fn name(&self) -> &str {
+            self.name
+        }
+
+        fn accepted_events(&self) -> Vec<EventSpec> {
+            vec![EventSpec::All]
+        }
+
+        fn provided_events(&self) -> Vec<&'static str> {
+            self.provides.clone()
+        }
+
+        fn required_events(&self) -> Vec<&'static str> {
+            self.requires.clone()
+        }
+
+        fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+            Box::new(FakeSession(self.name))
+        }
+    }
+
+    fn layer(
+        name: &'static str,
+        provides: Vec<&'static str>,
+        requires: Vec<&'static str>,
+    ) -> LayerRef {
+        Rc::new(FakeLayer { name, provides, requires })
+    }
+
+    #[test]
+    fn valid_composition_passes() {
+        let qos = Qos::new(
+            "reliable",
+            vec![
+                layer("net", vec!["Packet"], vec![]),
+                layer("retx", vec!["Nack"], vec!["Packet"]),
+                layer("app", vec![], vec!["DataEvent"]),
+            ],
+        );
+        assert!(qos.validate().is_ok());
+        assert_eq!(qos.layer_names(), vec!["net", "retx", "app"]);
+        assert_eq!(qos.len(), 3);
+        assert!(!qos.is_empty());
+    }
+
+    #[test]
+    fn empty_composition_is_rejected() {
+        let qos = Qos::new("empty", vec![]);
+        assert!(matches!(qos.validate(), Err(AppiaError::InvalidComposition(_))));
+    }
+
+    #[test]
+    fn duplicate_layers_are_rejected() {
+        let qos = Qos::new("dup", vec![layer("x", vec![], vec![]), layer("x", vec![], vec![])]);
+        assert!(matches!(qos.validate(), Err(AppiaError::InvalidComposition(_))));
+    }
+
+    #[test]
+    fn missing_required_event_is_rejected() {
+        let qos = Qos::new("broken", vec![layer("top", vec![], vec!["ViewChange"])]);
+        let err = qos.validate().unwrap_err();
+        assert!(err.to_string().contains("ViewChange"));
+    }
+}

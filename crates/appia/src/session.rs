@@ -1,0 +1,34 @@
+//! Sessions: the per-channel state of a layer.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::kernel::EventContext;
+
+/// The per-channel (or shared, when two channels use the same session) state
+/// of a layer, together with its event handler.
+///
+/// The handler *consumes* the event: to let it continue along its route the
+/// session calls [`EventContext::forward`]; to inject new events it calls
+/// [`EventContext::dispatch`]. Dropping the event without forwarding it stops
+/// its propagation, which is how filtering layers absorb traffic.
+pub trait Session {
+    /// Name of the layer this session belongs to.
+    fn layer_name(&self) -> &str;
+
+    /// Handles one event.
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>);
+}
+
+/// Shared ownership handle for sessions.
+///
+/// The kernel is single-threaded, so interior mutability through `RefCell`
+/// is sufficient; sessions shared between channels are simply the same
+/// `SessionRef` appearing in both stacks.
+pub type SessionRef = Rc<RefCell<Box<dyn Session>>>;
+
+/// Wraps a boxed session in a shareable reference.
+pub fn share(session: Box<dyn Session>) -> SessionRef {
+    Rc::new(RefCell::new(session))
+}

@@ -1,0 +1,39 @@
+//! Timer identification shared between the kernel and the platform.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelId;
+
+/// Identifies a one-shot timer armed by a session.
+///
+/// The platform only needs to hand the key back to
+/// [`crate::kernel::Kernel::timer_expired`] when the timer fires; the kernel
+/// keeps the association between the key and the session that requested it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerKey {
+    /// The channel the requesting session belongs to.
+    pub channel: ChannelId,
+    /// Kernel-assigned unique timer identifier.
+    pub timer_id: u64,
+}
+
+impl TimerKey {
+    /// Creates a timer key.
+    pub fn new(channel: ChannelId, timer_id: u64) -> Self {
+        Self { channel, timer_id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_compare_by_value() {
+        let a = TimerKey::new(ChannelId(1), 7);
+        let b = TimerKey::new(ChannelId(1), 7);
+        let c = TimerKey::new(ChannelId(2), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,458 @@
+//! A small, deterministic, length-prefixed binary wire format.
+//!
+//! Protocol layers push their headers onto a [`crate::message::Message`] as
+//! opaque byte chunks. The [`Wire`] trait plus [`WireWriter`]/[`WireReader`]
+//! give each layer a simple, explicit way to encode and decode those chunks
+//! without pulling in an external serialisation framework.
+//!
+//! The format is intentionally simple:
+//!
+//! * fixed-width integers are encoded big-endian;
+//! * strings and byte slices are length-prefixed with a `u32`;
+//! * lists are length-prefixed with a `u32` element count.
+
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes before the value was complete.
+    UnexpectedEof,
+    /// A string field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant or tag byte had an unknown value.
+    InvalidTag(u8),
+    /// A length prefix exceeded a sanity limit.
+    LengthOutOfRange(u64),
+    /// A custom decoding failure raised by a `Wire` implementation.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::InvalidTag(tag) => write!(f, "invalid tag byte {tag}"),
+            WireError::LengthOutOfRange(len) => write!(f, "length {len} out of range"),
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum length accepted for any single length-prefixed field (16 MiB).
+///
+/// The limit exists purely as a sanity check against corrupted input; no
+/// protocol in the suite produces fields anywhere near this large.
+pub const MAX_FIELD_LEN: u64 = 16 * 1024 * 1024;
+
+/// Types that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoded representation of `self` to the writer.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Decodes a value from the reader, consuming exactly the bytes it wrote.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh byte buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decodes a value from a byte slice, requiring the slice to be fully consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes"));
+        }
+        Ok(value)
+    }
+}
+
+/// An append-only encoder for the wire format.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Creates a writer with the given initial capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.put_u8(value);
+    }
+
+    /// Appends a boolean as a single byte (0 or 1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.buf.put_u8(u8::from(value));
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, value: u16) {
+        self.buf.put_u16(value);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.put_u32(value);
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.put_u64(value);
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn put_i64(&mut self, value: i64) {
+        self.buf.put_i64(value);
+    }
+
+    /// Appends an IEEE-754 `f64`.
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.put_f64(value);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, value: &[u8]) {
+        self.put_u32(value.len() as u32);
+        self.buf.put_slice(value);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// Appends a length-prefixed list of `u32` values.
+    pub fn put_u32_list(&mut self, values: &[u32]) {
+        self.put_u32(values.len() as u32);
+        for v in values {
+            self.put_u32(*v);
+        }
+    }
+
+    /// Appends a length-prefixed list of `u64` values.
+    pub fn put_u64_list(&mut self, values: &[u64]) {
+        self.put_u32(values.len() as u32);
+        for v in values {
+            self.put_u64(*v);
+        }
+    }
+
+    /// Appends a nested `Wire` value.
+    pub fn put_wire<T: Wire>(&mut self, value: &T) {
+        value.encode(self);
+    }
+
+    /// Finalises the writer and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A cursor-style decoder for the wire format.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over the given bytes.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::UnexpectedEof);
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean encoded as a single byte.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let bytes = self.take(2)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Reads a big-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(i64::from_be_bytes(arr))
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        let bytes = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(f64::from_be_bytes(arr))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = u64::from(self.get_u32()?);
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOutOfRange(len));
+        }
+        Ok(Bytes::copy_from_slice(self.take(len as usize)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a length-prefixed list of `u32` values.
+    pub fn get_u32_list(&mut self) -> Result<Vec<u32>, WireError> {
+        let len = u64::from(self.get_u32()?);
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOutOfRange(len));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed list of `u64` values.
+    pub fn get_u64_list(&mut self) -> Result<Vec<u64>, WireError> {
+        let len = u64::from(self.get_u32()?);
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOutOfRange(len));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a nested `Wire` value.
+    pub fn get_wire<T: Wire>(&mut self) -> Result<T, WireError> {
+        T::decode(self)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_str()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_bool(*self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_bool()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = u64::from(r.get_u32()?);
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthOutOfRange(len));
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(1024);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(3.5);
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 1024);
+        assert_eq!(r.get_u32().unwrap(), 123_456);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 3.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_str("olá mundo");
+        w.put_bytes(&[1, 2, 3, 4]);
+        w.put_str("");
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "olá mundo");
+        assert_eq!(r.get_bytes().unwrap().as_ref(), &[1, 2, 3, 4]);
+        assert_eq!(r.get_str().unwrap(), "");
+    }
+
+    #[test]
+    fn lists_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u32_list(&[1, 2, 3]);
+        w.put_u64_list(&[]);
+        let bytes = w.finish();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u32_list().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_list().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = WireReader::new(&[0, 0]);
+        assert_eq!(r.get_u32().unwrap_err(), WireError::UnexpectedEof);
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut r = WireReader::new(&[9]);
+        assert_eq!(r.get_bool().unwrap_err(), WireError::InvalidTag(9));
+    }
+
+    #[test]
+    fn wire_trait_roundtrip_for_vec_of_strings() {
+        let value = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let bytes = value.to_bytes();
+        let decoded = Vec::<String>::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u32.to_bytes().to_vec();
+        bytes.push(0xFF);
+        assert_eq!(
+            u32::from_bytes(&bytes).unwrap_err(),
+            WireError::Malformed("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_bytes().unwrap_err(),
+            WireError::LengthOutOfRange(_)
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! **Experiment E5** — the retransmission vs. forward-error-correction
+//! crossover that motivates run-time adaptation (paper Section 2): delivery
+//! ratio and sender overhead per strategy across loss rates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_appia::platform::NodeId;
+use morpheus_bench::{loss_scenario, run, MEASURED_MESSAGES, SERIES_MESSAGES};
+use morpheus_core::StackKind;
+
+fn print_series() {
+    let messages = SERIES_MESSAGES / 2;
+    let expected = messages * 3;
+    eprintln!();
+    eprintln!("=== Loss handling: delivery ratio / sender transmissions ({messages} messages) ===");
+    eprintln!(
+        "{:>8}  {:>22}  {:>22}  {:>22}",
+        "loss", "best-effort", "reliable (NACK)", "fec (k=4)"
+    );
+    for loss in [0.001, 0.01, 0.05, 0.10, 0.20] {
+        let mut cells = Vec::new();
+        for stack in [
+            StackKind::BestEffort,
+            StackKind::Reliable,
+            StackKind::ErrorMasking { k: 4 },
+        ] {
+            let report = run(&loss_scenario(stack, loss, messages));
+            let ratio = 100.0 * report.total_app_deliveries() as f64 / expected as f64;
+            let sent = report.node(NodeId(0)).unwrap().sent_total();
+            cells.push(format!("{ratio:>9.1}% / {sent:>8}"));
+        }
+        eprintln!("{:>7.1}%  {}  {}  {}", loss * 100.0, cells[0], cells[1], cells[2]);
+    }
+    eprintln!();
+}
+
+fn bench_fec(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("loss-handling");
+    for (label, stack) in [
+        ("reliable", StackKind::Reliable),
+        ("fec", StackKind::ErrorMasking { k: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "10pct-loss"), &stack, |b, stack| {
+            b.iter(|| {
+                let report = run(&loss_scenario(stack.clone(), 0.10, MEASURED_MESSAGES));
+                report.total_app_deliveries()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fec
+}
+criterion_main!(benches);

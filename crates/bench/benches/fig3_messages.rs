@@ -1,0 +1,55 @@
+//! **Figure 3** — messages sent by the mobile node vs. number of devices,
+//! adapted (Mecho) vs. non-adapted best-effort multicast, plus the fixed
+//! relay's load (paper footnote 1, experiment E4).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_bench::{figure3_mobile_sent, figure3_scenario, run, MEASURED_MESSAGES, SERIES_MESSAGES};
+
+fn print_series() {
+    eprintln!();
+    eprintln!("=== Figure 3: messages sent by the mobile node ({SERIES_MESSAGES} chat messages) ===");
+    eprintln!(
+        "{:>8}  {:>15}  {:>15}  {:>15}",
+        "devices", "not optimized", "optimized", "fixed relay (opt)"
+    );
+    for devices in [2usize, 3, 4, 5, 6, 7, 8, 9] {
+        let baseline = figure3_mobile_sent(devices, false, SERIES_MESSAGES);
+        let optimized_report = run(&figure3_scenario(devices, true, SERIES_MESSAGES));
+        let optimized = optimized_report.measured_mobile_sent();
+        let relay = optimized_report.fixed_sent_total();
+        eprintln!("{devices:>8}  {baseline:>15}  {optimized:>15}  {relay:>15}");
+    }
+    eprintln!();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("figure3");
+    for devices in [3usize, 6, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("not-optimized", devices),
+            &devices,
+            |b, &devices| b.iter(|| figure3_mobile_sent(devices, false, MEASURED_MESSAGES)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized", devices),
+            &devices,
+            |b, &devices| b.iter(|| figure3_mobile_sent(devices, true, MEASURED_MESSAGES)),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! **Experiment E6** — epidemic multicast at scale: per-sender load and
+//! delivery coverage of point-to-point best-effort multicast vs. gossip on
+//! WAN groups of increasing size (paper Section 1 motivation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_appia::platform::NodeId;
+use morpheus_bench::{run, wan_scenario};
+use morpheus_core::StackKind;
+
+fn print_series() {
+    let messages = 100;
+    eprintln!();
+    eprintln!("=== Gossip vs point-to-point at scale ({messages} messages from node 0) ===");
+    eprintln!(
+        "{:>8}  {:>24}  {:>24}",
+        "nodes", "best-effort sender/cov", "gossip sender/cov"
+    );
+    for devices in [8usize, 16, 32, 64] {
+        let expected = messages * (devices as u64 - 1);
+        let mut cells = Vec::new();
+        for stack in [StackKind::BestEffort, StackKind::Gossip { fanout: 3, ttl: 4 }] {
+            let report = run(&wan_scenario(devices, stack, messages));
+            let sent = report.node(NodeId(0)).unwrap().sent_data;
+            let coverage = 100.0 * report.total_app_deliveries() as f64 / expected as f64;
+            cells.push(format!("{sent:>10} / {coverage:>6.1}%"));
+        }
+        eprintln!("{devices:>8}  {:>24}  {:>24}", cells[0], cells[1]);
+    }
+    eprintln!();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("gossip-scale");
+    for devices in [16usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("gossip", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    run(&wan_scenario(devices, StackKind::Gossip { fanout: 3, ttl: 4 }, 50))
+                        .total_app_deliveries()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("best-effort", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    run(&wan_scenario(devices, StackKind::BestEffort, 50)).total_app_deliveries()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gossip
+}
+criterion_main!(benches);

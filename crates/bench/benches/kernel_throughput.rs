@@ -1,0 +1,118 @@
+//! **Experiment E7** — kernel event-routing throughput: Appia-style stacks of
+//! increasing depth, measuring events routed per second and the effect of the
+//! per-type route cache (the "automatic optimisation of the flow of events").
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_appia::config::{ChannelConfig, LayerSpec};
+use morpheus_appia::event::{Event, EventSpec};
+use morpheus_appia::events::DataEvent;
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{Layer, LayerParams};
+use morpheus_appia::platform::{NodeId, TestPlatform};
+use morpheus_appia::session::Session;
+use morpheus_appia::{Kernel, Message};
+use morpheus_groupcomm::register_suite;
+
+/// A trivial pass-through micro-protocol used to pad the stack to the
+/// requested depth (each instance gets its own name so the composition stays
+/// valid).
+struct PassThroughLayer {
+    name: String,
+}
+
+struct PassThroughSession {
+    name: String,
+}
+
+impl Layer for PassThroughLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::All]
+    }
+
+    fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+        Box::new(PassThroughSession { name: self.name.clone() })
+    }
+}
+
+impl Session for PassThroughSession {
+    fn layer_name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        ctx.forward(event);
+    }
+}
+
+/// Builds a channel with `depth` pass-through layers between the best-effort
+/// multicast layer and the application interface.
+fn deep_stack(depth: usize) -> (Kernel, TestPlatform, morpheus_appia::ChannelId) {
+    let mut kernel = Kernel::new();
+    register_suite(&mut kernel);
+    for index in 0..depth {
+        kernel.layers_mut().register(PassThroughLayer { name: format!("relay{index}") });
+    }
+    let mut platform = TestPlatform::new(NodeId(1));
+    let mut config = ChannelConfig::new("bench")
+        .with_layer(LayerSpec::new("network"))
+        .with_layer(LayerSpec::new("beb").with_param("members", "1,2,3,4"));
+    for index in 0..depth {
+        config = config.with_layer(LayerSpec::new(format!("relay{index}")));
+    }
+    config = config.with_layer(LayerSpec::new("app"));
+    let id = kernel.create_channel(&config, &mut platform).unwrap();
+    (kernel, platform, id)
+}
+
+fn send_events(kernel: &mut Kernel, platform: &mut TestPlatform, id: morpheus_appia::ChannelId, count: usize) -> usize {
+    for _ in 0..count {
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..])));
+        kernel.dispatch_and_process(id, event, platform);
+    }
+    platform.take_sent().len()
+}
+
+fn print_series() {
+    eprintln!();
+    eprintln!("=== Kernel event-routing: packets produced for 10k sends per stack depth ===");
+    eprintln!("{:>18}  {:>12}", "pass-through layers", "packets");
+    for depth in [0usize, 2, 4, 8, 12] {
+        let (mut kernel, mut platform, id) = deep_stack(depth);
+        let packets = send_events(&mut kernel, &mut platform, id, 10_000);
+        eprintln!("{depth:>18}  {packets:>12}");
+    }
+    eprintln!();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("kernel-throughput");
+    for depth in [0usize, 4, 12] {
+        group.bench_with_input(BenchmarkId::new("stack-depth", depth), &depth, |b, &depth| {
+            let (mut kernel, mut platform, id) = deep_stack(depth);
+            b.iter(|| send_events(&mut kernel, &mut platform, id, 100));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernel
+}
+criterion_main!(benches);

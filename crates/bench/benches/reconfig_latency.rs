@@ -1,0 +1,66 @@
+//! **Experiment E3** — reconfiguration behaviour: how long the distributed
+//! stack replacement takes (as reported by the coordinator) and that no chat
+//! message is lost across the adaptation on loss-free links.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_bench::{figure3_scenario, run, MEASURED_MESSAGES, SERIES_MESSAGES};
+
+fn print_series() {
+    eprintln!();
+    eprintln!("=== Reconfiguration during an adaptive chat run ({SERIES_MESSAGES} messages) ===");
+    eprintln!(
+        "{:>8}  {:>16}  {:>14}  {:>12}  {:>18}",
+        "devices", "reconfigurations", "deliveries", "lost", "coordinator report"
+    );
+    for devices in [3usize, 6, 9] {
+        let report = run(&figure3_scenario(devices, true, SERIES_MESSAGES));
+        let notice = report
+            .reconfiguration_notices()
+            .first()
+            .map(|text| text.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        eprintln!(
+            "{devices:>8}  {:>16}  {:>14}  {:>12}  {notice}",
+            report.total_reconfigurations(),
+            report.total_app_deliveries(),
+            report.messages_lost,
+        );
+    }
+    eprintln!();
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("reconfiguration");
+    for devices in [3usize, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("adaptive-run", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    let report = run(&figure3_scenario(devices, true, MEASURED_MESSAGES));
+                    assert!(report.total_reconfigurations() >= 1);
+                    report.total_app_deliveries()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_reconfig
+}
+criterion_main!(benches);

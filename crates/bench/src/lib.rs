@@ -1,0 +1,81 @@
+//! Shared helpers for the Morpheus benchmark harness.
+//!
+//! Each Criterion bench regenerates one table or figure of the evaluation
+//! (see `EXPERIMENTS.md` at the workspace root): it first prints the
+//! reproduced data series to stderr, then measures the run time of a scaled
+//! configuration so regressions in the protocol stack show up in CI.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_core::StackKind;
+use morpheus_testbed::{Runner, RunReport, Scenario, TopologyChoice, Workload};
+
+/// Number of chat messages used when printing reproduced data series.
+pub const SERIES_MESSAGES: u64 = 1_000;
+
+/// Number of chat messages used inside Criterion measurement loops.
+pub const MEASURED_MESSAGES: u64 = 200;
+
+/// The paper's Figure 3 configuration at a reduced message count.
+pub fn figure3_scenario(devices: usize, optimized: bool, messages: u64) -> Scenario {
+    Scenario::figure3(devices, optimized, messages).with_seed(devices as u64)
+}
+
+/// Runs one Figure 3 configuration and returns the mobile node's total sends.
+pub fn figure3_mobile_sent(devices: usize, optimized: bool, messages: u64) -> u64 {
+    Runner::new().run(&figure3_scenario(devices, optimized, messages)).measured_mobile_sent()
+}
+
+/// An all-mobile ad-hoc scenario with a fixed stack under a given loss rate
+/// (experiment E5).
+pub fn loss_scenario(stack: StackKind, loss: f64, messages: u64) -> Scenario {
+    let mut scenario = Scenario::new(format!("loss{loss}-{}", stack.name()), 0, 4)
+        .with_topology(TopologyChoice::AdHoc)
+        .with_wireless_loss(loss)
+        .with_initial_stack(stack)
+        .with_seed((loss * 10_000.0) as u64 + 3)
+        .non_adaptive();
+    scenario.workload = Workload::paper_chat(vec![NodeId(0)], messages);
+    scenario.workload.warmup_ms = 1000;
+    scenario.cooldown_ms = 3000;
+    scenario
+}
+
+/// A WAN scenario with a fixed stack (experiment E6).
+pub fn wan_scenario(devices: usize, stack: StackKind, messages: u64) -> Scenario {
+    let mut scenario = Scenario::new(format!("{devices}n-{}", stack.name()), devices, 0)
+        .with_topology(TopologyChoice::Wan)
+        .with_initial_stack(stack)
+        .with_seed(devices as u64)
+        .non_adaptive();
+    scenario.workload = Workload::paper_chat(vec![NodeId(0)], messages);
+    scenario.workload.warmup_ms = 1000;
+    scenario.workload.interval_ms = 200;
+    scenario.cooldown_ms = 5000;
+    scenario.hb_interval_ms = 5000;
+    scenario.suspect_timeout_ms = 60_000;
+    scenario
+}
+
+/// Runs a scenario and returns its report (convenience wrapper).
+pub fn run(scenario: &Scenario) -> RunReport {
+    Runner::new().run(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_helpers_produce_consistent_shapes() {
+        let scenario = figure3_scenario(5, true, 10);
+        assert_eq!(scenario.device_count(), 5);
+        assert!(scenario.adaptive);
+
+        let loss = loss_scenario(StackKind::Reliable, 0.1, 10);
+        assert_eq!(loss.device_count(), 4);
+        assert!(!loss.adaptive);
+
+        let wan = wan_scenario(8, StackKind::Gossip { fanout: 3, ttl: 4 }, 10);
+        assert_eq!(wan.device_count(), 8);
+    }
+}

@@ -1,0 +1,178 @@
+//! A minimal chat client built over the Morpheus delivery interface.
+
+use morpheus_appia::platform::{AppDelivery, DeliveryKind, NodeId};
+
+use crate::message::ChatMessage;
+
+/// A chat participant: composes outgoing messages and decodes deliveries.
+#[derive(Debug, Clone)]
+pub struct ChatApp {
+    node: NodeId,
+    name: String,
+    room: String,
+    next_seq: u64,
+    sent: u64,
+    received: Vec<ChatMessage>,
+    decode_failures: u64,
+    view_sizes: Vec<usize>,
+    reconfigurations_seen: Vec<String>,
+}
+
+impl ChatApp {
+    /// Creates a chat participant in one room.
+    pub fn new(node: NodeId, name: impl Into<String>, room: impl Into<String>) -> Self {
+        Self {
+            node,
+            name: name.into(),
+            room: room.into(),
+            next_seq: 0,
+            sent: 0,
+            received: Vec::new(),
+            decode_failures: 0,
+            view_sizes: Vec::new(),
+            reconfigurations_seen: Vec::new(),
+        }
+    }
+
+    /// The node this participant runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Composes the next outgoing message and returns its wire payload.
+    pub fn compose(&mut self, text: impl Into<String>) -> bytes::Bytes {
+        self.next_seq += 1;
+        self.sent += 1;
+        ChatMessage::new(&self.room, &self.name, self.next_seq, text).to_payload()
+    }
+
+    /// Processes one delivery from the middleware; returns the decoded chat
+    /// message when the delivery carried application data.
+    pub fn on_delivery(&mut self, delivery: &AppDelivery) -> Option<ChatMessage> {
+        match &delivery.kind {
+            DeliveryKind::Data { payload, .. } => match ChatMessage::from_payload(payload) {
+                Ok(message) => {
+                    self.received.push(message.clone());
+                    Some(message)
+                }
+                Err(_) => {
+                    self.decode_failures += 1;
+                    None
+                }
+            },
+            DeliveryKind::ViewChange { members, .. } => {
+                self.view_sizes.push(members.len());
+                None
+            }
+            DeliveryKind::Reconfigured { stack } => {
+                self.reconfigurations_seen.push(stack.clone());
+                None
+            }
+            DeliveryKind::Notification(_) => None,
+        }
+    }
+
+    /// Messages sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages received so far.
+    pub fn received(&self) -> &[ChatMessage] {
+        &self.received
+    }
+
+    /// Number of deliveries whose payload was not a valid chat message.
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
+    }
+
+    /// Stack reconfigurations the middleware reported to this participant.
+    pub fn reconfigurations_seen(&self) -> &[String] {
+        &self.reconfigurations_seen
+    }
+
+    /// Group sizes reported by successive view changes.
+    pub fn view_sizes(&self) -> &[usize] {
+        &self.view_sizes
+    }
+
+    /// Whether messages from a given sender were received in sequence order
+    /// (per-sender FIFO as observed by the application).
+    pub fn received_in_order_from(&self, sender: &str) -> bool {
+        let mut last = 0;
+        for message in self.received.iter().filter(|message| message.sender == sender) {
+            if message.seq <= last {
+                return false;
+            }
+            last = message.seq;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bytes::Bytes;
+
+    use super::*;
+
+    fn data_delivery(payload: Bytes) -> AppDelivery {
+        AppDelivery {
+            channel: "data".into(),
+            kind: DeliveryKind::Data { from: NodeId(9), payload },
+        }
+    }
+
+    #[test]
+    fn compose_and_decode_roundtrip() {
+        let mut alice = ChatApp::new(NodeId(1), "alice", "icdcs");
+        let mut bob = ChatApp::new(NodeId(2), "bob", "icdcs");
+
+        let payload = alice.compose("hello there");
+        let decoded = bob.on_delivery(&data_delivery(payload)).unwrap();
+        assert_eq!(decoded.sender, "alice");
+        assert_eq!(decoded.text, "hello there");
+        assert_eq!(alice.sent_count(), 1);
+        assert_eq!(bob.received().len(), 1);
+        assert_eq!(bob.decode_failures(), 0);
+    }
+
+    #[test]
+    fn malformed_payloads_are_counted_not_propagated() {
+        let mut app = ChatApp::new(NodeId(1), "x", "r");
+        assert!(app.on_delivery(&data_delivery(Bytes::from_static(b"junk"))).is_none());
+        assert_eq!(app.decode_failures(), 1);
+    }
+
+    #[test]
+    fn control_deliveries_update_bookkeeping() {
+        let mut app = ChatApp::new(NodeId(1), "x", "r");
+        app.on_delivery(&AppDelivery {
+            channel: "data".into(),
+            kind: DeliveryKind::ViewChange { view_id: 1, members: vec![NodeId(1), NodeId(2)] },
+        });
+        app.on_delivery(&AppDelivery {
+            channel: "data".into(),
+            kind: DeliveryKind::Reconfigured { stack: "hybrid-mecho-relay0".into() },
+        });
+        assert_eq!(app.view_sizes(), &[2]);
+        assert_eq!(app.reconfigurations_seen(), &["hybrid-mecho-relay0".to_string()]);
+    }
+
+    #[test]
+    fn per_sender_order_is_checked() {
+        let mut alice = ChatApp::new(NodeId(1), "alice", "r");
+        let mut receiver = ChatApp::new(NodeId(2), "bob", "r");
+        let first = alice.compose("1");
+        let second = alice.compose("2");
+        receiver.on_delivery(&data_delivery(first.clone()));
+        receiver.on_delivery(&data_delivery(second.clone()));
+        assert!(receiver.received_in_order_from("alice"));
+
+        let mut out_of_order = ChatApp::new(NodeId(3), "eve", "r");
+        out_of_order.on_delivery(&data_delivery(second));
+        out_of_order.on_delivery(&data_delivery(first));
+        assert!(!out_of_order.received_in_order_from("alice"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # morpheus-chat
+//!
+//! The multi-user chat application used to validate the Morpheus prototype,
+//! plus its workload generator.
+//!
+//! In the paper, "each group of users, defined from their interests, is
+//! supported by a different multicast group"; the application exchanges
+//! 40,000 messages at 10 msg/s over the group communication service, and the
+//! evaluation counts the messages transmitted by the mobile device with and
+//! without the Mecho adaptation.
+//!
+//! * [`message::ChatMessage`] — the application-level message format;
+//! * [`rooms::RoomDirectory`] — interest groups and their membership;
+//! * [`app::ChatApp`] — a small client that composes outgoing messages and
+//!   decodes deliveries;
+//! * [`workload::ChatWorkload`] — deterministic chat traffic (senders, rate,
+//!   text) matching the paper's parameters, and the bridge to a testbed
+//!   [`morpheus_testbed::Scenario`].
+
+pub mod app;
+pub mod message;
+pub mod rooms;
+pub mod workload;
+
+pub use app::ChatApp;
+pub use message::ChatMessage;
+pub use rooms::RoomDirectory;
+pub use workload::ChatWorkload;

@@ -1,0 +1,105 @@
+//! Interest groups (chat rooms) and their membership.
+
+use std::collections::BTreeMap;
+
+use morpheus_appia::platform::NodeId;
+
+/// A directory of chat rooms. Each room is backed by one multicast group, as
+/// in the paper ("each group of users, defined from their interests, is
+/// supported by a different multicast group").
+#[derive(Debug, Clone, Default)]
+pub struct RoomDirectory {
+    rooms: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl RoomDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or replaces) a room with the given members.
+    pub fn create_room(&mut self, room: impl Into<String>, members: Vec<NodeId>) {
+        let mut members = members;
+        members.sort();
+        members.dedup();
+        self.rooms.insert(room.into(), members);
+    }
+
+    /// Adds a member to a room, creating the room if needed.
+    pub fn join(&mut self, room: &str, node: NodeId) {
+        let members = self.rooms.entry(room.to_string()).or_default();
+        if !members.contains(&node) {
+            members.push(node);
+            members.sort();
+        }
+    }
+
+    /// Removes a member from a room.
+    pub fn leave(&mut self, room: &str, node: NodeId) {
+        if let Some(members) = self.rooms.get_mut(room) {
+            members.retain(|member| *member != node);
+        }
+    }
+
+    /// The members of a room.
+    pub fn members(&self, room: &str) -> &[NodeId] {
+        self.rooms.get(room).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rooms a node participates in.
+    pub fn rooms_of(&self, node: NodeId) -> Vec<&str> {
+        self.rooms
+            .iter()
+            .filter(|(_, members)| members.contains(&node))
+            .map(|(room, _)| room.as_str())
+            .collect()
+    }
+
+    /// All room names.
+    pub fn room_names(&self) -> Vec<&str> {
+        self.rooms.keys().map(String::as_str).collect()
+    }
+
+    /// Number of rooms.
+    pub fn len(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// Whether the directory has no rooms.
+    pub fn is_empty(&self) -> bool {
+        self.rooms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rooms_track_membership() {
+        let mut directory = RoomDirectory::new();
+        directory.create_room("games", vec![NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(directory.members("games"), &[NodeId(0), NodeId(2)]);
+
+        directory.join("games", NodeId(1));
+        directory.join("news", NodeId(1));
+        assert_eq!(directory.members("games"), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(directory.rooms_of(NodeId(1)), vec!["games", "news"]);
+
+        directory.leave("games", NodeId(0));
+        assert_eq!(directory.members("games"), &[NodeId(1), NodeId(2)]);
+        assert_eq!(directory.len(), 2);
+        assert!(!directory.is_empty());
+        assert!(directory.members("missing").is_empty());
+        assert_eq!(directory.room_names(), vec!["games", "news"]);
+    }
+
+    #[test]
+    fn duplicate_joins_are_idempotent() {
+        let mut directory = RoomDirectory::new();
+        directory.join("r", NodeId(5));
+        directory.join("r", NodeId(5));
+        assert_eq!(directory.members("r"), &[NodeId(5)]);
+    }
+}

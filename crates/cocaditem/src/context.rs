@@ -1,0 +1,289 @@
+//! Context attributes and snapshots.
+
+use std::collections::BTreeMap;
+
+use morpheus_appia::platform::{DeviceClass, NodeId, NodeProfile};
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+use serde::{Deserialize, Serialize};
+
+/// The context attributes the prototype captures.
+///
+/// These mirror the paper's notion of *system context*: "information that can
+/// be directly inferred from network interface cards or operating system
+/// calls", such as available bandwidth or error rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ContextKey {
+    /// The device class (fixed PC, laptop, PDA, phone).
+    DeviceClass,
+    /// Remaining battery fraction in `[0, 1]`.
+    BatteryLevel,
+    /// Link quality in `[0, 1]`.
+    LinkQuality,
+    /// Nominal bandwidth of the local link in kbit/s.
+    BandwidthKbps,
+    /// Observed message loss rate in `[0, 1]`.
+    ErrorRate,
+    /// Whether native multicast is available on the local segment.
+    NativeMulticast,
+}
+
+impl ContextKey {
+    /// Every key, in a stable order.
+    pub const ALL: [ContextKey; 6] = [
+        ContextKey::DeviceClass,
+        ContextKey::BatteryLevel,
+        ContextKey::LinkQuality,
+        ContextKey::BandwidthKbps,
+        ContextKey::ErrorRate,
+        ContextKey::NativeMulticast,
+    ];
+
+    /// The pub/sub topic name the key is published under.
+    pub fn topic_name(self) -> &'static str {
+        match self {
+            ContextKey::DeviceClass => "context.device",
+            ContextKey::BatteryLevel => "context.battery",
+            ContextKey::LinkQuality => "context.link.quality",
+            ContextKey::BandwidthKbps => "context.link.bandwidth",
+            ContextKey::ErrorRate => "context.link.error-rate",
+            ContextKey::NativeMulticast => "context.link.native-multicast",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ContextKey::DeviceClass => 0,
+            ContextKey::BatteryLevel => 1,
+            ContextKey::LinkQuality => 2,
+            ContextKey::BandwidthKbps => 3,
+            ContextKey::ErrorRate => 4,
+            ContextKey::NativeMulticast => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => ContextKey::DeviceClass,
+            1 => ContextKey::BatteryLevel,
+            2 => ContextKey::LinkQuality,
+            3 => ContextKey::BandwidthKbps,
+            4 => ContextKey::ErrorRate,
+            5 => ContextKey::NativeMulticast,
+            other => return Err(WireError::InvalidTag(other)),
+        })
+    }
+}
+
+impl Wire for ContextKey {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(self.tag());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        ContextKey::from_tag(r.get_u8()?)
+    }
+}
+
+/// The value of a context attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ContextValue {
+    /// A numeric value.
+    Number(f64),
+    /// A boolean flag.
+    Flag(bool),
+    /// A device class.
+    Device(DeviceClass),
+}
+
+impl ContextValue {
+    /// The numeric value, if the attribute is numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ContextValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if the attribute is a flag.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            ContextValue::Flag(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The device class, if the attribute is one.
+    pub fn as_device(&self) -> Option<DeviceClass> {
+        match self {
+            ContextValue::Device(class) => Some(*class),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for ContextValue {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ContextValue::Number(value) => {
+                w.put_u8(0);
+                w.put_f64(*value);
+            }
+            ContextValue::Flag(value) => {
+                w.put_u8(1);
+                w.put_bool(*value);
+            }
+            ContextValue::Device(class) => {
+                w.put_u8(2);
+                class.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => ContextValue::Number(r.get_f64()?),
+            1 => ContextValue::Flag(r.get_bool()?),
+            2 => ContextValue::Device(DeviceClass::decode(r)?),
+            other => return Err(WireError::InvalidTag(other)),
+        })
+    }
+}
+
+/// The context of one node at one point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    /// The node the snapshot describes.
+    pub node: NodeId,
+    /// Local time at which it was captured, in milliseconds.
+    pub captured_at_ms: u64,
+    /// The captured attributes.
+    pub values: BTreeMap<ContextKey, ContextValue>,
+}
+
+impl ContextSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new(node: NodeId, captured_at_ms: u64) -> Self {
+        Self { node, captured_at_ms, values: BTreeMap::new() }
+    }
+
+    /// Builds a snapshot directly from a node profile (what the retrievers
+    /// produce collectively).
+    pub fn from_profile(profile: &NodeProfile, captured_at_ms: u64) -> Self {
+        let mut snapshot = Self::new(profile.node_id, captured_at_ms);
+        snapshot.set(ContextKey::DeviceClass, ContextValue::Device(profile.device_class));
+        snapshot.set(ContextKey::BatteryLevel, ContextValue::Number(profile.battery_level));
+        snapshot.set(ContextKey::LinkQuality, ContextValue::Number(profile.link_quality));
+        snapshot
+            .set(ContextKey::BandwidthKbps, ContextValue::Number(profile.bandwidth_kbps as f64));
+        snapshot.set(ContextKey::ErrorRate, ContextValue::Number(profile.error_rate));
+        snapshot
+            .set(ContextKey::NativeMulticast, ContextValue::Flag(profile.has_native_multicast));
+        snapshot
+    }
+
+    /// Sets one attribute.
+    pub fn set(&mut self, key: ContextKey, value: ContextValue) {
+        self.values.insert(key, value);
+    }
+
+    /// Reads one attribute.
+    pub fn get(&self, key: ContextKey) -> Option<&ContextValue> {
+        self.values.get(&key)
+    }
+
+    /// The device class, if captured.
+    pub fn device_class(&self) -> Option<DeviceClass> {
+        self.get(ContextKey::DeviceClass).and_then(ContextValue::as_device)
+    }
+
+    /// The battery level, if captured.
+    pub fn battery_level(&self) -> Option<f64> {
+        self.get(ContextKey::BatteryLevel).and_then(ContextValue::as_number)
+    }
+
+    /// The observed error rate, if captured.
+    pub fn error_rate(&self) -> Option<f64> {
+        self.get(ContextKey::ErrorRate).and_then(ContextValue::as_number)
+    }
+
+    /// Whether the node is a mobile device, if the class was captured.
+    pub fn is_mobile(&self) -> Option<bool> {
+        self.device_class().map(DeviceClass::is_mobile)
+    }
+}
+
+impl Wire for ContextSnapshot {
+    fn encode(&self, w: &mut WireWriter) {
+        self.node.encode(w);
+        w.put_u64(self.captured_at_ms);
+        w.put_u32(self.values.len() as u32);
+        for (key, value) in &self.values {
+            key.encode(w);
+            value.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let node = NodeId::decode(r)?;
+        let captured_at_ms = r.get_u64()?;
+        let count = r.get_u32()? as usize;
+        let mut values = BTreeMap::new();
+        for _ in 0..count {
+            let key = ContextKey::decode(r)?;
+            let value = ContextValue::decode(r)?;
+            values.insert(key, value);
+        }
+        Ok(Self { node, captured_at_ms, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_from_profile_captures_every_key() {
+        let profile = NodeProfile::mobile_pda(NodeId(3));
+        let snapshot = ContextSnapshot::from_profile(&profile, 42);
+        assert_eq!(snapshot.node, NodeId(3));
+        assert_eq!(snapshot.captured_at_ms, 42);
+        for key in ContextKey::ALL {
+            assert!(snapshot.get(key).is_some(), "missing {key:?}");
+        }
+        assert_eq!(snapshot.device_class(), Some(DeviceClass::MobilePda));
+        assert_eq!(snapshot.is_mobile(), Some(true));
+        assert_eq!(snapshot.battery_level(), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let profile = NodeProfile::fixed_pc(NodeId(1));
+        let snapshot = ContextSnapshot::from_profile(&profile, 100);
+        let decoded = ContextSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn value_accessors_are_type_checked() {
+        assert_eq!(ContextValue::Number(0.5).as_number(), Some(0.5));
+        assert_eq!(ContextValue::Number(0.5).as_flag(), None);
+        assert_eq!(ContextValue::Flag(true).as_flag(), Some(true));
+        assert_eq!(
+            ContextValue::Device(DeviceClass::FixedPc).as_device(),
+            Some(DeviceClass::FixedPc)
+        );
+        assert_eq!(ContextValue::Device(DeviceClass::FixedPc).as_number(), None);
+    }
+
+    #[test]
+    fn keys_have_distinct_topics_and_tags() {
+        let mut topics: Vec<&str> = ContextKey::ALL.iter().map(|key| key.topic_name()).collect();
+        topics.sort_unstable();
+        topics.dedup();
+        assert_eq!(topics.len(), ContextKey::ALL.len());
+        for key in ContextKey::ALL {
+            let decoded = ContextKey::from_bytes(&key.to_bytes()).unwrap();
+            assert_eq!(decoded, key);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # morpheus-cocaditem
+//!
+//! The **Co**ntext **Ca**pture and **Di**ssemination Sys**tem** (Cocaditem)
+//! of the Morpheus framework.
+//!
+//! Cocaditem is a distributed component running on every node. It is made of:
+//!
+//! * a set of **context retrievers** ([`retriever`]) that sample the locally
+//!   observable system context (device class, battery, link quality, error
+//!   rate, bandwidth — the paper's "system context");
+//! * a **topic-based publish/subscribe** facade ([`pubsub`]) through which
+//!   interested components (notably the Core control subsystem) subscribe to
+//!   context topics;
+//! * a **dissemination layer** ([`dissemination`]) that periodically
+//!   multicasts the locally collected context on the group communication
+//!   control channel and maintains a store of every participant's last
+//!   published snapshot ([`store`]).
+
+pub mod context;
+pub mod dissemination;
+pub mod pubsub;
+pub mod retriever;
+pub mod store;
+
+pub use context::{ContextKey, ContextSnapshot, ContextValue};
+pub use dissemination::{register_cocaditem, ContextPublish, ContextUpdated, COCADITEM_LAYER};
+pub use pubsub::{Broker, Subscription, Topic};
+pub use retriever::{default_retrievers, ContextRetriever};
+pub use store::ContextStore;

@@ -1,0 +1,178 @@
+//! A topic-based publish/subscribe broker.
+//!
+//! The prototype's Cocaditem exposes context information through a
+//! topic-based publish/subscribe interface; the control component subscribes
+//! to the topics it needs. This broker is node-local: remote dissemination is
+//! performed by the [`crate::dissemination`] layer, which republishes
+//! received snapshots into the local broker.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::context::ContextSnapshot;
+
+/// A pub/sub topic. Topic names are dot-separated (e.g. `context.battery`);
+/// a subscription pattern may end in `*` to match a whole prefix
+/// (`context.link.*`) or be the lone `*` to match everything.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topic(pub String);
+
+impl Topic {
+    /// Creates a topic from a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topic(name.into())
+    }
+
+    /// Whether a concrete topic name matches this (possibly wildcard) pattern.
+    pub fn matches(&self, concrete: &str) -> bool {
+        if self.0 == "*" {
+            return true;
+        }
+        if let Some(prefix) = self.0.strip_suffix(".*") {
+            return concrete == prefix || concrete.starts_with(&format!("{prefix}."));
+        }
+        self.0 == concrete
+    }
+}
+
+/// Handle identifying one subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subscription(u64);
+
+/// A published item: the topic it was published under plus the snapshot it
+/// came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Publication {
+    /// Concrete topic name.
+    pub topic: String,
+    /// The snapshot carrying the value.
+    pub snapshot: ContextSnapshot,
+}
+
+/// A node-local topic-based publish/subscribe broker.
+#[derive(Debug, Default)]
+pub struct Broker {
+    next_id: u64,
+    patterns: HashMap<Subscription, Vec<Topic>>,
+    queues: HashMap<Subscription, VecDeque<Publication>>,
+    published: u64,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to a set of topic patterns.
+    pub fn subscribe(&mut self, patterns: Vec<Topic>) -> Subscription {
+        self.next_id += 1;
+        let id = Subscription(self.next_id);
+        self.patterns.insert(id, patterns);
+        self.queues.insert(id, VecDeque::new());
+        id
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, subscription: Subscription) {
+        self.patterns.remove(&subscription);
+        self.queues.remove(&subscription);
+    }
+
+    /// Publishes a snapshot under a concrete topic, fanning it out to every
+    /// matching subscription queue.
+    pub fn publish(&mut self, topic: &str, snapshot: &ContextSnapshot) {
+        self.published += 1;
+        for (subscription, patterns) in &self.patterns {
+            if patterns.iter().any(|pattern| pattern.matches(topic)) {
+                if let Some(queue) = self.queues.get_mut(subscription) {
+                    queue.push_back(Publication {
+                        topic: topic.to_string(),
+                        snapshot: snapshot.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Publishes every attribute of a snapshot under its own topic.
+    pub fn publish_snapshot(&mut self, snapshot: &ContextSnapshot) {
+        let keys: Vec<_> = snapshot.values.keys().copied().collect();
+        for key in keys {
+            self.publish(key.topic_name(), snapshot);
+        }
+    }
+
+    /// Drains the pending publications of a subscription.
+    pub fn poll(&mut self, subscription: Subscription) -> Vec<Publication> {
+        self.queues
+            .get_mut(&subscription)
+            .map(|queue| queue.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of publish operations performed.
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::{NodeId, NodeProfile};
+
+    use super::*;
+
+    fn snapshot() -> ContextSnapshot {
+        ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(1)), 5)
+    }
+
+    #[test]
+    fn exact_topic_matching() {
+        let topic = Topic::new("context.battery");
+        assert!(topic.matches("context.battery"));
+        assert!(!topic.matches("context.link.quality"));
+    }
+
+    #[test]
+    fn wildcard_topic_matching() {
+        let link = Topic::new("context.link.*");
+        assert!(link.matches("context.link.quality"));
+        assert!(link.matches("context.link.error-rate"));
+        assert!(!link.matches("context.battery"));
+        assert!(Topic::new("*").matches("anything.at.all"));
+    }
+
+    #[test]
+    fn subscribers_receive_matching_publications_only() {
+        let mut broker = Broker::new();
+        let battery = broker.subscribe(vec![Topic::new("context.battery")]);
+        let everything = broker.subscribe(vec![Topic::new("*")]);
+
+        broker.publish("context.battery", &snapshot());
+        broker.publish("context.link.quality", &snapshot());
+
+        assert_eq!(broker.poll(battery).len(), 1);
+        assert_eq!(broker.poll(everything).len(), 2);
+        // Queues drain on poll.
+        assert!(broker.poll(battery).is_empty());
+    }
+
+    #[test]
+    fn publish_snapshot_fans_out_per_attribute() {
+        let mut broker = Broker::new();
+        let all = broker.subscribe(vec![Topic::new("context.*")]);
+        broker.publish_snapshot(&snapshot());
+        let publications = broker.poll(all);
+        assert_eq!(publications.len(), crate::context::ContextKey::ALL.len());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut broker = Broker::new();
+        let subscription = broker.subscribe(vec![Topic::new("*")]);
+        broker.unsubscribe(subscription);
+        broker.publish("context.battery", &snapshot());
+        assert!(broker.poll(subscription).is_empty());
+        assert_eq!(broker.published_count(), 1);
+    }
+}

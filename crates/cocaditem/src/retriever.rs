@@ -1,0 +1,127 @@
+//! Context retrievers: sampling the locally observable system context.
+
+use morpheus_appia::platform::NodeProfile;
+
+use crate::context::{ContextKey, ContextValue};
+
+/// A source of one or more context attributes.
+///
+/// Retrievers are intentionally simple: they read from the node profile the
+/// platform exposes (which, in the simulated testbed, reflects the simulated
+/// battery, link and topology state). A production deployment would implement
+/// retrievers over `/sys`, `ioctl`s or OS APIs, as the paper suggests.
+pub trait ContextRetriever {
+    /// A short name identifying the retriever.
+    fn name(&self) -> &'static str;
+
+    /// The keys this retriever produces.
+    fn keys(&self) -> Vec<ContextKey>;
+
+    /// Samples the attributes from the current node profile.
+    fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)>;
+}
+
+/// Retrieves the device class.
+pub struct DeviceRetriever;
+
+impl ContextRetriever for DeviceRetriever {
+    fn name(&self) -> &'static str {
+        "device"
+    }
+
+    fn keys(&self) -> Vec<ContextKey> {
+        vec![ContextKey::DeviceClass]
+    }
+
+    fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
+        vec![(ContextKey::DeviceClass, ContextValue::Device(profile.device_class))]
+    }
+}
+
+/// Retrieves the battery level.
+pub struct BatteryRetriever;
+
+impl ContextRetriever for BatteryRetriever {
+    fn name(&self) -> &'static str {
+        "battery"
+    }
+
+    fn keys(&self) -> Vec<ContextKey> {
+        vec![ContextKey::BatteryLevel]
+    }
+
+    fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
+        vec![(ContextKey::BatteryLevel, ContextValue::Number(profile.battery_level))]
+    }
+}
+
+/// Retrieves link-related attributes: quality, bandwidth, error rate and
+/// native multicast availability.
+pub struct LinkRetriever;
+
+impl ContextRetriever for LinkRetriever {
+    fn name(&self) -> &'static str {
+        "link"
+    }
+
+    fn keys(&self) -> Vec<ContextKey> {
+        vec![
+            ContextKey::LinkQuality,
+            ContextKey::BandwidthKbps,
+            ContextKey::ErrorRate,
+            ContextKey::NativeMulticast,
+        ]
+    }
+
+    fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
+        vec![
+            (ContextKey::LinkQuality, ContextValue::Number(profile.link_quality)),
+            (ContextKey::BandwidthKbps, ContextValue::Number(profile.bandwidth_kbps as f64)),
+            (ContextKey::ErrorRate, ContextValue::Number(profile.error_rate)),
+            (ContextKey::NativeMulticast, ContextValue::Flag(profile.has_native_multicast)),
+        ]
+    }
+}
+
+/// The default retriever set used by the prototype.
+pub fn default_retrievers() -> Vec<Box<dyn ContextRetriever>> {
+    vec![Box::new(DeviceRetriever), Box::new(BatteryRetriever), Box::new(LinkRetriever)]
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::{DeviceClass, NodeId};
+
+    use super::*;
+    use crate::context::ContextSnapshot;
+
+    #[test]
+    fn default_retrievers_cover_every_key() {
+        let profile = NodeProfile::mobile_pda(NodeId(2));
+        let mut snapshot = ContextSnapshot::new(NodeId(2), 0);
+        for retriever in default_retrievers() {
+            for (key, value) in retriever.retrieve(&profile) {
+                snapshot.set(key, value);
+            }
+        }
+        for key in ContextKey::ALL {
+            assert!(snapshot.get(key).is_some(), "retrievers missed {key:?}");
+        }
+    }
+
+    #[test]
+    fn retrievers_report_their_keys() {
+        assert_eq!(DeviceRetriever.keys(), vec![ContextKey::DeviceClass]);
+        assert_eq!(BatteryRetriever.keys(), vec![ContextKey::BatteryLevel]);
+        assert_eq!(LinkRetriever.keys().len(), 4);
+        assert_eq!(DeviceRetriever.name(), "device");
+    }
+
+    #[test]
+    fn device_retriever_reflects_the_profile() {
+        let profile = NodeProfile::fixed_pc(NodeId(1));
+        let values = DeviceRetriever.retrieve(&profile);
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[0].1.as_device(), Some(DeviceClass::FixedPc));
+    }
+}

@@ -1,0 +1,433 @@
+//! The Core control layer: coordinator-driven adaptation.
+//!
+//! The layer sits on the control channel, above the Cocaditem dissemination
+//! layer. Every node maintains the distributed context it learns from
+//! [`ContextUpdated`] events; the coordinator (lowest member id, exactly the
+//! deterministic election the paper describes) additionally evaluates the
+//! adaptation policy whenever the context changes. When the policy prefers a
+//! different stack configuration the coordinator:
+//!
+//! 1. ships the declarative channel description to every participant in a
+//!    [`ReconfigCommand`] control message (and asks its own local module to
+//!    deploy it);
+//! 2. collects [`ReconfigAck`]s and, once every member has redeployed,
+//!    reports the reconfiguration latency to the application.
+//!
+//! The actual deployment — blocking the data channel, replacing the stack,
+//! resuming the flow — is performed by the local module
+//! ([`crate::node::MorpheusNode`]), because a session cannot mutate the
+//! kernel that is executing it; the layer only raises a
+//! [`morpheus_appia::platform::ReconfigRequest`] through the platform.
+
+use std::collections::BTreeSet;
+
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::ChannelInit;
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::{DeliveryKind, NodeId, ReconfigRequest};
+use morpheus_appia::sendable_event;
+use morpheus_appia::session::Session;
+use morpheus_appia::Kernel;
+use morpheus_cocaditem::dissemination::ContextUpdated;
+use morpheus_cocaditem::ContextStore;
+
+use crate::policy::{AdaptationPolicy, GlobalContext};
+use crate::rules::DefaultPolicy;
+use crate::stack_catalog::StackCatalog;
+
+/// Registered name of the Core control layer.
+pub const CORE_LAYER: &str = "core";
+
+sendable_event! {
+    /// Coordinator → members: deploy the carried stack configuration
+    /// (message headers: stack name, then the channel description text).
+    pub struct ReconfigCommand, class: Control
+}
+
+sendable_event! {
+    /// Member → coordinator: the carried stack configuration is deployed
+    /// (message header: stack name).
+    pub struct ReconfigAck, class: Control
+}
+
+/// Registers the Core control layer and its event types with a kernel.
+pub fn register_core(kernel: &mut Kernel) {
+    kernel.layers_mut().register(CoreLayer);
+    ReconfigCommand::register(kernel.events_mut());
+    ReconfigAck::register(kernel.events_mut());
+}
+
+/// The Core control layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated control-group membership;
+/// * `data_channel` — name of the data channel to adapt (default `data`);
+/// * `adaptive` — when `false` the layer only observes and never reconfigures
+///   (the paper's non-adapted baseline);
+/// * `initial_stack` — name of the stack deployed at start-up
+///   (default `best-effort`);
+/// * plus the [`DefaultPolicy`] thresholds (`large_group_threshold`,
+///   `fec_error_threshold`, `retransmit_error_threshold`, `fec_k`,
+///   `gossip_fanout`, `gossip_ttl`).
+pub struct CoreLayer;
+
+impl Layer for CoreLayer {
+    fn name(&self) -> &str {
+        CORE_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![
+            EventSpec::of::<ContextUpdated>(),
+            EventSpec::of::<ReconfigCommand>(),
+            EventSpec::of::<ReconfigAck>(),
+            EventSpec::of::<ChannelInit>(),
+        ]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["ReconfigCommand", "ReconfigAck"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let members = param_node_list(params, "members");
+        let data_channel =
+            params.get("data_channel").cloned().unwrap_or_else(|| "data".to_string());
+        let hb = param_or(params, "hb_interval_ms", 1000u64);
+        let suspect = param_or(params, "suspect_timeout_ms", 5000u64);
+        Box::new(CoreSession {
+            catalog: StackCatalog::new(&data_channel, members.clone())
+                .with_failure_detection(hb, suspect),
+            members,
+            data_channel,
+            adaptive: param_or(params, "adaptive", true),
+            policy: DefaultPolicy::from_params(params),
+            store: ContextStore::new(),
+            current_stack: params
+                .get("initial_stack")
+                .cloned()
+                .unwrap_or_else(|| "best-effort".to_string()),
+            pending: None,
+            acks: BTreeSet::new(),
+            reconfigurations_started: 0,
+            reconfigurations_completed: 0,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingReconfiguration {
+    stack_name: String,
+    started_at_ms: u64,
+}
+
+/// Session state of the Core control layer.
+#[derive(Debug)]
+pub struct CoreSession {
+    members: Vec<NodeId>,
+    data_channel: String,
+    adaptive: bool,
+    policy: DefaultPolicy,
+    catalog: StackCatalog,
+    store: ContextStore,
+    current_stack: String,
+    pending: Option<PendingReconfiguration>,
+    acks: BTreeSet<NodeId>,
+    reconfigurations_started: u64,
+    reconfigurations_completed: u64,
+}
+
+impl CoreSession {
+    fn coordinator(&self) -> Option<NodeId> {
+        self.members.iter().copied().min()
+    }
+
+    fn evaluate(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if !self.adaptive || self.coordinator() != Some(local) || self.pending.is_some() {
+            return;
+        }
+        let context = GlobalContext {
+            local,
+            members: self.members.clone(),
+            store: self.store.clone(),
+            current_stack: self.current_stack.clone(),
+        };
+        let Some(kind) = self.policy.evaluate(&context) else {
+            return;
+        };
+        let desired = kind.name();
+        if desired == self.current_stack {
+            return;
+        }
+
+        // Initiate the reconfiguration: ship the declarative description to
+        // every other participant and ask the local module to deploy it too.
+        let config = self.catalog.config_for(&kind);
+        let description = config.to_xml();
+        self.reconfigurations_started += 1;
+        self.pending = Some(PendingReconfiguration {
+            stack_name: desired.clone(),
+            started_at_ms: ctx.now_ms(),
+        });
+        self.acks.clear();
+        self.acks.insert(local);
+        self.current_stack = desired.clone();
+
+        let others: Vec<NodeId> =
+            self.members.iter().copied().filter(|member| *member != local).collect();
+        if !others.is_empty() {
+            let mut message = Message::new();
+            message.push(&desired);
+            message.push(&description);
+            ctx.dispatch(Event::down(ReconfigCommand::new(local, Dest::Nodes(others), message)));
+        }
+        ctx.request_reconfiguration(ReconfigRequest {
+            channel: self.data_channel.clone(),
+            stack_name: desired,
+            description,
+        });
+        self.maybe_complete(ctx);
+    }
+
+    fn maybe_complete(&mut self, ctx: &mut EventContext<'_>) {
+        let Some(pending) = self.pending.clone() else {
+            return;
+        };
+        if !self.members.iter().all(|member| self.acks.contains(member)) {
+            return;
+        }
+        let elapsed = ctx.now_ms().saturating_sub(pending.started_at_ms);
+        self.reconfigurations_completed += 1;
+        self.pending = None;
+        ctx.deliver(DeliveryKind::Notification(format!(
+            "reconfiguration to `{}` completed across {} nodes in {} ms",
+            pending.stack_name,
+            self.members.len(),
+            elapsed
+        )));
+    }
+}
+
+impl Session for CoreSession {
+    fn layer_name(&self) -> &str {
+        CORE_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        if event.is::<ChannelInit>() {
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(update) = event.get::<ContextUpdated>() {
+            self.store.update(update.snapshot.clone());
+            self.evaluate(ctx);
+            return;
+        }
+
+        if event.is::<ReconfigCommand>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(command) = event.get_mut::<ReconfigCommand>() else {
+                return;
+            };
+            let coordinator = command.header.source;
+            let Ok(description) = command.message.pop::<String>() else {
+                return;
+            };
+            let Ok(stack_name) = command.message.pop::<String>() else {
+                return;
+            };
+            self.current_stack = stack_name.clone();
+            ctx.request_reconfiguration(ReconfigRequest {
+                channel: self.data_channel.clone(),
+                stack_name: stack_name.clone(),
+                description,
+            });
+            let local = ctx.node_id();
+            let mut message = Message::new();
+            message.push(&stack_name);
+            ctx.dispatch(Event::down(ReconfigAck::new(
+                local,
+                Dest::Node(coordinator),
+                message,
+            )));
+            return;
+        }
+
+        if event.is::<ReconfigAck>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(ack) = event.get_mut::<ReconfigAck>() else {
+                return;
+            };
+            let source = ack.header.source;
+            let Ok(stack_name) = ack.message.pop::<String>() else {
+                return;
+            };
+            if self.pending.as_ref().map(|pending| pending.stack_name.clone())
+                == Some(stack_name)
+            {
+                self.acks.insert(source);
+                self.maybe_complete(ctx);
+            }
+            return;
+        }
+
+        ctx.forward(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::{NodeProfile, TestPlatform};
+    use morpheus_appia::testing::Harness;
+    use morpheus_cocaditem::ContextSnapshot;
+
+    use super::*;
+
+    fn core_params(members: &[u32], adaptive: bool) -> LayerParams {
+        let mut params = LayerParams::new();
+        params.insert(
+            "members".into(),
+            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+        );
+        params.insert("adaptive".into(), adaptive.to_string());
+        params.insert("data_channel".into(), "data".into());
+        params
+    }
+
+    fn context_update(node: u32, mobile: bool) -> Event {
+        let profile = if mobile {
+            NodeProfile::mobile_pda(NodeId(node))
+        } else {
+            NodeProfile::fixed_pc(NodeId(node))
+        };
+        Event::up(ContextUpdated { snapshot: ContextSnapshot::from_profile(&profile, 1) })
+    }
+
+    #[test]
+    fn coordinator_initiates_reconfiguration_when_the_group_becomes_hybrid() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+
+        // Context arrives for every member: node 0 fixed, nodes 1-2 mobile.
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        assert!(platform.reconfig_requests.is_empty(), "no decision before full context");
+        core.run_up(context_update(2, true), &mut platform);
+
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        let request = &platform.reconfig_requests[0];
+        assert_eq!(request.channel, "data");
+        assert_eq!(request.stack_name, "hybrid-mecho-relay0");
+        assert!(request.description.contains("mecho"));
+
+        let down = core.drain_down();
+        let commands: Vec<&Event> =
+            down.iter().filter(|event| event.is::<ReconfigCommand>()).collect();
+        assert_eq!(commands.len(), 1);
+        assert_eq!(
+            commands[0].get::<ReconfigCommand>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(1), NodeId(2)])
+        );
+    }
+
+    #[test]
+    fn non_adaptive_nodes_never_reconfigure() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], false), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        assert!(platform.reconfig_requests.is_empty());
+        assert!(core.drain_down().iter().all(|event| !event.is::<ReconfigCommand>()));
+    }
+
+    #[test]
+    fn non_coordinator_nodes_only_observe() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        assert!(platform.reconfig_requests.is_empty());
+    }
+
+    #[test]
+    fn members_deploy_and_acknowledge_commands() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+
+        let mut message = Message::new();
+        message.push(&"hybrid-mecho-relay0".to_string());
+        message.push(&"<channel name=\"data\"><layer name=\"network\"/></channel>".to_string());
+        core.run_up(
+            Event::up(ReconfigCommand::new(NodeId(0), Dest::Node(NodeId(1)), message)),
+            &mut platform,
+        );
+
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        assert_eq!(platform.reconfig_requests[0].stack_name, "hybrid-mecho-relay0");
+        let down = core.drain_down();
+        let acks: Vec<&Event> = down.iter().filter(|event| event.is::<ReconfigAck>()).collect();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].get::<ReconfigAck>().unwrap().header.dest, Dest::Node(NodeId(0)));
+    }
+
+    #[test]
+    fn coordinator_reports_completion_once_everyone_acknowledged() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        platform.take_deliveries();
+
+        platform.advance(42);
+        let mut message = Message::new();
+        message.push(&"hybrid-mecho-relay0".to_string());
+        core.run_up(
+            Event::up(ReconfigAck::new(NodeId(1), Dest::Node(NodeId(0)), message)),
+            &mut platform,
+        );
+
+        let notes: Vec<String> = platform
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|delivery| match delivery.kind {
+                DeliveryKind::Notification(text) => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("hybrid-mecho-relay0"));
+        assert!(notes[0].contains("42 ms"));
+    }
+
+    #[test]
+    fn repeated_context_updates_do_not_reinitiate_the_same_stack() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        // Complete the pending reconfiguration.
+        let mut message = Message::new();
+        message.push(&"hybrid-mecho-relay0".to_string());
+        core.run_up(
+            Event::up(ReconfigAck::new(NodeId(1), Dest::Node(NodeId(0)), message)),
+            &mut platform,
+        );
+        platform.reconfig_requests.clear();
+
+        // The same hybrid context arrives again: nothing new should happen.
+        core.run_up(context_update(1, true), &mut platform);
+        assert!(platform.reconfig_requests.is_empty());
+    }
+}

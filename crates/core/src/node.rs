@@ -1,0 +1,400 @@
+//! The node-level façade: one Morpheus middleware instance.
+//!
+//! [`MorpheusNode`] owns the protocol kernel of one participant, with the two
+//! channels the prototype uses:
+//!
+//! * the **data channel**, carrying application traffic over the stack the
+//!   Core subsystem currently prescribes;
+//! * the **control channel**, carrying Cocaditem context publications and
+//!   Core reconfiguration commands.
+//!
+//! It also acts as the Core *local module*: when the control layer requests a
+//! reconfiguration, the node drives the data channel to quiescence (blocking
+//! it through the view-synchrony layer), swaps the stack via the kernel's
+//! channel replacement and resumes the flow — the sequence Section 3.3 of the
+//! paper describes.
+
+use bytes::Bytes;
+
+use morpheus_appia::config::ChannelConfig;
+use morpheus_appia::error::Result;
+use morpheus_appia::event::Event;
+use morpheus_appia::events::DataEvent;
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::{
+    AppDelivery, DeliveryKind, InPacket, NodeId, Platform, ReconfigRequest,
+};
+use morpheus_appia::timer::TimerKey;
+use morpheus_appia::{ChannelId, Kernel};
+use morpheus_cocaditem::register_cocaditem;
+use morpheus_groupcomm::events::{BlockRequest, ResumeRequest};
+use morpheus_groupcomm::register_suite;
+
+use crate::control::{register_core, ReconfigAck};
+use crate::policy::StackKind;
+use crate::stack_catalog::StackCatalog;
+
+/// Configuration of one Morpheus node.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// The participants of the application group (including the local node).
+    pub members: Vec<NodeId>,
+    /// Whether the Core subsystem may adapt the data stack at run time.
+    /// Disabling this yields the paper's non-adapted baseline.
+    pub adaptive: bool,
+    /// The stack deployed at start-up.
+    pub initial_stack: StackKind,
+    /// How often Cocaditem publishes the local context, in milliseconds.
+    pub publish_interval_ms: u64,
+    /// Failure-detector heartbeat period for generated stacks.
+    pub hb_interval_ms: u64,
+    /// Failure-detector suspicion timeout for generated stacks.
+    pub suspect_timeout_ms: u64,
+    /// Name of the data channel.
+    pub data_channel: String,
+    /// Name of the control channel.
+    pub control_channel: String,
+    /// Extra parameters handed to the Core control layer (policy thresholds).
+    pub core_params: Vec<(String, String)>,
+}
+
+impl NodeOptions {
+    /// Sensible defaults for a group of the given members.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        Self {
+            members,
+            adaptive: true,
+            initial_stack: StackKind::BestEffort,
+            publish_interval_ms: 1000,
+            hb_interval_ms: 1000,
+            suspect_timeout_ms: 5000,
+            data_channel: "data".to_string(),
+            control_channel: "ctrl".to_string(),
+            core_params: Vec::new(),
+        }
+    }
+
+    /// Disables run-time adaptation (builder style).
+    pub fn non_adaptive(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+
+    /// Sets the initial stack (builder style).
+    pub fn with_initial_stack(mut self, stack: StackKind) -> Self {
+        self.initial_stack = stack;
+        self
+    }
+
+    /// Sets the context publication interval (builder style).
+    pub fn with_publish_interval(mut self, interval_ms: u64) -> Self {
+        self.publish_interval_ms = interval_ms;
+        self
+    }
+
+    /// Adds a Core policy parameter (builder style).
+    pub fn with_core_param(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.core_params.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// One Morpheus middleware instance.
+pub struct MorpheusNode {
+    kernel: Kernel,
+    options: NodeOptions,
+    catalog: StackCatalog,
+    data_channel: ChannelId,
+    control_channel: ChannelId,
+    current_stack: String,
+    reconfigurations: u64,
+    sent_messages: u64,
+}
+
+impl MorpheusNode {
+    /// Builds a node, creating its data and control channels.
+    pub fn new(options: NodeOptions, platform: &mut dyn Platform) -> Result<Self> {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        register_cocaditem(&mut kernel);
+        register_core(&mut kernel);
+
+        let catalog = StackCatalog::new(&options.data_channel, options.members.clone())
+            .with_failure_detection(options.hb_interval_ms, options.suspect_timeout_ms);
+
+        let data_config = catalog.config_for(&options.initial_stack);
+        let data_channel = kernel.create_channel(&data_config, platform)?;
+
+        let mut core_params = options.core_params.clone();
+        core_params.push(("initial_stack".to_string(), options.initial_stack.name()));
+        core_params.push(("hb_interval_ms".to_string(), options.hb_interval_ms.to_string()));
+        core_params
+            .push(("suspect_timeout_ms".to_string(), options.suspect_timeout_ms.to_string()));
+        let control_config = catalog.control_config(
+            &options.control_channel,
+            options.publish_interval_ms,
+            options.adaptive,
+            &core_params,
+        );
+        let control_channel = kernel.create_channel(&control_config, platform)?;
+
+        Ok(Self {
+            current_stack: options.initial_stack.name(),
+            kernel,
+            catalog,
+            data_channel,
+            control_channel,
+            options,
+            reconfigurations: 0,
+            sent_messages: 0,
+        })
+    }
+
+    /// The kernel backing this node.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable access to the kernel (tests and advanced integrations).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The stack catalogue this node deploys from.
+    pub fn catalog(&self) -> &StackCatalog {
+        &self.catalog
+    }
+
+    /// Name of the stack currently deployed on the data channel.
+    pub fn current_stack(&self) -> &str {
+        &self.current_stack
+    }
+
+    /// Number of reconfigurations applied so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Number of application messages sent so far.
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Layer names of the data channel, bottom-first.
+    pub fn data_stack_layers(&self) -> Vec<String> {
+        self.kernel
+            .channel(self.data_channel)
+            .map(|channel| channel.layer_names())
+            .unwrap_or_default()
+    }
+
+    /// Sends an application payload to the whole group on the data channel.
+    pub fn send_to_group(&mut self, payload: impl Into<Bytes>, platform: &mut dyn Platform) {
+        let source = platform.node_id();
+        let event = Event::down(DataEvent::to_group(source, Message::with_payload(payload)));
+        self.sent_messages += 1;
+        self.kernel.dispatch_and_process(self.data_channel, event, platform);
+    }
+
+    /// Delivers a packet received from the network.
+    pub fn deliver_packet(&mut self, packet: InPacket, platform: &mut dyn Platform) -> Result<()> {
+        self.kernel.deliver_packet(packet, platform)
+    }
+
+    /// Reports a fired timer.
+    pub fn timer_fired(&mut self, key: TimerKey, platform: &mut dyn Platform) {
+        self.kernel.timer_expired(key, platform);
+    }
+
+    /// Applies a reconfiguration request raised by the Core control layer:
+    /// block, replace, resume, acknowledge.
+    pub fn apply_reconfiguration(
+        &mut self,
+        request: ReconfigRequest,
+        platform: &mut dyn Platform,
+    ) -> Result<()> {
+        let config = ChannelConfig::from_xml(&request.description)?;
+
+        // 1. Drive the data channel to quiescence: the view-synchrony layer
+        //    buffers application sends from this point on.
+        if let Some(channel) = self.kernel.channel_id(&request.channel) {
+            self.kernel.dispatch_and_process(channel, Event::down(BlockRequest {}), platform);
+        }
+
+        // 2. Deploy the new stack. Shared sessions (notably view synchrony)
+        //    carry their state across the replacement.
+        let new_channel = self.kernel.replace_channel(&request.channel, &config, platform)?;
+        if request.channel == self.options.data_channel {
+            self.data_channel = new_channel;
+        }
+
+        // 3. Resume the data flow; buffered sends are re-emitted through the
+        //    new stack.
+        self.kernel.dispatch_and_process(new_channel, Event::down(ResumeRequest {}), platform);
+
+        self.current_stack = request.stack_name.clone();
+        self.reconfigurations += 1;
+
+        // 4. Acknowledge to the coordinator (unless this node is the
+        //    coordinator, whose Core layer already counts itself).
+        let local = platform.node_id();
+        let coordinator = self.options.members.iter().copied().min();
+        if coordinator != Some(local) {
+            if let Some(coordinator) = coordinator {
+                let mut message = Message::new();
+                message.push(&request.stack_name);
+                let ack = Event::down(ReconfigAck::new(
+                    local,
+                    morpheus_appia::event::Dest::Node(coordinator),
+                    message,
+                ));
+                self.kernel.dispatch_and_process(self.control_channel, ack, platform);
+            }
+        }
+
+        platform.deliver(AppDelivery {
+            channel: request.channel,
+            kind: DeliveryKind::Reconfigured { stack: request.stack_name },
+        });
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MorpheusNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MorpheusNode")
+            .field("members", &self.options.members)
+            .field("current_stack", &self.current_stack)
+            .field("reconfigurations", &self.reconfigurations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::{NodeProfile, PacketClass, TestPlatform};
+
+    use super::*;
+
+    fn members(count: u32) -> Vec<NodeId> {
+        (0..count).map(NodeId).collect()
+    }
+
+    #[test]
+    fn node_starts_with_data_and_control_channels() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
+        assert_eq!(node.kernel().channel_names(), vec!["ctrl", "data"]);
+        assert_eq!(node.current_stack(), "best-effort");
+        assert_eq!(node.data_stack_layers(), vec!["network", "beb", "fd", "vsync", "app"]);
+        // Channel creation publishes the initial context on the control channel.
+        assert!(platform
+            .sent
+            .iter()
+            .any(|packet| packet.channel == "ctrl" && packet.class == PacketClass::Context));
+    }
+
+    #[test]
+    fn group_sends_fan_out_according_to_the_initial_stack() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut node = MorpheusNode::new(NodeOptions::new(members(4)), &mut platform).unwrap();
+        platform.take_sent();
+        node.send_to_group(&b"hello"[..], &mut platform);
+        let data_packets = platform
+            .take_sent()
+            .into_iter()
+            .filter(|packet| packet.class == PacketClass::Data)
+            .count();
+        assert_eq!(data_packets, 3);
+        assert_eq!(node.sent_messages(), 1);
+    }
+
+    #[test]
+    fn applying_a_reconfiguration_swaps_the_data_stack() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
+        let hybrid = node.catalog().config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+
+        node.apply_reconfiguration(
+            ReconfigRequest {
+                channel: "data".into(),
+                stack_name: "hybrid-mecho-relay0".into(),
+                description: hybrid.to_xml(),
+            },
+            &mut platform,
+        )
+        .unwrap();
+
+        assert_eq!(node.current_stack(), "hybrid-mecho-relay0");
+        assert_eq!(node.reconfigurations(), 1);
+        assert!(node.data_stack_layers().contains(&"mecho".to_string()));
+        // The node acknowledged to the coordinator (node 0) on the control channel.
+        assert!(platform
+            .sent
+            .iter()
+            .any(|packet| packet.channel == "ctrl" && packet.class == PacketClass::Control));
+        // The application was told about the reconfiguration.
+        assert!(platform
+            .take_deliveries()
+            .iter()
+            .any(|delivery| matches!(&delivery.kind, DeliveryKind::Reconfigured { stack } if stack.contains("mecho"))));
+    }
+
+    #[test]
+    fn buffered_sends_survive_a_reconfiguration() {
+        let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
+        let mut node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
+        platform.take_sent();
+
+        // Block the data channel (as the reconfiguration procedure would),
+        // then send: nothing leaves the node.
+        let data_id = node.kernel_mut().channel_id("data").unwrap();
+        node.kernel_mut().dispatch_and_process(
+            data_id,
+            Event::down(BlockRequest {}),
+            &mut platform,
+        );
+        node.send_to_group(&b"queued"[..], &mut platform);
+        assert_eq!(
+            platform.sent.iter().filter(|p| p.class == PacketClass::Data).count(),
+            0,
+            "sends are buffered while blocked"
+        );
+
+        // Replacing the stack and resuming releases the buffered message
+        // through the *new* stack (Mecho, wireless mode → a single packet to
+        // the relay).
+        let hybrid = node.catalog().config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+        node.apply_reconfiguration(
+            ReconfigRequest {
+                channel: "data".into(),
+                stack_name: "hybrid-mecho-relay0".into(),
+                description: hybrid.to_xml(),
+            },
+            &mut platform,
+        )
+        .unwrap();
+        let data_packets: Vec<_> = platform
+            .take_sent()
+            .into_iter()
+            .filter(|packet| packet.class == PacketClass::Data)
+            .collect();
+        assert_eq!(data_packets.len(), 1, "buffered send released through the Mecho relay path");
+    }
+
+    #[test]
+    fn bad_reconfiguration_descriptions_are_rejected() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut node = MorpheusNode::new(NodeOptions::new(members(2)), &mut platform).unwrap();
+        let err = node.apply_reconfiguration(
+            ReconfigRequest {
+                channel: "data".into(),
+                stack_name: "broken".into(),
+                description: "<not-xml".into(),
+            },
+            &mut platform,
+        );
+        assert!(err.is_err());
+        assert_eq!(node.reconfigurations(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Adaptation policies: mapping the distributed context to a stack choice.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_cocaditem::ContextStore;
+
+/// The stack configurations the Core subsystem can switch the data channel
+/// between. Each kind corresponds to a trade-off discussed in the paper's
+/// motivation section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackKind {
+    /// Plain best-effort multicast: one point-to-point message per member.
+    /// Adequate for small homogeneous groups.
+    BestEffort,
+    /// Best-effort multicast plus NACK-based retransmission ("detect and
+    /// recover"), preferable under small error rates.
+    Reliable,
+    /// Best-effort multicast plus XOR-parity forward error correction ("mask
+    /// the errors"), preferable under large error rates.
+    ErrorMasking {
+        /// FEC block size.
+        k: usize,
+    },
+    /// The Mecho adaptive multicast for hybrid fixed/mobile groups: mobile
+    /// nodes send once to a fixed relay.
+    HybridMecho {
+        /// The fixed node acting as relay.
+        relay: NodeId,
+    },
+    /// Epidemic multicast for large, geographically distributed groups.
+    Gossip {
+        /// Push fan-out.
+        fanout: usize,
+        /// Forwarding rounds.
+        ttl: u32,
+    },
+}
+
+impl StackKind {
+    /// A stable name identifying the configuration (used in reconfiguration
+    /// commands and reports).
+    pub fn name(&self) -> String {
+        match self {
+            StackKind::BestEffort => "best-effort".to_string(),
+            StackKind::Reliable => "reliable".to_string(),
+            StackKind::ErrorMasking { k } => format!("fec-k{k}"),
+            StackKind::HybridMecho { relay } => format!("hybrid-mecho-relay{}", relay.0),
+            StackKind::Gossip { fanout, ttl } => format!("gossip-f{fanout}-t{ttl}"),
+        }
+    }
+}
+
+/// The distributed context an adaptation policy evaluates against.
+#[derive(Debug, Clone)]
+pub struct GlobalContext {
+    /// The node evaluating the policy (the coordinator).
+    pub local: NodeId,
+    /// The participants of the group.
+    pub members: Vec<NodeId>,
+    /// The last context snapshot published by each participant.
+    pub store: ContextStore,
+    /// Name of the stack configuration currently deployed.
+    pub current_stack: String,
+}
+
+impl GlobalContext {
+    /// Number of group members.
+    pub fn group_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether every member has published at least one context snapshot.
+    pub fn is_complete(&self) -> bool {
+        self.members.iter().all(|member| self.store.get(*member).is_some())
+    }
+}
+
+/// An adaptation policy: decides which stack configuration best fits the
+/// current distributed context.
+pub trait AdaptationPolicy {
+    /// A short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the context and returns the preferred configuration, or
+    /// `None` when the policy has no opinion (e.g. not enough context yet).
+    fn evaluate(&self, context: &GlobalContext) -> Option<StackKind>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_kind_names_are_stable_and_distinct() {
+        let kinds = vec![
+            StackKind::BestEffort,
+            StackKind::Reliable,
+            StackKind::ErrorMasking { k: 4 },
+            StackKind::HybridMecho { relay: NodeId(0) },
+            StackKind::Gossip { fanout: 3, ttl: 4 },
+        ];
+        let mut names: Vec<String> = kinds.iter().map(StackKind::name).collect();
+        assert_eq!(names[3], "hybrid-mecho-relay0");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn global_context_completeness() {
+        use morpheus_appia::platform::NodeProfile;
+        use morpheus_cocaditem::ContextSnapshot;
+
+        let mut store = ContextStore::new();
+        store.update(ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(0)), 1));
+        let context = GlobalContext {
+            local: NodeId(0),
+            members: vec![NodeId(0), NodeId(1)],
+            store,
+            current_stack: "best-effort".into(),
+        };
+        assert_eq!(context.group_size(), 2);
+        assert!(!context.is_complete());
+    }
+}

@@ -1,0 +1,198 @@
+//! The default rule-based adaptation policy.
+
+use morpheus_appia::layer::{param_or, LayerParams};
+
+use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
+
+/// The rule-based policy used by the prototype, encoding the trade-offs the
+/// paper motivates, evaluated in priority order:
+///
+/// 1. **Hybrid group** (some participants fixed, some mobile) → the Mecho
+///    stack, with the best-resourced fixed node as relay.
+/// 2. **Large group** (at or above `large_group_threshold`) → epidemic
+///    multicast.
+/// 3. **High error rate** (at or above `fec_error_threshold`) → forward error
+///    correction ("mask the errors").
+/// 4. **Moderate error rate** (at or above `retransmit_error_threshold`) →
+///    NACK-based retransmission ("detect and recover").
+/// 5. Otherwise → plain best-effort multicast.
+#[derive(Debug, Clone)]
+pub struct DefaultPolicy {
+    /// Group size at which gossip becomes preferable.
+    pub large_group_threshold: usize,
+    /// Error rate at which FEC becomes preferable.
+    pub fec_error_threshold: f64,
+    /// Error rate at which retransmission becomes preferable.
+    pub retransmit_error_threshold: f64,
+    /// FEC block size used when FEC is selected.
+    pub fec_k: usize,
+    /// Gossip fan-out used when gossip is selected.
+    pub gossip_fanout: usize,
+    /// Gossip TTL used when gossip is selected.
+    pub gossip_ttl: u32,
+}
+
+impl Default for DefaultPolicy {
+    fn default() -> Self {
+        Self {
+            large_group_threshold: 16,
+            fec_error_threshold: 0.05,
+            retransmit_error_threshold: 0.005,
+            fec_k: 4,
+            gossip_fanout: 3,
+            gossip_ttl: 4,
+        }
+    }
+}
+
+impl DefaultPolicy {
+    /// Builds the policy from layer parameters (all optional).
+    pub fn from_params(params: &LayerParams) -> Self {
+        let defaults = Self::default();
+        Self {
+            large_group_threshold: param_or(
+                params,
+                "large_group_threshold",
+                defaults.large_group_threshold,
+            ),
+            fec_error_threshold: param_or(params, "fec_error_threshold", defaults.fec_error_threshold),
+            retransmit_error_threshold: param_or(
+                params,
+                "retransmit_error_threshold",
+                defaults.retransmit_error_threshold,
+            ),
+            fec_k: param_or(params, "fec_k", defaults.fec_k),
+            gossip_fanout: param_or(params, "gossip_fanout", defaults.gossip_fanout),
+            gossip_ttl: param_or(params, "gossip_ttl", defaults.gossip_ttl),
+        }
+    }
+}
+
+impl AdaptationPolicy for DefaultPolicy {
+    fn name(&self) -> &'static str {
+        "default-rules"
+    }
+
+    fn evaluate(&self, context: &GlobalContext) -> Option<StackKind> {
+        if !context.is_complete() {
+            return None;
+        }
+
+        if context.store.is_hybrid() {
+            let relay = context.store.best_relay()?;
+            return Some(StackKind::HybridMecho { relay });
+        }
+        if context.group_size() >= self.large_group_threshold {
+            return Some(StackKind::Gossip { fanout: self.gossip_fanout, ttl: self.gossip_ttl });
+        }
+        let error_rate = context.store.max_error_rate();
+        if error_rate >= self.fec_error_threshold {
+            return Some(StackKind::ErrorMasking { k: self.fec_k });
+        }
+        if error_rate >= self.retransmit_error_threshold {
+            return Some(StackKind::Reliable);
+        }
+        Some(StackKind::BestEffort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::{NodeId, NodeProfile};
+    use morpheus_cocaditem::{ContextKey, ContextSnapshot, ContextStore, ContextValue};
+
+    use super::*;
+
+    fn context_with(snapshots: Vec<ContextSnapshot>) -> GlobalContext {
+        let members = snapshots.iter().map(|snapshot| snapshot.node).collect();
+        let mut store = ContextStore::new();
+        for snapshot in snapshots {
+            store.update(snapshot);
+        }
+        GlobalContext { local: NodeId(0), members, store, current_stack: "best-effort".into() }
+    }
+
+    fn fixed(node: u32) -> ContextSnapshot {
+        ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(node)), 1)
+    }
+
+    fn mobile(node: u32) -> ContextSnapshot {
+        ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(node)), 1)
+    }
+
+    fn with_error(mut snapshot: ContextSnapshot, rate: f64) -> ContextSnapshot {
+        snapshot.set(ContextKey::ErrorRate, ContextValue::Number(rate));
+        snapshot
+    }
+
+    #[test]
+    fn incomplete_context_yields_no_decision() {
+        let mut context = context_with(vec![fixed(0)]);
+        context.members.push(NodeId(9));
+        assert_eq!(DefaultPolicy::default().evaluate(&context), None);
+    }
+
+    #[test]
+    fn hybrid_groups_select_mecho_with_a_fixed_relay() {
+        let context = context_with(vec![fixed(0), mobile(1), mobile(2)]);
+        let decision = DefaultPolicy::default().evaluate(&context);
+        assert_eq!(decision, Some(StackKind::HybridMecho { relay: NodeId(0) }));
+    }
+
+    #[test]
+    fn homogeneous_small_clean_groups_stay_best_effort() {
+        let context = context_with(vec![fixed(0), fixed(1), fixed(2)]);
+        assert_eq!(DefaultPolicy::default().evaluate(&context), Some(StackKind::BestEffort));
+    }
+
+    #[test]
+    fn large_groups_select_gossip() {
+        let snapshots: Vec<ContextSnapshot> = (0..20).map(fixed).collect();
+        let context = context_with(snapshots);
+        let decision = DefaultPolicy::default().evaluate(&context).unwrap();
+        assert!(matches!(decision, StackKind::Gossip { .. }));
+    }
+
+    #[test]
+    fn error_rates_select_retransmission_then_fec() {
+        let moderate = context_with(vec![
+            with_error(mobile(0), 0.01),
+            with_error(mobile(1), 0.0),
+        ]);
+        assert_eq!(DefaultPolicy::default().evaluate(&moderate), Some(StackKind::Reliable));
+
+        let severe = context_with(vec![
+            with_error(mobile(0), 0.12),
+            with_error(mobile(1), 0.0),
+        ]);
+        assert_eq!(
+            DefaultPolicy::default().evaluate(&severe),
+            Some(StackKind::ErrorMasking { k: 4 })
+        );
+    }
+
+    #[test]
+    fn hybrid_takes_priority_over_error_rules() {
+        let context = context_with(vec![fixed(0), with_error(mobile(1), 0.2)]);
+        assert!(matches!(
+            DefaultPolicy::default().evaluate(&context),
+            Some(StackKind::HybridMecho { .. })
+        ));
+    }
+
+    #[test]
+    fn from_params_overrides_thresholds() {
+        let mut params = LayerParams::new();
+        params.insert("large_group_threshold".into(), "4".into());
+        params.insert("fec_k".into(), "8".into());
+        let policy = DefaultPolicy::from_params(&params);
+        assert_eq!(policy.large_group_threshold, 4);
+        assert_eq!(policy.fec_k, 8);
+        assert_eq!(policy.gossip_fanout, DefaultPolicy::default().gossip_fanout);
+
+        let snapshots: Vec<ContextSnapshot> = (0..5).map(fixed).collect();
+        let context = context_with(snapshots);
+        assert!(matches!(policy.evaluate(&context), Some(StackKind::Gossip { .. })));
+        assert_eq!(policy.name(), "default-rules");
+    }
+}

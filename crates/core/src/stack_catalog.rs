@@ -1,0 +1,172 @@
+//! The catalogue of named stack configurations the Core subsystem deploys.
+
+use morpheus_appia::config::{ChannelConfig, LayerSpec};
+use morpheus_appia::platform::NodeId;
+use morpheus_groupcomm::suite::StackBuilder;
+
+use crate::policy::StackKind;
+
+/// Produces the declarative channel descriptions for every [`StackKind`],
+/// over a fixed data-channel name and group membership.
+///
+/// All generated data stacks share the view-synchrony session under the same
+/// key, so the group state (current view, blocked/buffered messages) survives
+/// a stack replacement — this is what makes the reconfiguration lossless for
+/// the application.
+#[derive(Debug, Clone)]
+pub struct StackCatalog {
+    channel: String,
+    members: Vec<NodeId>,
+    share_key: String,
+    hb_interval_ms: u64,
+    suspect_timeout_ms: u64,
+}
+
+impl StackCatalog {
+    /// Creates a catalogue for the given data channel and membership.
+    pub fn new(channel: impl Into<String>, members: Vec<NodeId>) -> Self {
+        Self {
+            channel: channel.into(),
+            members,
+            share_key: "group".to_string(),
+            hb_interval_ms: 1000,
+            suspect_timeout_ms: 5000,
+        }
+    }
+
+    /// Overrides the failure-detection timing of generated stacks.
+    pub fn with_failure_detection(mut self, hb_interval_ms: u64, suspect_timeout_ms: u64) -> Self {
+        self.hb_interval_ms = hb_interval_ms;
+        self.suspect_timeout_ms = suspect_timeout_ms;
+        self
+    }
+
+    /// The group membership the catalogue builds stacks for.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The data-channel name.
+    pub fn channel_name(&self) -> &str {
+        &self.channel
+    }
+
+    fn builder(&self) -> StackBuilder {
+        StackBuilder::new(self.channel.clone(), self.members.clone())
+            .share_vsync(self.share_key.clone())
+            .failure_detection(self.hb_interval_ms, self.suspect_timeout_ms)
+    }
+
+    /// The channel description for a stack kind.
+    pub fn config_for(&self, kind: &StackKind) -> ChannelConfig {
+        match kind {
+            StackKind::BestEffort => self.builder().beb(false).build(),
+            StackKind::Reliable => self.builder().beb(false).reliable().build(),
+            StackKind::ErrorMasking { k } => self.builder().beb(false).fec(*k).build(),
+            StackKind::HybridMecho { relay } => {
+                self.builder().mecho("auto", Some(*relay)).build()
+            }
+            StackKind::Gossip { fanout, ttl } => self.builder().gossip(*fanout, *ttl).build(),
+        }
+    }
+
+    /// The control-channel description: Cocaditem and the Core control layer
+    /// over the raw network driver.
+    pub fn control_config(
+        &self,
+        channel: &str,
+        publish_interval_ms: u64,
+        adaptive: bool,
+        extra_core_params: &[(String, String)],
+    ) -> ChannelConfig {
+        let members_param =
+            self.members.iter().map(|m| m.0.to_string()).collect::<Vec<_>>().join(",");
+        let mut core = LayerSpec::new("core")
+            .with_param("members", &members_param)
+            .with_param("adaptive", adaptive.to_string())
+            .with_param("data_channel", &self.channel);
+        for (key, value) in extra_core_params {
+            core = core.with_param(key.clone(), value.clone());
+        }
+        ChannelConfig::new(channel)
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(
+                LayerSpec::new("cocaditem")
+                    .with_param("members", &members_param)
+                    .with_param("publish_interval_ms", publish_interval_ms.to_string()),
+            )
+            .with_layer(core)
+            .with_layer(LayerSpec::new("app"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(count: u32) -> Vec<NodeId> {
+        (0..count).map(NodeId).collect()
+    }
+
+    #[test]
+    fn every_kind_produces_a_distinct_stack() {
+        let catalog = StackCatalog::new("data", members(4));
+        let kinds = vec![
+            StackKind::BestEffort,
+            StackKind::Reliable,
+            StackKind::ErrorMasking { k: 4 },
+            StackKind::HybridMecho { relay: NodeId(0) },
+            StackKind::Gossip { fanout: 3, ttl: 4 },
+        ];
+        let mut multicast_layers = Vec::new();
+        for kind in &kinds {
+            let config = catalog.config_for(kind);
+            assert_eq!(config.name, "data");
+            assert_eq!(config.layers.first().unwrap().layer, "network");
+            assert_eq!(config.layers.last().unwrap().layer, "app");
+            assert!(config.has_layer("vsync"));
+            multicast_layers.push(config.layers[1].layer.clone());
+        }
+        assert_eq!(multicast_layers, vec!["beb", "beb", "beb", "mecho", "gossip"]);
+    }
+
+    #[test]
+    fn generated_stacks_share_the_vsync_session() {
+        let catalog = StackCatalog::new("data", members(3));
+        let best_effort = catalog.config_for(&StackKind::BestEffort);
+        let hybrid = catalog.config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+        let key = |config: &ChannelConfig| {
+            config
+                .layers
+                .iter()
+                .find(|layer| layer.layer == "vsync")
+                .and_then(|layer| layer.share.clone())
+        };
+        assert_eq!(key(&best_effort), Some("group".to_string()));
+        assert_eq!(key(&best_effort), key(&hybrid));
+    }
+
+    #[test]
+    fn control_config_stacks_cocaditem_under_core() {
+        let catalog = StackCatalog::new("data", members(3));
+        let config = catalog.control_config("ctrl", 500, true, &[]);
+        assert_eq!(config.layer_names(), vec!["network", "cocaditem", "core", "app"]);
+        let core = &config.layers[2];
+        assert_eq!(core.params.get("adaptive").map(String::as_str), Some("true"));
+        assert_eq!(core.params.get("data_channel").map(String::as_str), Some("data"));
+    }
+
+    #[test]
+    fn configs_roundtrip_through_xml() {
+        let catalog = StackCatalog::new("data", members(5));
+        for kind in [
+            StackKind::BestEffort,
+            StackKind::HybridMecho { relay: NodeId(2) },
+            StackKind::Gossip { fanout: 2, ttl: 3 },
+        ] {
+            let config = catalog.config_for(&kind);
+            let parsed = ChannelConfig::from_xml(&config.to_xml()).unwrap();
+            assert_eq!(parsed, config);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Best-effort multicast: the paper's non-adaptive baseline.
+//!
+//! A group send is implemented as a sequence of point-to-point messages, one
+//! per group member (excluding the sender), or as a single native multicast
+//! when the platform offers it and the layer is configured to use it. This is
+//! exactly the behaviour the paper describes for the original Appia
+//! best-effort multicast, and it is what makes the mobile node's send count
+//! grow with the group size in the non-adapted configuration of Figure 3.
+
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::DataEvent;
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
+use morpheus_appia::platform::NodeId;
+use morpheus_appia::session::Session;
+
+use crate::events::ViewInstall;
+use crate::headers::{McastHeader, McastMode};
+
+/// Registered name of the best-effort multicast layer.
+pub const BEB_LAYER: &str = "beb";
+
+/// The non-adaptive best-effort multicast layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated list of node ids forming the initial group;
+/// * `use_native` — use native multicast when the platform supports it
+///   (default `false`, matching the paper's evaluation).
+pub struct BebLayer;
+
+impl Layer for BebLayer {
+    fn name(&self) -> &str {
+        BEB_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::of::<DataEvent>(), EventSpec::of::<ViewInstall>()]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["DataEvent"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        Box::new(BebSession {
+            members: param_node_list(params, "members"),
+            use_native: param_or(params, "use_native", false),
+            group_sends: 0,
+        })
+    }
+}
+
+/// Session state of the best-effort multicast layer.
+#[derive(Debug)]
+pub struct BebSession {
+    members: Vec<NodeId>,
+    use_native: bool,
+    group_sends: u64,
+}
+
+impl BebSession {
+    /// Current membership the layer expands group sends over.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+impl Session for BebSession {
+    fn layer_name(&self) -> &str {
+        BEB_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        if let Some(install) = event.get::<ViewInstall>() {
+            self.members = install.view.members.clone();
+            ctx.forward(event);
+            return;
+        }
+
+        match event.direction {
+            Direction::Down => {
+                let local = ctx.node_id();
+                let native = self.use_native && ctx.profile().has_native_multicast;
+                if let Some(data) = event.get_mut::<DataEvent>() {
+                    data.message.push(&McastHeader {
+                        mode: McastMode::Direct,
+                        origin: data.header.source,
+                    });
+                    if data.header.dest == Dest::Group {
+                        self.group_sends += 1;
+                        if !native {
+                            let others: Vec<NodeId> = self
+                                .members
+                                .iter()
+                                .copied()
+                                .filter(|member| *member != local)
+                                .collect();
+                            data.header.dest = Dest::Nodes(others);
+                        }
+                    }
+                }
+                ctx.forward(event);
+            }
+            Direction::Up => {
+                if let Some(data) = event.get_mut::<DataEvent>() {
+                    if data.message.pop::<McastHeader>().is_err() {
+                        // Malformed or mismatched stack: drop rather than
+                        // corrupt the header discipline of upper layers.
+                        return;
+                    }
+                }
+                ctx.forward(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::config::{ChannelConfig, LayerSpec};
+    use morpheus_appia::platform::{NodeProfile, PacketDest, TestPlatform};
+    use morpheus_appia::{Kernel, Message};
+
+    use super::*;
+    use crate::suite::register_suite;
+
+    fn members_param(ids: &[u32]) -> String {
+        ids.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",")
+    }
+
+    fn beb_config(members: &[u32], use_native: bool) -> ChannelConfig {
+        ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(
+                LayerSpec::new("beb")
+                    .with_param("members", members_param(members))
+                    .with_param("use_native", use_native.to_string()),
+            )
+            .with_layer(LayerSpec::new("app"))
+    }
+
+    #[test]
+    fn group_send_becomes_one_message_per_member() {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::new(NodeId(1));
+        let id = kernel.create_channel(&beb_config(&[1, 2, 3, 4], false), &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"hi"[..])));
+        kernel.dispatch_and_process(id, event, &mut platform);
+
+        let sent = platform.take_sent();
+        assert_eq!(sent.len(), 3, "one point-to-point message per other member");
+        assert!(sent.iter().all(|p| matches!(p.dest, PacketDest::Node(_))));
+    }
+
+    #[test]
+    fn native_multicast_sends_once_when_available() {
+        let mut profile = NodeProfile::fixed_pc(NodeId(1));
+        profile.has_native_multicast = true;
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::with_profile(profile);
+        let id = kernel.create_channel(&beb_config(&[1, 2, 3, 4], true), &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::new()));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        let sent = platform.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].dest, PacketDest::Broadcast);
+    }
+
+    #[test]
+    fn received_messages_are_delivered_upward() {
+        let mut sender_kernel = Kernel::new();
+        let mut receiver_kernel = Kernel::new();
+        register_suite(&mut sender_kernel);
+        register_suite(&mut receiver_kernel);
+        let mut sender_platform = TestPlatform::new(NodeId(1));
+        let mut receiver_platform = TestPlatform::new(NodeId(2));
+        let config = beb_config(&[1, 2], false);
+        let sender_channel = sender_kernel.create_channel(&config, &mut sender_platform).unwrap();
+        receiver_kernel.create_channel(&config, &mut receiver_platform).unwrap();
+
+        let event =
+            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"msg"[..])));
+        sender_kernel.dispatch_and_process(sender_channel, event, &mut sender_platform);
+        let sent = sender_platform.take_sent();
+        assert_eq!(sent.len(), 1);
+
+        receiver_kernel
+            .deliver_packet(
+                morpheus_appia::platform::InPacket {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    class: sent[0].class,
+                    channel: sent[0].channel.clone(),
+                    payload: sent[0].payload.clone(),
+                },
+                &mut receiver_platform,
+            )
+            .unwrap();
+        assert_eq!(receiver_platform.data_delivery_count(), 1);
+    }
+
+    #[test]
+    fn view_install_updates_membership() {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::new(NodeId(1));
+        let id = kernel.create_channel(&beb_config(&[1, 2], false), &mut platform).unwrap();
+
+        // Install a larger view, then check that a group send fans out to it.
+        let view = crate::view::View::new(1, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        kernel.dispatch_and_process(
+            id,
+            Event::down(ViewInstall { view }),
+            &mut platform,
+        );
+        let event = Event::down(DataEvent::to_group(NodeId(1), Message::new()));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        assert_eq!(platform.take_sent().len(), 3);
+    }
+
+    #[test]
+    fn point_to_point_sends_are_left_untouched() {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::new(NodeId(1));
+        let id = kernel.create_channel(&beb_config(&[1, 2, 3], false), &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::new(
+            NodeId(1),
+            Dest::Node(NodeId(3)),
+            Message::new(),
+        ));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        let sent = platform.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].dest, PacketDest::Node(NodeId(3)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Event types used by the group communication suite.
+//!
+//! Sendable events carry all protocol information inside their
+//! [`morpheus_appia::Message`] headers (see [`crate::headers`]); the event
+//! *type* selects which layers process it.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_appia::{internal_event, sendable_event};
+
+use crate::view::View;
+
+sendable_event! {
+    /// Periodic liveness announcement from the failure detector.
+    pub struct Heartbeat, class: Control
+}
+
+sendable_event! {
+    /// A negative acknowledgement requesting retransmission of missing
+    /// messages (header: [`crate::headers::NackHeader`]).
+    pub struct NackRequest, class: Control
+}
+
+sendable_event! {
+    /// First phase of a view change: the coordinator proposes a new view
+    /// (payload: the encoded [`View`]).
+    pub struct ViewPrepare, class: Control
+}
+
+sendable_event! {
+    /// A member acknowledges that it blocked and flushed for the proposed
+    /// view (header: the proposed view id).
+    pub struct FlushAck, class: Control
+}
+
+sendable_event! {
+    /// Second phase of a view change: the coordinator commits the new view
+    /// (payload: the encoded [`View`]).
+    pub struct ViewCommit, class: Control
+}
+
+sendable_event! {
+    /// A node asks to join the group (processed by the view coordinator).
+    pub struct JoinRequest, class: Control
+}
+
+sendable_event! {
+    /// A forward-error-correction parity block covering a window of data
+    /// messages (header: [`crate::headers::FecParityHeader`]).
+    pub struct FecParity, class: Control
+}
+
+sendable_event! {
+    /// Total-order sequencing information from the sequencer (header:
+    /// [`crate::headers::OrderHeader`]).
+    pub struct OrderInfo, class: Control
+}
+
+internal_event! {
+    /// The failure detector suspects a member has failed.
+    pub struct Suspect {
+        /// The suspected node.
+        pub node: NodeId,
+    }
+    categories: [Internal]
+}
+
+internal_event! {
+    /// A new view was installed; travels *down* the stack so lower layers
+    /// (multicast, reliability, ordering) update their membership.
+    pub struct ViewInstall {
+        /// The newly installed view.
+        pub view: View,
+    }
+    categories: [Internal]
+}
+
+internal_event! {
+    /// Asks the view-synchrony layer to block the channel: application sends
+    /// are buffered until a [`ResumeRequest`] arrives. Used by the Core
+    /// subsystem to drive the channel to quiescence before reconfiguration.
+    pub struct BlockRequest {}
+    categories: [Internal]
+}
+
+internal_event! {
+    /// Unblocks a previously blocked channel and re-emits buffered sends.
+    pub struct ResumeRequest {}
+    categories: [Internal]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_appia::event::EventPayload;
+    use morpheus_appia::registry::EventFactoryRegistry;
+    use morpheus_appia::{Message, PacketClass};
+
+    #[test]
+    fn control_events_have_control_class() {
+        let hb = Heartbeat::to_group(NodeId(1), Message::new());
+        assert_eq!(hb.header.class, PacketClass::Control);
+        let nack = NackRequest::to_group(NodeId(1), Message::new());
+        assert_eq!(nack.header.class, PacketClass::Control);
+    }
+
+    #[test]
+    fn sendable_events_register_factories() {
+        let mut factories = EventFactoryRegistry::new();
+        Heartbeat::register(&mut factories);
+        ViewPrepare::register(&mut factories);
+        FlushAck::register(&mut factories);
+        ViewCommit::register(&mut factories);
+        for name in ["Heartbeat", "ViewPrepare", "FlushAck", "ViewCommit"] {
+            assert!(factories.contains(name));
+        }
+    }
+
+    #[test]
+    fn internal_events_carry_their_payload() {
+        let suspect = Suspect { node: NodeId(7) };
+        assert_eq!(suspect.node, NodeId(7));
+        assert_eq!(suspect.type_name(), "Suspect");
+        let install = ViewInstall { view: View::initial(vec![NodeId(1), NodeId(2)]) };
+        assert_eq!(install.view.len(), 2);
+    }
+}

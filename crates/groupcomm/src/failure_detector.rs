@@ -1,0 +1,309 @@
+//! A heartbeat-based failure detector.
+//!
+//! Every `hb_interval_ms` the layer multicasts a small heartbeat to the other
+//! group members; a member that has not been heard from (heartbeat or data)
+//! for `suspect_timeout_ms` is suspected, and a [`Suspect`] event travels up
+//! the stack so the membership layer can propose a new view.
+
+use std::collections::{HashMap, HashSet};
+
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::NodeId;
+use morpheus_appia::session::Session;
+
+use crate::events::{Heartbeat, Suspect, ViewInstall};
+
+/// Registered name of the failure detector layer.
+pub const FD_LAYER: &str = "fd";
+
+/// Timer tag for the heartbeat/suspicion check.
+const TICK_TAG: u32 = 1;
+
+/// The heartbeat failure detector layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated initial group membership;
+/// * `hb_interval_ms` — heartbeat period (default 500 ms);
+/// * `suspect_timeout_ms` — silence threshold before suspicion (default 2000 ms).
+pub struct FailureDetectorLayer;
+
+impl Layer for FailureDetectorLayer {
+    fn name(&self) -> &str {
+        FD_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![
+            EventSpec::of::<DataEvent>(),
+            EventSpec::of::<Heartbeat>(),
+            EventSpec::of::<ChannelInit>(),
+            EventSpec::of::<TimerExpired>(),
+            EventSpec::of::<ViewInstall>(),
+        ]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["Heartbeat", "Suspect"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        Box::new(FailureDetectorSession {
+            members: param_node_list(params, "members"),
+            hb_interval_ms: param_or(params, "hb_interval_ms", 500u64).max(10),
+            suspect_timeout_ms: param_or(params, "suspect_timeout_ms", 2000u64).max(50),
+            last_heard: HashMap::new(),
+            suspected: HashSet::new(),
+            heartbeats_sent: 0,
+        })
+    }
+}
+
+/// Session state of the failure detector.
+#[derive(Debug)]
+pub struct FailureDetectorSession {
+    members: Vec<NodeId>,
+    hb_interval_ms: u64,
+    suspect_timeout_ms: u64,
+    last_heard: HashMap<NodeId, u64>,
+    suspected: HashSet<NodeId>,
+    heartbeats_sent: u64,
+}
+
+impl FailureDetectorSession {
+    fn heard_from(&mut self, node: NodeId, now: u64) {
+        self.last_heard.insert(node, now);
+        self.suspected.remove(&node);
+    }
+
+    fn tick(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let now = ctx.now_ms();
+
+        // Send a heartbeat to everybody else.
+        let others: Vec<NodeId> =
+            self.members.iter().copied().filter(|member| *member != local).collect();
+        if !others.is_empty() {
+            self.heartbeats_sent += 1;
+            ctx.dispatch(Event::down(Heartbeat::new(local, Dest::Nodes(others), Message::new())));
+        }
+
+        // Raise suspicions for silent members.
+        let mut newly_suspected = Vec::new();
+        for member in &self.members {
+            if *member == local || self.suspected.contains(member) {
+                continue;
+            }
+            let last = self.last_heard.get(member).copied().unwrap_or(0);
+            if now.saturating_sub(last) >= self.suspect_timeout_ms {
+                newly_suspected.push(*member);
+            }
+        }
+        for member in newly_suspected {
+            self.suspected.insert(member);
+            ctx.dispatch(Event::up(Suspect { node: member }));
+        }
+
+        ctx.set_timer(self.hb_interval_ms, TICK_TAG);
+    }
+}
+
+impl Session for FailureDetectorSession {
+    fn layer_name(&self) -> &str {
+        FD_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        if event.is::<ChannelInit>() {
+            let now = ctx.now_ms();
+            for member in self.members.clone() {
+                self.last_heard.insert(member, now);
+            }
+            ctx.set_timer(self.hb_interval_ms, TICK_TAG);
+            ctx.forward(event);
+            return;
+        }
+        if let Some(timer) = event.get::<TimerExpired>() {
+            if timer.owner == FD_LAYER {
+                if timer.tag == TICK_TAG {
+                    self.tick(ctx);
+                }
+                return;
+            }
+            ctx.forward(event);
+            return;
+        }
+        if let Some(install) = event.get::<ViewInstall>() {
+            self.members = install.view.members.clone();
+            self.suspected.retain(|node| self.members.contains(node));
+            let now = ctx.now_ms();
+            for member in self.members.clone() {
+                self.last_heard.entry(member).or_insert(now);
+            }
+            ctx.forward(event);
+            return;
+        }
+        if event.is::<Heartbeat>() {
+            if event.direction == Direction::Up {
+                let source = event.get::<Heartbeat>().map(|hb| hb.header.source);
+                if let Some(source) = source {
+                    self.heard_from(source, ctx.now_ms());
+                }
+                // Heartbeats are absorbed; they carry no application meaning.
+                return;
+            }
+            ctx.forward(event);
+            return;
+        }
+        if event.direction == Direction::Up {
+            if let Some(data) = event.get_mut::<DataEvent>() {
+                let source = data.header.source;
+                self.heard_from(source, ctx.now_ms());
+            }
+        }
+        ctx.forward(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::TestPlatform;
+    use morpheus_appia::testing::Harness;
+
+    use super::*;
+
+    fn fd_params(members: &[u32], interval: u64, timeout: u64) -> LayerParams {
+        let mut params = LayerParams::new();
+        params.insert(
+            "members".into(),
+            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+        );
+        params.insert("hb_interval_ms".into(), interval.to_string());
+        params.insert("suspect_timeout_ms".into(), timeout.to_string());
+        params
+    }
+
+    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            harness.fire_timer(key, platform);
+        }
+    }
+
+    #[test]
+    fn heartbeats_are_sent_on_every_tick() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2, 3], 100, 1000), &mut platform);
+
+        fire_pending_timers(&mut fd, &mut platform);
+        let down = fd.drain_down();
+        let heartbeats = down.iter().filter(|event| event.is::<Heartbeat>()).count();
+        assert_eq!(heartbeats, 1);
+        let hb = down.iter().find(|event| event.is::<Heartbeat>()).unwrap();
+        assert_eq!(
+            hb.get::<Heartbeat>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(2), NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn silent_members_are_eventually_suspected() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+
+        let mut suspects = Vec::new();
+        for _ in 0..5 {
+            platform.advance(100);
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects.extend(
+                fd.drain_up().into_iter().filter(|event| event.is::<Suspect>()),
+            );
+        }
+        assert_eq!(suspects.len(), 1, "member 2 suspected exactly once");
+        assert_eq!(suspects[0].get::<Suspect>().unwrap().node, NodeId(2));
+    }
+
+    #[test]
+    fn heartbeats_keep_members_alive() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+
+        let mut suspects = 0;
+        for _ in 0..6 {
+            platform.advance(100);
+            // Node 2 keeps sending heartbeats.
+            fd.run_up(
+                Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+                &mut platform,
+            );
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects += fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        }
+        assert_eq!(suspects, 0);
+    }
+
+    #[test]
+    fn data_traffic_also_counts_as_liveness() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+
+        let mut suspects = 0;
+        for _ in 0..6 {
+            platform.advance(100);
+            let delivered = fd.run_up(
+                Event::up(DataEvent::new(
+                    NodeId(2),
+                    Dest::Node(NodeId(1)),
+                    Message::with_payload(&b"still here"[..]),
+                )),
+                &mut platform,
+            );
+            assert_eq!(delivered.len(), 1, "data is forwarded, not absorbed");
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects += fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        }
+        assert_eq!(suspects, 0);
+    }
+
+    #[test]
+    fn heartbeats_are_absorbed_and_not_delivered_upward() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 1000), &mut platform);
+        let delivered = fd.run_up(
+            Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+            &mut platform,
+        );
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn view_install_clears_suspicions_of_removed_members() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2, 3], 100, 150), &mut platform);
+
+        platform.advance(200);
+        fire_pending_timers(&mut fd, &mut platform);
+        let suspects = fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        assert_eq!(suspects, 2);
+
+        // Install a view that removes node 3; only nodes 1 and 2 remain.
+        let view = crate::view::View::new(1, vec![NodeId(1), NodeId(2)]);
+        fd.run_down(Event::down(ViewInstall { view }), &mut platform);
+
+        // Node 2 resumes heartbeating and is therefore never re-suspected.
+        for _ in 0..3 {
+            platform.advance(100);
+            fd.run_up(
+                Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+                &mut platform,
+            );
+            fire_pending_timers(&mut fd, &mut platform);
+        }
+        let late_suspects = fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        assert_eq!(late_suspects, 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Epidemic (gossip) multicast for large, geographically distributed groups.
+//!
+//! The paper's motivation section points out that when "participants are in
+//! large numbers and distributed geographically over a large-scale network,
+//! it can be preferable to rely on epidemic protocols to implement the
+//! multicast". This layer implements a push-based epidemic: a sender pushes
+//! the message to `fanout` random members; every receiver that sees the
+//! message for the first time delivers it and pushes it to another `fanout`
+//! random members while the TTL lasts.
+
+use std::collections::{HashSet, VecDeque};
+
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::DataEvent;
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
+use morpheus_appia::platform::NodeId;
+use morpheus_appia::session::Session;
+
+use crate::events::ViewInstall;
+use crate::headers::GossipHeader;
+
+/// Registered name of the gossip multicast layer.
+pub const GOSSIP_LAYER: &str = "gossip";
+
+/// Maximum number of message identifiers remembered for duplicate
+/// suppression.
+const SEEN_CAPACITY: usize = 65_536;
+
+/// The epidemic multicast layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated initial membership;
+/// * `fanout` — number of random targets per push (default 3);
+/// * `ttl` — number of forwarding rounds a message survives (default 4).
+pub struct GossipLayer;
+
+impl Layer for GossipLayer {
+    fn name(&self) -> &str {
+        GOSSIP_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::of::<DataEvent>(), EventSpec::of::<ViewInstall>()]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["DataEvent"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        Box::new(GossipSession {
+            members: param_node_list(params, "members"),
+            fanout: param_or(params, "fanout", 3usize).max(1),
+            ttl: param_or(params, "ttl", 4u32),
+            next_seq: 0,
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            forwarded: 0,
+            duplicates: 0,
+        })
+    }
+}
+
+/// Session state of the gossip layer.
+#[derive(Debug)]
+pub struct GossipSession {
+    members: Vec<NodeId>,
+    fanout: usize,
+    ttl: u32,
+    next_seq: u64,
+    seen: HashSet<(NodeId, u64)>,
+    seen_order: VecDeque<(NodeId, u64)>,
+    forwarded: u64,
+    duplicates: u64,
+}
+
+impl GossipSession {
+    fn remember(&mut self, id: (NodeId, u64)) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        if self.seen_order.len() > SEEN_CAPACITY {
+            if let Some(oldest) = self.seen_order.pop_front() {
+                self.seen.remove(&oldest);
+            }
+        }
+        true
+    }
+
+    fn random_targets(
+        &self,
+        exclude: &[NodeId],
+        ctx: &mut EventContext<'_>,
+    ) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| !exclude.contains(member))
+            .collect();
+        if candidates.len() <= self.fanout {
+            return candidates;
+        }
+        // Partial Fisher-Yates driven by the platform's deterministic RNG.
+        let mut pool = candidates;
+        for index in 0..self.fanout {
+            let remaining = pool.len() - index;
+            let pick = index + (ctx.random_u64() % remaining as u64) as usize;
+            pool.swap(index, pick);
+        }
+        pool.truncate(self.fanout);
+        pool
+    }
+}
+
+impl Session for GossipSession {
+    fn layer_name(&self) -> &str {
+        GOSSIP_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        if let Some(install) = event.get::<ViewInstall>() {
+            self.members = install.view.members.clone();
+            ctx.forward(event);
+            return;
+        }
+
+        match event.direction {
+            Direction::Down => {
+                let local = ctx.node_id();
+                if let Some(data) = event.get_mut::<DataEvent>() {
+                    if data.header.dest == Dest::Group {
+                        self.next_seq += 1;
+                        let header = GossipHeader {
+                            origin: data.header.source,
+                            seq: self.next_seq,
+                            ttl: self.ttl,
+                        };
+                        self.remember((header.origin, header.seq));
+                        data.message.push(&header);
+                        let targets = self.random_targets(&[local], ctx);
+                        event.get_mut::<DataEvent>().expect("checked above").header.dest =
+                            Dest::Nodes(targets);
+                        ctx.forward(event);
+                        return;
+                    }
+                    data.message.push(&GossipHeader {
+                        origin: data.header.source,
+                        seq: 0,
+                        ttl: 0,
+                    });
+                }
+                ctx.forward(event);
+            }
+            Direction::Up => {
+                let local = ctx.node_id();
+                let Some(data) = event.get_mut::<DataEvent>() else {
+                    ctx.forward(event);
+                    return;
+                };
+                let Ok(header) = data.message.pop::<GossipHeader>() else {
+                    return;
+                };
+                if header.seq != 0 && !self.remember((header.origin, header.seq)) {
+                    self.duplicates += 1;
+                    return;
+                }
+                if header.seq != 0 && header.ttl > 0 {
+                    let mut forwarded_message = data.message.clone();
+                    forwarded_message.push(&GossipHeader {
+                        origin: header.origin,
+                        seq: header.seq,
+                        ttl: header.ttl - 1,
+                    });
+                    let targets = self.random_targets(&[local, header.origin], ctx);
+                    if !targets.is_empty() {
+                        self.forwarded += 1;
+                        ctx.dispatch(Event::down(DataEvent::new(
+                            header.origin,
+                            Dest::Nodes(targets),
+                            forwarded_message,
+                        )));
+                    }
+                }
+                data.header.source = header.origin;
+                ctx.forward(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::config::{ChannelConfig, LayerSpec};
+    use morpheus_appia::platform::{InPacket, PacketDest, TestPlatform};
+    use morpheus_appia::{Kernel, Message};
+
+    use super::*;
+    use crate::suite::register_suite;
+
+    fn gossip_config(members: &[u32], fanout: usize, ttl: u32) -> ChannelConfig {
+        let members_param =
+            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",");
+        ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(
+                LayerSpec::new("gossip")
+                    .with_param("members", members_param)
+                    .with_param("fanout", fanout.to_string())
+                    .with_param("ttl", ttl.to_string()),
+            )
+            .with_layer(LayerSpec::new("app"))
+    }
+
+    #[test]
+    fn group_send_pushes_to_fanout_targets() {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::new(NodeId(0));
+        let members: Vec<u32> = (0..20).collect();
+        let id = kernel.create_channel(&gossip_config(&members, 4, 3), &mut platform).unwrap();
+
+        let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        let sent = platform.take_sent();
+        assert_eq!(sent.len(), 4);
+        assert!(sent.iter().all(|p| matches!(p.dest, PacketDest::Node(n) if n != NodeId(0))));
+    }
+
+    #[test]
+    fn small_groups_push_to_everyone() {
+        let mut kernel = Kernel::new();
+        register_suite(&mut kernel);
+        let mut platform = TestPlatform::new(NodeId(0));
+        let id = kernel.create_channel(&gossip_config(&[0, 1, 2], 5, 3), &mut platform).unwrap();
+        let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
+        kernel.dispatch_and_process(id, event, &mut platform);
+        assert_eq!(platform.take_sent().len(), 2);
+    }
+
+    #[test]
+    fn receivers_deliver_once_and_forward_while_ttl_lasts() {
+        let mut sender = Kernel::new();
+        register_suite(&mut sender);
+        let mut sender_platform = TestPlatform::new(NodeId(0));
+        let members: Vec<u32> = (0..10).collect();
+        let sender_channel =
+            sender.create_channel(&gossip_config(&members, 3, 2), &mut sender_platform).unwrap();
+        let event = Event::down(DataEvent::to_group(NodeId(0), Message::with_payload(&b"g"[..])));
+        sender.dispatch_and_process(sender_channel, event, &mut sender_platform);
+        let sent = sender_platform.take_sent();
+        assert!(!sent.is_empty());
+
+        // Deliver the same packet to node 1 twice: first delivery forwards,
+        // second is suppressed as a duplicate.
+        let mut receiver = Kernel::new();
+        register_suite(&mut receiver);
+        let mut receiver_platform = TestPlatform::new(NodeId(1));
+        receiver.create_channel(&gossip_config(&members, 3, 2), &mut receiver_platform).unwrap();
+
+        let packet = InPacket {
+            from: NodeId(0),
+            to: NodeId(1),
+            class: sent[0].class,
+            channel: sent[0].channel.clone(),
+            payload: sent[0].payload.clone(),
+        };
+        receiver.deliver_packet(packet.clone(), &mut receiver_platform).unwrap();
+        assert_eq!(receiver_platform.data_delivery_count(), 1);
+        receiver_platform.take_deliveries();
+        let forwarded = receiver_platform.take_sent();
+        assert!(!forwarded.is_empty(), "first reception is forwarded onward");
+
+        receiver.deliver_packet(packet, &mut receiver_platform).unwrap();
+        assert_eq!(receiver_platform.data_delivery_count(), 0, "duplicate is suppressed");
+        assert!(receiver_platform.take_sent().is_empty());
+    }
+
+    #[test]
+    fn ttl_zero_messages_are_not_forwarded() {
+        let mut sender = Kernel::new();
+        register_suite(&mut sender);
+        let mut sender_platform = TestPlatform::new(NodeId(0));
+        let members: Vec<u32> = (0..6).collect();
+        let sender_channel =
+            sender.create_channel(&gossip_config(&members, 2, 0), &mut sender_platform).unwrap();
+        let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
+        sender.dispatch_and_process(sender_channel, event, &mut sender_platform);
+        let sent = sender_platform.take_sent();
+
+        let mut receiver = Kernel::new();
+        register_suite(&mut receiver);
+        let mut receiver_platform = TestPlatform::new(NodeId(1));
+        receiver.create_channel(&gossip_config(&members, 2, 0), &mut receiver_platform).unwrap();
+        receiver
+            .deliver_packet(
+                InPacket {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    class: sent[0].class,
+                    channel: sent[0].channel.clone(),
+                    payload: sent[0].payload.clone(),
+                },
+                &mut receiver_platform,
+            )
+            .unwrap();
+        assert_eq!(receiver_platform.data_delivery_count(), 1);
+        assert!(receiver_platform.take_sent().is_empty());
+    }
+}

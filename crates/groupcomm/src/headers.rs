@@ -1,0 +1,252 @@
+//! Wire headers pushed and popped by the suite's layers.
+//!
+//! Every layer that needs to convey per-message state to its peer layer on
+//! the receiving node defines a header type here and pushes it onto the
+//! event's [`morpheus_appia::Message`] on the way down; the peer pops it on
+//! the way up. Headers are encoded with the kernel's wire format.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// How a multicast layer handled (or wants handled) a data message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McastMode {
+    /// The message is addressed to its final receivers; deliver upward.
+    Direct,
+    /// The message was sent by a mobile node to a fixed relay, which should
+    /// re-multicast it to the remaining members (the Mecho protocol).
+    RelayRequest,
+}
+
+/// Header pushed by the best-effort multicast layers (`beb`, `mecho`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McastHeader {
+    /// Relay behaviour requested from the receiving multicast layer.
+    pub mode: McastMode,
+    /// The node that originated the message (preserved across relaying).
+    pub origin: NodeId,
+}
+
+impl Wire for McastHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self.mode {
+            McastMode::Direct => 0,
+            McastMode::RelayRequest => 1,
+        });
+        self.origin.encode(w);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mode = match r.get_u8()? {
+            0 => McastMode::Direct,
+            1 => McastMode::RelayRequest,
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(Self { mode, origin: NodeId::decode(r)? })
+    }
+}
+
+/// Per-sender sequence number header (FIFO, reliable and FEC layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqHeader {
+    /// Sender-assigned sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl Wire for SeqHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.seq);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { seq: r.get_u64()? })
+    }
+}
+
+/// Header of a negative acknowledgement: which sender and which sequence
+/// numbers are missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NackHeader {
+    /// The sender whose messages are missing.
+    pub origin: NodeId,
+    /// The missing sequence numbers.
+    pub missing: Vec<u64>,
+}
+
+impl Wire for NackHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64_list(&self.missing);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { origin: NodeId::decode(r)?, missing: r.get_u64_list()? })
+    }
+}
+
+/// Header of a gossip-forwarded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipHeader {
+    /// The node that originated the message.
+    pub origin: NodeId,
+    /// Origin-assigned sequence number (unique per origin).
+    pub seq: u64,
+    /// Remaining number of forwarding rounds.
+    pub ttl: u32,
+}
+
+impl Wire for GossipHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64(self.seq);
+        w.put_u32(self.ttl);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { origin: NodeId::decode(r)?, seq: r.get_u64()?, ttl: r.get_u32()? })
+    }
+}
+
+/// Header of a FEC parity block: which data sequence numbers it covers and
+/// how long each covered message was (needed to truncate a reconstructed
+/// message back to its original size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FecParityHeader {
+    /// Sequence numbers (of the same sender) covered by the parity block.
+    pub covers: Vec<u64>,
+    /// Encoded length, in bytes, of each covered message (same order as `covers`).
+    pub lengths: Vec<u32>,
+    /// Length in bytes of the XOR parity payload.
+    pub parity_len: u32,
+}
+
+impl Wire for FecParityHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64_list(&self.covers);
+        w.put_u32_list(&self.lengths);
+        w.put_u32(self.parity_len);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            covers: r.get_u64_list()?,
+            lengths: r.get_u32_list()?,
+            parity_len: r.get_u32()?,
+        })
+    }
+}
+
+/// Header carrying causal-ordering information: the sender's rank in the view
+/// and its vector clock at send time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalHeader {
+    /// The sender's rank within the current view.
+    pub sender_rank: u32,
+    /// The sender's vector clock (one entry per view member, by rank).
+    pub clock: Vec<u64>,
+}
+
+impl Wire for CausalHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.sender_rank);
+        w.put_u64_list(&self.clock);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { sender_rank: r.get_u32()?, clock: r.get_u64_list()? })
+    }
+}
+
+/// Header identifying a message for total ordering: origin plus a per-origin
+/// sequence number assigned by the total-order layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TotalIdHeader {
+    /// The originating node.
+    pub origin: NodeId,
+    /// Origin-local sequence number.
+    pub local_seq: u64,
+}
+
+impl Wire for TotalIdHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64(self.local_seq);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { origin: NodeId::decode(r)?, local_seq: r.get_u64()? })
+    }
+}
+
+/// Header of an [`crate::events::OrderInfo`] control message: the global
+/// sequence number assigned by the sequencer to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderHeader {
+    /// The message being ordered.
+    pub message: TotalIdHeader,
+    /// The global delivery order assigned by the sequencer.
+    pub global_seq: u64,
+}
+
+impl Wire for OrderHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.message.encode(w);
+        w.put_u64(self.global_seq);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self { message: TotalIdHeader::decode(r)?, global_seq: r.get_u64()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn all_headers_roundtrip() {
+        roundtrip(McastHeader { mode: McastMode::Direct, origin: NodeId(3) });
+        roundtrip(McastHeader { mode: McastMode::RelayRequest, origin: NodeId(9) });
+        roundtrip(SeqHeader { seq: 123 });
+        roundtrip(NackHeader { origin: NodeId(2), missing: vec![4, 5, 9] });
+        roundtrip(GossipHeader { origin: NodeId(1), seq: 77, ttl: 3 });
+        roundtrip(FecParityHeader {
+            covers: vec![10, 11, 12, 13],
+            lengths: vec![100, 90, 80, 70],
+            parity_len: 512,
+        });
+        roundtrip(CausalHeader { sender_rank: 2, clock: vec![5, 0, 7] });
+        roundtrip(TotalIdHeader { origin: NodeId(4), local_seq: 6 });
+        roundtrip(OrderHeader {
+            message: TotalIdHeader { origin: NodeId(4), local_seq: 6 },
+            global_seq: 99,
+        });
+    }
+
+    #[test]
+    fn corrupted_mcast_mode_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        NodeId(1).encode(&mut w);
+        assert!(McastHeader::from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn headers_compose_on_a_message_stack() {
+        let mut message = morpheus_appia::Message::with_payload(&b"chat"[..]);
+        message.push(&SeqHeader { seq: 9 });
+        message.push(&McastHeader { mode: McastMode::RelayRequest, origin: NodeId(5) });
+
+        // The receiving side pops in reverse order.
+        let mcast: McastHeader = message.pop().unwrap();
+        assert_eq!(mcast.mode, McastMode::RelayRequest);
+        let seq: SeqHeader = message.pop().unwrap();
+        assert_eq!(seq.seq, 9);
+        assert_eq!(message.payload().as_ref(), b"chat");
+    }
+}

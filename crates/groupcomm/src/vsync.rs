@@ -1,0 +1,465 @@
+//! Group membership and view synchrony.
+//!
+//! The layer maintains the current group [`View`], coordinates view changes
+//! (driven by failure-detector suspicions or join requests) through a
+//! two-phase prepare/commit exchange led by the deterministically elected
+//! coordinator (the lowest node id, exactly as the paper's Core subsystem
+//! assumes), and provides the *blocking* primitive the Morpheus
+//! reconfiguration procedure relies on: while a channel is blocked,
+//! application sends are buffered and re-emitted once the channel resumes, so
+//! no application message is lost across a stack replacement.
+
+use std::collections::BTreeSet;
+
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::{ChannelInit, DataEvent};
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, Layer, LayerParams};
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::{DeliveryKind, NodeId};
+use morpheus_appia::session::Session;
+
+use crate::events::{
+    BlockRequest, FlushAck, JoinRequest, ResumeRequest, Suspect, ViewCommit, ViewInstall,
+    ViewPrepare,
+};
+use crate::view::View;
+
+/// Registered name of the view-synchrony / membership layer.
+pub const VSYNC_LAYER: &str = "vsync";
+
+/// The view-synchrony and group membership layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated initial group membership.
+pub struct VsyncLayer;
+
+impl Layer for VsyncLayer {
+    fn name(&self) -> &str {
+        VSYNC_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![
+            EventSpec::of::<DataEvent>(),
+            EventSpec::of::<ChannelInit>(),
+            EventSpec::of::<Suspect>(),
+            EventSpec::of::<ViewPrepare>(),
+            EventSpec::of::<FlushAck>(),
+            EventSpec::of::<ViewCommit>(),
+            EventSpec::of::<JoinRequest>(),
+            EventSpec::of::<BlockRequest>(),
+            EventSpec::of::<ResumeRequest>(),
+        ]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["ViewPrepare", "FlushAck", "ViewCommit", "ViewInstall"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        Box::new(VsyncSession {
+            view: View::initial(param_node_list(params, "members")),
+            blocked: false,
+            buffered: Vec::new(),
+            proposed: None,
+            acks: BTreeSet::new(),
+            view_changes: 0,
+        })
+    }
+}
+
+/// Session state of the view-synchrony layer.
+#[derive(Debug)]
+pub struct VsyncSession {
+    view: View,
+    blocked: bool,
+    buffered: Vec<Event>,
+    proposed: Option<View>,
+    acks: BTreeSet<NodeId>,
+    view_changes: u64,
+}
+
+impl VsyncSession {
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Whether the channel is currently blocked.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    fn install(&mut self, view: View, ctx: &mut EventContext<'_>) {
+        self.view = view.clone();
+        self.proposed = None;
+        self.acks.clear();
+        self.blocked = false;
+        self.view_changes += 1;
+
+        ctx.dispatch(Event::down(ViewInstall { view: view.clone() }));
+        ctx.deliver(DeliveryKind::ViewChange { view_id: view.id, members: view.members.clone() });
+        self.flush_buffered(ctx);
+    }
+
+    fn flush_buffered(&mut self, ctx: &mut EventContext<'_>) {
+        for event in std::mem::take(&mut self.buffered) {
+            ctx.dispatch(event);
+        }
+    }
+
+    fn start_view_change(&mut self, new_view: View, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        self.blocked = true;
+        self.acks.clear();
+        self.acks.insert(local);
+        self.proposed = Some(new_view.clone());
+
+        let others = new_view.others(local);
+        if others.is_empty() {
+            // Degenerate single-member view: install immediately.
+            self.install(new_view, ctx);
+            return;
+        }
+        let mut message = Message::new();
+        message.push(&new_view);
+        ctx.dispatch(Event::down(ViewPrepare::new(local, Dest::Nodes(others), message)));
+        self.maybe_commit(ctx);
+    }
+
+    fn maybe_commit(&mut self, ctx: &mut EventContext<'_>) {
+        let Some(proposed) = self.proposed.clone() else {
+            return;
+        };
+        let everyone_acked = proposed.members.iter().all(|member| self.acks.contains(member));
+        if !everyone_acked {
+            return;
+        }
+        let local = ctx.node_id();
+        let others = proposed.others(local);
+        if !others.is_empty() {
+            let mut message = Message::new();
+            message.push(&proposed);
+            ctx.dispatch(Event::down(ViewCommit::new(local, Dest::Nodes(others), message)));
+        }
+        self.install(proposed, ctx);
+    }
+}
+
+impl Session for VsyncSession {
+    fn layer_name(&self) -> &str {
+        VSYNC_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+
+        if event.is::<ChannelInit>() {
+            // Announce the initial view so lower layers learn the membership
+            // and the application sees view 0.
+            if !self.view.is_empty() {
+                ctx.dispatch(Event::down(ViewInstall { view: self.view.clone() }));
+                ctx.deliver(DeliveryKind::ViewChange {
+                    view_id: self.view.id,
+                    members: self.view.members.clone(),
+                });
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if event.is::<BlockRequest>() {
+            self.blocked = true;
+            return;
+        }
+        if event.is::<ResumeRequest>() {
+            self.blocked = false;
+            // Prime (possibly freshly installed) lower layers with the
+            // current membership before releasing buffered traffic.
+            ctx.dispatch(Event::down(ViewInstall { view: self.view.clone() }));
+            self.flush_buffered(ctx);
+            return;
+        }
+
+        if let Some(suspect) = event.get::<Suspect>() {
+            let node = suspect.node;
+            if !self.view.contains(node) || self.proposed.is_some() {
+                return;
+            }
+            let new_view = self.view.without(node);
+            if new_view.coordinator() == Some(local) {
+                self.start_view_change(new_view, ctx);
+            }
+            return;
+        }
+
+        if event.is::<JoinRequest>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(join) = event.get::<JoinRequest>() else {
+                return;
+            };
+            let joiner = join.header.source;
+            if self.view.coordinator() == Some(local)
+                && !self.view.contains(joiner)
+                && self.proposed.is_none()
+            {
+                let new_view = self.view.with_member(joiner);
+                self.start_view_change(new_view, ctx);
+            }
+            return;
+        }
+
+        if event.is::<ViewPrepare>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(prepare) = event.get_mut::<ViewPrepare>() else {
+                return;
+            };
+            let proposer = prepare.header.source;
+            let Ok(proposed) = prepare.message.pop::<View>() else {
+                return;
+            };
+            if proposed.id <= self.view.id {
+                return;
+            }
+            self.blocked = true;
+            self.proposed = Some(proposed.clone());
+            let mut message = Message::new();
+            message.push(&proposed.id);
+            ctx.dispatch(Event::down(FlushAck::new(local, Dest::Node(proposer), message)));
+            return;
+        }
+
+        if event.is::<FlushAck>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(ack) = event.get_mut::<FlushAck>() else {
+                return;
+            };
+            let source = ack.header.source;
+            let Ok(view_id) = ack.message.pop::<u64>() else {
+                return;
+            };
+            if self.proposed.as_ref().map(|view| view.id) == Some(view_id) {
+                self.acks.insert(source);
+                self.maybe_commit(ctx);
+            }
+            return;
+        }
+
+        if event.is::<ViewCommit>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(commit) = event.get_mut::<ViewCommit>() else {
+                return;
+            };
+            let Ok(view) = commit.message.pop::<View>() else {
+                return;
+            };
+            if view.id > self.view.id {
+                self.install(view, ctx);
+            }
+            return;
+        }
+
+        // Application data.
+        match event.direction {
+            Direction::Down => {
+                if self.blocked {
+                    self.buffered.push(event);
+                } else {
+                    ctx.forward(event);
+                }
+            }
+            Direction::Up => ctx.forward(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::TestPlatform;
+    use morpheus_appia::testing::Harness;
+
+    use super::*;
+
+    fn vsync_params(members: &[u32]) -> LayerParams {
+        let mut params = LayerParams::new();
+        params.insert(
+            "members".into(),
+            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+        );
+        params
+    }
+
+    fn view_changes(platform: &mut TestPlatform) -> Vec<(u64, Vec<NodeId>)> {
+        platform
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|delivery| match delivery.kind {
+                DeliveryKind::ViewChange { view_id, members } => Some((view_id, members)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_view_is_announced_on_channel_init() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let _vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].0, 0);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn block_buffers_sends_and_resume_releases_them() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2]), &mut platform);
+
+        vsync.run_down(Event::down(BlockRequest {}), &mut platform);
+        let blocked = vsync.run_down(
+            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..]))),
+            &mut platform,
+        );
+        assert!(
+            blocked.iter().all(|event| !event.is::<DataEvent>()),
+            "data is held back while blocked"
+        );
+
+        let released = vsync.run_down(Event::down(ResumeRequest {}), &mut platform);
+        let data: Vec<&Event> = released.iter().filter(|event| event.is::<DataEvent>()).collect();
+        assert_eq!(data.len(), 1, "buffered send released on resume");
+        assert!(
+            released.iter().any(|event| event.is::<ViewInstall>()),
+            "resume re-announces the membership downward"
+        );
+    }
+
+    #[test]
+    fn coordinator_runs_the_two_phase_view_change() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // The failure detector suspects node 3; node 1 is the coordinator.
+        let out = vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        assert!(out.is_empty(), "suspicion is absorbed");
+        let down = vsync.drain_down();
+        let prepares: Vec<&Event> = down.iter().filter(|event| event.is::<ViewPrepare>()).collect();
+        assert_eq!(prepares.len(), 1);
+        assert_eq!(
+            prepares[0].get::<ViewPrepare>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(2)])
+        );
+
+        // Node 2 acknowledges the flush; the coordinator commits and installs.
+        let mut ack_message = Message::new();
+        ack_message.push(&1u64);
+        vsync.run_up(
+            Event::up(FlushAck::new(NodeId(2), Dest::Node(NodeId(1)), ack_message)),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        assert!(down.iter().any(|event| event.is::<ViewCommit>()));
+        assert!(down.iter().any(|event| event.is::<ViewInstall>()));
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].0, 1);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn non_coordinator_participates_via_prepare_and_commit() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // The coordinator (node 1) proposes a view without node 3.
+        let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
+        let mut message = Message::new();
+        message.push(&proposed);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        let acks: Vec<&Event> = down.iter().filter(|event| event.is::<FlushAck>()).collect();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].get::<FlushAck>().unwrap().header.dest, Dest::Node(NodeId(1)));
+
+        // While the view change is in progress the channel is blocked.
+        let held = vsync.run_down(
+            Event::down(DataEvent::to_group(NodeId(2), Message::new())),
+            &mut platform,
+        );
+        assert!(held.iter().all(|event| !event.is::<DataEvent>()));
+
+        // The commit installs the view and releases the buffered send.
+        let mut commit_message = Message::new();
+        commit_message.push(&proposed);
+        vsync.run_up(
+            Event::up(ViewCommit::new(NodeId(1), Dest::Node(NodeId(2)), commit_message)),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        assert!(down.iter().any(|event| event.is::<DataEvent>()), "buffered send released");
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn join_requests_grow_the_view() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(
+            Event::up(JoinRequest::new(NodeId(7), Dest::Node(NodeId(1)), Message::new())),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        let prepare = down
+            .iter()
+            .find(|event| event.is::<ViewPrepare>())
+            .expect("coordinator proposes the larger view");
+        assert_eq!(
+            prepare.get::<ViewPrepare>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(2), NodeId(7)])
+        );
+    }
+
+    #[test]
+    fn stale_commits_and_duplicate_suspicions_are_ignored() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2]), &mut platform);
+        platform.take_deliveries();
+
+        // A stale commit for view 0 must not reinstall anything.
+        let stale = View::new(0, vec![NodeId(1), NodeId(2)]);
+        let mut message = Message::new();
+        message.push(&stale);
+        vsync.run_up(
+            Event::up(ViewCommit::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            &mut platform,
+        );
+        assert!(view_changes(&mut platform).is_empty());
+
+        // Suspecting an unknown node does nothing.
+        vsync.run_up(Event::up(Suspect { node: NodeId(99) }), &mut platform);
+        assert!(vsync.drain_down().iter().all(|event| !event.is::<ViewPrepare>()));
+    }
+}

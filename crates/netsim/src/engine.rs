@@ -1,0 +1,143 @@
+//! The discrete-event queue driving a simulation run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same instant are delivered in insertion order
+/// (FIFO), which keeps runs deterministic regardless of heap internals.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules an event at the given time.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(entry)| (entry.at, entry.event))
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.at)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::from_millis(30), "c");
+        queue.push(SimTime::from_millis(10), "a");
+        queue.push(SimTime::from_millis(20), "b");
+
+        assert_eq!(queue.peek_time(), Some(SimTime::from_millis(10)));
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_insertion_order() {
+        let mut queue = EventQueue::new();
+        for label in ["first", "second", "third", "fourth"] {
+            queue.push(SimTime::from_millis(5), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        assert!(queue.is_empty());
+        queue.push(SimTime::ZERO, 1);
+        queue.push(SimTime::ZERO, 2);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.scheduled_total(), 2);
+        queue.pop();
+        assert_eq!(queue.len(), 1);
+        queue.pop();
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::from_millis(10), 10u32);
+        queue.push(SimTime::from_millis(5), 5);
+        assert_eq!(queue.pop().unwrap().1, 5);
+        queue.push(SimTime::from_millis(1), 1);
+        queue.push(SimTime::from_millis(20), 20);
+        assert_eq!(queue.pop().unwrap().1, 1);
+        assert_eq!(queue.pop().unwrap().1, 10);
+        assert_eq!(queue.pop().unwrap().1, 20);
+    }
+}

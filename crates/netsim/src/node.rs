@@ -1,0 +1,140 @@
+//! Simulated nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::battery::Battery;
+
+/// Identifier of a simulated node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw numeric identifier.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sim{}", self.0)
+    }
+}
+
+/// The kind of device a simulated node models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A fixed PC or server on the wired infrastructure (mains powered).
+    FixedPc,
+    /// A PDA on the wireless cell (battery powered), like the paper's HP iPAQ 5550.
+    MobilePda,
+    /// A laptop on the wireless cell (battery powered, larger battery).
+    Laptop,
+}
+
+impl NodeKind {
+    /// Whether the node is battery powered and uses the wireless link.
+    pub fn is_mobile(self) -> bool {
+        !matches!(self, NodeKind::FixedPc)
+    }
+
+    /// Typical battery capacity for the device kind, in joules.
+    ///
+    /// The absolute values only matter relative to the per-message energy
+    /// model; they are sized so that lifetime experiments finish within a
+    /// simulated hour.
+    pub fn battery_capacity_joules(self) -> f64 {
+        match self {
+            NodeKind::FixedPc => f64::INFINITY,
+            NodeKind::MobilePda => 5_000.0,
+            NodeKind::Laptop => 50_000.0,
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NodeKind::FixedPc => "fixed-pc",
+            NodeKind::MobilePda => "mobile-pda",
+            NodeKind::Laptop => "laptop",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A simulated node: identity, device kind, liveness and battery.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    /// Identifier of the node.
+    pub id: NodeId,
+    /// Device kind.
+    pub kind: NodeKind,
+    /// Whether the node is currently up.
+    pub alive: bool,
+    /// Battery state (fixed nodes carry an effectively infinite battery).
+    pub battery: Battery,
+}
+
+impl SimNode {
+    /// Creates a node of the given kind with a full battery.
+    pub fn new(id: NodeId, kind: NodeKind) -> Self {
+        Self { id, kind, alive: true, battery: Battery::new(kind.battery_capacity_joules()) }
+    }
+
+    /// Creates a fixed PC node.
+    pub fn fixed(id: NodeId) -> Self {
+        Self::new(id, NodeKind::FixedPc)
+    }
+
+    /// Creates a mobile PDA node.
+    pub fn mobile(id: NodeId) -> Self {
+        Self::new(id, NodeKind::MobilePda)
+    }
+
+    /// Whether the node can currently send or receive (alive and not depleted).
+    pub fn is_operational(&self) -> bool {
+        self.alive && !self.battery.is_depleted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_mobility() {
+        assert!(!NodeKind::FixedPc.is_mobile());
+        assert!(NodeKind::MobilePda.is_mobile());
+        assert!(NodeKind::Laptop.is_mobile());
+        assert!(NodeKind::FixedPc.battery_capacity_joules().is_infinite());
+        assert!(NodeKind::Laptop.battery_capacity_joules() > NodeKind::MobilePda.battery_capacity_joules());
+    }
+
+    #[test]
+    fn nodes_start_operational() {
+        let node = SimNode::mobile(NodeId(3));
+        assert!(node.is_operational());
+        assert_eq!(node.id.raw(), 3);
+        assert_eq!(node.kind, NodeKind::MobilePda);
+        assert_eq!(node.id.to_string(), "sim3");
+    }
+
+    #[test]
+    fn dead_nodes_are_not_operational() {
+        let mut node = SimNode::fixed(NodeId(1));
+        node.alive = false;
+        assert!(!node.is_operational());
+    }
+
+    #[test]
+    fn depleted_battery_makes_node_inoperational() {
+        let mut node = SimNode::mobile(NodeId(2));
+        node.battery.consume(f64::MAX);
+        assert!(!node.is_operational());
+    }
+}

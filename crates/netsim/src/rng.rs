@@ -1,0 +1,153 @@
+//! Seeded, reproducible randomness for the simulator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic random number generator.
+///
+/// Every experiment takes an explicit seed so runs are exactly reproducible;
+/// the benchmark harness varies the seed to obtain confidence intervals.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A uniformly distributed value in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A uniformly distributed integer in `[0, bound)`. Returns 0 when
+    /// `bound` is 0.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.random_range(0..bound)
+        }
+    }
+
+    /// A uniformly distributed integer in `[low, high]`.
+    pub fn random_range_inclusive(&mut self, low: u64, high: u64) -> u64 {
+        if low >= high {
+            low
+        } else {
+            self.inner.random_range(low..=high)
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.random_f64() < p
+        }
+    }
+
+    /// A raw 64-bit random value.
+    pub fn random_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Picks a uniformly random element of the slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let index = self.random_below(items.len() as u64) as usize;
+            items.get(index)
+        }
+    }
+
+    /// Returns up to `count` distinct indices in `[0, len)`, uniformly at
+    /// random, in arbitrary order.
+    pub fn sample_indices(&mut self, len: usize, count: usize) -> Vec<usize> {
+        let count = count.min(len);
+        let mut indices: Vec<usize> = (0..len).collect();
+        // Partial Fisher-Yates: only the first `count` positions are needed.
+        for i in 0..count {
+            let j = i + self.random_below((len - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(count);
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.random_u64(), b.random_u64());
+        }
+        assert_eq!(a.seed(), 42);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.random_u64() == b.random_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..1000).filter(|_| rng.chance(0.3)).count();
+        assert!(hits > 200 && hits < 400, "hits {hits}");
+    }
+
+    #[test]
+    fn random_below_bounds() {
+        let mut rng = SimRng::new(3);
+        assert_eq!(rng.random_below(0), 0);
+        for _ in 0..100 {
+            assert!(rng.random_below(10) < 10);
+        }
+        assert_eq!(rng.random_range_inclusive(5, 5), 5);
+        for _ in 0..100 {
+            let v = rng.random_range_inclusive(2, 4);
+            assert!((2..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pick_and_sample() {
+        let mut rng = SimRng::new(11);
+        let items = [10, 20, 30, 40];
+        assert!(items.contains(rng.pick(&items).unwrap()));
+        assert!(rng.pick::<u32>(&[]).is_none());
+
+        let sample = rng.sample_indices(10, 4);
+        assert_eq!(sample.len(), 4);
+        let mut unique = sample.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-node and network-wide traffic statistics.
+//!
+//! The statistics collected here are exactly what the paper's evaluation
+//! reports: the number of messages transmitted by each node, broken down into
+//! data and control traffic, plus bytes and energy for the extension
+//! experiments.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Accounting class of a packet (mirrors the protocol kernel's packet class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Application data.
+    Data,
+    /// Group communication control traffic.
+    Control,
+    /// Context dissemination traffic.
+    Context,
+}
+
+impl TrafficClass {
+    /// All traffic classes, in display order.
+    pub const ALL: [TrafficClass; 3] =
+        [TrafficClass::Data, TrafficClass::Control, TrafficClass::Context];
+}
+
+/// Counters for one node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Messages sent, per traffic class.
+    pub sent: BTreeMap<TrafficClass, u64>,
+    /// Messages received, per traffic class.
+    pub received: BTreeMap<TrafficClass, u64>,
+    /// Messages lost in transit that this node originated.
+    pub lost: u64,
+    /// Bytes sent (sum over all classes).
+    pub bytes_sent: u64,
+    /// Bytes received (sum over all classes).
+    pub bytes_received: u64,
+    /// Energy consumed by the radio, in joules.
+    pub energy_joules: f64,
+}
+
+impl NodeStats {
+    /// Records one transmitted message.
+    pub fn record_sent(&mut self, class: TrafficClass, bytes: usize, energy_j: f64) {
+        *self.sent.entry(class).or_insert(0) += 1;
+        self.bytes_sent += bytes as u64;
+        self.energy_joules += energy_j;
+    }
+
+    /// Records one received message.
+    pub fn record_received(&mut self, class: TrafficClass, bytes: usize, energy_j: f64) {
+        *self.received.entry(class).or_insert(0) += 1;
+        self.bytes_received += bytes as u64;
+        self.energy_joules += energy_j;
+    }
+
+    /// Records one lost message originated by this node.
+    pub fn record_lost(&mut self) {
+        self.lost += 1;
+    }
+
+    /// Total messages sent across every class.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.values().sum()
+    }
+
+    /// Total messages received across every class.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+
+    /// Messages sent of one class.
+    pub fn sent_of(&self, class: TrafficClass) -> u64 {
+        self.sent.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Messages received of one class.
+    pub fn received_of(&self, class: TrafficClass) -> u64 {
+        self.received.get(&class).copied().unwrap_or(0)
+    }
+}
+
+/// Statistics for the whole network, indexed by node.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    per_node: BTreeMap<NodeId, NodeStats>,
+}
+
+impl NetworkStats {
+    /// Creates an empty statistics table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable counters for one node, created on first use.
+    pub fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        self.per_node.entry(node).or_default()
+    }
+
+    /// Counters for one node, if it ever sent or received anything.
+    pub fn node(&self, node: NodeId) -> Option<&NodeStats> {
+        self.per_node.get(&node)
+    }
+
+    /// Counters for one node, or empty defaults.
+    pub fn node_or_default(&self, node: NodeId) -> NodeStats {
+        self.per_node.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over every node's counters in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &NodeStats)> {
+        self.per_node.iter()
+    }
+
+    /// Total messages sent by every node.
+    pub fn total_sent(&self) -> u64 {
+        self.per_node.values().map(NodeStats::total_sent).sum()
+    }
+
+    /// Total messages received by every node.
+    pub fn total_received(&self) -> u64 {
+        self.per_node.values().map(NodeStats::total_received).sum()
+    }
+
+    /// Total messages lost in transit.
+    pub fn total_lost(&self) -> u64 {
+        self.per_node.values().map(|stats| stats.lost).sum()
+    }
+
+    /// Clears every counter (used between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.per_node.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_stats_accumulate() {
+        let mut stats = NodeStats::default();
+        stats.record_sent(TrafficClass::Data, 100, 0.5);
+        stats.record_sent(TrafficClass::Control, 20, 0.1);
+        stats.record_received(TrafficClass::Data, 100, 0.2);
+        stats.record_lost();
+
+        assert_eq!(stats.total_sent(), 2);
+        assert_eq!(stats.total_received(), 1);
+        assert_eq!(stats.sent_of(TrafficClass::Data), 1);
+        assert_eq!(stats.sent_of(TrafficClass::Context), 0);
+        assert_eq!(stats.received_of(TrafficClass::Data), 1);
+        assert_eq!(stats.bytes_sent, 120);
+        assert_eq!(stats.bytes_received, 100);
+        assert_eq!(stats.lost, 1);
+        assert!((stats.energy_joules - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_stats_aggregate_over_nodes() {
+        let mut stats = NetworkStats::new();
+        stats.node_mut(NodeId(1)).record_sent(TrafficClass::Data, 10, 0.0);
+        stats.node_mut(NodeId(2)).record_sent(TrafficClass::Data, 10, 0.0);
+        stats.node_mut(NodeId(2)).record_received(TrafficClass::Data, 10, 0.0);
+
+        assert_eq!(stats.total_sent(), 2);
+        assert_eq!(stats.total_received(), 1);
+        assert_eq!(stats.total_lost(), 0);
+        assert!(stats.node(NodeId(1)).is_some());
+        assert!(stats.node(NodeId(9)).is_none());
+        assert_eq!(stats.node_or_default(NodeId(9)).total_sent(), 0);
+        assert_eq!(stats.iter().count(), 2);
+
+        stats.reset();
+        assert_eq!(stats.total_sent(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! A bounded trace of simulation events, for debugging and reporting.
+
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+use crate::stats::TrafficClass;
+use crate::time::SimTime;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A packet was transmitted.
+    Sent {
+        /// Simulated time of the transmission.
+        at: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Accounting class.
+        class: TrafficClass,
+        /// Size in bytes.
+        size: usize,
+    },
+    /// A packet was delivered.
+    Delivered {
+        /// Simulated time of the delivery.
+        at: SimTime,
+        /// Receiving node.
+        to: NodeId,
+        /// Original sender.
+        from: NodeId,
+    },
+    /// A packet was lost in transit.
+    Lost {
+        /// Simulated time of the loss.
+        at: SimTime,
+        /// Sending node.
+        from: NodeId,
+    },
+    /// A free-form annotation (reconfigurations, view changes, ...).
+    Note {
+        /// Simulated time of the annotation.
+        at: SimTime,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// The time the event happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::Lost { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0, enabled: true }
+    }
+
+    /// Creates a disabled trace that records nothing.
+    pub fn disabled() -> Self {
+        Self { events: VecDeque::new(), capacity: 0, dropped: 0, enabled: false }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event, evicting the oldest one when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Adds a free-form annotation.
+    pub fn note(&mut self, at: SimTime, text: impl Into<String>) {
+        self.record(TraceEvent::Note { at, text: text.into() });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_evicts_in_order() {
+        let mut trace = Trace::new(3);
+        for index in 0..5u32 {
+            trace.note(SimTime::from_millis(index as u64), format!("event {index}"));
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped(), 2);
+        let times: Vec<u64> = trace.events().map(|event| event.at().as_millis()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::disabled();
+        trace.note(SimTime::ZERO, "ignored");
+        trace.record(TraceEvent::Lost { at: SimTime::ZERO, from: NodeId(1) });
+        assert!(trace.is_empty());
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn event_times_are_reported() {
+        let event = TraceEvent::Sent {
+            at: SimTime::from_millis(7),
+            from: NodeId(1),
+            class: TrafficClass::Data,
+            size: 10,
+        };
+        assert_eq!(event.at().as_millis(), 7);
+        let delivered = TraceEvent::Delivered { at: SimTime::from_millis(9), to: NodeId(2), from: NodeId(1) };
+        assert_eq!(delivered.at().as_millis(), 9);
+    }
+}

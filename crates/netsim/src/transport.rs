@@ -1,0 +1,346 @@
+//! Packet transmission over a topology.
+//!
+//! [`Network`] ties together the topology, the link models, the energy model
+//! and the statistics: every transmission updates the sender's counters and
+//! battery, applies per-receiver loss and latency, and returns the resulting
+//! deliveries so the caller (the testbed runner) can schedule them on its
+//! event queue.
+
+use crate::battery::EnergyModel;
+use crate::node::{NodeId, NodeKind};
+use crate::rng::SimRng;
+use crate::stats::{NetworkStats, TrafficClass};
+use crate::time::SimTime;
+use crate::topology::Topology;
+use crate::link::LinkOutcome;
+
+/// Where a packet is addressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketTarget {
+    /// One receiver (point-to-point transmission).
+    Unicast(NodeId),
+    /// Every node in the sender's broadcast domain (native multicast). The
+    /// sender performs a single transmission.
+    Broadcast,
+}
+
+/// A packet handed to the network for transmission.
+#[derive(Debug, Clone)]
+pub struct Packet<P> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination.
+    pub target: PacketTarget,
+    /// Size on the wire, in bytes (headers included).
+    pub size_bytes: usize,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Opaque payload carried to the receiver.
+    pub payload: P,
+}
+
+/// A packet arriving at a receiver.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Time at which the packet arrives.
+    pub at: SimTime,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Original sender.
+    pub from: NodeId,
+    /// Accounting class.
+    pub class: TrafficClass,
+    /// Size on the wire, in bytes.
+    pub size_bytes: usize,
+    /// Opaque payload.
+    pub payload: P,
+}
+
+/// The network: topology + loss/latency + accounting.
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    stats: NetworkStats,
+    wireless_energy: EnergyModel,
+    wired_energy: EnergyModel,
+}
+
+impl Network {
+    /// Creates a network over the given topology with default energy models.
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            stats: NetworkStats::new(),
+            wireless_energy: EnergyModel::wireless_pda(),
+            wired_energy: EnergyModel::wired(),
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the topology (context changes, failures).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn energy_model_for(&self, node: NodeId) -> &EnergyModel {
+        if self.topology.kind_of(node).is_mobile() {
+            &self.wireless_energy
+        } else {
+            &self.wired_energy
+        }
+    }
+
+    fn charge_tx(&mut self, node: NodeId, size: usize) -> f64 {
+        let cost = self.energy_model_for(node).tx_cost(size);
+        if let Some(sim_node) = self.topology.node_mut(node) {
+            sim_node.battery.consume(cost);
+        }
+        cost
+    }
+
+    fn charge_rx(&mut self, node: NodeId, size: usize) -> f64 {
+        let cost = self.energy_model_for(node).rx_cost(size);
+        if let Some(sim_node) = self.topology.node_mut(node) {
+            sim_node.battery.consume(cost);
+        }
+        cost
+    }
+
+    fn transmit_to<P: Clone>(
+        &mut self,
+        packet: &Packet<P>,
+        receiver: NodeId,
+        now: SimTime,
+        rng: &mut SimRng,
+        deliveries: &mut Vec<Delivery<P>>,
+    ) {
+        if receiver == packet.from {
+            return;
+        }
+        let receiver_alive = self.topology.node(receiver).map(|n| n.is_operational()).unwrap_or(false);
+        let outcome = self.topology.link(packet.from, receiver).transmit(packet.size_bytes, rng);
+        match outcome {
+            LinkOutcome::Delivered { latency_ms } if receiver_alive => {
+                let rx_energy = self.charge_rx(receiver, packet.size_bytes);
+                self.stats.node_mut(receiver).record_received(
+                    packet.class,
+                    packet.size_bytes,
+                    rx_energy,
+                );
+                deliveries.push(Delivery {
+                    at: now + latency_ms,
+                    to: receiver,
+                    from: packet.from,
+                    class: packet.class,
+                    size_bytes: packet.size_bytes,
+                    payload: packet.payload.clone(),
+                });
+            }
+            _ => {
+                self.stats.node_mut(packet.from).record_lost();
+            }
+        }
+    }
+
+    /// Transmits a packet, returning the deliveries it produces.
+    ///
+    /// The sender is charged exactly one transmission per call (the paper's
+    /// message counts are per *send operation*: a native multicast is one
+    /// message, a point-to-point send to each of N peers is N messages —
+    /// produced by N calls).
+    pub fn send<P: Clone>(
+        &mut self,
+        packet: Packet<P>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<Delivery<P>> {
+        let sender_operational =
+            self.topology.node(packet.from).map(|n| n.is_operational()).unwrap_or(false);
+        if !sender_operational {
+            return Vec::new();
+        }
+
+        let tx_energy = self.charge_tx(packet.from, packet.size_bytes);
+        self.stats.node_mut(packet.from).record_sent(packet.class, packet.size_bytes, tx_energy);
+
+        let mut deliveries = Vec::new();
+        match packet.target.clone() {
+            PacketTarget::Unicast(receiver) => {
+                self.transmit_to(&packet, receiver, now, rng, &mut deliveries);
+            }
+            PacketTarget::Broadcast => {
+                let members = self.topology.broadcast_domain(packet.from);
+                for receiver in members {
+                    self.transmit_to(&packet, receiver, now, rng, &mut deliveries);
+                }
+            }
+        }
+        deliveries
+    }
+
+    /// Remaining battery fraction of a node.
+    pub fn battery_fraction(&self, node: NodeId) -> f64 {
+        self.topology.node(node).map(|n| n.battery.fraction()).unwrap_or(0.0)
+    }
+
+    /// Whether a node is alive and has battery left.
+    pub fn is_operational(&self, node: NodeId) -> bool {
+        self.topology.node(node).map(|n| n.is_operational()).unwrap_or(false)
+    }
+
+    /// The device kind of a node.
+    pub fn kind_of(&self, node: NodeId) -> NodeKind {
+        self.topology.kind_of(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Wireless80211b;
+    use crate::topology::Topology;
+
+    fn packet(from: u32, to: u32, class: TrafficClass) -> Packet<&'static str> {
+        Packet {
+            from: NodeId(from),
+            target: PacketTarget::Unicast(NodeId(to)),
+            size_bytes: 200,
+            class,
+            payload: "payload",
+        }
+    }
+
+    #[test]
+    fn unicast_delivers_and_counts() {
+        let mut network = Network::new(Topology::hybrid_cell(1, 2));
+        let mut rng = SimRng::new(1);
+        let deliveries = network.send(packet(1, 0, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].to, NodeId(0));
+        assert_eq!(deliveries[0].from, NodeId(1));
+        assert!(deliveries[0].at > SimTime::ZERO);
+
+        let sender = network.stats().node_or_default(NodeId(1));
+        assert_eq!(sender.total_sent(), 1);
+        assert_eq!(sender.sent_of(TrafficClass::Data), 1);
+        let receiver = network.stats().node_or_default(NodeId(0));
+        assert_eq!(receiver.total_received(), 1);
+    }
+
+    #[test]
+    fn self_addressed_packets_produce_no_delivery() {
+        let mut network = Network::new(Topology::lan(2, false));
+        let mut rng = SimRng::new(1);
+        let deliveries = network.send(packet(0, 0, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        assert!(deliveries.is_empty());
+        // The send operation itself is still counted.
+        assert_eq!(network.stats().node_or_default(NodeId(0)).total_sent(), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_the_lan_with_one_send() {
+        let mut network = Network::new(Topology::lan(5, true));
+        let mut rng = SimRng::new(2);
+        let deliveries = network.send(
+            Packet {
+                from: NodeId(0),
+                target: PacketTarget::Broadcast,
+                size_bytes: 100,
+                class: TrafficClass::Data,
+                payload: (),
+            },
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(deliveries.len(), 4);
+        assert_eq!(network.stats().node_or_default(NodeId(0)).total_sent(), 1);
+    }
+
+    #[test]
+    fn broadcast_without_native_multicast_reaches_nobody() {
+        let mut network = Network::new(Topology::lan(5, false));
+        let mut rng = SimRng::new(2);
+        let deliveries = network.send(
+            Packet {
+                from: NodeId(0),
+                target: PacketTarget::Broadcast,
+                size_bytes: 100,
+                class: TrafficClass::Data,
+                payload: (),
+            },
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(deliveries.is_empty());
+    }
+
+    #[test]
+    fn lossy_links_record_losses() {
+        let topology = Topology::ad_hoc(2).with_wireless(Wireless80211b { loss_rate: 1.0, ..Wireless80211b::default() });
+        let mut network = Network::new(topology);
+        let mut rng = SimRng::new(3);
+        let deliveries = network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        assert!(deliveries.is_empty());
+        assert_eq!(network.stats().node_or_default(NodeId(0)).lost, 1);
+        assert_eq!(network.stats().node_or_default(NodeId(1)).total_received(), 0);
+    }
+
+    #[test]
+    fn dead_senders_send_nothing() {
+        let mut network = Network::new(Topology::lan(2, false));
+        network.topology_mut().node_mut(NodeId(0)).unwrap().alive = false;
+        let mut rng = SimRng::new(4);
+        let deliveries = network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        assert!(deliveries.is_empty());
+        assert_eq!(network.stats().total_sent(), 0);
+        assert!(!network.is_operational(NodeId(0)));
+    }
+
+    #[test]
+    fn dead_receivers_lose_packets() {
+        let mut network = Network::new(Topology::lan(2, false));
+        network.topology_mut().node_mut(NodeId(1)).unwrap().alive = false;
+        let mut rng = SimRng::new(4);
+        let deliveries = network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        assert!(deliveries.is_empty());
+        assert_eq!(network.stats().node_or_default(NodeId(0)).lost, 1);
+    }
+
+    #[test]
+    fn transmissions_drain_mobile_batteries() {
+        let mut network = Network::new(Topology::hybrid_cell(1, 1));
+        let mut rng = SimRng::new(5);
+        let before = network.battery_fraction(NodeId(1));
+        for _ in 0..50 {
+            network.send(packet(1, 0, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        }
+        let after = network.battery_fraction(NodeId(1));
+        assert!(after < before);
+        // Fixed nodes never drain.
+        assert_eq!(network.battery_fraction(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn energy_accounting_matches_stats() {
+        let mut network = Network::new(Topology::hybrid_cell(1, 1));
+        let mut rng = SimRng::new(6);
+        network.send(packet(1, 0, TrafficClass::Control), SimTime::ZERO, &mut rng);
+        let stats = network.stats().node_or_default(NodeId(1));
+        assert!(stats.energy_joules > 0.0);
+        assert_eq!(stats.sent_of(TrafficClass::Control), 1);
+    }
+}

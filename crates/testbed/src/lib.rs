@@ -1,0 +1,24 @@
+//! # morpheus-testbed
+//!
+//! The simulated experimental testbed: it instantiates one
+//! [`morpheus_core::MorpheusNode`] per participant, binds each to the
+//! deterministic discrete-event network simulator (`morpheus-netsim`) through
+//! a [`platform::SimPlatform`], and runs complete distributed scenarios —
+//! including the paper's evaluation scenario (a hybrid 802.11b cell with
+//! fixed PCs and mobile PDAs exchanging chat traffic).
+//!
+//! * [`scenario::Scenario`] describes an experiment: devices, topology,
+//!   workload, whether adaptation is enabled, seeds.
+//! * [`runner::Runner`] executes a scenario to completion and produces a
+//!   [`report::RunReport`] with the per-node message counts (the metric of
+//!   the paper's Figure 3), energy, deliveries and reconfiguration events.
+
+pub mod platform;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use platform::SimPlatform;
+pub use report::{NodeReport, RunReport};
+pub use runner::Runner;
+pub use scenario::{Scenario, TopologyChoice, Workload};

@@ -1,0 +1,192 @@
+//! The platform binding between a Morpheus node and the network simulator.
+
+use std::collections::HashSet;
+
+use morpheus_appia::platform::{
+    AppDelivery, NodeId, NodeProfile, OutPacket, Platform, ReconfigRequest,
+};
+use morpheus_appia::timer::TimerKey;
+use morpheus_netsim::SimRng;
+
+/// A deterministic [`Platform`] implementation backed by the simulator.
+///
+/// The runner owns one `SimPlatform` per node. All side effects requested by
+/// the node's protocol stack (packets, timers, application deliveries,
+/// reconfiguration requests) are buffered here and drained by the runner
+/// after each interaction, which keeps the node code free of any reference to
+/// the simulation engine.
+#[derive(Debug)]
+pub struct SimPlatform {
+    node_id: NodeId,
+    profile: NodeProfile,
+    now_ms: u64,
+    rng: SimRng,
+    /// Packets queued for transmission.
+    pub out_packets: Vec<OutPacket>,
+    /// Timers armed since the last drain: `(delay_ms, key)`.
+    pub timer_requests: Vec<(u64, TimerKey)>,
+    /// Timers cancelled since the last drain.
+    pub cancelled_timers: HashSet<TimerKey>,
+    /// Application deliveries produced since the last drain.
+    pub deliveries: Vec<AppDelivery>,
+    /// Reconfiguration requests raised since the last drain.
+    pub reconfig_requests: Vec<ReconfigRequest>,
+}
+
+impl SimPlatform {
+    /// Creates a platform for one node.
+    pub fn new(profile: NodeProfile, seed: u64) -> Self {
+        Self {
+            node_id: profile.node_id,
+            profile,
+            now_ms: 0,
+            rng: SimRng::new(seed),
+            out_packets: Vec::new(),
+            timer_requests: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            deliveries: Vec::new(),
+            reconfig_requests: Vec::new(),
+        }
+    }
+
+    /// Advances the platform's clock to the given simulated time.
+    pub fn set_now(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+    }
+
+    /// Refreshes the locally observable context (battery, link state) before
+    /// handing control to the node.
+    pub fn set_profile(&mut self, profile: NodeProfile) {
+        self.profile = profile;
+    }
+
+    /// Drains the queued outgoing packets.
+    pub fn take_packets(&mut self) -> Vec<OutPacket> {
+        std::mem::take(&mut self.out_packets)
+    }
+
+    /// Drains the timers armed since the last call.
+    pub fn take_timer_requests(&mut self) -> Vec<(u64, TimerKey)> {
+        std::mem::take(&mut self.timer_requests)
+    }
+
+    /// Drains the application deliveries.
+    pub fn take_deliveries(&mut self) -> Vec<AppDelivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Drains the reconfiguration requests.
+    pub fn take_reconfig_requests(&mut self) -> Vec<ReconfigRequest> {
+        std::mem::take(&mut self.reconfig_requests)
+    }
+
+    /// Whether the timer was cancelled (and forgets the cancellation).
+    pub fn consume_cancellation(&mut self, key: &TimerKey) -> bool {
+        self.cancelled_timers.remove(key)
+    }
+}
+
+impl Platform for SimPlatform {
+    fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    fn node_id(&self) -> NodeId {
+        self.node_id
+    }
+
+    fn profile(&self) -> NodeProfile {
+        self.profile.clone()
+    }
+
+    fn send(&mut self, packet: OutPacket) {
+        self.out_packets.push(packet);
+    }
+
+    fn set_timer(&mut self, delay_ms: u64, key: TimerKey) {
+        self.timer_requests.push((delay_ms, key));
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        self.cancelled_timers.insert(key);
+    }
+
+    fn deliver(&mut self, delivery: AppDelivery) {
+        self.deliveries.push(delivery);
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rng.random_u64()
+    }
+
+    fn request_reconfiguration(&mut self, request: ReconfigRequest) {
+        self.reconfig_requests.push(request);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::channel::ChannelId;
+    use morpheus_appia::platform::{DeliveryKind, PacketClass, PacketDest};
+
+    use super::*;
+
+    #[test]
+    fn platform_buffers_side_effects_until_drained() {
+        let mut platform = SimPlatform::new(NodeProfile::mobile_pda(NodeId(3)), 7);
+        platform.set_now(100);
+        assert_eq!(platform.now_ms(), 100);
+        platform.set_now(50);
+        assert_eq!(platform.now_ms(), 100, "time never goes backwards");
+
+        platform.send(OutPacket {
+            from: NodeId(3),
+            dest: PacketDest::Node(NodeId(0)),
+            class: PacketClass::Data,
+            channel: "data".into(),
+            payload: bytes::Bytes::from_static(b"x"),
+        });
+        platform.set_timer(10, TimerKey::new(ChannelId(1), 1));
+        platform.deliver(AppDelivery {
+            channel: "data".into(),
+            kind: DeliveryKind::Notification("n".into()),
+        });
+        platform.request_reconfiguration(ReconfigRequest {
+            channel: "data".into(),
+            stack_name: "s".into(),
+            description: "<channel name=\"data\"><layer name=\"network\"/></channel>".into(),
+        });
+
+        assert_eq!(platform.take_packets().len(), 1);
+        assert_eq!(platform.take_timer_requests().len(), 1);
+        assert_eq!(platform.take_deliveries().len(), 1);
+        assert_eq!(platform.take_reconfig_requests().len(), 1);
+        assert!(platform.take_packets().is_empty());
+    }
+
+    #[test]
+    fn cancellations_are_consumed_once() {
+        let mut platform = SimPlatform::new(NodeProfile::fixed_pc(NodeId(0)), 1);
+        let key = TimerKey::new(ChannelId(2), 9);
+        platform.cancel_timer(key);
+        assert!(platform.consume_cancellation(&key));
+        assert!(!platform.consume_cancellation(&key));
+    }
+
+    #[test]
+    fn deterministic_randomness_per_seed() {
+        let mut a = SimPlatform::new(NodeProfile::fixed_pc(NodeId(0)), 42);
+        let mut b = SimPlatform::new(NodeProfile::fixed_pc(NodeId(0)), 42);
+        assert_eq!(a.random_u64(), b.random_u64());
+    }
+
+    #[test]
+    fn profile_refresh_changes_what_the_stack_sees() {
+        let mut platform = SimPlatform::new(NodeProfile::mobile_pda(NodeId(1)), 1);
+        assert_eq!(platform.profile().battery_level, 1.0);
+        let mut drained = NodeProfile::mobile_pda(NodeId(1));
+        drained.battery_level = 0.25;
+        platform.set_profile(drained);
+        assert_eq!(platform.profile().battery_level, 0.25);
+    }
+}

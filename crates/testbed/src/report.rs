@@ -1,0 +1,207 @@
+//! Run reports: the measurements a scenario produces.
+
+use morpheus_appia::platform::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Whether the node is a mobile device.
+    pub is_mobile: bool,
+    /// Data messages transmitted (each point-to-point send counts once).
+    pub sent_data: u64,
+    /// Group-communication control messages transmitted.
+    pub sent_control: u64,
+    /// Context dissemination messages transmitted.
+    pub sent_context: u64,
+    /// Messages received (all classes).
+    pub received_total: u64,
+    /// Bytes transmitted.
+    pub bytes_sent: u64,
+    /// Energy spent by the radio, in joules.
+    pub energy_joules: f64,
+    /// Remaining battery fraction at the end of the run.
+    pub battery_fraction: f64,
+    /// Application (chat) messages delivered to this node.
+    pub app_deliveries: u64,
+    /// Number of view changes reported to the application.
+    pub view_changes: u64,
+    /// Name of the stack deployed at the end of the run.
+    pub final_stack: String,
+    /// Number of stack reconfigurations applied.
+    pub reconfigurations: u64,
+    /// Notifications reported to the application (reconfiguration reports).
+    pub notifications: Vec<String>,
+    /// Packet or reconfiguration processing errors (should be zero).
+    pub errors: u64,
+}
+
+impl NodeReport {
+    /// Total messages transmitted by this node, all classes included — the
+    /// quantity the paper's Figure 3 plots for the mobile device.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_data + self.sent_control + self.sent_context
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the scenario.
+    pub scenario: String,
+    /// Number of participating devices.
+    pub devices: usize,
+    /// Whether adaptation was enabled.
+    pub adaptive: bool,
+    /// Simulated duration of the run, in milliseconds.
+    pub duration_ms: u64,
+    /// Packets lost in transit.
+    pub messages_lost: u64,
+    /// Per-node measurements, in node-id order.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl RunReport {
+    /// The report of one node.
+    pub fn node(&self, node: NodeId) -> Option<&NodeReport> {
+        self.nodes.iter().find(|report| report.node == node)
+    }
+
+    /// Every mobile node's report.
+    pub fn mobile_nodes(&self) -> impl Iterator<Item = &NodeReport> {
+        self.nodes.iter().filter(|report| report.is_mobile)
+    }
+
+    /// Every fixed node's report.
+    pub fn fixed_nodes(&self) -> impl Iterator<Item = &NodeReport> {
+        self.nodes.iter().filter(|report| !report.is_mobile)
+    }
+
+    /// Total messages sent by the instrumented mobile node (the lowest-id
+    /// mobile node), all classes included.
+    pub fn measured_mobile_sent(&self) -> u64 {
+        self.mobile_nodes().map(NodeReport::sent_total).next().unwrap_or(0)
+    }
+
+    /// Total messages sent by the fixed nodes, all classes included.
+    pub fn fixed_sent_total(&self) -> u64 {
+        self.fixed_nodes().map(NodeReport::sent_total).sum()
+    }
+
+    /// Total chat messages delivered to applications across all nodes.
+    pub fn total_app_deliveries(&self) -> u64 {
+        self.nodes.iter().map(|report| report.app_deliveries).sum()
+    }
+
+    /// Total reconfigurations applied across all nodes.
+    pub fn total_reconfigurations(&self) -> u64 {
+        self.nodes.iter().map(|report| report.reconfigurations).sum()
+    }
+
+    /// Sum of processing errors across all nodes (expected to be zero).
+    pub fn total_errors(&self) -> u64 {
+        self.nodes.iter().map(|report| report.errors).sum()
+    }
+
+    /// Reconfiguration-latency notifications produced by the coordinator.
+    pub fn reconfiguration_notices(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .flat_map(|report| report.notifications.iter())
+            .filter(|text| text.contains("reconfiguration"))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Renders a fixed-width table of the per-node counters, suitable for
+    /// printing from examples and benches.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario: {} ({} devices, adaptive: {})\n",
+            self.scenario, self.devices, self.adaptive
+        ));
+        out.push_str(&format!(
+            "duration: {:.1}s   lost packets: {}\n",
+            self.duration_ms as f64 / 1000.0,
+            self.messages_lost
+        ));
+        out.push_str(
+            "node   kind    sent-data  sent-ctrl  sent-ctx  sent-total  delivered  stack\n",
+        );
+        for node in &self.nodes {
+            out.push_str(&format!(
+                "{:<6} {:<7} {:>9}  {:>9}  {:>8}  {:>10}  {:>9}  {}\n",
+                node.node.to_string(),
+                if node.is_mobile { "mobile" } else { "fixed" },
+                node.sent_data,
+                node.sent_control,
+                node.sent_context,
+                node.sent_total(),
+                node.app_deliveries,
+                node.final_stack,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u32, mobile: bool, data: u64, control: u64) -> NodeReport {
+        NodeReport {
+            node: NodeId(id),
+            is_mobile: mobile,
+            sent_data: data,
+            sent_control: control,
+            sent_context: 1,
+            received_total: 0,
+            bytes_sent: 0,
+            energy_joules: 0.0,
+            battery_fraction: 1.0,
+            app_deliveries: 5,
+            view_changes: 1,
+            final_stack: "best-effort".into(),
+            reconfigurations: 0,
+            notifications: vec!["reconfiguration to `x` completed across 2 nodes in 3 ms".into()],
+            errors: 0,
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            scenario: "test".into(),
+            devices: 2,
+            adaptive: true,
+            duration_ms: 1000,
+            messages_lost: 0,
+            nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
+        }
+    }
+
+    #[test]
+    fn aggregates_are_computed_over_the_right_nodes() {
+        let report = report();
+        assert_eq!(report.measured_mobile_sent(), 6);
+        assert_eq!(report.fixed_sent_total(), 13);
+        assert_eq!(report.total_app_deliveries(), 10);
+        assert_eq!(report.total_errors(), 0);
+        assert_eq!(report.node(NodeId(1)).unwrap().sent_total(), 6);
+        assert_eq!(report.mobile_nodes().count(), 1);
+        assert_eq!(report.fixed_nodes().count(), 1);
+        assert_eq!(report.reconfiguration_notices().len(), 2);
+    }
+
+    #[test]
+    fn table_rendering_mentions_every_node() {
+        let table = report().to_table();
+        assert!(table.contains("n0"));
+        assert!(table.contains("n1"));
+        assert!(table.contains("mobile"));
+        assert!(table.contains("best-effort"));
+    }
+}

@@ -1,0 +1,476 @@
+//! The scenario runner: a deterministic, discrete-event execution of a full
+//! distributed Morpheus deployment.
+
+use bytes::Bytes;
+
+use morpheus_appia::platform::{DeliveryKind, InPacket, NodeId, NodeProfile, PacketClass, PacketDest};
+use morpheus_appia::timer::TimerKey;
+use morpheus_core::{MorpheusNode, NodeOptions};
+use morpheus_netsim::{
+    EventQueue, Network, NodeId as SimNodeId, Packet, PacketTarget, SimRng, SimTime, Topology,
+    TrafficClass, Wireless80211b,
+};
+
+use crate::platform::SimPlatform;
+use crate::report::{NodeReport, RunReport};
+use crate::scenario::{Scenario, TopologyChoice};
+
+/// Opaque payload carried by simulated packets.
+#[derive(Debug, Clone)]
+struct NetPayload {
+    channel: String,
+    bytes: Bytes,
+}
+
+/// Events driving the simulation.
+#[derive(Debug)]
+enum SimEvent {
+    /// A packet arrives at a node.
+    Packet { to: NodeId, from: NodeId, class: PacketClass, payload: NetPayload },
+    /// A protocol timer fires at a node.
+    Timer { node: NodeId, key: TimerKey },
+    /// The application on a node emits one chat message.
+    AppSend { node: NodeId, seq: u64 },
+    /// The node crashes (fails silently) at this instant.
+    NodeFailure { node: NodeId },
+}
+
+/// Per-node bookkeeping collected during a run.
+#[derive(Debug, Default, Clone)]
+struct NodeTally {
+    app_deliveries: u64,
+    view_changes: u64,
+    notifications: Vec<String>,
+    reconfig_errors: u64,
+    packet_errors: u64,
+}
+
+/// Fixed per-packet framing overhead added to every transmission (UDP + IP
+/// headers), so energy and byte counts are not unrealistically small.
+const FRAMING_OVERHEAD_BYTES: usize = 28;
+
+/// Executes [`Scenario`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Runner {
+    /// Hard cap on processed simulation events (safety net against runaway
+    /// feedback loops). `0` means no cap.
+    pub max_events: u64,
+}
+
+impl Runner {
+    /// Creates a runner with default settings.
+    pub fn new() -> Self {
+        Self { max_events: 0 }
+    }
+
+    /// Runs a scenario to completion and reports the results.
+    pub fn run(&self, scenario: &Scenario) -> RunReport {
+        let members = scenario.members();
+        let topology = build_topology(scenario);
+        let mut network = Network::new(topology);
+        let mut rng = SimRng::new(scenario.seed);
+        let mut queue: EventQueue<SimEvent> = EventQueue::new();
+
+        // Instantiate one Morpheus node per participant.
+        let mut nodes: Vec<MorpheusNode> = Vec::with_capacity(members.len());
+        let mut platforms: Vec<SimPlatform> = Vec::with_capacity(members.len());
+        let mut tallies: Vec<NodeTally> = vec![NodeTally::default(); members.len()];
+
+        for member in &members {
+            let profile = profile_for(&network, scenario, *member);
+            let mut platform =
+                SimPlatform::new(profile, scenario.seed.wrapping_add(0x9E37 + u64::from(member.0)));
+            let mut options = NodeOptions::new(members.clone())
+                .with_initial_stack(scenario.initial_stack.clone())
+                .with_publish_interval(scenario.publish_interval_ms);
+            options.adaptive = scenario.adaptive;
+            options.hb_interval_ms = scenario.hb_interval_ms;
+            options.suspect_timeout_ms = scenario.suspect_timeout_ms;
+            for (key, value) in &scenario.core_params {
+                options = options.with_core_param(key.clone(), value.clone());
+            }
+            let node = MorpheusNode::new(options, &mut platform)
+                .expect("scenario stacks are built from the catalogue and always instantiate");
+            nodes.push(node);
+            platforms.push(platform);
+        }
+
+        // Side effects produced while the nodes were constructed (initial
+        // context publications, timers) must be flushed before time starts.
+        for index in 0..members.len() {
+            flush_node(
+                index,
+                SimTime::ZERO,
+                scenario,
+                &mut nodes,
+                &mut platforms,
+                &mut tallies,
+                &mut network,
+                &mut queue,
+                &mut rng,
+            );
+        }
+
+        // Schedule the application workload.
+        for sender in &scenario.workload.senders {
+            for seq in 0..scenario.workload.messages_per_sender {
+                let at = scenario.workload.warmup_ms + seq * scenario.workload.interval_ms;
+                queue.push(SimTime::from_millis(at), SimEvent::AppSend { node: *sender, seq });
+            }
+        }
+
+        // Schedule injected node failures.
+        for (at_ms, node) in &scenario.failures {
+            queue.push(SimTime::from_millis(*at_ms), SimEvent::NodeFailure { node: *node });
+        }
+
+        // Main discrete-event loop.
+        let end = SimTime::from_millis(scenario.end_time_ms());
+        let mut processed: u64 = 0;
+        let mut last_time = SimTime::ZERO;
+        while let Some((time, event)) = queue.pop() {
+            if time > end {
+                break;
+            }
+            if self.max_events != 0 && processed >= self.max_events {
+                break;
+            }
+            processed += 1;
+            last_time = time;
+
+            let node_id = match &event {
+                SimEvent::Packet { to, .. } => *to,
+                SimEvent::Timer { node, .. } => *node,
+                SimEvent::AppSend { node, .. } => *node,
+                SimEvent::NodeFailure { node } => *node,
+            };
+            let index = node_id.0 as usize;
+            if index >= nodes.len() {
+                continue;
+            }
+            if let SimEvent::NodeFailure { node } = &event {
+                if let Some(sim_node) = network.topology_mut().node_mut(SimNodeId(node.0)) {
+                    sim_node.alive = false;
+                }
+                continue;
+            }
+            // Crashed nodes stop processing anything.
+            if !network.is_operational(SimNodeId(node_id.0)) {
+                continue;
+            }
+
+            platforms[index].set_now(time.as_millis());
+            platforms[index].set_profile(profile_for(&network, scenario, node_id));
+
+            match event {
+                SimEvent::Packet { to, from, class, payload } => {
+                    let packet = InPacket {
+                        from,
+                        to,
+                        class,
+                        channel: payload.channel.clone(),
+                        payload: payload.bytes.clone(),
+                    };
+                    if nodes[index].deliver_packet(packet, &mut platforms[index]).is_err() {
+                        tallies[index].packet_errors += 1;
+                    }
+                }
+                SimEvent::Timer { key, .. } => {
+                    if !platforms[index].consume_cancellation(&key) {
+                        nodes[index].timer_fired(key, &mut platforms[index]);
+                    }
+                }
+                SimEvent::AppSend { seq, .. } => {
+                    let payload = chat_payload(node_id, seq, scenario.workload.payload_size);
+                    nodes[index].send_to_group(payload, &mut platforms[index]);
+                }
+                SimEvent::NodeFailure { .. } => unreachable!("handled above"),
+            }
+
+            flush_node(
+                index,
+                time,
+                scenario,
+                &mut nodes,
+                &mut platforms,
+                &mut tallies,
+                &mut network,
+                &mut queue,
+                &mut rng,
+            );
+        }
+
+        build_report(scenario, last_time, &network, &nodes, &tallies)
+    }
+}
+
+/// Builds the netsim topology for a scenario.
+fn build_topology(scenario: &Scenario) -> Topology {
+    let wireless = Wireless80211b { loss_rate: scenario.wireless_loss, ..Wireless80211b::default() };
+    let topology = match scenario.topology {
+        TopologyChoice::HybridCell => {
+            Topology::hybrid_cell(scenario.fixed_nodes, scenario.mobile_nodes)
+        }
+        TopologyChoice::Lan { native_multicast } => {
+            Topology::lan(scenario.device_count(), native_multicast)
+        }
+        TopologyChoice::AdHoc => Topology::ad_hoc(scenario.device_count()),
+        TopologyChoice::Wan => Topology::wan(scenario.device_count()),
+    };
+    topology.with_wireless(wireless)
+}
+
+/// The locally observable context of a node, refreshed from the simulator.
+fn profile_for(network: &Network, scenario: &Scenario, node: NodeId) -> NodeProfile {
+    let sim_id = SimNodeId(node.0);
+    let kind = network.kind_of(sim_id);
+    let topology = network.topology();
+    let device_class = if kind.is_mobile() {
+        morpheus_appia::platform::DeviceClass::MobilePda
+    } else {
+        morpheus_appia::platform::DeviceClass::FixedPc
+    };
+    NodeProfile {
+        node_id: node,
+        device_class,
+        battery_level: network.battery_fraction(sim_id),
+        link_quality: 1.0 - topology.local_loss_rate(sim_id),
+        bandwidth_kbps: topology.local_bandwidth_kbps(sim_id),
+        error_rate: if kind.is_mobile() { scenario.wireless_loss } else { 0.0 },
+        has_native_multicast: topology.native_multicast_available(sim_id),
+    }
+}
+
+/// Generates one chat payload of the requested size.
+fn chat_payload(sender: NodeId, seq: u64, size: usize) -> Bytes {
+    let mut payload = format!("chat:{sender}:{seq}:").into_bytes();
+    payload.resize(size.max(payload.len()), b'x');
+    Bytes::from(payload)
+}
+
+fn traffic_class(class: PacketClass) -> TrafficClass {
+    match class {
+        PacketClass::Data => TrafficClass::Data,
+        PacketClass::Control => TrafficClass::Control,
+        PacketClass::Context => TrafficClass::Context,
+    }
+}
+
+/// Drains every side effect a node produced and feeds it back into the
+/// simulation: packets onto the network, timers onto the event queue,
+/// reconfiguration requests into the node's local module, deliveries into the
+/// tallies. Repeats until the node is quiescent.
+#[allow(clippy::too_many_arguments)]
+fn flush_node(
+    index: usize,
+    now: SimTime,
+    scenario: &Scenario,
+    nodes: &mut [MorpheusNode],
+    platforms: &mut [SimPlatform],
+    tallies: &mut [NodeTally],
+    network: &mut Network,
+    queue: &mut EventQueue<SimEvent>,
+    rng: &mut SimRng,
+) {
+    loop {
+        let mut progressed = false;
+
+        // 1. Reconfiguration requests raised by the Core control layer.
+        for request in platforms[index].take_reconfig_requests() {
+            progressed = true;
+            if nodes[index].apply_reconfiguration(request, &mut platforms[index]).is_err() {
+                tallies[index].reconfig_errors += 1;
+            }
+        }
+
+        // 2. Outgoing packets.
+        for out in platforms[index].take_packets() {
+            progressed = true;
+            let target = match out.dest {
+                PacketDest::Node(to) => PacketTarget::Unicast(SimNodeId(to.0)),
+                PacketDest::Broadcast => PacketTarget::Broadcast,
+            };
+            let packet = Packet {
+                from: SimNodeId(out.from.0),
+                target,
+                size_bytes: out.payload.len() + FRAMING_OVERHEAD_BYTES,
+                class: traffic_class(out.class),
+                payload: NetPayload { channel: out.channel.clone(), bytes: out.payload.clone() },
+            };
+            for delivery in network.send(packet, now, rng) {
+                queue.push(
+                    delivery.at,
+                    SimEvent::Packet {
+                        to: NodeId(delivery.to.0),
+                        from: NodeId(delivery.from.0),
+                        class: out.class,
+                        payload: delivery.payload,
+                    },
+                );
+            }
+        }
+
+        // 3. Timers.
+        for (delay, key) in platforms[index].take_timer_requests() {
+            progressed = true;
+            queue.push(now + delay, SimEvent::Timer { node: NodeId(index as u32), key });
+        }
+
+        // 4. Application deliveries.
+        for delivery in platforms[index].take_deliveries() {
+            progressed = true;
+            match delivery.kind {
+                DeliveryKind::Data { .. } => tallies[index].app_deliveries += 1,
+                DeliveryKind::ViewChange { .. } => tallies[index].view_changes += 1,
+                DeliveryKind::Reconfigured { stack } => {
+                    tallies[index].notifications.push(format!("reconfigured to {stack}"));
+                }
+                DeliveryKind::Notification(text) => tallies[index].notifications.push(text),
+            }
+        }
+
+        let _ = scenario;
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Assembles the final report.
+fn build_report(
+    scenario: &Scenario,
+    last_time: SimTime,
+    network: &Network,
+    nodes: &[MorpheusNode],
+    tallies: &[NodeTally],
+) -> RunReport {
+    let mut node_reports = Vec::with_capacity(nodes.len());
+    for (index, node) in nodes.iter().enumerate() {
+        let node_id = NodeId(index as u32);
+        let sim_id = SimNodeId(index as u32);
+        let stats = network.stats().node_or_default(sim_id);
+        let tally = &tallies[index];
+        node_reports.push(NodeReport {
+            node: node_id,
+            is_mobile: network.kind_of(sim_id).is_mobile(),
+            sent_data: stats.sent_of(TrafficClass::Data),
+            sent_control: stats.sent_of(TrafficClass::Control),
+            sent_context: stats.sent_of(TrafficClass::Context),
+            received_total: stats.total_received(),
+            bytes_sent: stats.bytes_sent,
+            energy_joules: stats.energy_joules,
+            battery_fraction: network.battery_fraction(sim_id),
+            app_deliveries: tally.app_deliveries,
+            view_changes: tally.view_changes,
+            final_stack: node.current_stack().to_string(),
+            reconfigurations: node.reconfigurations(),
+            notifications: tally.notifications.clone(),
+            errors: tally.packet_errors + tally.reconfig_errors,
+        });
+    }
+    RunReport {
+        scenario: scenario.name.clone(),
+        devices: scenario.device_count(),
+        adaptive: scenario.adaptive,
+        duration_ms: last_time.as_millis(),
+        messages_lost: network.stats().total_lost(),
+        nodes: node_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Workload;
+
+    fn small_figure3(devices: usize, optimized: bool) -> Scenario {
+        let mut scenario = Scenario::figure3(devices, optimized, 60);
+        scenario.workload.warmup_ms = 2500;
+        scenario.publish_interval_ms = 500;
+        scenario
+    }
+
+    #[test]
+    fn non_adaptive_mobile_node_pays_the_full_fanout() {
+        let report = Runner::new().run(&small_figure3(4, false));
+        let mobile = report.node(NodeId(1)).unwrap();
+        // 60 group sends, each expanded to 3 point-to-point messages.
+        assert_eq!(mobile.sent_data, 180);
+        assert_eq!(mobile.final_stack, "best-effort");
+        assert_eq!(mobile.reconfigurations, 0);
+    }
+
+    #[test]
+    fn adaptive_run_switches_to_mecho_and_flattens_the_mobile_load() {
+        let report = Runner::new().run(&small_figure3(6, true));
+        let mobile = report.node(NodeId(1)).unwrap();
+        assert!(
+            mobile.final_stack.starts_with("hybrid-mecho"),
+            "unexpected final stack {}",
+            mobile.final_stack
+        );
+        assert!(mobile.reconfigurations >= 1);
+        // After the switch, each chat message costs the mobile node a single
+        // transmission, so the data count stays close to the message count.
+        assert!(
+            mobile.sent_data <= 120,
+            "mobile sent {} data messages, expected roughly 60",
+            mobile.sent_data
+        );
+        // The fixed relay pays the fan-out instead (paper footnote 1).
+        let fixed = report.node(NodeId(0)).unwrap();
+        assert!(fixed.sent_data > mobile.sent_data);
+        // Messages are still delivered to every participant.
+        assert!(report.total_app_deliveries() > 0);
+    }
+
+    #[test]
+    fn adaptive_and_baseline_agree_for_two_devices() {
+        let optimized = Runner::new().run(&small_figure3(2, true));
+        let baseline = Runner::new().run(&small_figure3(2, false));
+        let sent_optimized = optimized.node(NodeId(1)).unwrap().sent_data;
+        let sent_baseline = baseline.node(NodeId(1)).unwrap().sent_data;
+        assert_eq!(
+            sent_baseline, 60,
+            "with two devices every interaction is a single point-to-point message"
+        );
+        assert_eq!(sent_optimized, sent_baseline);
+    }
+
+    #[test]
+    fn deliveries_reach_the_other_participants() {
+        let report = Runner::new().run(&small_figure3(3, false));
+        // Two receivers, 60 messages each (loss-free wired/wireless defaults).
+        assert_eq!(report.total_app_deliveries(), 120);
+        assert_eq!(report.messages_lost, 0);
+    }
+
+    #[test]
+    fn lossy_wireless_runs_record_losses() {
+        let scenario = small_figure3(4, false).with_wireless_loss(0.3).with_seed(7);
+        let report = Runner::new().run(&scenario);
+        assert!(report.messages_lost > 0);
+        let mobile = report.node(NodeId(1)).unwrap();
+        assert_eq!(mobile.sent_data, 180, "losses do not change how much the sender transmits");
+        assert!(report.total_app_deliveries() < 360);
+    }
+
+    #[test]
+    fn ad_hoc_scenarios_run_with_every_node_mobile() {
+        let mut scenario = Scenario::new("adhoc", 0, 3)
+            .with_topology(crate::scenario::TopologyChoice::AdHoc)
+            .non_adaptive();
+        scenario.workload = Workload::paper_chat(vec![NodeId(0)], 20);
+        scenario.workload.warmup_ms = 1000;
+        let report = Runner::new().run(&scenario);
+        assert!(report.nodes.iter().all(|node| node.is_mobile));
+        assert_eq!(report.node(NodeId(0)).unwrap().sent_data, 40);
+    }
+
+    #[test]
+    fn max_events_caps_the_run() {
+        let runner = Runner { max_events: 10 };
+        let report = runner.run(&small_figure3(3, false));
+        assert!(report.total_app_deliveries() < 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! Reproduces the paper's **Figure 3**: number of messages sent by the mobile
+//! node as a function of the number of devices, with ("optimized") and
+//! without ("not optimized") the Mecho adaptation.
+//!
+//! The paper runs 40,000 messages per configuration; pass a smaller count as
+//! the first argument for a quick run, e.g.
+//! `cargo run --release --example figure3 -- 2000`.
+
+use morpheus::prelude::*;
+
+fn main() {
+    let messages: u64 = std::env::args()
+        .nth(1)
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(4_000);
+
+    println!("Figure 3 — messages sent by the mobile node (workload: {messages} chat messages)");
+    println!("{:>8}  {:>16}  {:>16}  {:>8}", "devices", "not optimized", "optimized", "ratio");
+
+    for devices in 2..=9usize {
+        let baseline = Runner::new()
+            .run(&Scenario::figure3(devices, false, messages).with_seed(devices as u64));
+        let optimized = Runner::new()
+            .run(&Scenario::figure3(devices, true, messages).with_seed(devices as u64));
+
+        let baseline_sent = baseline.measured_mobile_sent();
+        let optimized_sent = optimized.measured_mobile_sent();
+        let ratio = baseline_sent as f64 / optimized_sent.max(1) as f64;
+        println!("{devices:>8}  {baseline_sent:>16}  {optimized_sent:>16}  {ratio:>8.2}");
+    }
+
+    println!();
+    println!("Expected shape (paper): with 2 devices both series are approximately equal;");
+    println!("as the group grows the non-optimized mobile node's transmissions grow linearly");
+    println!("with the group size while the optimized (Mecho) series stays approximately flat,");
+    println!("paying only a small control overhead. The fixed relay absorbs the fan-out instead.");
+}

@@ -1,0 +1,101 @@
+//! End-to-end reproduction of the shape of the paper's Figure 3 at a reduced
+//! message count: the non-adapted mobile node's transmissions grow linearly
+//! with the group size, the adapted (Mecho) mobile node's stay approximately
+//! flat, and both coincide for two devices.
+
+use morpheus::prelude::*;
+
+const MESSAGES: u64 = 120;
+
+fn run(devices: usize, optimized: bool) -> RunReport {
+    Runner::new().run(&Scenario::figure3(devices, optimized, MESSAGES).with_seed(devices as u64))
+}
+
+#[test]
+fn two_devices_send_the_same_with_and_without_adaptation() {
+    let baseline = run(2, false);
+    let optimized = run(2, true);
+    // With two participants every interaction is point-to-point, so the data
+    // traffic is identical; the adaptive run only adds bounded control and
+    // context traffic.
+    assert_eq!(
+        baseline.node(NodeId(1)).unwrap().sent_data,
+        optimized.node(NodeId(1)).unwrap().sent_data
+    );
+    assert_eq!(baseline.node(NodeId(1)).unwrap().sent_data, MESSAGES);
+}
+
+#[test]
+fn non_adapted_mobile_load_grows_linearly_with_the_group() {
+    let sent: Vec<u64> = [3usize, 6, 9]
+        .iter()
+        .map(|devices| run(*devices, false).node(NodeId(1)).unwrap().sent_data)
+        .collect();
+    assert_eq!(sent, vec![MESSAGES * 2, MESSAGES * 5, MESSAGES * 8]);
+}
+
+#[test]
+fn adapted_mobile_load_stays_flat_as_the_group_grows() {
+    let three = run(3, true);
+    let nine = run(9, true);
+    for report in [&three, &nine] {
+        let mobile = report.node(NodeId(1)).unwrap();
+        assert!(
+            mobile.final_stack.starts_with("hybrid-mecho"),
+            "expected the adaptive run to end on Mecho, got {}",
+            mobile.final_stack
+        );
+    }
+    let sent_three = three.node(NodeId(1)).unwrap().sent_data;
+    let sent_nine = nine.node(NodeId(1)).unwrap().sent_data;
+    // A handful of messages may be sent before the reconfiguration settles,
+    // so allow a small slack above the ideal `MESSAGES` count — but the count
+    // must not scale with the group size.
+    assert!(sent_three <= MESSAGES + MESSAGES / 2, "3 devices: sent {sent_three}");
+    assert!(sent_nine <= MESSAGES + MESSAGES / 2, "9 devices: sent {sent_nine}");
+    let growth = sent_nine as f64 / sent_three as f64;
+    assert!(growth < 1.5, "adapted load grew by {growth}x between 3 and 9 devices");
+}
+
+#[test]
+fn the_adaptation_shifts_the_fanout_to_the_fixed_relay() {
+    let report = run(6, true);
+    let mobile = report.node(NodeId(1)).unwrap();
+    let relay = report.node(NodeId(0)).unwrap();
+    assert!(
+        relay.sent_data > mobile.sent_data * 2,
+        "relay sent {} vs mobile {}",
+        relay.sent_data,
+        mobile.sent_data
+    );
+}
+
+#[test]
+fn the_crossover_factor_matches_the_papers_order_of_magnitude() {
+    // At 9 devices the paper reports roughly an 8x difference between the
+    // two series (320k vs ~40k messages for the 40,000-message workload).
+    let baseline = run(9, false).node(NodeId(1)).unwrap().sent_total();
+    let optimized = run(9, true).node(NodeId(1)).unwrap().sent_total();
+    let ratio = baseline as f64 / optimized as f64;
+    assert!(ratio > 3.0, "expected a large reduction, measured {ratio:.2}x");
+}
+
+#[test]
+fn every_adaptive_run_reports_the_reconfiguration_to_the_coordinator() {
+    let report = run(5, true);
+    assert!(report.total_reconfigurations() >= 5, "every node redeploys its data stack");
+    let notices = report.reconfiguration_notices();
+    assert!(
+        notices.iter().any(|text| text.contains("completed across 5 nodes")),
+        "coordinator reports completion: {notices:?}"
+    );
+    assert_eq!(report.total_errors(), 0);
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let first = run(4, true);
+    let second = run(4, true);
+    assert_eq!(first.node(NodeId(1)).unwrap().sent_total(), second.node(NodeId(1)).unwrap().sent_total());
+    assert_eq!(first.total_app_deliveries(), second.total_app_deliveries());
+}

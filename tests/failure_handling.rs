@@ -1,0 +1,67 @@
+//! Failure handling across the whole middleware: when a participant crashes
+//! mid-run, the heartbeat failure detector suspects it, the view-synchrony
+//! coordinator installs a smaller view, and the remaining participants keep
+//! exchanging chat traffic.
+
+use morpheus::prelude::*;
+
+fn failure_scenario(devices: usize, crashed: NodeId, crash_at_ms: u64) -> Scenario {
+    let mut scenario = Scenario::figure3(devices, false, 300)
+        .with_seed(5)
+        .with_failure(crash_at_ms, crashed);
+    // Fast failure detection so the view change happens within the run.
+    scenario.hb_interval_ms = 300;
+    scenario.suspect_timeout_ms = 1200;
+    scenario.publish_interval_ms = 1000;
+    scenario.workload.warmup_ms = 500;
+    scenario.cooldown_ms = 5000;
+    scenario
+}
+
+#[test]
+fn a_crashed_member_is_removed_from_the_view() {
+    // Node 3 (a mobile receiver) crashes 5 seconds into the run.
+    let report = Runner::new().run(&failure_scenario(4, NodeId(3), 5_000));
+
+    // Survivors observed at least two views: the initial one and the one that
+    // excludes the crashed node.
+    for survivor in [NodeId(0), NodeId(1), NodeId(2)] {
+        let node = report.node(survivor).unwrap();
+        assert!(
+            node.view_changes >= 2,
+            "node {survivor} saw {} view changes, expected the post-crash view",
+            node.view_changes
+        );
+    }
+    // The crashed node stops transmitting after the crash but the sender keeps
+    // going: the run still delivers the bulk of the traffic to the survivors.
+    let crashed = report.node(NodeId(3)).unwrap();
+    let survivor = report.node(NodeId(2)).unwrap();
+    assert!(crashed.app_deliveries < survivor.app_deliveries);
+    assert!(survivor.app_deliveries >= 250, "survivors keep receiving chat traffic");
+}
+
+#[test]
+fn the_sender_narrows_its_fanout_after_the_view_change() {
+    // Without a failure the sender transmits 300 * 3 point-to-point messages.
+    let baseline = Runner::new().run(&failure_scenario(4, NodeId(3), u64::MAX / 2));
+    let with_crash = Runner::new().run(&failure_scenario(4, NodeId(3), 5_000));
+    let baseline_sent = baseline.node(NodeId(1)).unwrap().sent_data;
+    let with_crash_sent = with_crash.node(NodeId(1)).unwrap().sent_data;
+    assert_eq!(baseline_sent, 900);
+    assert!(
+        with_crash_sent < baseline_sent,
+        "after the crashed member leaves the view the sender stops addressing it \
+         ({with_crash_sent} vs {baseline_sent})"
+    );
+}
+
+#[test]
+fn a_crashed_coordinator_is_replaced() {
+    // Node 0 is both the fixed node and the initial coordinator; after it
+    // crashes, the next-lowest node takes over the view change.
+    let report = Runner::new().run(&failure_scenario(4, NodeId(0), 5_000));
+    let survivor = report.node(NodeId(2)).unwrap();
+    assert!(survivor.view_changes >= 2, "survivors install a view without the old coordinator");
+    assert!(survivor.app_deliveries > 0);
+}

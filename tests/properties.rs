@@ -1,0 +1,195 @@
+//! Property-based tests over the framework's core data structures: the wire
+//! format, message header stacks, group views, the declarative configuration
+//! language and the chat message format.
+
+use morpheus::appia::wire::Wire;
+use morpheus::appia::config::{ChannelConfig, LayerSpec};
+use morpheus::groupcomm::headers::{CausalHeader, GossipHeader, McastHeader, McastMode, NackHeader, SeqHeader};
+use morpheus::prelude::*;
+use proptest::prelude::*;
+
+fn node_ids() -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(0u32..64, 0..16).prop_map(|ids| ids.into_iter().map(NodeId).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn message_header_stack_is_lifo_for_any_contents(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        headers in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8),
+    ) {
+        let mut message = Message::with_payload(payload.clone());
+        for header in &headers {
+            message.push_header(header.clone());
+        }
+        prop_assert_eq!(message.header_count(), headers.len());
+
+        // Wire roundtrip preserves everything.
+        let decoded = Message::from_bytes(&message.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &message);
+
+        // Popping returns the headers in reverse push order.
+        let mut decoded = decoded;
+        for header in headers.iter().rev() {
+            let popped = decoded.pop_header().unwrap();
+            prop_assert_eq!(popped.as_ref(), header.as_slice());
+        }
+        prop_assert!(decoded.pop_header().is_none());
+        prop_assert_eq!(decoded.payload().as_ref(), payload.as_slice());
+    }
+
+    #[test]
+    fn views_are_always_sorted_deduplicated_and_coordinated_by_the_minimum(
+        id in 0u64..1000,
+        members in node_ids(),
+    ) {
+        let view = View::new(id, members.clone());
+        let mut sorted = members.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(view.members.clone(), sorted.clone());
+        prop_assert_eq!(view.coordinator(), sorted.first().copied());
+        for member in &sorted {
+            prop_assert!(view.contains(*member));
+            prop_assert_eq!(view.rank_of(*member).map(|rank| view.members[rank]), Some(*member));
+        }
+        // Wire roundtrip.
+        let decoded = View::from_bytes(&view.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, view.clone());
+        // Removing a member always yields a view that no longer contains it.
+        if let Some(first) = sorted.first() {
+            let without = view.without(*first);
+            prop_assert!(!without.contains(*first));
+            prop_assert_eq!(without.id, view.id + 1);
+        }
+    }
+
+    #[test]
+    fn protocol_headers_roundtrip_for_any_field_values(
+        seq in any::<u64>(),
+        origin in 0u32..1024,
+        missing in proptest::collection::vec(any::<u64>(), 0..32),
+        clock in proptest::collection::vec(any::<u64>(), 0..16),
+        rank in any::<u32>(),
+        ttl in any::<u32>(),
+        relay in any::<bool>(),
+    ) {
+        let seq_header = SeqHeader { seq };
+        prop_assert_eq!(SeqHeader::from_bytes(&seq_header.to_bytes()).unwrap(), seq_header);
+
+        let mcast = McastHeader {
+            mode: if relay { McastMode::RelayRequest } else { McastMode::Direct },
+            origin: NodeId(origin),
+        };
+        prop_assert_eq!(McastHeader::from_bytes(&mcast.to_bytes()).unwrap(), mcast);
+
+        let nack = NackHeader { origin: NodeId(origin), missing: missing.clone() };
+        prop_assert_eq!(NackHeader::from_bytes(&nack.to_bytes()).unwrap(), nack);
+
+        let causal = CausalHeader { sender_rank: rank, clock: clock.clone() };
+        prop_assert_eq!(CausalHeader::from_bytes(&causal.to_bytes()).unwrap(), causal);
+
+        let gossip = GossipHeader { origin: NodeId(origin), seq, ttl };
+        prop_assert_eq!(GossipHeader::from_bytes(&gossip.to_bytes()).unwrap(), gossip);
+    }
+
+    #[test]
+    fn channel_descriptions_roundtrip_for_any_parameter_strings(
+        channel_name in "[a-z][a-z0-9-]{0,12}",
+        layer_count in 1usize..6,
+        key in "[a-z][a-z0-9_]{0,8}",
+        value in "[ -~]{0,24}",   // printable ASCII, exercises escaping
+        share in proptest::option::of("[a-z]{1,8}"),
+    ) {
+        let mut config = ChannelConfig::new(channel_name);
+        for index in 0..layer_count {
+            let mut spec = LayerSpec::new(format!("layer{index}")).with_param(&key, &value);
+            if index == 0 {
+                if let Some(share) = &share {
+                    spec = spec.shared(share.clone());
+                }
+            }
+            config = config.with_layer(spec);
+        }
+        let text = config.to_xml();
+        let parsed = ChannelConfig::from_xml(&text).unwrap();
+        prop_assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn chat_messages_roundtrip_for_any_text(
+        room in "[a-z]{1,12}",
+        sender in "[a-zA-Z0-9 ]{1,16}",
+        seq in any::<u64>(),
+        text in "\\PC{0,200}",
+    ) {
+        let message = ChatMessage::new(room, sender, seq, text);
+        let decoded = ChatMessage::from_payload(&message.to_payload()).unwrap();
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn context_snapshots_roundtrip_and_preserve_classification(
+        node in 0u32..128,
+        battery in 0.0f64..=1.0,
+        error_rate in 0.0f64..=1.0,
+        mobile in any::<bool>(),
+    ) {
+        let mut profile = if mobile {
+            NodeProfile::mobile_pda(NodeId(node))
+        } else {
+            NodeProfile::fixed_pc(NodeId(node))
+        };
+        profile.battery_level = battery;
+        profile.error_rate = error_rate;
+        let snapshot = ContextSnapshot::from_profile(&profile, 123);
+        let decoded = ContextSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.clone(), snapshot);
+        prop_assert_eq!(decoded.is_mobile(), Some(mobile));
+        prop_assert!((decoded.battery_level().unwrap() - battery).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fifo_delivery_order_matches_send_order_under_arbitrary_arrival_order() {
+    use morpheus::appia::events::DataEvent;
+    use morpheus::appia::layer::LayerParams;
+    use morpheus::appia::testing::Harness;
+    use morpheus::appia::event::Dest;
+    use morpheus::appia::platform::TestPlatform;
+    use morpheus::groupcomm::fifo::FifoLayer;
+
+    // A deterministic shuffle of sequence numbers 1..=20 delivered to the
+    // FIFO layer must come out in ascending order.
+    let mut order: Vec<u64> = (1..=20).collect();
+    // Simple deterministic permutation.
+    for i in 0..order.len() {
+        let j = (i * 7 + 3) % order.len();
+        order.swap(i, j);
+    }
+
+    let mut platform = TestPlatform::new(NodeId(9));
+    let mut params = LayerParams::new();
+    params.insert("window".into(), "32".into());
+    let mut harness = Harness::new(FifoLayer, &params, &mut platform);
+
+    let mut delivered = Vec::new();
+    for seq in order {
+        let mut message = Message::with_payload(seq.to_be_bytes().to_vec());
+        message.push(&SeqHeader { seq });
+        let events = harness.run_up(
+            morpheus::appia::event::Event::up(DataEvent::new(NodeId(1), Dest::Node(NodeId(9)), message)),
+            &mut platform,
+        );
+        for event in events {
+            let data = event.get::<DataEvent>().unwrap();
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(data.message.payload().as_ref());
+            delivered.push(u64::from_be_bytes(bytes));
+        }
+    }
+    let expected: Vec<u64> = (1..=20).collect();
+    assert_eq!(delivered, expected);
+}

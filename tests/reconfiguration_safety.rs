@@ -1,0 +1,67 @@
+//! Experiment E3 — safety of the reconfiguration procedure: on loss-free
+//! links, every chat message sent before, during and after the adaptation is
+//! delivered to every other participant, because the view-synchrony layer
+//! buffers application sends while the data channel is quiescent and the
+//! shared session carries that buffer into the new stack.
+
+use morpheus::prelude::*;
+
+fn adaptive_scenario(devices: usize, messages: u64) -> Scenario {
+    let mut scenario = Scenario::figure3(devices, true, messages).with_seed(99);
+    // Publish context slowly enough that several chat messages are in flight
+    // when the reconfiguration happens.
+    scenario.publish_interval_ms = 1500;
+    scenario.workload.warmup_ms = 500;
+    scenario.cooldown_ms = 4000;
+    scenario
+}
+
+#[test]
+fn no_chat_message_is_lost_across_the_adaptation() {
+    let devices = 5;
+    let messages = 200;
+    let report = Runner::new().run(&adaptive_scenario(devices, messages));
+
+    assert!(report.total_reconfigurations() >= devices as u64, "all nodes redeployed");
+    assert_eq!(report.messages_lost, 0, "loss-free links lose nothing");
+    // Every message reaches every other participant exactly once.
+    let expected = messages * (devices as u64 - 1);
+    assert_eq!(report.total_app_deliveries(), expected);
+    assert_eq!(report.total_errors(), 0);
+}
+
+#[test]
+fn the_baseline_without_adaptation_delivers_the_same_volume() {
+    let devices = 5;
+    let messages = 200;
+    let mut scenario = adaptive_scenario(devices, messages);
+    scenario.adaptive = false;
+    let report = Runner::new().run(&scenario);
+    assert_eq!(report.total_reconfigurations(), 0);
+    assert_eq!(report.total_app_deliveries(), messages * (devices as u64 - 1));
+}
+
+#[test]
+fn reconfiguration_also_works_when_traffic_is_already_flowing() {
+    // A short warm-up means chat traffic starts on the best-effort stack and
+    // the switch to Mecho happens mid-conversation.
+    let mut scenario = adaptive_scenario(4, 300);
+    scenario.workload.warmup_ms = 0;
+    let report = Runner::new().run(&scenario);
+    assert!(report.total_reconfigurations() >= 4);
+    assert_eq!(report.total_app_deliveries(), 300 * 3);
+    let mobile = report.node(NodeId(1)).unwrap();
+    assert!(mobile.final_stack.starts_with("hybrid-mecho"));
+}
+
+#[test]
+fn view_changes_are_announced_to_every_application() {
+    let report = Runner::new().run(&adaptive_scenario(4, 50));
+    for node in &report.nodes {
+        assert!(
+            node.view_changes >= 1,
+            "node {} saw no view change announcement",
+            node.node
+        );
+    }
+}
