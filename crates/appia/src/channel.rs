@@ -1,19 +1,20 @@
 //! Channels: instantiated protocol stacks.
 //!
 //! A channel binds a QoS (an ordered list of layers) to a concrete stack of
-//! sessions. The channel is also responsible for *event routing*: for each
-//! payload type it computes the ordered set of sessions that accept it and
-//! caches the result, so subsequent events of the same type skip directly
-//! between interested sessions — the "automatic optimisation of the flow of
-//! events" described in the paper.
+//! sessions. The channel is also responsible for *event routing*: at build
+//! time it folds every slot's accept specification into dense per-category
+//! and per-type bitmasks (one bit per stack position), so finding the next
+//! interested session is a shift-and-scan over a `u64` — no hashing and no
+//! allocation on the hot path. This realises the "automatic optimisation of
+//! the flow of events" described in the paper.
 
 use std::any::TypeId;
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::{Direction, EventPayload, EventSpec};
+use crate::event::{Category, Direction, EventPayload, EventSpec};
+use crate::intern::Name;
 use crate::session::SessionRef;
 use crate::wire::{Wire, WireError, WireReader, WireWriter};
 
@@ -39,26 +40,123 @@ impl Wire for ChannelId {
     }
 }
 
+/// Maximum number of sessions in one stack. Routes are stored as one bit per
+/// stack position in a `u64`; the composition validator rejects deeper
+/// stacks (the paper's stacks use 4–7 layers).
+pub const MAX_STACK_DEPTH: usize = 64;
+
 /// One slot of a channel stack: the layer name, its accept specification and
 /// the session instance.
 pub(crate) struct StackSlot {
-    pub(crate) layer_name: String,
+    pub(crate) layer_name: Name,
     pub(crate) accepts: Vec<EventSpec>,
     pub(crate) session: SessionRef,
+}
+
+const CATEGORY_COUNT: usize = 4;
+
+fn category_index(category: Category) -> usize {
+    match category {
+        Category::Sendable => 0,
+        Category::ChannelLifecycle => 1,
+        Category::Timer => 2,
+        Category::Internal => 3,
+    }
+}
+
+/// Dense routing masks, one bit per stack position (bit 0 = bottom).
+///
+/// The static masks are folded once from the slots' accept specifications
+/// when the channel is built; the per-payload-type result is memoised in a
+/// small linear-probed vector (protocol stacks see a handful of distinct
+/// payload types, so a scan beats hashing).
+#[derive(Debug, Default)]
+struct RouteTable {
+    /// Slots accepting every event ([`EventSpec::All`]).
+    all_mask: u64,
+    /// Slots accepting each [`Category`].
+    category_masks: [u64; CATEGORY_COUNT],
+    /// Slots accepting a specific payload type, sorted by `TypeId`.
+    type_masks: Vec<(TypeId, u64)>,
+    /// Memoised final mask per payload type observed on this channel.
+    cache: Vec<(TypeId, u64)>,
+}
+
+impl RouteTable {
+    fn build(slots: &[StackSlot]) -> Self {
+        debug_assert!(slots.len() <= MAX_STACK_DEPTH, "validated at channel build");
+        let mut table = RouteTable::default();
+        for (index, slot) in slots.iter().enumerate() {
+            let bit = 1u64 << index;
+            for spec in &slot.accepts {
+                match spec {
+                    EventSpec::All => table.all_mask |= bit,
+                    EventSpec::Category(category) => {
+                        table.category_masks[category_index(*category)] |= bit;
+                    }
+                    EventSpec::Type(type_id) => {
+                        match table
+                            .type_masks
+                            .binary_search_by_key(type_id, |(id, _)| *id)
+                        {
+                            Ok(found) => table.type_masks[found].1 |= bit,
+                            Err(insert_at) => table.type_masks.insert(insert_at, (*type_id, bit)),
+                        }
+                    }
+                }
+            }
+        }
+        table
+    }
+
+    /// The mask of stack positions interested in the given payload.
+    fn mask_for(&mut self, payload: &dyn EventPayload) -> u64 {
+        let type_id = payload.as_any().type_id();
+        if let Some(&(_, mask)) = self.cache.iter().find(|(cached, _)| *cached == type_id) {
+            return mask;
+        }
+        let mut mask = self.all_mask;
+        for category in payload.categories() {
+            mask |= self.category_masks[category_index(*category)];
+        }
+        if let Ok(found) = self
+            .type_masks
+            .binary_search_by_key(&type_id, |(id, _)| *id)
+        {
+            mask |= self.type_masks[found].1;
+        }
+        self.cache.push((type_id, mask));
+        mask
+    }
 }
 
 /// A protocol stack instance.
 pub struct Channel {
     id: ChannelId,
-    name: String,
+    name: Name,
     slots: Vec<StackSlot>,
-    route_cache: HashMap<TypeId, Vec<usize>>,
+    routes: RouteTable,
 }
 
 impl Channel {
     /// Creates a channel from an ordered (bottom-up) stack of slots.
-    pub(crate) fn new(id: ChannelId, name: impl Into<String>, slots: Vec<StackSlot>) -> Self {
-        Self { id, name: name.into(), slots, route_cache: HashMap::new() }
+    ///
+    /// # Panics
+    /// Panics when the stack is deeper than [`MAX_STACK_DEPTH`]; the kernel
+    /// validates depth before constructing channels.
+    pub(crate) fn new(id: ChannelId, name: impl Into<Name>, slots: Vec<StackSlot>) -> Self {
+        assert!(
+            slots.len() <= MAX_STACK_DEPTH,
+            "stack depth {} exceeds MAX_STACK_DEPTH ({MAX_STACK_DEPTH})",
+            slots.len()
+        );
+        let routes = RouteTable::build(&slots);
+        Self {
+            id,
+            name: name.into(),
+            slots,
+            routes,
+        }
     }
 
     /// The channel identifier.
@@ -68,6 +166,11 @@ impl Channel {
 
     /// The channel name (unique inside a kernel).
     pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interned channel name (cloning is a refcount bump).
+    pub fn interned_name(&self) -> &Name {
         &self.name
     }
 
@@ -82,13 +185,26 @@ impl Channel {
     }
 
     /// Names of the layers in the stack, bottom-up.
-    pub fn layer_names(&self) -> Vec<String> {
-        self.slots.iter().map(|slot| slot.layer_name.clone()).collect()
+    ///
+    /// Cold accessor for diagnostics and tests; the dispatch loop uses
+    /// [`Channel::layer_name_at`] instead, which does not allocate.
+    pub fn layer_names(&self) -> Vec<Name> {
+        self.slots
+            .iter()
+            .map(|slot| slot.layer_name.clone())
+            .collect()
+    }
+
+    /// The interned name of the layer at the given stack position.
+    pub fn layer_name_at(&self, index: usize) -> Option<&Name> {
+        self.slots.get(index).map(|slot| &slot.layer_name)
     }
 
     /// Whether the stack contains a layer with the given name.
     pub fn has_layer(&self, layer_name: &str) -> bool {
-        self.slots.iter().any(|slot| slot.layer_name == layer_name)
+        self.slots
+            .iter()
+            .any(|slot| slot.layer_name.as_str() == layer_name)
     }
 
     /// The session at the given stack position (0 = bottom).
@@ -100,27 +216,19 @@ impl Channel {
     pub fn session_of(&self, layer_name: &str) -> Option<SessionRef> {
         self.slots
             .iter()
-            .find(|slot| slot.layer_name == layer_name)
+            .find(|slot| slot.layer_name.as_str() == layer_name)
             .map(|slot| slot.session.clone())
     }
 
-    /// Returns (computing and caching if needed) the ascending list of stack
-    /// positions whose sessions accept the given payload.
-    fn route_for(&mut self, payload: &dyn EventPayload) -> &[usize] {
-        let type_id = payload.as_any().type_id();
-        self.route_cache.entry(type_id).or_insert_with(|| {
-            self.slots
-                .iter()
-                .enumerate()
-                .filter(|(_, slot)| slot.accepts.iter().any(|spec| spec.matches(payload)))
-                .map(|(index, _)| index)
-                .collect()
-        })
+    /// The accept mask for the given payload (bit `i` = slot `i` accepts it).
+    /// Exposed for tests asserting routing invariants.
+    pub fn route_mask(&mut self, payload: &dyn EventPayload) -> u64 {
+        self.routes.mask_for(payload)
     }
 
-    /// Number of distinct payload types routed so far (cache size).
+    /// Number of distinct payload types routed so far (memo size).
     pub fn cached_route_count(&self) -> usize {
-        self.route_cache.len()
+        self.routes.cache.len()
     }
 
     /// Computes the next stack position that should handle the event.
@@ -133,23 +241,46 @@ impl Channel {
         direction: Direction,
         from: Option<usize>,
     ) -> Option<usize> {
-        let last_index = self.slots.len().checked_sub(1)?;
-        let route = self.route_for(payload);
+        let len = self.slots.len();
+        if len == 0 {
+            return None;
+        }
+        let mask = self.routes.mask_for(payload);
         match direction {
             Direction::Up => {
                 let start = match from {
                     Some(index) => index + 1,
                     None => 0,
                 };
-                route.iter().copied().find(|&index| index >= start)
+                if start >= len {
+                    return None;
+                }
+                // Clear bits below `start`, then take the lowest set bit.
+                let candidates = mask & (u64::MAX << start);
+                if candidates == 0 {
+                    None
+                } else {
+                    Some(candidates.trailing_zeros() as usize)
+                }
             }
             Direction::Down => {
                 let start = match from {
                     Some(0) => return None,
                     Some(index) => index - 1,
-                    None => last_index,
+                    None => len - 1,
                 };
-                route.iter().copied().rev().find(|&index| index <= start)
+                // Keep bits at or below `start`, then take the highest.
+                let keep = if start >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (start + 1)) - 1
+                };
+                let candidates = mask & keep;
+                if candidates == 0 {
+                    None
+                } else {
+                    Some(63 - candidates.leading_zeros() as usize)
+                }
             }
         }
     }
@@ -172,7 +303,7 @@ mod tests {
 
     use super::*;
     use crate::event::{Category, Event};
-    use crate::events::{ChannelInit, DataEvent};
+    use crate::events::{ChannelInit, DataEvent, TimerExpired};
     use crate::kernel::EventContext;
     use crate::message::Message;
     use crate::platform::NodeId;
@@ -190,7 +321,7 @@ mod tests {
 
     fn slot(name: &'static str, accepts: Vec<EventSpec>) -> StackSlot {
         StackSlot {
-            layer_name: name.to_string(),
+            layer_name: Name::new(name),
             accepts,
             session: Rc::new(RefCell::new(Box::new(NullSession(name)) as Box<dyn Session>)),
         }
@@ -204,7 +335,10 @@ mod tests {
             vec![
                 slot("net", vec![EventSpec::Category(Category::Sendable)]),
                 slot("fifo", vec![EventSpec::of::<DataEvent>()]),
-                slot("app", vec![EventSpec::of::<DataEvent>(), EventSpec::of::<ChannelInit>()]),
+                slot(
+                    "app",
+                    vec![EventSpec::of::<DataEvent>(), EventSpec::of::<ChannelInit>()],
+                ),
             ],
         )
     }
@@ -219,6 +353,8 @@ mod tests {
         assert!(!channel.has_layer("total"));
         assert!(channel.session_of("app").is_some());
         assert!(channel.session_at(9).is_none());
+        assert_eq!(channel.layer_name_at(1).unwrap(), "fifo");
+        assert!(channel.layer_name_at(9).is_none());
     }
 
     #[test]
@@ -230,7 +366,9 @@ mod tests {
         assert_eq!(first, 0);
         let second = channel.next_hop(&data, Direction::Up, Some(first)).unwrap();
         assert_eq!(second, 1);
-        let third = channel.next_hop(&data, Direction::Up, Some(second)).unwrap();
+        let third = channel
+            .next_hop(&data, Direction::Up, Some(second))
+            .unwrap();
         assert_eq!(third, 2);
         assert_eq!(channel.next_hop(&data, Direction::Up, Some(third)), None);
     }
@@ -268,10 +406,51 @@ mod tests {
     }
 
     #[test]
+    fn route_masks_combine_type_category_and_all_specs() {
+        let mut channel = Channel::new(
+            ChannelId(3),
+            "mask",
+            vec![
+                slot("net", vec![EventSpec::Category(Category::Sendable)]),
+                slot("log", vec![EventSpec::All]),
+                slot("fifo", vec![EventSpec::of::<DataEvent>()]),
+                slot("timer", vec![EventSpec::Category(Category::Timer)]),
+            ],
+        );
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        // Sendable category (net) + All (log) + concrete type (fifo).
+        assert_eq!(channel.route_mask(&data), 0b0111);
+        let timer = TimerExpired {
+            owner: "fifo".into(),
+            tag: 0,
+            timer_id: 1,
+        };
+        // All (log) + Timer category (timer).
+        assert_eq!(channel.route_mask(&timer), 0b1010);
+        let init = ChannelInit {};
+        // Only the All slot.
+        assert_eq!(channel.route_mask(&init), 0b0010);
+    }
+
+    #[test]
     fn empty_channel_has_no_hops() {
         let mut channel = Channel::new(ChannelId(9), "empty", vec![]);
         let data = DataEvent::to_group(NodeId(1), Message::new());
         assert_eq!(channel.next_hop(&data, Direction::Up, None), None);
         assert!(channel.is_empty());
+    }
+
+    #[test]
+    fn deepest_supported_stack_routes_to_both_ends() {
+        let slots: Vec<StackSlot> = (0..MAX_STACK_DEPTH)
+            .map(|_| slot("relay", vec![EventSpec::All]))
+            .collect();
+        let mut channel = Channel::new(ChannelId(7), "deep", slots);
+        let data = DataEvent::to_group(NodeId(1), Message::new());
+        assert_eq!(channel.next_hop(&data, Direction::Up, None), Some(0));
+        assert_eq!(channel.next_hop(&data, Direction::Up, Some(62)), Some(63));
+        assert_eq!(channel.next_hop(&data, Direction::Up, Some(63)), None);
+        assert_eq!(channel.next_hop(&data, Direction::Down, None), Some(63));
+        assert_eq!(channel.next_hop(&data, Direction::Down, Some(1)), Some(0));
     }
 }

@@ -24,7 +24,11 @@ pub struct LayerSpec {
 impl LayerSpec {
     /// Creates a layer spec with no parameters.
     pub fn new(layer: impl Into<String>) -> Self {
-        Self { layer: layer.into(), params: LayerParams::new(), share: None }
+        Self {
+            layer: layer.into(),
+            params: LayerParams::new(),
+            share: None,
+        }
     }
 
     /// Adds a parameter (builder style).
@@ -45,8 +49,11 @@ impl LayerSpec {
             element = element.with_attr("share", share);
         }
         for (key, value) in &self.params {
-            element = element
-                .with_child(Element::new("param").with_attr("key", key).with_attr("value", value));
+            element = element.with_child(
+                Element::new("param")
+                    .with_attr("key", key)
+                    .with_attr("value", value),
+            );
         }
         element
     }
@@ -63,8 +70,10 @@ impl LayerSpec {
             spec.share = Some(share.to_string());
         }
         for param in element.children_named("param") {
-            spec.params
-                .insert(param.require_attr("key")?.to_string(), param.require_attr("value")?.to_string());
+            spec.params.insert(
+                param.require_attr("key")?.to_string(),
+                param.require_attr("value")?.to_string(),
+            );
         }
         Ok(spec)
     }
@@ -83,7 +92,10 @@ pub struct ChannelConfig {
 impl ChannelConfig {
     /// Creates an empty channel configuration.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), layers: Vec::new() }
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer at the top of the stack (builder style).
@@ -174,7 +186,10 @@ pub struct StackConfig {
 impl StackConfig {
     /// Creates an empty stack configuration.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), channels: Vec::new() }
+        Self {
+            name: name.into(),
+            channels: Vec::new(),
+        }
     }
 
     /// Adds a channel (builder style).
@@ -201,7 +216,10 @@ impl StackConfig {
     pub fn from_xml(text: &str) -> Result<Self> {
         let root = parse_document(text)?;
         if root.name != "stack" {
-            return Err(AppiaError::Config(format!("expected <stack>, found <{}>", root.name)));
+            return Err(AppiaError::Config(format!(
+                "expected <stack>, found <{}>",
+                root.name
+            )));
         }
         let mut stack = StackConfig::new(root.require_attr("name")?);
         for child in root.children_named("channel") {
@@ -238,7 +256,11 @@ mod tests {
     fn stack_xml_roundtrip() {
         let stack = StackConfig::new("hybrid")
             .with_channel(hybrid_channel())
-            .with_channel(ChannelConfig::new("ctrl").with_layer_named("network").with_layer_named("app"));
+            .with_channel(
+                ChannelConfig::new("ctrl")
+                    .with_layer_named("network")
+                    .with_layer_named("app"),
+            );
         let text = stack.to_xml();
         let parsed = StackConfig::from_xml(&text).unwrap();
         assert_eq!(parsed, stack);

@@ -24,7 +24,11 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), attributes: BTreeMap::new(), children: Vec::new() }
+        Self {
+            name: name.into(),
+            attributes: BTreeMap::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Adds an attribute (builder style).
@@ -47,7 +51,10 @@ impl Element {
     /// Looks up a required attribute, reporting a configuration error if missing.
     pub fn require_attr(&self, key: &str) -> Result<&str, AppiaError> {
         self.attr(key).ok_or_else(|| {
-            AppiaError::Config(format!("element <{}> is missing attribute `{}`", self.name, key))
+            AppiaError::Config(format!(
+                "element <{}> is missing attribute `{}`",
+                self.name, key
+            ))
         })
     }
 
@@ -121,7 +128,9 @@ fn unescape(value: &str) -> Result<String, AppiaError> {
             }
             entity.push(next);
             if entity.len() > 8 {
-                return Err(AppiaError::Config(format!("unterminated entity `&{entity}`")));
+                return Err(AppiaError::Config(format!(
+                    "unterminated entity `&{entity}`"
+                )));
             }
         }
         match entity.as_str() {
@@ -143,7 +152,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Self { input: input.as_bytes(), pos: 0 }
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> AppiaError {
@@ -195,7 +207,11 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, AppiaError> {
         let start = self.pos;
         while let Some(byte) = self.peek() {
-            if byte.is_ascii_alphanumeric() || byte == b'-' || byte == b'_' || byte == b'.' || byte == b':'
+            if byte.is_ascii_alphanumeric()
+                || byte == b'-'
+                || byte == b'_'
+                || byte == b'.'
+                || byte == b':'
             {
                 self.pos += 1;
             } else {
@@ -255,7 +271,11 @@ impl<'a> Parser<'a> {
         }
         let name = self.parse_name()?;
         let attributes = self.parse_attributes()?;
-        let mut element = Element { name, attributes, children: Vec::new() };
+        let mut element = Element {
+            name,
+            attributes,
+            children: Vec::new(),
+        };
 
         self.skip_spaces();
         if self.starts_with("/>") {
@@ -292,7 +312,9 @@ impl<'a> Parser<'a> {
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|window| window == needle)
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
 }
 
 /// Parses a document containing a single root element.

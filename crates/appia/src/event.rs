@@ -118,12 +118,20 @@ pub struct SendHeader {
 impl SendHeader {
     /// Creates a header for a group-addressed event.
     pub fn to_group(source: NodeId, class: PacketClass) -> Self {
-        Self { source, dest: Dest::Group, class }
+        Self {
+            source,
+            dest: Dest::Group,
+            class,
+        }
     }
 
     /// Creates a header addressed to a single node.
     pub fn to_node(source: NodeId, dest: NodeId, class: PacketClass) -> Self {
-        Self { source, dest: Dest::Node(dest), class }
+        Self {
+            source,
+            dest: Dest::Node(dest),
+            class,
+        }
     }
 }
 
@@ -139,7 +147,11 @@ impl Wire for SendHeader {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let source = NodeId::decode(r)?;
         let class = PacketClass::decode(r)?;
-        Ok(Self { source, dest: Dest::Group, class })
+        Ok(Self {
+            source,
+            dest: Dest::Group,
+            class,
+        })
     }
 }
 
@@ -205,7 +217,10 @@ pub struct Event {
 impl Event {
     /// Creates an event travelling in the given direction.
     pub fn new(direction: Direction, payload: impl EventPayload) -> Self {
-        Self { direction, payload: Box::new(payload) }
+        Self {
+            direction,
+            payload: Box::new(payload),
+        }
     }
 
     /// Creates an upward-travelling event.
@@ -443,7 +458,10 @@ mod tests {
 
     #[test]
     fn event_downcasting() {
-        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(1),
+            Message::with_payload(&b"x"[..]),
+        ));
         assert!(event.is::<DataEvent>());
         assert!(!event.is::<ChannelInit>());
         assert!(event.get::<DataEvent>().is_some());

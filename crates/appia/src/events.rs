@@ -32,10 +32,12 @@ internal_event! {
     /// A one-shot timer armed by a session has fired.
     ///
     /// The `owner` field carries the layer name of the session that armed the
-    /// timer; sessions ignore expirations they do not own.
+    /// timer; sessions ignore expirations they do not own. The name is
+    /// interned, so creating the event from the kernel's timer record is a
+    /// refcount bump (it still compares against `&str` layer constants).
     pub struct TimerExpired {
         /// Layer name of the session that armed the timer.
-        pub owner: String,
+        pub owner: crate::intern::Name,
         /// Caller-chosen discriminator to tell multiple timers apart.
         pub tag: u32,
         /// Kernel-assigned identifier of the timer that fired.
@@ -74,14 +76,21 @@ mod tests {
         assert_eq!(ChannelInit {}.categories(), &[Category::ChannelLifecycle]);
         assert_eq!(ChannelClose {}.categories(), &[Category::ChannelLifecycle]);
         assert_eq!(
-            TimerExpired { owner: "x".into(), tag: 0, timer_id: 1 }.categories(),
+            TimerExpired {
+                owner: "x".into(),
+                tag: 0,
+                timer_id: 1
+            }
+            .categories(),
             &[Category::Timer]
         );
     }
 
     #[test]
     fn debug_event_keeps_note() {
-        let event = DebugEvent { note: "probe".into() };
+        let event = DebugEvent {
+            note: "probe".into(),
+        };
         assert_eq!(event.note, "probe");
         assert_eq!(event.type_name(), "DebugEvent");
     }

@@ -7,25 +7,35 @@
 //! run-time adaptation: [`Kernel::replace_channel`], which swaps a channel's
 //! stack for a new configuration while preserving sessions that are shared or
 //! carried over by name.
+//!
+//! ## Hot-path discipline
+//!
+//! The dispatch loop is allocation-free in steady state: channel and layer
+//! names are interned [`Name`]s (cloning bumps a refcount), routing is a
+//! bitmask scan ([`crate::channel::Channel::next_hop`]), and outgoing packets
+//! are serialised into a kernel-owned scratch buffer whose allocation is
+//! recycled once the packets produced from it have been consumed.
 
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
-use crate::channel::{Channel, ChannelId, StackSlot};
+use crate::channel::{Channel, ChannelId, StackSlot, MAX_STACK_DEPTH};
 use crate::config::ChannelConfig;
 use crate::error::{AppiaError, Result};
-use crate::event::{Direction, Event};
+use crate::event::{Direction, Event, Sendable};
 use crate::events::{ChannelClose, ChannelInit, TimerExpired};
+use crate::intern::Name;
 use crate::layers;
 use crate::platform::{
     AppDelivery, DeliveryKind, InPacket, NodeId, NodeProfile, OutPacket, PacketClass, PacketDest,
     Platform, ReconfigRequest,
 };
 use crate::qos::Qos;
-use crate::registry::{decode_event, EventFactoryRegistry, LayerRegistry};
+use crate::registry::{decode_event, encode_event_into, EventFactoryRegistry, LayerRegistry};
 use crate::session::{share, SessionRef};
 use crate::timer::TimerKey;
+use crate::wire::WireWriter;
 
 /// An event waiting to be routed.
 struct Pending {
@@ -40,7 +50,7 @@ struct Pending {
 #[derive(Debug, Clone)]
 struct TimerRecord {
     channel: ChannelId,
-    owner: String,
+    owner: Name,
     tag: u32,
 }
 
@@ -58,15 +68,16 @@ struct TimerTable {
 /// kernel itself.
 pub struct EventContext<'a> {
     channel_id: ChannelId,
-    channel_name: &'a str,
-    layer_name: &'a str,
+    channel_name: Name,
+    layer_name: Name,
     session_index: usize,
     queue: &'a mut VecDeque<Pending>,
     timers: &'a mut TimerTable,
+    scratch: &'a mut WireWriter,
     platform: &'a mut dyn Platform,
 }
 
-impl<'a> EventContext<'a> {
+impl EventContext<'_> {
     /// The channel the current event belongs to.
     pub fn channel_id(&self) -> ChannelId {
         self.channel_id
@@ -74,12 +85,12 @@ impl<'a> EventContext<'a> {
 
     /// Name of the channel the current event belongs to.
     pub fn channel_name(&self) -> &str {
-        self.channel_name
+        &self.channel_name
     }
 
     /// Name of the layer whose session is handling the event.
     pub fn layer_name(&self) -> &str {
-        self.layer_name
+        &self.layer_name
     }
 
     /// Position of the handling session in the stack (0 = bottom).
@@ -125,14 +136,22 @@ impl<'a> EventContext<'a> {
     /// Injects a new event at the edge of the stack: upward events start at
     /// the bottom, downward events start at the top.
     pub fn dispatch_from_edge(&mut self, event: Event) {
-        self.queue.push_back(Pending { channel: self.channel_id, from: None, event });
+        self.queue.push_back(Pending {
+            channel: self.channel_id,
+            from: None,
+            event,
+        });
     }
 
     /// Injects an event into *another* channel of the same kernel, entering
     /// at the edge. Used by sessions shared between channels and by control
     /// channels steering data channels.
     pub fn dispatch_to_channel(&mut self, channel: ChannelId, event: Event) {
-        self.queue.push_back(Pending { channel, from: None, event });
+        self.queue.push_back(Pending {
+            channel,
+            from: None,
+            event,
+        });
     }
 
     /// Arms a one-shot timer owned by the handling session's layer.
@@ -146,19 +165,31 @@ impl<'a> EventContext<'a> {
             timer_id,
             TimerRecord {
                 channel: self.channel_id,
-                owner: self.layer_name.to_string(),
+                owner: self.layer_name.clone(),
                 tag,
             },
         );
-        self.platform.set_timer(delay_ms, TimerKey::new(self.channel_id, timer_id));
+        self.platform
+            .set_timer(delay_ms, TimerKey::new(self.channel_id, timer_id));
         timer_id
     }
 
     /// Cancels a previously armed timer.
     pub fn cancel_timer(&mut self, timer_id: u64) {
         if self.timers.records.remove(&timer_id).is_some() {
-            self.platform.cancel_timer(TimerKey::new(self.channel_id, timer_id));
+            self.platform
+                .cancel_timer(TimerKey::new(self.channel_id, timer_id));
         }
+    }
+
+    /// Serialises a sendable event into the kernel's reusable scratch
+    /// buffer and returns the packet bytes.
+    ///
+    /// The returned [`Bytes`] views a region of the scratch allocation; once
+    /// every packet produced from it has been dropped the allocation is
+    /// recycled, so steady-state serialisation does not allocate.
+    pub fn encode_sendable(&mut self, event: &dyn Sendable) -> Bytes {
+        encode_event_into(self.scratch, event)
     }
 
     /// Sends a raw packet. Intended for the network-driver layer at the
@@ -169,7 +200,7 @@ impl<'a> EventContext<'a> {
             from: self.platform.node_id(),
             dest,
             class,
-            channel: self.channel_name.to_string(),
+            channel: self.channel_name.clone(),
             payload,
         };
         self.platform.send(packet);
@@ -177,7 +208,10 @@ impl<'a> EventContext<'a> {
 
     /// Delivers data or a notification to the local application.
     pub fn deliver(&mut self, kind: DeliveryKind) {
-        let delivery = AppDelivery { channel: self.channel_name.to_string(), kind };
+        let delivery = AppDelivery {
+            channel: self.channel_name.clone(),
+            kind,
+        };
         self.platform.deliver(delivery);
     }
 
@@ -195,10 +229,12 @@ pub struct Kernel {
     layers: LayerRegistry,
     events: EventFactoryRegistry,
     channels: HashMap<ChannelId, Channel>,
-    names: HashMap<String, ChannelId>,
+    names: HashMap<Name, ChannelId>,
     shared_sessions: HashMap<String, SessionRef>,
     queue: VecDeque<Pending>,
     timers: TimerTable,
+    /// Reusable serialisation buffer for outgoing packets.
+    scratch: WireWriter,
     next_channel: u32,
 }
 
@@ -219,6 +255,7 @@ impl Kernel {
             shared_sessions: HashMap::new(),
             queue: VecDeque::new(),
             timers: TimerTable::default(),
+            scratch: WireWriter::new(),
             next_channel: 0,
         };
         layers::register_builtin(&mut kernel.layers);
@@ -264,7 +301,11 @@ impl Kernel {
 
     /// Names of all existing channels, sorted.
     pub fn channel_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.names.keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .names
+            .keys()
+            .map(|name| name.as_str().to_string())
+            .collect();
         names.sort();
         names
     }
@@ -275,6 +316,13 @@ impl Kernel {
     }
 
     fn build_slots(&mut self, config: &ChannelConfig) -> Result<Vec<StackSlot>> {
+        if config.layers.len() > MAX_STACK_DEPTH {
+            return Err(AppiaError::InvalidComposition(format!(
+                "channel `{}` declares {} layers, more than the supported maximum of {MAX_STACK_DEPTH}",
+                config.name,
+                config.layers.len()
+            )));
+        }
         // Validate the composition first so errors carry the QoS context.
         let mut layer_refs = Vec::with_capacity(config.layers.len());
         for spec in &config.layers {
@@ -295,12 +343,22 @@ impl Kernel {
                 None => share(layer.create_session(&spec.params)),
             };
             slots.push(StackSlot {
-                layer_name: spec.layer.clone(),
+                layer_name: Name::from(spec.layer.as_str()),
                 accepts: layer.accepted_events(),
                 session,
             });
         }
         Ok(slots)
+    }
+
+    fn install_channel(&mut self, config: &ChannelConfig, slots: Vec<StackSlot>) -> ChannelId {
+        self.next_channel += 1;
+        let id = ChannelId(self.next_channel);
+        let name = Name::from(config.name.as_str());
+        let channel = Channel::new(id, name.clone(), slots);
+        self.channels.insert(id, channel);
+        self.names.insert(name, id);
+        id
     }
 
     /// Creates a channel from a declarative configuration and runs its
@@ -310,17 +368,16 @@ impl Kernel {
         config: &ChannelConfig,
         platform: &mut dyn Platform,
     ) -> Result<ChannelId> {
-        if self.names.contains_key(&config.name) {
+        if self.names.contains_key(config.name.as_str()) {
             return Err(AppiaError::DuplicateChannel(config.name.clone()));
         }
         let slots = self.build_slots(config)?;
-        self.next_channel += 1;
-        let id = ChannelId(self.next_channel);
-        let channel = Channel::new(id, config.name.clone(), slots);
-        self.channels.insert(id, channel);
-        self.names.insert(config.name.clone(), id);
-
-        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelInit {}) });
+        let id = self.install_channel(config, slots);
+        self.queue.push_back(Pending {
+            channel: id,
+            from: None,
+            event: Event::up(ChannelInit {}),
+        });
         self.process(platform);
         Ok(id)
     }
@@ -330,7 +387,11 @@ impl Kernel {
         let id = self
             .channel_id(name)
             .ok_or_else(|| AppiaError::UnknownChannel(name.to_string()))?;
-        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelClose {}) });
+        self.queue.push_back(Pending {
+            channel: id,
+            from: None,
+            event: Event::up(ChannelClose {}),
+        });
         self.process(platform);
         self.channels.remove(&id);
         self.names.remove(name);
@@ -360,12 +421,12 @@ impl Kernel {
         let slots = self.build_slots(config)?;
         self.destroy_channel(name, platform)?;
 
-        self.next_channel += 1;
-        let id = ChannelId(self.next_channel);
-        let channel = Channel::new(id, config.name.clone(), slots);
-        self.channels.insert(id, channel);
-        self.names.insert(config.name.clone(), id);
-        self.queue.push_back(Pending { channel: id, from: None, event: Event::up(ChannelInit {}) });
+        let id = self.install_channel(config, slots);
+        self.queue.push_back(Pending {
+            channel: id,
+            from: None,
+            event: Event::up(ChannelInit {}),
+        });
         self.process(platform);
         Ok(id)
     }
@@ -373,7 +434,27 @@ impl Kernel {
     /// Injects an event into a channel at the edge (bottom for upward events,
     /// top for downward events) without processing the queue.
     pub fn dispatch(&mut self, channel: ChannelId, event: Event) {
-        self.queue.push_back(Pending { channel, from: None, event });
+        self.queue.push_back(Pending {
+            channel,
+            from: None,
+            event,
+        });
+    }
+
+    /// Injects a batch of events into a channel at the edge without
+    /// processing the queue.
+    ///
+    /// Together with a single [`Kernel::process`] drain this amortises queue
+    /// churn over the whole batch; the simulation engine and the benches use
+    /// it when several packets or application sends arrive at one instant.
+    pub fn dispatch_batch(&mut self, channel: ChannelId, events: impl IntoIterator<Item = Event>) {
+        for event in events {
+            self.queue.push_back(Pending {
+                channel,
+                from: None,
+                event,
+            });
+        }
     }
 
     /// Injects an event and immediately processes the queue to completion.
@@ -387,13 +468,21 @@ impl Kernel {
         self.process(platform);
     }
 
-    /// Delivers a packet received from the network: the serialised event is
-    /// reconstructed through the event-factory registry and travels up the
-    /// stack of the channel named in the packet.
-    pub fn deliver_packet(&mut self, packet: InPacket, platform: &mut dyn Platform) -> Result<()> {
+    /// Injects a batch of events and drains the queue once.
+    pub fn dispatch_batch_and_process(
+        &mut self,
+        channel: ChannelId,
+        events: impl IntoIterator<Item = Event>,
+        platform: &mut dyn Platform,
+    ) {
+        self.dispatch_batch(channel, events);
+        self.process(platform);
+    }
+
+    fn enqueue_packet(&mut self, packet: InPacket) -> Result<()> {
         let id = self
             .channel_id(&packet.channel)
-            .ok_or_else(|| AppiaError::UnknownChannel(packet.channel.clone()))?;
+            .ok_or_else(|| AppiaError::UnknownChannel(packet.channel.as_str().to_string()))?;
         let mut payload = decode_event(&self.events, &packet.payload)?;
         if let Some(sendable) = payload.as_sendable_mut() {
             sendable.header_mut().dest = crate::event::Dest::Node(packet.to);
@@ -403,8 +492,35 @@ impl Kernel {
             from: None,
             event: Event::from_boxed(Direction::Up, payload),
         });
+        Ok(())
+    }
+
+    /// Delivers a packet received from the network: the serialised event is
+    /// reconstructed through the event-factory registry and travels up the
+    /// stack of the channel named in the packet.
+    pub fn deliver_packet(&mut self, packet: InPacket, platform: &mut dyn Platform) -> Result<()> {
+        self.enqueue_packet(packet)?;
         self.process(platform);
         Ok(())
+    }
+
+    /// Delivers a batch of packets with a single queue drain.
+    ///
+    /// Undecodable or misaddressed packets are skipped; the number of such
+    /// rejected packets is returned.
+    pub fn deliver_packet_batch(
+        &mut self,
+        packets: impl IntoIterator<Item = InPacket>,
+        platform: &mut dyn Platform,
+    ) -> usize {
+        let mut rejected = 0;
+        for packet in packets {
+            if self.enqueue_packet(packet).is_err() {
+                rejected += 1;
+            }
+        }
+        self.process(platform);
+        rejected
     }
 
     /// Reports that a timer armed through an [`EventContext`] has fired. The
@@ -434,26 +550,31 @@ impl Kernel {
             let Some(channel) = self.channels.get_mut(&pending.channel) else {
                 continue;
             };
-            let Some(index) =
-                channel.next_hop(pending.event.payload.as_ref(), pending.event.direction, pending.from)
-            else {
+            let Some(index) = channel.next_hop(
+                pending.event.payload.as_ref(),
+                pending.event.direction,
+                pending.from,
+            ) else {
                 continue;
             };
-            let session = channel.session_at(index).expect("next_hop returned a valid index");
-            let channel_name = channel.name().to_string();
+            let session = channel
+                .session_at(index)
+                .expect("next_hop returned a valid index");
+            // Interned names: cloning is a refcount bump, not an allocation.
+            let channel_name = channel.interned_name().clone();
             let layer_name = channel
-                .layer_names()
-                .get(index)
-                .cloned()
-                .unwrap_or_default();
+                .layer_name_at(index)
+                .expect("next_hop returned a valid index")
+                .clone();
 
             let mut ctx = EventContext {
                 channel_id: pending.channel,
-                channel_name: &channel_name,
-                layer_name: &layer_name,
+                channel_name,
+                layer_name,
                 session_index: index,
                 queue: &mut self.queue,
                 timers: &mut self.timers,
+                scratch: &mut self.scratch,
                 platform,
             };
             session.borrow_mut().handle(pending.event, &mut ctx);
@@ -493,7 +614,9 @@ mod tests {
     fn create_channel_and_send_data_point_to_point() {
         let mut kernel = Kernel::new();
         let mut platform = TestPlatform::new(NodeId(1));
-        let id = kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap();
 
         let event = Event::down(DataEvent::new(
             NodeId(1),
@@ -512,8 +635,12 @@ mod tests {
     fn duplicate_channel_names_are_rejected() {
         let mut kernel = Kernel::new();
         let mut platform = TestPlatform::new(NodeId(1));
-        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
-        let err = kernel.create_channel(&basic_config("data"), &mut platform).unwrap_err();
+        kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap();
+        let err = kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap_err();
         assert!(matches!(err, AppiaError::DuplicateChannel(_)));
     }
 
@@ -530,14 +657,30 @@ mod tests {
     }
 
     #[test]
+    fn stacks_deeper_than_the_route_width_are_rejected() {
+        let mut kernel = Kernel::new();
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut config = ChannelConfig::new("too-deep");
+        for _ in 0..(MAX_STACK_DEPTH + 1) {
+            config = config.with_layer(LayerSpec::new("logger"));
+        }
+        let err = kernel.create_channel(&config, &mut platform).unwrap_err();
+        assert!(matches!(err, AppiaError::InvalidComposition(_)));
+    }
+
+    #[test]
     fn packet_roundtrip_between_two_kernels() {
         let mut sender = Kernel::new();
         let mut receiver = Kernel::new();
         let mut platform_a = TestPlatform::new(NodeId(1));
         let mut platform_b = TestPlatform::new(NodeId(2));
 
-        let channel_a = sender.create_channel(&basic_config("data"), &mut platform_a).unwrap();
-        receiver.create_channel(&basic_config("data"), &mut platform_b).unwrap();
+        let channel_a = sender
+            .create_channel(&basic_config("data"), &mut platform_a)
+            .unwrap();
+        receiver
+            .create_channel(&basic_config("data"), &mut platform_b)
+            .unwrap();
 
         let event = Event::down(DataEvent::new(
             NodeId(1),
@@ -569,10 +712,94 @@ mod tests {
     }
 
     #[test]
+    fn batch_dispatch_produces_the_same_packets_as_sequential() {
+        let events = |count: u32| {
+            (0..count).map(|index| {
+                Event::down(DataEvent::new(
+                    NodeId(1),
+                    crate::event::Dest::Node(NodeId(2)),
+                    Message::with_payload(index.to_be_bytes().to_vec()),
+                ))
+            })
+        };
+
+        let mut sequential = Kernel::new();
+        let mut platform_a = TestPlatform::new(NodeId(1));
+        let id = sequential
+            .create_channel(&basic_config("data"), &mut platform_a)
+            .unwrap();
+        for event in events(5) {
+            sequential.dispatch_and_process(id, event, &mut platform_a);
+        }
+
+        let mut batched = Kernel::new();
+        let mut platform_b = TestPlatform::new(NodeId(1));
+        let id = batched
+            .create_channel(&basic_config("data"), &mut platform_b)
+            .unwrap();
+        batched.dispatch_batch_and_process(id, events(5), &mut platform_b);
+
+        let sent_a = platform_a.take_sent();
+        let sent_b = platform_b.take_sent();
+        assert_eq!(sent_a.len(), sent_b.len());
+        for (a, b) in sent_a.iter().zip(&sent_b) {
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.dest, b.dest);
+        }
+        assert_eq!(batched.pending_events(), 0);
+    }
+
+    #[test]
+    fn packet_batches_count_rejects_and_deliver_the_rest() {
+        let mut sender = Kernel::new();
+        let mut receiver = Kernel::new();
+        let mut platform_a = TestPlatform::new(NodeId(1));
+        let mut platform_b = TestPlatform::new(NodeId(2));
+        let channel_a = sender
+            .create_channel(&basic_config("data"), &mut platform_a)
+            .unwrap();
+        receiver
+            .create_channel(&basic_config("data"), &mut platform_b)
+            .unwrap();
+
+        for index in 0u32..3 {
+            let event = Event::down(DataEvent::new(
+                NodeId(1),
+                crate::event::Dest::Node(NodeId(2)),
+                Message::with_payload(index.to_be_bytes().to_vec()),
+            ));
+            sender.dispatch_and_process(channel_a, event, &mut platform_a);
+        }
+        let mut packets: Vec<InPacket> = platform_a
+            .take_sent()
+            .into_iter()
+            .map(|out| InPacket {
+                from: out.from,
+                to: NodeId(2),
+                class: out.class,
+                channel: out.channel,
+                payload: out.payload,
+            })
+            .collect();
+        // Corrupt one packet and misaddress another.
+        packets[1].payload = bytes::Bytes::from_static(&[0xFF, 0x01]);
+        packets.push(InPacket {
+            channel: "nope".into(),
+            ..packets[0].clone()
+        });
+
+        let rejected = receiver.deliver_packet_batch(packets, &mut platform_b);
+        assert_eq!(rejected, 2);
+        assert_eq!(platform_b.data_delivery_count(), 2);
+    }
+
+    #[test]
     fn destroy_channel_removes_it_and_its_timers() {
         let mut kernel = Kernel::new();
         let mut platform = TestPlatform::new(NodeId(1));
-        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap();
         assert!(kernel.channel_by_name("data").is_some());
         kernel.destroy_channel("data", &mut platform).unwrap();
         assert!(kernel.channel_by_name("data").is_none());
@@ -583,13 +810,17 @@ mod tests {
     fn replace_channel_swaps_the_stack() {
         let mut kernel = Kernel::new();
         let mut platform = TestPlatform::new(NodeId(1));
-        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap();
 
         let new_config = ChannelConfig {
             name: "data".into(),
             layers: vec![LayerSpec::new("network"), LayerSpec::new("app")],
         };
-        kernel.replace_channel("data", &new_config, &mut platform).unwrap();
+        kernel
+            .replace_channel("data", &new_config, &mut platform)
+            .unwrap();
         let channel = kernel.channel_by_name("data").unwrap();
         assert_eq!(channel.layer_names(), vec!["network", "app"]);
     }
@@ -628,7 +859,9 @@ mod tests {
         let mut platform = TestPlatform::new(NodeId(1));
         // The logger layer arms no timers, so exercise the machinery directly:
         // dispatching an unknown timer key must be a no-op.
-        kernel.create_channel(&basic_config("data"), &mut platform).unwrap();
+        kernel
+            .create_channel(&basic_config("data"), &mut platform)
+            .unwrap();
         kernel.timer_expired(TimerKey::new(ChannelId(99), 7), &mut platform);
         assert_eq!(kernel.pending_events(), 0);
     }

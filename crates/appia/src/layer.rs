@@ -17,7 +17,10 @@ pub type LayerParams = BTreeMap<String, String>;
 
 /// Parses a parameter as a value of type `T`, falling back to a default.
 pub fn param_or<T: std::str::FromStr>(params: &LayerParams, key: &str, default: T) -> T {
-    params.get(key).and_then(|raw| raw.parse().ok()).unwrap_or(default)
+    params
+        .get(key)
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Parses a comma-separated list of `u32` node identifiers from a parameter.

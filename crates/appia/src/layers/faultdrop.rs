@@ -29,7 +29,10 @@ impl Layer for FaultDropLayer {
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
-        let direction = params.get("direction").map(String::as_str).unwrap_or("down");
+        let direction = params
+            .get("direction")
+            .map(String::as_str)
+            .unwrap_or("down");
         Box::new(FaultDropSession {
             drop_rate: param_or(params, "drop_rate", 0.0f64).clamp(0.0, 1.0),
             match_down: direction == "down" || direction == "both",

@@ -28,7 +28,10 @@ impl Layer for LoggerLayer {
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
-        Box::new(LoggerSession { verbose: param_or(params, "verbose", false), counts: BTreeMap::new() })
+        Box::new(LoggerSession {
+            verbose: param_or(params, "verbose", false),
+            counts: BTreeMap::new(),
+        })
     }
 }
 
@@ -54,7 +57,10 @@ impl Session for LoggerSession {
     }
 
     fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
-        let key = (event.type_name().to_string(), Self::direction_name(event.direction));
+        let key = (
+            event.type_name().to_string(),
+            Self::direction_name(event.direction),
+        );
         *self.counts.entry(key.clone()).or_insert(0) += 1;
 
         if self.verbose {
@@ -133,8 +139,8 @@ mod tests {
         ));
         kernel.dispatch_and_process(id, event, &mut platform);
         let deliveries = platform.take_deliveries();
-        assert!(deliveries
-            .iter()
-            .any(|d| matches!(&d.kind, DeliveryKind::Notification(n) if n.contains("DataEvent down"))));
+        assert!(deliveries.iter().any(
+            |d| matches!(&d.kind, DeliveryKind::Notification(n) if n.contains("DataEvent down"))
+        ));
     }
 }

@@ -4,7 +4,6 @@ use crate::event::{Category, Dest, Direction, Event, EventSpec};
 use crate::kernel::EventContext;
 use crate::layer::{Layer, LayerParams};
 use crate::platform::PacketDest;
-use crate::registry::encode_event;
 use crate::session::Session;
 
 /// Layer that maps sendable events onto packets.
@@ -64,23 +63,31 @@ impl Session for NetworkDriverSession {
             ctx.forward(event);
             return;
         };
-
         let class = sendable.header().class;
-        let dest = sendable.header().dest.clone();
-        match dest {
-            Dest::Node(node) if node == local => {
-                self.loopbacks += 1;
-                event.direction = Direction::Up;
-                ctx.dispatch_from_edge(event);
-            }
+
+        // A send addressed solely to the local node is looped back up
+        // instead of hitting the network. This is the only case that needs
+        // the event by value, so it is handled before serialisation.
+        if matches!(sendable.header().dest, Dest::Node(node) if node == local) {
+            self.loopbacks += 1;
+            event.direction = Direction::Up;
+            ctx.dispatch_from_edge(event);
+            return;
+        }
+
+        // Serialise once through the kernel's reusable scratch buffer; the
+        // destination is borrowed rather than cloned (for `Dest::Nodes` the
+        // clone used to copy the whole membership list per packet).
+        let sendable = event.payload.as_sendable().expect("checked above");
+        match &sendable.header().dest {
             Dest::Node(node) => {
-                let bytes = encode_event(event.payload.as_sendable().expect("checked above"));
+                let bytes = ctx.encode_sendable(sendable);
                 self.packets_sent += 1;
-                ctx.send_packet(PacketDest::Node(node), class, bytes);
+                ctx.send_packet(PacketDest::Node(*node), class, bytes);
             }
             Dest::Nodes(nodes) => {
-                let bytes = encode_event(event.payload.as_sendable().expect("checked above"));
-                for node in nodes {
+                let bytes = ctx.encode_sendable(sendable);
+                for &node in nodes {
                     if node == local {
                         self.loopbacks += 1;
                         continue;
@@ -91,7 +98,7 @@ impl Session for NetworkDriverSession {
             }
             Dest::Group => {
                 if ctx.profile().has_native_multicast {
-                    let bytes = encode_event(event.payload.as_sendable().expect("checked above"));
+                    let bytes = ctx.encode_sendable(sendable);
                     self.packets_sent += 1;
                     ctx.send_packet(PacketDest::Broadcast, class, bytes);
                 }

@@ -30,6 +30,7 @@ pub mod config;
 pub mod error;
 pub mod event;
 pub mod events;
+pub mod intern;
 pub mod kernel;
 pub mod layer;
 pub mod layers;
@@ -42,10 +43,11 @@ pub mod testing;
 pub mod timer;
 pub mod wire;
 
-pub use channel::{Channel, ChannelId};
+pub use channel::{Channel, ChannelId, MAX_STACK_DEPTH};
 pub use error::AppiaError;
 pub use event::{Category, Dest, Direction, Event, EventPayload, EventSpec, SendHeader, Sendable};
 pub use events::{ChannelClose, ChannelInit, DataEvent, DebugEvent, TimerExpired};
+pub use intern::Name;
 pub use kernel::Kernel;
 pub use layer::{Layer, LayerParams};
 pub use message::Message;

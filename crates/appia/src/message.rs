@@ -30,7 +30,10 @@ impl Message {
 
     /// Creates a message wrapping the given application payload.
     pub fn with_payload(payload: impl Into<Bytes>) -> Self {
-        Self { headers: Vec::new(), payload: payload.into() }
+        Self {
+            headers: Vec::new(),
+            payload: payload.into(),
+        }
     }
 
     /// Returns the application payload.
@@ -69,10 +72,14 @@ impl Message {
     }
 
     /// Encodes `value` with the wire format and pushes it as a header.
+    ///
+    /// The header is encoded through a shared reusable scratch buffer
+    /// ([`crate::wire::encode_pooled`]), so steady-state pushes — one header
+    /// per packet, dropped when the packet is serialised or delivered — do
+    /// not allocate.
     pub fn push<T: Wire>(&mut self, value: &T) {
-        let mut w = WireWriter::new();
-        value.encode(&mut w);
-        self.headers.push(w.finish());
+        self.headers
+            .push(crate::wire::encode_pooled(|w| value.encode(w)));
     }
 
     /// Pops the top header and decodes it as `T`.
@@ -81,7 +88,10 @@ impl Message {
     /// decoding fails the header is *not* restored; callers treat this as a
     /// malformed message and drop it.
     pub fn pop<T: Wire>(&mut self) -> Result<T, WireError> {
-        let header = self.headers.pop().ok_or(WireError::Malformed("missing header"))?;
+        let header = self
+            .headers
+            .pop()
+            .ok_or(WireError::Malformed("missing header"))?;
         let mut r = WireReader::new(&header);
         let value = T::decode(&mut r)?;
         if r.remaining() != 0 {
@@ -92,7 +102,10 @@ impl Message {
 
     /// Decodes the top header as `T` without removing it.
     pub fn peek<T: Wire>(&self) -> Result<T, WireError> {
-        let header = self.headers.last().ok_or(WireError::Malformed("missing header"))?;
+        let header = self
+            .headers
+            .last()
+            .ok_or(WireError::Malformed("missing header"))?;
         let mut r = WireReader::new(header);
         T::decode(&mut r)
     }
@@ -109,7 +122,12 @@ impl Wire for Message {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let count = r.get_u32()? as usize;
-        if count as u64 > crate::wire::MAX_FIELD_LEN {
+        // Every header costs at least a 4-byte length prefix, so a count
+        // larger than the remaining input is provably malformed. Rejecting
+        // it here also bounds the pre-allocation below: an adversarial
+        // count can make us reserve at most `remaining / 4` entries, i.e.
+        // no more memory than the attacker already paid for in input bytes.
+        if count > r.remaining() / 4 {
             return Err(WireError::LengthOutOfRange(count as u64));
         }
         let mut headers = Vec::with_capacity(count);
@@ -183,5 +201,40 @@ mod tests {
         let mut msg = Message::with_payload(&b"12345"[..]);
         msg.push_header(&b"abc"[..]);
         assert_eq!(msg.size(), 8);
+    }
+
+    #[test]
+    fn adversarial_header_counts_are_rejected_before_preallocation() {
+        // A forged count claiming ~4 billion headers followed by almost no
+        // actual data must fail fast without reserving memory for them.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_bytes(b"tiny");
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            Message::decode(&mut r),
+            Err(WireError::LengthOutOfRange(_))
+        ));
+
+        // Same for a count that merely exceeds what the input could hold.
+        let mut w = WireWriter::new();
+        w.put_u32(3); // claims 3 headers...
+        w.put_bytes(b""); // ...but only one fits
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(Message::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn maximal_valid_header_counts_still_decode() {
+        // Messages whose headers are all empty sit exactly at the bound the
+        // pre-allocation guard checks; they must keep decoding.
+        let mut msg = Message::with_payload(&b"p"[..]);
+        for _ in 0..64 {
+            msg.push_header(&b""[..]);
+        }
+        let decoded = Message::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(decoded, msg);
     }
 }

@@ -15,6 +15,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::ChannelId;
+use crate::intern::Name;
 use crate::timer::TimerKey;
 use crate::wire::{Wire, WireError, WireReader, WireWriter};
 
@@ -67,7 +68,10 @@ pub enum DeviceClass {
 impl DeviceClass {
     /// Whether the device is battery powered and wireless.
     pub fn is_mobile(self) -> bool {
-        matches!(self, DeviceClass::Laptop | DeviceClass::MobilePda | DeviceClass::MobilePhone)
+        matches!(
+            self,
+            DeviceClass::Laptop | DeviceClass::MobilePda | DeviceClass::MobilePhone
+        )
     }
 
     /// Whether the device sits on the fixed (wired) infrastructure.
@@ -267,8 +271,9 @@ pub struct OutPacket {
     pub dest: PacketDest,
     /// Accounting class.
     pub class: PacketClass,
-    /// Name of the channel the packet belongs to.
-    pub channel: String,
+    /// Name of the channel the packet belongs to (interned: cloning a
+    /// packet or its channel name is a refcount bump, not an allocation).
+    pub channel: Name,
     /// Serialised event (type name + message) as produced by the kernel.
     pub payload: Bytes,
 }
@@ -282,8 +287,8 @@ pub struct InPacket {
     pub to: NodeId,
     /// Accounting class.
     pub class: PacketClass,
-    /// Name of the channel the packet belongs to.
-    pub channel: String,
+    /// Name of the channel the packet belongs to (interned).
+    pub channel: Name,
     /// Serialised event payload.
     pub payload: Bytes,
 }
@@ -317,8 +322,8 @@ pub enum DeliveryKind {
 /// A delivery from the protocol stack to the local application.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppDelivery {
-    /// The channel the delivery originates from.
-    pub channel: String,
+    /// The channel the delivery originates from (interned).
+    pub channel: Name,
     /// The delivered content.
     pub kind: DeliveryKind,
 }
@@ -528,7 +533,11 @@ mod tests {
 
     #[test]
     fn packet_class_wire_roundtrip() {
-        for class in [PacketClass::Data, PacketClass::Control, PacketClass::Context] {
+        for class in [
+            PacketClass::Data,
+            PacketClass::Control,
+            PacketClass::Context,
+        ] {
             let bytes = class.to_bytes();
             assert_eq!(PacketClass::from_bytes(&bytes).unwrap(), class);
         }

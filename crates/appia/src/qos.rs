@@ -21,7 +21,10 @@ pub struct Qos {
 impl Qos {
     /// Creates a QoS from an ordered (bottom-up) list of layers.
     pub fn new(name: impl Into<String>, layers: Vec<LayerRef>) -> Self {
-        Self { name: name.into(), layers }
+        Self {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Name of the QoS.
@@ -46,7 +49,10 @@ impl Qos {
 
     /// Names of the layers, bottom-up.
     pub fn layer_names(&self) -> Vec<String> {
-        self.layers.iter().map(|layer| layer.name().to_string()).collect()
+        self.layers
+            .iter()
+            .map(|layer| layer.name().to_string())
+            .collect()
     }
 
     /// Validates the composition.
@@ -126,7 +132,12 @@ mod tests {
             self.0
         }
 
-        fn handle(&mut self, _event: crate::event::Event, _ctx: &mut crate::kernel::EventContext<'_>) {}
+        fn handle(
+            &mut self,
+            _event: crate::event::Event,
+            _ctx: &mut crate::kernel::EventContext<'_>,
+        ) {
+        }
     }
 
     impl Layer for FakeLayer {
@@ -156,7 +167,11 @@ mod tests {
         provides: Vec<&'static str>,
         requires: Vec<&'static str>,
     ) -> LayerRef {
-        Rc::new(FakeLayer { name, provides, requires })
+        Rc::new(FakeLayer {
+            name,
+            provides,
+            requires,
+        })
     }
 
     #[test]
@@ -178,13 +193,22 @@ mod tests {
     #[test]
     fn empty_composition_is_rejected() {
         let qos = Qos::new("empty", vec![]);
-        assert!(matches!(qos.validate(), Err(AppiaError::InvalidComposition(_))));
+        assert!(matches!(
+            qos.validate(),
+            Err(AppiaError::InvalidComposition(_))
+        ));
     }
 
     #[test]
     fn duplicate_layers_are_rejected() {
-        let qos = Qos::new("dup", vec![layer("x", vec![], vec![]), layer("x", vec![], vec![])]);
-        assert!(matches!(qos.validate(), Err(AppiaError::InvalidComposition(_))));
+        let qos = Qos::new(
+            "dup",
+            vec![layer("x", vec![], vec![]), layer("x", vec![], vec![])],
+        );
+        assert!(matches!(
+            qos.validate(),
+            Err(AppiaError::InvalidComposition(_))
+        ));
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl LayerRegistry {
 
 impl std::fmt::Debug for LayerRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LayerRegistry").field("layers", &self.names()).finish()
+        f.debug_struct("LayerRegistry")
+            .field("layers", &self.names())
+            .finish()
     }
 }
 
@@ -115,7 +117,9 @@ impl EventFactoryRegistry {
 
 impl std::fmt::Debug for EventFactoryRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventFactoryRegistry").field("events", &self.names()).finish()
+        f.debug_struct("EventFactoryRegistry")
+            .field("events", &self.names())
+            .finish()
     }
 }
 
@@ -123,10 +127,28 @@ impl std::fmt::Debug for EventFactoryRegistry {
 /// `[wire name][send header][message]`.
 pub fn encode_event(event: &dyn Sendable) -> Bytes {
     let mut w = WireWriter::with_capacity(64 + event.message().size());
-    w.put_str(event.wire_name());
-    event.header().encode(&mut w);
-    event.message().encode(&mut w);
+    encode_event_body(&mut w, event);
     w.finish()
+}
+
+/// Serialises a sendable event into a reusable scratch writer, returning the
+/// packet bytes as a split-off frame.
+///
+/// Unlike [`encode_event`] this does not allocate a fresh buffer per packet:
+/// the scratch allocation is recycled once the packets split from it have
+/// been consumed, which makes steady-state serialisation allocation-free.
+/// The kernel owns one scratch writer and exposes this path to the network
+/// driver through [`crate::kernel::EventContext::encode_sendable`].
+pub fn encode_event_into(scratch: &mut WireWriter, event: &dyn Sendable) -> Bytes {
+    scratch.reserve(64 + event.message().size());
+    encode_event_body(scratch, event);
+    scratch.split_frame()
+}
+
+fn encode_event_body(w: &mut WireWriter, event: &dyn Sendable) {
+    w.put_str(event.wire_name());
+    event.header().encode(w);
+    event.message().encode(w);
 }
 
 /// Decodes the byte form produced by [`encode_event`] back into a typed

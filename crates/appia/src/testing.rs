@@ -47,7 +47,10 @@ impl Layer for CaptureLayer {
     }
 
     fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
-        Box::new(CaptureSession { end: self.end, sink: self.sink.clone() })
+        Box::new(CaptureSession {
+            end: self.end,
+            sink: self.sink.clone(),
+        })
     }
 }
 
@@ -60,10 +63,10 @@ impl Session for CaptureSession {
     }
 
     fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
-        let arriving = match (self.end, event.direction) {
-            (End::Top, Direction::Up) | (End::Bottom, Direction::Down) => true,
-            _ => false,
-        };
+        let arriving = matches!(
+            (self.end, event.direction),
+            (End::Top, Direction::Up) | (End::Bottom, Direction::Down)
+        );
         if arriving {
             self.sink.borrow_mut().push(event);
         } else {
@@ -92,8 +95,14 @@ impl Harness {
         let mut kernel = Kernel::new();
         let layer_name = layer.name().to_string();
         kernel.layers_mut().register(layer);
-        kernel.layers_mut().register(CaptureLayer { end: End::Top, sink: top.clone() });
-        kernel.layers_mut().register(CaptureLayer { end: End::Bottom, sink: bottom.clone() });
+        kernel.layers_mut().register(CaptureLayer {
+            end: End::Top,
+            sink: top.clone(),
+        });
+        kernel.layers_mut().register(CaptureLayer {
+            end: End::Bottom,
+            sink: bottom.clone(),
+        });
 
         let mut spec = LayerSpec::new(layer_name);
         spec.params = params.clone();
@@ -107,7 +116,12 @@ impl Harness {
         // Discard anything produced during ChannelInit so tests start clean.
         top.borrow_mut().clear();
         bottom.borrow_mut().clear();
-        Self { kernel, channel, top, bottom }
+        Self {
+            kernel,
+            channel,
+            top,
+            bottom,
+        }
     }
 
     /// The kernel backing the harness (e.g. to fire timers).
@@ -123,14 +137,16 @@ impl Harness {
     /// Injects an event at the bottom/top edge (according to its direction),
     /// processes to completion and returns everything that reached the *top*.
     pub fn run_up(&mut self, event: Event, platform: &mut dyn Platform) -> Vec<Event> {
-        self.kernel.dispatch_and_process(self.channel, event, platform);
+        self.kernel
+            .dispatch_and_process(self.channel, event, platform);
         self.drain_up()
     }
 
     /// Injects an event, processes to completion and returns everything that
     /// reached the *bottom*.
     pub fn run_down(&mut self, event: Event, platform: &mut dyn Platform) -> Vec<Event> {
-        self.kernel.dispatch_and_process(self.channel, event, platform);
+        self.kernel
+            .dispatch_and_process(self.channel, event, platform);
         self.drain_down()
     }
 
@@ -164,14 +180,20 @@ mod tests {
         let mut harness = Harness::new(LoggerLayer, &LayerParams::new(), &mut platform);
 
         let up = harness.run_up(
-            Event::up(DataEvent::to_group(NodeId(2), Message::with_payload(&b"u"[..]))),
+            Event::up(DataEvent::to_group(
+                NodeId(2),
+                Message::with_payload(&b"u"[..]),
+            )),
             &mut platform,
         );
         assert_eq!(up.len(), 1);
         assert!(harness.drain_down().is_empty());
 
         let down = harness.run_down(
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"d"[..]))),
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"d"[..]),
+            )),
             &mut platform,
         );
         assert_eq!(down.len(), 1);

@@ -77,6 +77,14 @@ pub trait Wire: Sized {
 }
 
 /// An append-only encoder for the wire format.
+///
+/// A writer can be used one-shot ([`WireWriter::finish`]) or as a reusable
+/// scratch buffer: [`WireWriter::split_frame`] freezes everything written so
+/// far into a [`Bytes`] without copying and leaves the writer ready for the
+/// next frame in the same allocation. Once every split-off frame has been
+/// dropped, [`WireWriter::reserve`] recycles the allocation, so a long-lived
+/// scratch writer (the kernel owns one for outgoing packets) serialises an
+/// unbounded stream of frames with zero steady-state allocations.
 #[derive(Debug, Default)]
 pub struct WireWriter {
     buf: BytesMut,
@@ -85,12 +93,28 @@ pub struct WireWriter {
 impl WireWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Creates a writer with the given initial capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(capacity) }
+        Self {
+            buf: BytesMut::with_capacity(capacity),
+        }
+    }
+
+    /// Ensures space for `additional` more bytes, recycling the underlying
+    /// allocation when every previously split-off frame has been dropped.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Freezes everything written since the last split into an immutable
+    /// frame, leaving the writer positioned for the next frame.
+    pub fn split_frame(&mut self) -> Bytes {
+        self.buf.split().freeze()
     }
 
     /// Number of bytes written so far.
@@ -174,6 +198,29 @@ impl WireWriter {
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
     }
+}
+
+thread_local! {
+    /// Shared scratch writer for small frames (layer headers). Single
+    /// kernel thread, so a thread-local is effectively a per-kernel pool.
+    static FRAME_SCRATCH: std::cell::RefCell<WireWriter> =
+        std::cell::RefCell::new(WireWriter::new());
+}
+
+/// Encodes one frame through a shared reusable scratch writer.
+///
+/// The closure writes the frame; the written bytes are split off and
+/// returned. The scratch allocation is recycled once previously returned
+/// frames have been dropped, so steady-state header encoding (a push per
+/// packet, dropped when the packet is serialised or consumed) does not
+/// allocate.
+pub fn encode_pooled(encode: impl FnOnce(&mut WireWriter)) -> Bytes {
+    FRAME_SCRATCH.with(|cell| {
+        let mut writer = cell.borrow_mut();
+        writer.reserve(64);
+        encode(&mut writer);
+        writer.split_frame()
+    })
 }
 
 /// A cursor-style decoder for the wire format.

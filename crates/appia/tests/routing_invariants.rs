@@ -1,0 +1,302 @@
+//! Invariants of the dense bitmask route tables and interned identifiers
+//! across channel reconfiguration.
+//!
+//! The route table of a channel is folded once at build time; these tests
+//! pin the behaviours that must survive the kernel's hot-path optimisations:
+//! routes reflect the *current* stack after [`Kernel::replace_channel`]
+//! (stale memoised masks from the old stack must not leak), sessions shared
+//! by key keep their state across replacements now that names are interned,
+//! and timer ownership round-trips through interned layer names.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use morpheus_appia::config::{ChannelConfig, LayerSpec};
+use morpheus_appia::event::{Direction, Event, EventSpec};
+use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{Layer, LayerParams};
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::{DeliveryKind, NodeId, TestPlatform};
+use morpheus_appia::session::Session;
+use morpheus_appia::Kernel;
+
+/// A layer that absorbs every downward `DataEvent` (a "firewall").
+struct AbsorbLayer;
+
+struct AbsorbSession;
+
+impl Layer for AbsorbLayer {
+    fn name(&self) -> &str {
+        "absorb"
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::of::<DataEvent>()]
+    }
+
+    fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+        Box::new(AbsorbSession)
+    }
+}
+
+impl Session for AbsorbSession {
+    fn layer_name(&self) -> &str {
+        "absorb"
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        if event.direction == Direction::Up {
+            ctx.forward(event);
+        }
+        // Downward data is dropped.
+    }
+}
+
+/// A stateful counting layer whose sessions can be shared between stacks.
+struct CounterLayer {
+    counts: Rc<RefCell<Vec<u64>>>,
+}
+
+struct CounterSession {
+    slot: usize,
+    counts: Rc<RefCell<Vec<u64>>>,
+}
+
+impl Layer for CounterLayer {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![EventSpec::of::<DataEvent>()]
+    }
+
+    fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+        let mut counts = self.counts.borrow_mut();
+        let slot = counts.len();
+        counts.push(0);
+        Box::new(CounterSession {
+            slot,
+            counts: self.counts.clone(),
+        })
+    }
+}
+
+impl Session for CounterSession {
+    fn layer_name(&self) -> &str {
+        "counter"
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        if event.is::<DataEvent>() {
+            self.counts.borrow_mut()[self.slot] += 1;
+        }
+        ctx.forward(event);
+    }
+}
+
+/// A layer that arms a timer on init and reports the expiry owner upward as
+/// an application notification.
+struct TimerProbeLayer;
+
+struct TimerProbeSession;
+
+impl Layer for TimerProbeLayer {
+    fn name(&self) -> &str {
+        "timer-probe"
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![
+            EventSpec::of::<ChannelInit>(),
+            EventSpec::of::<TimerExpired>(),
+        ]
+    }
+
+    fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
+        Box::new(TimerProbeSession)
+    }
+}
+
+impl Session for TimerProbeSession {
+    fn layer_name(&self) -> &str {
+        "timer-probe"
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>) {
+        if event.is::<ChannelInit>() {
+            ctx.set_timer(10, 42);
+            ctx.forward(event);
+            return;
+        }
+        if let Some(expired) = event.get::<TimerExpired>() {
+            // Interned owner names still compare against plain `&str`.
+            if expired.owner == "timer-probe" {
+                ctx.deliver(DeliveryKind::Notification(format!(
+                    "owned timer tag {} on {}",
+                    expired.tag,
+                    ctx.channel_name()
+                )));
+                return;
+            }
+            ctx.forward(event);
+        }
+    }
+}
+
+fn data_to(node: u32) -> Event {
+    Event::down(DataEvent::new(
+        NodeId(1),
+        morpheus_appia::event::Dest::Node(NodeId(node)),
+        Message::with_payload(&b"x"[..]),
+    ))
+}
+
+#[test]
+fn routes_reflect_the_new_stack_after_replace_channel() {
+    let mut kernel = Kernel::new();
+    kernel.layers_mut().register(AbsorbLayer);
+    let mut platform = TestPlatform::new(NodeId(1));
+
+    let blocked = ChannelConfig::new("data")
+        .with_layer(LayerSpec::new("network"))
+        .with_layer(LayerSpec::new("absorb"))
+        .with_layer(LayerSpec::new("app"));
+    let id = kernel.create_channel(&blocked, &mut platform).unwrap();
+
+    // The absorbing layer sits on the data route: nothing reaches the wire.
+    // This also warms the route memo for DataEvent on the old stack.
+    kernel.dispatch_and_process(id, data_to(2), &mut platform);
+    assert!(
+        platform.take_sent().is_empty(),
+        "absorb layer blocks the send"
+    );
+
+    let open = ChannelConfig::new("data")
+        .with_layer(LayerSpec::new("network"))
+        .with_layer(LayerSpec::new("app"));
+    let id = kernel
+        .replace_channel("data", &open, &mut platform)
+        .unwrap();
+
+    // The replacement built a fresh route table: the memoised mask of the
+    // old stack must not shadow the new composition.
+    kernel.dispatch_and_process(id, data_to(2), &mut platform);
+    let sent = platform.take_sent();
+    assert_eq!(
+        sent.len(),
+        1,
+        "route now runs straight to the network driver"
+    );
+    assert_eq!(sent[0].channel, "data");
+
+    let channel = kernel.channel_by_name("data").unwrap();
+    assert_eq!(channel.layer_names(), vec!["network", "app"]);
+    assert!(!channel.has_layer("absorb"));
+}
+
+#[test]
+fn shared_sessions_preserve_state_across_replacement_with_interned_names() {
+    let counts = Rc::new(RefCell::new(Vec::new()));
+    let mut kernel = Kernel::new();
+    kernel.layers_mut().register(CounterLayer {
+        counts: counts.clone(),
+    });
+    let mut platform = TestPlatform::new(NodeId(1));
+
+    let stack = |extra_logger: bool| {
+        let mut config = ChannelConfig::new("data")
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("counter").shared("tally"));
+        if extra_logger {
+            config = config.with_layer(LayerSpec::new("logger"));
+        }
+        config.with_layer(LayerSpec::new("app"))
+    };
+
+    let id = kernel.create_channel(&stack(false), &mut platform).unwrap();
+    kernel.dispatch_and_process(id, data_to(2), &mut platform);
+    kernel.dispatch_and_process(id, data_to(2), &mut platform);
+
+    // Replace with a different composition naming the same share key: the
+    // session (and its count) must carry over.
+    let id = kernel
+        .replace_channel("data", &stack(true), &mut platform)
+        .unwrap();
+    for _ in 0..3 {
+        kernel.dispatch_and_process(id, data_to(2), &mut platform);
+    }
+
+    assert_eq!(
+        counts.borrow().len(),
+        1,
+        "exactly one session was ever created"
+    );
+    assert_eq!(
+        counts.borrow()[0],
+        5,
+        "counts accumulated across the replacement"
+    );
+
+    // And the rebuilt route table still includes the shared slot.
+    let channel = kernel.channel_by_name("data").unwrap();
+    assert_eq!(
+        channel.layer_names(),
+        vec!["network", "counter", "logger", "app"]
+    );
+}
+
+#[test]
+fn timer_ownership_round_trips_through_interned_names() {
+    let mut kernel = Kernel::new();
+    kernel.layers_mut().register(TimerProbeLayer);
+    let mut platform = TestPlatform::new(NodeId(1));
+
+    let config = ChannelConfig::new("timers")
+        .with_layer(LayerSpec::new("network"))
+        .with_layer(LayerSpec::new("timer-probe"))
+        .with_layer(LayerSpec::new("app"));
+    kernel.create_channel(&config, &mut platform).unwrap();
+
+    let (_, key) = platform
+        .timers
+        .pop()
+        .expect("probe armed a timer during init");
+    kernel.timer_expired(key, &mut platform);
+
+    let notes: Vec<String> = platform
+        .take_deliveries()
+        .into_iter()
+        .filter_map(|delivery| match delivery.kind {
+            DeliveryKind::Notification(text) => Some(text),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(notes, vec!["owned timer tag 42 on timers".to_string()]);
+}
+
+#[test]
+fn every_channel_keeps_an_independent_route_memo() {
+    let mut kernel = Kernel::new();
+    let mut platform = TestPlatform::new(NodeId(1));
+
+    let config = |name: &str| {
+        ChannelConfig::new(name)
+            .with_layer(LayerSpec::new("network"))
+            .with_layer(LayerSpec::new("logger"))
+            .with_layer(LayerSpec::new("app"))
+    };
+    let a = kernel.create_channel(&config("a"), &mut platform).unwrap();
+    let b = kernel.create_channel(&config("b"), &mut platform).unwrap();
+
+    kernel.dispatch_and_process(a, data_to(2), &mut platform);
+    let sent = platform.take_sent();
+    assert_eq!(sent.len(), 1);
+    assert_eq!(sent[0].channel, "a");
+
+    kernel.dispatch_and_process(b, data_to(3), &mut platform);
+    let sent = platform.take_sent();
+    assert_eq!(sent.len(), 1);
+    assert_eq!(sent[0].channel, "b");
+}

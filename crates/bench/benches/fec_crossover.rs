@@ -30,7 +30,13 @@ fn print_series() {
             let sent = report.node(NodeId(0)).unwrap().sent_total();
             cells.push(format!("{ratio:>9.1}% / {sent:>8}"));
         }
-        eprintln!("{:>7.1}%  {}  {}  {}", loss * 100.0, cells[0], cells[1], cells[2]);
+        eprintln!(
+            "{:>7.1}%  {}  {}  {}",
+            loss * 100.0,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
     eprintln!();
 }

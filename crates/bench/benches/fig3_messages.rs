@@ -5,11 +5,15 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morpheus_bench::{figure3_mobile_sent, figure3_scenario, run, MEASURED_MESSAGES, SERIES_MESSAGES};
+use morpheus_bench::{
+    figure3_mobile_sent, figure3_scenario, run, MEASURED_MESSAGES, SERIES_MESSAGES,
+};
 
 fn print_series() {
     eprintln!();
-    eprintln!("=== Figure 3: messages sent by the mobile node ({SERIES_MESSAGES} chat messages) ===");
+    eprintln!(
+        "=== Figure 3: messages sent by the mobile node ({SERIES_MESSAGES} chat messages) ==="
+    );
     eprintln!(
         "{:>8}  {:>15}  {:>15}  {:>15}",
         "devices", "not optimized", "optimized", "fixed relay (opt)"
@@ -44,7 +48,10 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
 }
 
 criterion_group! {

@@ -20,7 +20,10 @@ fn print_series() {
     for devices in [8usize, 16, 32, 64] {
         let expected = messages * (devices as u64 - 1);
         let mut cells = Vec::new();
-        for stack in [StackKind::BestEffort, StackKind::Gossip { fanout: 3, ttl: 4 }] {
+        for stack in [
+            StackKind::BestEffort,
+            StackKind::Gossip { fanout: 3, ttl: 4 },
+        ] {
             let report = run(&wan_scenario(devices, stack, messages));
             let sent = report.node(NodeId(0)).unwrap().sent_data;
             let coverage = 100.0 * report.total_app_deliveries() as f64 / expected as f64;
@@ -41,8 +44,12 @@ fn bench_gossip(c: &mut Criterion) {
             &devices,
             |b, &devices| {
                 b.iter(|| {
-                    run(&wan_scenario(devices, StackKind::Gossip { fanout: 3, ttl: 4 }, 50))
-                        .total_app_deliveries()
+                    run(&wan_scenario(
+                        devices,
+                        StackKind::Gossip { fanout: 3, ttl: 4 },
+                        50,
+                    ))
+                    .total_app_deliveries()
                 })
             },
         );

@@ -36,7 +36,9 @@ impl Layer for PassThroughLayer {
     }
 
     fn create_session(&self, _params: &LayerParams) -> Box<dyn Session> {
-        Box::new(PassThroughSession { name: self.name.clone() })
+        Box::new(PassThroughSession {
+            name: self.name.clone(),
+        })
     }
 }
 
@@ -56,7 +58,9 @@ fn deep_stack(depth: usize) -> (Kernel, TestPlatform, morpheus_appia::ChannelId)
     let mut kernel = Kernel::new();
     register_suite(&mut kernel);
     for index in 0..depth {
-        kernel.layers_mut().register(PassThroughLayer { name: format!("relay{index}") });
+        kernel.layers_mut().register(PassThroughLayer {
+            name: format!("relay{index}"),
+        });
     }
     let mut platform = TestPlatform::new(NodeId(1));
     let mut config = ChannelConfig::new("bench")
@@ -70,11 +74,40 @@ fn deep_stack(depth: usize) -> (Kernel, TestPlatform, morpheus_appia::ChannelId)
     (kernel, platform, id)
 }
 
-fn send_events(kernel: &mut Kernel, platform: &mut TestPlatform, id: morpheus_appia::ChannelId, count: usize) -> usize {
+fn send_events(
+    kernel: &mut Kernel,
+    platform: &mut TestPlatform,
+    id: morpheus_appia::ChannelId,
+    count: usize,
+) -> usize {
     for _ in 0..count {
-        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(1),
+            Message::with_payload(&b"x"[..]),
+        ));
         kernel.dispatch_and_process(id, event, platform);
     }
+    platform.take_sent().len()
+}
+
+/// Same workload through the batch API: all events enqueued up front, one
+/// queue drain for the whole batch.
+fn send_events_batched(
+    kernel: &mut Kernel,
+    platform: &mut TestPlatform,
+    id: morpheus_appia::ChannelId,
+    count: usize,
+) -> usize {
+    kernel.dispatch_batch_and_process(
+        id,
+        (0..count).map(|_| {
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"x"[..]),
+            ))
+        }),
+        platform,
+    );
     platform.take_sent().len()
 }
 
@@ -95,10 +128,22 @@ fn bench_kernel(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kernel-throughput");
     for depth in [0usize, 4, 12] {
-        group.bench_with_input(BenchmarkId::new("stack-depth", depth), &depth, |b, &depth| {
-            let (mut kernel, mut platform, id) = deep_stack(depth);
-            b.iter(|| send_events(&mut kernel, &mut platform, id, 100));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stack-depth", depth),
+            &depth,
+            |b, &depth| {
+                let (mut kernel, mut platform, id) = deep_stack(depth);
+                b.iter(|| send_events(&mut kernel, &mut platform, id, 100));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stack-depth-batched", depth),
+            &depth,
+            |b, &depth| {
+                let (mut kernel, mut platform, id) = deep_stack(depth);
+                b.iter(|| send_events_batched(&mut kernel, &mut platform, id, 100));
+            },
+        );
     }
     group.finish();
 }

@@ -7,7 +7,7 @@
 
 use morpheus_appia::platform::NodeId;
 use morpheus_core::StackKind;
-use morpheus_testbed::{Runner, RunReport, Scenario, TopologyChoice, Workload};
+use morpheus_testbed::{RunReport, Runner, Scenario, TopologyChoice, Workload};
 
 /// Number of chat messages used when printing reproduced data series.
 pub const SERIES_MESSAGES: u64 = 1_000;
@@ -22,7 +22,9 @@ pub fn figure3_scenario(devices: usize, optimized: bool, messages: u64) -> Scena
 
 /// Runs one Figure 3 configuration and returns the mobile node's total sends.
 pub fn figure3_mobile_sent(devices: usize, optimized: bool, messages: u64) -> u64 {
-    Runner::new().run(&figure3_scenario(devices, optimized, messages)).measured_mobile_sent()
+    Runner::new()
+        .run(&figure3_scenario(devices, optimized, messages))
+        .measured_mobile_sent()
 }
 
 /// An all-mobile ad-hoc scenario with a fixed stack under a given loss rate

@@ -101,7 +101,11 @@ impl ChatApp {
     /// (per-sender FIFO as observed by the application).
     pub fn received_in_order_from(&self, sender: &str) -> bool {
         let mut last = 0;
-        for message in self.received.iter().filter(|message| message.sender == sender) {
+        for message in self
+            .received
+            .iter()
+            .filter(|message| message.sender == sender)
+        {
             if message.seq <= last {
                 return false;
             }
@@ -120,7 +124,10 @@ mod tests {
     fn data_delivery(payload: Bytes) -> AppDelivery {
         AppDelivery {
             channel: "data".into(),
-            kind: DeliveryKind::Data { from: NodeId(9), payload },
+            kind: DeliveryKind::Data {
+                from: NodeId(9),
+                payload,
+            },
         }
     }
 
@@ -141,7 +148,9 @@ mod tests {
     #[test]
     fn malformed_payloads_are_counted_not_propagated() {
         let mut app = ChatApp::new(NodeId(1), "x", "r");
-        assert!(app.on_delivery(&data_delivery(Bytes::from_static(b"junk"))).is_none());
+        assert!(app
+            .on_delivery(&data_delivery(Bytes::from_static(b"junk")))
+            .is_none());
         assert_eq!(app.decode_failures(), 1);
     }
 
@@ -150,14 +159,22 @@ mod tests {
         let mut app = ChatApp::new(NodeId(1), "x", "r");
         app.on_delivery(&AppDelivery {
             channel: "data".into(),
-            kind: DeliveryKind::ViewChange { view_id: 1, members: vec![NodeId(1), NodeId(2)] },
+            kind: DeliveryKind::ViewChange {
+                view_id: 1,
+                members: vec![NodeId(1), NodeId(2)],
+            },
         });
         app.on_delivery(&AppDelivery {
             channel: "data".into(),
-            kind: DeliveryKind::Reconfigured { stack: "hybrid-mecho-relay0".into() },
+            kind: DeliveryKind::Reconfigured {
+                stack: "hybrid-mecho-relay0".into(),
+            },
         });
         assert_eq!(app.view_sizes(), &[2]);
-        assert_eq!(app.reconfigurations_seen(), &["hybrid-mecho-relay0".to_string()]);
+        assert_eq!(
+            app.reconfigurations_seen(),
+            &["hybrid-mecho-relay0".to_string()]
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl ChatMessage {
         seq: u64,
         text: impl Into<String>,
     ) -> Self {
-        Self { room: room.into(), sender: sender.into(), seq, text: text.into() }
+        Self {
+            room: room.into(),
+            sender: sender.into(),
+            seq,
+            text: text.into(),
+        }
     }
 
     /// Serialises the message to the bytes sent on the data channel.

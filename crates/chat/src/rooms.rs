@@ -84,7 +84,10 @@ mod tests {
 
         directory.join("games", NodeId(1));
         directory.join("news", NodeId(1));
-        assert_eq!(directory.members("games"), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            directory.members("games"),
+            &[NodeId(0), NodeId(1), NodeId(2)]
+        );
         assert_eq!(directory.rooms_of(NodeId(1)), vec!["games", "news"]);
 
         directory.leave("games", NodeId(0));

@@ -163,21 +163,41 @@ pub struct ContextSnapshot {
 impl ContextSnapshot {
     /// Creates an empty snapshot.
     pub fn new(node: NodeId, captured_at_ms: u64) -> Self {
-        Self { node, captured_at_ms, values: BTreeMap::new() }
+        Self {
+            node,
+            captured_at_ms,
+            values: BTreeMap::new(),
+        }
     }
 
     /// Builds a snapshot directly from a node profile (what the retrievers
     /// produce collectively).
     pub fn from_profile(profile: &NodeProfile, captured_at_ms: u64) -> Self {
         let mut snapshot = Self::new(profile.node_id, captured_at_ms);
-        snapshot.set(ContextKey::DeviceClass, ContextValue::Device(profile.device_class));
-        snapshot.set(ContextKey::BatteryLevel, ContextValue::Number(profile.battery_level));
-        snapshot.set(ContextKey::LinkQuality, ContextValue::Number(profile.link_quality));
-        snapshot
-            .set(ContextKey::BandwidthKbps, ContextValue::Number(profile.bandwidth_kbps as f64));
-        snapshot.set(ContextKey::ErrorRate, ContextValue::Number(profile.error_rate));
-        snapshot
-            .set(ContextKey::NativeMulticast, ContextValue::Flag(profile.has_native_multicast));
+        snapshot.set(
+            ContextKey::DeviceClass,
+            ContextValue::Device(profile.device_class),
+        );
+        snapshot.set(
+            ContextKey::BatteryLevel,
+            ContextValue::Number(profile.battery_level),
+        );
+        snapshot.set(
+            ContextKey::LinkQuality,
+            ContextValue::Number(profile.link_quality),
+        );
+        snapshot.set(
+            ContextKey::BandwidthKbps,
+            ContextValue::Number(profile.bandwidth_kbps as f64),
+        );
+        snapshot.set(
+            ContextKey::ErrorRate,
+            ContextValue::Number(profile.error_rate),
+        );
+        snapshot.set(
+            ContextKey::NativeMulticast,
+            ContextValue::Flag(profile.has_native_multicast),
+        );
         snapshot
     }
 
@@ -193,17 +213,20 @@ impl ContextSnapshot {
 
     /// The device class, if captured.
     pub fn device_class(&self) -> Option<DeviceClass> {
-        self.get(ContextKey::DeviceClass).and_then(ContextValue::as_device)
+        self.get(ContextKey::DeviceClass)
+            .and_then(ContextValue::as_device)
     }
 
     /// The battery level, if captured.
     pub fn battery_level(&self) -> Option<f64> {
-        self.get(ContextKey::BatteryLevel).and_then(ContextValue::as_number)
+        self.get(ContextKey::BatteryLevel)
+            .and_then(ContextValue::as_number)
     }
 
     /// The observed error rate, if captured.
     pub fn error_rate(&self) -> Option<f64> {
-        self.get(ContextKey::ErrorRate).and_then(ContextValue::as_number)
+        self.get(ContextKey::ErrorRate)
+            .and_then(ContextValue::as_number)
     }
 
     /// Whether the node is a mobile device, if the class was captured.
@@ -233,7 +256,11 @@ impl Wire for ContextSnapshot {
             let value = ContextValue::decode(r)?;
             values.insert(key, value);
         }
-        Ok(Self { node, captured_at_ms, values })
+        Ok(Self {
+            node,
+            captured_at_ms,
+            values,
+        })
     }
 }
 

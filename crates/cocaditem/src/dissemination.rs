@@ -102,8 +102,12 @@ fn changed_significantly(previous: &ContextSnapshot, current: &ContextSnapshot) 
         return true;
     }
     let numeric_changed = |key: ContextKey, tolerance: f64| {
-        let before = previous.get(key).and_then(crate::context::ContextValue::as_number);
-        let after = current.get(key).and_then(crate::context::ContextValue::as_number);
+        let before = previous
+            .get(key)
+            .and_then(crate::context::ContextValue::as_number);
+        let after = current
+            .get(key)
+            .and_then(crate::context::ContextValue::as_number);
         match (before, after) {
             (Some(before), Some(after)) => (before - after).abs() > tolerance,
             (None, None) => false,
@@ -161,7 +165,9 @@ impl CocaditemSession {
         self.store.update(snapshot.clone());
         // Local context is also reported upward so the local Core instance
         // sees its own node's context without a network round trip.
-        ctx.dispatch(Event::up(ContextUpdated { snapshot: snapshot.clone() }));
+        ctx.dispatch(Event::up(ContextUpdated {
+            snapshot: snapshot.clone(),
+        }));
 
         self.ticks_since_publish += 1;
         let changed = match &self.last_published {
@@ -172,13 +178,21 @@ impl CocaditemSession {
             return;
         }
 
-        let others: Vec<NodeId> =
-            self.members.iter().copied().filter(|member| *member != local).collect();
+        let others: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local)
+            .collect();
         if !others.is_empty() {
             let mut message = Message::new();
             message.push(&snapshot);
             self.publications += 1;
-            ctx.dispatch(Event::down(ContextPublish::new(local, Dest::Nodes(others), message)));
+            ctx.dispatch(Event::down(ContextPublish::new(
+                local,
+                Dest::Nodes(others),
+                message,
+            )));
         }
         self.last_published = Some(snapshot);
         self.ticks_since_publish = 0;
@@ -245,7 +259,11 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params.insert("publish_interval_ms".into(), interval.to_string());
         // Re-publish on every tick so the timer-driven tests below observe a
@@ -257,8 +275,7 @@ mod tests {
     #[test]
     fn init_publishes_the_local_context() {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
-        let mut cocaditem =
-            Harness::new(CocaditemLayer, &params(&[1, 2, 3], 500), &mut platform);
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 500), &mut platform);
 
         // The initial publication happened during ChannelInit (drained by the
         // harness); trigger another one via the timer to observe it.
@@ -267,7 +284,10 @@ mod tests {
         cocaditem.fire_timer(timers[0].1, &mut platform);
 
         let down = cocaditem.drain_down();
-        let publish: Vec<&Event> = down.iter().filter(|event| event.is::<ContextPublish>()).collect();
+        let publish: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextPublish>())
+            .collect();
         assert_eq!(publish.len(), 1);
         assert_eq!(
             publish[0].get::<ContextPublish>().unwrap().header.dest,
@@ -275,11 +295,21 @@ mod tests {
         );
 
         let up = cocaditem.drain_up();
-        let updated: Vec<&Event> = up.iter().filter(|event| event.is::<ContextUpdated>()).collect();
+        let updated: Vec<&Event> = up
+            .iter()
+            .filter(|event| event.is::<ContextUpdated>())
+            .collect();
         assert_eq!(updated.len(), 1);
-        assert_eq!(updated[0].get::<ContextUpdated>().unwrap().snapshot.node, NodeId(2));
         assert_eq!(
-            updated[0].get::<ContextUpdated>().unwrap().snapshot.is_mobile(),
+            updated[0].get::<ContextUpdated>().unwrap().snapshot.node,
+            NodeId(2)
+        );
+        assert_eq!(
+            updated[0]
+                .get::<ContextUpdated>()
+                .unwrap()
+                .snapshot
+                .is_mobile(),
             Some(true)
         );
     }
@@ -287,18 +317,23 @@ mod tests {
     #[test]
     fn received_publications_are_reported_upward() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem =
-            Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
 
-        let snapshot =
-            ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(2)), 77);
+        let snapshot = ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(2)), 77);
         let mut message = Message::new();
         message.push(&snapshot);
         let up = cocaditem.run_up(
-            Event::up(ContextPublish::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            Event::up(ContextPublish::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                message,
+            )),
             &mut platform,
         );
-        let updated: Vec<&Event> = up.iter().filter(|event| event.is::<ContextUpdated>()).collect();
+        let updated: Vec<&Event> = up
+            .iter()
+            .filter(|event| event.is::<ContextUpdated>())
+            .collect();
         assert_eq!(updated.len(), 1);
         let received = &updated[0].get::<ContextUpdated>().unwrap().snapshot;
         assert_eq!(received.node, NodeId(2));
@@ -320,7 +355,10 @@ mod tests {
             cocaditem.fire_timer(timers[0].1, &mut platform);
             let down = cocaditem.drain_down();
             assert!(down.iter().all(|event| !event.is::<ContextPublish>()));
-            assert!(cocaditem.drain_up().iter().any(|event| event.is::<ContextUpdated>()));
+            assert!(cocaditem
+                .drain_up()
+                .iter()
+                .any(|event| event.is::<ContextUpdated>()));
         }
 
         // A significant battery drop is disseminated immediately.
@@ -329,16 +367,22 @@ mod tests {
         platform.profile = drained;
         let timers: Vec<_> = std::mem::take(&mut platform.timers);
         cocaditem.fire_timer(timers[0].1, &mut platform);
-        assert!(cocaditem.drain_down().iter().any(|event| event.is::<ContextPublish>()));
+        assert!(cocaditem
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<ContextPublish>()));
     }
 
     #[test]
     fn malformed_publications_are_dropped() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem =
-            Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
         let up = cocaditem.run_up(
-            Event::up(ContextPublish::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+            Event::up(ContextPublish::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
             &mut platform,
         );
         assert!(up.iter().all(|event| !event.is::<ContextUpdated>()));
@@ -347,8 +391,7 @@ mod tests {
     #[test]
     fn view_install_updates_the_dissemination_targets() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem =
-            Harness::new(CocaditemLayer, &params(&[1, 2], 300), &mut platform);
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 300), &mut platform);
         cocaditem.run_down(
             Event::down(ViewInstall {
                 view: morpheus_groupcomm::View::new(1, vec![NodeId(1), NodeId(2), NodeId(5)]),
@@ -358,7 +401,10 @@ mod tests {
         let timers: Vec<_> = std::mem::take(&mut platform.timers);
         cocaditem.fire_timer(timers[0].1, &mut platform);
         let down = cocaditem.drain_down();
-        let publish = down.iter().find(|event| event.is::<ContextPublish>()).unwrap();
+        let publish = down
+            .iter()
+            .find(|event| event.is::<ContextPublish>())
+            .unwrap();
         assert_eq!(
             publish.get::<ContextPublish>().unwrap().header.dest,
             Dest::Nodes(vec![NodeId(2), NodeId(5)])

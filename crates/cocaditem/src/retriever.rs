@@ -34,7 +34,10 @@ impl ContextRetriever for DeviceRetriever {
     }
 
     fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
-        vec![(ContextKey::DeviceClass, ContextValue::Device(profile.device_class))]
+        vec![(
+            ContextKey::DeviceClass,
+            ContextValue::Device(profile.device_class),
+        )]
     }
 }
 
@@ -51,7 +54,10 @@ impl ContextRetriever for BatteryRetriever {
     }
 
     fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
-        vec![(ContextKey::BatteryLevel, ContextValue::Number(profile.battery_level))]
+        vec![(
+            ContextKey::BatteryLevel,
+            ContextValue::Number(profile.battery_level),
+        )]
     }
 }
 
@@ -75,17 +81,33 @@ impl ContextRetriever for LinkRetriever {
 
     fn retrieve(&self, profile: &NodeProfile) -> Vec<(ContextKey, ContextValue)> {
         vec![
-            (ContextKey::LinkQuality, ContextValue::Number(profile.link_quality)),
-            (ContextKey::BandwidthKbps, ContextValue::Number(profile.bandwidth_kbps as f64)),
-            (ContextKey::ErrorRate, ContextValue::Number(profile.error_rate)),
-            (ContextKey::NativeMulticast, ContextValue::Flag(profile.has_native_multicast)),
+            (
+                ContextKey::LinkQuality,
+                ContextValue::Number(profile.link_quality),
+            ),
+            (
+                ContextKey::BandwidthKbps,
+                ContextValue::Number(profile.bandwidth_kbps as f64),
+            ),
+            (
+                ContextKey::ErrorRate,
+                ContextValue::Number(profile.error_rate),
+            ),
+            (
+                ContextKey::NativeMulticast,
+                ContextValue::Flag(profile.has_native_multicast),
+            ),
         ]
     }
 }
 
 /// The default retriever set used by the prototype.
 pub fn default_retrievers() -> Vec<Box<dyn ContextRetriever>> {
-    vec![Box::new(DeviceRetriever), Box::new(BatteryRetriever), Box::new(LinkRetriever)]
+    vec![
+        Box::new(DeviceRetriever),
+        Box::new(BatteryRetriever),
+        Box::new(LinkRetriever),
+    ]
 }
 
 #[cfg(test)]

@@ -94,8 +94,10 @@ impl Layer for CoreLayer {
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
         let members = param_node_list(params, "members");
-        let data_channel =
-            params.get("data_channel").cloned().unwrap_or_else(|| "data".to_string());
+        let data_channel = params
+            .get("data_channel")
+            .cloned()
+            .unwrap_or_else(|| "data".to_string());
         let hb = param_or(params, "hb_interval_ms", 1000u64);
         let suspect = param_or(params, "suspect_timeout_ms", 5000u64);
         Box::new(CoreSession {
@@ -177,13 +179,21 @@ impl CoreSession {
         self.acks.insert(local);
         self.current_stack = desired.clone();
 
-        let others: Vec<NodeId> =
-            self.members.iter().copied().filter(|member| *member != local).collect();
+        let others: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local)
+            .collect();
         if !others.is_empty() {
             let mut message = Message::new();
             message.push(&desired);
             message.push(&description);
-            ctx.dispatch(Event::down(ReconfigCommand::new(local, Dest::Nodes(others), message)));
+            ctx.dispatch(Event::down(ReconfigCommand::new(
+                local,
+                Dest::Nodes(others),
+                message,
+            )));
         }
         ctx.request_reconfiguration(ReconfigRequest {
             channel: self.data_channel.clone(),
@@ -273,7 +283,10 @@ impl Session for CoreSession {
             let Ok(stack_name) = ack.message.pop::<String>() else {
                 return;
             };
-            if self.pending.as_ref().map(|pending| pending.stack_name.clone())
+            if self
+                .pending
+                .as_ref()
+                .map(|pending| pending.stack_name.clone())
                 == Some(stack_name)
             {
                 self.acks.insert(source);
@@ -298,7 +311,11 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params.insert("adaptive".into(), adaptive.to_string());
         params.insert("data_channel".into(), "data".into());
@@ -311,7 +328,9 @@ mod tests {
         } else {
             NodeProfile::fixed_pc(NodeId(node))
         };
-        Event::up(ContextUpdated { snapshot: ContextSnapshot::from_profile(&profile, 1) })
+        Event::up(ContextUpdated {
+            snapshot: ContextSnapshot::from_profile(&profile, 1),
+        })
     }
 
     #[test]
@@ -322,7 +341,10 @@ mod tests {
         // Context arrives for every member: node 0 fixed, nodes 1-2 mobile.
         core.run_up(context_update(0, false), &mut platform);
         core.run_up(context_update(1, true), &mut platform);
-        assert!(platform.reconfig_requests.is_empty(), "no decision before full context");
+        assert!(
+            platform.reconfig_requests.is_empty(),
+            "no decision before full context"
+        );
         core.run_up(context_update(2, true), &mut platform);
 
         assert_eq!(platform.reconfig_requests.len(), 1);
@@ -332,8 +354,10 @@ mod tests {
         assert!(request.description.contains("mecho"));
 
         let down = core.drain_down();
-        let commands: Vec<&Event> =
-            down.iter().filter(|event| event.is::<ReconfigCommand>()).collect();
+        let commands: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigCommand>())
+            .collect();
         assert_eq!(commands.len(), 1);
         assert_eq!(
             commands[0].get::<ReconfigCommand>().unwrap().header.dest,
@@ -348,7 +372,10 @@ mod tests {
         core.run_up(context_update(0, false), &mut platform);
         core.run_up(context_update(1, true), &mut platform);
         assert!(platform.reconfig_requests.is_empty());
-        assert!(core.drain_down().iter().all(|event| !event.is::<ReconfigCommand>()));
+        assert!(core
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<ReconfigCommand>()));
     }
 
     #[test]
@@ -370,16 +397,29 @@ mod tests {
         message.push(&"hybrid-mecho-relay0".to_string());
         message.push(&"<channel name=\"data\"><layer name=\"network\"/></channel>".to_string());
         core.run_up(
-            Event::up(ReconfigCommand::new(NodeId(0), Dest::Node(NodeId(1)), message)),
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                message,
+            )),
             &mut platform,
         );
 
         assert_eq!(platform.reconfig_requests.len(), 1);
-        assert_eq!(platform.reconfig_requests[0].stack_name, "hybrid-mecho-relay0");
+        assert_eq!(
+            platform.reconfig_requests[0].stack_name,
+            "hybrid-mecho-relay0"
+        );
         let down = core.drain_down();
-        let acks: Vec<&Event> = down.iter().filter(|event| event.is::<ReconfigAck>()).collect();
+        let acks: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigAck>())
+            .collect();
         assert_eq!(acks.len(), 1);
-        assert_eq!(acks[0].get::<ReconfigAck>().unwrap().header.dest, Dest::Node(NodeId(0)));
+        assert_eq!(
+            acks[0].get::<ReconfigAck>().unwrap().header.dest,
+            Dest::Node(NodeId(0))
+        );
     }
 
     #[test]

@@ -127,9 +127,14 @@ impl MorpheusNode {
 
         let mut core_params = options.core_params.clone();
         core_params.push(("initial_stack".to_string(), options.initial_stack.name()));
-        core_params.push(("hb_interval_ms".to_string(), options.hb_interval_ms.to_string()));
-        core_params
-            .push(("suspect_timeout_ms".to_string(), options.suspect_timeout_ms.to_string()));
+        core_params.push((
+            "hb_interval_ms".to_string(),
+            options.hb_interval_ms.to_string(),
+        ));
+        core_params.push((
+            "suspect_timeout_ms".to_string(),
+            options.suspect_timeout_ms.to_string(),
+        ));
         let control_config = catalog.control_config(
             &options.control_channel,
             options.publish_interval_ms,
@@ -184,7 +189,13 @@ impl MorpheusNode {
     pub fn data_stack_layers(&self) -> Vec<String> {
         self.kernel
             .channel(self.data_channel)
-            .map(|channel| channel.layer_names())
+            .map(|channel| {
+                channel
+                    .layer_names()
+                    .iter()
+                    .map(|name| name.as_str().to_string())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -193,12 +204,23 @@ impl MorpheusNode {
         let source = platform.node_id();
         let event = Event::down(DataEvent::to_group(source, Message::with_payload(payload)));
         self.sent_messages += 1;
-        self.kernel.dispatch_and_process(self.data_channel, event, platform);
+        self.kernel
+            .dispatch_and_process(self.data_channel, event, platform);
     }
 
     /// Delivers a packet received from the network.
     pub fn deliver_packet(&mut self, packet: InPacket, platform: &mut dyn Platform) -> Result<()> {
         self.kernel.deliver_packet(packet, platform)
+    }
+
+    /// Delivers a batch of packets with a single kernel queue drain,
+    /// returning how many were rejected (undecodable or misaddressed).
+    pub fn deliver_packet_batch(
+        &mut self,
+        packets: impl IntoIterator<Item = InPacket>,
+        platform: &mut dyn Platform,
+    ) -> usize {
+        self.kernel.deliver_packet_batch(packets, platform)
     }
 
     /// Reports a fired timer.
@@ -218,19 +240,23 @@ impl MorpheusNode {
         // 1. Drive the data channel to quiescence: the view-synchrony layer
         //    buffers application sends from this point on.
         if let Some(channel) = self.kernel.channel_id(&request.channel) {
-            self.kernel.dispatch_and_process(channel, Event::down(BlockRequest {}), platform);
+            self.kernel
+                .dispatch_and_process(channel, Event::down(BlockRequest {}), platform);
         }
 
         // 2. Deploy the new stack. Shared sessions (notably view synchrony)
         //    carry their state across the replacement.
-        let new_channel = self.kernel.replace_channel(&request.channel, &config, platform)?;
+        let new_channel = self
+            .kernel
+            .replace_channel(&request.channel, &config, platform)?;
         if request.channel == self.options.data_channel {
             self.data_channel = new_channel;
         }
 
         // 3. Resume the data flow; buffered sends are re-emitted through the
         //    new stack.
-        self.kernel.dispatch_and_process(new_channel, Event::down(ResumeRequest {}), platform);
+        self.kernel
+            .dispatch_and_process(new_channel, Event::down(ResumeRequest {}), platform);
 
         self.current_stack = request.stack_name.clone();
         self.reconfigurations += 1;
@@ -248,13 +274,16 @@ impl MorpheusNode {
                     morpheus_appia::event::Dest::Node(coordinator),
                     message,
                 ));
-                self.kernel.dispatch_and_process(self.control_channel, ack, platform);
+                self.kernel
+                    .dispatch_and_process(self.control_channel, ack, platform);
             }
         }
 
         platform.deliver(AppDelivery {
-            channel: request.channel,
-            kind: DeliveryKind::Reconfigured { stack: request.stack_name },
+            channel: request.channel.into(),
+            kind: DeliveryKind::Reconfigured {
+                stack: request.stack_name,
+            },
         });
         Ok(())
     }
@@ -286,7 +315,10 @@ mod tests {
         let node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
         assert_eq!(node.kernel().channel_names(), vec!["ctrl", "data"]);
         assert_eq!(node.current_stack(), "best-effort");
-        assert_eq!(node.data_stack_layers(), vec!["network", "beb", "fd", "vsync", "app"]);
+        assert_eq!(
+            node.data_stack_layers(),
+            vec!["network", "beb", "fd", "vsync", "app"]
+        );
         // Channel creation publishes the initial context on the control channel.
         assert!(platform
             .sent
@@ -313,7 +345,9 @@ mod tests {
     fn applying_a_reconfiguration_swaps_the_data_stack() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
-        let hybrid = node.catalog().config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+        let hybrid = node
+            .catalog()
+            .config_for(&StackKind::HybridMecho { relay: NodeId(0) });
 
         node.apply_reconfiguration(
             ReconfigRequest {
@@ -356,7 +390,11 @@ mod tests {
         );
         node.send_to_group(&b"queued"[..], &mut platform);
         assert_eq!(
-            platform.sent.iter().filter(|p| p.class == PacketClass::Data).count(),
+            platform
+                .sent
+                .iter()
+                .filter(|p| p.class == PacketClass::Data)
+                .count(),
             0,
             "sends are buffered while blocked"
         );
@@ -364,7 +402,9 @@ mod tests {
         // Replacing the stack and resuming releases the buffered message
         // through the *new* stack (Mecho, wireless mode → a single packet to
         // the relay).
-        let hybrid = node.catalog().config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+        let hybrid = node
+            .catalog()
+            .config_for(&StackKind::HybridMecho { relay: NodeId(0) });
         node.apply_reconfiguration(
             ReconfigRequest {
                 channel: "data".into(),
@@ -379,7 +419,11 @@ mod tests {
             .into_iter()
             .filter(|packet| packet.class == PacketClass::Data)
             .collect();
-        assert_eq!(data_packets.len(), 1, "buffered send released through the Mecho relay path");
+        assert_eq!(
+            data_packets.len(),
+            1,
+            "buffered send released through the Mecho relay path"
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl GlobalContext {
 
     /// Whether every member has published at least one context snapshot.
     pub fn is_complete(&self) -> bool {
-        self.members.iter().all(|member| self.store.get(*member).is_some())
+        self.members
+            .iter()
+            .all(|member| self.store.get(*member).is_some())
     }
 }
 
@@ -91,7 +93,7 @@ mod tests {
 
     #[test]
     fn stack_kind_names_are_stable_and_distinct() {
-        let kinds = vec![
+        let kinds = [
             StackKind::BestEffort,
             StackKind::Reliable,
             StackKind::ErrorMasking { k: 4 },
@@ -111,7 +113,10 @@ mod tests {
         use morpheus_cocaditem::ContextSnapshot;
 
         let mut store = ContextStore::new();
-        store.update(ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(0)), 1));
+        store.update(ContextSnapshot::from_profile(
+            &NodeProfile::fixed_pc(NodeId(0)),
+            1,
+        ));
         let context = GlobalContext {
             local: NodeId(0),
             members: vec![NodeId(0), NodeId(1)],

@@ -55,7 +55,11 @@ impl DefaultPolicy {
                 "large_group_threshold",
                 defaults.large_group_threshold,
             ),
-            fec_error_threshold: param_or(params, "fec_error_threshold", defaults.fec_error_threshold),
+            fec_error_threshold: param_or(
+                params,
+                "fec_error_threshold",
+                defaults.fec_error_threshold,
+            ),
             retransmit_error_threshold: param_or(
                 params,
                 "retransmit_error_threshold",
@@ -83,7 +87,10 @@ impl AdaptationPolicy for DefaultPolicy {
             return Some(StackKind::HybridMecho { relay });
         }
         if context.group_size() >= self.large_group_threshold {
-            return Some(StackKind::Gossip { fanout: self.gossip_fanout, ttl: self.gossip_ttl });
+            return Some(StackKind::Gossip {
+                fanout: self.gossip_fanout,
+                ttl: self.gossip_ttl,
+            });
         }
         let error_rate = context.store.max_error_rate();
         if error_rate >= self.fec_error_threshold {
@@ -109,7 +116,12 @@ mod tests {
         for snapshot in snapshots {
             store.update(snapshot);
         }
-        GlobalContext { local: NodeId(0), members, store, current_stack: "best-effort".into() }
+        GlobalContext {
+            local: NodeId(0),
+            members,
+            store,
+            current_stack: "best-effort".into(),
+        }
     }
 
     fn fixed(node: u32) -> ContextSnapshot {
@@ -142,7 +154,10 @@ mod tests {
     #[test]
     fn homogeneous_small_clean_groups_stay_best_effort() {
         let context = context_with(vec![fixed(0), fixed(1), fixed(2)]);
-        assert_eq!(DefaultPolicy::default().evaluate(&context), Some(StackKind::BestEffort));
+        assert_eq!(
+            DefaultPolicy::default().evaluate(&context),
+            Some(StackKind::BestEffort)
+        );
     }
 
     #[test]
@@ -159,7 +174,10 @@ mod tests {
             with_error(mobile(0), 0.01),
             with_error(mobile(1), 0.0),
         ]);
-        assert_eq!(DefaultPolicy::default().evaluate(&moderate), Some(StackKind::Reliable));
+        assert_eq!(
+            DefaultPolicy::default().evaluate(&moderate),
+            Some(StackKind::Reliable)
+        );
 
         let severe = context_with(vec![
             with_error(mobile(0), 0.12),
@@ -192,7 +210,10 @@ mod tests {
 
         let snapshots: Vec<ContextSnapshot> = (0..5).map(fixed).collect();
         let context = context_with(snapshots);
-        assert!(matches!(policy.evaluate(&context), Some(StackKind::Gossip { .. })));
+        assert!(matches!(
+            policy.evaluate(&context),
+            Some(StackKind::Gossip { .. })
+        ));
         assert_eq!(policy.name(), "default-rules");
     }
 }

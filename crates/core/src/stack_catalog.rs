@@ -63,9 +63,7 @@ impl StackCatalog {
             StackKind::BestEffort => self.builder().beb(false).build(),
             StackKind::Reliable => self.builder().beb(false).reliable().build(),
             StackKind::ErrorMasking { k } => self.builder().beb(false).fec(*k).build(),
-            StackKind::HybridMecho { relay } => {
-                self.builder().mecho("auto", Some(*relay)).build()
-            }
+            StackKind::HybridMecho { relay } => self.builder().mecho("auto", Some(*relay)).build(),
             StackKind::Gossip { fanout, ttl } => self.builder().gossip(*fanout, *ttl).build(),
         }
     }
@@ -79,8 +77,12 @@ impl StackCatalog {
         adaptive: bool,
         extra_core_params: &[(String, String)],
     ) -> ChannelConfig {
-        let members_param =
-            self.members.iter().map(|m| m.0.to_string()).collect::<Vec<_>>().join(",");
+        let members_param = self
+            .members
+            .iter()
+            .map(|m| m.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let mut core = LayerSpec::new("core")
             .with_param("members", &members_param)
             .with_param("adaptive", adaptive.to_string())
@@ -127,7 +129,10 @@ mod tests {
             assert!(config.has_layer("vsync"));
             multicast_layers.push(config.layers[1].layer.clone());
         }
-        assert_eq!(multicast_layers, vec!["beb", "beb", "beb", "mecho", "gossip"]);
+        assert_eq!(
+            multicast_layers,
+            vec!["beb", "beb", "beb", "mecho", "gossip"]
+        );
     }
 
     #[test]
@@ -150,10 +155,19 @@ mod tests {
     fn control_config_stacks_cocaditem_under_core() {
         let catalog = StackCatalog::new("data", members(3));
         let config = catalog.control_config("ctrl", 500, true, &[]);
-        assert_eq!(config.layer_names(), vec!["network", "cocaditem", "core", "app"]);
+        assert_eq!(
+            config.layer_names(),
+            vec!["network", "cocaditem", "core", "app"]
+        );
         let core = &config.layers[2];
-        assert_eq!(core.params.get("adaptive").map(String::as_str), Some("true"));
-        assert_eq!(core.params.get("data_channel").map(String::as_str), Some("data"));
+        assert_eq!(
+            core.params.get("adaptive").map(String::as_str),
+            Some("true")
+        );
+        assert_eq!(
+            core.params.get("data_channel").map(String::as_str),
+            Some("data")
+        );
     }
 
     #[test]

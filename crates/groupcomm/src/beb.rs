@@ -126,7 +126,10 @@ mod tests {
     use crate::suite::register_suite;
 
     fn members_param(ids: &[u32]) -> String {
-        ids.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",")
+        ids.iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
     fn beb_config(members: &[u32], use_native: bool) -> ChannelConfig {
@@ -145,9 +148,14 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(1));
-        let id = kernel.create_channel(&beb_config(&[1, 2, 3, 4], false), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&beb_config(&[1, 2, 3, 4], false), &mut platform)
+            .unwrap();
 
-        let event = Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"hi"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(1),
+            Message::with_payload(&b"hi"[..]),
+        ));
         kernel.dispatch_and_process(id, event, &mut platform);
 
         let sent = platform.take_sent();
@@ -162,7 +170,9 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::with_profile(profile);
-        let id = kernel.create_channel(&beb_config(&[1, 2, 3, 4], true), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&beb_config(&[1, 2, 3, 4], true), &mut platform)
+            .unwrap();
 
         let event = Event::down(DataEvent::to_group(NodeId(1), Message::new()));
         kernel.dispatch_and_process(id, event, &mut platform);
@@ -180,11 +190,17 @@ mod tests {
         let mut sender_platform = TestPlatform::new(NodeId(1));
         let mut receiver_platform = TestPlatform::new(NodeId(2));
         let config = beb_config(&[1, 2], false);
-        let sender_channel = sender_kernel.create_channel(&config, &mut sender_platform).unwrap();
-        receiver_kernel.create_channel(&config, &mut receiver_platform).unwrap();
+        let sender_channel = sender_kernel
+            .create_channel(&config, &mut sender_platform)
+            .unwrap();
+        receiver_kernel
+            .create_channel(&config, &mut receiver_platform)
+            .unwrap();
 
-        let event =
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"msg"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(1),
+            Message::with_payload(&b"msg"[..]),
+        ));
         sender_kernel.dispatch_and_process(sender_channel, event, &mut sender_platform);
         let sent = sender_platform.take_sent();
         assert_eq!(sent.len(), 1);
@@ -209,15 +225,13 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(1));
-        let id = kernel.create_channel(&beb_config(&[1, 2], false), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&beb_config(&[1, 2], false), &mut platform)
+            .unwrap();
 
         // Install a larger view, then check that a group send fans out to it.
         let view = crate::view::View::new(1, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
-        kernel.dispatch_and_process(
-            id,
-            Event::down(ViewInstall { view }),
-            &mut platform,
-        );
+        kernel.dispatch_and_process(id, Event::down(ViewInstall { view }), &mut platform);
         let event = Event::down(DataEvent::to_group(NodeId(1), Message::new()));
         kernel.dispatch_and_process(id, event, &mut platform);
         assert_eq!(platform.take_sent().len(), 3);
@@ -228,7 +242,9 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(1));
-        let id = kernel.create_channel(&beb_config(&[1, 2, 3], false), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&beb_config(&[1, 2, 3], false), &mut platform)
+            .unwrap();
 
         let event = Event::down(DataEvent::new(
             NodeId(1),

@@ -37,7 +37,12 @@ impl Layer for CausalLayer {
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
         let view = View::initial(param_node_list(params, "members"));
         let clock = vec![0; view.len()];
-        Box::new(CausalSession { view, clock, pending: Vec::new(), delayed: 0 })
+        Box::new(CausalSession {
+            view,
+            clock,
+            pending: Vec::new(),
+            delayed: 0,
+        })
     }
 }
 
@@ -75,7 +80,10 @@ impl CausalSession {
 
     fn drain_pending(&mut self, ctx: &mut EventContext<'_>) {
         loop {
-            let Some(position) = self.pending.iter().position(|(header, _)| self.deliverable(header))
+            let Some(position) = self
+                .pending
+                .iter()
+                .position(|(header, _)| self.deliverable(header))
             else {
                 return;
             };
@@ -153,14 +161,21 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params
     }
 
     fn message_from(rank: u32, clock: &[u64], payload: &[u8]) -> Event {
         let mut message = Message::with_payload(payload.to_vec());
-        message.push(&CausalHeader { sender_rank: rank, clock: clock.to_vec() });
+        message.push(&CausalHeader {
+            sender_rank: rank,
+            clock: clock.to_vec(),
+        });
         Event::up(DataEvent::new(NodeId(rank), Dest::Node(NodeId(0)), message))
     }
 
@@ -172,8 +187,12 @@ mod tests {
             Event::down(DataEvent::to_group(NodeId(0), Message::new())),
             &mut platform,
         );
-        let header: CausalHeader =
-            out[0].get::<DataEvent>().unwrap().message.peek().expect("causal header");
+        let header: CausalHeader = out[0]
+            .get::<DataEvent>()
+            .unwrap()
+            .message
+            .peek()
+            .expect("causal header");
         assert_eq!(header.sender_rank, 0);
         assert_eq!(header.clock, vec![1, 0, 0]);
     }
@@ -209,11 +228,18 @@ mod tests {
     fn successive_messages_from_one_sender_stay_in_order() {
         let mut platform = TestPlatform::new(NodeId(0));
         let mut causal = Harness::new(CausalLayer, &params(&[0, 1]), &mut platform);
-        assert!(causal.run_up(message_from(1, &[0, 2], b"second"), &mut platform).is_empty());
+        assert!(causal
+            .run_up(message_from(1, &[0, 2], b"second"), &mut platform)
+            .is_empty());
         let released = causal.run_up(message_from(1, &[0, 1], b"first"), &mut platform);
         assert_eq!(released.len(), 2);
         assert_eq!(
-            released[0].get::<DataEvent>().unwrap().message.payload().as_ref(),
+            released[0]
+                .get::<DataEvent>()
+                .unwrap()
+                .message
+                .payload()
+                .as_ref(),
             b"first"
         );
     }
@@ -222,10 +248,14 @@ mod tests {
     fn view_install_resets_the_clock_and_flushes_pending() {
         let mut platform = TestPlatform::new(NodeId(0));
         let mut causal = Harness::new(CausalLayer, &params(&[0, 1]), &mut platform);
-        assert!(causal.run_up(message_from(1, &[0, 5], b"future"), &mut platform).is_empty());
+        assert!(causal
+            .run_up(message_from(1, &[0, 5], b"future"), &mut platform)
+            .is_empty());
 
         let released = causal.run_down(
-            Event::down(ViewInstall { view: View::new(1, vec![NodeId(0), NodeId(1)]) }),
+            Event::down(ViewInstall {
+                view: View::new(1, vec![NodeId(0), NodeId(1)]),
+            }),
             &mut platform,
         );
         // ViewInstall continues downward; the flushed pending message goes up.

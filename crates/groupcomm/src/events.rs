@@ -120,7 +120,9 @@ mod tests {
         let suspect = Suspect { node: NodeId(7) };
         assert_eq!(suspect.node, NodeId(7));
         assert_eq!(suspect.type_name(), "Suspect");
-        let install = ViewInstall { view: View::initial(vec![NodeId(1), NodeId(2)]) };
+        let install = ViewInstall {
+            view: View::initial(vec![NodeId(1), NodeId(2)]),
+        };
         assert_eq!(install.view.len(), 2);
     }
 }

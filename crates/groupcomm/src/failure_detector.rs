@@ -85,11 +85,19 @@ impl FailureDetectorSession {
         let now = ctx.now_ms();
 
         // Send a heartbeat to everybody else.
-        let others: Vec<NodeId> =
-            self.members.iter().copied().filter(|member| *member != local).collect();
+        let others: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local)
+            .collect();
         if !others.is_empty() {
             self.heartbeats_sent += 1;
-            ctx.dispatch(Event::down(Heartbeat::new(local, Dest::Nodes(others), Message::new())));
+            ctx.dispatch(Event::down(Heartbeat::new(
+                local,
+                Dest::Nodes(others),
+                Message::new(),
+            )));
         }
 
         // Raise suspicions for silent members.
@@ -180,7 +188,11 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params.insert("hb_interval_ms".into(), interval.to_string());
         params.insert("suspect_timeout_ms".into(), timeout.to_string());
@@ -197,7 +209,11 @@ mod tests {
     #[test]
     fn heartbeats_are_sent_on_every_tick() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2, 3], 100, 1000), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2, 3], 100, 1000),
+            &mut platform,
+        );
 
         fire_pending_timers(&mut fd, &mut platform);
         let down = fd.drain_down();
@@ -213,14 +229,20 @@ mod tests {
     #[test]
     fn silent_members_are_eventually_suspected() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 250),
+            &mut platform,
+        );
 
         let mut suspects = Vec::new();
         for _ in 0..5 {
             platform.advance(100);
             fire_pending_timers(&mut fd, &mut platform);
             suspects.extend(
-                fd.drain_up().into_iter().filter(|event| event.is::<Suspect>()),
+                fd.drain_up()
+                    .into_iter()
+                    .filter(|event| event.is::<Suspect>()),
             );
         }
         assert_eq!(suspects.len(), 1, "member 2 suspected exactly once");
@@ -230,18 +252,30 @@ mod tests {
     #[test]
     fn heartbeats_keep_members_alive() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 250),
+            &mut platform,
+        );
 
         let mut suspects = 0;
         for _ in 0..6 {
             platform.advance(100);
             // Node 2 keeps sending heartbeats.
             fd.run_up(
-                Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+                Event::up(Heartbeat::new(
+                    NodeId(2),
+                    Dest::Node(NodeId(1)),
+                    Message::new(),
+                )),
                 &mut platform,
             );
             fire_pending_timers(&mut fd, &mut platform);
-            suspects += fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+            suspects += fd
+                .drain_up()
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
         }
         assert_eq!(suspects, 0);
     }
@@ -249,7 +283,11 @@ mod tests {
     #[test]
     fn data_traffic_also_counts_as_liveness() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 250), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 250),
+            &mut platform,
+        );
 
         let mut suspects = 0;
         for _ in 0..6 {
@@ -264,7 +302,11 @@ mod tests {
             );
             assert_eq!(delivered.len(), 1, "data is forwarded, not absorbed");
             fire_pending_timers(&mut fd, &mut platform);
-            suspects += fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+            suspects += fd
+                .drain_up()
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
         }
         assert_eq!(suspects, 0);
     }
@@ -272,9 +314,17 @@ mod tests {
     #[test]
     fn heartbeats_are_absorbed_and_not_delivered_upward() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2], 100, 1000), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 1000),
+            &mut platform,
+        );
         let delivered = fd.run_up(
-            Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+            Event::up(Heartbeat::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
             &mut platform,
         );
         assert!(delivered.is_empty());
@@ -283,11 +333,19 @@ mod tests {
     #[test]
     fn view_install_clears_suspicions_of_removed_members() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut fd = Harness::new(FailureDetectorLayer, &fd_params(&[1, 2, 3], 100, 150), &mut platform);
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2, 3], 100, 150),
+            &mut platform,
+        );
 
         platform.advance(200);
         fire_pending_timers(&mut fd, &mut platform);
-        let suspects = fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        let suspects = fd
+            .drain_up()
+            .iter()
+            .filter(|event| event.is::<Suspect>())
+            .count();
         assert_eq!(suspects, 2);
 
         // Install a view that removes node 3; only nodes 1 and 2 remain.
@@ -298,12 +356,20 @@ mod tests {
         for _ in 0..3 {
             platform.advance(100);
             fd.run_up(
-                Event::up(Heartbeat::new(NodeId(2), Dest::Node(NodeId(1)), Message::new())),
+                Event::up(Heartbeat::new(
+                    NodeId(2),
+                    Dest::Node(NodeId(1)),
+                    Message::new(),
+                )),
                 &mut platform,
             );
             fire_pending_timers(&mut fd, &mut platform);
         }
-        let late_suspects = fd.drain_up().iter().filter(|event| event.is::<Suspect>()).count();
+        let late_suspects = fd
+            .drain_up()
+            .iter()
+            .filter(|event| event.is::<Suspect>())
+            .count();
         assert_eq!(late_suspects, 0);
     }
 }

@@ -130,12 +130,20 @@ impl FecSession {
             lengths,
             parity_len: parity_bytes.len() as u32,
         });
-        let others: Vec<NodeId> =
-            self.members.iter().copied().filter(|member| *member != local).collect();
+        let others: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local)
+            .collect();
         if others.is_empty() {
             return;
         }
-        ctx.dispatch(Event::down(FecParity::new(local, Dest::Nodes(others), message)));
+        ctx.dispatch(Event::down(FecParity::new(
+            local,
+            Dest::Nodes(others),
+            message,
+        )));
     }
 }
 
@@ -210,7 +218,8 @@ impl Session for FecSession {
         match event.direction {
             Direction::Down => {
                 if let Some(data) = event.get_mut::<DataEvent>() {
-                    if data.header.dest == Dest::Group || matches!(data.header.dest, Dest::Nodes(_)) {
+                    if data.header.dest == Dest::Group || matches!(data.header.dest, Dest::Nodes(_))
+                    {
                         self.next_seq += 1;
                         data.message.push(&SeqHeader { seq: self.next_seq });
                         let encoded = data.message.to_bytes();
@@ -256,14 +265,21 @@ mod tests {
         params.insert("k".into(), k.to_string());
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params
     }
 
     fn send(harness: &mut Harness, platform: &mut TestPlatform, payload: &[u8]) -> Vec<Event> {
         harness.run_down(
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(payload.to_vec()))),
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(payload.to_vec()),
+            )),
             platform,
         )
     }
@@ -291,8 +307,14 @@ mod tests {
         for payload in [&b"alpha"[..], &b"bravo"[..], &b"charlie"[..]] {
             emitted.extend(send(&mut sender, &mut platform_tx, payload));
         }
-        let data: Vec<&Event> = emitted.iter().filter(|event| event.is::<DataEvent>()).collect();
-        let parity: Vec<&Event> = emitted.iter().filter(|event| event.is::<FecParity>()).collect();
+        let data: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<DataEvent>())
+            .collect();
+        let parity: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<FecParity>())
+            .collect();
         assert_eq!(data.len(), 3);
         assert_eq!(parity.len(), 1);
 
@@ -336,7 +358,10 @@ mod tests {
         for payload in [&b"a"[..], &b"b"[..]] {
             emitted.extend(send(&mut sender, &mut platform_tx, payload));
         }
-        let parity: Vec<&Event> = emitted.iter().filter(|event| event.is::<FecParity>()).collect();
+        let parity: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<FecParity>())
+            .collect();
 
         let mut platform_rx = TestPlatform::new(NodeId(2));
         let mut receiver = Harness::new(FecLayer, &params(2, &[1, 2]), &mut platform_rx);
@@ -359,7 +384,10 @@ mod tests {
             )),
             &mut platform_rx,
         );
-        assert!(out.is_empty(), "no duplicate delivery when nothing is missing");
+        assert!(
+            out.is_empty(),
+            "no duplicate delivery when nothing is missing"
+        );
     }
 
     #[test]
@@ -370,8 +398,14 @@ mod tests {
         for payload in [&b"a"[..], &b"b"[..], &b"c"[..]] {
             emitted.extend(send(&mut sender, &mut platform_tx, payload));
         }
-        let parity: Vec<&Event> = emitted.iter().filter(|event| event.is::<FecParity>()).collect();
-        let data: Vec<&Event> = emitted.iter().filter(|event| event.is::<DataEvent>()).collect();
+        let parity: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<FecParity>())
+            .collect();
+        let data: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<DataEvent>())
+            .collect();
 
         let mut platform_rx = TestPlatform::new(NodeId(2));
         let mut receiver = Harness::new(FecLayer, &params(3, &[1, 2]), &mut platform_rx);
@@ -403,8 +437,14 @@ mod tests {
         for payload in [&b"a"[..], &b"b"[..]] {
             emitted.extend(send(&mut sender, &mut platform_tx, payload));
         }
-        let data: Vec<&Event> = emitted.iter().filter(|event| event.is::<DataEvent>()).collect();
-        let parity: Vec<&Event> = emitted.iter().filter(|event| event.is::<FecParity>()).collect();
+        let data: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<DataEvent>())
+            .collect();
+        let parity: Vec<&Event> = emitted
+            .iter()
+            .filter(|event| event.is::<FecParity>())
+            .collect();
 
         let mut platform_rx = TestPlatform::new(NodeId(2));
         let mut receiver = Harness::new(FecLayer, &params(2, &[1, 2]), &mut platform_rx);

@@ -129,7 +129,11 @@ mod tests {
     fn data_with_seq(origin: u32, seq: u64, payload: &[u8]) -> Event {
         let mut message = Message::with_payload(payload.to_vec());
         message.push(&SeqHeader { seq });
-        Event::up(DataEvent::new(NodeId(origin), Dest::Node(NodeId(99)), message))
+        Event::up(DataEvent::new(
+            NodeId(origin),
+            Dest::Node(NodeId(99)),
+            message,
+        ))
     }
 
     fn harness(platform: &mut TestPlatform, window: Option<&str>) -> Harness {
@@ -155,8 +159,12 @@ mod tests {
         let mut platform = TestPlatform::new(NodeId(99));
         let mut fifo = harness(&mut platform, None);
 
-        assert!(fifo.run_up(data_with_seq(1, 2, b"b"), &mut platform).is_empty());
-        assert!(fifo.run_up(data_with_seq(1, 3, b"c"), &mut platform).is_empty());
+        assert!(fifo
+            .run_up(data_with_seq(1, 2, b"b"), &mut platform)
+            .is_empty());
+        assert!(fifo
+            .run_up(data_with_seq(1, 3, b"c"), &mut platform)
+            .is_empty());
         let released = fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform);
         assert_eq!(released.len(), 3, "gap fill releases the whole prefix");
     }
@@ -165,16 +173,27 @@ mod tests {
     fn duplicates_are_discarded() {
         let mut platform = TestPlatform::new(NodeId(99));
         let mut fifo = harness(&mut platform, None);
-        assert_eq!(fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform).len(), 1);
-        assert!(fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform).is_empty());
+        assert_eq!(
+            fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform).len(),
+            1
+        );
+        assert!(fifo
+            .run_up(data_with_seq(1, 1, b"a"), &mut platform)
+            .is_empty());
     }
 
     #[test]
     fn senders_are_sequenced_independently() {
         let mut platform = TestPlatform::new(NodeId(99));
         let mut fifo = harness(&mut platform, None);
-        assert_eq!(fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform).len(), 1);
-        assert_eq!(fifo.run_up(data_with_seq(2, 1, b"x"), &mut platform).len(), 1);
+        assert_eq!(
+            fifo.run_up(data_with_seq(1, 1, b"a"), &mut platform).len(),
+            1
+        );
+        assert_eq!(
+            fifo.run_up(data_with_seq(2, 1, b"x"), &mut platform).len(),
+            1
+        );
     }
 
     #[test]
@@ -184,8 +203,12 @@ mod tests {
 
         // seq 1 is lost; 2 and 3 buffer; 4 overflows the window and forces
         // delivery to resume from the oldest buffered message.
-        assert!(fifo.run_up(data_with_seq(1, 2, b"b"), &mut platform).is_empty());
-        assert!(fifo.run_up(data_with_seq(1, 3, b"c"), &mut platform).is_empty());
+        assert!(fifo
+            .run_up(data_with_seq(1, 2, b"b"), &mut platform)
+            .is_empty());
+        assert!(fifo
+            .run_up(data_with_seq(1, 3, b"c"), &mut platform)
+            .is_empty());
         let released = fifo.run_up(data_with_seq(1, 4, b"d"), &mut platform);
         assert_eq!(released.len(), 3);
     }
@@ -194,13 +217,29 @@ mod tests {
     fn downward_messages_get_increasing_sequence_numbers() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut fifo = harness(&mut platform, None);
-        let out =
-            fifo.run_down(Event::down(DataEvent::to_group(NodeId(1), Message::new())), &mut platform);
+        let out = fifo.run_down(
+            Event::down(DataEvent::to_group(NodeId(1), Message::new())),
+            &mut platform,
+        );
         assert_eq!(out.len(), 1);
-        let out2 =
-            fifo.run_down(Event::down(DataEvent::to_group(NodeId(1), Message::new())), &mut platform);
-        let seq1 = out[0].get::<DataEvent>().unwrap().message.peek::<SeqHeader>().unwrap().seq;
-        let seq2 = out2[0].get::<DataEvent>().unwrap().message.peek::<SeqHeader>().unwrap().seq;
+        let out2 = fifo.run_down(
+            Event::down(DataEvent::to_group(NodeId(1), Message::new())),
+            &mut platform,
+        );
+        let seq1 = out[0]
+            .get::<DataEvent>()
+            .unwrap()
+            .message
+            .peek::<SeqHeader>()
+            .unwrap()
+            .seq;
+        let seq2 = out2[0]
+            .get::<DataEvent>()
+            .unwrap()
+            .message
+            .peek::<SeqHeader>()
+            .unwrap()
+            .seq;
         assert_eq!(seq1, 1);
         assert_eq!(seq2, 2);
     }

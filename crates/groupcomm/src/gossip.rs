@@ -90,11 +90,7 @@ impl GossipSession {
         true
     }
 
-    fn random_targets(
-        &self,
-        exclude: &[NodeId],
-        ctx: &mut EventContext<'_>,
-    ) -> Vec<NodeId> {
+    fn random_targets(&self, exclude: &[NodeId], ctx: &mut EventContext<'_>) -> Vec<NodeId> {
         let candidates: Vec<NodeId> = self
             .members
             .iter()
@@ -142,8 +138,11 @@ impl Session for GossipSession {
                         self.remember((header.origin, header.seq));
                         data.message.push(&header);
                         let targets = self.random_targets(&[local], ctx);
-                        event.get_mut::<DataEvent>().expect("checked above").header.dest =
-                            Dest::Nodes(targets);
+                        event
+                            .get_mut::<DataEvent>()
+                            .expect("checked above")
+                            .header
+                            .dest = Dest::Nodes(targets);
                         ctx.forward(event);
                         return;
                     }
@@ -202,8 +201,11 @@ mod tests {
     use crate::suite::register_suite;
 
     fn gossip_config(members: &[u32], fanout: usize, ttl: u32) -> ChannelConfig {
-        let members_param =
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",");
+        let members_param = members
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         ChannelConfig::new("data")
             .with_layer(LayerSpec::new("network"))
             .with_layer(
@@ -221,13 +223,17 @@ mod tests {
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(0));
         let members: Vec<u32> = (0..20).collect();
-        let id = kernel.create_channel(&gossip_config(&members, 4, 3), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&gossip_config(&members, 4, 3), &mut platform)
+            .unwrap();
 
         let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
         kernel.dispatch_and_process(id, event, &mut platform);
         let sent = platform.take_sent();
         assert_eq!(sent.len(), 4);
-        assert!(sent.iter().all(|p| matches!(p.dest, PacketDest::Node(n) if n != NodeId(0))));
+        assert!(sent
+            .iter()
+            .all(|p| matches!(p.dest, PacketDest::Node(n) if n != NodeId(0))));
     }
 
     #[test]
@@ -235,7 +241,9 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(0));
-        let id = kernel.create_channel(&gossip_config(&[0, 1, 2], 5, 3), &mut platform).unwrap();
+        let id = kernel
+            .create_channel(&gossip_config(&[0, 1, 2], 5, 3), &mut platform)
+            .unwrap();
         let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
         kernel.dispatch_and_process(id, event, &mut platform);
         assert_eq!(platform.take_sent().len(), 2);
@@ -247,9 +255,13 @@ mod tests {
         register_suite(&mut sender);
         let mut sender_platform = TestPlatform::new(NodeId(0));
         let members: Vec<u32> = (0..10).collect();
-        let sender_channel =
-            sender.create_channel(&gossip_config(&members, 3, 2), &mut sender_platform).unwrap();
-        let event = Event::down(DataEvent::to_group(NodeId(0), Message::with_payload(&b"g"[..])));
+        let sender_channel = sender
+            .create_channel(&gossip_config(&members, 3, 2), &mut sender_platform)
+            .unwrap();
+        let event = Event::down(DataEvent::to_group(
+            NodeId(0),
+            Message::with_payload(&b"g"[..]),
+        ));
         sender.dispatch_and_process(sender_channel, event, &mut sender_platform);
         let sent = sender_platform.take_sent();
         assert!(!sent.is_empty());
@@ -259,7 +271,9 @@ mod tests {
         let mut receiver = Kernel::new();
         register_suite(&mut receiver);
         let mut receiver_platform = TestPlatform::new(NodeId(1));
-        receiver.create_channel(&gossip_config(&members, 3, 2), &mut receiver_platform).unwrap();
+        receiver
+            .create_channel(&gossip_config(&members, 3, 2), &mut receiver_platform)
+            .unwrap();
 
         let packet = InPacket {
             from: NodeId(0),
@@ -268,14 +282,22 @@ mod tests {
             channel: sent[0].channel.clone(),
             payload: sent[0].payload.clone(),
         };
-        receiver.deliver_packet(packet.clone(), &mut receiver_platform).unwrap();
+        receiver
+            .deliver_packet(packet.clone(), &mut receiver_platform)
+            .unwrap();
         assert_eq!(receiver_platform.data_delivery_count(), 1);
         receiver_platform.take_deliveries();
         let forwarded = receiver_platform.take_sent();
         assert!(!forwarded.is_empty(), "first reception is forwarded onward");
 
-        receiver.deliver_packet(packet, &mut receiver_platform).unwrap();
-        assert_eq!(receiver_platform.data_delivery_count(), 0, "duplicate is suppressed");
+        receiver
+            .deliver_packet(packet, &mut receiver_platform)
+            .unwrap();
+        assert_eq!(
+            receiver_platform.data_delivery_count(),
+            0,
+            "duplicate is suppressed"
+        );
         assert!(receiver_platform.take_sent().is_empty());
     }
 
@@ -285,8 +307,9 @@ mod tests {
         register_suite(&mut sender);
         let mut sender_platform = TestPlatform::new(NodeId(0));
         let members: Vec<u32> = (0..6).collect();
-        let sender_channel =
-            sender.create_channel(&gossip_config(&members, 2, 0), &mut sender_platform).unwrap();
+        let sender_channel = sender
+            .create_channel(&gossip_config(&members, 2, 0), &mut sender_platform)
+            .unwrap();
         let event = Event::down(DataEvent::to_group(NodeId(0), Message::new()));
         sender.dispatch_and_process(sender_channel, event, &mut sender_platform);
         let sent = sender_platform.take_sent();
@@ -294,7 +317,9 @@ mod tests {
         let mut receiver = Kernel::new();
         register_suite(&mut receiver);
         let mut receiver_platform = TestPlatform::new(NodeId(1));
-        receiver.create_channel(&gossip_config(&members, 2, 0), &mut receiver_platform).unwrap();
+        receiver
+            .create_channel(&gossip_config(&members, 2, 0), &mut receiver_platform)
+            .unwrap();
         receiver
             .deliver_packet(
                 InPacket {

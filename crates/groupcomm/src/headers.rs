@@ -42,7 +42,10 @@ impl Wire for McastHeader {
             1 => McastMode::RelayRequest,
             other => return Err(WireError::InvalidTag(other)),
         };
-        Ok(Self { mode, origin: NodeId::decode(r)? })
+        Ok(Self {
+            mode,
+            origin: NodeId::decode(r)?,
+        })
     }
 }
 
@@ -80,7 +83,10 @@ impl Wire for NackHeader {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { origin: NodeId::decode(r)?, missing: r.get_u64_list()? })
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            missing: r.get_u64_list()?,
+        })
     }
 }
 
@@ -103,7 +109,11 @@ impl Wire for GossipHeader {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { origin: NodeId::decode(r)?, seq: r.get_u64()?, ttl: r.get_u32()? })
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            seq: r.get_u64()?,
+            ttl: r.get_u32()?,
+        })
     }
 }
 
@@ -153,7 +163,10 @@ impl Wire for CausalHeader {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { sender_rank: r.get_u32()?, clock: r.get_u64_list()? })
+        Ok(Self {
+            sender_rank: r.get_u32()?,
+            clock: r.get_u64_list()?,
+        })
     }
 }
 
@@ -174,7 +187,10 @@ impl Wire for TotalIdHeader {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { origin: NodeId::decode(r)?, local_seq: r.get_u64()? })
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            local_seq: r.get_u64()?,
+        })
     }
 }
 
@@ -195,7 +211,10 @@ impl Wire for OrderHeader {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Self { message: TotalIdHeader::decode(r)?, global_seq: r.get_u64()? })
+        Ok(Self {
+            message: TotalIdHeader::decode(r)?,
+            global_seq: r.get_u64()?,
+        })
     }
 }
 
@@ -210,20 +229,42 @@ mod tests {
 
     #[test]
     fn all_headers_roundtrip() {
-        roundtrip(McastHeader { mode: McastMode::Direct, origin: NodeId(3) });
-        roundtrip(McastHeader { mode: McastMode::RelayRequest, origin: NodeId(9) });
+        roundtrip(McastHeader {
+            mode: McastMode::Direct,
+            origin: NodeId(3),
+        });
+        roundtrip(McastHeader {
+            mode: McastMode::RelayRequest,
+            origin: NodeId(9),
+        });
         roundtrip(SeqHeader { seq: 123 });
-        roundtrip(NackHeader { origin: NodeId(2), missing: vec![4, 5, 9] });
-        roundtrip(GossipHeader { origin: NodeId(1), seq: 77, ttl: 3 });
+        roundtrip(NackHeader {
+            origin: NodeId(2),
+            missing: vec![4, 5, 9],
+        });
+        roundtrip(GossipHeader {
+            origin: NodeId(1),
+            seq: 77,
+            ttl: 3,
+        });
         roundtrip(FecParityHeader {
             covers: vec![10, 11, 12, 13],
             lengths: vec![100, 90, 80, 70],
             parity_len: 512,
         });
-        roundtrip(CausalHeader { sender_rank: 2, clock: vec![5, 0, 7] });
-        roundtrip(TotalIdHeader { origin: NodeId(4), local_seq: 6 });
+        roundtrip(CausalHeader {
+            sender_rank: 2,
+            clock: vec![5, 0, 7],
+        });
+        roundtrip(TotalIdHeader {
+            origin: NodeId(4),
+            local_seq: 6,
+        });
         roundtrip(OrderHeader {
-            message: TotalIdHeader { origin: NodeId(4), local_seq: 6 },
+            message: TotalIdHeader {
+                origin: NodeId(4),
+                local_seq: 6,
+            },
             global_seq: 99,
         });
     }
@@ -240,7 +281,10 @@ mod tests {
     fn headers_compose_on_a_message_stack() {
         let mut message = morpheus_appia::Message::with_payload(&b"chat"[..]);
         message.push(&SeqHeader { seq: 9 });
-        message.push(&McastHeader { mode: McastMode::RelayRequest, origin: NodeId(5) });
+        message.push(&McastHeader {
+            mode: McastMode::RelayRequest,
+            origin: NodeId(5),
+        });
 
         // The receiving side pops in reverse order.
         let mcast: McastHeader = message.pop().unwrap();

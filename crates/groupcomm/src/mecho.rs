@@ -155,8 +155,10 @@ impl Session for MechoSession {
                                 data.header.dest = Dest::Node(relay);
                             }
                             _ => {
-                                data.message
-                                    .push(&McastHeader { mode: McastMode::Direct, origin });
+                                data.message.push(&McastHeader {
+                                    mode: McastMode::Direct,
+                                    origin,
+                                });
                                 data.header.dest = Dest::Nodes(self.others(&[local]));
                             }
                         }
@@ -188,11 +190,8 @@ impl Session for MechoSession {
                             mode: McastMode::Direct,
                             origin: header.origin,
                         });
-                        let relayed = DataEvent::new(
-                            header.origin,
-                            Dest::Nodes(recipients),
-                            relayed_message,
-                        );
+                        let relayed =
+                            DataEvent::new(header.origin, Dest::Nodes(recipients), relayed_message);
                         self.relayed += 1;
                         ctx.dispatch(Event::down(relayed));
                     }
@@ -209,17 +208,18 @@ impl Session for MechoSession {
 #[cfg(test)]
 mod tests {
     use morpheus_appia::config::{ChannelConfig, LayerSpec};
-    use morpheus_appia::platform::{
-        DeliveryKind, InPacket, NodeProfile, PacketDest, TestPlatform,
-    };
+    use morpheus_appia::platform::{DeliveryKind, InPacket, NodeProfile, PacketDest, TestPlatform};
     use morpheus_appia::{Kernel, Message};
 
     use super::*;
     use crate::suite::register_suite;
 
     fn mecho_config(members: &[u32], mode: &str, relay: u32) -> ChannelConfig {
-        let members_param =
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(",");
+        let members_param = members
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         ChannelConfig::new("data")
             .with_layer(LayerSpec::new("network"))
             .with_layer(
@@ -241,14 +241,24 @@ mod tests {
         register_suite(&mut kernel);
         let mut platform = mobile_platform(2);
         let id = kernel
-            .create_channel(&mecho_config(&[0, 1, 2, 3, 4, 5], "wireless", 0), &mut platform)
+            .create_channel(
+                &mecho_config(&[0, 1, 2, 3, 4, 5], "wireless", 0),
+                &mut platform,
+            )
             .unwrap();
 
-        let event = Event::down(DataEvent::to_group(NodeId(2), Message::with_payload(&b"m"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(2),
+            Message::with_payload(&b"m"[..]),
+        ));
         kernel.dispatch_and_process(id, event, &mut platform);
 
         let sent = platform.take_sent();
-        assert_eq!(sent.len(), 1, "mobile node sends exactly one message regardless of group size");
+        assert_eq!(
+            sent.len(),
+            1,
+            "mobile node sends exactly one message regardless of group size"
+        );
         assert_eq!(sent[0].dest, PacketDest::Node(NodeId(0)));
     }
 
@@ -276,7 +286,10 @@ mod tests {
         let mobile_channel = kernel
             .create_channel(&mecho_config(&[0, 1, 2, 3], "wireless", 0), &mut mobile)
             .unwrap();
-        let event = Event::down(DataEvent::to_group(NodeId(2), Message::with_payload(&b"x"[..])));
+        let event = Event::down(DataEvent::to_group(
+            NodeId(2),
+            Message::with_payload(&b"x"[..]),
+        ));
         kernel.dispatch_and_process(mobile_channel, event, &mut mobile);
         let sent = mobile.take_sent();
         assert_eq!(sent.len(), 1);
@@ -286,7 +299,10 @@ mod tests {
         register_suite(&mut relay_kernel);
         let mut relay_platform = TestPlatform::new(NodeId(0));
         relay_kernel
-            .create_channel(&mecho_config(&[0, 1, 2, 3], "wired", 0), &mut relay_platform)
+            .create_channel(
+                &mecho_config(&[0, 1, 2, 3], "wired", 0),
+                &mut relay_platform,
+            )
             .unwrap();
         relay_kernel
             .deliver_packet(
@@ -314,7 +330,10 @@ mod tests {
             PacketDest::Node(n) => n.0,
             PacketDest::Broadcast => u32::MAX,
         });
-        assert_eq!(dests, vec![PacketDest::Node(NodeId(1)), PacketDest::Node(NodeId(3))]);
+        assert_eq!(
+            dests,
+            vec![PacketDest::Node(NodeId(1)), PacketDest::Node(NodeId(3))]
+        );
     }
 
     #[test]
@@ -330,7 +349,10 @@ mod tests {
 
         // Build a relay request as the mobile node would.
         let mut message = Message::with_payload(&b"from-mobile"[..]);
-        message.push(&McastHeader { mode: McastMode::RelayRequest, origin: NodeId(2) });
+        message.push(&McastHeader {
+            mode: McastMode::RelayRequest,
+            origin: NodeId(2),
+        });
         let event = Event::up(DataEvent::new(NodeId(2), Dest::Node(NodeId(0)), message));
         kernel.dispatch_and_process(relay_channel, event, &mut relay_platform);
 
@@ -342,7 +364,10 @@ mod tests {
         register_suite(&mut receiver);
         let mut receiver_platform = TestPlatform::new(NodeId(1));
         receiver
-            .create_channel(&mecho_config(&[0, 1, 2], "wired", 0), &mut receiver_platform)
+            .create_channel(
+                &mecho_config(&[0, 1, 2], "wired", 0),
+                &mut receiver_platform,
+            )
             .unwrap();
         receiver
             .deliver_packet(
@@ -386,7 +411,11 @@ mod tests {
         let id = kernel.create_channel(&config, &mut platform).unwrap();
         let event = Event::down(DataEvent::to_group(NodeId(3), Message::new()));
         kernel.dispatch_and_process(id, event, &mut platform);
-        assert_eq!(platform.take_sent().len(), 1, "auto mode on a PDA behaves as wireless");
+        assert_eq!(
+            platform.take_sent().len(),
+            1,
+            "auto mode on a PDA behaves as wireless"
+        );
     }
 
     #[test]

@@ -107,9 +107,16 @@ impl ReliableSession {
                 continue;
             }
             let mut message = Message::new();
-            message.push(&NackHeader { origin: local, missing });
+            message.push(&NackHeader {
+                origin: local,
+                missing,
+            });
             self.nacks_sent += 1;
-            ctx.dispatch(Event::down(NackRequest::new(local, Dest::Node(origin), message)));
+            ctx.dispatch(Event::down(NackRequest::new(
+                local,
+                Dest::Node(origin),
+                message,
+            )));
         }
     }
 
@@ -199,7 +206,10 @@ impl Session for ReliableSession {
                 let state = self
                     .incoming
                     .entry(origin)
-                    .or_insert_with(|| IncomingState { expected: 1, pending: BTreeMap::new() });
+                    .or_insert_with(|| IncomingState {
+                        expected: 1,
+                        pending: BTreeMap::new(),
+                    });
                 if header.seq < state.expected || state.pending.contains_key(&header.seq) {
                     return; // duplicate
                 }
@@ -229,7 +239,11 @@ mod tests {
     fn incoming(origin: u32, seq: u64, payload: &[u8]) -> Event {
         let mut message = Message::with_payload(payload.to_vec());
         message.push(&SeqHeader { seq });
-        Event::up(DataEvent::new(NodeId(origin), Dest::Node(NodeId(9)), message))
+        Event::up(DataEvent::new(
+            NodeId(origin),
+            Dest::Node(NodeId(9)),
+            message,
+        ))
     }
 
     #[test]
@@ -237,12 +251,19 @@ mod tests {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut reliable = harness(&mut platform);
         let out = reliable.run_down(
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"a"[..]))),
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"a"[..]),
+            )),
             &mut platform,
         );
         assert_eq!(out.len(), 1);
-        let seq: SeqHeader =
-            out[0].get::<DataEvent>().unwrap().message.peek().expect("sequence header present");
+        let seq: SeqHeader = out[0]
+            .get::<DataEvent>()
+            .unwrap()
+            .message
+            .peek()
+            .expect("sequence header present");
         assert_eq!(seq.seq, 1);
     }
 
@@ -250,10 +271,19 @@ mod tests {
     fn in_order_messages_are_delivered_and_gaps_are_buffered() {
         let mut platform = TestPlatform::new(NodeId(9));
         let mut reliable = harness(&mut platform);
-        assert_eq!(reliable.run_up(incoming(1, 1, b"a"), &mut platform).len(), 1);
-        assert!(reliable.run_up(incoming(1, 3, b"c"), &mut platform).is_empty());
+        assert_eq!(
+            reliable.run_up(incoming(1, 1, b"a"), &mut platform).len(),
+            1
+        );
+        assert!(reliable
+            .run_up(incoming(1, 3, b"c"), &mut platform)
+            .is_empty());
         let released = reliable.run_up(incoming(1, 2, b"b"), &mut platform);
-        assert_eq!(released.len(), 2, "filling the gap releases both buffered messages");
+        assert_eq!(
+            released.len(),
+            2,
+            "filling the gap releases both buffered messages"
+        );
     }
 
     #[test]
@@ -283,13 +313,19 @@ mod tests {
         let mut reliable = harness(&mut platform);
         for payload in [&b"a"[..], &b"b"[..], &b"c"[..]] {
             reliable.run_down(
-                Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(payload.to_vec()))),
+                Event::down(DataEvent::to_group(
+                    NodeId(1),
+                    Message::with_payload(payload.to_vec()),
+                )),
                 &mut platform,
             );
         }
 
         let mut message = Message::new();
-        message.push(&NackHeader { origin: NodeId(5), missing: vec![2, 3] });
+        message.push(&NackHeader {
+            origin: NodeId(5),
+            missing: vec![2, 3],
+        });
         let nack = Event::up(NackRequest::new(NodeId(5), Dest::Node(NodeId(1)), message));
         reliable.run_up(nack, &mut platform);
 
@@ -306,7 +342,10 @@ mod tests {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut reliable = harness(&mut platform);
         let mut message = Message::new();
-        message.push(&NackHeader { origin: NodeId(5), missing: vec![100] });
+        message.push(&NackHeader {
+            origin: NodeId(5),
+            missing: vec![100],
+        });
         reliable.run_up(
             Event::up(NackRequest::new(NodeId(5), Dest::Node(NodeId(1)), message)),
             &mut platform,
@@ -318,11 +357,20 @@ mod tests {
     fn duplicates_are_suppressed() {
         let mut platform = TestPlatform::new(NodeId(9));
         let mut reliable = harness(&mut platform);
-        assert_eq!(reliable.run_up(incoming(1, 1, b"a"), &mut platform).len(), 1);
-        assert!(reliable.run_up(incoming(1, 1, b"a"), &mut platform).is_empty());
+        assert_eq!(
+            reliable.run_up(incoming(1, 1, b"a"), &mut platform).len(),
+            1
+        );
+        assert!(reliable
+            .run_up(incoming(1, 1, b"a"), &mut platform)
+            .is_empty());
         // Duplicate of a buffered (not yet delivered) message.
-        assert!(reliable.run_up(incoming(1, 3, b"c"), &mut platform).is_empty());
-        assert!(reliable.run_up(incoming(1, 3, b"c"), &mut platform).is_empty());
+        assert!(reliable
+            .run_up(incoming(1, 3, b"c"), &mut platform)
+            .is_empty());
+        assert!(reliable
+            .run_up(incoming(1, 3, b"c"), &mut platform)
+            .is_empty());
     }
 
     #[test]
@@ -333,18 +381,27 @@ mod tests {
         let mut reliable = Harness::new(ReliableLayer, &params, &mut platform);
         for _ in 0..64 {
             reliable.run_down(
-                Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..]))),
+                Event::down(DataEvent::to_group(
+                    NodeId(1),
+                    Message::with_payload(&b"x"[..]),
+                )),
                 &mut platform,
             );
         }
         // Requesting an evicted sequence number yields nothing; a recent one works.
         let mut message = Message::new();
-        message.push(&NackHeader { origin: NodeId(5), missing: vec![1, 64] });
+        message.push(&NackHeader {
+            origin: NodeId(5),
+            missing: vec![1, 64],
+        });
         reliable.run_up(
             Event::up(NackRequest::new(NodeId(5), Dest::Node(NodeId(1)), message)),
             &mut platform,
         );
         let retransmitted = reliable.drain_down();
-        assert_eq!(retransmitted.iter().filter(|e| e.is::<DataEvent>()).count(), 1);
+        assert_eq!(
+            retransmitted.iter().filter(|e| e.is::<DataEvent>()).count(),
+            1
+        );
     }
 }

@@ -140,7 +140,10 @@ impl StackBuilder {
 
     /// Uses the Mecho adaptive multicast.
     pub fn mecho(mut self, mode: impl Into<String>, relay: Option<NodeId>) -> Self {
-        self.multicast = Multicast::Mecho { mode: mode.into(), relay };
+        self.multicast = Multicast::Mecho {
+            mode: mode.into(),
+            relay,
+        };
         self
     }
 
@@ -202,7 +205,11 @@ impl StackBuilder {
     }
 
     fn members_param(&self) -> String {
-        self.members.iter().map(|m| m.0.to_string()).collect::<Vec<_>>().join(",")
+        self.members
+            .iter()
+            .map(|m| m.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
     /// Builds the declarative channel description, bottom-first.
@@ -264,7 +271,8 @@ impl StackBuilder {
         match self.ordering {
             Ordering::None => {}
             Ordering::Causal => {
-                config = config.with_layer(LayerSpec::new("causal").with_param("members", &members));
+                config =
+                    config.with_layer(LayerSpec::new("causal").with_param("members", &members));
             }
             Ordering::Total => {
                 config = config.with_layer(LayerSpec::new("total").with_param("members", &members));
@@ -289,14 +297,20 @@ mod tests {
     fn suite_registers_all_layers_and_events() {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
-        for layer in
-            ["beb", "mecho", "gossip", "fifo", "reliable", "fec", "fd", "vsync", "causal", "total"]
-        {
+        for layer in [
+            "beb", "mecho", "gossip", "fifo", "reliable", "fec", "fd", "vsync", "causal", "total",
+        ] {
             assert!(kernel.layers().contains(layer), "layer `{layer}` missing");
         }
-        for event in
-            ["Heartbeat", "NackRequest", "ViewPrepare", "FlushAck", "ViewCommit", "FecParity", "OrderInfo"]
-        {
+        for event in [
+            "Heartbeat",
+            "NackRequest",
+            "ViewPrepare",
+            "FlushAck",
+            "ViewCommit",
+            "FecParity",
+            "OrderInfo",
+        ] {
             assert!(kernel.events().contains(event), "event `{event}` missing");
         }
     }
@@ -304,7 +318,10 @@ mod tests {
     #[test]
     fn default_stack_is_best_effort_with_membership() {
         let config = StackBuilder::new("data", members(3)).build();
-        assert_eq!(config.layer_names(), vec!["network", "beb", "fd", "vsync", "app"]);
+        assert_eq!(
+            config.layer_names(),
+            vec!["network", "beb", "fd", "vsync", "app"]
+        );
     }
 
     #[test]
@@ -320,7 +337,10 @@ mod tests {
         );
         let mecho = &config.layers[1];
         assert_eq!(mecho.params.get("relay").map(String::as_str), Some("0"));
-        assert_eq!(mecho.params.get("mode").map(String::as_str), Some("wireless"));
+        assert_eq!(
+            mecho.params.get("mode").map(String::as_str),
+            Some("wireless")
+        );
     }
 
     #[test]
@@ -331,17 +351,27 @@ mod tests {
             .causal()
             .without_membership()
             .build();
-        assert_eq!(config.layer_names(), vec!["network", "gossip", "fec", "causal", "app"]);
+        assert_eq!(
+            config.layer_names(),
+            vec!["network", "gossip", "fec", "causal", "app"]
+        );
     }
 
     #[test]
     fn every_standard_stack_instantiates_on_a_kernel() {
         let builders = vec![
             StackBuilder::new("a", members(3)),
-            StackBuilder::new("b", members(3)).mecho("auto", Some(NodeId(0))).reliable(),
-            StackBuilder::new("c", members(3)).gossip(2, 2).fifo().causal(),
+            StackBuilder::new("b", members(3))
+                .mecho("auto", Some(NodeId(0)))
+                .reliable(),
+            StackBuilder::new("c", members(3))
+                .gossip(2, 2)
+                .fifo()
+                .causal(),
             StackBuilder::new("d", members(3)).beb(true).fec(4).total(),
-            StackBuilder::new("e", members(3)).reliable().share_vsync("group"),
+            StackBuilder::new("e", members(3))
+                .reliable()
+                .share_vsync("group"),
         ];
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);

@@ -91,8 +91,15 @@ impl TotalSession {
         let others = self.view.others(local);
         if !others.is_empty() {
             let mut message = Message::new();
-            message.push(&OrderHeader { message: id, global_seq });
-            ctx.dispatch(Event::down(OrderInfo::new(local, Dest::Nodes(others), message)));
+            message.push(&OrderHeader {
+                message: id,
+                global_seq,
+            });
+            ctx.dispatch(Event::down(OrderInfo::new(
+                local,
+                Dest::Nodes(others),
+                message,
+            )));
         }
     }
 
@@ -145,7 +152,10 @@ impl Session for TotalSession {
                     return;
                 };
                 self.local_seq += 1;
-                let id = TotalIdHeader { origin: local, local_seq: self.local_seq };
+                let id = TotalIdHeader {
+                    origin: local,
+                    local_seq: self.local_seq,
+                };
                 // Keep a local copy: the sender must also deliver its own
                 // message at its position in the global order.
                 let own_copy = Event::up(DataEvent::new(
@@ -190,21 +200,35 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params
     }
 
     fn incoming(origin: u32, local_seq: u64, payload: &[u8]) -> Event {
         let mut message = Message::with_payload(payload.to_vec());
-        message.push(&TotalIdHeader { origin: NodeId(origin), local_seq });
-        Event::up(DataEvent::new(NodeId(origin), Dest::Node(NodeId(0)), message))
+        message.push(&TotalIdHeader {
+            origin: NodeId(origin),
+            local_seq,
+        });
+        Event::up(DataEvent::new(
+            NodeId(origin),
+            Dest::Node(NodeId(0)),
+            message,
+        ))
     }
 
     fn order_info(from: u32, origin: u32, local_seq: u64, global_seq: u64) -> Event {
         let mut message = Message::new();
         message.push(&OrderHeader {
-            message: TotalIdHeader { origin: NodeId(origin), local_seq },
+            message: TotalIdHeader {
+                origin: NodeId(origin),
+                local_seq,
+            },
             global_seq,
         });
         Event::up(OrderInfo::new(NodeId(from), Dest::Node(NodeId(1)), message))
@@ -217,9 +241,16 @@ mod tests {
         let mut total = Harness::new(TotalLayer, &params(&[0, 1, 2]), &mut platform);
 
         let delivered = total.run_up(incoming(1, 1, b"a"), &mut platform);
-        assert_eq!(delivered.len(), 1, "sequencer delivers immediately in order");
+        assert_eq!(
+            delivered.len(),
+            1,
+            "sequencer delivers immediately in order"
+        );
         let down = total.drain_down();
-        let infos: Vec<&Event> = down.iter().filter(|event| event.is::<OrderInfo>()).collect();
+        let infos: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<OrderInfo>())
+            .collect();
         assert_eq!(infos.len(), 1);
         assert_eq!(
             infos[0].get::<OrderInfo>().unwrap().header.dest,
@@ -246,11 +277,29 @@ mod tests {
         // Two messages arrive; the sequencer ordered "x" after "y".
         assert!(total.run_up(incoming(2, 1, b"x"), &mut platform).is_empty());
         assert!(total.run_up(incoming(0, 1, b"y"), &mut platform).is_empty());
-        assert!(total.run_up(order_info(0, 2, 1, 2), &mut platform).is_empty());
+        assert!(total
+            .run_up(order_info(0, 2, 1, 2), &mut platform)
+            .is_empty());
         let released = total.run_up(order_info(0, 0, 1, 1), &mut platform);
         assert_eq!(released.len(), 2);
-        assert_eq!(released[0].get::<DataEvent>().unwrap().message.payload().as_ref(), b"y");
-        assert_eq!(released[1].get::<DataEvent>().unwrap().message.payload().as_ref(), b"x");
+        assert_eq!(
+            released[0]
+                .get::<DataEvent>()
+                .unwrap()
+                .message
+                .payload()
+                .as_ref(),
+            b"y"
+        );
+        assert_eq!(
+            released[1]
+                .get::<DataEvent>()
+                .unwrap()
+                .message
+                .payload()
+                .as_ref(),
+            b"x"
+        );
     }
 
     #[test]
@@ -261,15 +310,32 @@ mod tests {
         let mut total = Harness::new(TotalLayer, &params(&[0, 1]), &mut platform);
 
         let out = total.run_down(
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"mine"[..]))),
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"mine"[..]),
+            )),
             &mut platform,
         );
-        assert_eq!(out.iter().filter(|event| event.is::<DataEvent>()).count(), 1);
-        assert!(total.drain_up().is_empty(), "own message not delivered before ordering");
+        assert_eq!(
+            out.iter().filter(|event| event.is::<DataEvent>()).count(),
+            1
+        );
+        assert!(
+            total.drain_up().is_empty(),
+            "own message not delivered before ordering"
+        );
 
         let released = total.run_up(order_info(0, 1, 1, 1), &mut platform);
         assert_eq!(released.len(), 1);
-        assert_eq!(released[0].get::<DataEvent>().unwrap().message.payload().as_ref(), b"mine");
+        assert_eq!(
+            released[0]
+                .get::<DataEvent>()
+                .unwrap()
+                .message
+                .payload()
+                .as_ref(),
+            b"mine"
+        );
     }
 
     #[test]
@@ -277,7 +343,10 @@ mod tests {
         let mut platform = TestPlatform::new(NodeId(0));
         let mut total = Harness::new(TotalLayer, &params(&[0, 1]), &mut platform);
         let out = total.run_down(
-            Event::down(DataEvent::to_group(NodeId(0), Message::with_payload(&b"seq"[..]))),
+            Event::down(DataEvent::to_group(
+                NodeId(0),
+                Message::with_payload(&b"seq"[..]),
+            )),
             &mut platform,
         );
         assert!(out.iter().any(|event| event.is::<DataEvent>()));

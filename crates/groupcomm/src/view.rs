@@ -54,7 +54,11 @@ impl View {
 
     /// Every member except the given node (typically the local one).
     pub fn others(&self, node: NodeId) -> Vec<NodeId> {
-        self.members.iter().copied().filter(|member| *member != node).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|member| *member != node)
+            .collect()
     }
 
     /// A successor view with one member removed.

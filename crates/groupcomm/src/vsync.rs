@@ -100,7 +100,10 @@ impl VsyncSession {
         self.view_changes += 1;
 
         ctx.dispatch(Event::down(ViewInstall { view: view.clone() }));
-        ctx.deliver(DeliveryKind::ViewChange { view_id: view.id, members: view.members.clone() });
+        ctx.deliver(DeliveryKind::ViewChange {
+            view_id: view.id,
+            members: view.members.clone(),
+        });
         self.flush_buffered(ctx);
     }
 
@@ -125,7 +128,11 @@ impl VsyncSession {
         }
         let mut message = Message::new();
         message.push(&new_view);
-        ctx.dispatch(Event::down(ViewPrepare::new(local, Dest::Nodes(others), message)));
+        ctx.dispatch(Event::down(ViewPrepare::new(
+            local,
+            Dest::Nodes(others),
+            message,
+        )));
         self.maybe_commit(ctx);
     }
 
@@ -133,7 +140,10 @@ impl VsyncSession {
         let Some(proposed) = self.proposed.clone() else {
             return;
         };
-        let everyone_acked = proposed.members.iter().all(|member| self.acks.contains(member));
+        let everyone_acked = proposed
+            .members
+            .iter()
+            .all(|member| self.acks.contains(member));
         if !everyone_acked {
             return;
         }
@@ -142,7 +152,11 @@ impl VsyncSession {
         if !others.is_empty() {
             let mut message = Message::new();
             message.push(&proposed);
-            ctx.dispatch(Event::down(ViewCommit::new(local, Dest::Nodes(others), message)));
+            ctx.dispatch(Event::down(ViewCommit::new(
+                local,
+                Dest::Nodes(others),
+                message,
+            )));
         }
         self.install(proposed, ctx);
     }
@@ -160,7 +174,9 @@ impl Session for VsyncSession {
             // Announce the initial view so lower layers learn the membership
             // and the application sees view 0.
             if !self.view.is_empty() {
-                ctx.dispatch(Event::down(ViewInstall { view: self.view.clone() }));
+                ctx.dispatch(Event::down(ViewInstall {
+                    view: self.view.clone(),
+                }));
                 ctx.deliver(DeliveryKind::ViewChange {
                     view_id: self.view.id,
                     members: self.view.members.clone(),
@@ -178,7 +194,9 @@ impl Session for VsyncSession {
             self.blocked = false;
             // Prime (possibly freshly installed) lower layers with the
             // current membership before releasing buffered traffic.
-            ctx.dispatch(Event::down(ViewInstall { view: self.view.clone() }));
+            ctx.dispatch(Event::down(ViewInstall {
+                view: self.view.clone(),
+            }));
             self.flush_buffered(ctx);
             return;
         }
@@ -233,7 +251,11 @@ impl Session for VsyncSession {
             self.proposed = Some(proposed.clone());
             let mut message = Message::new();
             message.push(&proposed.id);
-            ctx.dispatch(Event::down(FlushAck::new(local, Dest::Node(proposer), message)));
+            ctx.dispatch(Event::down(FlushAck::new(
+                local,
+                Dest::Node(proposer),
+                message,
+            )));
             return;
         }
 
@@ -298,7 +320,11 @@ mod tests {
         let mut params = LayerParams::new();
         params.insert(
             "members".into(),
-            members.iter().map(|id| id.to_string()).collect::<Vec<_>>().join(","),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         params
     }
@@ -331,7 +357,10 @@ mod tests {
 
         vsync.run_down(Event::down(BlockRequest {}), &mut platform);
         let blocked = vsync.run_down(
-            Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(&b"x"[..]))),
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"x"[..]),
+            )),
             &mut platform,
         );
         assert!(
@@ -340,7 +369,10 @@ mod tests {
         );
 
         let released = vsync.run_down(Event::down(ResumeRequest {}), &mut platform);
-        let data: Vec<&Event> = released.iter().filter(|event| event.is::<DataEvent>()).collect();
+        let data: Vec<&Event> = released
+            .iter()
+            .filter(|event| event.is::<DataEvent>())
+            .collect();
         assert_eq!(data.len(), 1, "buffered send released on resume");
         assert!(
             released.iter().any(|event| event.is::<ViewInstall>()),
@@ -358,7 +390,10 @@ mod tests {
         let out = vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
         assert!(out.is_empty(), "suspicion is absorbed");
         let down = vsync.drain_down();
-        let prepares: Vec<&Event> = down.iter().filter(|event| event.is::<ViewPrepare>()).collect();
+        let prepares: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ViewPrepare>())
+            .collect();
         assert_eq!(prepares.len(), 1);
         assert_eq!(
             prepares[0].get::<ViewPrepare>().unwrap().header.dest,
@@ -398,7 +433,10 @@ mod tests {
         let down = vsync.drain_down();
         let acks: Vec<&Event> = down.iter().filter(|event| event.is::<FlushAck>()).collect();
         assert_eq!(acks.len(), 1);
-        assert_eq!(acks[0].get::<FlushAck>().unwrap().header.dest, Dest::Node(NodeId(1)));
+        assert_eq!(
+            acks[0].get::<FlushAck>().unwrap().header.dest,
+            Dest::Node(NodeId(1))
+        );
 
         // While the view change is in progress the channel is blocked.
         let held = vsync.run_down(
@@ -411,11 +449,18 @@ mod tests {
         let mut commit_message = Message::new();
         commit_message.push(&proposed);
         vsync.run_up(
-            Event::up(ViewCommit::new(NodeId(1), Dest::Node(NodeId(2)), commit_message)),
+            Event::up(ViewCommit::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                commit_message,
+            )),
             &mut platform,
         );
         let down = vsync.drain_down();
-        assert!(down.iter().any(|event| event.is::<DataEvent>()), "buffered send released");
+        assert!(
+            down.iter().any(|event| event.is::<DataEvent>()),
+            "buffered send released"
+        );
         let changes = view_changes(&mut platform);
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
@@ -428,7 +473,11 @@ mod tests {
         platform.take_deliveries();
 
         vsync.run_up(
-            Event::up(JoinRequest::new(NodeId(7), Dest::Node(NodeId(1)), Message::new())),
+            Event::up(JoinRequest::new(
+                NodeId(7),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
             &mut platform,
         );
         let down = vsync.drain_down();
@@ -460,6 +509,9 @@ mod tests {
 
         // Suspecting an unknown node does nothing.
         vsync.run_up(Event::up(Suspect { node: NodeId(99) }), &mut platform);
-        assert!(vsync.drain_down().iter().all(|event| !event.is::<ViewPrepare>()));
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<ViewPrepare>()));
     }
 }

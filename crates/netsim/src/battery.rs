@@ -19,7 +19,10 @@ impl Battery {
     /// Creates a full battery with the given capacity in joules. Use
     /// `f64::INFINITY` for mains-powered devices.
     pub fn new(capacity_j: f64) -> Self {
-        Self { capacity_j, remaining_j: capacity_j }
+        Self {
+            capacity_j,
+            remaining_j: capacity_j,
+        }
     }
 
     /// Total capacity in joules.

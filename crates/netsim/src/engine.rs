@@ -51,7 +51,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules an event at the given time.
@@ -63,7 +66,23 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(entry)| (entry.at, entry.event))
+        self.heap
+            .pop()
+            .map(|Reverse(entry)| (entry.at, entry.event))
+    }
+
+    /// Removes and returns the earliest event only if it satisfies the
+    /// predicate; otherwise leaves the queue untouched.
+    ///
+    /// This lets a caller drain a *batch* of related events scheduled for
+    /// the same instant (e.g. all packets arriving at one node) without
+    /// popping and re-inserting, which would disturb the FIFO tie-break.
+    pub fn pop_if(&mut self, predicate: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let Reverse(head) = self.heap.peek()?;
+        if !predicate(head.at, &head.event) {
+            return None;
+        }
+        self.pop()
     }
 
     /// The time of the earliest event without removing it.

@@ -36,7 +36,7 @@ pub mod transport;
 
 pub use battery::{Battery, EnergyModel};
 pub use engine::EventQueue;
-pub use link::{LinkClass, LinkModel, LinkOutcome, WanLink, Wireless80211b, WiredLan};
+pub use link::{LinkClass, LinkModel, LinkOutcome, WanLink, WiredLan, Wireless80211b};
 pub use node::{NodeId, NodeKind, SimNode};
 pub use rng::SimRng;
 pub use stats::{NetworkStats, NodeStats, TrafficClass};

@@ -50,7 +50,11 @@ pub trait LinkModel {
 }
 
 fn latency_with_jitter(base_ms: f64, jitter_ms: f64, serialize_ms: f64, rng: &mut SimRng) -> u64 {
-    let jitter = if jitter_ms > 0.0 { rng.random_f64() * jitter_ms } else { 0.0 };
+    let jitter = if jitter_ms > 0.0 {
+        rng.random_f64() * jitter_ms
+    } else {
+        0.0
+    };
     (base_ms + jitter + serialize_ms).round().max(1.0) as u64
 }
 
@@ -69,7 +73,12 @@ pub struct WiredLan {
 
 impl Default for WiredLan {
     fn default() -> Self {
-        Self { base_latency_ms: 0.3, jitter_ms: 0.2, loss_rate: 0.0, bandwidth_kbps: 100_000 }
+        Self {
+            base_latency_ms: 0.3,
+            jitter_ms: 0.2,
+            loss_rate: 0.0,
+            bandwidth_kbps: 100_000,
+        }
     }
 }
 
@@ -92,7 +101,12 @@ impl LinkModel for WiredLan {
         }
         let serialize_ms = (size_bytes as f64 * 8.0) / (self.bandwidth_kbps as f64);
         LinkOutcome::Delivered {
-            latency_ms: latency_with_jitter(self.base_latency_ms, self.jitter_ms, serialize_ms, rng),
+            latency_ms: latency_with_jitter(
+                self.base_latency_ms,
+                self.jitter_ms,
+                serialize_ms,
+                rng,
+            ),
         }
     }
 }
@@ -112,14 +126,22 @@ pub struct Wireless80211b {
 
 impl Default for Wireless80211b {
     fn default() -> Self {
-        Self { base_latency_ms: 2.5, jitter_ms: 2.0, loss_rate: 0.01, bandwidth_kbps: 5_500 }
+        Self {
+            base_latency_ms: 2.5,
+            jitter_ms: 2.0,
+            loss_rate: 0.01,
+            bandwidth_kbps: 5_500,
+        }
     }
 }
 
 impl Wireless80211b {
     /// A lossier configuration representing a degraded radio environment.
     pub fn degraded(loss_rate: f64) -> Self {
-        Self { loss_rate, ..Self::default() }
+        Self {
+            loss_rate,
+            ..Self::default()
+        }
     }
 }
 
@@ -142,7 +164,12 @@ impl LinkModel for Wireless80211b {
         }
         let serialize_ms = (size_bytes as f64 * 8.0) / (self.bandwidth_kbps as f64);
         LinkOutcome::Delivered {
-            latency_ms: latency_with_jitter(self.base_latency_ms, self.jitter_ms, serialize_ms, rng),
+            latency_ms: latency_with_jitter(
+                self.base_latency_ms,
+                self.jitter_ms,
+                serialize_ms,
+                rng,
+            ),
         }
     }
 }
@@ -162,7 +189,12 @@ pub struct WanLink {
 
 impl Default for WanLink {
     fn default() -> Self {
-        Self { base_latency_ms: 40.0, jitter_ms: 15.0, loss_rate: 0.005, bandwidth_kbps: 10_000 }
+        Self {
+            base_latency_ms: 40.0,
+            jitter_ms: 15.0,
+            loss_rate: 0.005,
+            bandwidth_kbps: 10_000,
+        }
     }
 }
 
@@ -185,7 +217,12 @@ impl LinkModel for WanLink {
         }
         let serialize_ms = (size_bytes as f64 * 8.0) / (self.bandwidth_kbps as f64);
         LinkOutcome::Delivered {
-            latency_ms: latency_with_jitter(self.base_latency_ms, self.jitter_ms, serialize_ms, rng),
+            latency_ms: latency_with_jitter(
+                self.base_latency_ms,
+                self.jitter_ms,
+                serialize_ms,
+                rng,
+            ),
         }
     }
 }
@@ -205,7 +242,10 @@ mod tests {
 
     #[test]
     fn fully_lossy_links_never_deliver() {
-        let link = Wireless80211b { loss_rate: 1.0, ..Wireless80211b::default() };
+        let link = Wireless80211b {
+            loss_rate: 1.0,
+            ..Wireless80211b::default()
+        };
         let mut rng = SimRng::new(1);
         for _ in 0..20 {
             assert!(!link.transmit(256, &mut rng).is_delivered());
@@ -216,7 +256,9 @@ mod tests {
     fn partial_loss_is_roughly_proportional() {
         let link = Wireless80211b::degraded(0.2);
         let mut rng = SimRng::new(99);
-        let delivered = (0..2000).filter(|_| link.transmit(128, &mut rng).is_delivered()).count();
+        let delivered = (0..2000)
+            .filter(|_| link.transmit(128, &mut rng).is_delivered())
+            .count();
         assert!((1400..=1800).contains(&delivered), "delivered {delivered}");
     }
 
@@ -240,7 +282,11 @@ mod tests {
 
     #[test]
     fn larger_packets_take_longer_on_slow_links() {
-        let link = Wireless80211b { jitter_ms: 0.0, loss_rate: 0.0, ..Wireless80211b::default() };
+        let link = Wireless80211b {
+            jitter_ms: 0.0,
+            loss_rate: 0.0,
+            ..Wireless80211b::default()
+        };
         let mut rng = SimRng::new(2);
         let small = match link.transmit(64, &mut rng) {
             LinkOutcome::Delivered { latency_ms } => latency_ms,

@@ -83,7 +83,12 @@ pub struct SimNode {
 impl SimNode {
     /// Creates a node of the given kind with a full battery.
     pub fn new(id: NodeId, kind: NodeKind) -> Self {
-        Self { id, kind, alive: true, battery: Battery::new(kind.battery_capacity_joules()) }
+        Self {
+            id,
+            kind,
+            alive: true,
+            battery: Battery::new(kind.battery_capacity_joules()),
+        }
     }
 
     /// Creates a fixed PC node.
@@ -112,7 +117,10 @@ mod tests {
         assert!(NodeKind::MobilePda.is_mobile());
         assert!(NodeKind::Laptop.is_mobile());
         assert!(NodeKind::FixedPc.battery_capacity_joules().is_infinite());
-        assert!(NodeKind::Laptop.battery_capacity_joules() > NodeKind::MobilePda.battery_capacity_joules());
+        assert!(
+            NodeKind::Laptop.battery_capacity_joules()
+                > NodeKind::MobilePda.battery_capacity_joules()
+        );
     }
 
     #[test]

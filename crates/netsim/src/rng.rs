@@ -1,22 +1,25 @@
 //! Seeded, reproducible randomness for the simulator.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 /// A deterministic random number generator.
 ///
 /// Every experiment takes an explicit seed so runs are exactly reproducible;
 /// the benchmark harness varies the seed to obtain confidence intervals.
+/// The generator is SplitMix64, which is statistically strong enough for
+/// link-loss draws and shuffles while staying dependency-free (the workspace
+/// builds offline, so the `rand` crate is unavailable).
 #[derive(Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), seed }
+        Self {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.
@@ -24,28 +27,47 @@ impl SimRng {
         self.seed
     }
 
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
     /// A uniformly distributed value in `[0, 1)`.
     pub fn random_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniformly distributed integer in `[0, bound)`. Returns 0 when
     /// `bound` is 0.
     pub fn random_below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
-            0
-        } else {
-            self.inner.random_range(0..bound)
+            return 0;
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let value = self.next_u64();
+            if value < zone {
+                return value % bound;
+            }
         }
     }
 
     /// A uniformly distributed integer in `[low, high]`.
     pub fn random_range_inclusive(&mut self, low: u64, high: u64) -> u64 {
         if low >= high {
-            low
-        } else {
-            self.inner.random_range(low..=high)
+            return low;
         }
+        let span = high - low;
+        if span == u64::MAX {
+            // `span + 1` would overflow; the range is the whole u64 domain.
+            return self.next_u64();
+        }
+        low + self.random_below(span + 1)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -61,7 +83,7 @@ impl SimRng {
 
     /// A raw 64-bit random value.
     pub fn random_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        self.next_u64()
     }
 
     /// Picks a uniformly random element of the slice.
@@ -128,6 +150,9 @@ mod tests {
             assert!(rng.random_below(10) < 10);
         }
         assert_eq!(rng.random_range_inclusive(5, 5), 5);
+        // The full u64 domain must not overflow the span computation.
+        let full = rng.random_range_inclusive(0, u64::MAX);
+        let _ = full;
         for _ in 0..100 {
             let v = rng.random_range_inclusive(2, 4);
             assert!((2..=4).contains(&v));

@@ -24,8 +24,11 @@ pub enum TrafficClass {
 
 impl TrafficClass {
     /// All traffic classes, in display order.
-    pub const ALL: [TrafficClass; 3] =
-        [TrafficClass::Data, TrafficClass::Control, TrafficClass::Context];
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::Data,
+        TrafficClass::Control,
+        TrafficClass::Context,
+    ];
 }
 
 /// Counters for one node.
@@ -165,9 +168,15 @@ mod tests {
     #[test]
     fn network_stats_aggregate_over_nodes() {
         let mut stats = NetworkStats::new();
-        stats.node_mut(NodeId(1)).record_sent(TrafficClass::Data, 10, 0.0);
-        stats.node_mut(NodeId(2)).record_sent(TrafficClass::Data, 10, 0.0);
-        stats.node_mut(NodeId(2)).record_received(TrafficClass::Data, 10, 0.0);
+        stats
+            .node_mut(NodeId(1))
+            .record_sent(TrafficClass::Data, 10, 0.0);
+        stats
+            .node_mut(NodeId(2))
+            .record_sent(TrafficClass::Data, 10, 0.0);
+        stats
+            .node_mut(NodeId(2))
+            .record_received(TrafficClass::Data, 10, 0.0);
 
         assert_eq!(stats.total_sent(), 2);
         assert_eq!(stats.total_received(), 1);

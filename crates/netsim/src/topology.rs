@@ -15,7 +15,7 @@
 //! * [`TopologyKind::Wan`] — geographically distributed fixed nodes
 //!   (epidemic-multicast motivation).
 
-use crate::link::{LinkClass, LinkModel, WanLink, Wireless80211b, WiredLan};
+use crate::link::{LinkClass, LinkModel, WanLink, WiredLan, Wireless80211b};
 use crate::node::{NodeId, NodeKind, SimNode};
 
 /// The shape of the network connecting the nodes.
@@ -72,19 +72,25 @@ impl Topology {
 
     /// A homogeneous wired LAN of `count` fixed PCs.
     pub fn lan(count: usize, native_multicast: bool) -> Self {
-        let nodes = (0..count).map(|index| SimNode::fixed(NodeId(index as u32))).collect();
+        let nodes = (0..count)
+            .map(|index| SimNode::fixed(NodeId(index as u32)))
+            .collect();
         Self::new(TopologyKind::Lan { native_multicast }, nodes)
     }
 
     /// A homogeneous ad-hoc cell of `count` mobile PDAs.
     pub fn ad_hoc(count: usize) -> Self {
-        let nodes = (0..count).map(|index| SimNode::mobile(NodeId(index as u32))).collect();
+        let nodes = (0..count)
+            .map(|index| SimNode::mobile(NodeId(index as u32)))
+            .collect();
         Self::new(TopologyKind::AdHoc, nodes)
     }
 
     /// A wide-area deployment of `count` fixed nodes.
     pub fn wan(count: usize) -> Self {
-        let nodes = (0..count).map(|index| SimNode::fixed(NodeId(index as u32))).collect();
+        let nodes = (0..count)
+            .map(|index| SimNode::fixed(NodeId(index as u32)))
+            .collect();
         Self::new(TopologyKind::Wan, nodes)
     }
 
@@ -148,21 +154,33 @@ impl Topology {
 
     /// The device kind of a node (fixed PC when unknown).
     pub fn kind_of(&self, id: NodeId) -> NodeKind {
-        self.node(id).map(|node| node.kind).unwrap_or(NodeKind::FixedPc)
+        self.node(id)
+            .map(|node| node.kind)
+            .unwrap_or(NodeKind::FixedPc)
     }
 
     /// Whether the segment the node sits on offers native multicast.
     pub fn native_multicast_available(&self, _id: NodeId) -> bool {
-        matches!(self.kind, TopologyKind::Lan { native_multicast: true })
+        matches!(
+            self.kind,
+            TopologyKind::Lan {
+                native_multicast: true
+            }
+        )
     }
 
     /// Members of the broadcast domain of `sender` (everyone reachable with
     /// one native multicast transmission), excluding the sender.
     pub fn broadcast_domain(&self, sender: NodeId) -> Vec<NodeId> {
         match self.kind {
-            TopologyKind::Lan { native_multicast: true } => {
-                self.nodes.iter().map(|n| n.id).filter(|id| *id != sender).collect()
-            }
+            TopologyKind::Lan {
+                native_multicast: true,
+            } => self
+                .nodes
+                .iter()
+                .map(|n| n.id)
+                .filter(|id| *id != sender)
+                .collect(),
             _ => Vec::new(),
         }
     }
@@ -242,10 +260,22 @@ mod tests {
     #[test]
     fn hybrid_links_depend_on_endpoints() {
         let topology = Topology::hybrid_cell(2, 2);
-        assert_eq!(topology.link_class(NodeId(0), NodeId(1)), LinkClass::WiredLan);
-        assert_eq!(topology.link_class(NodeId(0), NodeId(2)), LinkClass::Wireless);
-        assert_eq!(topology.link_class(NodeId(2), NodeId(3)), LinkClass::Wireless);
-        assert_eq!(topology.link(NodeId(2), NodeId(3)).class(), LinkClass::Wireless);
+        assert_eq!(
+            topology.link_class(NodeId(0), NodeId(1)),
+            LinkClass::WiredLan
+        );
+        assert_eq!(
+            topology.link_class(NodeId(0), NodeId(2)),
+            LinkClass::Wireless
+        );
+        assert_eq!(
+            topology.link_class(NodeId(2), NodeId(3)),
+            LinkClass::Wireless
+        );
+        assert_eq!(
+            topology.link(NodeId(2), NodeId(3)).class(),
+            LinkClass::Wireless
+        );
     }
 
     #[test]
@@ -272,7 +302,9 @@ mod tests {
     fn local_context_reflects_device_position() {
         let topology = Topology::hybrid_cell(1, 2).with_wireless(Wireless80211b::degraded(0.1));
         assert!(topology.local_loss_rate(NodeId(1)) > topology.local_loss_rate(NodeId(0)));
-        assert!(topology.local_bandwidth_kbps(NodeId(1)) < topology.local_bandwidth_kbps(NodeId(0)));
+        assert!(
+            topology.local_bandwidth_kbps(NodeId(1)) < topology.local_bandwidth_kbps(NodeId(0))
+        );
     }
 
     #[test]

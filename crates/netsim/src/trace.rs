@@ -69,12 +69,22 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        Self { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0, enabled: true }
+        Self {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
     }
 
     /// Creates a disabled trace that records nothing.
     pub fn disabled() -> Self {
-        Self { events: VecDeque::new(), capacity: 0, dropped: 0, enabled: false }
+        Self {
+            events: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+            enabled: false,
+        }
     }
 
     /// Whether recording is enabled.
@@ -96,7 +106,10 @@ impl Trace {
 
     /// Adds a free-form annotation.
     pub fn note(&mut self, at: SimTime, text: impl Into<String>) {
-        self.record(TraceEvent::Note { at, text: text.into() });
+        self.record(TraceEvent::Note {
+            at,
+            text: text.into(),
+        });
     }
 
     /// The recorded events, oldest first.
@@ -140,7 +153,10 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut trace = Trace::disabled();
         trace.note(SimTime::ZERO, "ignored");
-        trace.record(TraceEvent::Lost { at: SimTime::ZERO, from: NodeId(1) });
+        trace.record(TraceEvent::Lost {
+            at: SimTime::ZERO,
+            from: NodeId(1),
+        });
         assert!(trace.is_empty());
         assert!(!trace.is_enabled());
     }
@@ -154,7 +170,11 @@ mod tests {
             size: 10,
         };
         assert_eq!(event.at().as_millis(), 7);
-        let delivered = TraceEvent::Delivered { at: SimTime::from_millis(9), to: NodeId(2), from: NodeId(1) };
+        let delivered = TraceEvent::Delivered {
+            at: SimTime::from_millis(9),
+            to: NodeId(2),
+            from: NodeId(1),
+        };
         assert_eq!(delivered.at().as_millis(), 9);
     }
 }

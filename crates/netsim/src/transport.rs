@@ -7,12 +7,12 @@
 //! event queue.
 
 use crate::battery::EnergyModel;
+use crate::link::LinkOutcome;
 use crate::node::{NodeId, NodeKind};
 use crate::rng::SimRng;
 use crate::stats::{NetworkStats, TrafficClass};
 use crate::time::SimTime;
 use crate::topology::Topology;
-use crate::link::LinkOutcome;
 
 /// Where a packet is addressed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,8 +131,15 @@ impl Network {
         if receiver == packet.from {
             return;
         }
-        let receiver_alive = self.topology.node(receiver).map(|n| n.is_operational()).unwrap_or(false);
-        let outcome = self.topology.link(packet.from, receiver).transmit(packet.size_bytes, rng);
+        let receiver_alive = self
+            .topology
+            .node(receiver)
+            .map(|n| n.is_operational())
+            .unwrap_or(false);
+        let outcome = self
+            .topology
+            .link(packet.from, receiver)
+            .transmit(packet.size_bytes, rng);
         match outcome {
             LinkOutcome::Delivered { latency_ms } if receiver_alive => {
                 let rx_energy = self.charge_rx(receiver, packet.size_bytes);
@@ -168,14 +175,19 @@ impl Network {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Vec<Delivery<P>> {
-        let sender_operational =
-            self.topology.node(packet.from).map(|n| n.is_operational()).unwrap_or(false);
+        let sender_operational = self
+            .topology
+            .node(packet.from)
+            .map(|n| n.is_operational())
+            .unwrap_or(false);
         if !sender_operational {
             return Vec::new();
         }
 
         let tx_energy = self.charge_tx(packet.from, packet.size_bytes);
-        self.stats.node_mut(packet.from).record_sent(packet.class, packet.size_bytes, tx_energy);
+        self.stats
+            .node_mut(packet.from)
+            .record_sent(packet.class, packet.size_bytes, tx_energy);
 
         let mut deliveries = Vec::new();
         match packet.target.clone() {
@@ -194,12 +206,18 @@ impl Network {
 
     /// Remaining battery fraction of a node.
     pub fn battery_fraction(&self, node: NodeId) -> f64 {
-        self.topology.node(node).map(|n| n.battery.fraction()).unwrap_or(0.0)
+        self.topology
+            .node(node)
+            .map(|n| n.battery.fraction())
+            .unwrap_or(0.0)
     }
 
     /// Whether a node is alive and has battery left.
     pub fn is_operational(&self, node: NodeId) -> bool {
-        self.topology.node(node).map(|n| n.is_operational()).unwrap_or(false)
+        self.topology
+            .node(node)
+            .map(|n| n.is_operational())
+            .unwrap_or(false)
     }
 
     /// The device kind of a node.
@@ -290,13 +308,19 @@ mod tests {
 
     #[test]
     fn lossy_links_record_losses() {
-        let topology = Topology::ad_hoc(2).with_wireless(Wireless80211b { loss_rate: 1.0, ..Wireless80211b::default() });
+        let topology = Topology::ad_hoc(2).with_wireless(Wireless80211b {
+            loss_rate: 1.0,
+            ..Wireless80211b::default()
+        });
         let mut network = Network::new(topology);
         let mut rng = SimRng::new(3);
         let deliveries = network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
         assert!(deliveries.is_empty());
         assert_eq!(network.stats().node_or_default(NodeId(0)).lost, 1);
-        assert_eq!(network.stats().node_or_default(NodeId(1)).total_received(), 0);
+        assert_eq!(
+            network.stats().node_or_default(NodeId(1)).total_received(),
+            0
+        );
     }
 
     #[test]

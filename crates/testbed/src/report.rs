@@ -82,7 +82,10 @@ impl RunReport {
     /// Total messages sent by the instrumented mobile node (the lowest-id
     /// mobile node), all classes included.
     pub fn measured_mobile_sent(&self) -> u64 {
-        self.mobile_nodes().map(NodeReport::sent_total).next().unwrap_or(0)
+        self.mobile_nodes()
+            .map(NodeReport::sent_total)
+            .next()
+            .unwrap_or(0)
     }
 
     /// Total messages sent by the fixed nodes, all classes included.
@@ -97,7 +100,10 @@ impl RunReport {
 
     /// Total reconfigurations applied across all nodes.
     pub fn total_reconfigurations(&self) -> u64 {
-        self.nodes.iter().map(|report| report.reconfigurations).sum()
+        self.nodes
+            .iter()
+            .map(|report| report.reconfigurations)
+            .sum()
     }
 
     /// Sum of processing errors across all nodes (expected to be zero).

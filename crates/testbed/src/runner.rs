@@ -3,7 +3,9 @@
 
 use bytes::Bytes;
 
-use morpheus_appia::platform::{DeliveryKind, InPacket, NodeId, NodeProfile, PacketClass, PacketDest};
+use morpheus_appia::platform::{
+    DeliveryKind, InPacket, NodeId, NodeProfile, PacketClass, PacketDest,
+};
 use morpheus_appia::timer::TimerKey;
 use morpheus_core::{MorpheusNode, NodeOptions};
 use morpheus_netsim::{
@@ -15,10 +17,12 @@ use crate::platform::SimPlatform;
 use crate::report::{NodeReport, RunReport};
 use crate::scenario::{Scenario, TopologyChoice};
 
-/// Opaque payload carried by simulated packets.
+/// Opaque payload carried by simulated packets. The channel name is
+/// interned, so fanning a packet out to many receivers clones a refcount
+/// instead of a string.
 #[derive(Debug, Clone)]
 struct NetPayload {
-    channel: String,
+    channel: morpheus_appia::Name,
     bytes: Bytes,
 }
 
@@ -26,7 +30,12 @@ struct NetPayload {
 #[derive(Debug)]
 enum SimEvent {
     /// A packet arrives at a node.
-    Packet { to: NodeId, from: NodeId, class: PacketClass, payload: NetPayload },
+    Packet {
+        to: NodeId,
+        from: NodeId,
+        class: PacketClass,
+        payload: NetPayload,
+    },
     /// A protocol timer fires at a node.
     Timer { node: NodeId, key: TimerKey },
     /// The application on a node emits one chat message.
@@ -78,8 +87,10 @@ impl Runner {
 
         for member in &members {
             let profile = profile_for(&network, scenario, *member);
-            let mut platform =
-                SimPlatform::new(profile, scenario.seed.wrapping_add(0x9E37 + u64::from(member.0)));
+            let mut platform = SimPlatform::new(
+                profile,
+                scenario.seed.wrapping_add(0x9E37 + u64::from(member.0)),
+            );
             let mut options = NodeOptions::new(members.clone())
                 .with_initial_stack(scenario.initial_stack.clone())
                 .with_publish_interval(scenario.publish_interval_ms);
@@ -115,13 +126,19 @@ impl Runner {
         for sender in &scenario.workload.senders {
             for seq in 0..scenario.workload.messages_per_sender {
                 let at = scenario.workload.warmup_ms + seq * scenario.workload.interval_ms;
-                queue.push(SimTime::from_millis(at), SimEvent::AppSend { node: *sender, seq });
+                queue.push(
+                    SimTime::from_millis(at),
+                    SimEvent::AppSend { node: *sender, seq },
+                );
             }
         }
 
         // Schedule injected node failures.
         for (at_ms, node) in &scenario.failures {
-            queue.push(SimTime::from_millis(*at_ms), SimEvent::NodeFailure { node: *node });
+            queue.push(
+                SimTime::from_millis(*at_ms),
+                SimEvent::NodeFailure { node: *node },
+            );
         }
 
         // Main discrete-event loop.
@@ -163,17 +180,41 @@ impl Runner {
             platforms[index].set_profile(profile_for(&network, scenario, node_id));
 
             match event {
-                SimEvent::Packet { to, from, class, payload } => {
-                    let packet = InPacket {
+                SimEvent::Packet {
+                    to,
+                    from,
+                    class,
+                    payload,
+                } => {
+                    // Drain every packet arriving at this node at this very
+                    // instant into one batch, delivered with a single kernel
+                    // queue drain (the FIFO tie-break of the event queue is
+                    // preserved because the batch keeps arrival order).
+                    let mut batch = vec![InPacket {
                         from,
                         to,
                         class,
-                        channel: payload.channel.clone(),
-                        payload: payload.bytes.clone(),
-                    };
-                    if nodes[index].deliver_packet(packet, &mut platforms[index]).is_err() {
-                        tallies[index].packet_errors += 1;
+                        channel: payload.channel,
+                        payload: payload.bytes,
+                    }];
+                    while let Some((_, more)) = queue.pop_if(|at, next| {
+                        at == time
+                            && matches!(next, SimEvent::Packet { to: next_to, .. } if *next_to == to)
+                    }) {
+                        let SimEvent::Packet { to, from, class, payload } = more else {
+                            unreachable!("pop_if only matches packet events");
+                        };
+                        processed += 1;
+                        batch.push(InPacket {
+                            from,
+                            to,
+                            class,
+                            channel: payload.channel,
+                            payload: payload.bytes,
+                        });
                     }
+                    tallies[index].packet_errors +=
+                        nodes[index].deliver_packet_batch(batch, &mut platforms[index]) as u64;
                 }
                 SimEvent::Timer { key, .. } => {
                     if !platforms[index].consume_cancellation(&key) {
@@ -206,7 +247,10 @@ impl Runner {
 
 /// Builds the netsim topology for a scenario.
 fn build_topology(scenario: &Scenario) -> Topology {
-    let wireless = Wireless80211b { loss_rate: scenario.wireless_loss, ..Wireless80211b::default() };
+    let wireless = Wireless80211b {
+        loss_rate: scenario.wireless_loss,
+        ..Wireless80211b::default()
+    };
     let topology = match scenario.topology {
         TopologyChoice::HybridCell => {
             Topology::hybrid_cell(scenario.fixed_nodes, scenario.mobile_nodes)
@@ -236,7 +280,11 @@ fn profile_for(network: &Network, scenario: &Scenario, node: NodeId) -> NodeProf
         battery_level: network.battery_fraction(sim_id),
         link_quality: 1.0 - topology.local_loss_rate(sim_id),
         bandwidth_kbps: topology.local_bandwidth_kbps(sim_id),
-        error_rate: if kind.is_mobile() { scenario.wireless_loss } else { 0.0 },
+        error_rate: if kind.is_mobile() {
+            scenario.wireless_loss
+        } else {
+            0.0
+        },
         has_native_multicast: topology.native_multicast_available(sim_id),
     }
 }
@@ -278,7 +326,10 @@ fn flush_node(
         // 1. Reconfiguration requests raised by the Core control layer.
         for request in platforms[index].take_reconfig_requests() {
             progressed = true;
-            if nodes[index].apply_reconfiguration(request, &mut platforms[index]).is_err() {
+            if nodes[index]
+                .apply_reconfiguration(request, &mut platforms[index])
+                .is_err()
+            {
                 tallies[index].reconfig_errors += 1;
             }
         }
@@ -295,7 +346,10 @@ fn flush_node(
                 target,
                 size_bytes: out.payload.len() + FRAMING_OVERHEAD_BYTES,
                 class: traffic_class(out.class),
-                payload: NetPayload { channel: out.channel.clone(), bytes: out.payload.clone() },
+                payload: NetPayload {
+                    channel: out.channel,
+                    bytes: out.payload,
+                },
             };
             for delivery in network.send(packet, now, rng) {
                 queue.push(
@@ -313,7 +367,13 @@ fn flush_node(
         // 3. Timers.
         for (delay, key) in platforms[index].take_timer_requests() {
             progressed = true;
-            queue.push(now + delay, SimEvent::Timer { node: NodeId(index as u32), key });
+            queue.push(
+                now + delay,
+                SimEvent::Timer {
+                    node: NodeId(index as u32),
+                    key,
+                },
+            );
         }
 
         // 4. Application deliveries.
@@ -323,7 +383,9 @@ fn flush_node(
                 DeliveryKind::Data { .. } => tallies[index].app_deliveries += 1,
                 DeliveryKind::ViewChange { .. } => tallies[index].view_changes += 1,
                 DeliveryKind::Reconfigured { stack } => {
-                    tallies[index].notifications.push(format!("reconfigured to {stack}"));
+                    tallies[index]
+                        .notifications
+                        .push(format!("reconfigured to {stack}"));
                 }
                 DeliveryKind::Notification(text) => tallies[index].notifications.push(text),
             }
@@ -451,7 +513,10 @@ mod tests {
         let report = Runner::new().run(&scenario);
         assert!(report.messages_lost > 0);
         let mobile = report.node(NodeId(1)).unwrap();
-        assert_eq!(mobile.sent_data, 180, "losses do not change how much the sender transmits");
+        assert_eq!(
+            mobile.sent_data, 180,
+            "losses do not change how much the sender transmits"
+        );
         assert!(report.total_app_deliveries() < 360);
     }
 

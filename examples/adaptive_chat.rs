@@ -8,7 +8,10 @@
 use morpheus::prelude::*;
 
 fn run(devices: usize, adaptive: bool, messages: u64) -> RunReport {
-    let workload = ChatWorkload { seed: 7, ..ChatWorkload::paper(devices, adaptive) };
+    let workload = ChatWorkload {
+        seed: 7,
+        ..ChatWorkload::paper(devices, adaptive)
+    };
     Runner::new().run(&workload.scaled(messages).to_scenario())
 }
 
@@ -16,7 +19,10 @@ fn main() {
     let devices = 6;
     let messages = 1_000;
 
-    println!("== adaptive run ({devices} devices: 1 fixed PC + {} PDAs) ==", devices - 1);
+    println!(
+        "== adaptive run ({devices} devices: 1 fixed PC + {} PDAs) ==",
+        devices - 1
+    );
     let adaptive = run(devices, true, messages);
     println!("{}", adaptive.to_table());
     for notice in adaptive.reconfiguration_notices() {

@@ -44,7 +44,10 @@ fn main() {
         let fec = run(StackKind::ErrorMasking { k: 4 }, loss, messages);
 
         let ratio = |report: &RunReport| {
-            format!("{:>10.1}%", 100.0 * report.total_app_deliveries() as f64 / expected as f64)
+            format!(
+                "{:>10.1}%",
+                100.0 * report.total_app_deliveries() as f64 / expected as f64
+            )
         };
         let sender = |report: &RunReport| report.node(NodeId(0)).unwrap().sent_total();
 

@@ -15,7 +15,10 @@ fn main() {
         .unwrap_or(4_000);
 
     println!("Figure 3 — messages sent by the mobile node (workload: {messages} chat messages)");
-    println!("{:>8}  {:>16}  {:>16}  {:>8}", "devices", "not optimized", "optimized", "ratio");
+    println!(
+        "{:>8}  {:>16}  {:>16}  {:>8}",
+        "devices", "not optimized", "optimized", "ratio"
+    );
 
     for devices in 2..=9usize {
         let baseline = Runner::new()

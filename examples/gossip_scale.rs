@@ -44,7 +44,10 @@ fn main() {
         let expected = messages * (devices as u64 - 1);
 
         let coverage = |report: &RunReport| {
-            format!("{:>11.1}%", 100.0 * report.total_app_deliveries() as f64 / expected as f64)
+            format!(
+                "{:>11.1}%",
+                100.0 * report.total_app_deliveries() as f64 / expected as f64
+            )
         };
         println!(
             "{devices:>8}  {:>13} {}  {:>13} {}",

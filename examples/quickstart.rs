@@ -24,15 +24,22 @@ fn main() {
 
     let mut alice_platform = TestPlatform::new(NodeId(1));
     let mut bob_platform = TestPlatform::new(NodeId(2));
-    let alice_channel = alice_kernel.create_channel(&config, &mut alice_platform).unwrap();
-    bob_kernel.create_channel(&config, &mut bob_platform).unwrap();
+    let alice_channel = alice_kernel
+        .create_channel(&config, &mut alice_platform)
+        .unwrap();
+    bob_kernel
+        .create_channel(&config, &mut bob_platform)
+        .unwrap();
 
     // Alice sends one chat message to the group.
     let mut alice = ChatApp::new(NodeId(1), "alice", "icdcs");
     let payload = alice.compose("hello from the fixed network!");
     alice_kernel.dispatch_and_process(
         alice_channel,
-        Event::down(DataEvent::to_group(NodeId(1), Message::with_payload(payload))),
+        Event::down(DataEvent::to_group(
+            NodeId(1),
+            Message::with_payload(payload),
+        )),
         &mut alice_platform,
     );
 

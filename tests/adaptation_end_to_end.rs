@@ -51,10 +51,19 @@ fn adapted_mobile_load_stays_flat_as_the_group_grows() {
     // A handful of messages may be sent before the reconfiguration settles,
     // so allow a small slack above the ideal `MESSAGES` count — but the count
     // must not scale with the group size.
-    assert!(sent_three <= MESSAGES + MESSAGES / 2, "3 devices: sent {sent_three}");
-    assert!(sent_nine <= MESSAGES + MESSAGES / 2, "9 devices: sent {sent_nine}");
+    assert!(
+        sent_three <= MESSAGES + MESSAGES / 2,
+        "3 devices: sent {sent_three}"
+    );
+    assert!(
+        sent_nine <= MESSAGES + MESSAGES / 2,
+        "9 devices: sent {sent_nine}"
+    );
     let growth = sent_nine as f64 / sent_three as f64;
-    assert!(growth < 1.5, "adapted load grew by {growth}x between 3 and 9 devices");
+    assert!(
+        growth < 1.5,
+        "adapted load grew by {growth}x between 3 and 9 devices"
+    );
 }
 
 #[test]
@@ -77,16 +86,24 @@ fn the_crossover_factor_matches_the_papers_order_of_magnitude() {
     let baseline = run(9, false).node(NodeId(1)).unwrap().sent_total();
     let optimized = run(9, true).node(NodeId(1)).unwrap().sent_total();
     let ratio = baseline as f64 / optimized as f64;
-    assert!(ratio > 3.0, "expected a large reduction, measured {ratio:.2}x");
+    assert!(
+        ratio > 3.0,
+        "expected a large reduction, measured {ratio:.2}x"
+    );
 }
 
 #[test]
 fn every_adaptive_run_reports_the_reconfiguration_to_the_coordinator() {
     let report = run(5, true);
-    assert!(report.total_reconfigurations() >= 5, "every node redeploys its data stack");
+    assert!(
+        report.total_reconfigurations() >= 5,
+        "every node redeploys its data stack"
+    );
     let notices = report.reconfiguration_notices();
     assert!(
-        notices.iter().any(|text| text.contains("completed across 5 nodes")),
+        notices
+            .iter()
+            .any(|text| text.contains("completed across 5 nodes")),
         "coordinator reports completion: {notices:?}"
     );
     assert_eq!(report.total_errors(), 0);
@@ -96,6 +113,9 @@ fn every_adaptive_run_reports_the_reconfiguration_to_the_coordinator() {
 fn runs_are_deterministic_for_a_fixed_seed() {
     let first = run(4, true);
     let second = run(4, true);
-    assert_eq!(first.node(NodeId(1)).unwrap().sent_total(), second.node(NodeId(1)).unwrap().sent_total());
+    assert_eq!(
+        first.node(NodeId(1)).unwrap().sent_total(),
+        second.node(NodeId(1)).unwrap().sent_total()
+    );
     assert_eq!(first.total_app_deliveries(), second.total_app_deliveries());
 }

@@ -38,7 +38,10 @@ fn a_crashed_member_is_removed_from_the_view() {
     let crashed = report.node(NodeId(3)).unwrap();
     let survivor = report.node(NodeId(2)).unwrap();
     assert!(crashed.app_deliveries < survivor.app_deliveries);
-    assert!(survivor.app_deliveries >= 250, "survivors keep receiving chat traffic");
+    assert!(
+        survivor.app_deliveries >= 250,
+        "survivors keep receiving chat traffic"
+    );
 }
 
 #[test]
@@ -62,6 +65,9 @@ fn a_crashed_coordinator_is_replaced() {
     // crashes, the next-lowest node takes over the view change.
     let report = Runner::new().run(&failure_scenario(4, NodeId(0), 5_000));
     let survivor = report.node(NodeId(2)).unwrap();
-    assert!(survivor.view_changes >= 2, "survivors install a view without the old coordinator");
+    assert!(
+        survivor.view_changes >= 2,
+        "survivors install a view without the old coordinator"
+    );
     assert!(survivor.app_deliveries > 0);
 }

@@ -1,108 +1,231 @@
 //! Property-based tests over the framework's core data structures: the wire
 //! format, message header stacks, group views, the declarative configuration
 //! language and the chat message format.
+//!
+//! The workspace builds offline, so instead of proptest these properties are
+//! driven by a small deterministic case generator: every property is checked
+//! against 128 pseudo-random inputs derived from a fixed seed, which keeps
+//! failures exactly reproducible.
 
-use morpheus::appia::wire::Wire;
 use morpheus::appia::config::{ChannelConfig, LayerSpec};
-use morpheus::groupcomm::headers::{CausalHeader, GossipHeader, McastHeader, McastMode, NackHeader, SeqHeader};
+use morpheus::appia::wire::Wire;
+use morpheus::groupcomm::headers::{
+    CausalHeader, GossipHeader, McastHeader, McastMode, NackHeader, SeqHeader,
+};
 use morpheus::prelude::*;
-use proptest::prelude::*;
 
-fn node_ids() -> impl Strategy<Value = Vec<NodeId>> {
-    proptest::collection::vec(0u32..64, 0..16).prop_map(|ids| ids.into_iter().map(NodeId).collect())
+const CASES: u64 = 128;
+
+/// Deterministic input generator: string/collection helpers layered over
+/// the simulator's seeded [`morpheus::netsim::SimRng`].
+struct Gen {
+    rng: morpheus::netsim::SimRng,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: morpheus::netsim::SimRng::new(seed),
+        }
+    }
 
-    #[test]
-    fn message_header_stack_is_lifo_for_any_contents(
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        headers in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8),
-    ) {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.random_u64()
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.rng.random_below(bound)
+    }
+
+    fn f64_unit(&mut self) -> f64 {
+        self.rng.random_f64()
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn byte_vec(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len) as usize;
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn u64_vec(&mut self, max_len: u64) -> Vec<u64> {
+        let len = self.below(max_len) as usize;
+        (0..len).map(|_| self.next_u64()).collect()
+    }
+
+    /// A string of `1..=max_len` characters drawn from an alphabet.
+    fn string_from(&mut self, alphabet: &[char], max_len: u64) -> String {
+        let len = 1 + self.below(max_len) as usize;
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+
+    fn lowercase(&mut self, max_len: u64) -> String {
+        const ALPHA: &[char] = &[
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+            'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+        ];
+        self.string_from(ALPHA, max_len)
+    }
+
+    /// Printable ASCII including XML-significant characters, to exercise
+    /// escaping in the configuration language.
+    fn printable_ascii(&mut self, max_len: u64) -> String {
+        let len = self.below(max_len + 1) as usize;
+        (0..len)
+            .map(|_| char::from(b' ' + self.below(95) as u8))
+            .collect()
+    }
+
+    /// Arbitrary non-control text, including multi-byte characters.
+    fn text(&mut self, max_len: u64) -> String {
+        const POOL: &[char] = &[
+            'a', 'Z', '0', ' ', 'é', 'ß', '中', '🙂', '"', '<', '&', '\'', '>', 'λ', 'ø',
+        ];
+        let len = self.below(max_len + 1) as usize;
+        (0..len)
+            .map(|_| POOL[self.below(POOL.len() as u64) as usize])
+            .collect()
+    }
+
+    fn node_ids(&mut self) -> Vec<NodeId> {
+        let len = self.below(16) as usize;
+        (0..len).map(|_| NodeId(self.below(64) as u32)).collect()
+    }
+}
+
+#[test]
+fn message_header_stack_is_lifo_for_any_contents() {
+    let mut gen = Gen::new(0xA11CE);
+    for _ in 0..CASES {
+        let payload = gen.byte_vec(256);
+        let headers: Vec<Vec<u8>> = (0..gen.below(8)).map(|_| gen.byte_vec(64)).collect();
+
         let mut message = Message::with_payload(payload.clone());
         for header in &headers {
             message.push_header(header.clone());
         }
-        prop_assert_eq!(message.header_count(), headers.len());
+        assert_eq!(message.header_count(), headers.len());
 
         // Wire roundtrip preserves everything.
         let decoded = Message::from_bytes(&message.to_bytes()).unwrap();
-        prop_assert_eq!(&decoded, &message);
+        assert_eq!(&decoded, &message);
 
         // Popping returns the headers in reverse push order.
         let mut decoded = decoded;
         for header in headers.iter().rev() {
             let popped = decoded.pop_header().unwrap();
-            prop_assert_eq!(popped.as_ref(), header.as_slice());
+            assert_eq!(popped.as_ref(), header.as_slice());
         }
-        prop_assert!(decoded.pop_header().is_none());
-        prop_assert_eq!(decoded.payload().as_ref(), payload.as_slice());
+        assert!(decoded.pop_header().is_none());
+        assert_eq!(decoded.payload().as_ref(), payload.as_slice());
     }
+}
 
-    #[test]
-    fn views_are_always_sorted_deduplicated_and_coordinated_by_the_minimum(
-        id in 0u64..1000,
-        members in node_ids(),
-    ) {
+#[test]
+fn views_are_always_sorted_deduplicated_and_coordinated_by_the_minimum() {
+    let mut gen = Gen::new(0xB0B);
+    for _ in 0..CASES {
+        let id = gen.below(1000);
+        let members = gen.node_ids();
+
         let view = View::new(id, members.clone());
         let mut sorted = members.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(view.members.clone(), sorted.clone());
-        prop_assert_eq!(view.coordinator(), sorted.first().copied());
+        assert_eq!(view.members, sorted);
+        assert_eq!(view.coordinator(), sorted.first().copied());
         for member in &sorted {
-            prop_assert!(view.contains(*member));
-            prop_assert_eq!(view.rank_of(*member).map(|rank| view.members[rank]), Some(*member));
+            assert!(view.contains(*member));
+            assert_eq!(
+                view.rank_of(*member).map(|rank| view.members[rank]),
+                Some(*member)
+            );
         }
         // Wire roundtrip.
         let decoded = View::from_bytes(&view.to_bytes()).unwrap();
-        prop_assert_eq!(decoded, view.clone());
+        assert_eq!(decoded, view);
         // Removing a member always yields a view that no longer contains it.
         if let Some(first) = sorted.first() {
             let without = view.without(*first);
-            prop_assert!(!without.contains(*first));
-            prop_assert_eq!(without.id, view.id + 1);
+            assert!(!without.contains(*first));
+            assert_eq!(without.id, view.id + 1);
         }
     }
+}
 
-    #[test]
-    fn protocol_headers_roundtrip_for_any_field_values(
-        seq in any::<u64>(),
-        origin in 0u32..1024,
-        missing in proptest::collection::vec(any::<u64>(), 0..32),
-        clock in proptest::collection::vec(any::<u64>(), 0..16),
-        rank in any::<u32>(),
-        ttl in any::<u32>(),
-        relay in any::<bool>(),
-    ) {
+#[test]
+fn protocol_headers_roundtrip_for_any_field_values() {
+    let mut gen = Gen::new(0xCAFE);
+    for _ in 0..CASES {
+        let seq = gen.next_u64();
+        let origin = gen.below(1024) as u32;
+        let missing = gen.u64_vec(32);
+        let clock = gen.u64_vec(16);
+        let rank = gen.next_u64() as u32;
+        let ttl = gen.next_u64() as u32;
+        let relay = gen.bool();
+
         let seq_header = SeqHeader { seq };
-        prop_assert_eq!(SeqHeader::from_bytes(&seq_header.to_bytes()).unwrap(), seq_header);
+        assert_eq!(
+            SeqHeader::from_bytes(&seq_header.to_bytes()).unwrap(),
+            seq_header
+        );
 
         let mcast = McastHeader {
-            mode: if relay { McastMode::RelayRequest } else { McastMode::Direct },
+            mode: if relay {
+                McastMode::RelayRequest
+            } else {
+                McastMode::Direct
+            },
             origin: NodeId(origin),
         };
-        prop_assert_eq!(McastHeader::from_bytes(&mcast.to_bytes()).unwrap(), mcast);
+        assert_eq!(McastHeader::from_bytes(&mcast.to_bytes()).unwrap(), mcast);
 
-        let nack = NackHeader { origin: NodeId(origin), missing: missing.clone() };
-        prop_assert_eq!(NackHeader::from_bytes(&nack.to_bytes()).unwrap(), nack);
+        let nack = NackHeader {
+            origin: NodeId(origin),
+            missing: missing.clone(),
+        };
+        assert_eq!(NackHeader::from_bytes(&nack.to_bytes()).unwrap(), nack);
 
-        let causal = CausalHeader { sender_rank: rank, clock: clock.clone() };
-        prop_assert_eq!(CausalHeader::from_bytes(&causal.to_bytes()).unwrap(), causal);
+        let causal = CausalHeader {
+            sender_rank: rank,
+            clock: clock.clone(),
+        };
+        assert_eq!(
+            CausalHeader::from_bytes(&causal.to_bytes()).unwrap(),
+            causal
+        );
 
-        let gossip = GossipHeader { origin: NodeId(origin), seq, ttl };
-        prop_assert_eq!(GossipHeader::from_bytes(&gossip.to_bytes()).unwrap(), gossip);
+        let gossip = GossipHeader {
+            origin: NodeId(origin),
+            seq,
+            ttl,
+        };
+        assert_eq!(
+            GossipHeader::from_bytes(&gossip.to_bytes()).unwrap(),
+            gossip
+        );
     }
+}
 
-    #[test]
-    fn channel_descriptions_roundtrip_for_any_parameter_strings(
-        channel_name in "[a-z][a-z0-9-]{0,12}",
-        layer_count in 1usize..6,
-        key in "[a-z][a-z0-9_]{0,8}",
-        value in "[ -~]{0,24}",   // printable ASCII, exercises escaping
-        share in proptest::option::of("[a-z]{1,8}"),
-    ) {
+#[test]
+fn channel_descriptions_roundtrip_for_any_parameter_strings() {
+    let mut gen = Gen::new(0xD00D);
+    for _ in 0..CASES {
+        let channel_name = gen.lowercase(12);
+        let layer_count = 1 + gen.below(5) as usize;
+        let key = gen.lowercase(8);
+        let value = gen.printable_ascii(24); // exercises XML escaping
+        let share = if gen.bool() {
+            Some(gen.lowercase(8))
+        } else {
+            None
+        };
+
         let mut config = ChannelConfig::new(channel_name);
         for index in 0..layer_count {
             let mut spec = LayerSpec::new(format!("layer{index}")).with_param(&key, &value);
@@ -115,28 +238,34 @@ proptest! {
         }
         let text = config.to_xml();
         let parsed = ChannelConfig::from_xml(&text).unwrap();
-        prop_assert_eq!(parsed, config);
+        assert_eq!(parsed, config);
     }
+}
 
-    #[test]
-    fn chat_messages_roundtrip_for_any_text(
-        room in "[a-z]{1,12}",
-        sender in "[a-zA-Z0-9 ]{1,16}",
-        seq in any::<u64>(),
-        text in "\\PC{0,200}",
-    ) {
+#[test]
+fn chat_messages_roundtrip_for_any_text() {
+    let mut gen = Gen::new(0xFEED);
+    for _ in 0..CASES {
+        let room = gen.lowercase(12);
+        let sender = gen.lowercase(16);
+        let seq = gen.next_u64();
+        let text = gen.text(200);
+
         let message = ChatMessage::new(room, sender, seq, text);
         let decoded = ChatMessage::from_payload(&message.to_payload()).unwrap();
-        prop_assert_eq!(decoded, message);
+        assert_eq!(decoded, message);
     }
+}
 
-    #[test]
-    fn context_snapshots_roundtrip_and_preserve_classification(
-        node in 0u32..128,
-        battery in 0.0f64..=1.0,
-        error_rate in 0.0f64..=1.0,
-        mobile in any::<bool>(),
-    ) {
+#[test]
+fn context_snapshots_roundtrip_and_preserve_classification() {
+    let mut gen = Gen::new(0xBEEF);
+    for _ in 0..CASES {
+        let node = gen.below(128) as u32;
+        let battery = gen.f64_unit();
+        let error_rate = gen.f64_unit();
+        let mobile = gen.bool();
+
         let mut profile = if mobile {
             NodeProfile::mobile_pda(NodeId(node))
         } else {
@@ -146,19 +275,19 @@ proptest! {
         profile.error_rate = error_rate;
         let snapshot = ContextSnapshot::from_profile(&profile, 123);
         let decoded = ContextSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
-        prop_assert_eq!(decoded.clone(), snapshot);
-        prop_assert_eq!(decoded.is_mobile(), Some(mobile));
-        prop_assert!((decoded.battery_level().unwrap() - battery).abs() < 1e-12);
+        assert_eq!(decoded, snapshot);
+        assert_eq!(decoded.is_mobile(), Some(mobile));
+        assert!((decoded.battery_level().unwrap() - battery).abs() < 1e-12);
     }
 }
 
 #[test]
 fn fifo_delivery_order_matches_send_order_under_arbitrary_arrival_order() {
+    use morpheus::appia::event::Dest;
     use morpheus::appia::events::DataEvent;
     use morpheus::appia::layer::LayerParams;
-    use morpheus::appia::testing::Harness;
-    use morpheus::appia::event::Dest;
     use morpheus::appia::platform::TestPlatform;
+    use morpheus::appia::testing::Harness;
     use morpheus::groupcomm::fifo::FifoLayer;
 
     // A deterministic shuffle of sequence numbers 1..=20 delivered to the
@@ -180,7 +309,11 @@ fn fifo_delivery_order_matches_send_order_under_arbitrary_arrival_order() {
         let mut message = Message::with_payload(seq.to_be_bytes().to_vec());
         message.push(&SeqHeader { seq });
         let events = harness.run_up(
-            morpheus::appia::event::Event::up(DataEvent::new(NodeId(1), Dest::Node(NodeId(9)), message)),
+            morpheus::appia::event::Event::up(DataEvent::new(
+                NodeId(1),
+                Dest::Node(NodeId(9)),
+                message,
+            )),
             &mut platform,
         );
         for event in events {

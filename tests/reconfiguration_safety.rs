@@ -22,7 +22,10 @@ fn no_chat_message_is_lost_across_the_adaptation() {
     let messages = 200;
     let report = Runner::new().run(&adaptive_scenario(devices, messages));
 
-    assert!(report.total_reconfigurations() >= devices as u64, "all nodes redeployed");
+    assert!(
+        report.total_reconfigurations() >= devices as u64,
+        "all nodes redeployed"
+    );
     assert_eq!(report.messages_lost, 0, "loss-free links lose nothing");
     // Every message reaches every other participant exactly once.
     let expected = messages * (devices as u64 - 1);
@@ -38,7 +41,10 @@ fn the_baseline_without_adaptation_delivers_the_same_volume() {
     scenario.adaptive = false;
     let report = Runner::new().run(&scenario);
     assert_eq!(report.total_reconfigurations(), 0);
-    assert_eq!(report.total_app_deliveries(), messages * (devices as u64 - 1));
+    assert_eq!(
+        report.total_app_deliveries(),
+        messages * (devices as u64 - 1)
+    );
 }
 
 #[test]

@@ -35,19 +35,29 @@ fn hybrid_configuration_matches_figure_2b() {
     // and mobile (wireless mode) devices because the mode is resolved from
     // the local device class at run time.
     assert!(config.has_layer("mecho"));
-    let mecho = config.layers.iter().find(|layer| layer.layer == "mecho").unwrap();
+    let mecho = config
+        .layers
+        .iter()
+        .find(|layer| layer.layer == "mecho")
+        .unwrap();
     assert_eq!(mecho.params.get("mode").map(String::as_str), Some("auto"));
     assert_eq!(mecho.params.get("relay").map(String::as_str), Some("0"));
     let positions: Vec<&str> = config.layer_names();
     let mecho_pos = positions.iter().position(|name| *name == "mecho").unwrap();
     let vsync_pos = positions.iter().position(|name| *name == "vsync").unwrap();
-    assert!(mecho_pos < vsync_pos, "Mecho sits below the group communication layers");
+    assert!(
+        mecho_pos < vsync_pos,
+        "Mecho sits below the group communication layers"
+    );
 }
 
 #[test]
 fn both_configurations_roundtrip_through_the_description_language() {
     let catalog = StackCatalog::new("data", members(4));
-    for kind in [StackKind::BestEffort, StackKind::HybridMecho { relay: NodeId(0) }] {
+    for kind in [
+        StackKind::BestEffort,
+        StackKind::HybridMecho { relay: NodeId(0) },
+    ] {
         let config = catalog.config_for(&kind);
         let text = config.to_xml();
         let parsed = ChannelConfig::from_xml(&text).expect("generated descriptions parse");
@@ -58,7 +68,10 @@ fn both_configurations_roundtrip_through_the_description_language() {
 #[test]
 fn both_configurations_instantiate_on_a_kernel() {
     let catalog = StackCatalog::new("data", members(4));
-    for kind in [StackKind::BestEffort, StackKind::HybridMecho { relay: NodeId(0) }] {
+    for kind in [
+        StackKind::BestEffort,
+        StackKind::HybridMecho { relay: NodeId(0) },
+    ] {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         let mut platform = TestPlatform::new(NodeId(1));
@@ -66,7 +79,10 @@ fn both_configurations_instantiate_on_a_kernel() {
         let id = kernel
             .create_channel(&config, &mut platform)
             .unwrap_or_else(|err| panic!("{} failed to instantiate: {err}", kind.name()));
-        assert_eq!(kernel.channel(id).unwrap().layer_names(), config.layer_names());
+        assert_eq!(
+            kernel.channel(id).unwrap().layer_names(),
+            config.layer_names()
+        );
     }
 }
 
@@ -76,7 +92,9 @@ fn a_node_can_be_reconfigured_from_one_figure_2_stack_to_the_other() {
     let mut node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
     assert!(node.data_stack_layers().contains(&"beb".to_string()));
 
-    let hybrid = node.catalog().config_for(&StackKind::HybridMecho { relay: NodeId(0) });
+    let hybrid = node
+        .catalog()
+        .config_for(&StackKind::HybridMecho { relay: NodeId(0) });
     node.apply_reconfiguration(
         morpheus::appia::platform::ReconfigRequest {
             channel: "data".into(),

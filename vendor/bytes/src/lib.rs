@@ -1,0 +1,661 @@
+//! A vendored, dependency-free subset of the `bytes` crate.
+//!
+//! The workspace builds in fully offline environments, so instead of the
+//! crates.io `bytes` crate this shim provides the same API surface the
+//! kernel relies on, with the same semantics that matter for the hot path:
+//!
+//! * [`Bytes`] is a cheaply cloneable, reference-counted view into an
+//!   immutable buffer (cloning bumps a refcount, never copies).
+//! * [`BytesMut`] is an append-only writer over an exclusively owned region
+//!   of a refcounted allocation. [`BytesMut::split`] freezes the written
+//!   prefix into a `Bytes` without copying, and [`BytesMut::reserve`]
+//!   *reclaims* the allocation once every frozen view has been dropped —
+//!   the mechanism the kernel's packet-buffer pool uses to serialise an
+//!   unbounded packet stream with zero steady-state allocations.
+//!
+//! The kernel is single-threaded, so the shim uses `Rc` rather than atomic
+//! refcounts; none of the types are `Send`/`Sync`, which the workspace
+//! never requires.
+
+use std::borrow::Borrow;
+use std::cell::Cell;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// The backing allocation shared between a writer and its frozen views.
+///
+/// Raw parts of a `Vec<u8>`: keeping the allocation behind a raw pointer
+/// (instead of `Rc<Vec<u8>>`) lets a `BytesMut` append into the unwritten
+/// tail while `Bytes` views read the frozen prefix — the two regions are
+/// always disjoint, so the aliasing is sound.
+struct Shared {
+    ptr: *mut u8,
+    cap: usize,
+    /// High-water mark of initialised bytes, so reclaimed buffers never
+    /// expose uninitialised memory even through stale views.
+    init: Cell<usize>,
+}
+
+impl Shared {
+    fn with_capacity(cap: usize) -> Rc<Self> {
+        let mut vec = Vec::<u8>::with_capacity(cap);
+        let ptr = vec.as_mut_ptr();
+        let cap = vec.capacity();
+        std::mem::forget(vec);
+        Rc::new(Shared {
+            ptr,
+            cap,
+            init: Cell::new(0),
+        })
+    }
+
+    /// # Safety
+    /// The caller must guarantee `[start, start + len)` lies within the
+    /// initialised prefix and that no mutable access to that region exists.
+    unsafe fn slice(&self, start: usize, len: usize) -> &[u8] {
+        debug_assert!(start + len <= self.init.get());
+        std::slice::from_raw_parts(self.ptr.add(start), len)
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Reconstruct the Vec so the allocation is freed with the layout it
+        // was created with. Length 0: contents need no drop for u8.
+        unsafe {
+            drop(Vec::from_raw_parts(self.ptr, 0, self.cap));
+        }
+    }
+}
+
+enum Repr {
+    Static(&'static [u8]),
+    Shared {
+        shared: Rc<Shared>,
+        off: usize,
+        len: usize,
+    },
+}
+
+/// A cheaply cloneable, immutable, contiguous byte buffer.
+pub struct Bytes {
+    repr: Repr,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice without copying or allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies a slice into a freshly allocated buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Static(slice) => slice.len(),
+            Repr::Shared { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(slice) => slice,
+            Repr::Shared { shared, off, len } => unsafe { shared.slice(*off, *len) },
+        }
+    }
+
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a view of a sub-range, sharing the same allocation.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        match &self.repr {
+            Repr::Static(slice) => Bytes::from_static(&slice[start..end]),
+            Repr::Shared { shared, off, .. } => Bytes {
+                repr: Repr::Shared {
+                    shared: shared.clone(),
+                    off: off + start,
+                    len: end - start,
+                },
+            },
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Static(slice) => Bytes {
+                repr: Repr::Static(slice),
+            },
+            Repr::Shared { shared, off, len } => Bytes {
+                repr: Repr::Shared {
+                    shared: shared.clone(),
+                    off: *off,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.as_slice() {
+            for escaped in std::ascii::escape_default(byte) {
+                write!(f, "{}", escaped as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(mut vec: Vec<u8>) -> Self {
+        let len = vec.len();
+        let ptr = vec.as_mut_ptr();
+        let cap = vec.capacity();
+        std::mem::forget(vec);
+        let shared = Rc::new(Shared {
+            ptr,
+            cap,
+            init: Cell::new(len),
+        });
+        Bytes {
+            repr: Repr::Shared {
+                shared,
+                off: 0,
+                len,
+            },
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(slice: &'static [u8]) -> Self {
+        Bytes::from_static(slice)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(text: &'static str) -> Self {
+        Bytes::from_static(text.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(text: String) -> Self {
+        Bytes::from(text.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(boxed: Box<[u8]>) -> Self {
+        Bytes::from(boxed.into_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A unique, growable byte buffer that can cheaply freeze written data into
+/// [`Bytes`] views and later reclaim the allocation once those views drop.
+pub struct BytesMut {
+    shared: Option<Rc<Shared>>,
+    /// Start of this writer's exclusive region inside the allocation.
+    off: usize,
+    /// Bytes written (and not yet split off) in the exclusive region.
+    len: usize,
+}
+
+const MIN_ALLOC: usize = 64;
+
+/// Allocation size used when the previous allocation is abandoned while
+/// still pinned by live frames. Large enough that packet-rate workloads
+/// allocate rarely, small enough that a consumer retaining W bytes of
+/// frames keeps at most ~W + PINNED_CHUNK bytes of generations alive.
+const PINNED_CHUNK: usize = 64 * 1024;
+
+impl BytesMut {
+    /// Creates an empty buffer without allocating.
+    pub const fn new() -> Self {
+        BytesMut {
+            shared: None,
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates a buffer with at least the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity == 0 {
+            return BytesMut::new();
+        }
+        BytesMut {
+            shared: Some(Shared::with_capacity(capacity)),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of bytes written and not yet split off.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bytes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writable capacity of this writer's region (including written bytes).
+    pub fn capacity(&self) -> usize {
+        self.shared
+            .as_ref()
+            .map_or(0, |shared| shared.cap - self.off)
+    }
+
+    /// Discards written bytes without releasing the region.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The written bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.shared {
+            None => &[],
+            Some(shared) => unsafe { shared.slice(self.off, self.len) },
+        }
+    }
+
+    /// Ensures space for `additional` more bytes.
+    ///
+    /// When the current allocation is exhausted this first tries to
+    /// *reclaim* it: if every frozen view has been dropped (this writer
+    /// holds the only reference) the region is rewound to the start of the
+    /// allocation and reused without touching the allocator. Only when the
+    /// allocation is still shared, or genuinely too small, is a new one
+    /// made. This is what makes a pooled writer allocation-free in steady
+    /// state.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.len + additional;
+        let mut abandoning_pinned = false;
+        if let Some(shared) = &self.shared {
+            let remaining = shared.cap - self.off;
+            if needed <= remaining {
+                return;
+            }
+            if Rc::strong_count(shared) == 1 {
+                // No frames alive: reclaim the whole allocation in place.
+                if needed <= shared.cap {
+                    unsafe {
+                        std::ptr::copy(shared.ptr.add(self.off), shared.ptr, self.len);
+                    }
+                    self.off = 0;
+                    return;
+                }
+                // Unique but genuinely too small: amortised doubling below.
+            } else {
+                // Still pinned by live frames: the allocation will be freed
+                // when those frames drop, so the replacement must NOT
+                // inherit (let alone double) its capacity — consumers that
+                // retain a window of recent frames would pin every
+                // generation at exhaustion and capacity would escalate
+                // without bound. A fixed chunk size keeps live memory
+                // proportional to the bytes actually retained.
+                abandoning_pinned = true;
+            }
+        }
+        // Grow into a fresh allocation, carrying pending bytes over.
+        let new_cap = if abandoning_pinned {
+            needed.max(PINNED_CHUNK)
+        } else {
+            let old_cap = self.shared.as_ref().map_or(0, |shared| shared.cap);
+            needed.max(old_cap * 2).max(MIN_ALLOC)
+        };
+        let fresh = Shared::with_capacity(new_cap);
+        if self.len > 0 {
+            let old = self.shared.as_ref().expect("len > 0 implies an allocation");
+            unsafe {
+                std::ptr::copy_nonoverlapping(old.ptr.add(self.off), fresh.ptr, self.len);
+            }
+        }
+        fresh.init.set(self.len);
+        self.shared = Some(fresh);
+        self.off = 0;
+    }
+
+    /// Appends a slice, growing if needed.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.reserve(data.len());
+        let shared = self.shared.as_ref().expect("reserve allocates");
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                shared.ptr.add(self.off + self.len),
+                data.len(),
+            );
+        }
+        self.len += data.len();
+        let end = self.off + self.len;
+        if end > shared.init.get() {
+            shared.init.set(end);
+        }
+    }
+
+    /// Splits off everything written so far as a new `BytesMut`, leaving
+    /// this writer positioned over the unwritten tail of the allocation.
+    pub fn split(&mut self) -> BytesMut {
+        let front = BytesMut {
+            shared: self.shared.clone(),
+            off: self.off,
+            len: self.len,
+        };
+        self.off += self.len;
+        self.len = 0;
+        front
+    }
+
+    /// Freezes the written bytes into an immutable, shareable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        match self.shared {
+            None => Bytes::new(),
+            Some(shared) => Bytes {
+                repr: Repr::Shared {
+                    shared,
+                    off: self.off,
+                    len: self.len,
+                },
+            },
+        }
+    }
+
+    /// Appends the contents of a slice (alias of [`BytesMut::put_slice`]).
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.put_slice(data);
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self.as_slice()), f)
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for BytesMut {}
+
+/// Big-endian append operations, mirroring the `bytes::BufMut` trait for the
+/// subset of methods the workspace uses.
+pub trait BufMut {
+    /// Appends a raw slice.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, value: i64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, value: f64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        BytesMut::put_slice(self, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_and_clone_share() {
+        let bytes = Bytes::from(vec![1, 2, 3, 4]);
+        let clone = bytes.clone();
+        assert_eq!(bytes, clone);
+        assert_eq!(bytes.as_ref(), &[1, 2, 3, 4]);
+        assert_eq!(bytes.slice(1..3).as_ref(), &[2, 3]);
+        assert_eq!(bytes.len(), 4);
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn static_bytes_do_not_allocate() {
+        let bytes = Bytes::from_static(b"hello");
+        assert_eq!(bytes.as_ref(), b"hello");
+        assert_eq!(bytes.slice(1..).as_ref(), b"ello");
+    }
+
+    #[test]
+    fn writer_split_freeze_preserves_content() {
+        let mut writer = BytesMut::with_capacity(16);
+        writer.put_u32(0xAABBCCDD);
+        writer.put_slice(b"xy");
+        let frozen = writer.split().freeze();
+        assert_eq!(frozen.as_ref(), &[0xAA, 0xBB, 0xCC, 0xDD, b'x', b'y']);
+        // Writer continues in the same allocation.
+        writer.put_u8(9);
+        let second = writer.split().freeze();
+        assert_eq!(second.as_ref(), &[9]);
+        assert_eq!(frozen.as_ref()[..4], [0xAA, 0xBB, 0xCC, 0xDD]);
+    }
+
+    #[test]
+    fn reserve_reclaims_once_views_drop() {
+        let mut writer = BytesMut::with_capacity(64);
+        let cap = writer.capacity();
+        let first_ptr = writer.shared.as_ref().unwrap().ptr;
+
+        // Fill the allocation completely and drop the frozen view.
+        writer.put_slice(&vec![1; cap]);
+        drop(writer.split().freeze());
+        // No views left: the exhausted allocation is reclaimed in place.
+        writer.reserve(cap);
+        assert_eq!(writer.shared.as_ref().unwrap().ptr, first_ptr);
+        assert_eq!(writer.off, 0);
+
+        // Fill it again but keep the view alive: reserve must reallocate.
+        writer.put_slice(&vec![2; cap]);
+        let frozen = writer.split().freeze();
+        writer.reserve(cap);
+        assert_ne!(writer.shared.as_ref().unwrap().ptr, first_ptr);
+        assert_eq!(frozen.as_ref(), vec![2; cap].as_slice());
+    }
+
+    #[test]
+    fn retained_frame_windows_do_not_escalate_capacity() {
+        // A consumer keeping a rolling window of recent frames pins the
+        // newest allocation at every exhaustion, so reclaim can never fire.
+        // The replacement allocation must stay at the fixed chunk size —
+        // capacity escalation here was a process-lifetime memory leak.
+        let mut writer = BytesMut::with_capacity(256);
+        let mut window: std::collections::VecDeque<Bytes> = std::collections::VecDeque::new();
+        for _ in 0..10_000 {
+            writer.reserve(64);
+            writer.put_slice(&[7; 64]);
+            window.push_back(writer.split().freeze());
+            if window.len() > 16 {
+                window.pop_front();
+            }
+        }
+        let cap = writer.shared.as_ref().unwrap().cap;
+        assert!(
+            cap <= PINNED_CHUNK,
+            "scratch capacity escalated to {cap} bytes"
+        );
+    }
+
+    #[test]
+    fn growth_carries_pending_bytes() {
+        let mut writer = BytesMut::new();
+        writer.put_slice(b"abc");
+        writer.reserve(1024);
+        writer.put_slice(b"def");
+        assert_eq!(writer.as_slice(), b"abcdef");
+        assert_eq!(writer.split().freeze().as_ref(), b"abcdef");
+    }
+
+    #[test]
+    fn equality_against_plain_slices() {
+        let bytes = Bytes::from(b"ping".to_vec());
+        assert_eq!(bytes, b"ping"[..]);
+        assert_eq!(bytes.to_vec(), b"ping".to_vec());
+    }
+}

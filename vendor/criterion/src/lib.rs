@@ -1,0 +1,311 @@
+//! A small, dependency-free micro-benchmark harness exposing the subset of
+//! the `criterion` API this workspace's benches use.
+//!
+//! The workspace builds in fully offline environments, so the real criterion
+//! crate is unavailable. This shim keeps the bench sources unchanged: it
+//! warms up each benchmark, runs timed samples, and reports the median,
+//! minimum and maximum per-iteration time on stderr. Statistical analysis,
+//! plotting and HTML reports are intentionally out of scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` on top of the standard hint.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark inside a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One timed sample: iterations executed and the wall time they took.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Number of routine iterations in the sample.
+    pub iters: u64,
+    /// Total wall time of the sample.
+    pub elapsed: Duration,
+}
+
+/// The timing engine handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Vec<Sample>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: a warm-up phase to size the per-sample
+    /// iteration count, then `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates how many iterations fit in one sample.
+        let warmup_started = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_started.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_secs_f64() / warmup_iters.max(1) as f64;
+        let samples = self.config.sample_size.max(1) as u64;
+        let time_per_sample = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((time_per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters: iters_per_sample,
+                elapsed: started.elapsed(),
+            });
+        }
+    }
+}
+
+/// Benchmark configuration (subset of criterion's builder).
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Estimate reported for one benchmark after its samples are collected.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+}
+
+fn estimate(samples: &[Sample]) -> Estimate {
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|sample| sample.elapsed.as_nanos() as f64 / sample.iters.max(1) as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = if per_iter.is_empty() {
+        0.0
+    } else {
+        per_iter[per_iter.len() / 2]
+    };
+    Estimate {
+        median_ns: median,
+        min_ns: per_iter.first().copied().unwrap_or(0.0),
+        max_ns: per_iter.last().copied().unwrap_or(0.0),
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager: owns configuration and runs groups.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// Sets the total measurement time budget per benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.config.warm_up_time = time;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&self.config, &id.to_string(), &mut routine);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(config: &Config, label: &str, routine: &mut F) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+    let est = estimate(&bencher.samples);
+    eprintln!(
+        "bench {label:<48} median {:>12}  (min {}, max {})",
+        format_time(est.median_ns),
+        format_time(est.min_ns),
+        format_time(est.max_ns),
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &self.criterion.config,
+            &label,
+            &mut |bencher: &mut Bencher<'_>| routine(bencher, input),
+        );
+        self
+    }
+
+    /// Benchmarks a routine with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &label, &mut routine);
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let config = Config {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(10),
+        };
+        let mut bencher = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        let mut counter = 0u64;
+        bencher.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(bencher.samples.len(), 3);
+        assert!(bencher.samples.iter().all(|sample| sample.iters >= 1));
+        let est = estimate(&bencher.samples);
+        assert!(est.median_ns >= 0.0);
+        assert!(est.min_ns <= est.max_ns);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("stack-depth", 12).to_string(),
+            "stack-depth/12"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline facade for the parts of `serde` this workspace names.
+//!
+//! Data-model types across the workspace carry `#[derive(Serialize,
+//! Deserialize)]` so they stay serde-shaped for downstream users, but no
+//! code path serialises through serde at run time. In this offline build the
+//! derives come from the vendored no-op `serde_derive` and these marker
+//! traits exist purely so `use serde::{Serialize, Deserialize}` resolves.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::de::Deserialize`.
+pub trait DeserializeMarker {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace builds offline, and nothing in it actually serialises
+//! through serde at run time — the derives on data-model types exist so the
+//! types remain serde-compatible for downstream users. These macros accept
+//! the derive (including `#[serde(...)]` attributes) and expand to nothing,
+//! which keeps every annotated type compiling without the real serde
+//! dependency.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
