@@ -315,6 +315,21 @@ pub enum DeliveryKind {
         /// Name of the stack configuration that is now installed.
         stack: String,
     },
+    /// A distributed reconfiguration round completed: every live member
+    /// acknowledged the deployment. Reported by the coordinator only.
+    ReconfigurationComplete {
+        /// Name of the stack configuration the group agreed on.
+        stack: String,
+        /// Epoch of the completed round.
+        epoch: u64,
+        /// Time between round initiation and the last acknowledgement, in
+        /// milliseconds.
+        latency_ms: u64,
+        /// Command retransmissions the round needed (0 on loss-free links).
+        retransmits: u64,
+        /// Number of members that acknowledged (live quorum size).
+        nodes: usize,
+    },
     /// A free-form notification (used by tests and diagnostics).
     Notification(String),
 }
@@ -344,6 +359,13 @@ pub struct ReconfigRequest {
     /// The declarative channel description, in the textual format produced by
     /// [`crate::config::ChannelConfig::to_xml`].
     pub description: String,
+    /// Reconfiguration epoch the deployment belongs to. The local module
+    /// stamps its acknowledgement with this epoch so the coordinator can
+    /// reject acknowledgements left over from earlier rounds.
+    pub epoch: u64,
+    /// The coordinator that initiated the round (where the acknowledgement
+    /// must be sent once the deployment succeeded).
+    pub coordinator: NodeId,
 }
 
 /// The kernel's window onto the outside world.

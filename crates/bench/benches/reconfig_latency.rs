@@ -1,6 +1,8 @@
 //! **Experiment E3** — reconfiguration behaviour: how long the distributed
 //! stack replacement takes (as reported by the coordinator) and that no chat
-//! message is lost across the adaptation on loss-free links.
+//! message is lost across the adaptation. The epoch-stamped protocol also
+//! tolerates lossy control channels and crashes; the quick-mode companion
+//! (`reconfig_latency_quick`) tracks those cases in CI.
 
 use std::time::Duration;
 

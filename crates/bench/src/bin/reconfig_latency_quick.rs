@@ -1,0 +1,152 @@
+//! Quick-mode reconfiguration-protocol measurement (Experiment E3+).
+//!
+//! Runs the adaptive chat scenario with the control channel degraded at
+//! 0%/10%/30% loss, plus a coordinator-crash-mid-round scenario, and emits
+//! machine-readable results to `BENCH_reconfig_latency.json` so the
+//! robustness trajectory of the epoch-stamped reconfiguration protocol can
+//! be tracked PR over PR. Per configuration it reports:
+//!
+//! * completed reconfiguration rounds and the epochs they ran under;
+//! * command retransmissions the rounds needed;
+//! * completion latency (initiation → last ack) as seen by the coordinator;
+//! * control-plane packets lost vs chat messages lost (must stay zero).
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin
+//! reconfig_latency_quick [output-path]`.
+
+use morpheus_testbed::{RunReport, Runner, Scenario};
+
+struct CaseResult {
+    name: String,
+    control_loss: f64,
+    rounds: usize,
+    retransmits: u64,
+    mean_latency_ms: f64,
+    max_latency_ms: u64,
+    control_lost: u64,
+    messages_lost: u64,
+    deliveries: u64,
+    converged_nodes: usize,
+    wall_ms: f64,
+}
+
+fn summarize(name: &str, control_loss: f64, report: &RunReport, wall_ms: f64) -> CaseResult {
+    let rounds = report.completed_rounds();
+    let latencies: Vec<u64> = rounds.iter().map(|round| round.latency_ms).collect();
+    let mean_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let converged_nodes = report
+        .nodes
+        .iter()
+        .filter(|node| node.final_stack.starts_with("hybrid-mecho"))
+        .count();
+    CaseResult {
+        name: name.to_string(),
+        control_loss,
+        rounds: rounds.len(),
+        retransmits: report.total_retransmits(),
+        mean_latency_ms,
+        max_latency_ms: latencies.iter().copied().max().unwrap_or(0),
+        control_lost: report.control_lost,
+        messages_lost: report.messages_lost,
+        deliveries: report.total_app_deliveries(),
+        converged_nodes,
+        wall_ms,
+    }
+}
+
+fn run_case(name: &str, control_loss: f64, scenario: &Scenario) -> CaseResult {
+    let started = std::time::Instant::now();
+    let report = Runner::new().run(scenario);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    summarize(name, control_loss, &report, wall_ms)
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_reconfig_latency.json".into());
+    let messages: u64 = std::env::var("BENCH_MESSAGES")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(200);
+
+    eprintln!("reconfig-latency quick mode: {messages} chat messages per case");
+    eprintln!(
+        "{:>28}  {:>6}  {:>7}  {:>8}  {:>11}  {:>10}  {:>9}  {:>9}",
+        "case", "loss", "rounds", "retrans", "latency(ms)", "ctrl-lost", "data-lost", "converged"
+    );
+
+    let mut results = Vec::new();
+    for loss in [0.0f64, 0.1, 0.3] {
+        // The same presets the reconfiguration-safety tests assert against.
+        let scenario = Scenario::lossy_control(5, messages, loss);
+        let name = format!("lossy-control-{}pct", (loss * 100.0).round() as u64);
+        results.push(run_case(&name, loss, &scenario));
+    }
+    results.push(run_case(
+        "coordinator-crash-20pct",
+        0.2,
+        &Scenario::coordinator_crash_mid_round(messages),
+    ));
+
+    for result in &results {
+        eprintln!(
+            "{:>28}  {:>6.2}  {:>7}  {:>8}  {:>11.1}  {:>10}  {:>9}  {:>9}",
+            result.name,
+            result.control_loss,
+            result.rounds,
+            result.retransmits,
+            result.mean_latency_ms,
+            result.control_lost,
+            result.messages_lost,
+            result.converged_nodes,
+        );
+        assert_eq!(
+            result.messages_lost, 0,
+            "the reconfiguration protocol must never lose chat messages ({})",
+            result.name
+        );
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"reconfig-latency\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  \"messages_per_case\": {messages},\n"));
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"control_loss\": {:.2}, \"rounds\": {}, \
+             \"retransmits\": {}, \"mean_latency_ms\": {:.1}, \"max_latency_ms\": {}, \
+             \"control_lost\": {}, \"messages_lost\": {}, \"app_deliveries\": {}, \
+             \"converged_nodes\": {}, \"wall_ms\": {:.1}}}{}\n",
+            result.name,
+            result.control_loss,
+            result.rounds,
+            result.retransmits,
+            result.mean_latency_ms,
+            result.max_latency_ms,
+            result.control_lost,
+            result.messages_lost,
+            result.deliveries,
+            result.converged_nodes,
+            result.wall_ms,
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+}

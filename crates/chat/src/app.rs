@@ -68,7 +68,7 @@ impl ChatApp {
                 self.reconfigurations_seen.push(stack.clone());
                 None
             }
-            DeliveryKind::Notification(_) => None,
+            DeliveryKind::ReconfigurationComplete { .. } | DeliveryKind::Notification(_) => None,
         }
     }
 

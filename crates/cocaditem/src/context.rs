@@ -250,6 +250,13 @@ impl Wire for ContextSnapshot {
         let node = NodeId::decode(r)?;
         let captured_at_ms = r.get_u64()?;
         let count = r.get_u32()? as usize;
+        // An adversarial length prefix cannot claim more entries than the
+        // remaining bytes could possibly hold (every entry is at least one
+        // key byte plus one value-tag byte): reject it up front instead of
+        // looping until the reader runs dry.
+        if count > r.remaining() / 2 {
+            return Err(WireError::Malformed("context entry count exceeds payload"));
+        }
         let mut values = BTreeMap::new();
         for _ in 0..count {
             let key = ContextKey::decode(r)?;
@@ -300,6 +307,58 @@ mod tests {
             Some(DeviceClass::FixedPc)
         );
         assert_eq!(ContextValue::Device(DeviceClass::FixedPc).as_number(), None);
+    }
+
+    #[test]
+    fn adversarial_entry_counts_are_rejected() {
+        // A snapshot whose count field claims u32::MAX entries over an
+        // almost-empty payload must fail fast instead of looping.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // node id
+        bytes.extend_from_slice(&42u64.to_be_bytes()); // captured_at_ms
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes()); // hostile count
+        bytes.extend_from_slice(&[0, 0]); // two stray bytes
+        assert!(ContextSnapshot::from_bytes(&bytes).is_err());
+
+        // A count that overstates the (non-empty) payload is also rejected.
+        let profile = NodeProfile::fixed_pc(NodeId(1));
+        let valid = ContextSnapshot::from_profile(&profile, 7).to_bytes();
+        let mut inflated = valid.to_vec();
+        // count sits after node id (4 bytes) + timestamp (8 bytes)
+        inflated[12..16].copy_from_slice(&10_000u32.to_be_bytes());
+        assert!(ContextSnapshot::from_bytes(&inflated).is_err());
+    }
+
+    #[test]
+    fn truncated_snapshots_fail_cleanly() {
+        let profile = NodeProfile::mobile_pda(NodeId(2));
+        let valid = ContextSnapshot::from_profile(&profile, 9).to_bytes();
+        for len in 0..valid.len() {
+            assert!(
+                ContextSnapshot::from_bytes(&valid[..len]).is_err(),
+                "truncation at {len} must not decode"
+            );
+        }
+        assert!(ContextSnapshot::from_bytes(&valid).is_ok());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder() {
+        // Fuzz-style: SplitMix64-driven byte soup must only ever produce
+        // Ok/Err, never a panic or a huge allocation.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for round in 0..500 {
+            let len = (round % 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = ContextSnapshot::from_bytes(&bytes);
+        }
     }
 
     #[test]

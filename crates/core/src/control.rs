@@ -1,17 +1,37 @@
 //! The Core control layer: coordinator-driven adaptation.
 //!
 //! The layer sits on the control channel, above the Cocaditem dissemination
-//! layer. Every node maintains the distributed context it learns from
-//! [`ContextUpdated`] events; the coordinator (lowest member id, exactly the
-//! deterministic election the paper describes) additionally evaluates the
-//! adaptation policy whenever the context changes. When the policy prefers a
-//! different stack configuration the coordinator:
+//! layer and a control-plane failure detector. Every node maintains the
+//! distributed context it learns from [`ContextUpdated`] events; the
+//! coordinator (lowest *live* member id, the deterministic election the paper
+//! describes) additionally evaluates the adaptation policy whenever the
+//! context changes. When the policy prefers a different stack configuration
+//! the coordinator:
 //!
-//! 1. ships the declarative channel description to every participant in a
-//!    [`ReconfigCommand`] control message (and asks its own local module to
-//!    deploy it);
-//! 2. collects [`ReconfigAck`]s and, once every member has redeployed,
-//!    reports the reconfiguration latency to the application.
+//! 1. opens a new **reconfiguration epoch** and ships the declarative channel
+//!    description to every participant in an epoch-stamped
+//!    [`ReconfigCommand`] (and asks its own local module to deploy it);
+//! 2. retransmits the command to members that have not acknowledged, every
+//!    `retransmit_interval_ms`, until the round either completes or hits
+//!    `round_timeout_ms` (at which point it is aborted and the policy may
+//!    re-fire with a fresh epoch);
+//! 3. collects epoch-stamped [`ReconfigAck`]s — sent by the local module only
+//!    *after* the deployment succeeded — and, once every live member has
+//!    redeployed, reports the reconfiguration latency to the application.
+//!
+//! Epochs are monotonic per group: members reject commands whose epoch is not
+//! newer than the last one they accepted (so reordered or replayed commands
+//! cannot roll the stack back), and the coordinator rejects acknowledgements
+//! whose epoch does not match the round in flight (so an ack replayed from a
+//! previous round to the same stack cannot complete a newer round early).
+//!
+//! Failures are tolerated through the control-channel failure detector: a
+//! [`Suspect`]ed member is excluded from the ack quorum (the round can finish
+//! without it), and a suspected *coordinator* triggers deterministic
+//! re-election — the next-lowest live id takes over and, because the policy
+//! is a pure function of the replicated context, resumes or re-initiates the
+//! in-flight adaptation under a fresh epoch. An [`Alive`] notification (a
+//! false suspicion healed) re-admits the member to the quorum.
 //!
 //! The actual deployment — blocking the data channel, replacing the stack,
 //! resuming the flow — is performed by the local module
@@ -22,7 +42,7 @@
 use std::collections::BTreeSet;
 
 use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
-use morpheus_appia::events::ChannelInit;
+use morpheus_appia::events::{ChannelInit, TimerExpired};
 use morpheus_appia::kernel::EventContext;
 use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
 use morpheus_appia::message::Message;
@@ -32,6 +52,7 @@ use morpheus_appia::session::Session;
 use morpheus_appia::Kernel;
 use morpheus_cocaditem::dissemination::ContextUpdated;
 use morpheus_cocaditem::ContextStore;
+use morpheus_groupcomm::events::{Alive, Suspect};
 
 use crate::policy::{AdaptationPolicy, GlobalContext};
 use crate::rules::DefaultPolicy;
@@ -40,15 +61,19 @@ use crate::stack_catalog::StackCatalog;
 /// Registered name of the Core control layer.
 pub const CORE_LAYER: &str = "core";
 
+/// Timer tag for the coordinator's retransmit/round-timeout timer.
+const ROUND_TAG: u32 = 1;
+
 sendable_event! {
     /// Coordinator → members: deploy the carried stack configuration
-    /// (message headers: stack name, then the channel description text).
+    /// (message headers, top-first: the channel description text, the stack
+    /// name, then the reconfiguration epoch).
     pub struct ReconfigCommand, class: Control
 }
 
 sendable_event! {
     /// Member → coordinator: the carried stack configuration is deployed
-    /// (message header: stack name).
+    /// (message headers, top-first: the stack name, then the epoch).
     pub struct ReconfigAck, class: Control
 }
 
@@ -69,6 +94,11 @@ pub fn register_core(kernel: &mut Kernel) {
 ///   (the paper's non-adapted baseline);
 /// * `initial_stack` — name of the stack deployed at start-up
 ///   (default `best-effort`);
+/// * `retransmit_interval_ms` — how often the coordinator retransmits an
+///   unacknowledged [`ReconfigCommand`] (default 500 ms);
+/// * `round_timeout_ms` — total time budget of one reconfiguration round
+///   before it is aborted and re-initiated under a fresh epoch
+///   (default 4000 ms);
 /// * plus the [`DefaultPolicy`] thresholds (`large_group_threshold`,
 ///   `fec_error_threshold`, `retransmit_error_threshold`, `fec_k`,
 ///   `gossip_fanout`, `gossip_ttl`).
@@ -85,6 +115,9 @@ impl Layer for CoreLayer {
             EventSpec::of::<ReconfigCommand>(),
             EventSpec::of::<ReconfigAck>(),
             EventSpec::of::<ChannelInit>(),
+            EventSpec::of::<TimerExpired>(),
+            EventSpec::of::<Suspect>(),
+            EventSpec::of::<Alive>(),
         ]
     }
 
@@ -112,18 +145,46 @@ impl Layer for CoreLayer {
                 .get("initial_stack")
                 .cloned()
                 .unwrap_or_else(|| "best-effort".to_string()),
+            epoch: 0,
             pending: None,
             acks: BTreeSet::new(),
+            suspected: BTreeSet::new(),
+            accepted: None,
+            installed: None,
+            confirmed: BTreeSet::new(),
+            round_timer: None,
+            retransmit_interval_ms: param_or(params, "retransmit_interval_ms", 500u64).max(10),
+            round_timeout_ms: param_or(params, "round_timeout_ms", 4000u64).max(100),
             reconfigurations_started: 0,
             reconfigurations_completed: 0,
+            reconfigurations_aborted: 0,
         })
     }
 }
 
 #[derive(Debug, Clone)]
 struct PendingReconfiguration {
+    epoch: u64,
     stack_name: String,
+    description: String,
     started_at_ms: u64,
+    retransmits: u64,
+}
+
+/// A stack configuration this node deployed (member side) or saw the group
+/// commit (coordinator side), kept so late joiners and healed members can be
+/// repaired onto it.
+#[derive(Debug, Clone)]
+struct InstalledStack {
+    epoch: u64,
+    stack_name: String,
+    description: String,
+}
+
+impl InstalledStack {
+    fn matches(&self, epoch: u64, stack_name: &str) -> bool {
+        self.epoch == epoch && self.stack_name == stack_name
+    }
 }
 
 /// Session state of the Core control layer.
@@ -135,16 +196,99 @@ pub struct CoreSession {
     policy: DefaultPolicy,
     catalog: StackCatalog,
     store: ContextStore,
+    /// The stack the group has agreed on. On the coordinator this is only
+    /// committed when a round *completes* (never optimistically), so an
+    /// aborted round leaves the policy free to re-fire.
     current_stack: String,
+    /// Highest reconfiguration epoch this node has initiated or accepted.
+    epoch: u64,
     pending: Option<PendingReconfiguration>,
     acks: BTreeSet<NodeId>,
+    suspected: BTreeSet<NodeId>,
+    /// The configuration accepted from the most recent command, kept until
+    /// the local module confirms the deployment (its ack passing back down
+    /// through this layer promotes it to [`CoreSession::installed`]).
+    accepted: Option<InstalledStack>,
+    /// The configuration this node last deployed (member) or saw the group
+    /// commit (coordinator). Duplicate commands for it are re-acked without
+    /// redeploying, and the coordinator repairs members that are known to
+    /// miss it (see [`CoreSession::repair_behind`]).
+    installed: Option<InstalledStack>,
+    /// Coordinator bookkeeping: members known to run [`CoreSession::installed`]
+    /// (they acknowledged its epoch). Live members outside this set are
+    /// re-sent the installed configuration whenever the policy is otherwise
+    /// satisfied — so a member whose command was lost while it was (even
+    /// falsely) suspected still converges after the quorum moved on.
+    confirmed: BTreeSet<NodeId>,
+    round_timer: Option<u64>,
+    retransmit_interval_ms: u64,
+    round_timeout_ms: u64,
     reconfigurations_started: u64,
     reconfigurations_completed: u64,
+    reconfigurations_aborted: u64,
 }
 
 impl CoreSession {
+    /// Members not currently suspected by the control-plane failure detector.
+    fn live_members(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|member| !self.suspected.contains(member))
+            .collect()
+    }
+
+    /// The current coordinator: the lowest live member id.
     fn coordinator(&self) -> Option<NodeId> {
-        self.members.iter().copied().min()
+        self.live_members().into_iter().min()
+    }
+
+    fn arm_round_timer(&mut self, ctx: &mut EventContext<'_>) {
+        self.round_timer = Some(ctx.set_timer(self.retransmit_interval_ms, ROUND_TAG));
+    }
+
+    fn cancel_round_timer(&mut self, ctx: &mut EventContext<'_>) {
+        if let Some(timer_id) = self.round_timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
+    }
+
+    /// Dispatches a [`ReconfigCommand`] carrying the given configuration —
+    /// the single place the command's wire layout (description, stack name,
+    /// epoch) is produced, shared by round initiation, retransmission and
+    /// repair.
+    fn dispatch_command(
+        epoch: u64,
+        stack_name: &String,
+        description: &String,
+        targets: Vec<NodeId>,
+        ctx: &mut EventContext<'_>,
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        let mut message = Message::new();
+        message.push(&epoch);
+        message.push(stack_name);
+        message.push(description);
+        ctx.dispatch(Event::down(ReconfigCommand::new(
+            ctx.node_id(),
+            Dest::Nodes(targets),
+            message,
+        )));
+    }
+
+    fn send_command(&self, targets: Vec<NodeId>, ctx: &mut EventContext<'_>) {
+        let Some(pending) = &self.pending else {
+            return;
+        };
+        Self::dispatch_command(
+            pending.epoch,
+            &pending.stack_name,
+            &pending.description,
+            targets,
+            ctx,
+        );
     }
 
     fn evaluate(&mut self, ctx: &mut EventContext<'_>) {
@@ -152,32 +296,55 @@ impl CoreSession {
         if !self.adaptive || self.coordinator() != Some(local) || self.pending.is_some() {
             return;
         }
+        // The policy sees only the live membership and its context: a crashed
+        // relay candidate must not be selected again.
+        let live = self.live_members();
+        let mut store = self.store.clone();
+        for suspect in &self.suspected {
+            store.remove(*suspect);
+        }
         let context = GlobalContext {
             local,
-            members: self.members.clone(),
-            store: self.store.clone(),
+            members: live,
+            store,
             current_stack: self.current_stack.clone(),
         };
         let Some(kind) = self.policy.evaluate(&context) else {
+            // No (or not enough) context for a fresh decision — but the
+            // committed stack is always safe to re-send to members known to
+            // be behind (e.g. one whose context was pruned on suspicion and
+            // has not republished yet).
+            self.repair_behind(ctx);
             return;
         };
         let desired = kind.name();
         if desired == self.current_stack {
+            // The group already agreed on this stack — but members whose
+            // command was lost while they were suspected (or that this node,
+            // as a failover coordinator, never heard an ack from) may still
+            // run an older one. Repair them instead of declaring victory on
+            // local state alone.
+            self.repair_behind(ctx);
             return;
         }
 
-        // Initiate the reconfiguration: ship the declarative description to
-        // every other participant and ask the local module to deploy it too.
+        // Open a new epoch and initiate the round: ship the declarative
+        // description to every other participant (including suspected ones —
+        // a false suspicion must not starve a member of the command) and ask
+        // the local module to deploy it too. `current_stack` is *not* touched
+        // here; it is committed when the round completes.
         let config = self.catalog.config_for(&kind);
         let description = config.to_xml();
+        self.epoch += 1;
         self.reconfigurations_started += 1;
         self.pending = Some(PendingReconfiguration {
+            epoch: self.epoch,
             stack_name: desired.clone(),
+            description: description.clone(),
             started_at_ms: ctx.now_ms(),
+            retransmits: 0,
         });
         self.acks.clear();
-        self.acks.insert(local);
-        self.current_stack = desired.clone();
 
         let others: Vec<NodeId> = self
             .members
@@ -185,40 +352,271 @@ impl CoreSession {
             .copied()
             .filter(|member| *member != local)
             .collect();
-        if !others.is_empty() {
-            let mut message = Message::new();
-            message.push(&desired);
-            message.push(&description);
-            ctx.dispatch(Event::down(ReconfigCommand::new(
-                local,
-                Dest::Nodes(others),
-                message,
-            )));
-        }
+        self.send_command(others, ctx);
         ctx.request_reconfiguration(ReconfigRequest {
             channel: self.data_channel.clone(),
             stack_name: desired,
             description,
+            epoch: self.epoch,
+            coordinator: local,
         });
-        self.maybe_complete(ctx);
+        self.cancel_round_timer(ctx);
+        self.arm_round_timer(ctx);
     }
 
     fn maybe_complete(&mut self, ctx: &mut EventContext<'_>) {
-        let Some(pending) = self.pending.clone() else {
-            return;
-        };
-        if !self.members.iter().all(|member| self.acks.contains(member)) {
+        if self.pending.is_none() {
             return;
         }
+        let quorum = self.live_members();
+        if !quorum.iter().all(|member| self.acks.contains(member)) {
+            return;
+        }
+        let pending = self.pending.take().expect("pending checked above");
         let elapsed = ctx.now_ms().saturating_sub(pending.started_at_ms);
+        self.current_stack = pending.stack_name.clone();
         self.reconfigurations_completed += 1;
-        self.pending = None;
-        ctx.deliver(DeliveryKind::Notification(format!(
-            "reconfiguration to `{}` completed across {} nodes in {} ms",
-            pending.stack_name,
-            self.members.len(),
-            elapsed
-        )));
+        // Remember what the group committed and who is known to run it, so
+        // members that were cut out of the quorum can be repaired later.
+        self.installed = Some(InstalledStack {
+            epoch: pending.epoch,
+            stack_name: pending.stack_name.clone(),
+            description: pending.description.clone(),
+        });
+        self.confirmed = std::mem::take(&mut self.acks);
+        self.cancel_round_timer(ctx);
+        ctx.deliver(DeliveryKind::ReconfigurationComplete {
+            stack: pending.stack_name,
+            epoch: pending.epoch,
+            latency_ms: elapsed,
+            retransmits: pending.retransmits,
+            nodes: quorum.len(),
+        });
+    }
+
+    /// Re-sends the committed configuration to live members not known to run
+    /// it. Fired whenever the policy is otherwise satisfied (context updates
+    /// arrive periodically, so this retries until everyone is confirmed) and
+    /// when a suspicion heals — it is what lets a member that missed the
+    /// round while suspected, or a failover coordinator's silent peers,
+    /// converge after the quorum already moved on.
+    ///
+    /// Each repair attempt is stamped with a *fresh* epoch (mirrored into
+    /// `installed` so the returning acks match): a member whose epoch already
+    /// advanced past the committed round — it deployed a later round that was
+    /// aborted, or its deployment failed after accepting the command — would
+    /// reject a replay of the committed epoch as stale, but accepts the
+    /// re-assertion under a higher one.
+    fn repair_behind(&mut self, ctx: &mut EventContext<'_>) {
+        if self.pending.is_some() {
+            return;
+        }
+        if self
+            .installed
+            .as_ref()
+            .is_none_or(|installed| installed.stack_name != self.current_stack)
+        {
+            return;
+        }
+        let local = ctx.node_id();
+        let behind: Vec<NodeId> = self
+            .live_members()
+            .into_iter()
+            .filter(|member| *member != local && !self.confirmed.contains(member))
+            .collect();
+        if behind.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        let installed = self.installed.as_mut().expect("installed checked above");
+        installed.epoch = self.epoch;
+        Self::dispatch_command(
+            installed.epoch,
+            &installed.stack_name,
+            &installed.description,
+            behind,
+            ctx,
+        );
+    }
+
+    /// Gives up on the in-flight round. `current_stack` keeps its pre-round
+    /// value, so the policy is free to re-fire (with a fresh epoch).
+    fn abort_round(&mut self, ctx: &mut EventContext<'_>) {
+        if self.pending.take().is_some() {
+            self.reconfigurations_aborted += 1;
+        }
+        self.acks.clear();
+        self.cancel_round_timer(ctx);
+    }
+
+    fn on_round_timer(&mut self, timer_id: u64, ctx: &mut EventContext<'_>) {
+        if self.round_timer != Some(timer_id) {
+            return; // stale timer from a previous round
+        }
+        self.round_timer = None;
+        if self.pending.is_none() {
+            return;
+        }
+        let (started_at_ms, acked) = {
+            let pending = self.pending.as_ref().expect("checked above");
+            (pending.started_at_ms, self.acks.clone())
+        };
+        if ctx.now_ms().saturating_sub(started_at_ms) >= self.round_timeout_ms {
+            // The round failed (e.g. the command kept getting lost, or a
+            // member died without being suspected yet): abort and let the
+            // policy re-fire immediately under a fresh epoch.
+            let aborted = self.pending.clone();
+            self.abort_round(ctx);
+            self.evaluate(ctx);
+            if self.pending.is_none() {
+                // The policy did not re-fire (e.g. the context shifted back
+                // mid-round) — but this node itself already deployed the
+                // aborted configuration at initiation. Roll its own data
+                // channel back to the committed stack so the coordinator is
+                // not the one node silently running the abandoned one.
+                let rollback = match (&aborted, &self.installed) {
+                    (Some(aborted), Some(installed))
+                        if installed.stack_name == self.current_stack
+                            && aborted.stack_name != self.current_stack =>
+                    {
+                        Some(installed.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(installed) = rollback {
+                    ctx.request_reconfiguration(ReconfigRequest {
+                        channel: self.data_channel.clone(),
+                        stack_name: installed.stack_name,
+                        description: installed.description,
+                        epoch: installed.epoch,
+                        coordinator: ctx.node_id(),
+                    });
+                }
+            }
+            return;
+        }
+        // Retransmit to everyone still missing, suspected members included
+        // (a falsely suspected member must still converge on the new stack).
+        let local = ctx.node_id();
+        let missing: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local && !acked.contains(member))
+            .collect();
+        if !missing.is_empty() {
+            if let Some(pending) = self.pending.as_mut() {
+                pending.retransmits += 1;
+            }
+            self.send_command(missing, ctx);
+        }
+        self.arm_round_timer(ctx);
+    }
+
+    fn on_suspect(&mut self, node: NodeId, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if node == local || !self.members.contains(&node) {
+            return;
+        }
+        let was_coordinator = self.coordinator() == Some(node);
+        self.suspected.insert(node);
+        self.store.remove(node);
+        if self.pending.is_some() {
+            // The ack quorum shrank; the round may be complete now.
+            self.maybe_complete(ctx);
+        }
+        if was_coordinator && self.coordinator() == Some(local) && self.pending.is_none() {
+            // Deterministic failover: this node is now the lowest live id.
+            // The policy is a pure function of the replicated context, so
+            // re-evaluating resumes (or re-initiates) the in-flight
+            // adaptation under a fresh epoch.
+            self.evaluate(ctx);
+        }
+    }
+
+    fn on_command(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        let Some(command) = event.get_mut::<ReconfigCommand>() else {
+            return;
+        };
+        let coordinator = command.header.source;
+        let Ok(description) = command.message.pop::<String>() else {
+            return;
+        };
+        let Ok(stack_name) = command.message.pop::<String>() else {
+            return;
+        };
+        let Ok(epoch) = command.message.pop::<u64>() else {
+            return;
+        };
+
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            // A newer round supersedes anything this node initiated itself
+            // (it may have been deposed as coordinator by a false suspicion).
+            if self.pending.is_some() {
+                self.abort_round(ctx);
+            }
+            self.accepted = Some(InstalledStack {
+                epoch,
+                stack_name: stack_name.clone(),
+                description: description.clone(),
+            });
+            // Deploy; the local module acknowledges after the deployment
+            // succeeded (never before).
+            ctx.request_reconfiguration(ReconfigRequest {
+                channel: self.data_channel.clone(),
+                stack_name,
+                description,
+                epoch,
+                coordinator,
+            });
+        } else if self
+            .installed
+            .as_ref()
+            .is_some_and(|installed| installed.matches(epoch, &stack_name))
+        {
+            // A retransmission of the round we already deployed: our ack was
+            // probably lost, so resend it without redeploying.
+            let mut message = Message::new();
+            message.push(&epoch);
+            message.push(&stack_name);
+            ctx.dispatch(Event::down(ReconfigAck::new(
+                ctx.node_id(),
+                Dest::Node(coordinator),
+                message,
+            )));
+        }
+        // Otherwise: a stale or reordered command from an earlier epoch —
+        // rejected, the stack is never rolled back by old commands.
+    }
+
+    fn record_ack(
+        &mut self,
+        source: NodeId,
+        epoch: u64,
+        stack_name: &str,
+        ctx: &mut EventContext<'_>,
+    ) {
+        let matches = self
+            .pending
+            .as_ref()
+            .map(|pending| pending.epoch == epoch && pending.stack_name == stack_name)
+            .unwrap_or(false);
+        if matches {
+            self.acks.insert(source);
+            self.maybe_complete(ctx);
+        } else if self
+            .installed
+            .as_ref()
+            .is_some_and(|installed| installed.matches(epoch, stack_name))
+        {
+            // A late (or repair-triggered) ack for the committed round: the
+            // member is now known to run the installed stack.
+            self.confirmed.insert(source);
+        }
+        // Acks from any other epoch are dropped: a replayed ack from a
+        // previous round (even for the same stack name) cannot complete a
+        // newer round.
     }
 }
 
@@ -233,9 +631,38 @@ impl Session for CoreSession {
             return;
         }
 
+        if let Some(timer) = event.get::<TimerExpired>() {
+            if timer.owner == CORE_LAYER {
+                if timer.tag == ROUND_TAG {
+                    let timer_id = timer.timer_id;
+                    self.on_round_timer(timer_id, ctx);
+                }
+                return;
+            }
+            ctx.forward(event);
+            return;
+        }
+
         if let Some(update) = event.get::<ContextUpdated>() {
             self.store.update(update.snapshot.clone());
             self.evaluate(ctx);
+            return;
+        }
+
+        if let Some(suspect) = event.get::<Suspect>() {
+            let node = suspect.node;
+            self.on_suspect(node, ctx);
+            return;
+        }
+
+        if let Some(alive) = event.get::<Alive>() {
+            // A false suspicion healed: the member rejoins the quorum (and
+            // the coordinator election). If it missed a round while it was
+            // suspected, repair it onto the committed stack right away.
+            self.suspected.remove(&alive.node);
+            if self.adaptive && self.coordinator() == Some(ctx.node_id()) {
+                self.repair_behind(ctx);
+            }
             return;
         }
 
@@ -244,36 +671,51 @@ impl Session for CoreSession {
                 ctx.forward(event);
                 return;
             }
-            let Some(command) = event.get_mut::<ReconfigCommand>() else {
-                return;
-            };
-            let coordinator = command.header.source;
-            let Ok(description) = command.message.pop::<String>() else {
-                return;
-            };
-            let Ok(stack_name) = command.message.pop::<String>() else {
-                return;
-            };
-            self.current_stack = stack_name.clone();
-            ctx.request_reconfiguration(ReconfigRequest {
-                channel: self.data_channel.clone(),
-                stack_name: stack_name.clone(),
-                description,
-            });
-            let local = ctx.node_id();
-            let mut message = Message::new();
-            message.push(&stack_name);
-            ctx.dispatch(Event::down(ReconfigAck::new(
-                local,
-                Dest::Node(coordinator),
-                message,
-            )));
+            self.on_command(event, ctx);
             return;
         }
 
         if event.is::<ReconfigAck>() {
+            let local = ctx.node_id();
             if event.direction == Direction::Down {
-                ctx.forward(event);
+                // An ack raised by the local module after a successful
+                // deployment, on its way to the coordinator.
+                let Some(ack) = event.get_mut::<ReconfigAck>() else {
+                    return;
+                };
+                let dest = ack.header.dest.clone();
+                let Ok(stack_name) = ack.message.pop::<String>() else {
+                    return;
+                };
+                let Ok(epoch) = ack.message.pop::<u64>() else {
+                    return;
+                };
+                if dest == Dest::Node(local) {
+                    // This node is the coordinator of the round: its own
+                    // deployment just finished — count it instead of sending
+                    // it to itself. `installed` is deliberately *not* touched
+                    // here: the coordinator's repair record only moves to the
+                    // new configuration when the group commits it
+                    // (`maybe_complete`), so an aborted round cannot destroy
+                    // the record of the stack the group still agrees on.
+                    self.record_ack(local, epoch, &stack_name, ctx);
+                } else {
+                    // Member: the deployment it accepted earlier is what
+                    // commits the new stack locally; it becomes the base
+                    // configuration for duplicate re-acks and repairs.
+                    if self
+                        .accepted
+                        .as_ref()
+                        .is_some_and(|accepted| accepted.matches(epoch, &stack_name))
+                    {
+                        self.installed = self.accepted.take();
+                        self.confirmed = BTreeSet::from([local]);
+                    }
+                    self.current_stack = stack_name.clone();
+                    ack.message.push(&epoch);
+                    ack.message.push(&stack_name);
+                    ctx.forward(event);
+                }
                 return;
             }
             let Some(ack) = event.get_mut::<ReconfigAck>() else {
@@ -283,15 +725,10 @@ impl Session for CoreSession {
             let Ok(stack_name) = ack.message.pop::<String>() else {
                 return;
             };
-            if self
-                .pending
-                .as_ref()
-                .map(|pending| pending.stack_name.clone())
-                == Some(stack_name)
-            {
-                self.acks.insert(source);
-                self.maybe_complete(ctx);
-            }
+            let Ok(epoch) = ack.message.pop::<u64>() else {
+                return;
+            };
+            self.record_ack(source, epoch, &stack_name, ctx);
             return;
         }
 
@@ -319,6 +756,8 @@ mod tests {
         );
         params.insert("adaptive".into(), adaptive.to_string());
         params.insert("data_channel".into(), "data".into());
+        params.insert("retransmit_interval_ms".into(), "500".into());
+        params.insert("round_timeout_ms".into(), "4000".into());
         params
     }
 
@@ -331,6 +770,57 @@ mod tests {
         Event::up(ContextUpdated {
             snapshot: ContextSnapshot::from_profile(&profile, 1),
         })
+    }
+
+    fn ack_message(epoch: u64, stack: &str) -> Message {
+        let mut message = Message::new();
+        message.push(&epoch);
+        message.push(&stack.to_string());
+        message
+    }
+
+    fn command_message(epoch: u64, stack: &str, description: &str) -> Message {
+        let mut message = Message::new();
+        message.push(&epoch);
+        message.push(&stack.to_string());
+        message.push(&description.to_string());
+        message
+    }
+
+    /// Simulates the local module's post-deployment ack: a `ReconfigAck`
+    /// travelling down the control channel towards the coordinator.
+    fn deployment_ack(local: u32, coordinator: u32, epoch: u64, stack: &str) -> Event {
+        Event::down(ReconfigAck::new(
+            NodeId(local),
+            Dest::Node(NodeId(coordinator)),
+            ack_message(epoch, stack),
+        ))
+    }
+
+    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        let cancelled: Vec<_> = std::mem::take(&mut platform.cancelled);
+        for (_, key) in timers {
+            if !cancelled.contains(&key) {
+                harness.fire_timer(key, platform);
+            }
+        }
+    }
+
+    fn completion_reports(platform: &mut TestPlatform) -> Vec<(String, u64, u64)> {
+        platform
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|delivery| match delivery.kind {
+                DeliveryKind::ReconfigurationComplete {
+                    stack,
+                    epoch,
+                    latency_ms,
+                    ..
+                } => Some((stack, epoch, latency_ms)),
+                _ => None,
+            })
+            .collect()
     }
 
     #[test]
@@ -351,6 +841,8 @@ mod tests {
         let request = &platform.reconfig_requests[0];
         assert_eq!(request.channel, "data");
         assert_eq!(request.stack_name, "hybrid-mecho-relay0");
+        assert_eq!(request.epoch, 1, "first round opens epoch 1");
+        assert_eq!(request.coordinator, NodeId(0));
         assert!(request.description.contains("mecho"));
 
         let down = core.drain_down();
@@ -389,18 +881,19 @@ mod tests {
     }
 
     #[test]
-    fn members_deploy_and_acknowledge_commands() {
+    fn members_deploy_on_command_and_ack_only_after_deployment() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
 
-        let mut message = Message::new();
-        message.push(&"hybrid-mecho-relay0".to_string());
-        message.push(&"<channel name=\"data\"><layer name=\"network\"/></channel>".to_string());
         core.run_up(
             Event::up(ReconfigCommand::new(
                 NodeId(0),
                 Dest::Node(NodeId(1)),
-                message,
+                command_message(
+                    3,
+                    "hybrid-mecho-relay0",
+                    "<channel name=\"data\"><layer name=\"network\"/></channel>",
+                ),
             )),
             &mut platform,
         );
@@ -410,7 +903,20 @@ mod tests {
             platform.reconfig_requests[0].stack_name,
             "hybrid-mecho-relay0"
         );
-        let down = core.drain_down();
+        assert_eq!(platform.reconfig_requests[0].epoch, 3);
+        assert_eq!(platform.reconfig_requests[0].coordinator, NodeId(0));
+        // No ack yet: the local module acknowledges after deployment.
+        assert!(core
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<ReconfigAck>()));
+
+        // The local module finished deploying: its ack is forwarded towards
+        // the coordinator with the epoch intact.
+        let down = core.run_down(
+            deployment_ack(1, 0, 3, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
         let acks: Vec<&Event> = down
             .iter()
             .filter(|event| event.is::<ReconfigAck>())
@@ -423,32 +929,451 @@ mod tests {
     }
 
     #[test]
-    fn coordinator_reports_completion_once_everyone_acknowledged() {
+    fn stale_or_reordered_commands_are_rejected() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        let description = "<channel name=\"data\"><layer name=\"network\"/></channel>";
+
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                command_message(5, "reliable", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(platform.reconfig_requests.len(), 1);
+
+        // A reordered command from an earlier epoch must not overwrite the
+        // newer deployment.
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                command_message(3, "best-effort", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            platform.reconfig_requests.len(),
+            1,
+            "epoch 3 after epoch 5 is stale"
+        );
+    }
+
+    #[test]
+    fn duplicate_commands_after_deployment_resend_the_ack() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        let description = "<channel name=\"data\"><layer name=\"network\"/></channel>";
+
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                command_message(2, "reliable", description),
+            )),
+            &mut platform,
+        );
+        core.run_down(deployment_ack(1, 0, 2, "reliable"), &mut platform);
+
+        // The coordinator retransmits (it never saw the ack): the member
+        // re-acks without deploying again.
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(1)),
+                command_message(2, "reliable", description),
+            )),
+            &mut platform,
+        );
+        let down = core.drain_down();
+        assert_eq!(platform.reconfig_requests.len(), 1, "no redeployment");
+        let acks: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigAck>())
+            .collect();
+        assert_eq!(acks.len(), 1, "ack resent");
+    }
+
+    #[test]
+    fn coordinator_reports_completion_once_every_member_acknowledged() {
         let mut platform = TestPlatform::new(NodeId(0));
         let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
         core.run_up(context_update(0, false), &mut platform);
         core.run_up(context_update(1, true), &mut platform);
         platform.take_deliveries();
 
+        // The coordinator's own deployment finishes...
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        assert!(
+            completion_reports(&mut platform).is_empty(),
+            "member 1 has not acknowledged yet"
+        );
+
+        // ... and 42 ms later the member's ack arrives.
         platform.advance(42);
-        let mut message = Message::new();
-        message.push(&"hybrid-mecho-relay0".to_string());
         core.run_up(
-            Event::up(ReconfigAck::new(NodeId(1), Dest::Node(NodeId(0)), message)),
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
             &mut platform,
         );
 
-        let notes: Vec<String> = platform
-            .take_deliveries()
-            .into_iter()
-            .filter_map(|delivery| match delivery.kind {
-                DeliveryKind::Notification(text) => Some(text),
-                _ => None,
-            })
+        let reports = completion_reports(&mut platform);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "hybrid-mecho-relay0");
+        assert_eq!(reports[0].1, 1, "completed round is epoch 1");
+        assert_eq!(reports[0].2, 42);
+    }
+
+    #[test]
+    fn a_stale_ack_from_a_prior_epoch_cannot_complete_a_newer_round() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        platform.take_deliveries();
+
+        // The round times out and is re-initiated under epoch 2.
+        platform.advance(4000);
+        fire_pending_timers(&mut core, &mut platform);
+        assert_eq!(
+            platform.reconfig_requests.len(),
+            2,
+            "round re-initiated after the timeout"
+        );
+        assert_eq!(platform.reconfig_requests[1].epoch, 2);
+
+        // The coordinator's own epoch-2 deployment finishes; then an ack
+        // replayed from the aborted epoch-1 round arrives — same stack name,
+        // wrong epoch. It must not complete the epoch-2 round.
+        core.run_down(
+            deployment_ack(0, 0, 2, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert!(
+            completion_reports(&mut platform).is_empty(),
+            "stale ack must not complete the newer round"
+        );
+
+        // The genuine epoch-2 ack does.
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(2, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert_eq!(completion_reports(&mut platform).len(), 1);
+    }
+
+    #[test]
+    fn lost_commands_are_retransmitted_until_acknowledged() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        core.drain_down();
+
+        // Node 1 acknowledged, node 2's command was lost.
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+
+        platform.advance(500);
+        fire_pending_timers(&mut core, &mut platform);
+        let down = core.drain_down();
+        let retransmits: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigCommand>())
             .collect();
-        assert_eq!(notes.len(), 1);
-        assert!(notes[0].contains("hybrid-mecho-relay0"));
-        assert!(notes[0].contains("42 ms"));
+        assert_eq!(retransmits.len(), 1);
+        assert_eq!(
+            retransmits[0].get::<ReconfigCommand>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(2)]),
+            "only the missing member is retransmitted to"
+        );
+    }
+
+    #[test]
+    fn round_timeout_rolls_back_and_lets_the_policy_refire() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        assert_eq!(platform.reconfig_requests.len(), 1);
+
+        // Nothing is ever acknowledged; past the round timeout the round is
+        // aborted, `current_stack` keeps its pre-round value, and the policy
+        // immediately re-fires under a fresh epoch.
+        platform.advance(4000);
+        fire_pending_timers(&mut core, &mut platform);
+        assert_eq!(platform.reconfig_requests.len(), 2);
+        assert_eq!(
+            platform.reconfig_requests[1].stack_name,
+            "hybrid-mecho-relay0"
+        );
+        assert_eq!(platform.reconfig_requests[1].epoch, 2);
+    }
+
+    #[test]
+    fn a_suspected_member_is_excluded_from_the_ack_quorum() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        platform.take_deliveries();
+
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert!(
+            completion_reports(&mut platform).is_empty(),
+            "node 2 is still expected"
+        );
+
+        // Node 2 crashes: the failure detector suspects it and the round
+        // completes over the surviving quorum.
+        core.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        let reports = completion_reports(&mut platform);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn a_suspected_coordinator_triggers_failover_to_the_next_lowest_live_id() {
+        // Two fixed nodes (0 and 1) and two mobiles: the group stays hybrid
+        // even after the original coordinator dies.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2, 3], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, false), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        core.run_up(context_update(3, true), &mut platform);
+        assert!(
+            platform.reconfig_requests.is_empty(),
+            "node 1 is not the coordinator while node 0 lives"
+        );
+
+        // Node 0 (coordinator *and* designated relay) crashes. Node 1 takes
+        // over and re-initiates the adaptation over the survivors — with a
+        // relay that is still alive.
+        core.run_up(Event::up(Suspect { node: NodeId(0) }), &mut platform);
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        let request = &platform.reconfig_requests[0];
+        assert_eq!(request.coordinator, NodeId(1));
+        assert!(
+            !request.stack_name.ends_with("relay0"),
+            "the dead node must not be selected as relay (got {})",
+            request.stack_name
+        );
+    }
+
+    #[test]
+    fn an_alive_notification_readmits_a_member_to_the_quorum() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        platform.take_deliveries();
+
+        // Node 1 is falsely suspected, then heard from again before it acked.
+        core.run_up(Event::up(Suspect { node: NodeId(1) }), &mut platform);
+        core.run_up(Event::up(Alive { node: NodeId(1) }), &mut platform);
+
+        // Completion now requires node 1's ack again.
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        assert!(completion_reports(&mut platform).is_empty());
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert_eq!(completion_reports(&mut platform).len(), 1);
+    }
+
+    #[test]
+    fn a_member_that_missed_the_round_while_suspected_is_repaired() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        core.drain_down();
+
+        // Node 2's command is lost, it gets suspected, and the round
+        // completes over the shrunk quorum {0, 1}.
+        core.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert_eq!(completion_reports(&mut platform).len(), 1);
+        core.drain_down();
+
+        // The suspicion heals: node 2 must be re-sent the committed
+        // configuration even though the policy sees nothing left to do.
+        core.run_up(Event::up(Alive { node: NodeId(2) }), &mut platform);
+        let down = core.drain_down();
+        let repairs: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigCommand>())
+            .collect();
+        assert_eq!(repairs.len(), 1, "repair command sent on recovery");
+        assert_eq!(
+            repairs[0].get::<ReconfigCommand>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(2)])
+        );
+
+        // Context updates keep retrying the repair until node 2 confirms...
+        core.run_up(context_update(1, true), &mut platform);
+        assert_eq!(
+            core.drain_down()
+                .iter()
+                .filter(|event| event.is::<ReconfigCommand>())
+                .count(),
+            1,
+            "repair retried while the member is unconfirmed"
+        );
+
+        // ... after which no further commands are sent and no new round or
+        // completion report is produced. The ack answers the latest repair
+        // epoch (round 1 opened epoch 1; the two repair attempts above opened
+        // 2 and 3).
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(0)),
+                ack_message(3, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        core.run_up(context_update(1, true), &mut platform);
+        assert!(core
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<ReconfigCommand>()));
+        assert!(completion_reports(&mut platform).is_empty());
+        assert!(platform.reconfig_requests.len() == 1, "no new round opened");
+    }
+
+    #[test]
+    fn an_aborted_round_does_not_destroy_the_repair_record_of_the_committed_stack() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+
+        // Round 1 commits `hybrid-mecho-relay0` over the quorum {0, 1} while
+        // node 2 is suspected.
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        core.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert_eq!(completion_reports(&mut platform).len(), 1);
+
+        // The context shifts (node 0 turns mobile): round 2 towards
+        // `best-effort` opens, the coordinator deploys locally, but no member
+        // ever acknowledges...
+        core.run_up(context_update(0, true), &mut platform);
+        assert_eq!(platform.reconfig_requests.len(), 2);
+        assert_eq!(platform.reconfig_requests[1].epoch, 2);
+        core.run_down(deployment_ack(0, 0, 2, "best-effort"), &mut platform);
+
+        // ... and the context shifts back to hybrid before the round times
+        // out and aborts. The policy is satisfied again (`current_stack` was
+        // never optimistically committed), so no third round opens — but the
+        // coordinator rolls its own data channel back to the committed stack
+        // (it deployed `best-effort` locally when round 2 started).
+        core.run_up(context_update(0, false), &mut platform);
+        platform.advance(4000);
+        fire_pending_timers(&mut core, &mut platform);
+        assert_eq!(platform.reconfig_requests.len(), 3, "rollback, not a round");
+        assert_eq!(
+            platform.reconfig_requests[2].stack_name, "hybrid-mecho-relay0",
+            "the coordinator redeploys the committed stack locally"
+        );
+        core.drain_down();
+
+        // Regression: the aborted round's local deployment must not have
+        // destroyed the repair record of the *committed* stack — when node 2
+        // heals it is still repaired onto `hybrid-mecho-relay0`, under a
+        // fresh epoch that outranks the aborted round's.
+        core.run_up(Event::up(Alive { node: NodeId(2) }), &mut platform);
+        let down = core.drain_down();
+        let repairs: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ReconfigCommand>())
+            .collect();
+        assert_eq!(repairs.len(), 1, "repair survives the aborted round");
+        let command = repairs[0].get::<ReconfigCommand>().unwrap();
+        assert_eq!(command.header.dest, Dest::Nodes(vec![NodeId(2)]));
+        let mut message = command.message.clone();
+        let _description: String = message.pop().unwrap();
+        assert_eq!(message.pop::<String>().unwrap(), "hybrid-mecho-relay0");
+        assert!(
+            message.pop::<u64>().unwrap() > 2,
+            "the repair epoch outranks the aborted round, so even a member \
+             that deployed the aborted configuration accepts it"
+        );
     }
 
     #[test]
@@ -458,10 +1383,16 @@ mod tests {
         core.run_up(context_update(0, false), &mut platform);
         core.run_up(context_update(1, true), &mut platform);
         // Complete the pending reconfiguration.
-        let mut message = Message::new();
-        message.push(&"hybrid-mecho-relay0".to_string());
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
         core.run_up(
-            Event::up(ReconfigAck::new(NodeId(1), Dest::Node(NodeId(0)), message)),
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
             &mut platform,
         );
         platform.reconfig_requests.clear();

@@ -46,10 +46,18 @@ pub struct NodeOptions {
     pub initial_stack: StackKind,
     /// How often Cocaditem publishes the local context, in milliseconds.
     pub publish_interval_ms: u64,
-    /// Failure-detector heartbeat period for generated stacks.
+    /// Failure-detector heartbeat period for generated stacks (and for the
+    /// control channel's own failure detector).
     pub hb_interval_ms: u64,
-    /// Failure-detector suspicion timeout for generated stacks.
+    /// Failure-detector suspicion timeout for generated stacks (and for the
+    /// control channel's own failure detector).
     pub suspect_timeout_ms: u64,
+    /// How often the reconfiguration coordinator retransmits an
+    /// unacknowledged command, in milliseconds.
+    pub retransmit_interval_ms: u64,
+    /// Total time budget of one reconfiguration round before the coordinator
+    /// aborts it and lets the policy re-fire, in milliseconds.
+    pub round_timeout_ms: u64,
     /// Name of the data channel.
     pub data_channel: String,
     /// Name of the control channel.
@@ -68,6 +76,8 @@ impl NodeOptions {
             publish_interval_ms: 1000,
             hb_interval_ms: 1000,
             suspect_timeout_ms: 5000,
+            retransmit_interval_ms: 500,
+            round_timeout_ms: 4000,
             data_channel: "data".to_string(),
             control_channel: "ctrl".to_string(),
             core_params: Vec::new(),
@@ -134,6 +144,14 @@ impl MorpheusNode {
         core_params.push((
             "suspect_timeout_ms".to_string(),
             options.suspect_timeout_ms.to_string(),
+        ));
+        core_params.push((
+            "retransmit_interval_ms".to_string(),
+            options.retransmit_interval_ms.to_string(),
+        ));
+        core_params.push((
+            "round_timeout_ms".to_string(),
+            options.round_timeout_ms.to_string(),
         ));
         let control_config = catalog.control_config(
             &options.control_channel,
@@ -230,6 +248,13 @@ impl MorpheusNode {
 
     /// Applies a reconfiguration request raised by the Core control layer:
     /// block, replace, resume, acknowledge.
+    ///
+    /// The acknowledgement is stamped with the request's epoch and sent to
+    /// the coordinator that initiated the round, *after* the deployment
+    /// succeeded — never optimistically. If the replacement fails after the
+    /// channel was driven to quiescence, the old stack is resumed (so the
+    /// data channel is not left blocked forever) and the failure is surfaced
+    /// to the application as a notification.
     pub fn apply_reconfiguration(
         &mut self,
         request: ReconfigRequest,
@@ -239,16 +264,40 @@ impl MorpheusNode {
 
         // 1. Drive the data channel to quiescence: the view-synchrony layer
         //    buffers application sends from this point on.
-        if let Some(channel) = self.kernel.channel_id(&request.channel) {
+        let old_channel = self.kernel.channel_id(&request.channel);
+        if let Some(channel) = old_channel {
             self.kernel
                 .dispatch_and_process(channel, Event::down(BlockRequest {}), platform);
         }
 
         // 2. Deploy the new stack. Shared sessions (notably view synchrony)
-        //    carry their state across the replacement.
-        let new_channel = self
+        //    carry their state across the replacement. On failure the old
+        //    stack is still in place: resume it so the channel does not stay
+        //    blocked, and surface the error.
+        let new_channel = match self
             .kernel
-            .replace_channel(&request.channel, &config, platform)?;
+            .replace_channel(&request.channel, &config, platform)
+        {
+            Ok(channel) => channel,
+            Err(error) => {
+                if let Some(channel) = old_channel {
+                    self.kernel.dispatch_and_process(
+                        channel,
+                        Event::down(ResumeRequest {}),
+                        platform,
+                    );
+                }
+                platform.deliver(AppDelivery {
+                    channel: request.channel.clone().into(),
+                    kind: DeliveryKind::Notification(format!(
+                        "reconfiguration to `{}` (epoch {}) failed: {error}; \
+                         resumed the previous stack",
+                        request.stack_name, request.epoch
+                    )),
+                });
+                return Err(error);
+            }
+        };
         if request.channel == self.options.data_channel {
             self.data_channel = new_channel;
         }
@@ -261,23 +310,20 @@ impl MorpheusNode {
         self.current_stack = request.stack_name.clone();
         self.reconfigurations += 1;
 
-        // 4. Acknowledge to the coordinator (unless this node is the
-        //    coordinator, whose Core layer already counts itself).
+        // 4. Acknowledge the deployment to the coordinator of this epoch.
+        //    The ack travels down the control channel; the Core layer counts
+        //    a self-addressed ack locally instead of sending it on the wire.
         let local = platform.node_id();
-        let coordinator = self.options.members.iter().copied().min();
-        if coordinator != Some(local) {
-            if let Some(coordinator) = coordinator {
-                let mut message = Message::new();
-                message.push(&request.stack_name);
-                let ack = Event::down(ReconfigAck::new(
-                    local,
-                    morpheus_appia::event::Dest::Node(coordinator),
-                    message,
-                ));
-                self.kernel
-                    .dispatch_and_process(self.control_channel, ack, platform);
-            }
-        }
+        let mut message = Message::new();
+        message.push(&request.epoch);
+        message.push(&request.stack_name);
+        let ack = Event::down(ReconfigAck::new(
+            local,
+            morpheus_appia::event::Dest::Node(request.coordinator),
+            message,
+        ));
+        self.kernel
+            .dispatch_and_process(self.control_channel, ack, platform);
 
         platform.deliver(AppDelivery {
             channel: request.channel.into(),
@@ -354,6 +400,8 @@ mod tests {
                 channel: "data".into(),
                 stack_name: "hybrid-mecho-relay0".into(),
                 description: hybrid.to_xml(),
+                epoch: 1,
+                coordinator: NodeId(0),
             },
             &mut platform,
         )
@@ -410,6 +458,8 @@ mod tests {
                 channel: "data".into(),
                 stack_name: "hybrid-mecho-relay0".into(),
                 description: hybrid.to_xml(),
+                epoch: 1,
+                coordinator: NodeId(0),
             },
             &mut platform,
         )
@@ -435,10 +485,70 @@ mod tests {
                 channel: "data".into(),
                 stack_name: "broken".into(),
                 description: "<not-xml".into(),
+                epoch: 1,
+                coordinator: NodeId(0),
             },
             &mut platform,
         );
         assert!(err.is_err());
         assert_eq!(node.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn failed_replacement_resumes_the_old_stack_instead_of_leaking_a_block() {
+        // Regression test: a description that *parses* but cannot be
+        // instantiated (unknown layer) used to leave the data channel
+        // blocked forever after the BlockRequest had been dispatched.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut node = MorpheusNode::new(NodeOptions::new(members(3)), &mut platform).unwrap();
+        platform.take_sent();
+        platform.take_deliveries();
+
+        let err = node.apply_reconfiguration(
+            ReconfigRequest {
+                channel: "data".into(),
+                stack_name: "bogus".into(),
+                description: "<channel name=\"data\"><layer name=\"no-such-layer\"/></channel>"
+                    .into(),
+                epoch: 1,
+                coordinator: NodeId(0),
+            },
+            &mut platform,
+        );
+        assert!(err.is_err());
+        assert_eq!(node.reconfigurations(), 0);
+        assert_eq!(node.current_stack(), "best-effort");
+
+        // The failure is surfaced to the application...
+        let notes: Vec<String> = platform
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|delivery| match delivery.kind {
+                DeliveryKind::Notification(text) => Some(text),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("failed"));
+        assert!(notes[0].contains("resumed"));
+
+        // ... no ack was sent for the failed deployment ...
+        assert!(platform
+            .take_sent()
+            .iter()
+            .all(|packet| packet.class != PacketClass::Control));
+
+        // ... and the old stack still carries traffic: the channel was
+        // resumed, not left blocked.
+        node.send_to_group(&b"still flowing"[..], &mut platform);
+        let data_packets = platform
+            .take_sent()
+            .into_iter()
+            .filter(|packet| packet.class == PacketClass::Data)
+            .count();
+        assert_eq!(
+            data_packets, 2,
+            "sends leave the node through the old stack"
+        );
     }
 }

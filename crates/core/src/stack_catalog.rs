@@ -68,8 +68,14 @@ impl StackCatalog {
         }
     }
 
-    /// The control-channel description: Cocaditem and the Core control layer
-    /// over the raw network driver.
+    /// The control-channel description: a control-plane failure detector,
+    /// Cocaditem and the Core control layer over the raw network driver.
+    ///
+    /// The failure detector lives on the *control* channel (not only inside
+    /// the data stacks) because the data channel is torn down and rebuilt on
+    /// every reconfiguration — exactly the moment crash detection must keep
+    /// working so the coordinator's ack quorum and the coordinator election
+    /// stay live.
     pub fn control_config(
         &self,
         channel: &str,
@@ -92,6 +98,12 @@ impl StackCatalog {
         }
         ChannelConfig::new(channel)
             .with_layer(LayerSpec::new("network"))
+            .with_layer(
+                LayerSpec::new("fd")
+                    .with_param("members", &members_param)
+                    .with_param("hb_interval_ms", self.hb_interval_ms.to_string())
+                    .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string()),
+            )
             .with_layer(
                 LayerSpec::new("cocaditem")
                     .with_param("members", &members_param)
@@ -152,14 +164,23 @@ mod tests {
     }
 
     #[test]
-    fn control_config_stacks_cocaditem_under_core() {
-        let catalog = StackCatalog::new("data", members(3));
+    fn control_config_stacks_fd_and_cocaditem_under_core() {
+        let catalog = StackCatalog::new("data", members(3)).with_failure_detection(250, 900);
         let config = catalog.control_config("ctrl", 500, true, &[]);
         assert_eq!(
             config.layer_names(),
-            vec!["network", "cocaditem", "core", "app"]
+            vec!["network", "fd", "cocaditem", "core", "app"]
         );
-        let core = &config.layers[2];
+        let fd = &config.layers[1];
+        assert_eq!(
+            fd.params.get("hb_interval_ms").map(String::as_str),
+            Some("250")
+        );
+        assert_eq!(
+            fd.params.get("suspect_timeout_ms").map(String::as_str),
+            Some("900")
+        );
+        let core = &config.layers[3];
         assert_eq!(
             core.params.get("adaptive").map(String::as_str),
             Some("true")

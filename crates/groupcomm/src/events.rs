@@ -65,6 +65,17 @@ internal_event! {
 }
 
 internal_event! {
+    /// The failure detector heard again from a member it had previously
+    /// suspected: the suspicion was false (e.g. heartbeats dropped on a lossy
+    /// link) and upper layers may re-admit the node.
+    pub struct Alive {
+        /// The node that turned out to be alive after all.
+        pub node: NodeId,
+    }
+    categories: [Internal]
+}
+
+internal_event! {
     /// A new view was installed; travels *down* the stack so lower layers
     /// (multicast, reliability, ordering) update their membership.
     pub struct ViewInstall {

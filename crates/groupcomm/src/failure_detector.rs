@@ -15,7 +15,7 @@ use morpheus_appia::message::Message;
 use morpheus_appia::platform::NodeId;
 use morpheus_appia::session::Session;
 
-use crate::events::{Heartbeat, Suspect, ViewInstall};
+use crate::events::{Alive, Heartbeat, Suspect, ViewInstall};
 
 /// Registered name of the failure detector layer.
 pub const FD_LAYER: &str = "fd";
@@ -48,7 +48,7 @@ impl Layer for FailureDetectorLayer {
     }
 
     fn provided_events(&self) -> Vec<&'static str> {
-        vec!["Heartbeat", "Suspect"]
+        vec!["Heartbeat", "Suspect", "Alive"]
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
@@ -75,9 +75,13 @@ pub struct FailureDetectorSession {
 }
 
 impl FailureDetectorSession {
-    fn heard_from(&mut self, node: NodeId, now: u64) {
+    fn heard_from(&mut self, node: NodeId, now: u64, ctx: &mut EventContext<'_>) {
         self.last_heard.insert(node, now);
-        self.suspected.remove(&node);
+        if self.suspected.remove(&node) {
+            // The suspicion was false: announce the recovery so upper layers
+            // (e.g. the Core control layer's ack quorum) can re-admit the node.
+            ctx.dispatch(Event::up(Alive { node }));
+        }
     }
 
     fn tick(&mut self, ctx: &mut EventContext<'_>) {
@@ -159,7 +163,7 @@ impl Session for FailureDetectorSession {
             if event.direction == Direction::Up {
                 let source = event.get::<Heartbeat>().map(|hb| hb.header.source);
                 if let Some(source) = source {
-                    self.heard_from(source, ctx.now_ms());
+                    self.heard_from(source, ctx.now_ms(), ctx);
                 }
                 // Heartbeats are absorbed; they carry no application meaning.
                 return;
@@ -170,7 +174,7 @@ impl Session for FailureDetectorSession {
         if event.direction == Direction::Up {
             if let Some(data) = event.get_mut::<DataEvent>() {
                 let source = data.header.source;
-                self.heard_from(source, ctx.now_ms());
+                self.heard_from(source, ctx.now_ms(), ctx);
             }
         }
         ctx.forward(event);

@@ -38,8 +38,10 @@ pub struct NodeStats {
     pub sent: BTreeMap<TrafficClass, u64>,
     /// Messages received, per traffic class.
     pub received: BTreeMap<TrafficClass, u64>,
-    /// Messages lost in transit that this node originated.
+    /// Messages lost in transit that this node originated (all classes).
     pub lost: u64,
+    /// Messages lost in transit, per traffic class.
+    pub lost_by_class: BTreeMap<TrafficClass, u64>,
     /// Bytes sent (sum over all classes).
     pub bytes_sent: u64,
     /// Bytes received (sum over all classes).
@@ -64,8 +66,14 @@ impl NodeStats {
     }
 
     /// Records one lost message originated by this node.
-    pub fn record_lost(&mut self) {
+    pub fn record_lost(&mut self, class: TrafficClass) {
         self.lost += 1;
+        *self.lost_by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Messages lost of one class.
+    pub fn lost_of(&self, class: TrafficClass) -> u64 {
+        self.lost_by_class.get(&class).copied().unwrap_or(0)
     }
 
     /// Total messages sent across every class.
@@ -136,6 +144,14 @@ impl NetworkStats {
         self.per_node.values().map(|stats| stats.lost).sum()
     }
 
+    /// Total messages lost in transit of one class.
+    pub fn total_lost_of(&self, class: TrafficClass) -> u64 {
+        self.per_node
+            .values()
+            .map(|stats| stats.lost_of(class))
+            .sum()
+    }
+
     /// Clears every counter (used between benchmark repetitions).
     pub fn reset(&mut self) {
         self.per_node.clear();
@@ -152,7 +168,7 @@ mod tests {
         stats.record_sent(TrafficClass::Data, 100, 0.5);
         stats.record_sent(TrafficClass::Control, 20, 0.1);
         stats.record_received(TrafficClass::Data, 100, 0.2);
-        stats.record_lost();
+        stats.record_lost(TrafficClass::Data);
 
         assert_eq!(stats.total_sent(), 2);
         assert_eq!(stats.total_received(), 1);
@@ -162,6 +178,8 @@ mod tests {
         assert_eq!(stats.bytes_sent, 120);
         assert_eq!(stats.bytes_received, 100);
         assert_eq!(stats.lost, 1);
+        assert_eq!(stats.lost_of(TrafficClass::Data), 1);
+        assert_eq!(stats.lost_of(TrafficClass::Control), 0);
         assert!((stats.energy_joules - 0.8).abs() < 1e-9);
     }
 

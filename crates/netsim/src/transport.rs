@@ -158,7 +158,7 @@ impl Network {
                 });
             }
             _ => {
-                self.stats.node_mut(packet.from).record_lost();
+                self.stats.node_mut(packet.from).record_lost(packet.class);
             }
         }
     }
@@ -321,6 +321,23 @@ mod tests {
             network.stats().node_or_default(NodeId(1)).total_received(),
             0
         );
+    }
+
+    #[test]
+    fn losses_are_recorded_per_traffic_class() {
+        let topology = Topology::ad_hoc(2).with_wireless(Wireless80211b {
+            loss_rate: 1.0,
+            ..Wireless80211b::default()
+        });
+        let mut network = Network::new(topology);
+        let mut rng = SimRng::new(9);
+        network.send(packet(0, 1, TrafficClass::Control), SimTime::ZERO, &mut rng);
+        network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
+        let stats = network.stats().node_or_default(NodeId(0));
+        assert_eq!(stats.lost_of(TrafficClass::Control), 1);
+        assert_eq!(stats.lost_of(TrafficClass::Data), 1);
+        assert_eq!(stats.lost_of(TrafficClass::Context), 0);
+        assert_eq!(network.stats().total_lost_of(TrafficClass::Data), 1);
     }
 
     #[test]

@@ -155,6 +155,8 @@ mod tests {
             channel: "data".into(),
             stack_name: "s".into(),
             description: "<channel name=\"data\"><layer name=\"network\"/></channel>".into(),
+            epoch: 1,
+            coordinator: NodeId(0),
         });
 
         assert_eq!(platform.take_packets().len(), 1);

@@ -3,6 +3,23 @@
 use morpheus_appia::platform::NodeId;
 use serde::{Deserialize, Serialize};
 
+/// One completed reconfiguration round, as reported by its coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// The coordinator that completed the round.
+    pub coordinator: NodeId,
+    /// Stack configuration the group agreed on.
+    pub stack: String,
+    /// Reconfiguration epoch of the round.
+    pub epoch: u64,
+    /// Time from initiation to the last acknowledgement, in milliseconds.
+    pub latency_ms: u64,
+    /// Command retransmissions the round needed.
+    pub retransmits: u64,
+    /// Size of the live quorum that acknowledged.
+    pub nodes: usize,
+}
+
 /// Measurements for one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -34,6 +51,8 @@ pub struct NodeReport {
     pub reconfigurations: u64,
     /// Notifications reported to the application (reconfiguration reports).
     pub notifications: Vec<String>,
+    /// Reconfiguration rounds this node completed as coordinator.
+    pub rounds: Vec<RoundReport>,
     /// Packet or reconfiguration processing errors (should be zero).
     pub errors: u64,
 }
@@ -57,8 +76,13 @@ pub struct RunReport {
     pub adaptive: bool,
     /// Simulated duration of the run, in milliseconds.
     pub duration_ms: u64,
-    /// Packets lost in transit.
+    /// *Data* (chat) packets lost in transit — the safety metric: a healthy
+    /// reconfiguration protocol keeps this at zero even when the control
+    /// plane is degraded.
     pub messages_lost: u64,
+    /// Control-plane packets (commands, acks, heartbeats, context
+    /// publications) lost in transit.
+    pub control_lost: u64,
     /// Per-node measurements, in node-id order.
     pub nodes: Vec<NodeReport>,
 }
@@ -121,6 +145,26 @@ impl RunReport {
             .collect()
     }
 
+    /// Every completed reconfiguration round, across all coordinators, in
+    /// epoch order.
+    pub fn completed_rounds(&self) -> Vec<&RoundReport> {
+        let mut rounds: Vec<&RoundReport> = self
+            .nodes
+            .iter()
+            .flat_map(|report| report.rounds.iter())
+            .collect();
+        rounds.sort_by_key(|round| round.epoch);
+        rounds
+    }
+
+    /// Total command retransmissions across all completed rounds.
+    pub fn total_retransmits(&self) -> u64 {
+        self.completed_rounds()
+            .iter()
+            .map(|round| round.retransmits)
+            .sum()
+    }
+
     /// Renders a fixed-width table of the per-node counters, suitable for
     /// printing from examples and benches.
     pub fn to_table(&self) -> String {
@@ -130,9 +174,10 @@ impl RunReport {
             self.scenario, self.devices, self.adaptive
         ));
         out.push_str(&format!(
-            "duration: {:.1}s   lost packets: {}\n",
+            "duration: {:.1}s   lost data packets: {}   lost control packets: {}\n",
             self.duration_ms as f64 / 1000.0,
-            self.messages_lost
+            self.messages_lost,
+            self.control_lost
         ));
         out.push_str(
             "node   kind    sent-data  sent-ctrl  sent-ctx  sent-total  delivered  stack\n",
@@ -174,6 +219,14 @@ mod tests {
             final_stack: "best-effort".into(),
             reconfigurations: 0,
             notifications: vec!["reconfiguration to `x` completed across 2 nodes in 3 ms".into()],
+            rounds: vec![RoundReport {
+                coordinator: NodeId(id),
+                stack: "x".into(),
+                epoch: u64::from(id) + 1,
+                latency_ms: 3,
+                retransmits: u64::from(id),
+                nodes: 2,
+            }],
             errors: 0,
         }
     }
@@ -185,6 +238,7 @@ mod tests {
             adaptive: true,
             duration_ms: 1000,
             messages_lost: 0,
+            control_lost: 4,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
         }
     }
@@ -200,6 +254,10 @@ mod tests {
         assert_eq!(report.mobile_nodes().count(), 1);
         assert_eq!(report.fixed_nodes().count(), 1);
         assert_eq!(report.reconfiguration_notices().len(), 2);
+        let rounds = report.completed_rounds();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].epoch, 1, "rounds come out in epoch order");
+        assert_eq!(report.total_retransmits(), 1);
     }
 
     #[test]

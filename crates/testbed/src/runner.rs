@@ -14,7 +14,7 @@ use morpheus_netsim::{
 };
 
 use crate::platform::SimPlatform;
-use crate::report::{NodeReport, RunReport};
+use crate::report::{NodeReport, RoundReport, RunReport};
 use crate::scenario::{Scenario, TopologyChoice};
 
 /// Opaque payload carried by simulated packets. The channel name is
@@ -50,8 +50,10 @@ struct NodeTally {
     app_deliveries: u64,
     view_changes: u64,
     notifications: Vec<String>,
+    rounds: Vec<RoundReport>,
     reconfig_errors: u64,
     packet_errors: u64,
+    control_dropped: u64,
 }
 
 /// Fixed per-packet framing overhead added to every transmission (UDP + IP
@@ -84,6 +86,9 @@ impl Runner {
         let mut nodes: Vec<MorpheusNode> = Vec::with_capacity(members.len());
         let mut platforms: Vec<SimPlatform> = Vec::with_capacity(members.len());
         let mut tallies: Vec<NodeTally> = vec![NodeTally::default(); members.len()];
+        // The channel [`Scenario::control_loss`] degrades — read from the
+        // same options every node is built with, not hardcoded.
+        let mut control_channel = String::new();
 
         for member in &members {
             let profile = profile_for(&network, scenario, *member);
@@ -97,9 +102,12 @@ impl Runner {
             options.adaptive = scenario.adaptive;
             options.hb_interval_ms = scenario.hb_interval_ms;
             options.suspect_timeout_ms = scenario.suspect_timeout_ms;
+            options.retransmit_interval_ms = scenario.retransmit_interval_ms;
+            options.round_timeout_ms = scenario.round_timeout_ms;
             for (key, value) in &scenario.core_params {
                 options = options.with_core_param(key.clone(), value.clone());
             }
+            control_channel = options.control_channel.clone();
             let node = MorpheusNode::new(options, &mut platform)
                 .expect("scenario stacks are built from the catalogue and always instantiate");
             nodes.push(node);
@@ -113,6 +121,7 @@ impl Runner {
                 index,
                 SimTime::ZERO,
                 scenario,
+                &control_channel,
                 &mut nodes,
                 &mut platforms,
                 &mut tallies,
@@ -232,6 +241,7 @@ impl Runner {
                 index,
                 time,
                 scenario,
+                &control_channel,
                 &mut nodes,
                 &mut platforms,
                 &mut tallies,
@@ -313,6 +323,7 @@ fn flush_node(
     index: usize,
     now: SimTime,
     scenario: &Scenario,
+    control_channel: &str,
     nodes: &mut [MorpheusNode],
     platforms: &mut [SimPlatform],
     tallies: &mut [NodeTally],
@@ -334,9 +345,20 @@ fn flush_node(
             }
         }
 
-        // 2. Outgoing packets.
+        // 2. Outgoing packets. When the scenario degrades the control plane,
+        //    packets on the control channel are dropped here with the run's
+        //    rng — the data channel (and its membership handshake) keeps the
+        //    link model's own characteristics, so the experiment isolates the
+        //    reconfiguration protocol's loss tolerance.
         for out in platforms[index].take_packets() {
             progressed = true;
+            if scenario.control_loss > 0.0
+                && out.channel.as_str() == control_channel
+                && rng.chance(scenario.control_loss)
+            {
+                tallies[index].control_dropped += 1;
+                continue;
+            }
             let target = match out.dest {
                 PacketDest::Node(to) => PacketTarget::Unicast(SimNodeId(to.0)),
                 PacketDest::Broadcast => PacketTarget::Broadcast,
@@ -387,6 +409,26 @@ fn flush_node(
                         .notifications
                         .push(format!("reconfigured to {stack}"));
                 }
+                DeliveryKind::ReconfigurationComplete {
+                    stack,
+                    epoch,
+                    latency_ms,
+                    retransmits,
+                    nodes: quorum,
+                } => {
+                    tallies[index].notifications.push(format!(
+                        "reconfiguration to `{stack}` (epoch {epoch}) completed across \
+                         {quorum} nodes in {latency_ms} ms after {retransmits} retransmits"
+                    ));
+                    tallies[index].rounds.push(RoundReport {
+                        coordinator: NodeId(index as u32),
+                        stack,
+                        epoch,
+                        latency_ms,
+                        retransmits,
+                        nodes: quorum,
+                    });
+                }
                 DeliveryKind::Notification(text) => tallies[index].notifications.push(text),
             }
         }
@@ -427,15 +469,23 @@ fn build_report(
             final_stack: node.current_stack().to_string(),
             reconfigurations: node.reconfigurations(),
             notifications: tally.notifications.clone(),
+            rounds: tally.rounds.clone(),
             errors: tally.packet_errors + tally.reconfig_errors,
         });
     }
+    let stats = network.stats();
     RunReport {
         scenario: scenario.name.clone(),
         devices: scenario.device_count(),
         adaptive: scenario.adaptive,
         duration_ms: last_time.as_millis(),
-        messages_lost: network.stats().total_lost(),
+        messages_lost: stats.total_lost_of(TrafficClass::Data),
+        control_lost: stats.total_lost_of(TrafficClass::Control)
+            + stats.total_lost_of(TrafficClass::Context)
+            + tallies
+                .iter()
+                .map(|tally| tally.control_dropped)
+                .sum::<u64>(),
         nodes: node_reports,
     }
 }

@@ -57,7 +57,9 @@ pub mod prelude {
     };
     pub use morpheus_groupcomm::suite::StackBuilder;
     pub use morpheus_groupcomm::{register_suite, View};
-    pub use morpheus_testbed::{NodeReport, RunReport, Runner, Scenario, TopologyChoice, Workload};
+    pub use morpheus_testbed::{
+        NodeReport, RoundReport, RunReport, Runner, Scenario, TopologyChoice, Workload,
+    };
 }
 
 #[cfg(test)]

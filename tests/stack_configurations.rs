@@ -100,6 +100,8 @@ fn a_node_can_be_reconfigured_from_one_figure_2_stack_to_the_other() {
             channel: "data".into(),
             stack_name: "hybrid-mecho-relay0".into(),
             description: hybrid.to_xml(),
+            epoch: 1,
+            coordinator: NodeId(0),
         },
         &mut platform,
     )
