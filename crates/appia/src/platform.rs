@@ -330,6 +330,14 @@ pub enum DeliveryKind {
         /// Number of members that acknowledged (live quorum size).
         nodes: usize,
     },
+    /// The local context store first covered the whole group membership:
+    /// a snapshot is now known for every participant. Reported once per
+    /// membership by the context dissemination layer, so testbeds can
+    /// measure how long digest anti-entropy takes to converge.
+    ContextConverged {
+        /// Number of participants covered.
+        nodes: usize,
+    },
     /// A free-form notification (used by tests and diagnostics).
     Notification(String),
 }

@@ -8,6 +8,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use morpheus_appia::config::{ChannelConfig, LayerSpec};
 use morpheus_appia::event::{Dest, Event, EventSpec};
@@ -44,6 +45,20 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The allocation counter is process-global, but the test harness runs the
+/// tests in this binary on parallel threads by default: an allocation made
+/// by a *concurrently running* test used to land inside another test's
+/// measured window and fail it spuriously (the "flaky under load" symptom).
+/// Every test takes this lock around its whole body, so exactly one measured
+/// window exists at a time.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn measured() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means another test's assertion failed; the
+    // counter itself is still sound.
+    MEASURE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A platform that consumes every side effect immediately, so packet bytes
 /// split from the kernel's scratch buffer are dropped and the buffer can be
@@ -162,6 +177,7 @@ fn make_events(count: usize) -> Vec<Event> {
 
 #[test]
 fn steady_state_event_hops_perform_zero_allocations() {
+    let _window = measured();
     let (mut kernel, mut platform, id) = build_kernel();
 
     // Warm-up: populate the route memo, grow the event queue and size the
@@ -197,6 +213,7 @@ fn steady_state_event_hops_perform_zero_allocations() {
 
 #[test]
 fn batched_dispatch_is_also_allocation_free_after_warmup() {
+    let _window = measured();
     let (mut kernel, mut platform, id) = build_kernel();
 
     // Warm-up includes a batch of the same size so the queue has capacity
@@ -219,6 +236,7 @@ fn batched_dispatch_is_also_allocation_free_after_warmup() {
 
 #[test]
 fn upward_delivery_path_is_allocation_free() {
+    let _window = measured();
     let (mut kernel, mut platform, id) = build_kernel();
 
     let make_up_events = |count: usize| -> Vec<Event> {

@@ -1,0 +1,256 @@
+//! Quick-mode control-plane scale measurement (membership scale).
+//!
+//! Runs the `large_group` scenario family — n fixed nodes whose adaptation
+//! policy switches the data stack to epidemic multicast once the context
+//! converges — and emits machine-readable results to
+//! `BENCH_membership_scale.json`. The headline comparison is the control
+//! plane at n = 100:
+//!
+//! * **baseline** (`control_fanout = 0`): all-to-all heartbeat multicast and
+//!   full context-snapshot floods — `n · (n − 1)` control messages per
+//!   heartbeat interval;
+//! * **gossip** (`control_fanout = 3`): liveness-digest gossip and digest
+//!   anti-entropy context dissemination — `n · fanout` messages per interval.
+//!
+//! The bench asserts the gossip plane cuts control messages per interval by
+//! at least 10× at n = 100, that context dissemination still converges under
+//! 10%/30% control loss *without* the legacy periodic full republish, that
+//! no chat message is lost across the large-group reconfiguration, and that
+//! the 250-node case finishes within a generous wall-clock budget (a CI trip
+//! wire for O(n²) regressions).
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin
+//! membership_scale_quick [output-path]`.
+
+use morpheus_testbed::{RunReport, Runner, Scenario};
+
+struct CaseResult {
+    name: String,
+    n: usize,
+    control_fanout: usize,
+    control_loss: f64,
+    /// Control-class (heartbeat/command plane) sends per heartbeat
+    /// interval, across all nodes — what the gossip failure detector cuts
+    /// from n·(n−1) to n·fanout.
+    control_msgs_per_interval: f64,
+    /// Control + context sends per heartbeat interval (the whole control
+    /// plane, boot transient included).
+    combined_msgs_per_interval: f64,
+    control_sent_total: u64,
+    context_sent_total: u64,
+    context_converged_ms: Option<u64>,
+    reconfigurations: u64,
+    rounds: usize,
+    messages_lost: u64,
+    deliveries: u64,
+    events_processed: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+fn run_case(name: &str, scenario: &Scenario) -> CaseResult {
+    let started = std::time::Instant::now();
+    let report: RunReport = Runner::new().run(scenario);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let control_sent_total: u64 = report.nodes.iter().map(|node| node.sent_control).sum();
+    let context_sent_total: u64 = report.nodes.iter().map(|node| node.sent_context).sum();
+    let intervals = (report.duration_ms as f64 / scenario.hb_interval_ms as f64).max(1.0);
+    CaseResult {
+        name: name.to_string(),
+        n: scenario.device_count(),
+        control_fanout: scenario.control_fanout,
+        control_loss: scenario.control_loss,
+        control_msgs_per_interval: control_sent_total as f64 / intervals,
+        combined_msgs_per_interval: (control_sent_total + context_sent_total) as f64 / intervals,
+        control_sent_total,
+        context_sent_total,
+        context_converged_ms: report.context_convergence_ms(),
+        reconfigurations: report.total_reconfigurations(),
+        rounds: report.completed_rounds().len(),
+        messages_lost: report.messages_lost,
+        deliveries: report.total_app_deliveries(),
+        events_processed: report.events_processed,
+        wall_ms,
+        events_per_sec: report.events_processed as f64 / (wall_ms / 1000.0).max(1e-9),
+    }
+}
+
+fn json_option(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_membership_scale.json".into());
+    // Generous wall-clock budget for the 250-node case: CI fails the job if
+    // an O(n²) regression blows through it.
+    let wall_budget_ms: f64 = std::env::var("BENCH_WALL_BUDGET_MS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(60_000.0);
+
+    eprintln!("membership-scale quick mode (wall budget for n=250: {wall_budget_ms:.0} ms)");
+    eprintln!(
+        "{:>24}  {:>5}  {:>6}  {:>5}  {:>12}  {:>11}  {:>7}  {:>9}  {:>9}  {:>10}",
+        "case",
+        "n",
+        "fanout",
+        "loss",
+        "ctrl/intvl",
+        "converge-ms",
+        "rounds",
+        "data-lost",
+        "wall-ms",
+        "events/s"
+    );
+
+    let mut results = Vec::new();
+
+    // The O(n²) baseline: all-to-all heartbeats + full context floods.
+    results.push(run_case(
+        "baseline-alltoall-n100",
+        &Scenario::large_group(100).with_control_fanout(0),
+    ));
+
+    // The gossip plane across the membership scale.
+    for n in [10usize, 50, 100, 250] {
+        results.push(run_case(&format!("gossip-n{n}"), &Scenario::large_group(n)));
+    }
+
+    // Context convergence under control-plane loss, with digest anti-entropy
+    // as the only repair mechanism (no periodic full republish in gossip
+    // mode).
+    for loss in [0.1f64, 0.3] {
+        let name = format!("gossip-n100-loss{}pct", (loss * 100.0).round() as u64);
+        results.push(run_case(
+            &name,
+            &Scenario::large_group(100).with_control_loss(loss),
+        ));
+    }
+
+    for result in &results {
+        eprintln!(
+            "{:>24}  {:>5}  {:>6}  {:>5.2}  {:>12.1}  {:>11}  {:>7}  {:>9}  {:>9.1}  {:>10.0}",
+            result.name,
+            result.n,
+            result.control_fanout,
+            result.control_loss,
+            result.combined_msgs_per_interval,
+            json_option(result.context_converged_ms),
+            result.rounds,
+            result.messages_lost,
+            result.wall_ms,
+            result.events_per_sec,
+        );
+    }
+
+    let baseline = &results[0];
+    let gossip_n100 = results
+        .iter()
+        .find(|result| result.name == "gossip-n100")
+        .expect("gossip n=100 case ran");
+    let reduction = baseline.control_msgs_per_interval / gossip_n100.control_msgs_per_interval;
+    let combined_reduction =
+        baseline.combined_msgs_per_interval / gossip_n100.combined_msgs_per_interval;
+    eprintln!(
+        "control messages per heartbeat interval at n=100: {:.0} (all-to-all) vs {:.0} (gossip) — \
+         {reduction:.1}x reduction ({combined_reduction:.1}x with context dissemination included)",
+        baseline.control_msgs_per_interval, gossip_n100.control_msgs_per_interval
+    );
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"membership-scale\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!(
+        "  \"alltoall_vs_gossip_reduction_n100\": {reduction:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"combined_reduction_n100\": {combined_reduction:.1},\n"
+    ));
+    json.push_str(&format!("  \"wall_budget_ms\": {wall_budget_ms:.0},\n"));
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"control_fanout\": {}, \"control_loss\": {:.2}, \
+             \"control_msgs_per_interval\": {:.1}, \"combined_msgs_per_interval\": {:.1}, \
+             \"control_sent_total\": {}, \
+             \"context_sent_total\": {}, \"context_converged_ms\": {}, \
+             \"reconfigurations\": {}, \"rounds\": {}, \"messages_lost\": {}, \
+             \"app_deliveries\": {}, \"events_processed\": {}, \"wall_ms\": {:.1}, \
+             \"events_per_sec\": {:.0}}}{}\n",
+            result.name,
+            result.n,
+            result.control_fanout,
+            result.control_loss,
+            result.control_msgs_per_interval,
+            result.combined_msgs_per_interval,
+            result.control_sent_total,
+            result.context_sent_total,
+            json_option(result.context_converged_ms),
+            result.reconfigurations,
+            result.rounds,
+            result.messages_lost,
+            result.deliveries,
+            result.events_processed,
+            result.wall_ms,
+            result.events_per_sec,
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+
+    // --- Assertions: the acceptance criteria of the gossip control plane
+    // (after the results file is written, so failed runs still record data).
+    assert!(
+        reduction >= 10.0,
+        "gossip must cut heartbeat-plane traffic at n=100 by >= 10x (got {reduction:.1}x)"
+    );
+    assert!(
+        combined_reduction > 1.0,
+        "the whole control plane (context dissemination included) must be cheaper than \
+         the all-to-all baseline (got {combined_reduction:.1}x)"
+    );
+
+    for result in &results {
+        assert_eq!(
+            result.messages_lost, 0,
+            "no chat message may be lost across the reconfiguration ({})",
+            result.name
+        );
+        if result.control_fanout > 0 {
+            assert!(
+                result.context_converged_ms.is_some(),
+                "digest anti-entropy must converge the context store ({})",
+                result.name
+            );
+            assert!(
+                result.n < 16 || result.rounds > 0,
+                "the large-group adaptation round must complete ({})",
+                result.name
+            );
+        }
+    }
+
+    let n250 = results
+        .iter()
+        .find(|result| result.name == "gossip-n250")
+        .expect("250-node case ran");
+    assert!(
+        n250.wall_ms <= wall_budget_ms,
+        "the 250-node run must stay within the CI wall budget ({:.0} ms > {wall_budget_ms:.0} ms)",
+        n250.wall_ms
+    );
+}

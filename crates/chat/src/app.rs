@@ -68,7 +68,9 @@ impl ChatApp {
                 self.reconfigurations_seen.push(stack.clone());
                 None
             }
-            DeliveryKind::ReconfigurationComplete { .. } | DeliveryKind::Notification(_) => None,
+            DeliveryKind::ReconfigurationComplete { .. }
+            | DeliveryKind::ContextConverged { .. }
+            | DeliveryKind::Notification(_) => None,
         }
     }
 

@@ -1,20 +1,41 @@
 //! The Cocaditem dissemination layer.
 //!
 //! This layer runs on the group communication **control channel** of every
-//! node. Periodically it samples the local context through the retrievers and
-//! multicasts the snapshot to the other participants; snapshots received from
-//! peers are stored and re-published upward as [`ContextUpdated`] events so
-//! the Core control layer (stacked above) can evaluate its adaptation
-//! policies against the *distributed* context — exactly the coordination the
-//! paper's prototype performs over a shared control channel.
+//! node. Periodically it samples the local context through the retrievers;
+//! snapshots received from peers are stored and re-published upward as
+//! [`ContextUpdated`] events so the Core control layer (stacked above) can
+//! evaluate its adaptation policies against the *distributed* context —
+//! exactly the coordination the paper's prototype performs over a shared
+//! control channel.
+//!
+//! Dissemination is epidemic rather than an all-to-all flood:
+//!
+//! * when the local context changes significantly, the snapshot is **pushed
+//!   to `fanout` random peers**, each of which forwards fresh snapshots to
+//!   another `fanout` peers while `forward_ttl` lasts — `O(n · fanout)`
+//!   messages per publication instead of `n · (n - 1)`, converging in
+//!   `O(log n)` hops;
+//! * every publish interval the layer additionally gossips a compact
+//!   [`ContextDigest`] — its `(node, version)` view of the store — to
+//!   `fanout` random peers. A digest receiver **pulls** the snapshots its
+//!   peer holds newer versions of ([`ContextPull`], rate-limited per node so
+//!   concurrent digests do not re-request the same snapshots) and the answer
+//!   arrives as one batched [`ContextBatch`], so any snapshot lost in
+//!   transit is repaired within a few intervals without periodically
+//!   re-flooding full snapshots.
+//!
+//! Setting `fanout` to `0` restores the legacy flood (full snapshot to every
+//! member on every change, plus the `refresh_every` full republish), which
+//! benchmarks use as the O(n²) baseline.
 
 use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
 use morpheus_appia::events::{ChannelInit, TimerExpired};
 use morpheus_appia::kernel::EventContext;
 use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
 use morpheus_appia::message::Message;
-use morpheus_appia::platform::NodeId;
+use morpheus_appia::platform::{DeliveryKind, NodeId};
 use morpheus_appia::session::Session;
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 use morpheus_appia::{internal_event, sendable_event, Kernel};
 use morpheus_groupcomm::events::ViewInstall;
 
@@ -29,9 +50,28 @@ pub const COCADITEM_LAYER: &str = "cocaditem";
 const PUBLISH_TAG: u32 = 1;
 
 sendable_event! {
-    /// A context snapshot multicast on the control channel (payload: the
-    /// encoded [`ContextSnapshot`]).
+    /// A context snapshot travelling between nodes (payload: a forwarding
+    /// TTL on top of the encoded [`ContextSnapshot`]).
     pub struct ContextPublish, class: Context
+}
+
+sendable_event! {
+    /// An anti-entropy digest: the sender's `(node, version)` view of its
+    /// context store (payload: the encoded [`DigestBody`]).
+    pub struct ContextDigest, class: Context
+}
+
+sendable_event! {
+    /// A pull request for snapshots the digest sender holds newer versions
+    /// of (payload: the encoded [`PullBody`]).
+    pub struct ContextPull, class: Context
+}
+
+sendable_event! {
+    /// The answer to a [`ContextPull`]: every requested snapshot batched
+    /// into one message (payload: the encoded [`BatchBody`]), so repairing a
+    /// freshly booted node costs one message instead of one per member.
+    pub struct ContextBatch, class: Context
 }
 
 internal_event! {
@@ -45,10 +85,105 @@ internal_event! {
     categories: [Internal]
 }
 
-/// Registers the Cocaditem layer and its event type with a kernel.
+/// Wire body of a [`ContextDigest`]: every store entry as `(node, version)`,
+/// where the version is the snapshot's capture time (monotonic per node).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DigestBody {
+    /// `(node, version)` pairs, in node-id order.
+    pub entries: Vec<(NodeId, u64)>,
+}
+
+impl Wire for DigestBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for (node, version) in &self.entries {
+            node.encode(w);
+            w.put_u64(*version);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // Each entry occupies 12 wire bytes; reject adversarial counts
+        // before allocating.
+        if count > r.remaining() / 12 {
+            return Err(WireError::Malformed("context digest count exceeds payload"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let node = NodeId::decode(r)?;
+            let version = r.get_u64()?;
+            entries.push((node, version));
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Wire body of a [`ContextPull`]: the nodes whose snapshots are requested.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PullBody {
+    /// Nodes whose snapshots the requester is missing or holds stale.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Wire for PullBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.nodes.len() as u32);
+        for node in &self.nodes {
+            node.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        if count > r.remaining() / 4 {
+            return Err(WireError::Malformed("context pull count exceeds payload"));
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            nodes.push(NodeId::decode(r)?);
+        }
+        Ok(Self { nodes })
+    }
+}
+
+/// Wire body of a [`ContextBatch`]: the requested snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchBody {
+    /// The snapshots, in the order they were requested.
+    pub snapshots: Vec<ContextSnapshot>,
+}
+
+impl Wire for BatchBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.snapshots.len() as u32);
+        for snapshot in &self.snapshots {
+            snapshot.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // A snapshot encodes to at least 16 bytes (node + capture time +
+        // value count); reject adversarial counts before allocating.
+        if count > r.remaining() / 16 {
+            return Err(WireError::Malformed("context batch count exceeds payload"));
+        }
+        let mut snapshots = Vec::with_capacity(count);
+        for _ in 0..count {
+            snapshots.push(ContextSnapshot::decode(r)?);
+        }
+        Ok(Self { snapshots })
+    }
+}
+
+/// Registers the Cocaditem layer and its event types with a kernel.
 pub fn register_cocaditem(kernel: &mut Kernel) {
     kernel.layers_mut().register(CocaditemLayer);
     ContextPublish::register(kernel.events_mut());
+    ContextDigest::register(kernel.events_mut());
+    ContextPull::register(kernel.events_mut());
+    ContextBatch::register(kernel.events_mut());
 }
 
 /// The Cocaditem dissemination layer.
@@ -56,8 +191,14 @@ pub fn register_cocaditem(kernel: &mut Kernel) {
 /// Parameters:
 ///
 /// * `members` — comma-separated initial membership of the control group;
-/// * `publish_interval_ms` — how often the local context is sampled and
-///   disseminated (default 1000 ms).
+/// * `publish_interval_ms` — how often the local context is sampled and the
+///   digest round runs (default 1000 ms);
+/// * `fanout` — random peers each push/digest targets (default 3; `0`
+///   selects the legacy all-to-all flood);
+/// * `forward_ttl` — epidemic forwarding rounds a fresh snapshot survives
+///   (default 3);
+/// * `refresh_every` — legacy mode only: full republish every N quiet ticks
+///   (default 10).
 pub struct CocaditemLayer;
 
 impl Layer for CocaditemLayer {
@@ -68,6 +209,9 @@ impl Layer for CocaditemLayer {
     fn accepted_events(&self) -> Vec<EventSpec> {
         vec![
             EventSpec::of::<ContextPublish>(),
+            EventSpec::of::<ContextDigest>(),
+            EventSpec::of::<ContextPull>(),
+            EventSpec::of::<ContextBatch>(),
             EventSpec::of::<ChannelInit>(),
             EventSpec::of::<TimerExpired>(),
             EventSpec::of::<ViewInstall>(),
@@ -75,19 +219,31 @@ impl Layer for CocaditemLayer {
     }
 
     fn provided_events(&self) -> Vec<&'static str> {
-        vec!["ContextPublish", "ContextUpdated"]
+        vec![
+            "ContextPublish",
+            "ContextDigest",
+            "ContextPull",
+            "ContextBatch",
+            "ContextUpdated",
+        ]
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let members = param_node_list(params, "members");
         Box::new(CocaditemSession {
-            members: param_node_list(params, "members"),
+            member_set: members.iter().copied().collect(),
+            members,
             publish_interval_ms: param_or(params, "publish_interval_ms", 1000u64).max(10),
             refresh_every: param_or(params, "refresh_every", 10u32).max(1),
+            fanout: param_or(params, "fanout", 3usize),
+            forward_ttl: param_or(params, "forward_ttl", 3u32),
             retrievers: default_retrievers(),
             store: ContextStore::new(),
             last_published: None,
             ticks_since_publish: 0,
             publications: 0,
+            converged_reported: false,
+            recent_pulls: std::collections::HashMap::new(),
         })
     }
 }
@@ -124,13 +280,25 @@ fn changed_significantly(previous: &ContextSnapshot, current: &ContextSnapshot) 
 /// Session state of the Cocaditem dissemination layer.
 pub struct CocaditemSession {
     members: Vec<NodeId>,
+    /// Same membership as `members`, indexed for the per-digest-entry check
+    /// (a `Vec::contains` per entry would make every received digest O(n²)).
+    member_set: std::collections::HashSet<NodeId>,
     publish_interval_ms: u64,
     refresh_every: u32,
+    /// Push/digest fan-out; `0` selects the legacy all-to-all flood.
+    fanout: usize,
+    forward_ttl: u32,
     retrievers: Vec<Box<dyn ContextRetriever>>,
     store: ContextStore,
     last_published: Option<ContextSnapshot>,
     ticks_since_publish: u32,
     publications: u64,
+    converged_reported: bool,
+    /// When each node's snapshot was last pulled (local ms). Several digests
+    /// arrive per interval; without this, every one of them would re-request
+    /// the same missing snapshots and the boot transient would cost more
+    /// messages than the flood it replaces.
+    recent_pulls: std::collections::HashMap<NodeId, u64>,
 }
 
 impl std::fmt::Debug for CocaditemSession {
@@ -138,6 +306,7 @@ impl std::fmt::Debug for CocaditemSession {
         f.debug_struct("CocaditemSession")
             .field("members", &self.members)
             .field("publish_interval_ms", &self.publish_interval_ms)
+            .field("fanout", &self.fanout)
             .field("known_nodes", &self.store.len())
             .field("publications", &self.publications)
             .finish()
@@ -156,15 +325,64 @@ impl CocaditemSession {
         snapshot
     }
 
+    /// Picks up to `limit` random members, excluding `exclude`.
+    fn random_targets(
+        &self,
+        limit: usize,
+        exclude: &[NodeId],
+        ctx: &mut EventContext<'_>,
+    ) -> Vec<NodeId> {
+        morpheus_groupcomm::gossip::sample_peers(&self.members, exclude, limit, ctx)
+    }
+
+    /// Sends one snapshot to explicit targets with the given forwarding TTL.
+    fn send_snapshot(
+        snapshot: &ContextSnapshot,
+        ttl: u32,
+        targets: Vec<NodeId>,
+        ctx: &mut EventContext<'_>,
+    ) {
+        if targets.is_empty() {
+            return;
+        }
+        let mut message = Message::new();
+        message.push(snapshot);
+        message.push(&ttl);
+        ctx.dispatch(Event::down(ContextPublish::new(
+            ctx.node_id(),
+            Dest::Nodes(targets),
+            message,
+        )));
+    }
+
+    /// Reports (once) that the store covers the whole membership, so the
+    /// testbed can measure dissemination convergence time.
+    fn maybe_report_convergence(&mut self, ctx: &mut EventContext<'_>) {
+        if self.converged_reported || self.members.is_empty() {
+            return;
+        }
+        if self
+            .members
+            .iter()
+            .all(|member| self.store.get(*member).is_some())
+        {
+            self.converged_reported = true;
+            ctx.deliver(DeliveryKind::ContextConverged {
+                nodes: self.members.len(),
+            });
+        }
+    }
+
     /// Samples the local context and disseminates it when it changed
-    /// significantly since the last publication (or when the periodic refresh
-    /// is due, so late joiners and lossy links eventually converge).
+    /// significantly since the last publication. In epidemic mode the
+    /// snapshot is pushed to `fanout` random peers (anti-entropy digests
+    /// repair any loss); in legacy mode it is flooded to every member, with
+    /// the periodic `refresh_every` full republish as the loss crutch.
     fn publish(&mut self, ctx: &mut EventContext<'_>, force: bool) {
         let local = ctx.node_id();
         let snapshot = self.sample_local(ctx);
-        self.store.update(snapshot.clone());
-        // Local context is also reported upward so the local Core instance
-        // sees its own node's context without a network round trip.
+        // Local context is reported upward on every tick so the local Core
+        // instance sees its own node's context without a network round trip.
         ctx.dispatch(Event::up(ContextUpdated {
             snapshot: snapshot.clone(),
         }));
@@ -174,28 +392,152 @@ impl CocaditemSession {
             Some(previous) => changed_significantly(previous, &snapshot),
             None => true,
         };
-        if !(force || changed || self.ticks_since_publish >= self.refresh_every) {
+        let legacy_refresh = self.fanout == 0 && self.ticks_since_publish >= self.refresh_every;
+        if !(force || changed || legacy_refresh) {
             return;
         }
 
-        let others: Vec<NodeId> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|member| *member != local)
-            .collect();
-        if !others.is_empty() {
-            let mut message = Message::new();
-            message.push(&snapshot);
+        // The store (and therefore the digest) only ever advances to
+        // *published* versions: an unpublished local re-sample must not bump
+        // the advertised version, or every digest receiver would pull the
+        // "newer" snapshot on every interval forever.
+        self.store.update(snapshot.clone());
+        self.maybe_report_convergence(ctx);
+
+        let targets = if self.fanout == 0 {
+            self.members
+                .iter()
+                .copied()
+                .filter(|member| *member != local)
+                .collect()
+        } else {
+            self.random_targets(self.fanout, &[local], ctx)
+        };
+        if !targets.is_empty() {
             self.publications += 1;
-            ctx.dispatch(Event::down(ContextPublish::new(
-                local,
-                Dest::Nodes(others),
-                message,
-            )));
+            let ttl = if self.fanout == 0 {
+                0
+            } else {
+                self.forward_ttl
+            };
+            Self::send_snapshot(&snapshot, ttl, targets, ctx);
         }
         self.last_published = Some(snapshot);
         self.ticks_since_publish = 0;
+    }
+
+    /// Gossips the store digest to `fanout` random peers (epidemic mode's
+    /// per-interval anti-entropy round).
+    fn gossip_digest(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let targets = self.random_targets(self.fanout, &[local], ctx);
+        if targets.is_empty() {
+            return;
+        }
+        let body = DigestBody {
+            entries: self.store.digest(),
+        };
+        let mut message = Message::new();
+        message.push(&body);
+        ctx.dispatch(Event::down(ContextDigest::new(
+            local,
+            Dest::Nodes(targets),
+            message,
+        )));
+    }
+
+    /// Handles a received snapshot: store it, report it upward and — while
+    /// the TTL lasts — keep spreading it if it was news.
+    fn on_snapshot(
+        &mut self,
+        snapshot: ContextSnapshot,
+        ttl: u32,
+        from: NodeId,
+        ctx: &mut EventContext<'_>,
+    ) {
+        let fresh = self.store.update(snapshot.clone());
+        if !fresh {
+            return;
+        }
+        ctx.dispatch(Event::up(ContextUpdated {
+            snapshot: snapshot.clone(),
+        }));
+        self.maybe_report_convergence(ctx);
+        if self.fanout > 0 && ttl > 0 {
+            let local = ctx.node_id();
+            let targets = self.random_targets(self.fanout, &[local, from, snapshot.node], ctx);
+            Self::send_snapshot(&snapshot, ttl - 1, targets, ctx);
+        }
+    }
+
+    /// Handles a received digest: pull what the peer holds newer (pull-only
+    /// anti-entropy). Pulls are rate-limited per node — several digests
+    /// arrive each interval and must not all re-request the same snapshots —
+    /// and retried after a publish interval, which bounds convergence under
+    /// loss without any periodic full republish.
+    fn on_digest(&mut self, body: DigestBody, from: NodeId, ctx: &mut EventContext<'_>) {
+        let now = ctx.now_ms();
+        let mut wants: Vec<NodeId> = Vec::new();
+        for (node, version) in &body.entries {
+            if !self.member_set.contains(node) {
+                continue;
+            }
+            if self.store.version_of(*node) >= Some(*version) {
+                continue;
+            }
+            let recently = self
+                .recent_pulls
+                .get(node)
+                .is_some_and(|at| now.saturating_sub(*at) < self.publish_interval_ms);
+            if !recently {
+                self.recent_pulls.insert(*node, now);
+                wants.push(*node);
+            }
+        }
+        if !wants.is_empty() {
+            let mut message = Message::new();
+            message.push(&PullBody { nodes: wants });
+            ctx.dispatch(Event::down(ContextPull::new(
+                ctx.node_id(),
+                Dest::Node(from),
+                message,
+            )));
+        }
+    }
+
+    /// Handles a pull request: answer with every requested snapshot batched
+    /// into a single message.
+    fn on_pull(&mut self, body: PullBody, from: NodeId, ctx: &mut EventContext<'_>) {
+        let snapshots: Vec<ContextSnapshot> = body
+            .nodes
+            .into_iter()
+            .filter_map(|node| self.store.get(node).cloned())
+            .collect();
+        if snapshots.is_empty() {
+            return;
+        }
+        let mut message = Message::new();
+        message.push(&BatchBody { snapshots });
+        ctx.dispatch(Event::down(ContextBatch::new(
+            ctx.node_id(),
+            Dest::Node(from),
+            message,
+        )));
+    }
+
+    /// Handles a batched pull answer: each snapshot is stored and reported
+    /// like a directly received publication (no further forwarding — the
+    /// batch was explicitly requested, so spreading it again would only
+    /// re-create the redundancy the pull rate limit removed).
+    fn on_batch(&mut self, body: BatchBody, ctx: &mut EventContext<'_>) {
+        for snapshot in body.snapshots {
+            let node = snapshot.node;
+            if self.store.update(snapshot.clone()) {
+                self.recent_pulls.remove(&node);
+                ctx.dispatch(Event::up(ContextUpdated { snapshot }));
+            }
+        }
+        self.maybe_report_convergence(ctx);
     }
 }
 
@@ -217,6 +559,9 @@ impl Session for CocaditemSession {
             if timer.owner == COCADITEM_LAYER {
                 if timer.tag == PUBLISH_TAG {
                     self.publish(ctx, false);
+                    if self.fanout > 0 {
+                        self.gossip_digest(ctx);
+                    }
                     ctx.set_timer(self.publish_interval_ms, PUBLISH_TAG);
                 }
                 return;
@@ -226,6 +571,14 @@ impl Session for CocaditemSession {
         }
         if let Some(install) = event.get::<ViewInstall>() {
             self.members = install.view.members.clone();
+            self.member_set = self.members.iter().copied().collect();
+            // Expelled members must stop occupying the store (their digest
+            // entry would otherwise ride every future digest) and the pull
+            // rate-limit map.
+            self.store.retain_members(&self.members);
+            self.recent_pulls
+                .retain(|node, _| self.members.contains(node));
+            self.converged_reported = false;
             ctx.forward(event);
             return;
         }
@@ -237,11 +590,58 @@ impl Session for CocaditemSession {
             let Some(publish) = event.get_mut::<ContextPublish>() else {
                 return;
             };
+            let from = publish.header.source;
+            let Ok(ttl) = publish.message.pop::<u32>() else {
+                return;
+            };
             let Ok(snapshot) = publish.message.pop::<ContextSnapshot>() else {
                 return;
             };
-            self.store.update(snapshot.clone());
-            ctx.dispatch(Event::up(ContextUpdated { snapshot }));
+            self.on_snapshot(snapshot, ttl, from, ctx);
+            return;
+        }
+        if event.is::<ContextDigest>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(digest) = event.get_mut::<ContextDigest>() else {
+                return;
+            };
+            let from = digest.header.source;
+            let Ok(body) = digest.message.pop::<DigestBody>() else {
+                return;
+            };
+            self.on_digest(body, from, ctx);
+            return;
+        }
+        if event.is::<ContextPull>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(pull) = event.get_mut::<ContextPull>() else {
+                return;
+            };
+            let from = pull.header.source;
+            let Ok(body) = pull.message.pop::<PullBody>() else {
+                return;
+            };
+            self.on_pull(body, from, ctx);
+            return;
+        }
+        if event.is::<ContextBatch>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(batch) = event.get_mut::<ContextBatch>() else {
+                return;
+            };
+            let Ok(body) = batch.message.pop::<BatchBody>() else {
+                return;
+            };
+            self.on_batch(body, ctx);
             return;
         }
         ctx.forward(event);
@@ -266,22 +666,43 @@ mod tests {
                 .join(","),
         );
         params.insert("publish_interval_ms".into(), interval.to_string());
+        params
+    }
+
+    fn legacy_params(members: &[u32], interval: u64) -> LayerParams {
+        let mut params = params(members, interval);
+        params.insert("fanout".into(), "0".into());
         // Re-publish on every tick so the timer-driven tests below observe a
         // publication even when the context is unchanged.
         params.insert("refresh_every".into(), "1".into());
         params
     }
 
+    fn publish_message(snapshot: &ContextSnapshot, ttl: u32) -> Message {
+        let mut message = Message::new();
+        message.push(snapshot);
+        message.push(&ttl);
+        message
+    }
+
+    fn fire_publish_timer(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        assert!(!timers.is_empty());
+        harness.fire_timer(timers[0].1, platform);
+    }
+
     #[test]
-    fn init_publishes_the_local_context() {
+    fn init_publishes_the_local_context_legacy_floods_everyone() {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 500), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer,
+            &legacy_params(&[1, 2, 3], 500),
+            &mut platform,
+        );
 
         // The initial publication happened during ChannelInit (drained by the
         // harness); trigger another one via the timer to observe it.
-        let timers: Vec<_> = std::mem::take(&mut platform.timers);
-        assert!(!timers.is_empty());
-        cocaditem.fire_timer(timers[0].1, &mut platform);
+        fire_publish_timer(&mut cocaditem, &mut platform);
 
         let down = cocaditem.drain_down();
         let publish: Vec<&Event> = down
@@ -292,6 +713,10 @@ mod tests {
         assert_eq!(
             publish[0].get::<ContextPublish>().unwrap().header.dest,
             Dest::Nodes(vec![NodeId(1), NodeId(3)])
+        );
+        assert!(
+            down.iter().all(|event| !event.is::<ContextDigest>()),
+            "legacy mode gossips no digests"
         );
 
         let up = cocaditem.drain_up();
@@ -315,18 +740,57 @@ mod tests {
     }
 
     #[test]
-    fn received_publications_are_reported_upward() {
+    fn epidemic_mode_pushes_to_fanout_peers_and_gossips_digests() {
+        let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(0)));
+        let members: Vec<u32> = (0..12).collect();
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&members, 500), &mut platform);
+
+        // Drain the battery enough to re-trigger a significant change, then
+        // fire the publish timer.
+        let mut drained = NodeProfile::mobile_pda(NodeId(0));
+        drained.battery_level = 0.5;
+        platform.profile = drained;
+        fire_publish_timer(&mut cocaditem, &mut platform);
+
+        let down = cocaditem.drain_down();
+        let publishes: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextPublish>())
+            .collect();
+        assert_eq!(publishes.len(), 1);
+        let publish = publishes[0].get::<ContextPublish>().unwrap();
+        let Dest::Nodes(targets) = &publish.header.dest else {
+            panic!("publish must address a node list");
+        };
+        assert_eq!(targets.len(), 3, "push fan-out bounds the traffic");
+
+        let digests: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextDigest>())
+            .collect();
+        assert_eq!(digests.len(), 1, "one digest round per interval");
+        let digest = digests[0].get::<ContextDigest>().unwrap();
+        let Dest::Nodes(digest_targets) = &digest.header.dest else {
+            panic!("digest must address a node list");
+        };
+        assert_eq!(digest_targets.len(), 3);
+        let body = digest.message.clone().pop::<DigestBody>().unwrap();
+        assert_eq!(body.entries.len(), 1, "digest lists the known store");
+        assert_eq!(body.entries[0].0, NodeId(0));
+    }
+
+    #[test]
+    fn received_publications_are_reported_upward_and_forwarded_while_fresh() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        let members: Vec<u32> = (0..10).collect();
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&members, 1000), &mut platform);
 
         let snapshot = ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(2)), 77);
-        let mut message = Message::new();
-        message.push(&snapshot);
         let up = cocaditem.run_up(
             Event::up(ContextPublish::new(
                 NodeId(2),
                 Dest::Node(NodeId(1)),
-                message,
+                publish_message(&snapshot, 2),
             )),
             &mut platform,
         );
@@ -338,12 +802,236 @@ mod tests {
         let received = &updated[0].get::<ContextUpdated>().unwrap().snapshot;
         assert_eq!(received.node, NodeId(2));
         assert_eq!(received.captured_at_ms, 77);
+
+        // The fresh snapshot is forwarded epidemically with a decremented TTL.
+        let down = cocaditem.drain_down();
+        let forwards: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextPublish>())
+            .collect();
+        assert_eq!(forwards.len(), 1);
+        let mut message = forwards[0].get::<ContextPublish>().unwrap().message.clone();
+        assert_eq!(message.pop::<u32>().unwrap(), 1, "TTL decremented");
+
+        // A duplicate is neither reported nor forwarded.
+        let up = cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                publish_message(&snapshot, 2),
+            )),
+            &mut platform,
+        );
+        assert!(up.iter().all(|event| !event.is::<ContextUpdated>()));
+        assert!(cocaditem
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<ContextPublish>()));
+    }
+
+    #[test]
+    fn digests_trigger_rate_limited_pulls_for_stale_entries() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+
+        // Node 1 knows node 3's context at version 50.
+        let known = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(3)), 50);
+        cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                publish_message(&known, 0),
+            )),
+            &mut platform,
+        );
+        cocaditem.drain_down();
+
+        // Node 2's digest: it holds node 3 at version 90 (newer) and its own
+        // context, which node 1 has never seen.
+        let digest = |entries: Vec<(NodeId, u64)>| {
+            let mut message = Message::new();
+            message.push(&DigestBody { entries });
+            message
+        };
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                digest(vec![(NodeId(2), 10), (NodeId(3), 90)]),
+            )),
+            &mut platform,
+        );
+
+        let down = cocaditem.drain_down();
+        let pulls: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextPull>())
+            .collect();
+        assert_eq!(pulls.len(), 1);
+        let pull = pulls[0].get::<ContextPull>().unwrap();
+        assert_eq!(pull.header.dest, Dest::Node(NodeId(2)));
+        let body = pull.message.clone().pop::<PullBody>().unwrap();
+        assert_eq!(body.nodes, vec![NodeId(2), NodeId(3)]);
+        assert!(
+            down.iter().all(|event| !event.is::<ContextPublish>()),
+            "pull-only anti-entropy pushes nothing back"
+        );
+
+        // A second digest arriving within the same interval (e.g. from node
+        // 3) must not re-request the snapshots already in flight.
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                digest(vec![(NodeId(2), 10), (NodeId(3), 90)]),
+            )),
+            &mut platform,
+        );
+        assert!(
+            cocaditem
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<ContextPull>()),
+            "in-flight pulls are not repeated within the interval"
+        );
+
+        // After a publish interval the pull is retried (the answer may have
+        // been lost on a degraded control channel).
+        platform.advance(1000);
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                digest(vec![(NodeId(2), 10), (NodeId(3), 90)]),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            cocaditem
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<ContextPull>())
+                .count(),
+            1,
+            "lost answers are re-pulled on the next digest"
+        );
+    }
+
+    #[test]
+    fn pull_requests_are_answered_with_one_batched_message() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+        let known = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(3)), 50);
+        cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                publish_message(&known, 0),
+            )),
+            &mut platform,
+        );
+        cocaditem.drain_down();
+
+        let mut message = Message::new();
+        message.push(&PullBody {
+            nodes: vec![NodeId(1), NodeId(3), NodeId(9)],
+        });
+        cocaditem.run_up(
+            Event::up(ContextPull::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            &mut platform,
+        );
+        let down = cocaditem.drain_down();
+        let answers: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ContextBatch>())
+            .collect();
+        assert_eq!(answers.len(), 1, "one batch per pull");
+        let batch = answers[0].get::<ContextBatch>().unwrap();
+        assert_eq!(batch.header.dest, Dest::Node(NodeId(2)));
+        let body = batch.message.clone().pop::<BatchBody>().unwrap();
+        let nodes: Vec<NodeId> = body.snapshots.iter().map(|s| s.node).collect();
+        assert_eq!(
+            nodes,
+            vec![NodeId(1), NodeId(3)],
+            "the local snapshot and node 3's are known; node 9 is not"
+        );
+    }
+
+    #[test]
+    fn batched_answers_are_stored_and_reported_upward() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+        platform.take_deliveries();
+
+        let mut message = Message::new();
+        message.push(&BatchBody {
+            snapshots: vec![
+                ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(2)), 30),
+                ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(3)), 40),
+            ],
+        });
+        let up = cocaditem.run_up(
+            Event::up(ContextBatch::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            &mut platform,
+        );
+        let updated: Vec<NodeId> = up
+            .iter()
+            .filter_map(|event| {
+                event
+                    .get::<ContextUpdated>()
+                    .map(|update| update.snapshot.node)
+            })
+            .collect();
+        assert_eq!(updated, vec![NodeId(2), NodeId(3)]);
+        // The batch completed the membership: convergence is reported.
+        assert!(platform
+            .take_deliveries()
+            .iter()
+            .any(|delivery| matches!(delivery.kind, DeliveryKind::ContextConverged { nodes: 3 })));
+    }
+
+    #[test]
+    fn covering_the_whole_membership_is_reported_once() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        platform.take_deliveries();
+
+        let snapshot = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(2)), 10);
+        cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                publish_message(&snapshot, 0),
+            )),
+            &mut platform,
+        );
+        let converged: Vec<_> = platform
+            .take_deliveries()
+            .into_iter()
+            .filter(|delivery| matches!(delivery.kind, DeliveryKind::ContextConverged { nodes: 2 }))
+            .collect();
+        assert_eq!(converged.len(), 1);
+
+        // A newer snapshot does not re-report convergence.
+        let newer = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(2)), 20);
+        cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                publish_message(&newer, 0),
+            )),
+            &mut platform,
+        );
+        assert!(platform
+            .take_deliveries()
+            .iter()
+            .all(|delivery| !matches!(delivery.kind, DeliveryKind::ContextConverged { .. })));
     }
 
     #[test]
     fn unchanged_context_is_not_republished_before_the_refresh_deadline() {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
-        let mut params = params(&[1, 2], 500);
+        let mut params = legacy_params(&[1, 2], 500);
         params.insert("refresh_every".into(), "5".into());
         let mut cocaditem = Harness::new(CocaditemLayer, &params, &mut platform);
 
@@ -351,8 +1039,7 @@ mod tests {
         // unchanged profile, the next few ticks stay silent on the network
         // but keep reporting the local context upward.
         for _ in 0..3 {
-            let timers: Vec<_> = std::mem::take(&mut platform.timers);
-            cocaditem.fire_timer(timers[0].1, &mut platform);
+            fire_publish_timer(&mut cocaditem, &mut platform);
             let down = cocaditem.drain_down();
             assert!(down.iter().all(|event| !event.is::<ContextPublish>()));
             assert!(cocaditem
@@ -365,8 +1052,7 @@ mod tests {
         let mut drained = NodeProfile::mobile_pda(NodeId(2));
         drained.battery_level = 0.5;
         platform.profile = drained;
-        let timers: Vec<_> = std::mem::take(&mut platform.timers);
-        cocaditem.fire_timer(timers[0].1, &mut platform);
+        fire_publish_timer(&mut cocaditem, &mut platform);
         assert!(cocaditem
             .drain_down()
             .iter()
@@ -386,20 +1072,39 @@ mod tests {
             &mut platform,
         );
         assert!(up.iter().all(|event| !event.is::<ContextUpdated>()));
+
+        // Malformed digests and pulls are dropped too.
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
+        );
+        cocaditem.run_up(
+            Event::up(ContextPull::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
+        );
+        assert!(cocaditem.drain_down().is_empty());
     }
 
     #[test]
     fn view_install_updates_the_dissemination_targets() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 300), &mut platform);
+        let mut cocaditem =
+            Harness::new(CocaditemLayer, &legacy_params(&[1, 2], 300), &mut platform);
         cocaditem.run_down(
             Event::down(ViewInstall {
                 view: morpheus_groupcomm::View::new(1, vec![NodeId(1), NodeId(2), NodeId(5)]),
             }),
             &mut platform,
         );
-        let timers: Vec<_> = std::mem::take(&mut platform.timers);
-        cocaditem.fire_timer(timers[0].1, &mut platform);
+        fire_publish_timer(&mut cocaditem, &mut platform);
         let down = cocaditem.drain_down();
         let publish = down
             .iter()
@@ -409,5 +1114,25 @@ mod tests {
             publish.get::<ContextPublish>().unwrap().header.dest,
             Dest::Nodes(vec![NodeId(2), NodeId(5)])
         );
+    }
+
+    #[test]
+    fn digest_bodies_roundtrip_and_reject_adversarial_counts() {
+        let body = DigestBody {
+            entries: vec![(NodeId(1), 10), (NodeId(2), 20)],
+        };
+        assert_eq!(DigestBody::from_bytes(&body.to_bytes()).unwrap(), body);
+        let pull = PullBody {
+            nodes: vec![NodeId(4)],
+        };
+        assert_eq!(PullBody::from_bytes(&pull.to_bytes()).unwrap(), pull);
+
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_u64(1);
+        assert!(DigestBody::from_bytes(&w.finish()).is_err());
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(PullBody::from_bytes(&w.finish()).is_err());
     }
 }

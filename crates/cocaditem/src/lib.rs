@@ -23,7 +23,10 @@ pub mod retriever;
 pub mod store;
 
 pub use context::{ContextKey, ContextSnapshot, ContextValue};
-pub use dissemination::{register_cocaditem, ContextPublish, ContextUpdated, COCADITEM_LAYER};
+pub use dissemination::{
+    register_cocaditem, BatchBody, ContextBatch, ContextDigest, ContextPublish, ContextPull,
+    ContextUpdated, DigestBody, PullBody, COCADITEM_LAYER,
+};
 pub use pubsub::{Broker, Subscription, Topic};
 pub use retriever::{default_retrievers, ContextRetriever};
 pub use store::ContextStore;

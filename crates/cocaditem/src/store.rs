@@ -20,14 +20,46 @@ impl ContextStore {
     }
 
     /// Inserts or refreshes a node's snapshot. Older snapshots (by capture
-    /// time) never overwrite newer ones.
-    pub fn update(&mut self, snapshot: ContextSnapshot) {
+    /// time) never overwrite newer ones. Returns whether the snapshot was
+    /// stored — i.e. whether it was *news* (a node not seen before, or a
+    /// strictly newer capture), which is what decides whether an epidemic
+    /// forwarder should keep spreading it.
+    pub fn update(&mut self, snapshot: ContextSnapshot) -> bool {
         match self.snapshots.get(&snapshot.node) {
-            Some(existing) if existing.captured_at_ms > snapshot.captured_at_ms => {}
+            Some(existing) if existing.captured_at_ms > snapshot.captured_at_ms => false,
+            Some(existing) if existing.captured_at_ms == snapshot.captured_at_ms => {
+                // Same version: last writer wins (a local re-sample within
+                // one millisecond must not be ignored), but it is not news —
+                // an epidemic forwarder receiving it must not spread it again.
+                self.snapshots.insert(snapshot.node, snapshot);
+                false
+            }
             _ => {
                 self.snapshots.insert(snapshot.node, snapshot);
+                true
             }
         }
+    }
+
+    /// The capture time of a node's stored snapshot — the version the digest
+    /// anti-entropy protocol compares (capture times are monotonic per node).
+    pub fn version_of(&self, node: NodeId) -> Option<u64> {
+        self.snapshots
+            .get(&node)
+            .map(|snapshot| snapshot.captured_at_ms)
+    }
+
+    /// The `(node, version)` digest of the whole store, in node-id order.
+    pub fn digest(&self) -> Vec<(NodeId, u64)> {
+        self.snapshots
+            .iter()
+            .map(|(node, snapshot)| (*node, snapshot.captured_at_ms))
+            .collect()
+    }
+
+    /// Drops every node not in `members` (e.g. after a view change).
+    pub fn retain_members(&mut self, members: &[NodeId]) {
+        self.snapshots.retain(|node, _| members.contains(node));
     }
 
     /// Removes nodes that have not published for `max_age_ms` relative to `now_ms`.
@@ -147,12 +179,29 @@ mod tests {
     #[test]
     fn update_keeps_the_newest_snapshot() {
         let mut store = ContextStore::new();
-        store.update(fixed(1, 100));
-        store.update(fixed(1, 50));
+        assert!(store.update(fixed(1, 100)), "first sighting is news");
+        assert!(!store.update(fixed(1, 50)), "older snapshot is not");
         assert_eq!(store.get(NodeId(1)).unwrap().captured_at_ms, 100);
-        store.update(fixed(1, 200));
+        assert!(!store.update(fixed(1, 100)), "same version is a duplicate");
+        assert!(store.update(fixed(1, 200)));
         assert_eq!(store.get(NodeId(1)).unwrap().captured_at_ms, 200);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn digest_and_versions_track_capture_times() {
+        let mut store = ContextStore::new();
+        store.update(fixed(0, 100));
+        store.update(mobile(2, 70));
+        assert_eq!(store.version_of(NodeId(0)), Some(100));
+        assert_eq!(store.version_of(NodeId(5)), None);
+        assert_eq!(
+            store.digest(),
+            vec![(NodeId(0), 100), (NodeId(2), 70)],
+            "digest lists every entry in node-id order"
+        );
+        store.retain_members(&[NodeId(2)]);
+        assert_eq!(store.digest(), vec![(NodeId(2), 70)]);
     }
 
     #[test]

@@ -52,9 +52,9 @@ use morpheus_appia::session::Session;
 use morpheus_appia::Kernel;
 use morpheus_cocaditem::dissemination::ContextUpdated;
 use morpheus_cocaditem::ContextStore;
-use morpheus_groupcomm::events::{Alive, Suspect};
+use morpheus_groupcomm::events::{Alive, Suspect, ViewInstall};
 
-use crate::policy::{AdaptationPolicy, GlobalContext};
+use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
 use crate::rules::DefaultPolicy;
 use crate::stack_catalog::StackCatalog;
 
@@ -118,6 +118,7 @@ impl Layer for CoreLayer {
             EventSpec::of::<TimerExpired>(),
             EventSpec::of::<Suspect>(),
             EventSpec::of::<Alive>(),
+            EventSpec::of::<ViewInstall>(),
         ]
     }
 
@@ -146,6 +147,9 @@ impl Layer for CoreLayer {
                 .cloned()
                 .unwrap_or_else(|| "best-effort".to_string()),
             epoch: 0,
+            // Epoch 0 is never a valid round: holder 0 makes every epoch-0
+            // ballot lose the tie-break.
+            epoch_holder: NodeId(0),
             pending: None,
             acks: BTreeSet::new(),
             suspected: BTreeSet::new(),
@@ -165,6 +169,9 @@ impl Layer for CoreLayer {
 #[derive(Debug, Clone)]
 struct PendingReconfiguration {
     epoch: u64,
+    /// The stack kind of the round (kept so repairs can re-render the
+    /// description over a changed live membership later).
+    kind: StackKind,
     stack_name: String,
     description: String,
     started_at_ms: u64,
@@ -177,6 +184,10 @@ struct PendingReconfiguration {
 #[derive(Debug, Clone)]
 struct InstalledStack {
     epoch: u64,
+    /// The stack kind, when this node rendered the configuration itself
+    /// (coordinator side); members that merely deployed a shipped
+    /// description have no kind and repair with the description as-is.
+    kind: Option<StackKind>,
     stack_name: String,
     description: String,
 }
@@ -185,6 +196,16 @@ impl InstalledStack {
     fn matches(&self, epoch: u64, stack_name: &str) -> bool {
         self.epoch == epoch && self.stack_name == stack_name
     }
+}
+
+/// Whether ballot `(epoch, coordinator)` outranks `current`. Epochs are
+/// totally ordered Paxos-ballot style: the epoch number dominates and equal
+/// numbers are tie-broken by the coordinator id, *lower id winning* —
+/// consistent with the deterministic lowest-live-id election, so two
+/// coordinators briefly running concurrent rounds under the same epoch
+/// number can no longer both win acceptance (split-brain rounds).
+fn ballot_beats(epoch: u64, coordinator: NodeId, current: (u64, NodeId)) -> bool {
+    epoch > current.0 || (epoch == current.0 && coordinator.0 < current.1 .0)
 }
 
 /// Session state of the Core control layer.
@@ -202,6 +223,9 @@ pub struct CoreSession {
     current_stack: String,
     /// Highest reconfiguration epoch this node has initiated or accepted.
     epoch: u64,
+    /// The coordinator holding [`CoreSession::epoch`] — the tie-break half
+    /// of the ballot `(epoch, epoch_holder)`.
+    epoch_holder: NodeId,
     pending: Option<PendingReconfiguration>,
     acks: BTreeSet<NodeId>,
     suspected: BTreeSet<NodeId>,
@@ -332,13 +356,17 @@ impl CoreSession {
         // description to every other participant (including suspected ones —
         // a false suspicion must not starve a member of the command) and ask
         // the local module to deploy it too. `current_stack` is *not* touched
-        // here; it is committed when the round completes.
-        let config = self.catalog.config_for(&kind);
+        // here; it is committed when the round completes. The description is
+        // rendered over the *live* membership, so generated stacks stop
+        // listing crashed nodes.
+        let config = self.catalog.config_for_members(&kind, self.live_members());
         let description = config.to_xml();
         self.epoch += 1;
+        self.epoch_holder = local;
         self.reconfigurations_started += 1;
         self.pending = Some(PendingReconfiguration {
             epoch: self.epoch,
+            kind,
             stack_name: desired.clone(),
             description: description.clone(),
             started_at_ms: ctx.now_ms(),
@@ -380,6 +408,7 @@ impl CoreSession {
         // members that were cut out of the quorum can be repaired later.
         self.installed = Some(InstalledStack {
             epoch: pending.epoch,
+            kind: Some(pending.kind.clone()),
             stack_name: pending.stack_name.clone(),
             description: pending.description.clone(),
         });
@@ -419,17 +448,30 @@ impl CoreSession {
             return;
         }
         let local = ctx.node_id();
-        let behind: Vec<NodeId> = self
-            .live_members()
-            .into_iter()
+        let live = self.live_members();
+        let behind: Vec<NodeId> = live
+            .iter()
+            .copied()
             .filter(|member| *member != local && !self.confirmed.contains(member))
             .collect();
         if behind.is_empty() {
             return;
         }
         self.epoch += 1;
+        self.epoch_holder = local;
+        // Re-render the committed configuration over the *current* live
+        // membership before re-asserting it: a member repaired after a crash
+        // elsewhere must not receive stacks still listing the dead node.
+        let refreshed = self
+            .installed
+            .as_ref()
+            .and_then(|installed| installed.kind.clone())
+            .map(|kind| self.catalog.config_for_members(&kind, live).to_xml());
         let installed = self.installed.as_mut().expect("installed checked above");
         installed.epoch = self.epoch;
+        if let Some(description) = refreshed {
+            installed.description = description;
+        }
         Self::dispatch_command(
             installed.epoch,
             &installed.stack_name,
@@ -549,15 +591,19 @@ impl CoreSession {
             return;
         };
 
-        if epoch > self.epoch {
+        if ballot_beats(epoch, coordinator, (self.epoch, self.epoch_holder)) {
             self.epoch = epoch;
-            // A newer round supersedes anything this node initiated itself
-            // (it may have been deposed as coordinator by a false suspicion).
+            self.epoch_holder = coordinator;
+            // A winning ballot supersedes anything this node initiated
+            // itself — including a concurrent round under the *same* epoch
+            // number from a higher-id coordinator (split-brain after a false
+            // suspicion): the lower coordinator id wins the tie-break.
             if self.pending.is_some() {
                 self.abort_round(ctx);
             }
             self.accepted = Some(InstalledStack {
                 epoch,
+                kind: None,
                 stack_name: stack_name.clone(),
                 description: description.clone(),
             });
@@ -652,6 +698,23 @@ impl Session for CoreSession {
         if let Some(suspect) = event.get::<Suspect>() {
             let node = suspect.node;
             self.on_suspect(node, ctx);
+            return;
+        }
+
+        if let Some(install) = event.get::<ViewInstall>() {
+            // An installed view *is* the membership: nodes the view removed
+            // stop being considered for quorums, coordinator election and
+            // generated stack configurations entirely (unlike a suspicion,
+            // which is provisional and healable).
+            self.members = install.view.members.clone();
+            self.suspected.retain(|node| self.members.contains(node));
+            self.confirmed.retain(|node| self.members.contains(node));
+            self.store.retain_members(&self.members);
+            // The quorum may just have shrunk to the already-collected acks
+            // (same reason on_suspect re-checks): an expelled member must
+            // not stall a round it was the last missing ack of.
+            self.maybe_complete(ctx);
+            ctx.forward(event);
             return;
         }
 
@@ -1373,6 +1436,218 @@ mod tests {
             message.pop::<u64>().unwrap() > 2,
             "the repair epoch outranks the aborted round, so even a member \
              that deployed the aborted configuration accepts it"
+        );
+    }
+
+    #[test]
+    fn equal_epochs_are_tie_broken_by_the_coordinator_id() {
+        // Split-brain: after a false suspicion, coordinators 0 and 1 briefly
+        // run concurrent rounds under the same epoch number. The ballot
+        // order (epoch, coordinator-id) makes exactly one of them win on
+        // every member, regardless of arrival order.
+        let description = "<channel name=\"data\"><layer name=\"network\"/></channel>";
+
+        // Arrival order A: higher-id coordinator first, lower-id second.
+        let mut platform = TestPlatform::new(NodeId(5));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 5], true), &mut platform);
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(1),
+                Dest::Node(NodeId(5)),
+                command_message(2, "reliable", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(5)),
+                command_message(2, "best-effort", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            platform.reconfig_requests.len(),
+            2,
+            "the lower-id coordinator's equal-epoch ballot outranks the accepted one"
+        );
+        assert_eq!(platform.reconfig_requests[1].stack_name, "best-effort");
+        // A third command from the deposed coordinator under the same epoch
+        // is rejected.
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(1),
+                Dest::Node(NodeId(5)),
+                command_message(2, "fec-k4", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(platform.reconfig_requests.len(), 2);
+
+        // Arrival order B: lower-id coordinator first — the higher-id
+        // coordinator's same-epoch round never deploys.
+        let mut platform = TestPlatform::new(NodeId(5));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 5], true), &mut platform);
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(0),
+                Dest::Node(NodeId(5)),
+                command_message(2, "best-effort", description),
+            )),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigCommand::new(
+                NodeId(1),
+                Dest::Node(NodeId(5)),
+                command_message(2, "reliable", description),
+            )),
+            &mut platform,
+        );
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        assert_eq!(platform.reconfig_requests[0].stack_name, "best-effort");
+    }
+
+    #[test]
+    fn generated_stacks_list_only_live_members() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2, 3], true), &mut platform);
+
+        // Node 3 crashes before the adaptation fires; the configuration the
+        // round ships must not list it.
+        core.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, false), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+
+        assert_eq!(platform.reconfig_requests.len(), 1);
+        let description = &platform.reconfig_requests[0].description;
+        let config = morpheus_appia::config::ChannelConfig::from_xml(description).unwrap();
+        let fd = config.layers.iter().find(|l| l.layer == "fd").unwrap();
+        assert_eq!(
+            fd.params.get("members").map(String::as_str),
+            Some("0,1,2"),
+            "the crashed node dropped out of the generated stack"
+        );
+    }
+
+    #[test]
+    fn a_view_install_rewrites_the_control_membership() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        platform.take_deliveries();
+
+        // The view removes node 2 outright (it is not merely suspected):
+        // the round now completes over {0, 1} alone.
+        core.run_down(
+            Event::down(ViewInstall {
+                view: morpheus_groupcomm::View::new(2, vec![NodeId(0), NodeId(1)]),
+            }),
+            &mut platform,
+        );
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        let reports = completion_reports(&mut platform);
+        assert_eq!(reports.len(), 1, "node 2 is no longer awaited");
+    }
+
+    #[test]
+    fn a_view_install_completes_a_round_whose_last_ack_was_expelled() {
+        // Regression: the quorum check must re-run when the view shrinks,
+        // exactly as it does on a local Suspect — otherwise a round whose
+        // only missing ack belonged to the expelled member stalls until the
+        // round timeout aborts it.
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2], true), &mut platform);
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, true), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        platform.take_deliveries();
+
+        // Acks from 0 (self) and 1 arrive; node 2 stays silent.
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        assert!(completion_reports(&mut platform).is_empty());
+
+        // The view expels node 2: the round is complete over {0, 1} now.
+        core.run_down(
+            Event::down(ViewInstall {
+                view: morpheus_groupcomm::View::new(2, vec![NodeId(0), NodeId(1)]),
+            }),
+            &mut platform,
+        );
+        assert_eq!(completion_reports(&mut platform).len(), 1);
+    }
+
+    #[test]
+    fn repairs_are_re_rendered_over_the_current_live_membership() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut core = Harness::new(CoreLayer, &core_params(&[0, 1, 2, 3], true), &mut platform);
+        // Hybrid group: round 1 ships while everyone is live.
+        core.run_up(context_update(0, false), &mut platform);
+        core.run_up(context_update(1, false), &mut platform);
+        core.run_up(context_update(2, true), &mut platform);
+        core.run_up(context_update(3, true), &mut platform);
+        core.drain_down();
+
+        // Node 2's command is lost and it gets suspected; node 3 crashes for
+        // good too. The round completes over {0, 1}.
+        core.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        core.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        core.run_down(
+            deployment_ack(0, 0, 1, "hybrid-mecho-relay0"),
+            &mut platform,
+        );
+        core.run_up(
+            Event::up(ReconfigAck::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                ack_message(1, "hybrid-mecho-relay0"),
+            )),
+            &mut platform,
+        );
+        core.drain_down();
+
+        // Node 2 heals; the repair command it receives is rendered over the
+        // current live membership {0, 1, 2} — without the dead node 3.
+        core.run_up(Event::up(Alive { node: NodeId(2) }), &mut platform);
+        let down = core.drain_down();
+        let repair = down
+            .iter()
+            .find(|event| event.is::<ReconfigCommand>())
+            .expect("repair command sent on recovery");
+        let mut message = repair.get::<ReconfigCommand>().unwrap().message.clone();
+        let description: String = message.pop().unwrap();
+        let config = morpheus_appia::config::ChannelConfig::from_xml(&description).unwrap();
+        let fd = config.layers.iter().find(|l| l.layer == "fd").unwrap();
+        assert_eq!(
+            fd.params.get("members").map(String::as_str),
+            Some("0,1,2"),
+            "the repair description reflects the live view"
         );
     }
 

@@ -27,8 +27,8 @@ use morpheus_appia::platform::{
 use morpheus_appia::timer::TimerKey;
 use morpheus_appia::{ChannelId, Kernel};
 use morpheus_cocaditem::register_cocaditem;
-use morpheus_groupcomm::events::{BlockRequest, ResumeRequest};
-use morpheus_groupcomm::register_suite;
+use morpheus_groupcomm::events::{BlockRequest, ResumeRequest, ViewInstall};
+use morpheus_groupcomm::{register_suite, View};
 
 use crate::control::{register_core, ReconfigAck};
 use crate::policy::StackKind;
@@ -58,6 +58,12 @@ pub struct NodeOptions {
     /// Total time budget of one reconfiguration round before the coordinator
     /// aborts it and lets the policy re-fire, in milliseconds.
     pub round_timeout_ms: u64,
+    /// Gossip fan-out of the control mechanisms: the failure detectors
+    /// (control channel and generated data stacks) and the context
+    /// dissemination. `0` selects the legacy all-to-all control plane
+    /// (heartbeat multicast + context flood) — the benchmarks' O(n²)
+    /// baseline.
+    pub control_fanout: usize,
     /// Name of the data channel.
     pub data_channel: String,
     /// Name of the control channel.
@@ -78,6 +84,7 @@ impl NodeOptions {
             suspect_timeout_ms: 5000,
             retransmit_interval_ms: 500,
             round_timeout_ms: 4000,
+            control_fanout: 3,
             data_channel: "data".to_string(),
             control_channel: "ctrl".to_string(),
             core_params: Vec::new(),
@@ -130,7 +137,8 @@ impl MorpheusNode {
         register_core(&mut kernel);
 
         let catalog = StackCatalog::new(&options.data_channel, options.members.clone())
-            .with_failure_detection(options.hb_interval_ms, options.suspect_timeout_ms);
+            .with_failure_detection(options.hb_interval_ms, options.suspect_timeout_ms)
+            .with_fd_fanout(options.control_fanout);
 
         let data_config = catalog.config_for(&options.initial_stack);
         let data_channel = kernel.create_channel(&data_config, platform)?;
@@ -244,6 +252,31 @@ impl MorpheusNode {
     /// Reports a fired timer.
     pub fn timer_fired(&mut self, key: TimerKey, platform: &mut dyn Platform) {
         self.kernel.timer_expired(key, platform);
+    }
+
+    /// Installs a data-channel view on the **control** channel.
+    ///
+    /// View synchrony lives only in the generated data stacks; the control
+    /// channel (fd → cocaditem → core) never sees its `ViewInstall`s
+    /// directly. The node runtime calls this when the application is told
+    /// about a view change, so the control plane treats installed views as
+    /// authoritative membership: the failure detector stops tracking
+    /// expelled members, the context store drops their snapshots, and the
+    /// core layer removes them from ack quorums and generated stack
+    /// configurations. Idempotent — re-announcements of the current view
+    /// (e.g. across a stack replacement) are harmless.
+    pub fn install_control_view(
+        &mut self,
+        view_id: u64,
+        members: Vec<NodeId>,
+        platform: &mut dyn Platform,
+    ) {
+        let view = View::new(view_id, members);
+        self.kernel.dispatch_and_process(
+            self.control_channel,
+            Event::down(ViewInstall { view }),
+            platform,
+        );
     }
 
     /// Applies a reconfiguration request raised by the Core control layer:

@@ -20,6 +20,7 @@ pub struct StackCatalog {
     share_key: String,
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
+    fd_fanout: usize,
 }
 
 impl StackCatalog {
@@ -31,6 +32,7 @@ impl StackCatalog {
             share_key: "group".to_string(),
             hb_interval_ms: 1000,
             suspect_timeout_ms: 5000,
+            fd_fanout: 3,
         }
     }
 
@@ -38,6 +40,14 @@ impl StackCatalog {
     pub fn with_failure_detection(mut self, hb_interval_ms: u64, suspect_timeout_ms: u64) -> Self {
         self.hb_interval_ms = hb_interval_ms;
         self.suspect_timeout_ms = suspect_timeout_ms;
+        self
+    }
+
+    /// Overrides the failure detector's gossip fan-out in generated stacks
+    /// and in [`StackCatalog::control_config`] (`0` selects the legacy
+    /// all-to-all heartbeat — the benchmarks' O(n²) baseline).
+    pub fn with_fd_fanout(mut self, fanout: usize) -> Self {
+        self.fd_fanout = fanout;
         self
     }
 
@@ -51,20 +61,31 @@ impl StackCatalog {
         &self.channel
     }
 
-    fn builder(&self) -> StackBuilder {
-        StackBuilder::new(self.channel.clone(), self.members.clone())
+    fn builder_for(&self, members: Vec<NodeId>) -> StackBuilder {
+        StackBuilder::new(self.channel.clone(), members)
             .share_vsync(self.share_key.clone())
             .failure_detection(self.hb_interval_ms, self.suspect_timeout_ms)
+            .fd_fanout(self.fd_fanout)
     }
 
-    /// The channel description for a stack kind.
+    /// The channel description for a stack kind, over the catalogue's own
+    /// (boot) membership.
     pub fn config_for(&self, kind: &StackKind) -> ChannelConfig {
+        self.config_for_members(kind, self.members.clone())
+    }
+
+    /// The channel description for a stack kind over an explicit membership —
+    /// what the Core control layer uses so generated stacks reflect the
+    /// *current* live view instead of the boot membership (crashed nodes
+    /// stop being listed).
+    pub fn config_for_members(&self, kind: &StackKind, members: Vec<NodeId>) -> ChannelConfig {
+        let builder = self.builder_for(members);
         match kind {
-            StackKind::BestEffort => self.builder().beb(false).build(),
-            StackKind::Reliable => self.builder().beb(false).reliable().build(),
-            StackKind::ErrorMasking { k } => self.builder().beb(false).fec(*k).build(),
-            StackKind::HybridMecho { relay } => self.builder().mecho("auto", Some(*relay)).build(),
-            StackKind::Gossip { fanout, ttl } => self.builder().gossip(*fanout, *ttl).build(),
+            StackKind::BestEffort => builder.beb(false).build(),
+            StackKind::Reliable => builder.beb(false).reliable().build(),
+            StackKind::ErrorMasking { k } => builder.beb(false).fec(*k).build(),
+            StackKind::HybridMecho { relay } => builder.mecho("auto", Some(*relay)).build(),
+            StackKind::Gossip { fanout, ttl } => builder.gossip(*fanout, *ttl).build(),
         }
     }
 
@@ -102,12 +123,14 @@ impl StackCatalog {
                 LayerSpec::new("fd")
                     .with_param("members", &members_param)
                     .with_param("hb_interval_ms", self.hb_interval_ms.to_string())
-                    .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string()),
+                    .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string())
+                    .with_param("fanout", self.fd_fanout.to_string()),
             )
             .with_layer(
                 LayerSpec::new("cocaditem")
                     .with_param("members", &members_param)
-                    .with_param("publish_interval_ms", publish_interval_ms.to_string()),
+                    .with_param("publish_interval_ms", publish_interval_ms.to_string())
+                    .with_param("fanout", self.fd_fanout.to_string()),
             )
             .with_layer(core)
             .with_layer(LayerSpec::new("app"))
@@ -188,6 +211,43 @@ mod tests {
         assert_eq!(
             core.params.get("data_channel").map(String::as_str),
             Some("data")
+        );
+    }
+
+    #[test]
+    fn configs_render_from_an_explicit_membership() {
+        // The control layer renders stacks from the *live* view: crashed
+        // nodes must drop out of every generated member list.
+        let catalog = StackCatalog::new("data", members(5));
+        let live = vec![NodeId(0), NodeId(1), NodeId(3)];
+        let config = catalog.config_for_members(&StackKind::BestEffort, live);
+        for layer in ["beb", "fd", "vsync"] {
+            let spec = config.layers.iter().find(|l| l.layer == layer).unwrap();
+            assert_eq!(
+                spec.params.get("members").map(String::as_str),
+                Some("0,1,3"),
+                "layer {layer} must list only the live members"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_fanout_flows_into_generated_stacks_and_the_control_config() {
+        let catalog = StackCatalog::new("data", members(4)).with_fd_fanout(0);
+        let data = catalog.config_for(&StackKind::BestEffort);
+        let fd = data.layers.iter().find(|l| l.layer == "fd").unwrap();
+        assert_eq!(fd.params.get("fanout").map(String::as_str), Some("0"));
+        let control = catalog.control_config("ctrl", 500, true, &[]);
+        let fd = control.layers.iter().find(|l| l.layer == "fd").unwrap();
+        assert_eq!(fd.params.get("fanout").map(String::as_str), Some("0"));
+        let cocaditem = control
+            .layers
+            .iter()
+            .find(|l| l.layer == "cocaditem")
+            .unwrap();
+        assert_eq!(
+            cocaditem.params.get("fanout").map(String::as_str),
+            Some("0")
         );
     }
 

@@ -1,9 +1,23 @@
-//! A heartbeat-based failure detector.
+//! A gossip-based failure detector.
 //!
-//! Every `hb_interval_ms` the layer multicasts a small heartbeat to the other
-//! group members; a member that has not been heard from (heartbeat or data)
-//! for `suspect_timeout_ms` is suspected, and a [`Suspect`] event travels up
-//! the stack so the membership layer can propose a new view.
+//! Every `hb_interval_ms` the layer increments its own heartbeat counter and
+//! pushes a compact [`LivenessDigest`] — every member's highest known counter
+//! — to `fanout` random peers. Receivers merge entries that are newer than
+//! their own, so counters spread epidemically in `O(log n)` rounds while each
+//! node sends only `fanout` control messages per interval (instead of the
+//! `n - 1` of an all-to-all heartbeat multicast). Suspicion is derived from
+//! *digest age*: a member whose counter has not advanced (and that has not
+//! been heard from directly) for `suspect_timeout_ms` is suspected, and a
+//! [`Suspect`] event travels up the stack so the membership layer can propose
+//! a new view. When a suspected member's counter advances again, an [`Alive`]
+//! event heals the false suspicion.
+//!
+//! Because counter propagation takes roughly `log_fanout(n)` intervals,
+//! `suspect_timeout_ms` should be at least `(log_fanout(n) + 2)` heartbeat
+//! intervals for large groups.
+//!
+//! Setting `fanout` to `0` restores the legacy all-to-all heartbeat multicast
+//! (used by benchmarks as the O(n²) baseline).
 
 use std::collections::{HashMap, HashSet};
 
@@ -16,6 +30,7 @@ use morpheus_appia::platform::NodeId;
 use morpheus_appia::session::Session;
 
 use crate::events::{Alive, Heartbeat, Suspect, ViewInstall};
+use crate::headers::LivenessDigest;
 
 /// Registered name of the failure detector layer.
 pub const FD_LAYER: &str = "fd";
@@ -23,13 +38,16 @@ pub const FD_LAYER: &str = "fd";
 /// Timer tag for the heartbeat/suspicion check.
 const TICK_TAG: u32 = 1;
 
-/// The heartbeat failure detector layer.
+/// The gossip failure detector layer.
 ///
 /// Parameters:
 ///
 /// * `members` — comma-separated initial group membership;
-/// * `hb_interval_ms` — heartbeat period (default 500 ms);
-/// * `suspect_timeout_ms` — silence threshold before suspicion (default 2000 ms).
+/// * `hb_interval_ms` — gossip period (default 500 ms);
+/// * `suspect_timeout_ms` — digest-age threshold before suspicion
+///   (default 2000 ms);
+/// * `fanout` — random peers each digest is pushed to per interval
+///   (default 3; `0` selects the legacy all-to-all heartbeat multicast).
 pub struct FailureDetectorLayer;
 
 impl Layer for FailureDetectorLayer {
@@ -52,11 +70,15 @@ impl Layer for FailureDetectorLayer {
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let members = param_node_list(params, "members");
         Box::new(FailureDetectorSession {
-            members: param_node_list(params, "members"),
+            member_set: members.iter().copied().collect(),
+            members,
             hb_interval_ms: param_or(params, "hb_interval_ms", 500u64).max(10),
             suspect_timeout_ms: param_or(params, "suspect_timeout_ms", 2000u64).max(50),
-            last_heard: HashMap::new(),
+            fanout: param_or(params, "fanout", 3usize),
+            counters: HashMap::new(),
+            last_advance: HashMap::new(),
             suspected: HashSet::new(),
             heartbeats_sent: 0,
         })
@@ -67,16 +89,26 @@ impl Layer for FailureDetectorLayer {
 #[derive(Debug)]
 pub struct FailureDetectorSession {
     members: Vec<NodeId>,
+    /// Same membership as `members`, indexed for the per-digest-entry check
+    /// (a `Vec::contains` per entry would make every received digest O(n²)).
+    member_set: HashSet<NodeId>,
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
-    last_heard: HashMap<NodeId, u64>,
+    /// Digest push fan-out; `0` selects the legacy all-to-all heartbeat.
+    fanout: usize,
+    /// Highest known heartbeat counter per member (the local node's own
+    /// entry is advanced on every tick).
+    counters: HashMap<NodeId, u64>,
+    /// Local time at which each member's counter last advanced (or the
+    /// member was last heard from directly).
+    last_advance: HashMap<NodeId, u64>,
     suspected: HashSet<NodeId>,
     heartbeats_sent: u64,
 }
 
 impl FailureDetectorSession {
     fn heard_from(&mut self, node: NodeId, now: u64, ctx: &mut EventContext<'_>) {
-        self.last_heard.insert(node, now);
+        self.last_advance.insert(node, now);
         if self.suspected.remove(&node) {
             // The suspicion was false: announce the recovery so upper layers
             // (e.g. the Core control layer's ack quorum) can re-admit the node.
@@ -84,33 +116,73 @@ impl FailureDetectorSession {
         }
     }
 
+    /// Merges a received digest: entries with a higher counter than the local
+    /// view count as fresh liveness evidence for that member.
+    fn merge_digest(&mut self, digest: &LivenessDigest, now: u64, ctx: &mut EventContext<'_>) {
+        for (node, counter) in &digest.entries {
+            if !self.member_set.contains(node) {
+                continue;
+            }
+            let known = self.counters.entry(*node).or_insert(0);
+            if *counter > *known {
+                *known = *counter;
+                self.heard_from(*node, now, ctx);
+            }
+        }
+    }
+
     fn tick(&mut self, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
         let now = ctx.now_ms();
 
-        // Send a heartbeat to everybody else.
-        let others: Vec<NodeId> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|member| *member != local)
-            .collect();
-        if !others.is_empty() {
+        // Advance the local counter and push the digest (or, in legacy mode,
+        // a plain heartbeat to everybody). The counter is floored at the
+        // local tick count (`now / interval`) so it stays monotonic across a
+        // stack replacement: a freshly recreated session restarting from 1
+        // would look *stale* to peers still holding the pre-replacement
+        // counter, and the node would silently lose its third-party liveness
+        // evidence until the counter caught up.
+        let tick_floor = now / self.hb_interval_ms;
+        let counter = self.counters.entry(local).or_insert(0);
+        *counter = (*counter + 1).max(tick_floor);
+        self.last_advance.insert(local, now);
+        let targets = if self.fanout == 0 {
+            self.members
+                .iter()
+                .copied()
+                .filter(|member| *member != local)
+                .collect()
+        } else {
+            crate::gossip::sample_peers(&self.members, &[local], self.fanout, ctx)
+        };
+        if !targets.is_empty() {
+            let mut message = Message::new();
+            if self.fanout != 0 {
+                let mut entries: Vec<(NodeId, u64)> = self
+                    .members
+                    .iter()
+                    .filter_map(|member| {
+                        self.counters.get(member).map(|counter| (*member, *counter))
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|(node, _)| node.0);
+                message.push(&LivenessDigest { entries });
+            }
             self.heartbeats_sent += 1;
             ctx.dispatch(Event::down(Heartbeat::new(
                 local,
-                Dest::Nodes(others),
-                Message::new(),
+                Dest::Nodes(targets),
+                message,
             )));
         }
 
-        // Raise suspicions for silent members.
+        // Raise suspicions for members whose counter went stale.
         let mut newly_suspected = Vec::new();
         for member in &self.members {
             if *member == local || self.suspected.contains(member) {
                 continue;
             }
-            let last = self.last_heard.get(member).copied().unwrap_or(0);
+            let last = self.last_advance.get(member).copied().unwrap_or(0);
             if now.saturating_sub(last) >= self.suspect_timeout_ms {
                 newly_suspected.push(*member);
             }
@@ -133,7 +205,7 @@ impl Session for FailureDetectorSession {
         if event.is::<ChannelInit>() {
             let now = ctx.now_ms();
             for member in self.members.clone() {
-                self.last_heard.insert(member, now);
+                self.last_advance.insert(member, now);
             }
             ctx.set_timer(self.hb_interval_ms, TICK_TAG);
             ctx.forward(event);
@@ -151,20 +223,35 @@ impl Session for FailureDetectorSession {
         }
         if let Some(install) = event.get::<ViewInstall>() {
             self.members = install.view.members.clone();
+            self.member_set = self.members.iter().copied().collect();
             self.suspected.retain(|node| self.members.contains(node));
+            self.counters.retain(|node, _| self.members.contains(node));
+            // Drop expelled members' timestamps too: a member expelled and
+            // later re-admitted by a join must get a fresh grace period, not
+            // be instantly re-suspected off its stale pre-expulsion age.
+            self.last_advance
+                .retain(|node, _| self.members.contains(node));
             let now = ctx.now_ms();
             for member in self.members.clone() {
-                self.last_heard.entry(member).or_insert(now);
+                self.last_advance.entry(member).or_insert(now);
             }
             ctx.forward(event);
             return;
         }
         if event.is::<Heartbeat>() {
             if event.direction == Direction::Up {
-                let source = event.get::<Heartbeat>().map(|hb| hb.header.source);
-                if let Some(source) = source {
-                    self.heard_from(source, ctx.now_ms(), ctx);
+                let now = ctx.now_ms();
+                let Some(hb) = event.get_mut::<Heartbeat>() else {
+                    return;
+                };
+                let source = hb.header.source;
+                // A gossip heartbeat carries a digest; a legacy heartbeat is
+                // bare. Either way the sender itself is demonstrably alive.
+                let digest = hb.message.pop::<LivenessDigest>().ok();
+                if let Some(digest) = digest {
+                    self.merge_digest(&digest, now, ctx);
                 }
+                self.heard_from(source, now, ctx);
                 // Heartbeats are absorbed; they carry no application meaning.
                 return;
             }
@@ -203,6 +290,17 @@ mod tests {
         params
     }
 
+    fn fd_params_with_fanout(
+        members: &[u32],
+        interval: u64,
+        timeout: u64,
+        fanout: usize,
+    ) -> LayerParams {
+        let mut params = fd_params(members, interval, timeout);
+        params.insert("fanout".into(), fanout.to_string());
+        params
+    }
+
     fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
         let timers: Vec<_> = std::mem::take(&mut platform.timers);
         for (_, key) in timers {
@@ -210,24 +308,92 @@ mod tests {
         }
     }
 
+    /// A digest-carrying heartbeat as a peer's fd layer would emit it.
+    fn digest_heartbeat(from: u32, to: u32, entries: &[(u32, u64)]) -> Event {
+        let mut message = Message::new();
+        message.push(&LivenessDigest {
+            entries: entries
+                .iter()
+                .map(|(node, counter)| (NodeId(*node), *counter))
+                .collect(),
+        });
+        Event::up(Heartbeat::new(
+            NodeId(from),
+            Dest::Node(NodeId(to)),
+            message,
+        ))
+    }
+
     #[test]
-    fn heartbeats_are_sent_on_every_tick() {
+    fn each_tick_pushes_one_digest_to_at_most_fanout_peers() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (1..=8).collect();
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params_with_fanout(&members, 100, 1000, 3),
+            &mut platform,
+        );
+
+        fire_pending_timers(&mut fd, &mut platform);
+        let down = fd.drain_down();
+        let heartbeats: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<Heartbeat>())
+            .collect();
+        assert_eq!(heartbeats.len(), 1, "one digest push per tick");
+        let hb = heartbeats[0].get::<Heartbeat>().unwrap();
+        let Dest::Nodes(targets) = &hb.header.dest else {
+            panic!("gossip heartbeat must address a node list");
+        };
+        assert_eq!(targets.len(), 3, "fan-out bounds the per-tick traffic");
+        assert!(targets.iter().all(|node| *node != NodeId(1)));
+
+        // The carried digest lists the local node's advanced counter.
+        let digest = hb.message.clone().pop::<LivenessDigest>().unwrap();
+        assert!(digest.entries.contains(&(NodeId(1), 1)));
+    }
+
+    #[test]
+    fn small_groups_are_covered_entirely() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut fd = Harness::new(
             FailureDetectorLayer,
             &fd_params(&[1, 2, 3], 100, 1000),
             &mut platform,
         );
-
         fire_pending_timers(&mut fd, &mut platform);
         let down = fd.drain_down();
-        let heartbeats = down.iter().filter(|event| event.is::<Heartbeat>()).count();
-        assert_eq!(heartbeats, 1);
         let hb = down.iter().find(|event| event.is::<Heartbeat>()).unwrap();
         assert_eq!(
             hb.get::<Heartbeat>().unwrap().header.dest,
             Dest::Nodes(vec![NodeId(2), NodeId(3)])
         );
+    }
+
+    #[test]
+    fn fanout_zero_restores_the_all_to_all_heartbeat() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (1..=6).collect();
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params_with_fanout(&members, 100, 1000, 0),
+            &mut platform,
+        );
+        fire_pending_timers(&mut fd, &mut platform);
+        let down = fd.drain_down();
+        let hb = down.iter().find(|event| event.is::<Heartbeat>()).unwrap();
+        let Dest::Nodes(targets) = &hb.get::<Heartbeat>().unwrap().header.dest else {
+            panic!("heartbeat must address a node list");
+        };
+        assert_eq!(targets.len(), 5, "legacy mode addresses every other member");
+        // Legacy heartbeats carry no digest.
+        assert!(hb
+            .get::<Heartbeat>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<LivenessDigest>()
+            .is_err());
     }
 
     #[test]
@@ -254,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn heartbeats_keep_members_alive() {
+    fn advancing_counters_keep_members_alive() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut fd = Harness::new(
             FailureDetectorLayer,
@@ -263,15 +429,35 @@ mod tests {
         );
 
         let mut suspects = 0;
-        for _ in 0..6 {
+        for round in 0..6u64 {
             platform.advance(100);
-            // Node 2 keeps sending heartbeats.
+            // Node 2's digest arrives with a freshly advanced counter.
+            fd.run_up(digest_heartbeat(2, 1, &[(2, round + 1)]), &mut platform);
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects += fd
+                .drain_up()
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
+        }
+        assert_eq!(suspects, 0);
+    }
+
+    #[test]
+    fn third_party_digests_count_as_liveness_evidence() {
+        // Node 1 never hears node 3 directly — only through node 2's digests.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2, 3], 100, 250),
+            &mut platform,
+        );
+
+        let mut suspects = 0;
+        for round in 0..6u64 {
+            platform.advance(100);
             fd.run_up(
-                Event::up(Heartbeat::new(
-                    NodeId(2),
-                    Dest::Node(NodeId(1)),
-                    Message::new(),
-                )),
+                digest_heartbeat(2, 1, &[(2, round + 1), (3, round + 1)]),
                 &mut platform,
             );
             fire_pending_timers(&mut fd, &mut platform);
@@ -281,7 +467,76 @@ mod tests {
                 .filter(|event| event.is::<Suspect>())
                 .count();
         }
-        assert_eq!(suspects, 0);
+        assert_eq!(suspects, 0, "relayed counters prove node 3 alive");
+    }
+
+    #[test]
+    fn stale_counters_do_not_refresh_liveness() {
+        // Node 3 crashed at counter 5; node 2 keeps gossiping the stale
+        // value, which must not prevent node 3's suspicion.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2, 3], 100, 250),
+            &mut platform,
+        );
+        fd.run_up(digest_heartbeat(2, 1, &[(2, 1), (3, 5)]), &mut platform);
+
+        let mut suspected = Vec::new();
+        for round in 0..6u64 {
+            platform.advance(100);
+            fd.run_up(
+                digest_heartbeat(2, 1, &[(2, round + 2), (3, 5)]),
+                &mut platform,
+            );
+            fire_pending_timers(&mut fd, &mut platform);
+            suspected.extend(
+                fd.drain_up()
+                    .into_iter()
+                    .filter_map(|event| event.get::<Suspect>().map(|s| s.node)),
+            );
+        }
+        assert_eq!(suspected, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn an_advancing_counter_heals_a_false_suspicion() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2, 3], 100, 250),
+            &mut platform,
+        );
+        fd.run_up(digest_heartbeat(2, 1, &[(2, 1), (3, 1)]), &mut platform);
+
+        // Node 3 goes silent long enough to be suspected.
+        let mut suspects = 0;
+        for round in 0..4u64 {
+            platform.advance(100);
+            suspects += fd
+                .run_up(
+                    digest_heartbeat(2, 1, &[(2, round + 2), (3, 1)]),
+                    &mut platform,
+                )
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects += fd
+                .drain_up()
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
+        }
+        assert_eq!(suspects, 1);
+
+        // Its counter advances again (relayed by node 2): Alive is raised.
+        let alive: Vec<NodeId> = fd
+            .run_up(digest_heartbeat(2, 1, &[(2, 9), (3, 2)]), &mut platform)
+            .into_iter()
+            .filter_map(|event| event.get::<Alive>().map(|alive| alive.node))
+            .collect();
+        assert_eq!(alive, vec![NodeId(3)]);
     }
 
     #[test]
@@ -323,15 +578,70 @@ mod tests {
             &fd_params(&[1, 2], 100, 1000),
             &mut platform,
         );
-        let delivered = fd.run_up(
-            Event::up(Heartbeat::new(
-                NodeId(2),
-                Dest::Node(NodeId(1)),
-                Message::new(),
-            )),
+        let delivered = fd.run_up(digest_heartbeat(2, 1, &[(2, 1)]), &mut platform);
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn digest_entries_for_unknown_nodes_are_ignored() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 250),
             &mut platform,
         );
-        assert!(delivered.is_empty());
+        // An entry for node 9 (not a member) must not create tracking state.
+        fd.run_up(digest_heartbeat(2, 1, &[(2, 1), (9, 44)]), &mut platform);
+        platform.advance(300);
+        fire_pending_timers(&mut fd, &mut platform);
+        let suspected: Vec<NodeId> = fd
+            .drain_up()
+            .into_iter()
+            .filter_map(|event| event.get::<Suspect>().map(|s| s.node))
+            .collect();
+        assert_eq!(suspected, vec![NodeId(2)], "node 9 is never tracked");
+    }
+
+    #[test]
+    fn a_readmitted_member_gets_a_fresh_grace_period() {
+        // Regression: expulsion must drop the member's last-advance
+        // timestamp — a member expelled and later re-admitted by a join
+        // used to be re-suspected off its stale pre-expulsion age on the
+        // very next tick, before its first digest could possibly arrive.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut fd = Harness::new(
+            FailureDetectorLayer,
+            &fd_params(&[1, 2], 100, 300),
+            &mut platform,
+        );
+
+        // Node 2 is expelled, then stays away far past the suspect timeout.
+        let solo = crate::view::View::new(1, vec![NodeId(1)]);
+        fd.run_down(Event::down(ViewInstall { view: solo }), &mut platform);
+        platform.advance(5000);
+
+        // Node 2 rejoins; the next tick must not suspect it instantly.
+        let rejoined = crate::view::View::new(2, vec![NodeId(1), NodeId(2)]);
+        fd.run_down(Event::down(ViewInstall { view: rejoined }), &mut platform);
+        fire_pending_timers(&mut fd, &mut platform);
+        assert!(
+            fd.drain_up().iter().all(|event| !event.is::<Suspect>()),
+            "a rejoiner gets the same grace period as a fresh member"
+        );
+
+        // The grace period is a grace period, not immunity: staying silent
+        // past the timeout still raises the suspicion.
+        let mut suspects = 0;
+        for _ in 0..4 {
+            platform.advance(100);
+            fire_pending_timers(&mut fd, &mut platform);
+            suspects += fd
+                .drain_up()
+                .iter()
+                .filter(|event| event.is::<Suspect>())
+                .count();
+        }
+        assert_eq!(suspects, 1);
     }
 
     #[test]
@@ -356,17 +666,10 @@ mod tests {
         let view = crate::view::View::new(1, vec![NodeId(1), NodeId(2)]);
         fd.run_down(Event::down(ViewInstall { view }), &mut platform);
 
-        // Node 2 resumes heartbeating and is therefore never re-suspected.
-        for _ in 0..3 {
+        // Node 2 resumes gossiping and is therefore never re-suspected.
+        for round in 0..3u64 {
             platform.advance(100);
-            fd.run_up(
-                Event::up(Heartbeat::new(
-                    NodeId(2),
-                    Dest::Node(NodeId(1)),
-                    Message::new(),
-                )),
-                &mut platform,
-            );
+            fd.run_up(digest_heartbeat(2, 1, &[(2, round + 1)]), &mut platform);
             fire_pending_timers(&mut fd, &mut platform);
         }
         let late_suspects = fd

@@ -27,6 +27,34 @@ pub const GOSSIP_LAYER: &str = "gossip";
 /// suppression.
 const SEEN_CAPACITY: usize = 65_536;
 
+/// Picks up to `limit` distinct members uniformly at random, excluding
+/// `exclude` — the peer-sampling primitive shared by every gossip mechanism
+/// (epidemic multicast, liveness-digest failure detection, context
+/// anti-entropy). A partial Fisher-Yates driven by the platform's
+/// deterministic RNG, so simulation runs stay reproducible.
+pub fn sample_peers(
+    members: &[NodeId],
+    exclude: &[NodeId],
+    limit: usize,
+    ctx: &mut EventContext<'_>,
+) -> Vec<NodeId> {
+    let mut pool: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|member| !exclude.contains(member))
+        .collect();
+    if pool.len() <= limit {
+        return pool;
+    }
+    for index in 0..limit {
+        let remaining = pool.len() - index;
+        let pick = index + (ctx.random_u64() % remaining as u64) as usize;
+        pool.swap(index, pick);
+    }
+    pool.truncate(limit);
+    pool
+}
+
 /// The epidemic multicast layer.
 ///
 /// Parameters:
@@ -91,24 +119,7 @@ impl GossipSession {
     }
 
     fn random_targets(&self, exclude: &[NodeId], ctx: &mut EventContext<'_>) -> Vec<NodeId> {
-        let candidates: Vec<NodeId> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|member| !exclude.contains(member))
-            .collect();
-        if candidates.len() <= self.fanout {
-            return candidates;
-        }
-        // Partial Fisher-Yates driven by the platform's deterministic RNG.
-        let mut pool = candidates;
-        for index in 0..self.fanout {
-            let remaining = pool.len() - index;
-            let pick = index + (ctx.random_u64() % remaining as u64) as usize;
-            pool.swap(index, pick);
-        }
-        pool.truncate(self.fanout);
-        pool
+        sample_peers(&self.members, exclude, self.fanout, ctx)
     }
 }
 

@@ -117,6 +117,45 @@ impl Wire for GossipHeader {
     }
 }
 
+/// Header of a gossip heartbeat: the sender's view of every member's
+/// heartbeat counter. Counters only ever grow; a receiver merges entries
+/// that are newer than its own and derives suspicion from how long a
+/// member's counter has failed to advance — no direct pairwise silence
+/// measurement (and therefore no all-to-all heartbeat traffic) is needed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LivenessDigest {
+    /// `(member, heartbeat counter)` pairs, one per known member.
+    pub entries: Vec<(NodeId, u64)>,
+}
+
+impl Wire for LivenessDigest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for (node, counter) in &self.entries {
+            node.encode(w);
+            w.put_u64(*counter);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // Every entry occupies 12 bytes on the wire; an adversarial count
+        // that overstates the payload is rejected before any allocation.
+        if count > r.remaining() / 12 {
+            return Err(WireError::Malformed(
+                "liveness digest count exceeds payload",
+            ));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let node = NodeId::decode(r)?;
+            let counter = r.get_u64()?;
+            entries.push((node, counter));
+        }
+        Ok(Self { entries })
+    }
+}
+
 /// Header of a FEC parity block: which data sequence numbers it covers and
 /// how long each covered message was (needed to truncate a reconstructed
 /// message back to its original size).
@@ -247,6 +286,10 @@ mod tests {
             seq: 77,
             ttl: 3,
         });
+        roundtrip(LivenessDigest {
+            entries: vec![(NodeId(0), 12), (NodeId(7), 3)],
+        });
+        roundtrip(LivenessDigest::default());
         roundtrip(FecParityHeader {
             covers: vec![10, 11, 12, 13],
             lengths: vec![100, 90, 80, 70],
@@ -267,6 +310,15 @@ mod tests {
             },
             global_seq: 99,
         });
+    }
+
+    #[test]
+    fn adversarial_liveness_digest_counts_are_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        NodeId(1).encode(&mut w);
+        w.put_u64(7);
+        assert!(LivenessDigest::from_bytes(&w.finish()).is_err());
     }
 
     #[test]

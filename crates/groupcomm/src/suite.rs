@@ -114,6 +114,7 @@ pub struct StackBuilder {
     vsync_share: Option<String>,
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
+    fd_fanout: usize,
 }
 
 impl StackBuilder {
@@ -129,6 +130,7 @@ impl StackBuilder {
             vsync_share: None,
             hb_interval_ms: 500,
             suspect_timeout_ms: 2000,
+            fd_fanout: 3,
         }
     }
 
@@ -204,6 +206,13 @@ impl StackBuilder {
         self
     }
 
+    /// Overrides the failure detector's gossip fan-out (`0` selects the
+    /// legacy all-to-all heartbeat multicast).
+    pub fn fd_fanout(mut self, fanout: usize) -> Self {
+        self.fd_fanout = fanout;
+        self
+    }
+
     fn members_param(&self) -> String {
         self.members
             .iter()
@@ -259,7 +268,8 @@ impl StackBuilder {
                 LayerSpec::new("fd")
                     .with_param("members", &members)
                     .with_param("hb_interval_ms", self.hb_interval_ms.to_string())
-                    .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string()),
+                    .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string())
+                    .with_param("fanout", self.fd_fanout.to_string()),
             );
             let mut vsync = LayerSpec::new("vsync").with_param("members", &members);
             if let Some(key) = &self.vsync_share {

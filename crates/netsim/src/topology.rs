@@ -142,14 +142,26 @@ impl Topology {
         self.nodes.iter().map(|node| node.id).collect()
     }
 
-    /// Looks a node up by id.
-    pub fn node(&self, id: NodeId) -> Option<&SimNode> {
-        self.nodes.iter().find(|node| node.id == id)
+    /// The slot of a node in the dense `nodes` vector. Every constructor
+    /// lays nodes out in id order (`nodes[i].id == NodeId(i)`), so the
+    /// common case is a direct O(1) index; topologies assembled by hand with
+    /// sparse ids fall back to a scan.
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        match self.nodes.get(id.0 as usize) {
+            Some(node) if node.id == id => Some(id.0 as usize),
+            _ => self.nodes.iter().position(|node| node.id == id),
+        }
     }
 
-    /// Mutable lookup by id.
+    /// Looks a node up by id (O(1) for the dense id layouts every built-in
+    /// constructor produces — this sits on the per-packet hot path).
+    pub fn node(&self, id: NodeId) -> Option<&SimNode> {
+        self.slot_of(id).map(|slot| &self.nodes[slot])
+    }
+
+    /// Mutable lookup by id (same O(1) fast path as [`Topology::node`]).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut SimNode> {
-        self.nodes.iter_mut().find(|node| node.id == id)
+        self.slot_of(id).map(move |slot| &mut self.nodes[slot])
     }
 
     /// The device kind of a node (fixed PC when unknown).
@@ -305,6 +317,24 @@ mod tests {
         assert!(
             topology.local_bandwidth_kbps(NodeId(1)) < topology.local_bandwidth_kbps(NodeId(0))
         );
+    }
+
+    #[test]
+    fn sparse_node_ids_still_resolve() {
+        // Hand-assembled topologies may skip ids; the O(1) fast path must
+        // fall back to a scan instead of resolving the wrong node.
+        let nodes = vec![SimNode::fixed(NodeId(0)), SimNode::fixed(NodeId(5))];
+        let topology = Topology::new(
+            TopologyKind::Lan {
+                native_multicast: false,
+            },
+            nodes,
+        );
+        assert_eq!(topology.node(NodeId(5)).unwrap().id, NodeId(5));
+        assert!(topology.node(NodeId(1)).is_none());
+        let mut topology = topology;
+        topology.node_mut(NodeId(5)).unwrap().alive = false;
+        assert!(!topology.node(NodeId(5)).unwrap().alive);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::time::SimTime;
 use crate::topology::Topology;
 
 /// Where a packet is addressed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketTarget {
     /// One receiver (point-to-point transmission).
     Unicast(NodeId),
@@ -120,45 +120,36 @@ impl Network {
         cost
     }
 
-    fn transmit_to<P: Clone>(
+    /// Runs the link model and receiver-side accounting for one hop,
+    /// returning the arrival latency when the hop succeeds.
+    fn transmit_outcome(
         &mut self,
-        packet: &Packet<P>,
+        from: NodeId,
         receiver: NodeId,
-        now: SimTime,
+        size_bytes: usize,
+        class: TrafficClass,
         rng: &mut SimRng,
-        deliveries: &mut Vec<Delivery<P>>,
-    ) {
-        if receiver == packet.from {
-            return;
+    ) -> Option<u64> {
+        if receiver == from {
+            return None;
         }
         let receiver_alive = self
             .topology
             .node(receiver)
             .map(|n| n.is_operational())
             .unwrap_or(false);
-        let outcome = self
-            .topology
-            .link(packet.from, receiver)
-            .transmit(packet.size_bytes, rng);
+        let outcome = self.topology.link(from, receiver).transmit(size_bytes, rng);
         match outcome {
             LinkOutcome::Delivered { latency_ms } if receiver_alive => {
-                let rx_energy = self.charge_rx(receiver, packet.size_bytes);
-                self.stats.node_mut(receiver).record_received(
-                    packet.class,
-                    packet.size_bytes,
-                    rx_energy,
-                );
-                deliveries.push(Delivery {
-                    at: now + latency_ms,
-                    to: receiver,
-                    from: packet.from,
-                    class: packet.class,
-                    size_bytes: packet.size_bytes,
-                    payload: packet.payload.clone(),
-                });
+                let rx_energy = self.charge_rx(receiver, size_bytes);
+                self.stats
+                    .node_mut(receiver)
+                    .record_received(class, size_bytes, rx_energy);
+                Some(latency_ms)
             }
             _ => {
-                self.stats.node_mut(packet.from).record_lost(packet.class);
+                self.stats.node_mut(from).record_lost(class);
+                None
             }
         }
     }
@@ -168,7 +159,9 @@ impl Network {
     /// The sender is charged exactly one transmission per call (the paper's
     /// message counts are per *send operation*: a native multicast is one
     /// message, a point-to-point send to each of N peers is N messages —
-    /// produced by N calls).
+    /// produced by N calls). On the dominant unicast path the payload is
+    /// *moved* into the delivery — no per-recipient clone; a broadcast
+    /// encodes once and clones per member of the domain.
     pub fn send<P: Clone>(
         &mut self,
         packet: Packet<P>,
@@ -190,14 +183,44 @@ impl Network {
             .record_sent(packet.class, packet.size_bytes, tx_energy);
 
         let mut deliveries = Vec::new();
-        match packet.target.clone() {
+        match packet.target {
             PacketTarget::Unicast(receiver) => {
-                self.transmit_to(&packet, receiver, now, rng, &mut deliveries);
+                if let Some(latency_ms) = self.transmit_outcome(
+                    packet.from,
+                    receiver,
+                    packet.size_bytes,
+                    packet.class,
+                    rng,
+                ) {
+                    deliveries.push(Delivery {
+                        at: now + latency_ms,
+                        to: receiver,
+                        from: packet.from,
+                        class: packet.class,
+                        size_bytes: packet.size_bytes,
+                        payload: packet.payload,
+                    });
+                }
             }
             PacketTarget::Broadcast => {
                 let members = self.topology.broadcast_domain(packet.from);
                 for receiver in members {
-                    self.transmit_to(&packet, receiver, now, rng, &mut deliveries);
+                    if let Some(latency_ms) = self.transmit_outcome(
+                        packet.from,
+                        receiver,
+                        packet.size_bytes,
+                        packet.class,
+                        rng,
+                    ) {
+                        deliveries.push(Delivery {
+                            at: now + latency_ms,
+                            to: receiver,
+                            from: packet.from,
+                            class: packet.class,
+                            size_bytes: packet.size_bytes,
+                            payload: packet.payload.clone(),
+                        });
+                    }
                 }
             }
         }

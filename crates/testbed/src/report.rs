@@ -55,6 +55,13 @@ pub struct NodeReport {
     pub rounds: Vec<RoundReport>,
     /// Packet or reconfiguration processing errors (should be zero).
     pub errors: u64,
+    /// Simulated time at which this node's context store first covered the
+    /// whole membership (`None` if it never did).
+    pub context_converged_ms: Option<u64>,
+    /// Size of the smallest view announced to this node (`None` if no view
+    /// was ever announced). A value below the boot membership means some
+    /// member was expelled — e.g. by a (possibly false) suspicion.
+    pub min_view_members: Option<usize>,
 }
 
 impl NodeReport {
@@ -76,6 +83,10 @@ pub struct RunReport {
     pub adaptive: bool,
     /// Simulated duration of the run, in milliseconds.
     pub duration_ms: u64,
+    /// Discrete simulation events the runner processed (packets, timers,
+    /// application sends) — wall-clock throughput is `events_processed`
+    /// divided by the measured run time.
+    pub events_processed: u64,
     /// *Data* (chat) packets lost in transit — the safety metric: a healthy
     /// reconfiguration protocol keeps this at zero even when the control
     /// plane is degraded.
@@ -157,6 +168,17 @@ impl RunReport {
         rounds
     }
 
+    /// Simulated time by which *every* node's context store covered the
+    /// whole membership, or `None` while any node is still missing context —
+    /// the dissemination convergence metric of the gossip control plane.
+    pub fn context_convergence_ms(&self) -> Option<u64> {
+        self.nodes
+            .iter()
+            .map(|node| node.context_converged_ms)
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|times| times.into_iter().max())
+    }
+
     /// Total command retransmissions across all completed rounds.
     pub fn total_retransmits(&self) -> u64 {
         self.completed_rounds()
@@ -228,6 +250,8 @@ mod tests {
                 nodes: 2,
             }],
             errors: 0,
+            context_converged_ms: Some(u64::from(id) * 100),
+            min_view_members: Some(2),
         }
     }
 
@@ -237,6 +261,7 @@ mod tests {
             devices: 2,
             adaptive: true,
             duration_ms: 1000,
+            events_processed: 42,
             messages_lost: 0,
             control_lost: 4,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
@@ -258,6 +283,18 @@ mod tests {
         assert_eq!(rounds.len(), 2);
         assert_eq!(rounds[0].epoch, 1, "rounds come out in epoch order");
         assert_eq!(report.total_retransmits(), 1);
+    }
+
+    #[test]
+    fn context_convergence_needs_every_node() {
+        let mut report = report();
+        assert_eq!(
+            report.context_convergence_ms(),
+            Some(100),
+            "the slowest node's coverage time is the group's"
+        );
+        report.nodes[1].context_converged_ms = None;
+        assert_eq!(report.context_convergence_ms(), None);
     }
 
     #[test]

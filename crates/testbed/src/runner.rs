@@ -54,6 +54,8 @@ struct NodeTally {
     reconfig_errors: u64,
     packet_errors: u64,
     control_dropped: u64,
+    context_converged_ms: Option<u64>,
+    min_view_members: Option<usize>,
 }
 
 /// Fixed per-packet framing overhead added to every transmission (UDP + IP
@@ -104,6 +106,7 @@ impl Runner {
             options.suspect_timeout_ms = scenario.suspect_timeout_ms;
             options.retransmit_interval_ms = scenario.retransmit_interval_ms;
             options.round_timeout_ms = scenario.round_timeout_ms;
+            options.control_fanout = scenario.control_fanout;
             for (key, value) in &scenario.core_params {
                 options = options.with_core_param(key.clone(), value.clone());
             }
@@ -154,6 +157,9 @@ impl Runner {
         let end = SimTime::from_millis(scenario.end_time_ms());
         let mut processed: u64 = 0;
         let mut last_time = SimTime::ZERO;
+        // Reused across packet events so the hot loop does not allocate a
+        // fresh batch vector per arrival.
+        let mut batch: Vec<InPacket> = Vec::new();
         while let Some((time, event)) = queue.pop() {
             if time > end {
                 break;
@@ -199,13 +205,14 @@ impl Runner {
                     // instant into one batch, delivered with a single kernel
                     // queue drain (the FIFO tie-break of the event queue is
                     // preserved because the batch keeps arrival order).
-                    let mut batch = vec![InPacket {
+                    batch.clear();
+                    batch.push(InPacket {
                         from,
                         to,
                         class,
                         channel: payload.channel,
                         payload: payload.bytes,
-                    }];
+                    });
                     while let Some((_, more)) = queue.pop_if(|at, next| {
                         at == time
                             && matches!(next, SimEvent::Packet { to: next_to, .. } if *next_to == to)
@@ -222,8 +229,9 @@ impl Runner {
                             payload: payload.bytes,
                         });
                     }
-                    tallies[index].packet_errors +=
-                        nodes[index].deliver_packet_batch(batch, &mut platforms[index]) as u64;
+                    tallies[index].packet_errors += nodes[index]
+                        .deliver_packet_batch(batch.drain(..), &mut platforms[index])
+                        as u64;
                 }
                 SimEvent::Timer { key, .. } => {
                     if !platforms[index].consume_cancellation(&key) {
@@ -251,7 +259,7 @@ impl Runner {
             );
         }
 
-        build_report(scenario, last_time, &network, &nodes, &tallies)
+        build_report(scenario, last_time, processed, &network, &nodes, &tallies)
     }
 }
 
@@ -403,7 +411,22 @@ fn flush_node(
             progressed = true;
             match delivery.kind {
                 DeliveryKind::Data { .. } => tallies[index].app_deliveries += 1,
-                DeliveryKind::ViewChange { .. } => tallies[index].view_changes += 1,
+                DeliveryKind::ViewChange {
+                    view_id,
+                    ref members,
+                } => {
+                    tallies[index].view_changes += 1;
+                    let smallest = tallies[index].min_view_members.get_or_insert(members.len());
+                    *smallest = (*smallest).min(members.len());
+                    // Relay the data channel's view onto the control channel:
+                    // installed views are authoritative membership for the
+                    // whole control plane (fd, cocaditem, core).
+                    nodes[index].install_control_view(
+                        view_id,
+                        members.clone(),
+                        &mut platforms[index],
+                    );
+                }
                 DeliveryKind::Reconfigured { stack } => {
                     tallies[index]
                         .notifications
@@ -429,6 +452,13 @@ fn flush_node(
                         nodes: quorum,
                     });
                 }
+                DeliveryKind::ContextConverged { .. } => {
+                    // First full coverage of the membership by this node's
+                    // context store: the dissemination convergence metric.
+                    tallies[index]
+                        .context_converged_ms
+                        .get_or_insert(now.as_millis());
+                }
                 DeliveryKind::Notification(text) => tallies[index].notifications.push(text),
             }
         }
@@ -444,6 +474,7 @@ fn flush_node(
 fn build_report(
     scenario: &Scenario,
     last_time: SimTime,
+    events_processed: u64,
     network: &Network,
     nodes: &[MorpheusNode],
     tallies: &[NodeTally],
@@ -471,6 +502,8 @@ fn build_report(
             notifications: tally.notifications.clone(),
             rounds: tally.rounds.clone(),
             errors: tally.packet_errors + tally.reconfig_errors,
+            context_converged_ms: tally.context_converged_ms,
+            min_view_members: tally.min_view_members,
         });
     }
     let stats = network.stats();
@@ -479,6 +512,7 @@ fn build_report(
         devices: scenario.device_count(),
         adaptive: scenario.adaptive,
         duration_ms: last_time.as_millis(),
+        events_processed,
         messages_lost: stats.total_lost_of(TrafficClass::Data),
         control_lost: stats.total_lost_of(TrafficClass::Control)
             + stats.total_lost_of(TrafficClass::Context)

@@ -1,0 +1,107 @@
+//! Convergence of the gossip control plane at membership scale.
+//!
+//! The control plane is epidemic end to end: failure detection pushes
+//! liveness digests to `fanout` random peers per interval, and context
+//! dissemination gossips `(node, version)` digests and pulls only
+//! missing/stale snapshots. These tests pin down, with deterministic seeds,
+//! that both mechanisms converge within bounded time at n = 50 under
+//! 0/10/30% control-plane loss — without the legacy periodic full republish
+//! — and that a 100-node group completes its large-group reconfiguration
+//! without losing a single chat message.
+
+use morpheus::prelude::*;
+
+fn large_group_run(n: usize, loss: f64) -> RunReport {
+    Runner::new().run(&Scenario::large_group(n).with_control_loss(loss))
+}
+
+#[test]
+fn context_dissemination_converges_at_fifty_nodes_under_loss() {
+    // (loss, convergence bound in simulated ms). The bounds are generous
+    // multiples of the observed values so seed-insensitive slack remains,
+    // but tight enough that a regression to flood-repair-only behaviour
+    // (convergence via luck or never) trips them.
+    for (loss, bound_ms) in [(0.0, 6_000), (0.1, 12_000), (0.3, 22_000)] {
+        let report = large_group_run(50, loss);
+        let converged = report
+            .context_convergence_ms()
+            .unwrap_or_else(|| panic!("context never converged at loss {loss}"));
+        assert!(
+            converged <= bound_ms,
+            "context convergence took {converged} ms at loss {loss} (bound {bound_ms} ms)"
+        );
+        assert_eq!(report.messages_lost, 0, "chat is unaffected at loss {loss}");
+        assert_eq!(report.total_errors(), 0);
+        if loss > 0.0 {
+            assert!(
+                report.control_lost > 0,
+                "the control plane really was degraded at {loss}"
+            );
+        }
+    }
+}
+
+#[test]
+fn liveness_digests_raise_no_false_suspicions_under_loss() {
+    // A falsely suspected member would be expelled into a *smaller* view on
+    // the data channel; with digest-age suspicion and a timeout covering
+    // the O(log n) propagation delay, every view any node ever sees must
+    // still hold the full membership even at 30% control loss. (The view
+    // may be re-announced across the stack replacement — that is not a
+    // suspicion.)
+    let report = large_group_run(50, 0.3);
+    for node in &report.nodes {
+        assert_eq!(
+            node.min_view_members,
+            Some(50),
+            "node {} saw a shrunken view under loss (false suspicion)",
+            node.node
+        );
+    }
+}
+
+#[test]
+fn a_hundred_node_group_reconfigures_without_losing_chat() {
+    let report = large_group_run(100, 0.0);
+
+    // The large-group rule fired: every node redeployed onto the epidemic
+    // data stack via a completed coordinator round.
+    let rounds = report.completed_rounds();
+    assert!(!rounds.is_empty(), "the adaptation round completed");
+    assert_eq!(rounds[0].nodes, 100, "the quorum covered the whole group");
+    assert_eq!(report.total_reconfigurations(), 100);
+    for node in &report.nodes {
+        assert!(
+            node.final_stack.starts_with("gossip"),
+            "node {} ended on {} instead of the epidemic stack",
+            node.node,
+            node.final_stack
+        );
+    }
+
+    // Zero chat messages lost across the reconfiguration.
+    assert_eq!(report.messages_lost, 0);
+    assert_eq!(report.total_errors(), 0);
+    assert!(
+        report.total_app_deliveries() > 0,
+        "chat flowed through the reconfigured stack"
+    );
+}
+
+#[test]
+fn the_gossip_plane_stays_cheaper_than_all_to_all_at_scale() {
+    // Per heartbeat interval the all-to-all baseline pays n·(n−1) control
+    // messages; the gossip plane pays n·fanout per mechanism. At n = 50 the
+    // gap is already an order of magnitude.
+    let gossip = large_group_run(50, 0.0);
+    let baseline = Runner::new().run(&Scenario::large_group(50).with_control_fanout(0));
+    let control_sent =
+        |report: &RunReport| -> u64 { report.nodes.iter().map(|node| node.sent_control).sum() };
+    let gossip_control = control_sent(&gossip);
+    let baseline_control = control_sent(&baseline);
+    assert!(
+        gossip_control * 5 < baseline_control,
+        "gossip control traffic ({gossip_control}) must stay well under the \
+         all-to-all baseline ({baseline_control})"
+    );
+}
