@@ -12,9 +12,9 @@
 use std::collections::BTreeSet;
 
 use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
-use morpheus_appia::events::{ChannelInit, DataEvent};
+use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
 use morpheus_appia::kernel::EventContext;
-use morpheus_appia::layer::{param_node_list, Layer, LayerParams};
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
 use morpheus_appia::message::Message;
 use morpheus_appia::platform::{DeliveryKind, NodeId};
 use morpheus_appia::session::Session;
@@ -28,11 +28,19 @@ use crate::view::View;
 /// Registered name of the view-synchrony / membership layer.
 pub const VSYNC_LAYER: &str = "vsync";
 
+/// Timer tag of the view-change round timeout.
+const ROUND_TAG: u32 = 1;
+
 /// The view-synchrony and group membership layer.
 ///
 /// Parameters:
 ///
-/// * `members` — comma-separated initial group membership.
+/// * `members` — comma-separated initial group membership;
+/// * `round_timeout_ms` — time budget of one prepare/flush/commit round
+///   before it is abandoned (default 4000 ms). A round that loses a message
+///   used to leave `proposed` set forever, wedging every future view change;
+///   the timeout aborts the round, unblocks the channel and lets the next
+///   membership event propose again.
 pub struct VsyncLayer;
 
 impl Layer for VsyncLayer {
@@ -51,6 +59,7 @@ impl Layer for VsyncLayer {
             EventSpec::of::<JoinRequest>(),
             EventSpec::of::<BlockRequest>(),
             EventSpec::of::<ResumeRequest>(),
+            EventSpec::of::<TimerExpired>(),
         ]
     }
 
@@ -66,6 +75,8 @@ impl Layer for VsyncLayer {
             proposed: None,
             acks: BTreeSet::new(),
             view_changes: 0,
+            round_timeout_ms: param_or(params, "round_timeout_ms", 4000u64).max(100),
+            round_timer: None,
         })
     }
 }
@@ -79,6 +90,8 @@ pub struct VsyncSession {
     proposed: Option<View>,
     acks: BTreeSet<NodeId>,
     view_changes: u64,
+    round_timeout_ms: u64,
+    round_timer: Option<u64>,
 }
 
 impl VsyncSession {
@@ -92,10 +105,33 @@ impl VsyncSession {
         self.blocked
     }
 
+    fn arm_round_timer(&mut self, ctx: &mut EventContext<'_>) {
+        if let Some(timer_id) = self.round_timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
+        self.round_timer = Some(ctx.set_timer(self.round_timeout_ms, ROUND_TAG));
+    }
+
+    /// Abandons the in-flight round: `proposed` is cleared (so the next
+    /// membership event can start a fresh round) and the channel resumes in
+    /// the still-installed view, releasing any buffered sends.
+    fn abort_round(&mut self, ctx: &mut EventContext<'_>) {
+        self.proposed = None;
+        self.acks.clear();
+        if let Some(timer_id) = self.round_timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
+        self.blocked = false;
+        self.flush_buffered(ctx);
+    }
+
     fn install(&mut self, view: View, ctx: &mut EventContext<'_>) {
         self.view = view.clone();
         self.proposed = None;
         self.acks.clear();
+        if let Some(timer_id) = self.round_timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
         self.blocked = false;
         self.view_changes += 1;
 
@@ -119,6 +155,7 @@ impl VsyncSession {
         self.acks.clear();
         self.acks.insert(local);
         self.proposed = Some(new_view.clone());
+        self.arm_round_timer(ctx);
 
         let others = new_view.others(local);
         if others.is_empty() {
@@ -181,6 +218,23 @@ impl Session for VsyncSession {
                     view_id: self.view.id,
                     members: self.view.members.clone(),
                 });
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(timer) = event.get::<TimerExpired>() {
+            if timer.owner == VSYNC_LAYER {
+                if timer.tag == ROUND_TAG && self.round_timer == Some(timer.timer_id) {
+                    self.round_timer = None;
+                    if self.proposed.is_some() {
+                        // The round lost a message (prepare, flush or commit
+                        // never arrived): give up so the next view change is
+                        // not blocked behind the dead round.
+                        self.abort_round(ctx);
+                    }
+                }
+                return;
             }
             ctx.forward(event);
             return;
@@ -249,6 +303,7 @@ impl Session for VsyncSession {
             }
             self.blocked = true;
             self.proposed = Some(proposed.clone());
+            self.arm_round_timer(ctx);
             let mut message = Message::new();
             message.push(&proposed.id);
             ctx.dispatch(Event::down(FlushAck::new(
@@ -489,6 +544,98 @@ mod tests {
             prepare.get::<ViewPrepare>().unwrap().header.dest,
             Dest::Nodes(vec![NodeId(2), NodeId(7)])
         );
+    }
+
+    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        let cancelled: Vec<_> = std::mem::take(&mut platform.cancelled);
+        for (_, key) in timers {
+            if !cancelled.contains(&key) {
+                harness.fire_timer(key, platform);
+            }
+        }
+    }
+
+    #[test]
+    fn a_lost_flush_no_longer_wedges_the_next_view_change() {
+        // Regression: the coordinator proposes a view, every FlushAck is
+        // lost, and `proposed` used to stay set forever — the next suspicion
+        // could never start its view change.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        assert_eq!(
+            vsync
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<ViewPrepare>())
+                .count(),
+            1
+        );
+
+        // No ack ever arrives; the round times out and is abandoned.
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+
+        // A later suspicion proposes again instead of being silently dropped.
+        vsync.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        assert_eq!(
+            vsync
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<ViewPrepare>())
+                .count(),
+            1,
+            "the abandoned round must not block the next view change"
+        );
+    }
+
+    #[test]
+    fn a_lost_commit_unblocks_the_participant_after_the_round_timeout() {
+        // Regression: a member that flushed for a proposal whose commit was
+        // lost stayed blocked forever, holding its buffered sends hostage.
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
+        let mut message = Message::new();
+        message.push(&proposed);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
+            &mut platform,
+        );
+        vsync.drain_down();
+
+        // A send while the (doomed) round is in flight is buffered.
+        let held = vsync.run_down(
+            Event::down(DataEvent::to_group(NodeId(2), Message::new())),
+            &mut platform,
+        );
+        assert!(held.iter().all(|event| !event.is::<DataEvent>()));
+
+        // The commit never arrives: past the round timeout the member gives
+        // up, resumes in its current view and releases the buffered send.
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<DataEvent>()));
+
+        // A retried proposal is accepted afresh (proposed was cleared).
+        let mut message = Message::new();
+        message.push(&proposed);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
+            &mut platform,
+        );
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<FlushAck>()));
     }
 
     #[test]
