@@ -330,6 +330,24 @@ pub enum DeliveryKind {
         /// Number of members that acknowledged (live quorum size).
         nodes: usize,
     },
+    /// A restarted member completed its view-synchronous state transfer and
+    /// is a full group member again. Reported by the recovery layer on the
+    /// rejoining node.
+    Rejoined {
+        /// The donor the snapshot was streamed from (the local node for a
+        /// degenerate solo view with nothing to transfer).
+        donor: NodeId,
+        /// Total snapshot bytes transferred.
+        bytes: u64,
+        /// Number of chunks the snapshot was streamed in.
+        chunks: u32,
+        /// Transfer epochs used (1 = the first donor succeeded; more means
+        /// donor failover happened mid-transfer).
+        transfer_epochs: u64,
+        /// Time from restart (channel creation) to installed state, in
+        /// milliseconds.
+        elapsed_ms: u64,
+    },
     /// The local context store first covered the whole group membership:
     /// a snapshot is now known for every participant. Reported once per
     /// membership by the context dissemination layer, so testbeds can

@@ -1,0 +1,212 @@
+//! Quick-mode rejoin / state-transfer measurement.
+//!
+//! Runs the `member_restart` recovery scenario (n = 50 by default) at
+//! 0%/10%/30% control-channel loss plus the donor-crash-mid-transfer case,
+//! with a real chat application bound to every node, and emits
+//! machine-readable results to `BENCH_rejoin_latency.json`. Per case it
+//! reports:
+//!
+//! * the restarted node's rejoin latency (restart → snapshot installed) and
+//!   when it happened in simulated time;
+//! * the transferred snapshot size, chunk count and transfer epochs (more
+//!   than one epoch = donor failover);
+//! * how much of the downtime chat traffic the rejoiner recovered through
+//!   the snapshot;
+//! * data-plane safety: live-link chat losses (must stay zero for the
+//!   surviving members) next to the separately accounted in-flight traffic
+//!   towards the crashed node.
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin
+//! rejoin_latency_quick [output-path]`.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_chat::ChatHistoryBinding;
+use morpheus_testbed::{RejoinReport, Runner, Scenario};
+
+struct CaseResult {
+    name: String,
+    control_loss: f64,
+    rejoin: RejoinReport,
+    downtime_recovered: usize,
+    downtime_total: usize,
+    messages_lost: u64,
+    lost_to_crashed: u64,
+    control_lost: u64,
+    survivor_deliveries_min: u64,
+    wall_ms: f64,
+}
+
+fn run_case(name: &str, control_loss: f64, scenario: &Scenario) -> CaseResult {
+    let restarting = scenario.restarting_members()[0];
+    let (crash_at, _) = scenario
+        .failures
+        .iter()
+        .find(|(_, node)| *node == restarting)
+        .copied()
+        .expect("recovery scenarios crash the restarting node first");
+    let (restart_at, _) = scenario.restarts[0];
+
+    let mut binding = ChatHistoryBinding::new("icdcs");
+    let started = std::time::Instant::now();
+    let report = Runner::new().run_with_binding(scenario, &mut binding);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let node = report
+        .node(restarting)
+        .expect("the restarting node is part of the report");
+    let rejoin = node
+        .rejoin
+        .clone()
+        .unwrap_or_else(|| panic!("{name}: the restarted node never rejoined"));
+
+    // Downtime coverage: messages sent while the node was crashed, recovered
+    // through the snapshot (with a safety margin inside the window).
+    let window = scenario
+        .workload
+        .seqs_sent_between(crash_at + 1000, restart_at.saturating_sub(1000));
+    let history = binding.history(restarting).expect("history bound");
+    let senders: Vec<String> = scenario
+        .workload
+        .senders
+        .iter()
+        .map(|node| ChatHistoryBinding::sender_name(*node))
+        .collect();
+    let downtime_total = window.clone().count() * senders.len();
+    let downtime_recovered = senders
+        .iter()
+        .flat_map(|sender| {
+            window
+                .clone()
+                .filter(move |seq| history.contains("icdcs", sender, *seq))
+        })
+        .count();
+
+    let survivor_deliveries_min = report
+        .nodes
+        .iter()
+        .filter(|n| n.node != restarting && !scenario.failures.iter().any(|(_, f)| *f == n.node))
+        .map(|n| n.app_deliveries)
+        .min()
+        .unwrap_or(0);
+
+    CaseResult {
+        name: name.to_string(),
+        control_loss,
+        rejoin,
+        downtime_recovered,
+        downtime_total,
+        messages_lost: report.messages_lost,
+        lost_to_crashed: report.messages_lost_to_crashed,
+        control_lost: report.control_lost,
+        survivor_deliveries_min,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rejoin_latency.json".into());
+    let n: usize = std::env::var("BENCH_RESTART_N")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|n| *n >= 4)
+        .unwrap_or(50);
+
+    eprintln!("rejoin-latency quick mode: member restart at n = {n}");
+    eprintln!(
+        "{:>26}  {:>6}  {:>11}  {:>9}  {:>7}  {:>7}  {:>12}  {:>9}",
+        "case", "loss", "rejoin(ms)", "bytes", "chunks", "epochs", "downtime-cov", "data-lost"
+    );
+
+    let mut results = Vec::new();
+    for loss in [0.0f64, 0.1, 0.3] {
+        let scenario = Scenario::member_restart(n, loss);
+        let name = format!("member-restart-{}pct", (loss * 100.0).round() as u64);
+        results.push(run_case(&name, loss, &scenario));
+    }
+    results.push(run_case(
+        "donor-crash-mid-transfer",
+        0.0,
+        &Scenario::donor_crash_mid_transfer(),
+    ));
+
+    for result in &results {
+        eprintln!(
+            "{:>26}  {:>6.2}  {:>11}  {:>9}  {:>7}  {:>7}  {:>9}/{:<3}  {:>9}",
+            result.name,
+            result.control_loss,
+            result.rejoin.elapsed_ms,
+            result.rejoin.bytes,
+            result.rejoin.chunks,
+            result.rejoin.transfer_epochs,
+            result.downtime_recovered,
+            result.downtime_total,
+            result.messages_lost,
+        );
+        assert_eq!(
+            result.messages_lost, 0,
+            "rejoin must not cost surviving members any chat message ({})",
+            result.name
+        );
+        assert!(
+            result.rejoin.elapsed_ms < 10_000,
+            "rejoin latency blew the bound ({})",
+            result.name
+        );
+        assert!(
+            result.downtime_recovered * 10 >= result.downtime_total * 8,
+            "the snapshot recovered too little downtime traffic ({})",
+            result.name
+        );
+    }
+    let failover = results.last().expect("donor-crash case present");
+    assert!(
+        failover.rejoin.transfer_epochs >= 2 && failover.rejoin.donor == NodeId(1),
+        "the donor-crash case must fail over to the next donor"
+    );
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"rejoin-latency\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  \"restart_n\": {n},\n"));
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"control_loss\": {:.2}, \"rejoin_latency_ms\": {}, \
+             \"rejoined_at_ms\": {}, \"donor\": {}, \"transfer_bytes\": {}, \
+             \"transfer_chunks\": {}, \"transfer_epochs\": {}, \
+             \"downtime_recovered\": {}, \"downtime_total\": {}, \"messages_lost\": {}, \
+             \"lost_to_crashed\": {}, \"control_lost\": {}, \
+             \"survivor_deliveries_min\": {}, \"wall_ms\": {:.1}}}{}\n",
+            result.name,
+            result.control_loss,
+            result.rejoin.elapsed_ms,
+            result.rejoin.at_ms,
+            result.rejoin.donor.0,
+            result.rejoin.bytes,
+            result.rejoin.chunks,
+            result.rejoin.transfer_epochs,
+            result.downtime_recovered,
+            result.downtime_total,
+            result.messages_lost,
+            result.lost_to_crashed,
+            result.control_lost,
+            result.survivor_deliveries_min,
+            result.wall_ms,
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+}

@@ -70,6 +70,7 @@ impl ChatApp {
             }
             DeliveryKind::ReconfigurationComplete { .. }
             | DeliveryKind::ContextConverged { .. }
+            | DeliveryKind::Rejoined { .. }
             | DeliveryKind::Notification(_) => None,
         }
     }

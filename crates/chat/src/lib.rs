@@ -13,16 +13,21 @@
 //! * [`rooms::RoomDirectory`] — interest groups and their membership;
 //! * [`app::ChatApp`] — a small client that composes outgoing messages and
 //!   decodes deliveries;
+//! * [`history::RoomHistory`] — shared, deduplicated room history, exposed to
+//!   the recovery layer's rejoin state transfer as
+//!   [`history::ChatHistorySection`];
 //! * [`workload::ChatWorkload`] — deterministic chat traffic (senders, rate,
 //!   text) matching the paper's parameters, and the bridge to a testbed
 //!   [`morpheus_testbed::Scenario`].
 
 pub mod app;
+pub mod history;
 pub mod message;
 pub mod rooms;
 pub mod workload;
 
 pub use app::ChatApp;
+pub use history::{ChatHistoryBinding, ChatHistorySection, RoomHistory};
 pub use message::ChatMessage;
 pub use rooms::RoomDirectory;
 pub use workload::ChatWorkload;

@@ -39,6 +39,9 @@ use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 use morpheus_appia::{internal_event, sendable_event, Kernel};
 use morpheus_groupcomm::events::ViewInstall;
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::context::ContextSnapshot;
 use crate::retriever::{default_retrievers, ContextRetriever};
 use crate::store::ContextStore;
@@ -177,9 +180,27 @@ impl Wire for BatchBody {
     }
 }
 
-/// Registers the Cocaditem layer and its event types with a kernel.
+/// Registers the Cocaditem layer and its event types with a kernel. The
+/// layer's sessions own their stores privately; use
+/// [`register_cocaditem_with_store`] to share the store with the node
+/// runtime (e.g. for rejoin state transfer).
 pub fn register_cocaditem(kernel: &mut Kernel) {
-    kernel.layers_mut().register(CocaditemLayer);
+    kernel.layers_mut().register(CocaditemLayer::default());
+    register_cocaditem_events(kernel);
+}
+
+/// Registers the Cocaditem layer backed by a shared context store: every
+/// session created from it reads and writes `store`, so the node runtime
+/// (and the recovery layer's [`crate::store::ContextStoreSection`]) observe
+/// the live replicated context.
+pub fn register_cocaditem_with_store(kernel: &mut Kernel, store: Rc<RefCell<ContextStore>>) {
+    kernel.layers_mut().register(CocaditemLayer {
+        shared_store: Some(store),
+    });
+    register_cocaditem_events(kernel);
+}
+
+fn register_cocaditem_events(kernel: &mut Kernel) {
     ContextPublish::register(kernel.events_mut());
     ContextDigest::register(kernel.events_mut());
     ContextPull::register(kernel.events_mut());
@@ -199,7 +220,12 @@ pub fn register_cocaditem(kernel: &mut Kernel) {
 ///   (default 3);
 /// * `refresh_every` — legacy mode only: full republish every N quiet ticks
 ///   (default 10).
-pub struct CocaditemLayer;
+#[derive(Default)]
+pub struct CocaditemLayer {
+    /// When set, every created session shares this store instead of owning
+    /// a private one (see [`register_cocaditem_with_store`]).
+    shared_store: Option<Rc<RefCell<ContextStore>>>,
+}
 
 impl Layer for CocaditemLayer {
     fn name(&self) -> &str {
@@ -238,12 +264,13 @@ impl Layer for CocaditemLayer {
             fanout: param_or(params, "fanout", 3usize),
             forward_ttl: param_or(params, "forward_ttl", 3u32),
             retrievers: default_retrievers(),
-            store: ContextStore::new(),
+            store: self.shared_store.clone().unwrap_or_default(),
             last_published: None,
             ticks_since_publish: 0,
             publications: 0,
             converged_reported: false,
             recent_pulls: std::collections::HashMap::new(),
+            behind_peers: std::collections::BTreeSet::new(),
         })
     }
 }
@@ -289,16 +316,24 @@ pub struct CocaditemSession {
     fanout: usize,
     forward_ttl: u32,
     retrievers: Vec<Box<dyn ContextRetriever>>,
-    store: ContextStore,
+    store: Rc<RefCell<ContextStore>>,
     last_published: Option<ContextSnapshot>,
     ticks_since_publish: u32,
     publications: u64,
     converged_reported: bool,
-    /// When each node's snapshot was last pulled (local ms). Several digests
-    /// arrive per interval; without this, every one of them would re-request
-    /// the same missing snapshots and the boot transient would cost more
-    /// messages than the flood it replaces.
-    recent_pulls: std::collections::HashMap<NodeId, u64>,
+    /// Pull budget per snapshot: `(window start ms, pulls issued in the
+    /// window)`. Up to **two** digest senders per publish interval may be
+    /// pulled from for the same missing snapshot — one redundant pull
+    /// halves the tail under heavy control loss (a single lost answer no
+    /// longer costs a whole extra interval), while still keeping the boot
+    /// transient far below the flood it replaces.
+    recent_pulls: std::collections::HashMap<NodeId, (u64, u32)>,
+    /// Peers whose most recent digest advertised a staler view of the store
+    /// than ours. Our own digest targets are biased towards them: a peer
+    /// that is behind learns what to pull from us one interval sooner than
+    /// uniform random targeting would manage, which shortens the last
+    /// stragglers' convergence tail.
+    behind_peers: std::collections::BTreeSet<NodeId>,
 }
 
 impl std::fmt::Debug for CocaditemSession {
@@ -307,7 +342,7 @@ impl std::fmt::Debug for CocaditemSession {
             .field("members", &self.members)
             .field("publish_interval_ms", &self.publish_interval_ms)
             .field("fanout", &self.fanout)
-            .field("known_nodes", &self.store.len())
+            .field("known_nodes", &self.store.borrow().len())
             .field("publications", &self.publications)
             .finish()
     }
@@ -364,7 +399,7 @@ impl CocaditemSession {
         if self
             .members
             .iter()
-            .all(|member| self.store.get(*member).is_some())
+            .all(|member| self.store.borrow().get(*member).is_some())
         {
             self.converged_reported = true;
             ctx.deliver(DeliveryKind::ContextConverged {
@@ -386,6 +421,11 @@ impl CocaditemSession {
         ctx.dispatch(Event::up(ContextUpdated {
             snapshot: snapshot.clone(),
         }));
+        // Coverage can also be completed from outside the dissemination
+        // exchanges — a rejoined node's store is installed wholesale by the
+        // recovery state transfer — so the convergence check runs on every
+        // tick, not only when this node's own context changed.
+        self.maybe_report_convergence(ctx);
 
         self.ticks_since_publish += 1;
         let changed = match &self.last_published {
@@ -401,7 +441,7 @@ impl CocaditemSession {
         // *published* versions: an unpublished local re-sample must not bump
         // the advertised version, or every digest receiver would pull the
         // "newer" snapshot on every interval forever.
-        self.store.update(snapshot.clone());
+        self.store.borrow_mut().update(snapshot.clone());
         self.maybe_report_convergence(ctx);
 
         let targets = if self.fanout == 0 {
@@ -426,16 +466,30 @@ impl CocaditemSession {
         self.ticks_since_publish = 0;
     }
 
-    /// Gossips the store digest to `fanout` random peers (epidemic mode's
-    /// per-interval anti-entropy round).
+    /// Gossips the store digest to `fanout` peers — stale-looking peers
+    /// first, the rest uniformly random.
     fn gossip_digest(&mut self, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
-        let targets = self.random_targets(self.fanout, &[local], ctx);
+        self.behind_peers
+            .retain(|peer| *peer != local && self.member_set.contains(peer));
+        let behind: Vec<NodeId> = self.behind_peers.iter().copied().collect();
+        let mut targets =
+            morpheus_groupcomm::gossip::sample_peers(&behind, &[local], self.fanout, ctx);
+        if targets.len() < self.fanout {
+            let mut exclude = targets.clone();
+            exclude.push(local);
+            targets.extend(morpheus_groupcomm::gossip::sample_peers(
+                &self.members,
+                &exclude,
+                self.fanout - targets.len(),
+                ctx,
+            ));
+        }
         if targets.is_empty() {
             return;
         }
         let body = DigestBody {
-            entries: self.store.digest(),
+            entries: self.store.borrow().digest(),
         };
         let mut message = Message::new();
         message.push(&body);
@@ -455,7 +509,7 @@ impl CocaditemSession {
         from: NodeId,
         ctx: &mut EventContext<'_>,
     ) {
-        let fresh = self.store.update(snapshot.clone());
+        let fresh = self.store.borrow_mut().update(snapshot.clone());
         if !fresh {
             return;
         }
@@ -477,20 +531,54 @@ impl CocaditemSession {
     /// loss without any periodic full republish.
     fn on_digest(&mut self, body: DigestBody, from: NodeId, ctx: &mut EventContext<'_>) {
         let now = ctx.now_ms();
+        // Does the sender itself look *behind* (older versions than ours, or
+        // snapshots it does not list at all)? If so, bias our next digest
+        // rounds towards it so it learns what to pull from us.
+        // Both sides are in node-id order (the store is a BTreeMap; digests
+        // are produced from store.digest()), so one merge scan decides it in
+        // O(n). A malformed unsorted digest only degrades the *bias*, never
+        // correctness.
+        let store = self.store.borrow();
+        let mut entries = body.entries.iter().peekable();
+        let mut sender_behind = false;
+        for (node, snapshot) in store.iter() {
+            if !self.member_set.contains(node) {
+                continue;
+            }
+            while entries
+                .next_if(|(digest_node, _)| digest_node < node)
+                .is_some()
+            {}
+            match entries.peek() {
+                Some((digest_node, version))
+                    if digest_node == node && *version >= snapshot.captured_at_ms => {}
+                _ => {
+                    sender_behind = true;
+                    break;
+                }
+            }
+        }
+        drop(store);
+        if sender_behind {
+            self.behind_peers.insert(from);
+        } else {
+            self.behind_peers.remove(&from);
+        }
+
         let mut wants: Vec<NodeId> = Vec::new();
         for (node, version) in &body.entries {
             if !self.member_set.contains(node) {
                 continue;
             }
-            if self.store.version_of(*node) >= Some(*version) {
+            if self.store.borrow().version_of(*node) >= Some(*version) {
                 continue;
             }
-            let recently = self
-                .recent_pulls
-                .get(node)
-                .is_some_and(|at| now.saturating_sub(*at) < self.publish_interval_ms);
-            if !recently {
-                self.recent_pulls.insert(*node, now);
+            let window = self.recent_pulls.entry(*node).or_insert((now, 0));
+            if now.saturating_sub(window.0) >= self.publish_interval_ms {
+                *window = (now, 0);
+            }
+            if window.1 < 2 {
+                window.1 += 1;
                 wants.push(*node);
             }
         }
@@ -508,11 +596,13 @@ impl CocaditemSession {
     /// Handles a pull request: answer with every requested snapshot batched
     /// into a single message.
     fn on_pull(&mut self, body: PullBody, from: NodeId, ctx: &mut EventContext<'_>) {
+        let store = self.store.borrow();
         let snapshots: Vec<ContextSnapshot> = body
             .nodes
             .into_iter()
-            .filter_map(|node| self.store.get(node).cloned())
+            .filter_map(|node| store.get(node).cloned())
             .collect();
+        drop(store);
         if snapshots.is_empty() {
             return;
         }
@@ -532,7 +622,7 @@ impl CocaditemSession {
     fn on_batch(&mut self, body: BatchBody, ctx: &mut EventContext<'_>) {
         for snapshot in body.snapshots {
             let node = snapshot.node;
-            if self.store.update(snapshot.clone()) {
+            if self.store.borrow_mut().update(snapshot.clone()) {
                 self.recent_pulls.remove(&node);
                 ctx.dispatch(Event::up(ContextUpdated { snapshot }));
             }
@@ -573,11 +663,13 @@ impl Session for CocaditemSession {
             self.members = install.view.members.clone();
             self.member_set = self.members.iter().copied().collect();
             // Expelled members must stop occupying the store (their digest
-            // entry would otherwise ride every future digest) and the pull
-            // rate-limit map.
-            self.store.retain_members(&self.members);
+            // entry would otherwise ride every future digest), the pull
+            // rate-limit map or the staleness bias.
+            self.store.borrow_mut().retain_members(&self.members);
             self.recent_pulls
-                .retain(|node, _| self.members.contains(node));
+                .retain(|node, _| self.member_set.contains(node));
+            self.behind_peers
+                .retain(|node| self.member_set.contains(node));
             self.converged_reported = false;
             ctx.forward(event);
             return;
@@ -695,7 +787,7 @@ mod tests {
     fn init_publishes_the_local_context_legacy_floods_everyone() {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
         let mut cocaditem = Harness::new(
-            CocaditemLayer,
+            CocaditemLayer::default(),
             &legacy_params(&[1, 2, 3], 500),
             &mut platform,
         );
@@ -743,7 +835,11 @@ mod tests {
     fn epidemic_mode_pushes_to_fanout_peers_and_gossips_digests() {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(0)));
         let members: Vec<u32> = (0..12).collect();
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&members, 500), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&members, 500),
+            &mut platform,
+        );
 
         // Drain the battery enough to re-trigger a significant change, then
         // fire the publish timer.
@@ -783,7 +879,11 @@ mod tests {
     fn received_publications_are_reported_upward_and_forwarded_while_fresh() {
         let mut platform = TestPlatform::new(NodeId(1));
         let members: Vec<u32> = (0..10).collect();
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&members, 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&members, 1000),
+            &mut platform,
+        );
 
         let snapshot = ContextSnapshot::from_profile(&NodeProfile::mobile_pda(NodeId(2)), 77);
         let up = cocaditem.run_up(
@@ -832,7 +932,11 @@ mod tests {
     #[test]
     fn digests_trigger_rate_limited_pulls_for_stale_entries() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2, 3], 1000),
+            &mut platform,
+        );
 
         // Node 1 knows node 3's context at version 50.
         let known = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(3)), 50);
@@ -877,11 +981,40 @@ mod tests {
             "pull-only anti-entropy pushes nothing back"
         );
 
-        // A second digest arriving within the same interval (e.g. from node
-        // 3) must not re-request the snapshots already in flight.
+        // A second digest sender within the same interval may be pulled from
+        // once more (redundancy halves the tail under loss: one lost answer
+        // no longer costs a whole interval)...
         cocaditem.run_up(
             Event::up(ContextDigest::new(
                 NodeId(3),
+                Dest::Node(NodeId(1)),
+                digest(vec![(NodeId(2), 10), (NodeId(3), 90)]),
+            )),
+            &mut platform,
+        );
+        let second = cocaditem.drain_down();
+        assert_eq!(
+            second
+                .iter()
+                .filter(|event| event.is::<ContextPull>())
+                .count(),
+            1,
+            "up to two digest senders per interval are pulled from"
+        );
+        assert_eq!(
+            second
+                .iter()
+                .find_map(|event| event.get::<ContextPull>())
+                .unwrap()
+                .header
+                .dest,
+            Dest::Node(NodeId(3))
+        );
+
+        // ... but a third digest in the same interval is not.
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(2),
                 Dest::Node(NodeId(1)),
                 digest(vec![(NodeId(2), 10), (NodeId(3), 90)]),
             )),
@@ -892,11 +1025,11 @@ mod tests {
                 .drain_down()
                 .iter()
                 .all(|event| !event.is::<ContextPull>()),
-            "in-flight pulls are not repeated within the interval"
+            "the per-interval pull budget is two"
         );
 
-        // After a publish interval the pull is retried (the answer may have
-        // been lost on a degraded control channel).
+        // After a publish interval the pull budget resets (the answers may
+        // have been lost on a degraded control channel).
         platform.advance(1000);
         cocaditem.run_up(
             Event::up(ContextDigest::new(
@@ -918,9 +1051,85 @@ mod tests {
     }
 
     #[test]
+    fn digest_targets_are_biased_towards_stale_looking_peers() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let members: Vec<u32> = (0..12).collect();
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&members, 500),
+            &mut platform,
+        );
+
+        // Node 0 knows node 5's context at version 80.
+        let known = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(5)), 80);
+        cocaditem.run_up(
+            Event::up(ContextPublish::new(
+                NodeId(5),
+                Dest::Node(NodeId(0)),
+                publish_message(&known, 0),
+            )),
+            &mut platform,
+        );
+        cocaditem.drain_down();
+
+        // Node 7's digest only knows node 5 at version 10: node 7 is behind.
+        let mut message = Message::new();
+        message.push(&DigestBody {
+            entries: vec![(NodeId(5), 10)],
+        });
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(7),
+                Dest::Node(NodeId(0)),
+                message,
+            )),
+            &mut platform,
+        );
+        cocaditem.drain_down();
+
+        // Every digest round now includes node 7 among its targets until it
+        // catches up.
+        for _ in 0..3 {
+            fire_publish_timer(&mut cocaditem, &mut platform);
+            let down = cocaditem.drain_down();
+            let digest = down
+                .iter()
+                .find(|event| event.is::<ContextDigest>())
+                .expect("digest round");
+            let Dest::Nodes(targets) = &digest.get::<ContextDigest>().unwrap().header.dest else {
+                panic!("digest must address a node list");
+            };
+            assert!(
+                targets.contains(&NodeId(7)),
+                "stale peer biased into the digest targets (got {targets:?})"
+            );
+        }
+
+        // Once node 7's digest shows it caught up, the bias is dropped.
+        let mut message = Message::new();
+        message.push(&DigestBody {
+            entries: vec![(NodeId(5), 80), (NodeId(0), 1)],
+        });
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(
+                NodeId(7),
+                Dest::Node(NodeId(0)),
+                message,
+            )),
+            &mut platform,
+        );
+        // (No assertion on absence — targets are random — but the bias set
+        // no longer forces node 7; this exercises the removal path.)
+    }
+
+    #[test]
     fn pull_requests_are_answered_with_one_batched_message() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2, 3], 1000),
+            &mut platform,
+        );
         let known = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(3)), 50);
         cocaditem.run_up(
             Event::up(ContextPublish::new(
@@ -960,7 +1169,11 @@ mod tests {
     #[test]
     fn batched_answers_are_stored_and_reported_upward() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2, 3], 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2, 3], 1000),
+            &mut platform,
+        );
         platform.take_deliveries();
 
         let mut message = Message::new();
@@ -993,7 +1206,11 @@ mod tests {
     #[test]
     fn covering_the_whole_membership_is_reported_once() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2], 1000),
+            &mut platform,
+        );
         platform.take_deliveries();
 
         let snapshot = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(2)), 10);
@@ -1033,7 +1250,7 @@ mod tests {
         let mut platform = TestPlatform::with_profile(NodeProfile::mobile_pda(NodeId(2)));
         let mut params = legacy_params(&[1, 2], 500);
         params.insert("refresh_every".into(), "5".into());
-        let mut cocaditem = Harness::new(CocaditemLayer, &params, &mut platform);
+        let mut cocaditem = Harness::new(CocaditemLayer::default(), &params, &mut platform);
 
         // The initial (forced) publication happened at ChannelInit. With an
         // unchanged profile, the next few ticks stay silent on the network
@@ -1062,7 +1279,11 @@ mod tests {
     #[test]
     fn malformed_publications_are_dropped() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem = Harness::new(CocaditemLayer, &params(&[1, 2], 1000), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2], 1000),
+            &mut platform,
+        );
         let up = cocaditem.run_up(
             Event::up(ContextPublish::new(
                 NodeId(2),
@@ -1096,8 +1317,11 @@ mod tests {
     #[test]
     fn view_install_updates_the_dissemination_targets() {
         let mut platform = TestPlatform::new(NodeId(1));
-        let mut cocaditem =
-            Harness::new(CocaditemLayer, &legacy_params(&[1, 2], 300), &mut platform);
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &legacy_params(&[1, 2], 300),
+            &mut platform,
+        );
         cocaditem.run_down(
             Event::down(ViewInstall {
                 view: morpheus_groupcomm::View::new(1, vec![NodeId(1), NodeId(2), NodeId(5)]),

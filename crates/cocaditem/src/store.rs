@@ -1,9 +1,13 @@
 //! The distributed context store: the last published snapshot of every
 //! participant.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use morpheus_appia::platform::{DeviceClass, NodeId};
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+use morpheus_groupcomm::recovery::StateSection;
 
 use crate::context::ContextSnapshot;
 
@@ -159,6 +163,66 @@ impl ContextStore {
     pub fn device_class_of(&self, node: NodeId) -> Option<DeviceClass> {
         self.get(node).and_then(ContextSnapshot::device_class)
     }
+
+    /// Serialises every snapshot — the rejoin state-transfer export.
+    pub fn export_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.snapshots.len() as u32);
+        for snapshot in self.snapshots.values() {
+            snapshot.encode(&mut w);
+        }
+        w.finish().to_vec()
+    }
+
+    /// Merges an exported store into this one ([`ContextStore::update`]
+    /// semantics: newer snapshots win, stale ones are ignored). Returns the
+    /// number of snapshots that were news.
+    pub fn import_merge(&mut self, bytes: &[u8]) -> Result<usize, WireError> {
+        let mut r = WireReader::new(bytes);
+        let count = r.get_u32()? as usize;
+        // A snapshot encodes to at least 16 bytes; reject adversarial counts
+        // before allocating.
+        if count > r.remaining() / 16 {
+            return Err(WireError::Malformed("context store count exceeds payload"));
+        }
+        let mut merged = 0;
+        for _ in 0..count {
+            let snapshot = ContextSnapshot::decode(&mut r)?;
+            if self.update(snapshot) {
+                merged += 1;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// The context store as a rejoin state-transfer section: the donor exports
+/// its replicated store, the restarted node merges it — so a rejoiner knows
+/// every participant's context immediately instead of waiting for the digest
+/// anti-entropy to repopulate it from scratch.
+pub struct ContextStoreSection {
+    store: Rc<RefCell<ContextStore>>,
+}
+
+impl ContextStoreSection {
+    /// Wraps the node's shared context store.
+    pub fn new(store: Rc<RefCell<ContextStore>>) -> Self {
+        Self { store }
+    }
+}
+
+impl StateSection for ContextStoreSection {
+    fn name(&self) -> &str {
+        "cocaditem-store"
+    }
+
+    fn export(&self) -> Vec<u8> {
+        self.store.borrow().export_bytes()
+    }
+
+    fn install(&self, bytes: &[u8]) -> bool {
+        self.store.borrow_mut().import_merge(bytes).is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +301,34 @@ mod tests {
         assert!((store.min_battery_level() - 0.4).abs() < 1e-9);
         assert_eq!(store.best_battery_node(), Some(NodeId(0)));
         assert_eq!(store.device_class_of(NodeId(0)), Some(DeviceClass::FixedPc));
+    }
+
+    #[test]
+    fn export_import_roundtrip_merges_by_version() {
+        let mut store = ContextStore::new();
+        store.update(fixed(0, 100));
+        store.update(mobile(2, 70));
+        let bytes = store.export_bytes();
+
+        // The importer holds a newer snapshot for node 2 and an older one
+        // for node 0: only node 0's is overwritten.
+        let mut other = ContextStore::new();
+        other.update(fixed(0, 50));
+        other.update(mobile(2, 90));
+        assert_eq!(other.import_merge(&bytes).unwrap(), 1);
+        assert_eq!(other.version_of(NodeId(0)), Some(100));
+        assert_eq!(other.version_of(NodeId(2)), Some(90));
+
+        assert!(other.import_merge(b"\xff\xff\xff\xff").is_err());
+
+        // The section wrapper drives the same paths through shared state.
+        let shared = Rc::new(RefCell::new(ContextStore::new()));
+        let section = ContextStoreSection::new(shared.clone());
+        assert!(section.install(&bytes));
+        assert_eq!(shared.borrow().len(), 2);
+        assert!(!section.export().is_empty());
+        assert!(!section.install(b"\xff"));
+        assert_eq!(section.name(), "cocaditem-store");
     }
 
     #[test]

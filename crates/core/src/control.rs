@@ -53,6 +53,7 @@ use morpheus_appia::Kernel;
 use morpheus_cocaditem::dissemination::ContextUpdated;
 use morpheus_cocaditem::ContextStore;
 use morpheus_groupcomm::events::{Alive, Suspect, ViewInstall};
+use morpheus_groupcomm::vsync::ballot_beats;
 
 use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
 use crate::rules::DefaultPolicy;
@@ -134,9 +135,14 @@ impl Layer for CoreLayer {
             .unwrap_or_else(|| "data".to_string());
         let hb = param_or(params, "hb_interval_ms", 1000u64);
         let suspect = param_or(params, "suspect_timeout_ms", 5000u64);
+        let retransmit = param_or(params, "retransmit_interval_ms", 500u64).max(10);
+        let round_timeout = param_or(params, "round_timeout_ms", 4000u64).max(100);
         Box::new(CoreSession {
             catalog: StackCatalog::new(&data_channel, members.clone())
-                .with_failure_detection(hb, suspect),
+                .with_failure_detection(hb, suspect)
+                .with_fd_fanout(param_or(params, "control_fanout", 3usize))
+                .with_view_change_timing(retransmit, round_timeout)
+                .with_transfer_chunk_bytes(param_or(params, "transfer_chunk_bytes", 1024usize)),
             members,
             data_channel,
             adaptive: param_or(params, "adaptive", true),
@@ -157,8 +163,8 @@ impl Layer for CoreLayer {
             installed: None,
             confirmed: BTreeSet::new(),
             round_timer: None,
-            retransmit_interval_ms: param_or(params, "retransmit_interval_ms", 500u64).max(10),
-            round_timeout_ms: param_or(params, "round_timeout_ms", 4000u64).max(100),
+            retransmit_interval_ms: retransmit,
+            round_timeout_ms: round_timeout,
             reconfigurations_started: 0,
             reconfigurations_completed: 0,
             reconfigurations_aborted: 0,
@@ -196,16 +202,6 @@ impl InstalledStack {
     fn matches(&self, epoch: u64, stack_name: &str) -> bool {
         self.epoch == epoch && self.stack_name == stack_name
     }
-}
-
-/// Whether ballot `(epoch, coordinator)` outranks `current`. Epochs are
-/// totally ordered Paxos-ballot style: the epoch number dominates and equal
-/// numbers are tie-broken by the coordinator id, *lower id winning* —
-/// consistent with the deterministic lowest-live-id election, so two
-/// coordinators briefly running concurrent rounds under the same epoch
-/// number can no longer both win acceptance (split-brain rounds).
-fn ballot_beats(epoch: u64, coordinator: NodeId, current: (u64, NodeId)) -> bool {
-    epoch > current.0 || (epoch == current.0 && coordinator.0 < current.1 .0)
 }
 
 /// Session state of the Core control layer.

@@ -14,6 +14,9 @@
 //! channel replacement and resumes the flow — the sequence Section 3.3 of the
 //! paper describes.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use bytes::Bytes;
 
 use morpheus_appia::config::ChannelConfig;
@@ -26,8 +29,11 @@ use morpheus_appia::platform::{
 };
 use morpheus_appia::timer::TimerKey;
 use morpheus_appia::{ChannelId, Kernel};
-use morpheus_cocaditem::register_cocaditem;
+use morpheus_cocaditem::dissemination::register_cocaditem_with_store;
+use morpheus_cocaditem::store::ContextStoreSection;
+use morpheus_cocaditem::ContextStore;
 use morpheus_groupcomm::events::{BlockRequest, ResumeRequest, ViewInstall};
+use morpheus_groupcomm::recovery::{RecoveryLayer, StateSection};
 use morpheus_groupcomm::{register_suite, View};
 
 use crate::control::{register_core, ReconfigAck};
@@ -64,6 +70,12 @@ pub struct NodeOptions {
     /// (heartbeat multicast + context flood) — the benchmarks' O(n²)
     /// baseline.
     pub control_fanout: usize,
+    /// Whether this node is a *restarted* member re-entering a running
+    /// group: its stacks come up in joining mode (empty view, blocked) and
+    /// the recovery layer drives re-admission plus state transfer.
+    pub rejoining: bool,
+    /// Chunk size of the rejoin state transfer, in bytes.
+    pub transfer_chunk_bytes: usize,
     /// Name of the data channel.
     pub data_channel: String,
     /// Name of the control channel.
@@ -85,6 +97,8 @@ impl NodeOptions {
             retransmit_interval_ms: 500,
             round_timeout_ms: 4000,
             control_fanout: 3,
+            rejoining: false,
+            transfer_chunk_bytes: 1024,
             data_channel: "data".to_string(),
             control_channel: "ctrl".to_string(),
             core_params: Vec::new(),
@@ -114,6 +128,13 @@ impl NodeOptions {
         self.core_params.push((key.into(), value.into()));
         self
     }
+
+    /// Marks the node as a restarted member rejoining a running group
+    /// (builder style).
+    pub fn rejoining(mut self) -> Self {
+        self.rejoining = true;
+        self
+    }
 }
 
 /// One Morpheus middleware instance.
@@ -121,6 +142,7 @@ pub struct MorpheusNode {
     kernel: Kernel,
     options: NodeOptions,
     catalog: StackCatalog,
+    context_store: Rc<RefCell<ContextStore>>,
     data_channel: ChannelId,
     control_channel: ChannelId,
     current_stack: String,
@@ -131,14 +153,39 @@ pub struct MorpheusNode {
 impl MorpheusNode {
     /// Builds a node, creating its data and control channels.
     pub fn new(options: NodeOptions, platform: &mut dyn Platform) -> Result<Self> {
+        Self::with_app_state(options, Vec::new(), platform)
+    }
+
+    /// Builds a node whose rejoin state transfer additionally streams the
+    /// given application-level state sections (e.g. the chat room history).
+    ///
+    /// The node always contributes its own Cocaditem context store as the
+    /// first section, so a rejoiner recovers the replicated context without
+    /// waiting for digest anti-entropy to repopulate it.
+    pub fn with_app_state(
+        options: NodeOptions,
+        app_sections: Vec<Rc<dyn StateSection>>,
+        platform: &mut dyn Platform,
+    ) -> Result<Self> {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
-        register_cocaditem(&mut kernel);
+        let context_store = Rc::new(RefCell::new(ContextStore::new()));
+        register_cocaditem_with_store(&mut kernel, context_store.clone());
+        let mut sections: Vec<Rc<dyn StateSection>> =
+            vec![Rc::new(ContextStoreSection::new(context_store.clone()))];
+        sections.extend(app_sections);
+        // Replaces the suite's section-less recovery layer by name.
+        kernel
+            .layers_mut()
+            .register(RecoveryLayer::with_sections(sections));
         register_core(&mut kernel);
 
         let catalog = StackCatalog::new(&options.data_channel, options.members.clone())
             .with_failure_detection(options.hb_interval_ms, options.suspect_timeout_ms)
-            .with_fd_fanout(options.control_fanout);
+            .with_fd_fanout(options.control_fanout)
+            .with_view_change_timing(options.retransmit_interval_ms, options.round_timeout_ms)
+            .with_transfer_chunk_bytes(options.transfer_chunk_bytes)
+            .with_rejoining(options.rejoining);
 
         let data_config = catalog.config_for(&options.initial_stack);
         let data_channel = kernel.create_channel(&data_config, platform)?;
@@ -161,6 +208,14 @@ impl MorpheusNode {
             "round_timeout_ms".to_string(),
             options.round_timeout_ms.to_string(),
         ));
+        core_params.push((
+            "control_fanout".to_string(),
+            options.control_fanout.to_string(),
+        ));
+        core_params.push((
+            "transfer_chunk_bytes".to_string(),
+            options.transfer_chunk_bytes.to_string(),
+        ));
         let control_config = catalog.control_config(
             &options.control_channel,
             options.publish_interval_ms,
@@ -173,6 +228,7 @@ impl MorpheusNode {
             current_stack: options.initial_stack.name(),
             kernel,
             catalog,
+            context_store,
             data_channel,
             control_channel,
             options,
@@ -194,6 +250,12 @@ impl MorpheusNode {
     /// The stack catalogue this node deploys from.
     pub fn catalog(&self) -> &StackCatalog {
         &self.catalog
+    }
+
+    /// The node's shared Cocaditem context store (live view of the
+    /// replicated context; also the first rejoin state-transfer section).
+    pub fn context_store(&self) -> &Rc<RefCell<ContextStore>> {
+        &self.context_store
     }
 
     /// Name of the stack currently deployed on the data channel.
@@ -396,7 +458,7 @@ mod tests {
         assert_eq!(node.current_stack(), "best-effort");
         assert_eq!(
             node.data_stack_layers(),
-            vec!["network", "beb", "fd", "vsync", "app"]
+            vec!["network", "beb", "fd", "recovery", "vsync", "app"]
         );
         // Channel creation publishes the initial context on the control channel.
         assert!(platform

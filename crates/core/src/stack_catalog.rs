@@ -21,6 +21,10 @@ pub struct StackCatalog {
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
     fd_fanout: usize,
+    retransmit_interval_ms: u64,
+    round_timeout_ms: u64,
+    transfer_chunk_bytes: usize,
+    rejoining: bool,
 }
 
 impl StackCatalog {
@@ -33,6 +37,10 @@ impl StackCatalog {
             hb_interval_ms: 1000,
             suspect_timeout_ms: 5000,
             fd_fanout: 3,
+            retransmit_interval_ms: 500,
+            round_timeout_ms: 4000,
+            transfer_chunk_bytes: 1024,
+            rejoining: false,
         }
     }
 
@@ -51,6 +59,28 @@ impl StackCatalog {
         self
     }
 
+    /// Overrides the view-change round timing of generated stacks (also the
+    /// recovery layer's retry cadence and transfer failover timeout).
+    pub fn with_view_change_timing(mut self, retransmit_ms: u64, round_timeout_ms: u64) -> Self {
+        self.retransmit_interval_ms = retransmit_ms;
+        self.round_timeout_ms = round_timeout_ms;
+        self
+    }
+
+    /// Overrides the rejoin state-transfer chunk size of generated stacks.
+    pub fn with_transfer_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.transfer_chunk_bytes = bytes;
+        self
+    }
+
+    /// Marks generated stacks as belonging to a restarted node re-entering
+    /// the group (vsync starts with an empty view; the recovery layer drives
+    /// re-admission and state transfer).
+    pub fn with_rejoining(mut self, rejoining: bool) -> Self {
+        self.rejoining = rejoining;
+        self
+    }
+
     /// The group membership the catalogue builds stacks for.
     pub fn members(&self) -> &[NodeId] {
         &self.members
@@ -66,6 +96,9 @@ impl StackCatalog {
             .share_vsync(self.share_key.clone())
             .failure_detection(self.hb_interval_ms, self.suspect_timeout_ms)
             .fd_fanout(self.fd_fanout)
+            .view_change_timing(self.retransmit_interval_ms, self.round_timeout_ms)
+            .transfer_chunk_bytes(self.transfer_chunk_bytes)
+            .rejoining(self.rejoining)
     }
 
     /// The channel description for a stack kind, over the catalogue's own

@@ -21,20 +21,22 @@ sendable_event! {
 }
 
 sendable_event! {
-    /// First phase of a view change: the coordinator proposes a new view
-    /// (payload: the encoded [`View`]).
+    /// First phase of a view change: the proposer opens an epoch-stamped
+    /// round (headers, top-first: the view epoch, then the proposed
+    /// [`View`]).
     pub struct ViewPrepare, class: Control
 }
 
 sendable_event! {
-    /// A member acknowledges that it blocked and flushed for the proposed
-    /// view (header: the proposed view id).
+    /// A member acknowledges that it blocked and flushed for a view round
+    /// (header: [`crate::headers::FlushBody`] — the round's ballot plus the
+    /// flushed-member set, aggregated in gossip mode).
     pub struct FlushAck, class: Control
 }
 
 sendable_event! {
-    /// Second phase of a view change: the coordinator commits the new view
-    /// (payload: the encoded [`View`]).
+    /// Second phase of a view change: the proposer commits the agreed view
+    /// (headers, top-first: the view epoch, then the encoded [`View`]).
     pub struct ViewCommit, class: Control
 }
 

@@ -23,9 +23,14 @@ use crate::headers::GossipHeader;
 /// Registered name of the gossip multicast layer.
 pub const GOSSIP_LAYER: &str = "gossip";
 
-/// Maximum number of message identifiers remembered for duplicate
-/// suppression.
-const SEEN_CAPACITY: usize = 65_536;
+/// Default cap on message identifiers remembered for duplicate suppression.
+const DEFAULT_SEEN_CAP: usize = 65_536;
+
+/// Default age after which a remembered identifier is evicted. Far beyond
+/// any realistic propagation delay of an epidemic round, so eviction can
+/// only re-admit a duplicate that stopped circulating long ago — while a
+/// long-running chat no longer pins one entry per message ever seen.
+const DEFAULT_SEEN_TTL_MS: u64 = 60_000;
 
 /// Picks up to `limit` distinct members uniformly at random, excluding
 /// `exclude` — the peer-sampling primitive shared by every gossip mechanism
@@ -61,7 +66,11 @@ pub fn sample_peers(
 ///
 /// * `members` — comma-separated initial membership;
 /// * `fanout` — number of random targets per push (default 3);
-/// * `ttl` — number of forwarding rounds a message survives (default 4).
+/// * `ttl` — number of forwarding rounds a message survives (default 4);
+/// * `seen_cap` — ring-buffer cap on the duplicate-suppression set
+///   (default 65536);
+/// * `seen_ttl_ms` — age-based eviction of suppression entries (default
+///   60000 ms; `0` disables age eviction).
 pub struct GossipLayer;
 
 impl Layer for GossipLayer {
@@ -82,6 +91,8 @@ impl Layer for GossipLayer {
             members: param_node_list(params, "members"),
             fanout: param_or(params, "fanout", 3usize).max(1),
             ttl: param_or(params, "ttl", 4u32),
+            seen_cap: param_or(params, "seen_cap", DEFAULT_SEEN_CAP).max(16),
+            seen_ttl_ms: param_or(params, "seen_ttl_ms", DEFAULT_SEEN_TTL_MS),
             next_seq: 0,
             seen: HashSet::new(),
             seen_order: VecDeque::new(),
@@ -97,21 +108,42 @@ pub struct GossipSession {
     members: Vec<NodeId>,
     fanout: usize,
     ttl: u32,
+    seen_cap: usize,
+    seen_ttl_ms: u64,
     next_seq: u64,
     seen: HashSet<(NodeId, u64)>,
-    seen_order: VecDeque<(NodeId, u64)>,
+    /// Insertion-ordered `(id, remembered-at ms)` ring backing the eviction
+    /// policy: bounded capacity plus age-based expiry, so the
+    /// duplicate-suppression memory stays capped no matter how long the
+    /// epidemic data path runs.
+    seen_order: VecDeque<((NodeId, u64), u64)>,
     forwarded: u64,
     duplicates: u64,
 }
 
 impl GossipSession {
-    fn remember(&mut self, id: (NodeId, u64)) -> bool {
+    /// Entries currently held for duplicate suppression.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    fn remember(&mut self, id: (NodeId, u64), now_ms: u64) -> bool {
+        // Age-based expiry first (cheap: entries are insertion-ordered).
+        if self.seen_ttl_ms > 0 {
+            while let Some((oldest, at)) = self.seen_order.front().copied() {
+                if now_ms.saturating_sub(at) < self.seen_ttl_ms {
+                    break;
+                }
+                self.seen_order.pop_front();
+                self.seen.remove(&oldest);
+            }
+        }
         if !self.seen.insert(id) {
             return false;
         }
-        self.seen_order.push_back(id);
-        if self.seen_order.len() > SEEN_CAPACITY {
-            if let Some(oldest) = self.seen_order.pop_front() {
+        self.seen_order.push_back((id, now_ms));
+        while self.seen_order.len() > self.seen_cap {
+            if let Some((oldest, _)) = self.seen_order.pop_front() {
                 self.seen.remove(&oldest);
             }
         }
@@ -146,7 +178,8 @@ impl Session for GossipSession {
                             seq: self.next_seq,
                             ttl: self.ttl,
                         };
-                        self.remember((header.origin, header.seq));
+                        let now = ctx.now_ms();
+                        self.remember((header.origin, header.seq), now);
                         data.message.push(&header);
                         let targets = self.random_targets(&[local], ctx);
                         event
@@ -174,7 +207,8 @@ impl Session for GossipSession {
                 let Ok(header) = data.message.pop::<GossipHeader>() else {
                     return;
                 };
-                if header.seq != 0 && !self.remember((header.origin, header.seq)) {
+                let now = ctx.now_ms();
+                if header.seq != 0 && !self.remember((header.origin, header.seq), now) {
                     self.duplicates += 1;
                     return;
                 }
@@ -310,6 +344,41 @@ mod tests {
             "duplicate is suppressed"
         );
         assert!(receiver_platform.take_sent().is_empty());
+    }
+
+    #[test]
+    fn duplicate_suppression_memory_is_capped_by_ring_and_ttl() {
+        let mut gossip = GossipSession {
+            members: vec![NodeId(0), NodeId(1), NodeId(2)],
+            fanout: 3,
+            ttl: 4,
+            seen_cap: 16,
+            seen_ttl_ms: 1000,
+            next_seq: 0,
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            forwarded: 0,
+            duplicates: 0,
+        };
+
+        // The ring caps the set no matter how many distinct ids arrive.
+        for seq in 0..100u64 {
+            assert!(gossip.remember((NodeId(1), seq), 0));
+        }
+        assert_eq!(gossip.seen_len(), 16, "ring eviction bounds the memory");
+        assert!(
+            gossip.remember((NodeId(1), 5), 10),
+            "an id evicted by the ring is (correctly) treated as new again"
+        );
+        assert!(!gossip.remember((NodeId(1), 99), 10), "recent ids suppress");
+
+        // Age-based expiry clears the set even without capacity pressure.
+        assert!(!gossip.remember((NodeId(1), 99), 999));
+        assert!(
+            gossip.remember((NodeId(1), 99), 1010),
+            "entries older than the TTL are evicted"
+        );
+        assert!(gossip.seen_len() <= 16);
     }
 
     #[test]

@@ -156,6 +156,57 @@ impl Wire for LivenessDigest {
     }
 }
 
+/// Body of a view-change [`crate::events::FlushAck`]: which members are known
+/// to have flushed for the round identified by the ballot
+/// `(epoch, proposer)`.
+///
+/// In small views every participant reports only itself, straight to the
+/// proposer. At gossip scale (`n >= gossip_threshold`) flush knowledge is
+/// *aggregated*: participants merge the sets they receive and re-gossip the
+/// union to the proposer plus `fanout` random peers, so the proposer collects
+/// coverage from `O(fanout · log n)` merged messages instead of `n`
+/// individual unicast acks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushBody {
+    /// The round's view epoch.
+    pub epoch: u64,
+    /// The proposer holding the epoch (the ballot tie-break half).
+    pub proposer: NodeId,
+    /// Members known (transitively) to have blocked and flushed.
+    pub flushed: Vec<NodeId>,
+}
+
+impl Wire for FlushBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.epoch);
+        self.proposer.encode(w);
+        w.put_u32(self.flushed.len() as u32);
+        for node in &self.flushed {
+            node.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let epoch = r.get_u64()?;
+        let proposer = NodeId::decode(r)?;
+        let count = r.get_u32()? as usize;
+        // Every entry occupies 4 wire bytes; reject adversarial counts
+        // before allocating.
+        if count > r.remaining() / 4 {
+            return Err(WireError::Malformed("flush body count exceeds payload"));
+        }
+        let mut flushed = Vec::with_capacity(count);
+        for _ in 0..count {
+            flushed.push(NodeId::decode(r)?);
+        }
+        Ok(Self {
+            epoch,
+            proposer,
+            flushed,
+        })
+    }
+}
+
 /// Header of a FEC parity block: which data sequence numbers it covers and
 /// how long each covered message was (needed to truncate a reconstructed
 /// message back to its original size).
@@ -290,6 +341,11 @@ mod tests {
             entries: vec![(NodeId(0), 12), (NodeId(7), 3)],
         });
         roundtrip(LivenessDigest::default());
+        roundtrip(FlushBody {
+            epoch: 9,
+            proposer: NodeId(1),
+            flushed: vec![NodeId(1), NodeId(4)],
+        });
         roundtrip(FecParityHeader {
             covers: vec![10, 11, 12, 13],
             lengths: vec![100, 90, 80, 70],

@@ -17,6 +17,7 @@
 //!   forward error correction ([`fec`]);
 //! * a heartbeat failure detector ([`failure_detector`]);
 //! * group membership with view synchrony ([`vsync`], [`view`]);
+//! * view-synchronous state transfer for member rejoin ([`recovery`]);
 //! * causal ([`causal`]) and sequencer-based total ordering ([`total`]).
 //!
 //! [`suite::register_suite`] registers every layer and event type with a
@@ -32,6 +33,7 @@ pub mod fifo;
 pub mod gossip;
 pub mod headers;
 pub mod mecho;
+pub mod recovery;
 pub mod reliable;
 pub mod suite;
 pub mod total;
@@ -42,5 +44,6 @@ pub use events::{
     BlockRequest, FecParity, FlushAck, Heartbeat, JoinRequest, NackRequest, OrderInfo,
     ResumeRequest, Suspect, ViewCommit, ViewInstall, ViewPrepare,
 };
+pub use recovery::{RecoveryLayer, StateSection};
 pub use suite::{register_suite, StackBuilder};
 pub use view::View;

@@ -1,0 +1,1236 @@
+//! View-synchronous state transfer for member rejoin.
+//!
+//! A genuinely restarted node has lost everything: its context store, its
+//! application state and its place in the group view. This layer gives it a
+//! way back in, as a first-class protocol rather than an afterthought:
+//!
+//! 1. **Joining** — the restarted node comes up with `joining=true` (its
+//!    vsync layer above holds an empty view and blocks sends). It multicasts
+//!    a [`JoinRequest`] to the boot membership every `retry_ms` until the
+//!    group's view coordinator either runs a join view change or — when the
+//!    node was never expelled — re-asserts the current view at it.
+//! 2. **Syncing** — once a view containing the local node installs, the
+//!    joiner pulls a **chunked, versioned state snapshot** from a
+//!    deterministic donor: the lowest live id in the installed view. The
+//!    snapshot is the concatenation of every registered [`StateSection`]
+//!    (the Cocaditem context store, app-level state such as chat room
+//!    history), exported by the donor at request time and streamed in
+//!    `chunk_bytes` chunks, `WINDOW` chunks per request round-trip. Lost
+//!    chunks are re-requested; a donor that stops making progress for
+//!    `transfer_timeout_ms` (or is suspected by the failure detector) fails
+//!    over to the next donor under a **fresh transfer epoch**, so stale
+//!    chunks from the dead donor can never corrupt the new stream.
+//! 3. **Member** — when the snapshot is complete it is installed through the
+//!    sections, a [`morpheus_appia::platform::DeliveryKind::Rejoined`]
+//!    report goes to the application, and every data message received since
+//!    the join view installed — buffered below the view-synchrony layer so
+//!    view synchrony holds — is replayed upward in arrival order: the
+//!    application sees the snapshot first, then the join view's messages.
+//!
+//! On every *non*-joining node the layer is a pass-through that answers
+//! state requests when it is chosen as donor.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
+use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
+use morpheus_appia::kernel::EventContext;
+use morpheus_appia::layer::{param_node_list, param_or, Layer, LayerParams};
+use morpheus_appia::message::Message;
+use morpheus_appia::platform::{DeliveryKind, NodeId};
+use morpheus_appia::sendable_event;
+use morpheus_appia::session::Session;
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+
+use crate::events::{JoinRequest, Suspect, ViewInstall};
+use crate::view::View;
+
+/// Registered name of the recovery / state-transfer layer.
+pub const RECOVERY_LAYER: &str = "recovery";
+
+/// Timer tag of the join/transfer retry tick.
+const RETRY_TAG: u32 = 1;
+
+/// Chunks streamed per request round-trip (pull-driven flow control — and
+/// what makes a donor crash observable *mid*-transfer).
+const WINDOW: usize = 8;
+
+/// Hard cap on buffered join-view messages (drop-oldest beyond it).
+const BUFFER_CAP: usize = 4096;
+
+sendable_event! {
+    /// Joiner → donor: start (or continue) a snapshot transfer (header:
+    /// [`StateRequestBody`]).
+    pub struct StateRequest, class: Control
+}
+
+sendable_event! {
+    /// Donor → joiner: one snapshot chunk (header: [`StateChunkHeader`];
+    /// payload: the chunk bytes).
+    pub struct StateChunk, class: Control
+}
+
+/// One named, independently versioned piece of node state that survives a
+/// restart by being streamed from a donor.
+///
+/// Implementations use interior mutability (`Rc<RefCell<..>>`) because the
+/// same live state is shared between the protocol layer and its owner (the
+/// context store with the Cocaditem session, room history with the
+/// application).
+pub trait StateSection {
+    /// Stable section name used to match exporter and installer.
+    fn name(&self) -> &str;
+    /// Serialises the current state.
+    fn export(&self) -> Vec<u8>;
+    /// Merges a snapshot into the local state. Returns `false` when the
+    /// bytes are malformed (the transfer fails over to the next donor).
+    fn install(&self, bytes: &[u8]) -> bool;
+}
+
+/// Wire body of a [`StateRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateRequestBody {
+    /// The joiner's transfer epoch: bumped on every donor failover so late
+    /// chunks from a previous donor are ignored.
+    pub transfer_epoch: u64,
+    /// Chunk indices the joiner still misses (empty = start of transfer,
+    /// donor answers with a fresh snapshot's first window).
+    pub missing: Vec<u32>,
+}
+
+impl Wire for StateRequestBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.transfer_epoch);
+        w.put_u32_list(&self.missing);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            transfer_epoch: r.get_u64()?,
+            missing: r.get_u32_list()?,
+        })
+    }
+}
+
+/// Wire header of a [`StateChunk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateChunkHeader {
+    /// Transfer epoch the chunk answers.
+    pub transfer_epoch: u64,
+    /// Snapshot version (donor capture time): all chunks of one transfer
+    /// carry the same version, so a joiner can detect a donor that
+    /// re-exported mid-stream.
+    pub version: u64,
+    /// Index of this chunk.
+    pub index: u32,
+    /// Total number of chunks in the snapshot.
+    pub total: u32,
+}
+
+impl Wire for StateChunkHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.transfer_epoch);
+        w.put_u64(self.version);
+        w.put_u32(self.index);
+        w.put_u32(self.total);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            transfer_epoch: r.get_u64()?,
+            version: r.get_u64()?,
+            index: r.get_u32()?,
+            total: r.get_u32()?,
+        })
+    }
+}
+
+/// Encodes every section into one snapshot blob.
+fn encode_snapshot(sections: &[Rc<dyn StateSection>]) -> Bytes {
+    let mut w = WireWriter::new();
+    w.put_u32(sections.len() as u32);
+    for section in sections {
+        w.put_str(section.name());
+        w.put_bytes(&section.export());
+    }
+    w.finish()
+}
+
+/// The recovery / state-transfer layer.
+///
+/// Parameters:
+///
+/// * `members` — comma-separated boot membership (join-request targets);
+/// * `joining` — whether this node is a restarted member re-entering the
+///   group (default false);
+/// * `retry_ms` — join-request and chunk re-request cadence (default
+///   500 ms);
+/// * `transfer_timeout_ms` — progress timeout before donor failover
+///   (default 4000 ms);
+/// * `chunk_bytes` — snapshot chunk size (default 1024).
+pub struct RecoveryLayer {
+    sections: Vec<Rc<dyn StateSection>>,
+}
+
+impl RecoveryLayer {
+    /// A recovery layer with no registered state sections (view agreement
+    /// and rejoin still work; the snapshot is just empty).
+    pub fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+        }
+    }
+
+    /// A recovery layer streaming the given state sections.
+    pub fn with_sections(sections: Vec<Rc<dyn StateSection>>) -> Self {
+        Self { sections }
+    }
+}
+
+impl Default for RecoveryLayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for RecoveryLayer {
+    fn name(&self) -> &str {
+        RECOVERY_LAYER
+    }
+
+    fn accepted_events(&self) -> Vec<EventSpec> {
+        vec![
+            EventSpec::of::<ChannelInit>(),
+            EventSpec::of::<TimerExpired>(),
+            EventSpec::of::<ViewInstall>(),
+            EventSpec::of::<DataEvent>(),
+            EventSpec::of::<Suspect>(),
+            EventSpec::of::<StateRequest>(),
+            EventSpec::of::<StateChunk>(),
+        ]
+    }
+
+    fn provided_events(&self) -> Vec<&'static str> {
+        vec!["JoinRequest", "StateRequest", "StateChunk"]
+    }
+
+    fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let joining = param_or(params, "joining", false);
+        Box::new(RecoverySession {
+            sections: self.sections.clone(),
+            members: param_node_list(params, "members"),
+            view: None,
+            phase: if joining {
+                Phase::Joining
+            } else {
+                Phase::Member
+            },
+            buffered: VecDeque::new(),
+            retry_ms: param_or(params, "retry_ms", 500u64).max(10),
+            transfer_timeout_ms: param_or(params, "transfer_timeout_ms", 4000u64).max(100),
+            chunk_bytes: param_or(params, "chunk_bytes", 1024usize).max(16),
+            serving: HashMap::new(),
+            timer: None,
+            phase_started_ms: 0,
+        })
+    }
+}
+
+/// Where a node stands on its way (back) into the group.
+#[derive(Debug)]
+enum Phase {
+    /// A normal member: pass-through, donates snapshots on request.
+    Member,
+    /// Restarted, multicasting join requests until a view admits it.
+    Joining,
+    /// Admitted; pulling the state snapshot from a donor.
+    Syncing(SyncState),
+}
+
+/// Joiner-side state of one snapshot transfer.
+#[derive(Debug)]
+struct SyncState {
+    /// Donor candidates: members of the join view, ascending id (the
+    /// deterministic donor is the lowest live id).
+    candidates: Vec<NodeId>,
+    donor_index: usize,
+    transfer_epoch: u64,
+    version: Option<u64>,
+    total: Option<u32>,
+    chunks: BTreeMap<u32, Bytes>,
+    outstanding: BTreeSet<u32>,
+    bytes: u64,
+    last_progress_ms: u64,
+}
+
+impl SyncState {
+    fn donor(&self) -> Option<NodeId> {
+        if self.candidates.is_empty() {
+            return None;
+        }
+        Some(self.candidates[self.donor_index % self.candidates.len()])
+    }
+}
+
+/// Donor-side cache of one in-flight outgoing transfer: re-requested chunks
+/// must come from the *same* snapshot version the stream started with.
+#[derive(Debug)]
+struct OutgoingTransfer {
+    transfer_epoch: u64,
+    version: u64,
+    chunks: Vec<Bytes>,
+    /// When the joiner last asked for a window — the cache holds a full
+    /// snapshot copy, so entries whose transfer went quiet are evicted.
+    last_request_ms: u64,
+}
+
+/// Session state of the recovery layer.
+pub struct RecoverySession {
+    sections: Vec<Rc<dyn StateSection>>,
+    members: Vec<NodeId>,
+    view: Option<View>,
+    phase: Phase,
+    buffered: VecDeque<Event>,
+    retry_ms: u64,
+    transfer_timeout_ms: u64,
+    chunk_bytes: usize,
+    serving: HashMap<NodeId, OutgoingTransfer>,
+    timer: Option<u64>,
+    phase_started_ms: u64,
+}
+
+impl std::fmt::Debug for RecoverySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoverySession")
+            .field("phase", &self.phase)
+            .field("members", &self.members)
+            .field("buffered", &self.buffered.len())
+            .field(
+                "sections",
+                &self
+                    .sections
+                    .iter()
+                    .map(|section| section.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl RecoverySession {
+    /// Whether the node is fully (re)joined.
+    pub fn is_member(&self) -> bool {
+        matches!(self.phase, Phase::Member)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut EventContext<'_>) {
+        if let Some(timer_id) = self.timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
+        self.timer = Some(ctx.set_timer(self.retry_ms, RETRY_TAG));
+    }
+
+    fn send_join_request(&self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let targets: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|member| *member != local)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        ctx.dispatch(Event::down(JoinRequest::new(
+            local,
+            Dest::Nodes(targets),
+            Message::new(),
+        )));
+    }
+
+    /// Asks the current donor for the next (or the still-missing) window of
+    /// chunks.
+    fn send_request(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let Phase::Syncing(sync) = &mut self.phase else {
+            return;
+        };
+        let Some(donor) = sync.donor() else {
+            return;
+        };
+        let missing: Vec<u32> = match sync.total {
+            None => Vec::new(),
+            Some(total) => (0..total)
+                .filter(|index| !sync.chunks.contains_key(index))
+                .take(WINDOW)
+                .collect(),
+        };
+        sync.outstanding = missing.iter().copied().collect();
+        let mut message = Message::new();
+        message.push(&StateRequestBody {
+            transfer_epoch: sync.transfer_epoch,
+            missing,
+        });
+        ctx.dispatch(Event::down(StateRequest::new(
+            local,
+            Dest::Node(donor),
+            message,
+        )));
+    }
+
+    /// Moves to the next donor under a fresh transfer epoch (donor crashed,
+    /// stalled, or streamed a malformed snapshot).
+    fn failover(&mut self, reason: &str, ctx: &mut EventContext<'_>) {
+        let next = match &self.phase {
+            Phase::Syncing(sync) => sync.donor_index + 1,
+            _ => return,
+        };
+        self.restart_transfer(next, reason, ctx);
+    }
+
+    /// Restarts the snapshot pull from the given donor rank under a fresh
+    /// transfer epoch, discarding partial progress (chunks from different
+    /// donors or epochs must never be mixed).
+    fn restart_transfer(&mut self, donor_index: usize, reason: &str, ctx: &mut EventContext<'_>) {
+        let now = ctx.now_ms();
+        let Phase::Syncing(sync) = &mut self.phase else {
+            return;
+        };
+        let failed = sync
+            .donor()
+            .map(|node| node.to_string())
+            .unwrap_or_else(|| "<none>".into());
+        sync.donor_index = donor_index;
+        sync.transfer_epoch += 1;
+        sync.version = None;
+        sync.total = None;
+        sync.chunks.clear();
+        sync.outstanding.clear();
+        sync.bytes = 0;
+        sync.last_progress_ms = now;
+        let next = sync
+            .donor()
+            .map(|node| node.to_string())
+            .unwrap_or_else(|| "<none>".into());
+        ctx.deliver(DeliveryKind::Notification(format!(
+            "state transfer from {failed} {reason}; failing over to {next} \
+             under transfer epoch {}",
+            sync.transfer_epoch
+        )));
+        self.send_request(ctx);
+    }
+
+    /// The join view installed: pick the deterministic donor (lowest live
+    /// id) and start pulling the snapshot.
+    fn begin_sync(&mut self, view: &View, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let now = ctx.now_ms();
+        let candidates = view.others(local);
+        if candidates.is_empty() {
+            // Degenerate solo view: nothing to pull.
+            self.finish(local, 0, ctx);
+            return;
+        }
+        self.phase = Phase::Syncing(SyncState {
+            candidates,
+            donor_index: 0,
+            transfer_epoch: 1,
+            version: None,
+            total: None,
+            chunks: BTreeMap::new(),
+            outstanding: BTreeSet::new(),
+            bytes: 0,
+            last_progress_ms: now,
+        });
+        self.send_request(ctx);
+        self.arm_timer(ctx);
+    }
+
+    /// Snapshot complete (or nothing to transfer): install, report, replay.
+    fn finish(&mut self, donor: NodeId, chunk_count: u32, ctx: &mut EventContext<'_>) {
+        let (bytes, epochs) = match &self.phase {
+            Phase::Syncing(sync) => (sync.bytes, sync.transfer_epoch),
+            _ => (0, 0),
+        };
+        let elapsed_ms = ctx.now_ms().saturating_sub(self.phase_started_ms);
+        self.phase = Phase::Member;
+        if let Some(timer_id) = self.timer.take() {
+            ctx.cancel_timer(timer_id);
+        }
+        ctx.deliver(DeliveryKind::Rejoined {
+            donor,
+            bytes,
+            chunks: chunk_count,
+            transfer_epochs: epochs,
+            elapsed_ms,
+        });
+        // Replay the join view's messages *after* the installed snapshot, in
+        // arrival order, so the application observes state-then-messages —
+        // the view-synchronous delivery contract.
+        for event in std::mem::take(&mut self.buffered) {
+            ctx.dispatch(event);
+        }
+    }
+
+    fn install_snapshot(&self, blob: &[u8]) -> bool {
+        let mut r = WireReader::new(blob);
+        let Ok(count) = r.get_u32() else {
+            return false;
+        };
+        for _ in 0..count {
+            let Ok(name) = r.get_str() else {
+                return false;
+            };
+            let Ok(bytes) = r.get_bytes() else {
+                return false;
+            };
+            if let Some(section) = self.sections.iter().find(|section| section.name() == name) {
+                if !section.install(&bytes) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Donor side: answer a request window from the cached (or freshly
+    /// exported) snapshot.
+    fn on_request(&mut self, from: NodeId, body: StateRequestBody, ctx: &mut EventContext<'_>) {
+        if !matches!(self.phase, Phase::Member) {
+            // A node that is itself still joining or syncing has no complete
+            // state to donate; the joiner will fail over past it.
+            return;
+        }
+        let local = ctx.node_id();
+        let now = ctx.now_ms();
+        // A completed (or abandoned) transfer stops requesting windows; its
+        // cached snapshot copy is dropped once it has been quiet for longer
+        // than the joiner-side failover timeout could possibly allow.
+        let quiet_after = self.transfer_timeout_ms.saturating_mul(2);
+        self.serving
+            .retain(|_, transfer| now.saturating_sub(transfer.last_request_ms) < quiet_after);
+        // Every transfer *starts* with an empty missing list (the joiner
+        // does not know the total yet), so an empty list always means a
+        // fresh export — a joiner restarting a second time (its transfer
+        // epochs begin at 1 again) must never be served the snapshot cached
+        // at its previous rejoin. Non-empty lists are window re-requests and
+        // must come from the cached snapshot (same version, no torn state).
+        let rebuild = body.missing.is_empty()
+            || self
+                .serving
+                .get(&from)
+                .map(|transfer| transfer.transfer_epoch != body.transfer_epoch)
+                .unwrap_or(true);
+        if rebuild {
+            let blob = encode_snapshot(&self.sections);
+            let chunks: Vec<Bytes> = if blob.is_empty() {
+                vec![Bytes::new()]
+            } else {
+                (0..blob.len())
+                    .step_by(self.chunk_bytes)
+                    .map(|start| blob.slice(start..(start + self.chunk_bytes).min(blob.len())))
+                    .collect()
+            };
+            self.serving.insert(
+                from,
+                OutgoingTransfer {
+                    transfer_epoch: body.transfer_epoch,
+                    version: now,
+                    chunks,
+                    last_request_ms: now,
+                },
+            );
+        }
+        let transfer = self.serving.get_mut(&from).expect("inserted above");
+        transfer.last_request_ms = now;
+        let transfer = &*transfer;
+        let total = transfer.chunks.len() as u32;
+        let indices: Vec<u32> = if body.missing.is_empty() {
+            (0..total).take(WINDOW).collect()
+        } else {
+            body.missing
+                .into_iter()
+                .filter(|index| *index < total)
+                .take(WINDOW * 4)
+                .collect()
+        };
+        for index in indices {
+            let mut message = Message::with_payload(transfer.chunks[index as usize].clone());
+            message.push(&StateChunkHeader {
+                transfer_epoch: transfer.transfer_epoch,
+                version: transfer.version,
+                index,
+                total,
+            });
+            ctx.dispatch(Event::down(StateChunk::new(
+                local,
+                Dest::Node(from),
+                message,
+            )));
+        }
+    }
+
+    /// Joiner side: account one arriving chunk; finish or pull the next
+    /// window.
+    fn on_chunk(
+        &mut self,
+        from: NodeId,
+        header: StateChunkHeader,
+        payload: Bytes,
+        ctx: &mut EventContext<'_>,
+    ) {
+        let now = ctx.now_ms();
+        let complete = {
+            let Phase::Syncing(sync) = &mut self.phase else {
+                return;
+            };
+            if header.transfer_epoch != sync.transfer_epoch || Some(from) != sync.donor() {
+                return; // a late chunk from a failed-over donor
+            }
+            match sync.version {
+                None => {
+                    sync.version = Some(header.version);
+                    sync.total = Some(header.total);
+                    // The initial request could not name indices (the total
+                    // was unknown); the donor answered with the first
+                    // window, which is what is outstanding now.
+                    sync.outstanding = (0..header.total.min(WINDOW as u32)).collect();
+                }
+                Some(version) if version != header.version => return,
+                _ => {}
+            }
+            if header.index >= sync.total.unwrap_or(0) {
+                return;
+            }
+            let len = payload.len() as u64;
+            if sync.chunks.insert(header.index, payload).is_none() {
+                sync.bytes += len;
+            }
+            sync.outstanding.remove(&header.index);
+            sync.last_progress_ms = now;
+            let total = sync.total.unwrap_or(0) as usize;
+            sync.chunks.len() == total
+        };
+        if complete {
+            let Phase::Syncing(sync) = &self.phase else {
+                return;
+            };
+            let total = sync.total.unwrap_or(0);
+            let mut blob = Vec::with_capacity(sync.bytes as usize);
+            for chunk in sync.chunks.values() {
+                blob.extend_from_slice(chunk);
+            }
+            if self.install_snapshot(&blob) {
+                self.finish(from, total, ctx);
+            } else {
+                self.failover("streamed a malformed snapshot", ctx);
+            }
+        } else {
+            let outstanding_drained = matches!(&self.phase, Phase::Syncing(sync)
+                if sync.outstanding.is_empty());
+            if outstanding_drained {
+                self.send_request(ctx); // pull the next window
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut EventContext<'_>) {
+        let now = ctx.now_ms();
+        match &self.phase {
+            Phase::Member => return, // no re-arm
+            Phase::Joining => self.send_join_request(ctx),
+            Phase::Syncing(sync) => {
+                if now.saturating_sub(sync.last_progress_ms) >= self.transfer_timeout_ms {
+                    self.failover("stalled", ctx);
+                } else {
+                    // Re-request whatever is outstanding (lost chunks) or
+                    // kick off the next window.
+                    self.send_request(ctx);
+                }
+            }
+        }
+        self.arm_timer(ctx);
+    }
+}
+
+impl Session for RecoverySession {
+    fn layer_name(&self) -> &str {
+        RECOVERY_LAYER
+    }
+
+    fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
+        if event.is::<ChannelInit>() {
+            // Fires on every stack the shared session is woven into —
+            // including replacements mid-join — so the retry timer must be
+            // re-armed here (the old channel's timers die with it).
+            if !matches!(self.phase, Phase::Member) {
+                if self.phase_started_ms == 0 {
+                    self.phase_started_ms = ctx.now_ms();
+                }
+                if matches!(self.phase, Phase::Joining) {
+                    self.send_join_request(ctx);
+                }
+                self.arm_timer(ctx);
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(timer) = event.get::<TimerExpired>() {
+            if timer.owner == RECOVERY_LAYER {
+                if timer.tag == RETRY_TAG && self.timer == Some(timer.timer_id) {
+                    self.timer = None;
+                    self.on_timer(ctx);
+                }
+                return;
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(install) = event.get::<ViewInstall>() {
+            let view = install.view.clone();
+            self.serving.retain(|node, _| view.contains(*node));
+            let admitted = matches!(self.phase, Phase::Joining) && view.contains(ctx.node_id());
+            self.view = Some(view.clone());
+            if admitted {
+                self.begin_sync(&view, ctx);
+            } else if let Phase::Syncing(sync) = &mut self.phase {
+                // The view moved while syncing: re-derive the candidate
+                // list. If the current donor survived, keep streaming from
+                // it; if it was expelled, restart from the lowest live donor
+                // under a fresh transfer epoch right away (stale chunks must
+                // not corrupt the new stream, and waiting for the progress
+                // timeout would add seconds to every such rejoin).
+                let local = ctx.node_id();
+                let donor = sync.donor();
+                let candidates = view.others(local);
+                if !candidates.is_empty() {
+                    sync.candidates = candidates;
+                    match donor
+                        .and_then(|donor| sync.candidates.iter().position(|node| *node == donor))
+                    {
+                        Some(position) => sync.donor_index = position,
+                        None => self.restart_transfer(0, "donor expelled from the view", ctx),
+                    }
+                }
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(suspect) = event.get::<Suspect>() {
+            let node = suspect.node;
+            let donor_died = matches!(&self.phase, Phase::Syncing(sync)
+                if sync.donor() == Some(node));
+            if donor_died {
+                self.failover("donor suspected", ctx);
+            }
+            ctx.forward(event);
+            return;
+        }
+
+        if event.is::<StateRequest>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(request) = event.get_mut::<StateRequest>() else {
+                return;
+            };
+            let from = request.header.source;
+            let Ok(body) = request.message.pop::<StateRequestBody>() else {
+                return;
+            };
+            self.on_request(from, body, ctx);
+            return;
+        }
+
+        if event.is::<StateChunk>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(chunk) = event.get_mut::<StateChunk>() else {
+                return;
+            };
+            let from = chunk.header.source;
+            let Ok(header) = chunk.message.pop::<StateChunkHeader>() else {
+                return;
+            };
+            let payload = chunk.message.payload().clone();
+            self.on_chunk(from, header, payload, ctx);
+            return;
+        }
+
+        // Application data: messages delivered in the join view are buffered
+        // until the snapshot installed, so the application never observes a
+        // join-view message before the state it causally follows.
+        if event.is::<DataEvent>()
+            && event.direction == Direction::Up
+            && !matches!(self.phase, Phase::Member)
+        {
+            if self.buffered.len() >= BUFFER_CAP {
+                self.buffered.pop_front();
+            }
+            self.buffered.push_back(event);
+            return;
+        }
+
+        ctx.forward(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+
+    use morpheus_appia::platform::TestPlatform;
+    use morpheus_appia::testing::Harness;
+
+    use super::*;
+
+    /// A toy section backed by shared bytes.
+    struct TestSection {
+        name: &'static str,
+        state: Rc<RefCell<Vec<u8>>>,
+    }
+
+    impl StateSection for TestSection {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn export(&self) -> Vec<u8> {
+            self.state.borrow().clone()
+        }
+        fn install(&self, bytes: &[u8]) -> bool {
+            *self.state.borrow_mut() = bytes.to_vec();
+            true
+        }
+    }
+
+    fn section(
+        name: &'static str,
+        contents: &[u8],
+    ) -> (Rc<dyn StateSection>, Rc<RefCell<Vec<u8>>>) {
+        let state = Rc::new(RefCell::new(contents.to_vec()));
+        (
+            Rc::new(TestSection {
+                name,
+                state: state.clone(),
+            }),
+            state,
+        )
+    }
+
+    fn params(members: &[u32], joining: bool) -> LayerParams {
+        let mut params = LayerParams::new();
+        params.insert(
+            "members".into(),
+            members
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        params.insert("joining".into(), joining.to_string());
+        params.insert("chunk_bytes".into(), "16".into());
+        params
+    }
+
+    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        let cancelled: Vec<_> = std::mem::take(&mut platform.cancelled);
+        for (_, key) in timers {
+            if !cancelled.contains(&key) {
+                harness.fire_timer(key, platform);
+            }
+        }
+    }
+
+    fn requests(events: &[Event]) -> Vec<(NodeId, StateRequestBody)> {
+        events
+            .iter()
+            .filter_map(|event| {
+                event.get::<StateRequest>().map(|request| {
+                    let body = request.message.clone().pop::<StateRequestBody>().unwrap();
+                    let Dest::Node(donor) = request.header.dest else {
+                        panic!("state requests are unicast");
+                    };
+                    (donor, body)
+                })
+            })
+            .collect()
+    }
+
+    fn chunks(events: &[Event]) -> Vec<(StateChunkHeader, Bytes)> {
+        events
+            .iter()
+            .filter_map(|event| {
+                event.get::<StateChunk>().map(|chunk| {
+                    let mut message = chunk.message.clone();
+                    let header = message.pop::<StateChunkHeader>().unwrap();
+                    (header, message.payload().clone())
+                })
+            })
+            .collect()
+    }
+
+    /// Installs a view on the harnessed layer, returning everything the
+    /// layer emitted downward (run_down drains the bottom capture itself).
+    fn install_view(
+        harness: &mut Harness,
+        platform: &mut TestPlatform,
+        members: &[u32],
+    ) -> Vec<Event> {
+        harness.run_down(
+            Event::down(ViewInstall {
+                view: View::new(1, members.iter().copied().map(NodeId).collect()),
+            }),
+            platform,
+        )
+    }
+
+    /// Drives a complete donor→joiner transfer through two harnesses and
+    /// returns the joiner's deliveries.
+    fn run_transfer(
+        donor_state: &[u8],
+        joiner_members: &[u32],
+    ) -> (Rc<RefCell<Vec<u8>>>, TestPlatform) {
+        let (donor_section, _) = section("s", donor_state);
+        let mut donor_platform = TestPlatform::new(NodeId(0));
+        let mut donor = Harness::new(
+            RecoveryLayer::with_sections(vec![donor_section]),
+            &params(joiner_members, false),
+            &mut donor_platform,
+        );
+
+        let (joiner_section, joiner_state) = section("s", b"");
+        let mut joiner_platform = TestPlatform::new(NodeId(2));
+        let mut joiner = Harness::new(
+            RecoveryLayer::with_sections(vec![joiner_section]),
+            &params(joiner_members, true),
+            &mut joiner_platform,
+        );
+
+        // Admission: a view containing the joiner installs (the initial
+        // state request rides the same drain).
+        let mut outgoing = requests(&install_view(
+            &mut joiner,
+            &mut joiner_platform,
+            joiner_members,
+        ));
+
+        // Ferry requests and chunks between the two harnesses until the
+        // joiner reports completion or nothing moves.
+        for _ in 0..64 {
+            if outgoing.is_empty() {
+                break;
+            }
+            for (_, body) in outgoing.drain(..) {
+                let mut message = Message::new();
+                message.push(&body);
+                donor.run_up(
+                    Event::up(StateRequest::new(NodeId(2), Dest::Node(NodeId(0)), message)),
+                    &mut donor_platform,
+                );
+            }
+            for (header, payload) in chunks(&donor.drain_down()) {
+                let mut message = Message::with_payload(payload);
+                message.push(&header);
+                joiner.run_up(
+                    Event::up(StateChunk::new(NodeId(0), Dest::Node(NodeId(2)), message)),
+                    &mut joiner_platform,
+                );
+            }
+            outgoing = requests(&joiner.drain_down());
+        }
+        (joiner_state, joiner_platform)
+    }
+
+    #[test]
+    fn snapshot_blobs_roundtrip_through_sections() {
+        let (a, _) = section("alpha", b"aaaa");
+        let (b, _) = section("beta", b"bb");
+        let blob = encode_snapshot(&[a, b]);
+
+        let (a2, state_a) = section("alpha", b"");
+        let (b2, state_b) = section("beta", b"");
+        let session = RecoverySession {
+            sections: vec![a2, b2],
+            members: vec![],
+            view: None,
+            phase: Phase::Member,
+            buffered: VecDeque::new(),
+            retry_ms: 100,
+            transfer_timeout_ms: 1000,
+            chunk_bytes: 16,
+            serving: HashMap::new(),
+            timer: None,
+            phase_started_ms: 0,
+        };
+        assert!(session.install_snapshot(&blob));
+        assert_eq!(&*state_a.borrow(), b"aaaa");
+        assert_eq!(&*state_b.borrow(), b"bb");
+        assert!(!session.install_snapshot(b"\xff\xff"), "malformed rejected");
+    }
+
+    #[test]
+    fn a_joining_node_multicasts_join_requests_until_admitted() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut recovery = Harness::new(
+            RecoveryLayer::new(),
+            &params(&[0, 1, 2], true),
+            &mut platform,
+        );
+
+        // ChannelInit fired inside Harness::new and was drained; the retry
+        // tick re-sends the request.
+        platform.advance(500);
+        fire_pending_timers(&mut recovery, &mut platform);
+        let down = recovery.drain_down();
+        let joins: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<JoinRequest>())
+            .collect();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(
+            joins[0].get::<JoinRequest>().unwrap().header.dest,
+            Dest::Nodes(vec![NodeId(0), NodeId(1)])
+        );
+    }
+
+    #[test]
+    fn admission_pulls_from_the_lowest_id_donor_and_installs_the_snapshot() {
+        let (state, platform) = run_transfer(
+            b"the donor's replicated state, longer than one chunk",
+            &[0, 1, 2],
+        );
+        assert_eq!(
+            &*state.borrow(),
+            b"the donor's replicated state, longer than one chunk"
+        );
+        let mut platform = platform;
+        let rejoined: Vec<_> = platform
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|delivery| match delivery.kind {
+                DeliveryKind::Rejoined {
+                    donor,
+                    bytes,
+                    chunks,
+                    transfer_epochs,
+                    ..
+                } => Some((donor, bytes, chunks, transfer_epochs)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejoined.len(), 1);
+        let (donor, bytes, chunk_count, epochs) = rejoined[0];
+        assert_eq!(donor, NodeId(0), "lowest live id donates");
+        assert!(bytes > 0);
+        assert!(chunk_count > 1, "chunked transfer ({chunk_count} chunks)");
+        assert_eq!(epochs, 1, "first donor succeeded");
+    }
+
+    #[test]
+    fn join_view_messages_are_buffered_and_replayed_after_install() {
+        let (donor_section, _) = section("s", b"history");
+        let mut donor_platform = TestPlatform::new(NodeId(0));
+        let mut donor = Harness::new(
+            RecoveryLayer::with_sections(vec![donor_section]),
+            &params(&[0, 1, 2], false),
+            &mut donor_platform,
+        );
+
+        let (joiner_section, _) = section("s", b"");
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut joiner = Harness::new(
+            RecoveryLayer::with_sections(vec![joiner_section]),
+            &params(&[0, 1, 2], true),
+            &mut platform,
+        );
+        let mut outgoing = requests(&install_view(&mut joiner, &mut platform, &[0, 1, 2]));
+
+        // A data message arrives mid-transfer: held back.
+        let held = joiner.run_up(
+            Event::up(DataEvent::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                Message::with_payload(&b"early"[..]),
+            )),
+            &mut platform,
+        );
+        assert!(held.iter().all(|event| !event.is::<DataEvent>()));
+
+        // Complete the transfer.
+        for _ in 0..16 {
+            if outgoing.is_empty() {
+                break;
+            }
+            for (_, body) in outgoing.drain(..) {
+                let mut message = Message::new();
+                message.push(&body);
+                donor.run_up(
+                    Event::up(StateRequest::new(NodeId(2), Dest::Node(NodeId(0)), message)),
+                    &mut donor_platform,
+                );
+            }
+            for (header, payload) in chunks(&donor.drain_down()) {
+                let mut message = Message::with_payload(payload);
+                message.push(&header);
+                let up = joiner.run_up(
+                    Event::up(StateChunk::new(NodeId(0), Dest::Node(NodeId(2)), message)),
+                    &mut platform,
+                );
+                // Once the final chunk installs, the buffered message is
+                // replayed upward.
+                if up.iter().any(|event| event.is::<DataEvent>()) {
+                    return;
+                }
+            }
+            outgoing = requests(&joiner.drain_down());
+        }
+        panic!("the buffered join-view message was never replayed");
+    }
+
+    #[test]
+    fn a_suspected_donor_fails_over_under_a_fresh_transfer_epoch() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut joiner = Harness::new(
+            RecoveryLayer::new(),
+            &params(&[0, 1, 2], true),
+            &mut platform,
+        );
+        let first = requests(&install_view(&mut joiner, &mut platform, &[0, 1, 2]));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0, NodeId(0));
+        assert_eq!(first[0].1.transfer_epoch, 1);
+
+        // The failure detector suspects the donor mid-transfer.
+        let forwarded = joiner.run_up(Event::up(Suspect { node: NodeId(0) }), &mut platform);
+        assert!(
+            forwarded.iter().any(|event| event.is::<Suspect>()),
+            "suspicions keep flowing to the membership layer above"
+        );
+        let retried = requests(&joiner.drain_down());
+        assert_eq!(retried.len(), 1);
+        assert_eq!(retried[0].0, NodeId(1), "next-lowest donor takes over");
+        assert_eq!(retried[0].1.transfer_epoch, 2, "fresh transfer epoch");
+
+        // A late chunk from the dead donor is ignored (wrong epoch).
+        let mut message = Message::with_payload(Bytes::from_static(b"zombie"));
+        message.push(&StateChunkHeader {
+            transfer_epoch: 1,
+            version: 7,
+            index: 0,
+            total: 1,
+        });
+        joiner.run_up(
+            Event::up(StateChunk::new(NodeId(0), Dest::Node(NodeId(2)), message)),
+            &mut platform,
+        );
+        assert!(platform
+            .take_deliveries()
+            .iter()
+            .all(|delivery| !matches!(delivery.kind, DeliveryKind::Rejoined { .. })));
+    }
+
+    #[test]
+    fn a_stalled_transfer_times_out_into_failover() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut joiner = Harness::new(
+            RecoveryLayer::new(),
+            &params(&[0, 1, 2], true),
+            &mut platform,
+        );
+        install_view(&mut joiner, &mut platform, &[0, 1, 2]);
+
+        // No chunk ever arrives; past the transfer timeout the joiner moves
+        // to the next donor.
+        platform.advance(4000);
+        fire_pending_timers(&mut joiner, &mut platform);
+        let retried = requests(&joiner.drain_down());
+        assert!(!retried.is_empty());
+        assert_eq!(retried[0].0, NodeId(1));
+        assert_eq!(retried[0].1.transfer_epoch, 2);
+    }
+
+    #[test]
+    fn member_nodes_pass_data_through_and_serve_requests_from_cache() {
+        let (donor_section, state) = section("s", b"0123456789abcdef0123456789abcdef0123");
+        let mut platform = TestPlatform::new(NodeId(0));
+        let mut donor = Harness::new(
+            RecoveryLayer::with_sections(vec![donor_section]),
+            &params(&[0, 1, 2], false),
+            &mut platform,
+        );
+
+        // Pass-through for data.
+        let up = donor.run_up(
+            Event::up(DataEvent::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                Message::with_payload(&b"x"[..]),
+            )),
+            &mut platform,
+        );
+        assert_eq!(up.len(), 1, "members forward data untouched");
+
+        // First request snapshots the state and answers a window.
+        let mut message = Message::new();
+        message.push(&StateRequestBody {
+            transfer_epoch: 1,
+            missing: vec![],
+        });
+        donor.run_up(
+            Event::up(StateRequest::new(NodeId(2), Dest::Node(NodeId(0)), message)),
+            &mut platform,
+        );
+        let first = chunks(&donor.drain_down());
+        assert!(!first.is_empty());
+        let version = first[0].0.version;
+
+        // The donor's live state changes; a re-request of a missing chunk
+        // within the same transfer epoch still comes from the cached
+        // snapshot (same version) — no torn snapshots.
+        state.borrow_mut().extend_from_slice(b"MORE");
+        let mut message = Message::new();
+        message.push(&StateRequestBody {
+            transfer_epoch: 1,
+            missing: vec![0],
+        });
+        donor.run_up(
+            Event::up(StateRequest::new(NodeId(2), Dest::Node(NodeId(0)), message)),
+            &mut platform,
+        );
+        let again = chunks(&donor.drain_down());
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].0.version, version, "cached snapshot version");
+        assert_eq!(again[0].1, first[0].1, "identical chunk bytes");
+    }
+
+    #[test]
+    fn request_and_chunk_bodies_roundtrip() {
+        let body = StateRequestBody {
+            transfer_epoch: 3,
+            missing: vec![0, 4, 9],
+        };
+        assert_eq!(
+            StateRequestBody::from_bytes(&body.to_bytes()).unwrap(),
+            body
+        );
+        let header = StateChunkHeader {
+            transfer_epoch: 2,
+            version: 99,
+            index: 4,
+            total: 11,
+        };
+        assert_eq!(
+            StateChunkHeader::from_bytes(&header.to_bytes()).unwrap(),
+            header
+        );
+    }
+}

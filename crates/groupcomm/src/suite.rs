@@ -22,11 +22,17 @@ use crate::fec::FecLayer;
 use crate::fifo::FifoLayer;
 use crate::gossip::GossipLayer;
 use crate::mecho::MechoLayer;
+use crate::recovery::{RecoveryLayer, StateChunk, StateRequest};
 use crate::reliable::ReliableLayer;
 use crate::total::TotalLayer;
 use crate::vsync::VsyncLayer;
 
 /// Registers every layer and sendable event of the suite with the kernel.
+///
+/// The registered [`RecoveryLayer`] carries no state sections; a node
+/// runtime that wants rejoin state transfer re-registers it with its
+/// sections (see [`RecoveryLayer::with_sections`]) — registration replaces
+/// the previous entry by name.
 pub fn register_suite(kernel: &mut Kernel) {
     let layers = kernel.layers_mut();
     layers.register(BebLayer);
@@ -36,6 +42,7 @@ pub fn register_suite(kernel: &mut Kernel) {
     layers.register(ReliableLayer);
     layers.register(FecLayer);
     layers.register(FailureDetectorLayer);
+    layers.register(RecoveryLayer::new());
     layers.register(VsyncLayer);
     layers.register(CausalLayer);
     layers.register(TotalLayer);
@@ -47,6 +54,8 @@ pub fn register_suite(kernel: &mut Kernel) {
     FlushAck::register(events);
     ViewCommit::register(events);
     JoinRequest::register(events);
+    StateRequest::register(events);
+    StateChunk::register(events);
     FecParity::register(events);
     OrderInfo::register(events);
 }
@@ -115,6 +124,11 @@ pub struct StackBuilder {
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
     fd_fanout: usize,
+    retransmit_interval_ms: u64,
+    round_timeout_ms: u64,
+    vsync_gossip_threshold: usize,
+    transfer_chunk_bytes: usize,
+    joining: bool,
 }
 
 impl StackBuilder {
@@ -131,6 +145,11 @@ impl StackBuilder {
             hb_interval_ms: 500,
             suspect_timeout_ms: 2000,
             fd_fanout: 3,
+            retransmit_interval_ms: 500,
+            round_timeout_ms: 4000,
+            vsync_gossip_threshold: 50,
+            transfer_chunk_bytes: 1024,
+            joining: false,
         }
     }
 
@@ -213,6 +232,36 @@ impl StackBuilder {
         self
     }
 
+    /// Overrides the view-change round timing (retransmission cadence and
+    /// round timeout) — also used as the recovery layer's join-retry cadence
+    /// and transfer failover timeout.
+    pub fn view_change_timing(mut self, retransmit_ms: u64, round_timeout_ms: u64) -> Self {
+        self.retransmit_interval_ms = retransmit_ms;
+        self.round_timeout_ms = round_timeout_ms;
+        self
+    }
+
+    /// Overrides the view size at which vsync flush collection switches to
+    /// gossip aggregation.
+    pub fn vsync_gossip_threshold(mut self, threshold: usize) -> Self {
+        self.vsync_gossip_threshold = threshold;
+        self
+    }
+
+    /// Overrides the state-transfer chunk size.
+    pub fn transfer_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.transfer_chunk_bytes = bytes;
+        self
+    }
+
+    /// Marks the stack as belonging to a restarted node re-entering the
+    /// group: vsync starts with an empty view (blocked) and the recovery
+    /// layer drives re-admission plus state transfer.
+    pub fn rejoining(mut self, joining: bool) -> Self {
+        self.joining = joining;
+        self
+    }
+
     fn members_param(&self) -> String {
         self.members
             .iter()
@@ -271,7 +320,29 @@ impl StackBuilder {
                     .with_param("suspect_timeout_ms", self.suspect_timeout_ms.to_string())
                     .with_param("fanout", self.fd_fanout.to_string()),
             );
-            let mut vsync = LayerSpec::new("vsync").with_param("members", &members);
+            // The recovery layer sits between the failure detector and view
+            // synchrony: it sees Suspects (donor failover) and ViewInstalls
+            // (admission) and buffers join-view data below vsync. Shared so
+            // an in-flight transfer survives a stack replacement.
+            config = config.with_layer(
+                LayerSpec::new("recovery")
+                    .with_param("members", &members)
+                    .with_param("retry_ms", self.retransmit_interval_ms.to_string())
+                    .with_param("transfer_timeout_ms", self.round_timeout_ms.to_string())
+                    .with_param("chunk_bytes", self.transfer_chunk_bytes.to_string())
+                    .with_param("joining", self.joining.to_string())
+                    .shared("recovery"),
+            );
+            let mut vsync = LayerSpec::new("vsync")
+                .with_param("members", &members)
+                .with_param(
+                    "retransmit_interval_ms",
+                    self.retransmit_interval_ms.to_string(),
+                )
+                .with_param("round_timeout_ms", self.round_timeout_ms.to_string())
+                .with_param("gossip_threshold", self.vsync_gossip_threshold.to_string())
+                .with_param("fanout", self.fd_fanout.max(1).to_string())
+                .with_param("joining", self.joining.to_string());
             if let Some(key) = &self.vsync_share {
                 vsync = vsync.shared(key.clone());
             }
@@ -308,7 +379,8 @@ mod tests {
         let mut kernel = Kernel::new();
         register_suite(&mut kernel);
         for layer in [
-            "beb", "mecho", "gossip", "fifo", "reliable", "fec", "fd", "vsync", "causal", "total",
+            "beb", "mecho", "gossip", "fifo", "reliable", "fec", "fd", "recovery", "vsync",
+            "causal", "total",
         ] {
             assert!(kernel.layers().contains(layer), "layer `{layer}` missing");
         }
@@ -318,6 +390,8 @@ mod tests {
             "ViewPrepare",
             "FlushAck",
             "ViewCommit",
+            "StateRequest",
+            "StateChunk",
             "FecParity",
             "OrderInfo",
         ] {
@@ -330,7 +404,7 @@ mod tests {
         let config = StackBuilder::new("data", members(3)).build();
         assert_eq!(
             config.layer_names(),
-            vec!["network", "beb", "fd", "vsync", "app"]
+            vec!["network", "beb", "fd", "recovery", "vsync", "app"]
         );
     }
 
@@ -343,7 +417,7 @@ mod tests {
             .build();
         assert_eq!(
             config.layer_names(),
-            vec!["network", "mecho", "reliable", "fd", "vsync", "total", "app"]
+            vec!["network", "mecho", "reliable", "fd", "recovery", "vsync", "total", "app"]
         );
         let mecho = &config.layers[1];
         assert_eq!(mecho.params.get("relay").map(String::as_str), Some("0"));

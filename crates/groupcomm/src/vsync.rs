@@ -1,13 +1,49 @@
 //! Group membership and view synchrony.
 //!
 //! The layer maintains the current group [`View`], coordinates view changes
-//! (driven by failure-detector suspicions or join requests) through a
-//! two-phase prepare/commit exchange led by the deterministically elected
-//! coordinator (the lowest node id, exactly as the paper's Core subsystem
-//! assumes), and provides the *blocking* primitive the Morpheus
-//! reconfiguration procedure relies on: while a channel is blocked,
-//! application sends are buffered and re-emitted once the channel resumes, so
-//! no application message is lost across a stack replacement.
+//! (driven by failure-detector suspicions or join requests) through an
+//! **epoch-stamped** prepare/flush/commit exchange, and provides the
+//! *blocking* primitive the Morpheus reconfiguration procedure relies on:
+//! while a channel is blocked, application sends are buffered and re-emitted
+//! once the channel resumes, so no application message is lost across a stack
+//! replacement.
+//!
+//! # Failure-tolerant view agreement
+//!
+//! The original fire-and-forget 2PC wedged permanently on a single lost
+//! message. View rounds now mirror the reconfiguration protocol's design:
+//!
+//! * every round runs under a monotonic **view epoch** with the ballot order
+//!   `(epoch, proposer id)` — higher epoch wins, equal epochs are tie-broken
+//!   by the *lower* proposer id (consistent with the deterministic
+//!   lowest-live-id election), so two proposers racing after a false
+//!   suspicion can no longer both win acceptance;
+//! * the proposer **retransmits** the prepare to members that have not
+//!   flushed, every `retransmit_interval_ms`; participants retransmit their
+//!   flush towards the proposer on the same cadence, and a proposer that
+//!   already committed answers a straggler's flush with the commit — so any
+//!   *single* lost prepare, flush or commit is repaired within one interval;
+//! * a round that makes no progress for `round_timeout_ms` is **aborted**:
+//!   the round state is cleared (future view changes are never blocked
+//!   behind a dead round), the channel resumes in the still-installed view,
+//!   and the proposer immediately re-proposes under a fresh epoch while the
+//!   membership interest (queued removals/joins) persists;
+//! * duplicate prepares are answered with an idempotent re-flush, and
+//!   duplicate flushes merge into the round's flush set without side
+//!   effects;
+//! * at gossip scale (`view len >= gossip_threshold`) flush collection rides
+//!   the epidemic plane: participants aggregate the flush sets they hear and
+//!   re-gossip the union to the proposer plus `fanout` random peers, instead
+//!   of every member unicasting its own ack at the proposer.
+//!
+//! # Joining mode
+//!
+//! A restarted node comes up with `joining=true`: an empty view, the channel
+//! blocked, and no membership announcements. The recovery layer below drives
+//! its re-admission ([`crate::recovery`]); this layer completes it by
+//! installing the first view that contains the local node (accepting even an
+//! unchanged view id, for the restart-before-expulsion case where the group
+//! never removed the node).
 
 use std::collections::BTreeSet;
 
@@ -20,27 +56,43 @@ use morpheus_appia::platform::{DeliveryKind, NodeId};
 use morpheus_appia::session::Session;
 
 use crate::events::{
-    BlockRequest, FlushAck, JoinRequest, ResumeRequest, Suspect, ViewCommit, ViewInstall,
+    Alive, BlockRequest, FlushAck, JoinRequest, ResumeRequest, Suspect, ViewCommit, ViewInstall,
     ViewPrepare,
 };
+use crate::gossip::sample_peers;
+use crate::headers::FlushBody;
 use crate::view::View;
 
 /// Registered name of the view-synchrony / membership layer.
 pub const VSYNC_LAYER: &str = "vsync";
 
-/// Timer tag of the view-change round timeout.
+/// Timer tag of the round retransmit/timeout tick.
 const ROUND_TAG: u32 = 1;
+
+/// Whether ballot `(epoch, holder)` outranks `current` — the Paxos-ballot
+/// ordering shared by the view agreement and the reconfiguration protocol:
+/// the epoch dominates, equal epochs are tie-broken by the holder id with
+/// the *lower* id winning (consistent with the deterministic lowest-live-id
+/// election).
+pub fn ballot_beats(epoch: u64, holder: NodeId, current: (u64, NodeId)) -> bool {
+    epoch > current.0 || (epoch == current.0 && holder.0 < current.1 .0)
+}
 
 /// The view-synchrony and group membership layer.
 ///
 /// Parameters:
 ///
 /// * `members` — comma-separated initial group membership;
-/// * `round_timeout_ms` — time budget of one prepare/flush/commit round
-///   before it is abandoned (default 4000 ms). A round that loses a message
-///   used to leave `proposed` set forever, wedging every future view change;
-///   the timeout aborts the round, unblocks the channel and lets the next
-///   membership event propose again.
+/// * `retransmit_interval_ms` — prepare/flush retransmission cadence
+///   (default 500 ms);
+/// * `round_timeout_ms` — time budget of one view round before it is aborted
+///   and re-proposed under a fresh epoch (default 4000 ms);
+/// * `gossip_threshold` — view size at which flush collection switches from
+///   participant→proposer unicast to gossip aggregation (default 50);
+/// * `fanout` — random peers each aggregated flush set is pushed to in
+///   gossip mode (default 3);
+/// * `joining` — start with an empty view, blocked, waiting to be admitted
+///   (default false; used by restarted nodes, see [`crate::recovery`]).
 pub struct VsyncLayer;
 
 impl Layer for VsyncLayer {
@@ -53,6 +105,7 @@ impl Layer for VsyncLayer {
             EventSpec::of::<DataEvent>(),
             EventSpec::of::<ChannelInit>(),
             EventSpec::of::<Suspect>(),
+            EventSpec::of::<Alive>(),
             EventSpec::of::<ViewPrepare>(),
             EventSpec::of::<FlushAck>(),
             EventSpec::of::<ViewCommit>(),
@@ -68,29 +121,79 @@ impl Layer for VsyncLayer {
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
+        let joining = param_or(params, "joining", false);
+        let view = if joining {
+            View::new(0, Vec::new())
+        } else {
+            View::initial(param_node_list(params, "members"))
+        };
         Box::new(VsyncSession {
-            view: View::initial(param_node_list(params, "members")),
-            blocked: false,
+            view,
+            joining,
+            blocked: joining,
             buffered: Vec::new(),
-            proposed: None,
-            acks: BTreeSet::new(),
+            round: None,
+            epoch: 0,
+            // Epoch 0 is never a valid round: holder 0 makes every epoch-0
+            // ballot lose the tie-break.
+            epoch_holder: NodeId(0),
+            committed: None,
+            installed_ballot: (0, NodeId(0)),
+            pending_removals: BTreeSet::new(),
+            pending_joins: BTreeSet::new(),
             view_changes: 0,
+            retransmit_interval_ms: param_or(params, "retransmit_interval_ms", 500u64).max(10),
             round_timeout_ms: param_or(params, "round_timeout_ms", 4000u64).max(100),
+            gossip_threshold: param_or(params, "gossip_threshold", 50usize).max(2),
+            fanout: param_or(params, "fanout", 3usize).max(1),
             round_timer: None,
         })
     }
+}
+
+/// One in-flight view round, on the proposer and on every participant.
+#[derive(Debug, Clone)]
+struct Round {
+    epoch: u64,
+    proposer: NodeId,
+    view: View,
+    /// Members known (transitively, in gossip mode) to have flushed.
+    flushed: BTreeSet<NodeId>,
+    started_at_ms: u64,
+    retransmits: u64,
 }
 
 /// Session state of the view-synchrony layer.
 #[derive(Debug)]
 pub struct VsyncSession {
     view: View,
+    /// True until the first view containing the local node installs.
+    joining: bool,
     blocked: bool,
     buffered: Vec<Event>,
-    proposed: Option<View>,
-    acks: BTreeSet<NodeId>,
+    round: Option<Round>,
+    /// Highest view-round ballot this node has proposed or accepted.
+    epoch: u64,
+    epoch_holder: NodeId,
+    /// The last round this node committed as proposer: a straggler that
+    /// missed the commit keeps retransmitting its flush and is answered
+    /// with the commit.
+    committed: Option<(u64, View)>,
+    /// Ballot under which the current view was installed. Two rival
+    /// proposers racing the same epoch can both assemble a same-id view;
+    /// installs at an *equal* view id are therefore ordered by ballot too,
+    /// so every member converges on the winning proposer's view instead of
+    /// sticking with whichever commit arrived first.
+    installed_ballot: (u64, NodeId),
+    /// Membership changes queued while no round can run them. Cleared only
+    /// when an installed view reflects them, so an aborted round re-proposes.
+    pending_removals: BTreeSet<NodeId>,
+    pending_joins: BTreeSet<NodeId>,
     view_changes: u64,
+    retransmit_interval_ms: u64,
     round_timeout_ms: u64,
+    gossip_threshold: usize,
+    fanout: usize,
     round_timer: Option<u64>,
 }
 
@@ -105,42 +208,27 @@ impl VsyncSession {
         self.blocked
     }
 
+    /// Whether the node is still waiting to be admitted to a view.
+    pub fn is_joining(&self) -> bool {
+        self.joining
+    }
+
+    /// Completed view changes so far.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
     fn arm_round_timer(&mut self, ctx: &mut EventContext<'_>) {
         if let Some(timer_id) = self.round_timer.take() {
             ctx.cancel_timer(timer_id);
         }
-        self.round_timer = Some(ctx.set_timer(self.round_timeout_ms, ROUND_TAG));
+        self.round_timer = Some(ctx.set_timer(self.retransmit_interval_ms, ROUND_TAG));
     }
 
-    /// Abandons the in-flight round: `proposed` is cleared (so the next
-    /// membership event can start a fresh round) and the channel resumes in
-    /// the still-installed view, releasing any buffered sends.
-    fn abort_round(&mut self, ctx: &mut EventContext<'_>) {
-        self.proposed = None;
-        self.acks.clear();
+    fn cancel_round_timer(&mut self, ctx: &mut EventContext<'_>) {
         if let Some(timer_id) = self.round_timer.take() {
             ctx.cancel_timer(timer_id);
         }
-        self.blocked = false;
-        self.flush_buffered(ctx);
-    }
-
-    fn install(&mut self, view: View, ctx: &mut EventContext<'_>) {
-        self.view = view.clone();
-        self.proposed = None;
-        self.acks.clear();
-        if let Some(timer_id) = self.round_timer.take() {
-            ctx.cancel_timer(timer_id);
-        }
-        self.blocked = false;
-        self.view_changes += 1;
-
-        ctx.dispatch(Event::down(ViewInstall { view: view.clone() }));
-        ctx.deliver(DeliveryKind::ViewChange {
-            view_id: view.id,
-            members: view.members.clone(),
-        });
-        self.flush_buffered(ctx);
     }
 
     fn flush_buffered(&mut self, ctx: &mut EventContext<'_>) {
@@ -149,53 +237,407 @@ impl VsyncSession {
         }
     }
 
-    fn start_view_change(&mut self, new_view: View, ctx: &mut EventContext<'_>) {
-        let local = ctx.node_id();
-        self.blocked = true;
-        self.acks.clear();
-        self.acks.insert(local);
-        self.proposed = Some(new_view.clone());
-        self.arm_round_timer(ctx);
+    fn announce(&mut self, ctx: &mut EventContext<'_>) {
+        ctx.dispatch(Event::down(ViewInstall {
+            view: self.view.clone(),
+        }));
+        ctx.deliver(DeliveryKind::ViewChange {
+            view_id: self.view.id,
+            members: self.view.members.clone(),
+        });
+    }
 
-        let others = new_view.others(local);
+    fn install(&mut self, view: View, ballot: (u64, NodeId), ctx: &mut EventContext<'_>) {
+        if self.joining && view.contains(ctx.node_id()) {
+            self.joining = false;
+        }
+        self.view = view;
+        self.installed_ballot = ballot;
+        self.round = None;
+        self.cancel_round_timer(ctx);
+        self.blocked = false;
+        self.view_changes += 1;
+        // Queued changes an installed view already reflects are done.
+        let installed = self.view.clone();
+        self.pending_removals
+            .retain(|node| installed.contains(*node));
+        self.pending_joins.retain(|node| !installed.contains(*node));
+
+        self.announce(ctx);
+        self.flush_buffered(ctx);
+        self.maybe_start_next_round(ctx);
+    }
+
+    /// The member that should lead the next round: the lowest id not queued
+    /// for removal. Electing around queued removals is what lets the
+    /// next-lowest member take over when the coordinator itself is the one
+    /// being removed.
+    fn effective_coordinator(&self) -> Option<NodeId> {
+        self.view
+            .members
+            .iter()
+            .copied()
+            .filter(|member| !self.pending_removals.contains(member))
+            .min()
+    }
+
+    /// Starts a round for the queued membership changes, when this node is
+    /// the effective coordinator and no round is in flight.
+    fn maybe_start_next_round(&mut self, ctx: &mut EventContext<'_>) {
+        if self.round.is_some() || self.joining {
+            return;
+        }
+        if self.pending_removals.is_empty() && self.pending_joins.is_empty() {
+            return;
+        }
+        if self.effective_coordinator() != Some(ctx.node_id()) {
+            return;
+        }
+        let mut members: Vec<NodeId> = self
+            .view
+            .members
+            .iter()
+            .copied()
+            .filter(|member| !self.pending_removals.contains(member))
+            .collect();
+        members.extend(self.pending_joins.iter().copied());
+        let target = View::new(self.view.id + 1, members);
+        if target.members == self.view.members {
+            self.pending_removals.clear();
+            self.pending_joins.clear();
+            return;
+        }
+        self.start_round(target, ctx);
+    }
+
+    fn start_round(&mut self, target: View, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        self.epoch += 1;
+        self.epoch_holder = local;
+        self.blocked = true;
+        let mut flushed = BTreeSet::new();
+        flushed.insert(local);
+        self.round = Some(Round {
+            epoch: self.epoch,
+            proposer: local,
+            view: target.clone(),
+            flushed,
+            started_at_ms: ctx.now_ms(),
+            retransmits: 0,
+        });
+        let others = target.others(local);
         if others.is_empty() {
             // Degenerate single-member view: install immediately.
-            self.install(new_view, ctx);
+            self.commit_round(ctx);
+            return;
+        }
+        Self::send_prepare(self.epoch, &target, others, ctx);
+        self.arm_round_timer(ctx);
+    }
+
+    fn send_prepare(epoch: u64, view: &View, targets: Vec<NodeId>, ctx: &mut EventContext<'_>) {
+        if targets.is_empty() {
             return;
         }
         let mut message = Message::new();
-        message.push(&new_view);
+        message.push(view);
+        message.push(&epoch);
         ctx.dispatch(Event::down(ViewPrepare::new(
-            local,
-            Dest::Nodes(others),
+            ctx.node_id(),
+            Dest::Nodes(targets),
             message,
         )));
-        self.maybe_commit(ctx);
     }
 
-    fn maybe_commit(&mut self, ctx: &mut EventContext<'_>) {
-        let Some(proposed) = self.proposed.clone() else {
+    /// Sends this participant's flush knowledge towards the proposer — plus,
+    /// at gossip scale, to `fanout` random peers so coverage aggregates
+    /// epidemically instead of all acks converging on one node.
+    fn send_flush(&mut self, ctx: &mut EventContext<'_>) {
+        let Some(round) = &self.round else {
             return;
         };
-        let everyone_acked = proposed
-            .members
-            .iter()
-            .all(|member| self.acks.contains(member));
-        if !everyone_acked {
-            return;
-        }
         let local = ctx.node_id();
-        let others = proposed.others(local);
+        let body = FlushBody {
+            epoch: round.epoch,
+            proposer: round.proposer,
+            flushed: round.flushed.iter().copied().collect(),
+        };
+        let proposer = round.proposer;
+        let gossip = round.view.len() >= self.gossip_threshold;
+        let members = round.view.members.clone();
+        let mut targets = vec![proposer];
+        if gossip {
+            targets.extend(sample_peers(&members, &[local, proposer], self.fanout, ctx));
+        }
+        let mut message = Message::new();
+        message.push(&body);
+        ctx.dispatch(Event::down(FlushAck::new(
+            local,
+            Dest::Nodes(targets),
+            message,
+        )));
+    }
+
+    /// Proposer side: every member of the proposed view has flushed — commit.
+    fn maybe_commit(&mut self, ctx: &mut EventContext<'_>) {
+        let complete = self.round.as_ref().is_some_and(|round| {
+            round.proposer == ctx.node_id()
+                && round
+                    .view
+                    .members
+                    .iter()
+                    .all(|member| round.flushed.contains(member))
+        });
+        if complete {
+            self.commit_round(ctx);
+        }
+    }
+
+    fn commit_round(&mut self, ctx: &mut EventContext<'_>) {
+        let Some(round) = self.round.take() else {
+            return;
+        };
+        let local = ctx.node_id();
+        let others = round.view.others(local);
         if !others.is_empty() {
             let mut message = Message::new();
-            message.push(&proposed);
+            message.push(&round.view);
+            message.push(&round.epoch);
             ctx.dispatch(Event::down(ViewCommit::new(
                 local,
                 Dest::Nodes(others),
                 message,
             )));
         }
-        self.install(proposed, ctx);
+        self.committed = Some((round.epoch, round.view.clone()));
+        self.install(round.view, (round.epoch, local), ctx);
+    }
+
+    /// Abandons the in-flight round: the round state is cleared (so future
+    /// view changes are never blocked behind it) and the channel resumes in
+    /// the still-installed view, releasing buffered sends.
+    fn abort_round(&mut self, ctx: &mut EventContext<'_>) {
+        self.round = None;
+        self.cancel_round_timer(ctx);
+        if !self.joining {
+            self.blocked = false;
+            self.flush_buffered(ctx);
+        }
+    }
+
+    fn on_round_timer(&mut self, ctx: &mut EventContext<'_>) {
+        let Some(round) = self.round.clone() else {
+            return;
+        };
+        let local = ctx.node_id();
+        if ctx.now_ms().saturating_sub(round.started_at_ms) >= self.round_timeout_ms {
+            // The round is dead (a member crashed without being suspected
+            // yet, or the proposer vanished): give up and — on the proposer —
+            // immediately re-propose under a fresh epoch, because the queued
+            // membership interest is cleared only by an install. A *joiner*
+            // that never flushed is the exception: it may have crashed right
+            // after its join request and nothing (no Suspect — it is not a
+            // view member) would ever clear it, looping the re-proposal
+            // forever. Its queued join is dropped; a live joiner re-queues
+            // itself with its next JoinRequest retransmission.
+            for member in &round.view.members {
+                if !self.view.contains(*member) && !round.flushed.contains(member) {
+                    self.pending_joins.remove(member);
+                }
+            }
+            self.abort_round(ctx);
+            self.maybe_start_next_round(ctx);
+            return;
+        }
+        if round.proposer == local {
+            // Retransmit the prepare to everyone still missing.
+            let missing: Vec<NodeId> = round
+                .view
+                .members
+                .iter()
+                .copied()
+                .filter(|member| !round.flushed.contains(member))
+                .collect();
+            if !missing.is_empty() {
+                if let Some(active) = self.round.as_mut() {
+                    active.retransmits += 1;
+                }
+                Self::send_prepare(round.epoch, &round.view, missing, ctx);
+            }
+        } else {
+            // Retransmit the flush towards the proposer: repairs both a lost
+            // flush (the proposer is still collecting) and a lost commit
+            // (the proposer answers with the commit).
+            self.send_flush(ctx);
+        }
+        self.arm_round_timer(ctx);
+    }
+
+    fn on_suspect(&mut self, node: NodeId, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if node == local || !self.view.contains(node) {
+            return;
+        }
+        self.pending_removals.insert(node);
+        // A round awaiting the suspect's flush can never complete: abort it
+        // now and re-propose without the suspect instead of burning the
+        // whole round timeout.
+        let awaited = self.round.as_ref().is_some_and(|round| {
+            round.proposer == local && round.view.contains(node) && !round.flushed.contains(&node)
+        });
+        if awaited {
+            self.abort_round(ctx);
+        }
+        self.maybe_start_next_round(ctx);
+    }
+
+    fn on_join_request(&mut self, joiner: NodeId, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if self.joining || joiner == local {
+            return;
+        }
+        if self.view.contains(joiner) {
+            // Restart before expulsion: the group never removed the node, so
+            // no view change will run — the effective coordinator re-asserts
+            // the current view straight at the joiner, whose joining-mode
+            // vsync accepts any view containing it.
+            if self.effective_coordinator() == Some(local) {
+                let mut message = Message::new();
+                message.push(&self.view);
+                message.push(&self.epoch);
+                ctx.dispatch(Event::down(ViewCommit::new(
+                    local,
+                    Dest::Node(joiner),
+                    message,
+                )));
+            }
+            return;
+        }
+        // Queued on every member, not only the coordinator: if the
+        // coordinator dies before admitting, its successor has the join
+        // recorded and runs it.
+        self.pending_joins.insert(joiner);
+        self.maybe_start_next_round(ctx);
+    }
+
+    fn on_prepare(&mut self, epoch: u64, proposer: NodeId, view: View, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        // Duplicate of the round we are already in: idempotent re-flush.
+        if self
+            .round
+            .as_ref()
+            .is_some_and(|round| round.epoch == epoch && round.proposer == proposer)
+        {
+            self.send_flush(ctx);
+            return;
+        }
+        let same_ballot = epoch == self.epoch && proposer == self.epoch_holder;
+        let supersedes = view.id > self.view.id
+            || (view.id == self.view.id && ballot_beats(epoch, proposer, self.installed_ballot))
+            || (self.joining && view.contains(local));
+        if !supersedes {
+            // Already installed this view id under a ballot at least as
+            // strong (e.g. the commit arrived before this retransmitted
+            // prepare): just re-ack so a proposer whose flush bookkeeping
+            // lost our ack can complete.
+            if same_ballot {
+                let body = FlushBody {
+                    epoch,
+                    proposer,
+                    flushed: vec![local],
+                };
+                let mut message = Message::new();
+                message.push(&body);
+                ctx.dispatch(Event::down(FlushAck::new(
+                    local,
+                    Dest::Node(proposer),
+                    message,
+                )));
+            }
+            return;
+        }
+        let accept = ballot_beats(epoch, proposer, (self.epoch, self.epoch_holder))
+            || (same_ballot && self.round.is_none());
+        if !accept {
+            return; // stale ballot: old commands can never roll the view back
+        }
+        self.epoch = epoch;
+        self.epoch_holder = proposer;
+        self.blocked = true;
+        let mut flushed = BTreeSet::new();
+        flushed.insert(local);
+        self.round = Some(Round {
+            epoch,
+            proposer,
+            view,
+            flushed,
+            started_at_ms: ctx.now_ms(),
+            retransmits: 0,
+        });
+        self.arm_round_timer(ctx);
+        self.send_flush(ctx);
+    }
+
+    fn on_flush(&mut self, source: NodeId, body: FlushBody, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if let Some(round) = self.round.as_mut() {
+            if round.epoch == body.epoch && round.proposer == body.proposer {
+                let before = round.flushed.len();
+                let view = round.view.clone();
+                round
+                    .flushed
+                    .extend(body.flushed.iter().copied().filter(|m| view.contains(*m)));
+                // The sender itself demonstrably flushed (it sent this ack).
+                if view.contains(source) {
+                    round.flushed.insert(source);
+                }
+                let grew = round.flushed.len() > before;
+                if round.proposer == local {
+                    if grew {
+                        self.maybe_commit(ctx);
+                    }
+                } else if grew && view.len() >= self.gossip_threshold {
+                    // Aggregation: re-gossip the merged set so coverage
+                    // converges towards the proposer epidemically.
+                    self.send_flush(ctx);
+                }
+                return;
+            }
+        }
+        // A straggler still flushing for a round we already committed missed
+        // the commit — answer with it. Only flushes addressed to *this*
+        // proposer count: in gossip mode flush sets also reach random peers,
+        // and a peer that committed its own same-epoch round must not
+        // answer a rival round's flush with its conflicting commit.
+        if let Some((epoch, view)) = &self.committed {
+            if *epoch == body.epoch && body.proposer == local && view.contains(source) {
+                let mut message = Message::new();
+                message.push(view);
+                message.push(epoch);
+                ctx.dispatch(Event::down(ViewCommit::new(
+                    local,
+                    Dest::Node(source),
+                    message,
+                )));
+            }
+        }
+        // Flushes from any other epoch are dropped: a stale flush replayed
+        // from an aborted round cannot complete a newer round with a
+        // different membership.
+    }
+
+    fn on_commit(&mut self, epoch: u64, proposer: NodeId, view: View, ctx: &mut EventContext<'_>) {
+        if ballot_beats(epoch, proposer, (self.epoch, self.epoch_holder)) {
+            self.epoch = epoch;
+            self.epoch_holder = proposer;
+        }
+        let local = ctx.node_id();
+        let supersedes = view.id > self.view.id
+            || (view.id == self.view.id && ballot_beats(epoch, proposer, self.installed_ballot))
+            || (self.joining && view.contains(local));
+        if supersedes {
+            self.install(view, (epoch, proposer), ctx);
+        }
     }
 }
 
@@ -205,19 +647,12 @@ impl Session for VsyncSession {
     }
 
     fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
-        let local = ctx.node_id();
-
         if event.is::<ChannelInit>() {
             // Announce the initial view so lower layers learn the membership
-            // and the application sees view 0.
-            if !self.view.is_empty() {
-                ctx.dispatch(Event::down(ViewInstall {
-                    view: self.view.clone(),
-                }));
-                ctx.deliver(DeliveryKind::ViewChange {
-                    view_id: self.view.id,
-                    members: self.view.members.clone(),
-                });
+            // and the application sees view 0. A joining node has no view to
+            // announce yet.
+            if !self.view.is_empty() && !self.joining {
+                self.announce(ctx);
             }
             ctx.forward(event);
             return;
@@ -227,12 +662,7 @@ impl Session for VsyncSession {
             if timer.owner == VSYNC_LAYER {
                 if timer.tag == ROUND_TAG && self.round_timer == Some(timer.timer_id) {
                     self.round_timer = None;
-                    if self.proposed.is_some() {
-                        // The round lost a message (prepare, flush or commit
-                        // never arrived): give up so the next view change is
-                        // not blocked behind the dead round.
-                        self.abort_round(ctx);
-                    }
+                    self.on_round_timer(ctx);
                 }
                 return;
             }
@@ -245,25 +675,30 @@ impl Session for VsyncSession {
             return;
         }
         if event.is::<ResumeRequest>() {
-            self.blocked = false;
+            // A joining node stays blocked until it is admitted to a view.
+            self.blocked = self.joining;
             // Prime (possibly freshly installed) lower layers with the
             // current membership before releasing buffered traffic.
-            ctx.dispatch(Event::down(ViewInstall {
-                view: self.view.clone(),
-            }));
-            self.flush_buffered(ctx);
+            if !self.view.is_empty() {
+                ctx.dispatch(Event::down(ViewInstall {
+                    view: self.view.clone(),
+                }));
+            }
+            if !self.blocked {
+                self.flush_buffered(ctx);
+            }
             return;
         }
 
         if let Some(suspect) = event.get::<Suspect>() {
             let node = suspect.node;
-            if !self.view.contains(node) || self.proposed.is_some() {
-                return;
-            }
-            let new_view = self.view.without(node);
-            if new_view.coordinator() == Some(local) {
-                self.start_view_change(new_view, ctx);
-            }
+            self.on_suspect(node, ctx);
+            return;
+        }
+
+        if let Some(alive) = event.get::<Alive>() {
+            // A false suspicion healed before the removal ran: drop it.
+            self.pending_removals.remove(&alive.node);
             return;
         }
 
@@ -276,13 +711,7 @@ impl Session for VsyncSession {
                 return;
             };
             let joiner = join.header.source;
-            if self.view.coordinator() == Some(local)
-                && !self.view.contains(joiner)
-                && self.proposed.is_none()
-            {
-                let new_view = self.view.with_member(joiner);
-                self.start_view_change(new_view, ctx);
-            }
+            self.on_join_request(joiner, ctx);
             return;
         }
 
@@ -295,22 +724,13 @@ impl Session for VsyncSession {
                 return;
             };
             let proposer = prepare.header.source;
+            let Ok(epoch) = prepare.message.pop::<u64>() else {
+                return;
+            };
             let Ok(proposed) = prepare.message.pop::<View>() else {
                 return;
             };
-            if proposed.id <= self.view.id {
-                return;
-            }
-            self.blocked = true;
-            self.proposed = Some(proposed.clone());
-            self.arm_round_timer(ctx);
-            let mut message = Message::new();
-            message.push(&proposed.id);
-            ctx.dispatch(Event::down(FlushAck::new(
-                local,
-                Dest::Node(proposer),
-                message,
-            )));
+            self.on_prepare(epoch, proposer, proposed, ctx);
             return;
         }
 
@@ -323,13 +743,10 @@ impl Session for VsyncSession {
                 return;
             };
             let source = ack.header.source;
-            let Ok(view_id) = ack.message.pop::<u64>() else {
+            let Ok(body) = ack.message.pop::<FlushBody>() else {
                 return;
             };
-            if self.proposed.as_ref().map(|view| view.id) == Some(view_id) {
-                self.acks.insert(source);
-                self.maybe_commit(ctx);
-            }
+            self.on_flush(source, body, ctx);
             return;
         }
 
@@ -341,12 +758,14 @@ impl Session for VsyncSession {
             let Some(commit) = event.get_mut::<ViewCommit>() else {
                 return;
             };
+            let proposer = commit.header.source;
+            let Ok(epoch) = commit.message.pop::<u64>() else {
+                return;
+            };
             let Ok(view) = commit.message.pop::<View>() else {
                 return;
             };
-            if view.id > self.view.id {
-                self.install(view, ctx);
-            }
+            self.on_commit(epoch, proposer, view, ctx);
             return;
         }
 
@@ -395,6 +814,47 @@ mod tests {
             .collect()
     }
 
+    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        let cancelled: Vec<_> = std::mem::take(&mut platform.cancelled);
+        for (_, key) in timers {
+            if !cancelled.contains(&key) {
+                harness.fire_timer(key, platform);
+            }
+        }
+    }
+
+    fn flush_message(epoch: u64, proposer: u32, flushed: &[u32]) -> Message {
+        let mut message = Message::new();
+        message.push(&FlushBody {
+            epoch,
+            proposer: NodeId(proposer),
+            flushed: flushed.iter().copied().map(NodeId).collect(),
+        });
+        message
+    }
+
+    fn round_message(epoch: u64, view: &View) -> Message {
+        let mut message = Message::new();
+        message.push(view);
+        message.push(&epoch);
+        message
+    }
+
+    fn prepares(events: &[Event]) -> Vec<(u64, View, Dest)> {
+        events
+            .iter()
+            .filter_map(|event| {
+                event.get::<ViewPrepare>().map(|prepare| {
+                    let mut message = prepare.message.clone();
+                    let epoch: u64 = message.pop().unwrap();
+                    let view: View = message.pop().unwrap();
+                    (epoch, view, prepare.header.dest.clone())
+                })
+            })
+            .collect()
+    }
+
     #[test]
     fn initial_view_is_announced_on_channel_init() {
         let mut platform = TestPlatform::new(NodeId(1));
@@ -436,7 +896,7 @@ mod tests {
     }
 
     #[test]
-    fn coordinator_runs_the_two_phase_view_change() {
+    fn coordinator_runs_the_epoch_stamped_view_change() {
         let mut platform = TestPlatform::new(NodeId(1));
         let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
         platform.take_deliveries();
@@ -444,22 +904,20 @@ mod tests {
         // The failure detector suspects node 3; node 1 is the coordinator.
         let out = vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
         assert!(out.is_empty(), "suspicion is absorbed");
-        let down = vsync.drain_down();
-        let prepares: Vec<&Event> = down
-            .iter()
-            .filter(|event| event.is::<ViewPrepare>())
-            .collect();
-        assert_eq!(prepares.len(), 1);
-        assert_eq!(
-            prepares[0].get::<ViewPrepare>().unwrap().header.dest,
-            Dest::Nodes(vec![NodeId(2)])
-        );
+        let sent = prepares(&vsync.drain_down());
+        assert_eq!(sent.len(), 1);
+        let (epoch, view, dest) = &sent[0];
+        assert_eq!(*epoch, 1, "first round opens view epoch 1");
+        assert_eq!(view.members, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(*dest, Dest::Nodes(vec![NodeId(2)]));
 
         // Node 2 acknowledges the flush; the coordinator commits and installs.
-        let mut ack_message = Message::new();
-        ack_message.push(&1u64);
         vsync.run_up(
-            Event::up(FlushAck::new(NodeId(2), Dest::Node(NodeId(1)), ack_message)),
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(1, 1, &[2]),
+            )),
             &mut platform,
         );
         let down = vsync.drain_down();
@@ -479,19 +937,23 @@ mod tests {
 
         // The coordinator (node 1) proposes a view without node 3.
         let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
-        let mut message = Message::new();
-        message.push(&proposed);
         vsync.run_up(
-            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(4, &proposed),
+            )),
             &mut platform,
         );
         let down = vsync.drain_down();
         let acks: Vec<&Event> = down.iter().filter(|event| event.is::<FlushAck>()).collect();
         assert_eq!(acks.len(), 1);
-        assert_eq!(
-            acks[0].get::<FlushAck>().unwrap().header.dest,
-            Dest::Node(NodeId(1))
-        );
+        let ack = acks[0].get::<FlushAck>().unwrap();
+        assert_eq!(ack.header.dest, Dest::Nodes(vec![NodeId(1)]));
+        let body = ack.message.clone().pop::<FlushBody>().unwrap();
+        assert_eq!(body.epoch, 4);
+        assert_eq!(body.proposer, NodeId(1));
+        assert_eq!(body.flushed, vec![NodeId(2)]);
 
         // While the view change is in progress the channel is blocked.
         let held = vsync.run_down(
@@ -501,13 +963,11 @@ mod tests {
         assert!(held.iter().all(|event| !event.is::<DataEvent>()));
 
         // The commit installs the view and releases the buffered send.
-        let mut commit_message = Message::new();
-        commit_message.push(&proposed);
         vsync.run_up(
             Event::up(ViewCommit::new(
                 NodeId(1),
                 Dest::Node(NodeId(2)),
-                commit_message,
+                round_message(4, &proposed),
             )),
             &mut platform,
         );
@@ -519,6 +979,399 @@ mod tests {
         let changes = view_changes(&mut platform);
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn a_dropped_prepare_is_retransmitted_until_the_round_completes() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        assert_eq!(prepares(&vsync.drain_down()).len(), 1);
+
+        // Node 2 never saw the prepare (it was dropped). The retransmit tick
+        // re-sends it to exactly the unflushed member.
+        platform.advance(500);
+        fire_pending_timers(&mut vsync, &mut platform);
+        let resent = prepares(&vsync.drain_down());
+        assert_eq!(resent.len(), 1, "prepare retransmitted");
+        assert_eq!(resent[0].2, Dest::Nodes(vec![NodeId(2)]));
+        assert_eq!(resent[0].0, 1, "same epoch, same round");
+
+        // The (late) flush completes the round.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(1, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1, "the round completes despite the drop");
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn a_dropped_flush_is_repaired_by_the_participants_retransmission() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(1, &proposed),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            vsync
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<FlushAck>())
+                .count(),
+            1
+        );
+
+        // The flush was dropped. On the next tick the participant re-sends
+        // it towards the proposer without any prompting.
+        platform.advance(500);
+        fire_pending_timers(&mut vsync, &mut platform);
+        let retransmitted: Vec<Event> = vsync.drain_down();
+        let acks: Vec<&Event> = retransmitted
+            .iter()
+            .filter(|event| event.is::<FlushAck>())
+            .collect();
+        assert_eq!(acks.len(), 1, "flush retransmitted");
+        let body = acks[0]
+            .get::<FlushAck>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<FlushBody>()
+            .unwrap();
+        assert_eq!(body.epoch, 1);
+
+        // A duplicate prepare (the proposer retransmitting) is answered
+        // idempotently too.
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(1, &proposed),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            vsync
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<FlushAck>())
+                .count(),
+            1,
+            "duplicate prepare re-acked without re-entering the round"
+        );
+    }
+
+    #[test]
+    fn a_dropped_commit_is_replayed_when_the_straggler_keeps_flushing() {
+        // Proposer side: the round commits, but node 2's commit was lost.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(1, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        assert_eq!(view_changes(&mut platform).len(), 1, "round committed");
+        vsync.drain_down();
+
+        // Node 2 never received the commit, so its retransmit tick re-sends
+        // the flush; the proposer answers with the commit.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(1, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        let commits: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<ViewCommit>())
+            .collect();
+        assert_eq!(commits.len(), 1, "commit replayed to the straggler");
+        assert_eq!(
+            commits[0].get::<ViewCommit>().unwrap().header.dest,
+            Dest::Node(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn a_timed_out_round_is_reproposed_under_a_fresh_epoch() {
+        // The wedge regression, upgraded: a fully lost round no longer just
+        // unwedges — the proposer retries the same membership change under a
+        // higher epoch until it lands.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        let first = prepares(&vsync.drain_down());
+        assert_eq!(first[0].0, 1);
+
+        // Nothing ever comes back; past the timeout the round is aborted and
+        // immediately re-proposed under epoch 2.
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+        let retried = prepares(&vsync.drain_down());
+        assert!(
+            retried
+                .iter()
+                .any(|(epoch, view, _)| *epoch == 2 && view.members == vec![NodeId(1), NodeId(2)]),
+            "re-proposed under a fresh epoch (got {retried:?})"
+        );
+
+        // The retried round completes normally.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(2, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        assert_eq!(view_changes(&mut platform).len(), 1);
+    }
+
+    #[test]
+    fn a_lost_commit_unblocks_the_participant_after_the_round_timeout() {
+        // Regression: a member that flushed for a proposal whose commit was
+        // lost stayed blocked forever, holding its buffered sends hostage.
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(1, &proposed),
+            )),
+            &mut platform,
+        );
+        vsync.drain_down();
+
+        let held = vsync.run_down(
+            Event::down(DataEvent::to_group(NodeId(2), Message::new())),
+            &mut platform,
+        );
+        assert!(held.iter().all(|event| !event.is::<DataEvent>()));
+
+        // The commit never arrives: past the round timeout the member gives
+        // up, resumes in its current view and releases the buffered send.
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<DataEvent>()));
+
+        // A retried proposal (same ballot) is accepted afresh.
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(1, &proposed),
+            )),
+            &mut platform,
+        );
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<FlushAck>()));
+    }
+
+    #[test]
+    fn equal_epochs_are_tie_broken_by_the_lower_proposer_id() {
+        let mut platform = TestPlatform::new(NodeId(5));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[0, 1, 5]), &mut platform);
+        platform.take_deliveries();
+
+        // Proposer 1's round arrives first...
+        let view_a = View::new(1, vec![NodeId(1), NodeId(5)]);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(5)),
+                round_message(2, &view_a),
+            )),
+            &mut platform,
+        );
+        vsync.drain_down();
+
+        // ... then proposer 0's same-epoch round: the lower id wins, the
+        // participant abandons round A and flushes for round B.
+        let view_b = View::new(1, vec![NodeId(0), NodeId(5)]);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(0),
+                Dest::Node(NodeId(5)),
+                round_message(2, &view_b),
+            )),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        let ack = down
+            .iter()
+            .find(|event| event.is::<FlushAck>())
+            .expect("flush for the winning ballot");
+        let body = ack
+            .get::<FlushAck>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<FlushBody>()
+            .unwrap();
+        assert_eq!(body.proposer, NodeId(0));
+
+        // The deposed proposer's retries are rejected.
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(5)),
+                round_message(2, &view_a),
+            )),
+            &mut platform,
+        );
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<FlushAck>()));
+    }
+
+    #[test]
+    fn a_stale_flush_from_an_aborted_round_cannot_complete_a_newer_round() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3, 4]), &mut platform);
+        platform.take_deliveries();
+
+        // Round under epoch 1 (remove node 4) times out and is re-proposed
+        // under epoch 2.
+        vsync.run_up(Event::up(Suspect { node: NodeId(4) }), &mut platform);
+        vsync.drain_down();
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+        vsync.drain_down();
+
+        // A flush replayed from the aborted epoch-1 round must not count
+        // towards the epoch-2 round.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(1, 1, &[2, 3]),
+            )),
+            &mut platform,
+        );
+        assert!(
+            view_changes(&mut platform).is_empty(),
+            "stale-epoch flushes are dropped"
+        );
+
+        // The genuine epoch-2 flushes complete it.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(2, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                flush_message(2, 1, &[3]),
+            )),
+            &mut platform,
+        );
+        assert_eq!(view_changes(&mut platform).len(), 1);
+    }
+
+    #[test]
+    fn a_suspected_coordinator_is_removed_by_its_successor() {
+        // Node 1 is not the coordinator — until node 0 (the coordinator) is
+        // suspected, at which point node 1 leads the removal round itself.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[0, 1, 2]), &mut platform);
+        platform.take_deliveries();
+
+        vsync.run_up(Event::up(Suspect { node: NodeId(0) }), &mut platform);
+        let sent = prepares(&vsync.drain_down());
+        assert_eq!(sent.len(), 1, "the successor proposes the removal");
+        assert_eq!(sent[0].1.members, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn a_suspect_queued_mid_round_is_removed_by_the_follow_up_round() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3, 4]), &mut platform);
+        platform.take_deliveries();
+
+        // Round 1 removes node 4. While it is in flight node 3 — whose flush
+        // the round still awaits — is suspected too: the round can never
+        // complete, so it is aborted and re-proposed without node 3.
+        vsync.run_up(Event::up(Suspect { node: NodeId(4) }), &mut platform);
+        vsync.drain_down();
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        let sent = prepares(&vsync.drain_down());
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, 2, "fresh epoch for the follow-up round");
+        assert_eq!(sent[0].1.members, vec![NodeId(1), NodeId(2)]);
+
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                flush_message(2, 1, &[2]),
+            )),
+            &mut platform,
+        );
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn an_alive_notification_cancels_a_queued_removal() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // Node 2 is not the coordinator, so the suspicion only queues the
+        // removal; the Alive heals it before any round runs.
+        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
+        vsync.run_up(Event::up(Alive { node: NodeId(3) }), &mut platform);
+
+        // When node 1 is later suspected, node 2 becomes the effective
+        // coordinator — and proposes a view that still contains node 3.
+        vsync.run_up(Event::up(Suspect { node: NodeId(1) }), &mut platform);
+        let sent = prepares(&vsync.drain_down());
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].1.members, vec![NodeId(2), NodeId(3)]);
     }
 
     #[test]
@@ -535,107 +1388,153 @@ mod tests {
             )),
             &mut platform,
         );
-        let down = vsync.drain_down();
-        let prepare = down
-            .iter()
-            .find(|event| event.is::<ViewPrepare>())
-            .expect("coordinator proposes the larger view");
+        let sent = prepares(&vsync.drain_down());
+        assert_eq!(sent.len(), 1, "coordinator proposes the larger view");
+        assert_eq!(sent[0].2, Dest::Nodes(vec![NodeId(2), NodeId(7)]));
         assert_eq!(
-            prepare.get::<ViewPrepare>().unwrap().header.dest,
-            Dest::Nodes(vec![NodeId(2), NodeId(7)])
+            sent[0].1.members,
+            vec![NodeId(1), NodeId(2), NodeId(7)],
+            "the joiner is part of the proposed view"
         );
     }
 
-    fn fire_pending_timers(harness: &mut Harness, platform: &mut TestPlatform) {
-        let timers: Vec<_> = std::mem::take(&mut platform.timers);
-        let cancelled: Vec<_> = std::mem::take(&mut platform.cancelled);
-        for (_, key) in timers {
-            if !cancelled.contains(&key) {
-                harness.fire_timer(key, platform);
-            }
-        }
-    }
-
     #[test]
-    fn a_lost_flush_no_longer_wedges_the_next_view_change() {
-        // Regression: the coordinator proposes a view, every FlushAck is
-        // lost, and `proposed` used to stay set forever — the next suspicion
-        // could never start its view change.
+    fn a_join_request_from_a_current_member_reasserts_the_view() {
+        // Restart before expulsion: the joiner is still in the view, so no
+        // view change runs — the coordinator re-sends the current view as a
+        // targeted commit instead.
         let mut platform = TestPlatform::new(NodeId(1));
         let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
         platform.take_deliveries();
 
-        vsync.run_up(Event::up(Suspect { node: NodeId(3) }), &mut platform);
-        assert_eq!(
-            vsync
-                .drain_down()
-                .iter()
-                .filter(|event| event.is::<ViewPrepare>())
-                .count(),
-            1
+        vsync.run_up(
+            Event::up(JoinRequest::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
         );
-
-        // No ack ever arrives; the round times out and is abandoned.
-        platform.advance(4000);
-        fire_pending_timers(&mut vsync, &mut platform);
-
-        // A later suspicion proposes again instead of being silently dropped.
-        vsync.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        let down = vsync.drain_down();
+        assert!(down.iter().all(|event| !event.is::<ViewPrepare>()));
+        let commit = down
+            .iter()
+            .find(|event| event.is::<ViewCommit>())
+            .expect("current view re-asserted to the joiner");
         assert_eq!(
-            vsync
-                .drain_down()
-                .iter()
-                .filter(|event| event.is::<ViewPrepare>())
-                .count(),
-            1,
-            "the abandoned round must not block the next view change"
+            commit.get::<ViewCommit>().unwrap().header.dest,
+            Dest::Node(NodeId(3))
         );
     }
 
     #[test]
-    fn a_lost_commit_unblocks_the_participant_after_the_round_timeout() {
-        // Regression: a member that flushed for a proposal whose commit was
-        // lost stayed blocked forever, holding its buffered sends hostage.
-        let mut platform = TestPlatform::new(NodeId(2));
-        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
-        platform.take_deliveries();
-
-        let proposed = View::new(1, vec![NodeId(1), NodeId(2)]);
-        let mut message = Message::new();
-        message.push(&proposed);
-        vsync.run_up(
-            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
-            &mut platform,
+    fn joining_mode_blocks_until_admitted_and_installs_the_join_view() {
+        let mut params = vsync_params(&[1, 2, 3]);
+        params.insert("joining".into(), "true".into());
+        let mut platform = TestPlatform::new(NodeId(3));
+        let mut vsync = Harness::new(VsyncLayer, &params, &mut platform);
+        assert!(
+            view_changes(&mut platform).is_empty(),
+            "a joining node announces no view at init"
         );
-        vsync.drain_down();
 
-        // A send while the (doomed) round is in flight is buffered.
+        // Sends while joining are buffered.
         let held = vsync.run_down(
-            Event::down(DataEvent::to_group(NodeId(2), Message::new())),
+            Event::down(DataEvent::to_group(NodeId(3), Message::new())),
             &mut platform,
         );
         assert!(held.iter().all(|event| !event.is::<DataEvent>()));
 
-        // The commit never arrives: past the round timeout the member gives
-        // up, resumes in its current view and releases the buffered send.
-        platform.advance(4000);
-        fire_pending_timers(&mut vsync, &mut platform);
+        // The group re-asserts its current view (id 0, restart before
+        // expulsion): the joiner accepts it although the id did not grow.
+        let current = View::new(0, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        vsync.run_up(
+            Event::up(ViewCommit::new(
+                NodeId(1),
+                Dest::Node(NodeId(3)),
+                round_message(3, &current),
+            )),
+            &mut platform,
+        );
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        // The buffered send flows once admitted.
         assert!(vsync
             .drain_down()
             .iter()
             .any(|event| event.is::<DataEvent>()));
+    }
 
-        // A retried proposal is accepted afresh (proposed was cleared).
-        let mut message = Message::new();
-        message.push(&proposed);
+    #[test]
+    fn gossip_mode_aggregates_flush_sets() {
+        let mut params = vsync_params(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        params.insert("gossip_threshold".into(), "4".into());
+        params.insert("fanout".into(), "2".into());
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &params, &mut platform);
+        platform.take_deliveries();
+
+        // Node 0 proposes the view without node 7.
+        let proposed = View::new(1, (0..7).map(NodeId).collect());
         vsync.run_up(
-            Event::up(ViewPrepare::new(NodeId(1), Dest::Node(NodeId(2)), message)),
+            Event::up(ViewPrepare::new(
+                NodeId(0),
+                Dest::Node(NodeId(2)),
+                round_message(1, &proposed),
+            )),
             &mut platform,
         );
-        assert!(vsync
-            .drain_down()
+        let down = vsync.drain_down();
+        let ack = down
             .iter()
-            .any(|event| event.is::<FlushAck>()));
+            .find(|event| event.is::<FlushAck>())
+            .expect("flush sent");
+        let Dest::Nodes(targets) = &ack.get::<FlushAck>().unwrap().header.dest else {
+            panic!("gossip flush must address a node list");
+        };
+        assert!(targets.contains(&NodeId(0)), "proposer always included");
+        assert_eq!(targets.len(), 3, "proposer + fanout peers");
+
+        // A peer's aggregated set arrives: the union grew, so it is
+        // re-gossiped; a duplicate of the same set is not.
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(4),
+                Dest::Node(NodeId(2)),
+                flush_message(1, 0, &[4, 5]),
+            )),
+            &mut platform,
+        );
+        let down = vsync.drain_down();
+        let merged = down
+            .iter()
+            .find(|event| event.is::<FlushAck>())
+            .expect("grown set re-gossiped");
+        let body = merged
+            .get::<FlushAck>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<FlushBody>()
+            .unwrap();
+        assert_eq!(body.flushed, vec![NodeId(2), NodeId(4), NodeId(5)]);
+
+        vsync.run_up(
+            Event::up(FlushAck::new(
+                NodeId(5),
+                Dest::Node(NodeId(2)),
+                flush_message(1, 0, &[4, 5]),
+            )),
+            &mut platform,
+        );
+        assert!(
+            vsync
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<FlushAck>()),
+            "an unchanged union is not re-gossiped"
+        );
     }
 
     #[test]
@@ -644,12 +1543,15 @@ mod tests {
         let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2]), &mut platform);
         platform.take_deliveries();
 
-        // A stale commit for view 0 must not reinstall anything.
+        // A replayed commit whose ballot does not outrank the installed one
+        // must not reinstall anything.
         let stale = View::new(0, vec![NodeId(1), NodeId(2)]);
-        let mut message = Message::new();
-        message.push(&stale);
         vsync.run_up(
-            Event::up(ViewCommit::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            Event::up(ViewCommit::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                round_message(0, &stale),
+            )),
             &mut platform,
         );
         assert!(view_changes(&mut platform).is_empty());
@@ -660,5 +1562,97 @@ mod tests {
             .drain_down()
             .iter()
             .all(|event| !event.is::<ViewPrepare>()));
+    }
+
+    #[test]
+    fn rival_same_id_commits_converge_on_the_winning_ballot() {
+        // Two proposers raced the same epoch (a false suspicion) and both
+        // assembled a view with the same id. Installs at an equal id are
+        // ballot-ordered: a member that installed the losing round's view
+        // still converges onto the winning (lower proposer id) one, and the
+        // losing commit can never displace the winner.
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[0, 1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        let losing = View::new(1, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        vsync.run_up(
+            Event::up(ViewCommit::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(2, &losing),
+            )),
+            &mut platform,
+        );
+        assert_eq!(
+            view_changes(&mut platform).len(),
+            1,
+            "losing view installs first"
+        );
+
+        let winning = View::new(1, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        vsync.run_up(
+            Event::up(ViewCommit::new(
+                NodeId(0),
+                Dest::Node(NodeId(2)),
+                round_message(2, &winning),
+            )),
+            &mut platform,
+        );
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1, "equal-id winning ballot supersedes");
+        assert_eq!(changes[0].1, vec![NodeId(0), NodeId(1), NodeId(2)]);
+
+        // The losing commit replayed afterwards is rejected.
+        vsync.run_up(
+            Event::up(ViewCommit::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(2, &losing),
+            )),
+            &mut platform,
+        );
+        assert!(view_changes(&mut platform).is_empty());
+    }
+
+    #[test]
+    fn a_vanished_joiner_does_not_loop_the_join_round_forever() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2]), &mut platform);
+        platform.take_deliveries();
+
+        // Node 7 asks to join, then crashes before ever flushing.
+        vsync.run_up(
+            Event::up(JoinRequest::new(
+                NodeId(7),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
+        );
+        assert_eq!(prepares(&vsync.drain_down()).len(), 1);
+
+        // The round times out; the dead joiner's queued join is dropped, so
+        // no fresh round chases it.
+        platform.advance(4000);
+        fire_pending_timers(&mut vsync, &mut platform);
+        assert!(
+            prepares(&vsync.drain_down()).is_empty(),
+            "no endless re-proposal for a joiner that never flushed"
+        );
+
+        // A live joiner simply re-queues itself with its retransmitted
+        // request and is admitted normally.
+        vsync.run_up(
+            Event::up(JoinRequest::new(
+                NodeId(7),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
+        );
+        let retried = prepares(&vsync.drain_down());
+        assert_eq!(retried.len(), 1);
+        assert_eq!(retried[0].1.members, vec![NodeId(1), NodeId(2), NodeId(7)]);
     }
 }

@@ -39,9 +39,18 @@ pub struct NodeStats {
     /// Messages received, per traffic class.
     pub received: BTreeMap<TrafficClass, u64>,
     /// Messages lost in transit that this node originated (all classes).
+    /// Counts only losses on links towards *live* receivers — the safety
+    /// metric; packets addressed to a crashed node are accounted under
+    /// [`NodeStats::lost_to_dead`] instead.
     pub lost: u64,
-    /// Messages lost in transit, per traffic class.
+    /// Messages lost in transit, per traffic class (live receivers only).
     pub lost_by_class: BTreeMap<TrafficClass, u64>,
+    /// Messages this node addressed to a receiver that was crashed (or
+    /// battery-depleted) at delivery time. Kept separate from `lost` so
+    /// "zero data loss for surviving members" stays assertable across a
+    /// crash window: traffic in flight to a dead node is not a protocol
+    /// failure.
+    pub lost_to_dead: u64,
     /// Bytes sent (sum over all classes).
     pub bytes_sent: u64,
     /// Bytes received (sum over all classes).
@@ -69,6 +78,11 @@ impl NodeStats {
     pub fn record_lost(&mut self, class: TrafficClass) {
         self.lost += 1;
         *self.lost_by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records one message addressed to a dead receiver.
+    pub fn record_lost_to_dead(&mut self) {
+        self.lost_to_dead += 1;
     }
 
     /// Messages lost of one class.
@@ -150,6 +164,11 @@ impl NetworkStats {
             .values()
             .map(|stats| stats.lost_of(class))
             .sum()
+    }
+
+    /// Total messages addressed to dead receivers.
+    pub fn total_lost_to_dead(&self) -> u64 {
+        self.per_node.values().map(|stats| stats.lost_to_dead).sum()
     }
 
     /// Clears every counter (used between benchmark repetitions).

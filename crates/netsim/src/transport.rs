@@ -133,14 +133,30 @@ impl Network {
         if receiver == from {
             return None;
         }
-        let receiver_alive = self
+        let crashed = self
+            .topology
+            .node(receiver)
+            .map(|n| !n.alive)
+            .unwrap_or(false);
+        if crashed {
+            // A *crashed* receiver is not a link failure: the packet is
+            // accounted separately so the protocol safety metric ("no losses
+            // towards live members") stays meaningful across a crash/restart
+            // window. A battery-depleted (but running) receiver is different:
+            // flooding a depleted member is exactly the failure the
+            // adaptation loop exists to avoid, so those losses stay in the
+            // safety metric.
+            self.stats.node_mut(from).record_lost_to_dead();
+            return None;
+        }
+        let operational = self
             .topology
             .node(receiver)
             .map(|n| n.is_operational())
             .unwrap_or(false);
         let outcome = self.topology.link(from, receiver).transmit(size_bytes, rng);
         match outcome {
-            LinkOutcome::Delivered { latency_ms } if receiver_alive => {
+            LinkOutcome::Delivered { latency_ms } if operational => {
                 let rx_energy = self.charge_rx(receiver, size_bytes);
                 self.stats
                     .node_mut(receiver)
@@ -375,13 +391,19 @@ mod tests {
     }
 
     #[test]
-    fn dead_receivers_lose_packets() {
+    fn dead_receivers_lose_packets_under_their_own_counter() {
         let mut network = Network::new(Topology::lan(2, false));
         network.topology_mut().node_mut(NodeId(1)).unwrap().alive = false;
         let mut rng = SimRng::new(4);
         let deliveries = network.send(packet(0, 1, TrafficClass::Data), SimTime::ZERO, &mut rng);
         assert!(deliveries.is_empty());
-        assert_eq!(network.stats().node_or_default(NodeId(0)).lost, 1);
+        let sender = network.stats().node_or_default(NodeId(0));
+        assert_eq!(
+            sender.lost, 0,
+            "traffic to a crashed node is not a live-link loss"
+        );
+        assert_eq!(sender.lost_to_dead, 1);
+        assert_eq!(network.stats().total_lost_to_dead(), 1);
     }
 
     #[test]

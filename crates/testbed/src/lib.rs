@@ -19,6 +19,6 @@ pub mod runner;
 pub mod scenario;
 
 pub use platform::SimPlatform;
-pub use report::{NodeReport, RoundReport, RunReport};
-pub use runner::Runner;
+pub use report::{NodeReport, RejoinReport, RoundReport, RunReport};
+pub use runner::{AppBinding, Runner};
 pub use scenario::{Scenario, TopologyChoice, Workload};

@@ -20,6 +20,25 @@ pub struct RoundReport {
     pub nodes: usize,
 }
 
+/// One completed rejoin (view-synchronous state transfer), as reported by
+/// the restarted node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejoinReport {
+    /// Simulated time at which the rejoin completed.
+    pub at_ms: u64,
+    /// The donor the snapshot was streamed from.
+    pub donor: NodeId,
+    /// Snapshot bytes transferred.
+    pub bytes: u64,
+    /// Chunks the snapshot was streamed in.
+    pub chunks: u32,
+    /// Transfer epochs used (more than 1 means donor failover happened).
+    pub transfer_epochs: u64,
+    /// Restart-to-member latency as measured by the rejoining node, in
+    /// milliseconds.
+    pub elapsed_ms: u64,
+}
+
 /// Measurements for one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -62,6 +81,11 @@ pub struct NodeReport {
     /// was ever announced). A value below the boot membership means some
     /// member was expelled — e.g. by a (possibly false) suspicion.
     pub min_view_members: Option<usize>,
+    /// How many times this node was restarted during the run.
+    pub restarts: u64,
+    /// The node's last completed rejoin, when it restarted and made it back
+    /// into the group.
+    pub rejoin: Option<RejoinReport>,
 }
 
 impl NodeReport {
@@ -94,6 +118,10 @@ pub struct RunReport {
     /// Control-plane packets (commands, acks, heartbeats, context
     /// publications) lost in transit.
     pub control_lost: u64,
+    /// Packets (all classes) that were addressed to a node that was crashed
+    /// at delivery time — in-flight traffic towards a dead member, kept out
+    /// of `messages_lost` so the safety metric covers live members only.
+    pub messages_lost_to_crashed: u64,
     /// Per-node measurements, in node-id order.
     pub nodes: Vec<NodeReport>,
 }
@@ -179,6 +207,14 @@ impl RunReport {
             .and_then(|times| times.into_iter().max())
     }
 
+    /// Every completed rejoin, in node order.
+    pub fn rejoins(&self) -> Vec<(NodeId, &RejoinReport)> {
+        self.nodes
+            .iter()
+            .filter_map(|node| node.rejoin.as_ref().map(|rejoin| (node.node, rejoin)))
+            .collect()
+    }
+
     /// Total command retransmissions across all completed rounds.
     pub fn total_retransmits(&self) -> u64 {
         self.completed_rounds()
@@ -252,6 +288,8 @@ mod tests {
             errors: 0,
             context_converged_ms: Some(u64::from(id) * 100),
             min_view_members: Some(2),
+            restarts: 0,
+            rejoin: None,
         }
     }
 
@@ -264,6 +302,7 @@ mod tests {
             events_processed: 42,
             messages_lost: 0,
             control_lost: 4,
+            messages_lost_to_crashed: 0,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
         }
     }

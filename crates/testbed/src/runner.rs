@@ -1,21 +1,58 @@
 //! The scenario runner: a deterministic, discrete-event execution of a full
 //! distributed Morpheus deployment.
 
+use std::rc::Rc;
+
 use bytes::Bytes;
 
 use morpheus_appia::platform::{
-    DeliveryKind, InPacket, NodeId, NodeProfile, PacketClass, PacketDest,
+    AppDelivery, DeliveryKind, InPacket, NodeId, NodeProfile, PacketClass, PacketDest,
 };
 use morpheus_appia::timer::TimerKey;
 use morpheus_core::{MorpheusNode, NodeOptions};
+use morpheus_groupcomm::recovery::StateSection;
 use morpheus_netsim::{
     EventQueue, Network, NodeId as SimNodeId, Packet, PacketTarget, SimRng, SimTime, Topology,
     TrafficClass, Wireless80211b,
 };
 
 use crate::platform::SimPlatform;
-use crate::report::{NodeReport, RoundReport, RunReport};
+use crate::report::{NodeReport, RejoinReport, RoundReport, RunReport};
 use crate::scenario::{Scenario, TopologyChoice};
+
+/// Per-node application bindings for a run.
+///
+/// The runner itself knows nothing about the application on top; a binding
+/// supplies the application payloads, taps every delivery, and provides the
+/// app-level state sections the recovery layer streams to a rejoining node
+/// (e.g. the chat crate's room history). Every method has a no-op default,
+/// and [`Runner::run`] uses a default binding.
+pub trait AppBinding {
+    /// Fresh state sections for a node that is (re)starting. Called once per
+    /// node at boot and again on every restart — restarting resets the
+    /// node's application state, exactly like its protocol state.
+    fn state_sections(&mut self, node: NodeId) -> Vec<Rc<dyn StateSection>> {
+        let _ = node;
+        Vec::new()
+    }
+
+    /// Composes one application payload for a workload send; `None` falls
+    /// back to the runner's built-in opaque payload.
+    fn compose(&mut self, node: NodeId, seq: u64, size: usize) -> Option<Bytes> {
+        let _ = (node, seq, size);
+        None
+    }
+
+    /// Observes one application delivery.
+    fn on_delivery(&mut self, node: NodeId, delivery: &AppDelivery) {
+        let _ = (node, delivery);
+    }
+}
+
+/// The no-op binding used by [`Runner::run`].
+struct NoBinding;
+
+impl AppBinding for NoBinding {}
 
 /// Opaque payload carried by simulated packets. The channel name is
 /// interned, so fanning a packet out to many receivers clones a refcount
@@ -36,12 +73,21 @@ enum SimEvent {
         class: PacketClass,
         payload: NetPayload,
     },
-    /// A protocol timer fires at a node.
-    Timer { node: NodeId, key: TimerKey },
+    /// A protocol timer fires at a node. Timers are stamped with the node's
+    /// incarnation so timers armed before a restart cannot fire into the
+    /// fresh kernel (whose timer ids restart from scratch and could
+    /// collide).
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+        incarnation: u32,
+    },
     /// The application on a node emits one chat message.
     AppSend { node: NodeId, seq: u64 },
     /// The node crashes (fails silently) at this instant.
     NodeFailure { node: NodeId },
+    /// The node restarts with empty state and rejoins the group.
+    NodeRestart { node: NodeId },
 }
 
 /// Per-node bookkeeping collected during a run.
@@ -56,6 +102,8 @@ struct NodeTally {
     control_dropped: u64,
     context_converged_ms: Option<u64>,
     min_view_members: Option<usize>,
+    restarts: u64,
+    rejoin: Option<RejoinReport>,
 }
 
 /// Fixed per-packet framing overhead added to every transmission (UDP + IP
@@ -78,6 +126,12 @@ impl Runner {
 
     /// Runs a scenario to completion and reports the results.
     pub fn run(&self, scenario: &Scenario) -> RunReport {
+        self.run_with_binding(scenario, &mut NoBinding)
+    }
+
+    /// Runs a scenario with an application binding supplying payloads,
+    /// delivery taps and rejoin state sections.
+    pub fn run_with_binding(&self, scenario: &Scenario, binding: &mut dyn AppBinding) -> RunReport {
         let members = scenario.members();
         let topology = build_topology(scenario);
         let mut network = Network::new(topology);
@@ -88,31 +142,13 @@ impl Runner {
         let mut nodes: Vec<MorpheusNode> = Vec::with_capacity(members.len());
         let mut platforms: Vec<SimPlatform> = Vec::with_capacity(members.len());
         let mut tallies: Vec<NodeTally> = vec![NodeTally::default(); members.len()];
+        let mut incarnations: Vec<u32> = vec![0; members.len()];
         // The channel [`Scenario::control_loss`] degrades — read from the
         // same options every node is built with, not hardcoded.
-        let mut control_channel = String::new();
+        let control_channel = node_options(scenario, &members, false).control_channel;
 
         for member in &members {
-            let profile = profile_for(&network, scenario, *member);
-            let mut platform = SimPlatform::new(
-                profile,
-                scenario.seed.wrapping_add(0x9E37 + u64::from(member.0)),
-            );
-            let mut options = NodeOptions::new(members.clone())
-                .with_initial_stack(scenario.initial_stack.clone())
-                .with_publish_interval(scenario.publish_interval_ms);
-            options.adaptive = scenario.adaptive;
-            options.hb_interval_ms = scenario.hb_interval_ms;
-            options.suspect_timeout_ms = scenario.suspect_timeout_ms;
-            options.retransmit_interval_ms = scenario.retransmit_interval_ms;
-            options.round_timeout_ms = scenario.round_timeout_ms;
-            options.control_fanout = scenario.control_fanout;
-            for (key, value) in &scenario.core_params {
-                options = options.with_core_param(key.clone(), value.clone());
-            }
-            control_channel = options.control_channel.clone();
-            let node = MorpheusNode::new(options, &mut platform)
-                .expect("scenario stacks are built from the catalogue and always instantiate");
+            let (node, platform) = build_node(scenario, &members, *member, 0, 0, &network, binding);
             nodes.push(node);
             platforms.push(platform);
         }
@@ -131,6 +167,8 @@ impl Runner {
                 &mut network,
                 &mut queue,
                 &mut rng,
+                &incarnations,
+                binding,
             );
         }
 
@@ -145,11 +183,17 @@ impl Runner {
             }
         }
 
-        // Schedule injected node failures.
+        // Schedule injected node failures and restarts.
         for (at_ms, node) in &scenario.failures {
             queue.push(
                 SimTime::from_millis(*at_ms),
                 SimEvent::NodeFailure { node: *node },
+            );
+        }
+        for (at_ms, node) in &scenario.restarts {
+            queue.push(
+                SimTime::from_millis(*at_ms),
+                SimEvent::NodeRestart { node: *node },
             );
         }
 
@@ -175,6 +219,7 @@ impl Runner {
                 SimEvent::Timer { node, .. } => *node,
                 SimEvent::AppSend { node, .. } => *node,
                 SimEvent::NodeFailure { node } => *node,
+                SimEvent::NodeRestart { node } => *node,
             };
             let index = node_id.0 as usize;
             if index >= nodes.len() {
@@ -184,6 +229,51 @@ impl Runner {
                 if let Some(sim_node) = network.topology_mut().node_mut(SimNodeId(node.0)) {
                     sim_node.alive = false;
                 }
+                continue;
+            }
+            if let SimEvent::NodeRestart { node } = &event {
+                let node = *node;
+                if let Some(sim_node) = network.topology_mut().node_mut(SimNodeId(node.0)) {
+                    sim_node.alive = true;
+                }
+                incarnations[index] += 1;
+                // A fresh incarnation: empty protocol and application state,
+                // a joining stack, a new deterministic rng stream. Timers of
+                // the previous incarnation are fenced off by the incarnation
+                // stamp.
+                let (fresh, platform) = build_node(
+                    scenario,
+                    &members,
+                    node,
+                    incarnations[index],
+                    time.as_millis(),
+                    &network,
+                    binding,
+                );
+                nodes[index] = fresh;
+                platforms[index] = platform;
+                tallies[index].restarts += 1;
+                tallies[index].rejoin = None;
+                // Post-restart context convergence is what the recovery
+                // metrics care about; the pre-crash value is obsolete.
+                tallies[index].context_converged_ms = None;
+                tallies[index]
+                    .notifications
+                    .push(format!("restarted (incarnation {})", incarnations[index]));
+                flush_node(
+                    index,
+                    time,
+                    scenario,
+                    &control_channel,
+                    &mut nodes,
+                    &mut platforms,
+                    &mut tallies,
+                    &mut network,
+                    &mut queue,
+                    &mut rng,
+                    &incarnations,
+                    binding,
+                );
                 continue;
             }
             // Crashed nodes stop processing anything.
@@ -233,16 +323,26 @@ impl Runner {
                         .deliver_packet_batch(batch.drain(..), &mut platforms[index])
                         as u64;
                 }
-                SimEvent::Timer { key, .. } => {
-                    if !platforms[index].consume_cancellation(&key) {
+                SimEvent::Timer {
+                    key, incarnation, ..
+                } => {
+                    if incarnation == incarnations[index]
+                        && !platforms[index].consume_cancellation(&key)
+                    {
                         nodes[index].timer_fired(key, &mut platforms[index]);
                     }
                 }
                 SimEvent::AppSend { seq, .. } => {
-                    let payload = chat_payload(node_id, seq, scenario.workload.payload_size);
+                    let payload = binding
+                        .compose(node_id, seq, scenario.workload.payload_size)
+                        .unwrap_or_else(|| {
+                            chat_payload(node_id, seq, scenario.workload.payload_size)
+                        });
                     nodes[index].send_to_group(payload, &mut platforms[index]);
                 }
-                SimEvent::NodeFailure { .. } => unreachable!("handled above"),
+                SimEvent::NodeFailure { .. } | SimEvent::NodeRestart { .. } => {
+                    unreachable!("handled above")
+                }
             }
 
             flush_node(
@@ -256,11 +356,61 @@ impl Runner {
                 &mut network,
                 &mut queue,
                 &mut rng,
+                &incarnations,
+                binding,
             );
         }
 
         build_report(scenario, last_time, processed, &network, &nodes, &tallies)
     }
+}
+
+/// The node options every incarnation of a scenario node is built with.
+fn node_options(scenario: &Scenario, members: &[NodeId], rejoining: bool) -> NodeOptions {
+    let mut options = NodeOptions::new(members.to_vec())
+        .with_initial_stack(scenario.initial_stack.clone())
+        .with_publish_interval(scenario.publish_interval_ms);
+    options.adaptive = scenario.adaptive;
+    options.hb_interval_ms = scenario.hb_interval_ms;
+    options.suspect_timeout_ms = scenario.suspect_timeout_ms;
+    options.retransmit_interval_ms = scenario.retransmit_interval_ms;
+    options.round_timeout_ms = scenario.round_timeout_ms;
+    options.control_fanout = scenario.control_fanout;
+    options.transfer_chunk_bytes = scenario.transfer_chunk_bytes;
+    options.rejoining = rejoining;
+    for (key, value) in &scenario.core_params {
+        options = options.with_core_param(key.clone(), value.clone());
+    }
+    options
+}
+
+/// Builds one node incarnation: incarnation 0 is a boot member, higher
+/// incarnations come up as rejoining members with fresh state.
+fn build_node(
+    scenario: &Scenario,
+    members: &[NodeId],
+    member: NodeId,
+    incarnation: u32,
+    now_ms: u64,
+    network: &Network,
+    binding: &mut dyn AppBinding,
+) -> (MorpheusNode, SimPlatform) {
+    let profile = profile_for(network, scenario, member);
+    let mut platform = SimPlatform::new(
+        profile,
+        scenario
+            .seed
+            .wrapping_add(0x9E37 + u64::from(member.0))
+            .wrapping_add(0x517E * u64::from(incarnation)),
+    );
+    // The clock must be right *before* the stacks come up: failure-detector
+    // grace periods, join timestamps and snapshot versions are all taken at
+    // channel creation.
+    platform.set_now(now_ms);
+    let options = node_options(scenario, members, incarnation > 0);
+    let node = MorpheusNode::with_app_state(options, binding.state_sections(member), &mut platform)
+        .expect("scenario stacks are built from the catalogue and always instantiate");
+    (node, platform)
 }
 
 /// Builds the netsim topology for a scenario.
@@ -338,6 +488,8 @@ fn flush_node(
     network: &mut Network,
     queue: &mut EventQueue<SimEvent>,
     rng: &mut SimRng,
+    incarnations: &[u32],
+    binding: &mut dyn AppBinding,
 ) {
     loop {
         let mut progressed = false;
@@ -394,7 +546,7 @@ fn flush_node(
             }
         }
 
-        // 3. Timers.
+        // 3. Timers, stamped with the node's current incarnation.
         for (delay, key) in platforms[index].take_timer_requests() {
             progressed = true;
             queue.push(
@@ -402,6 +554,7 @@ fn flush_node(
                 SimEvent::Timer {
                     node: NodeId(index as u32),
                     key,
+                    incarnation: incarnations[index],
                 },
             );
         }
@@ -409,6 +562,7 @@ fn flush_node(
         // 4. Application deliveries.
         for delivery in platforms[index].take_deliveries() {
             progressed = true;
+            binding.on_delivery(NodeId(index as u32), &delivery);
             match delivery.kind {
                 DeliveryKind::Data { .. } => tallies[index].app_deliveries += 1,
                 DeliveryKind::ViewChange {
@@ -450,6 +604,26 @@ fn flush_node(
                         latency_ms,
                         retransmits,
                         nodes: quorum,
+                    });
+                }
+                DeliveryKind::Rejoined {
+                    donor,
+                    bytes,
+                    chunks,
+                    transfer_epochs,
+                    elapsed_ms,
+                } => {
+                    tallies[index].notifications.push(format!(
+                        "rejoined via donor {donor} in {elapsed_ms} ms ({bytes} bytes, \
+                         {chunks} chunks, {transfer_epochs} transfer epochs)"
+                    ));
+                    tallies[index].rejoin = Some(RejoinReport {
+                        at_ms: now.as_millis(),
+                        donor,
+                        bytes,
+                        chunks,
+                        transfer_epochs,
+                        elapsed_ms,
                     });
                 }
                 DeliveryKind::ContextConverged { .. } => {
@@ -504,6 +678,8 @@ fn build_report(
             errors: tally.packet_errors + tally.reconfig_errors,
             context_converged_ms: tally.context_converged_ms,
             min_view_members: tally.min_view_members,
+            restarts: tally.restarts,
+            rejoin: tally.rejoin.clone(),
         });
     }
     let stats = network.stats();
@@ -520,6 +696,7 @@ fn build_report(
                 .iter()
                 .map(|tally| tally.control_dropped)
                 .sum::<u64>(),
+        messages_lost_to_crashed: stats.total_lost_to_dead(),
         nodes: node_reports,
     }
 }

@@ -49,16 +49,17 @@ pub mod prelude {
         AppDelivery, DeliveryKind, DeviceClass, NodeId, NodeProfile, Platform, TestPlatform,
     };
     pub use morpheus_appia::{Event, Kernel, Message};
-    pub use morpheus_chat::{ChatApp, ChatMessage, ChatWorkload};
+    pub use morpheus_chat::{ChatApp, ChatHistoryBinding, ChatMessage, ChatWorkload, RoomHistory};
     pub use morpheus_cocaditem::{ContextKey, ContextSnapshot, ContextStore};
     pub use morpheus_core::{
         AdaptationPolicy, DefaultPolicy, GlobalContext, MorpheusNode, NodeOptions, StackCatalog,
         StackKind,
     };
     pub use morpheus_groupcomm::suite::StackBuilder;
-    pub use morpheus_groupcomm::{register_suite, View};
+    pub use morpheus_groupcomm::{register_suite, StateSection, View};
     pub use morpheus_testbed::{
-        NodeReport, RoundReport, RunReport, Runner, Scenario, TopologyChoice, Workload,
+        AppBinding, NodeReport, RejoinReport, RoundReport, RunReport, Runner, Scenario,
+        TopologyChoice, Workload,
     };
 }
 

@@ -1,0 +1,200 @@
+//! End-to-end recovery: a genuinely restarted node rejoins the group through
+//! the view-synchronous state-transfer protocol — join view change, chunked
+//! snapshot from the deterministic donor, buffered join-view replay, control
+//! plane repair — while the survivors keep chatting without losing a single
+//! message. All runs are seeded and deterministic.
+
+use morpheus::chat::ChatHistoryBinding;
+use morpheus::prelude::*;
+use morpheus::testbed::{RunReport, Runner};
+
+/// Runs a recovery scenario with a real chat application bound to every
+/// node and returns the report plus the binding (which holds the final
+/// per-node room histories).
+fn run_chat(scenario: &Scenario) -> (RunReport, ChatHistoryBinding) {
+    let mut binding = ChatHistoryBinding::new("icdcs");
+    let report = Runner::new().run_with_binding(scenario, &mut binding);
+    (report, binding)
+}
+
+#[test]
+fn a_restarted_node_at_n50_rejoins_with_store_and_history_intact() {
+    // The acceptance scenario: 50 nodes on the epidemic data stack, 10%
+    // control loss, node 49 crashes at 12 s, is expelled, restarts empty at
+    // 20 s and rejoins while chat keeps flowing.
+    let scenario = Scenario::member_restart(50, 0.1);
+    let restarting = scenario.restarting_members()[0];
+    let (report, binding) = run_chat(&scenario);
+
+    // Zero data loss for surviving members: the only unreceived packets are
+    // the ones addressed to the node while it was crashed.
+    assert_eq!(report.messages_lost, 0, "no live-link data loss");
+    assert!(report.messages_lost_to_crashed > 0, "the crash was real");
+
+    // The node rejoined, within a bounded latency, via the deterministic
+    // donor (the lowest live id in the join view).
+    let node = report.node(restarting).unwrap();
+    assert_eq!(node.restarts, 1);
+    let rejoin = node.rejoin.as_ref().expect("the restarted node rejoined");
+    assert_eq!(rejoin.donor, NodeId(0));
+    assert!(
+        rejoin.elapsed_ms < 5_000,
+        "rejoin latency {} ms exceeds the bound",
+        rejoin.elapsed_ms
+    );
+    assert!(rejoin.bytes > 0 && rejoin.chunks > 1, "chunked snapshot");
+
+    // Control-plane repair converged the rejoiner onto the committed stack
+    // (the large-group rule moved the group to epidemic multicast long
+    // before the crash).
+    assert!(
+        node.final_stack.starts_with("gossip"),
+        "rejoiner repaired onto the committed stack (got {})",
+        node.final_stack
+    );
+
+    // Store intact: the snapshot seeded the context store, so the rejoiner
+    // reports full-membership context coverage again after the restart.
+    assert!(
+        node.context_converged_ms.is_some(),
+        "post-restart context convergence"
+    );
+
+    // Chat history intact: messages sent while the node was down can only
+    // be known through the donor's snapshot. The donor (node 0, itself a
+    // sender) records its own sends, so its part of the downtime traffic
+    // must be in the rejoiner's history completely; the other senders'
+    // messages reached the donor over the epidemic stack, whose coverage is
+    // probabilistic — assert a high floor over the aggregate instead.
+    let history = binding.history(restarting).expect("history bound");
+    let downtime = scenario.workload.seqs_sent_between(13_000, 19_000);
+    assert!(!downtime.is_empty());
+    let donor_sender = ChatHistoryBinding::sender_name(NodeId(0));
+    for seq in downtime.clone() {
+        assert!(
+            history.contains("icdcs", &donor_sender, seq),
+            "history misses the donor's own {donor_sender}:{seq}, \
+             sent while the node was down"
+        );
+    }
+    let covered = (0..3u32)
+        .flat_map(|sender| {
+            let sender = ChatHistoryBinding::sender_name(NodeId(sender));
+            downtime
+                .clone()
+                .filter(move |seq| history.contains("icdcs", &sender, *seq))
+        })
+        .count();
+    let total = downtime.clone().count() * 3;
+    assert!(
+        covered * 10 >= total * 9,
+        "rejoiner recovered only {covered}/{total} downtime messages"
+    );
+    assert_eq!(binding.decode_failures(), 0);
+
+    // The survivors kept near-complete epidemic coverage throughout.
+    for survivor in report.nodes.iter().filter(|n| n.node != restarting) {
+        assert!(
+            survivor.app_deliveries >= 180,
+            "survivor {} delivered only {} messages",
+            survivor.node,
+            survivor.app_deliveries
+        );
+    }
+}
+
+#[test]
+fn a_donor_crash_mid_transfer_fails_over_to_the_next_donor() {
+    let scenario = Scenario::donor_crash_mid_transfer();
+    let restarting = scenario.restarting_members()[0];
+    let (report, binding) = run_chat(&scenario);
+
+    assert_eq!(report.messages_lost, 0, "no live-link data loss");
+
+    let node = report.node(restarting).unwrap();
+    let rejoin = node
+        .rejoin
+        .as_ref()
+        .expect("rejoin completed despite the donor crash");
+    assert!(
+        rejoin.transfer_epochs >= 2,
+        "the donor crash must be visible as a transfer-epoch failover"
+    );
+    assert_eq!(
+        rejoin.donor,
+        NodeId(1),
+        "the next-lowest live id takes over as donor"
+    );
+    assert!(
+        rejoin.elapsed_ms < 8_000,
+        "failover rejoin latency {} ms exceeds the bound",
+        rejoin.elapsed_ms
+    );
+
+    // The failed-over snapshot still makes the history whole: messages sent
+    // while the node was down came through donor 1.
+    let history = binding.history(restarting).expect("history bound");
+    let downtime = scenario.workload.seqs_sent_between(5_500, 9_500);
+    assert!(!downtime.is_empty());
+    for sender in 1..=3u32 {
+        let sender = ChatHistoryBinding::sender_name(NodeId(sender));
+        for seq in downtime.clone() {
+            assert!(
+                history.contains("icdcs", &sender, seq),
+                "history misses {sender}:{seq} after donor failover"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_group_restart_keeps_survivor_delivery_complete() {
+    // On the best-effort stack (n = 8, below the large-group threshold)
+    // coverage is deterministic: every survivor must deliver every message
+    // from every other live sender — the crash/restart cycle is invisible
+    // to them.
+    let scenario = Scenario::member_restart(8, 0.0);
+    let restarting = scenario.restarting_members()[0];
+    let (report, binding) = run_chat(&scenario);
+
+    assert_eq!(report.messages_lost, 0);
+    let messages = scenario.workload.messages_per_sender;
+    for survivor in report.nodes.iter().filter(|n| n.node != restarting) {
+        let own_sends = if survivor.node.0 < 3 { 1 } else { 0 };
+        let expected = (3 - own_sends) * messages;
+        assert_eq!(
+            survivor.app_deliveries, expected,
+            "survivor {} must deliver every message from the other senders",
+            survivor.node
+        );
+    }
+
+    let node = report.node(restarting).unwrap();
+    let rejoin = node.rejoin.as_ref().expect("rejoined");
+    assert_eq!(rejoin.transfer_epochs, 1, "first donor succeeds");
+    assert!(rejoin.elapsed_ms < 3_000);
+    // The join-view buffer plus snapshot leave no gap: the rejoiner's
+    // history covers the entire run up to the rejoin point and keeps
+    // growing afterwards.
+    let history = binding.history(restarting).expect("history bound");
+    let after_rejoin = scenario.workload.seqs_sent_between(24_000, 30_000);
+    for seq in after_rejoin {
+        for sender in 0..3u32 {
+            let sender = ChatHistoryBinding::sender_name(NodeId(sender));
+            assert!(
+                history.contains("icdcs", &sender, seq),
+                "post-rejoin live delivery misses {sender}:{seq}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_runs_are_deterministic_under_a_fixed_seed() {
+    let scenario = Scenario::member_restart(8, 0.1);
+    let (first, _) = run_chat(&scenario);
+    let (second, _) = run_chat(&scenario);
+    assert_eq!(first, second, "same seed, same run, same report");
+    let rejoin_a = first.rejoins();
+    assert_eq!(rejoin_a.len(), 1);
+}
