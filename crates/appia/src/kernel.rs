@@ -12,7 +12,7 @@
 //!
 //! The dispatch loop is allocation-free in steady state: channel and layer
 //! names are interned [`Name`]s (cloning bumps a refcount), routing is a
-//! bitmask scan ([`crate::channel::Channel::next_hop`]), and outgoing packets
+//! bitmask scan (`Channel::next_hop`), and outgoing packets
 //! are serialised into a kernel-owned scratch buffer whose allocation is
 //! recycled once the packets produced from it have been consumed.
 

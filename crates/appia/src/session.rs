@@ -19,6 +19,14 @@ pub trait Session {
 
     /// Handles one event.
     fn handle(&mut self, event: Event, ctx: &mut EventContext<'_>);
+
+    /// Optional downcast hook: sessions that expose run-time statistics to
+    /// the node runtime (e.g. the gossip layer's repair counters) return
+    /// `Some(self)` here so callers holding a [`SessionRef`] can
+    /// `downcast_ref` to the concrete type. The default hides the session.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Shared ownership handle for sessions.

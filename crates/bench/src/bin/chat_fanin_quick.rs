@@ -1,0 +1,239 @@
+//! Quick-mode many-to-many chat measurement on the epidemic data stack.
+//!
+//! Runs the `chat_fanin` scenario — every member sends, at n = 250 by
+//! default, with 10% of all data-channel transmissions dropped — and emits
+//! machine-readable results to `BENCH_chat_fanin.json`. The headline
+//! comparison is epidemic delivery coverage at n = 250:
+//!
+//! * **repair-off-ttl4** — the pre-repair baseline: the pure push phase
+//!   under the old hard-coded `fanout=3/ttl=4` policy (the configuration
+//!   the ROADMAP recorded at ~90-95% coverage);
+//! * **repair-off** — the push phase alone, with the TTL now derived from
+//!   the live view size by the policy layer;
+//! * **repair-on** — the full bimodal design: size-derived push phase plus
+//!   the NACK/anti-entropy repair pass.
+//!
+//! Per case it reports coverage %, repair pulls/pushes/repaired deliveries,
+//! the duplicate ratio and delivered msgs/s of wall time; it asserts that
+//! with repair on coverage is ≥ 99.9% while not a single message is lost on
+//! live links (`messages_lost == 0` — the injected drops are accounted
+//! separately), and that the pre-repair baseline really is visibly worse,
+//! so the recorded comparison stays honest.
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin chat_fanin_quick
+//! [output-path]`.
+
+use morpheus_bench::{metadata_json, RunMeta};
+use morpheus_testbed::{Runner, Scenario};
+
+struct CaseResult {
+    name: String,
+    n: usize,
+    senders: usize,
+    data_loss: f64,
+    repair_on: bool,
+    coverage: f64,
+    deliveries: u64,
+    expected: u64,
+    repair_pulls: u64,
+    repair_pushes: u64,
+    repaired_deliveries: u64,
+    dup_ratio: f64,
+    data_dropped: u64,
+    messages_lost: u64,
+    rounds: usize,
+    msgs_per_sec: f64,
+    wall_ms: f64,
+}
+
+fn run_case(name: &str, scenario: &Scenario) -> CaseResult {
+    let senders = scenario.workload.senders.len();
+    let messages = scenario.workload.messages_per_sender;
+    let started = std::time::Instant::now();
+    let report = Runner::new().run(scenario);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let deliveries = report.total_app_deliveries();
+    let expected = senders as u64 * messages * (scenario.device_count() as u64 - 1);
+    let gossip = report.gossip_totals();
+    CaseResult {
+        name: name.to_string(),
+        n: scenario.device_count(),
+        senders,
+        data_loss: scenario.data_loss,
+        repair_on: scenario.repair_interval_ms > 0,
+        coverage: report.delivery_coverage(senders, messages),
+        deliveries,
+        expected,
+        repair_pulls: gossip.repair_pulls,
+        repair_pushes: gossip.repair_pushes,
+        repaired_deliveries: gossip.repaired_deliveries,
+        dup_ratio: gossip.duplicates as f64 / deliveries.max(1) as f64,
+        data_dropped: report.data_dropped,
+        messages_lost: report.messages_lost,
+        rounds: report.completed_rounds().len(),
+        msgs_per_sec: deliveries as f64 / (wall_ms / 1000.0).max(1e-9),
+        wall_ms,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chat_fanin.json".into());
+    let n: usize = std::env::var("BENCH_FANIN_N")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|n| *n >= 16)
+        .unwrap_or(250);
+    let loss = 0.1;
+
+    eprintln!(
+        "chat-fanin quick mode: every member sends at n = {n}, {:.0}% data loss",
+        loss * 100.0
+    );
+    eprintln!(
+        "{:>18}  {:>5}  {:>7}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>9}",
+        "case", "n", "repair", "coverage", "repaired", "pulls", "dup", "lost", "msgs/s"
+    );
+
+    let results = vec![
+        // The pre-repair baseline: pure push phase under the old hard-coded
+        // fanout=3/ttl=4 policy.
+        run_case(
+            "repair-off-ttl4",
+            &Scenario::chat_fanin(n, n)
+                .with_data_loss(loss)
+                .with_repair_interval(0)
+                .with_core_param("gossip_ttl", "4"),
+        ),
+        // Push phase alone, with the size-derived TTL.
+        run_case(
+            "repair-off",
+            &Scenario::chat_fanin(n, n)
+                .with_data_loss(loss)
+                .with_repair_interval(0),
+        ),
+        // The full design.
+        run_case(
+            "repair-on",
+            &Scenario::chat_fanin(n, n).with_data_loss(loss),
+        ),
+        // A smaller group for the trajectory across sizes.
+        run_case(
+            "repair-on-n50",
+            &Scenario::chat_fanin(50, 50).with_data_loss(loss),
+        ),
+    ];
+
+    for result in &results {
+        eprintln!(
+            "{:>18}  {:>5}  {:>7}  {:>8.3}%  {:>9}  {:>8}  {:>8.2}  {:>7}  {:>9.0}",
+            result.name,
+            result.n,
+            if result.repair_on { "on" } else { "off" },
+            result.coverage * 100.0,
+            result.repaired_deliveries,
+            result.repair_pulls,
+            result.dup_ratio,
+            result.messages_lost,
+            result.msgs_per_sec,
+        );
+    }
+
+    let meta = RunMeta {
+        seed: Scenario::chat_fanin(n, n).seed,
+        n,
+        loss,
+    };
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"chat-fanin\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  {},\n", metadata_json(&meta)));
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"senders\": {}, \"data_loss\": {:.2}, \
+             \"repair\": {}, \"coverage\": {:.5}, \"deliveries\": {}, \"expected\": {}, \
+             \"repair_pulls\": {}, \"repair_pushes\": {}, \"repaired_deliveries\": {}, \
+             \"dup_ratio\": {:.4}, \"data_dropped\": {}, \"messages_lost\": {}, \
+             \"rounds\": {}, \"msgs_per_sec\": {:.0}, \"wall_ms\": {:.1}}}{}\n",
+            result.name,
+            result.n,
+            result.senders,
+            result.data_loss,
+            result.repair_on,
+            result.coverage,
+            result.deliveries,
+            result.expected,
+            result.repair_pulls,
+            result.repair_pushes,
+            result.repaired_deliveries,
+            result.dup_ratio,
+            result.data_dropped,
+            result.messages_lost,
+            result.rounds,
+            result.msgs_per_sec,
+            result.wall_ms,
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+
+    // --- Assertions: the acceptance criteria of the reliable epidemic data
+    // plane (after the results file is written, so failed runs still record
+    // their data).
+    for result in &results {
+        assert_eq!(
+            result.messages_lost, 0,
+            "live links lose nothing — injected drops are accounted separately ({})",
+            result.name
+        );
+        assert!(
+            result.data_dropped > 0,
+            "the injected data loss must be real ({})",
+            result.name
+        );
+        assert!(
+            result.rounds > 0,
+            "the large-group adaptation round must have completed ({})",
+            result.name
+        );
+    }
+    let baseline = &results[0];
+    assert!(
+        baseline.coverage < 0.999,
+        "the pre-repair baseline should be visibly lossy, or the comparison is vacuous \
+         (got {:.4})",
+        baseline.coverage
+    );
+    for result in &results {
+        // Coverage is an unclamped ratio: above 1.0 would mean duplicate
+        // messages reached the application — as much a violation as a gap.
+        assert!(
+            result.coverage <= 1.0,
+            "the application must never see duplicate deliveries ({}: {:.6})",
+            result.name,
+            result.coverage
+        );
+    }
+    for result in results.iter().filter(|result| result.repair_on) {
+        assert!(
+            result.coverage >= 0.999,
+            "with repair on, epidemic coverage must converge to >= 99.9% ({}: {:.4})",
+            result.name,
+            result.coverage
+        );
+        assert!(
+            result.repaired_deliveries > 0,
+            "the repair pass must have done the closing work ({})",
+            result.name
+        );
+    }
+}

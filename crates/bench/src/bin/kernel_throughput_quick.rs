@@ -217,17 +217,18 @@ fn main() {
         results.push(result);
     }
 
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|elapsed| elapsed.as_secs())
-        .unwrap_or(0);
+    let meta = morpheus_bench::RunMeta {
+        seed: 0,
+        n: 0,
+        loss: 0.0,
+    };
 
     // Hand-rolled JSON: the workspace builds offline, without serde_json.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"kernel-throughput\",\n");
     json.push_str("  \"mode\": \"quick\",\n");
-    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
     json.push_str(&format!("  \"sends_per_depth\": {sends},\n"));
     json.push_str("  \"results\": [\n");
     for (index, result) in results.iter().enumerate() {

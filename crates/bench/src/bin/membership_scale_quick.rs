@@ -160,17 +160,21 @@ fn main() {
         baseline.control_msgs_per_interval, gossip_n100.control_msgs_per_interval
     );
 
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|elapsed| elapsed.as_secs())
-        .unwrap_or(0);
+    // Metadata of the headline comparison case (gossip-n100 vs the
+    // all-to-all baseline): the seed, n and loss must reconstruct a
+    // scenario that actually ran.
+    let meta = morpheus_bench::RunMeta {
+        seed: Scenario::large_group(100).seed,
+        n: 100,
+        loss: 0.0,
+    };
 
     // Hand-rolled JSON: the workspace builds offline, without serde_json.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"membership-scale\",\n");
     json.push_str("  \"mode\": \"quick\",\n");
-    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
     json.push_str(&format!(
         "  \"alltoall_vs_gossip_reduction_n100\": {reduction:.1},\n"
     ));

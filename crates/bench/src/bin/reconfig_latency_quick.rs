@@ -112,17 +112,18 @@ fn main() {
         );
     }
 
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|elapsed| elapsed.as_secs())
-        .unwrap_or(0);
+    let meta = morpheus_bench::RunMeta {
+        seed: Scenario::lossy_control(5, messages, 0.3).seed,
+        n: 5,
+        loss: 0.3,
+    };
 
     // Hand-rolled JSON: the workspace builds offline, without serde_json.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"reconfig-latency\",\n");
     json.push_str("  \"mode\": \"quick\",\n");
-    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
     json.push_str(&format!("  \"messages_per_case\": {messages},\n"));
     json.push_str("  \"results\": [\n");
     for (index, result) in results.iter().enumerate() {

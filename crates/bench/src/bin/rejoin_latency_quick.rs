@@ -166,17 +166,20 @@ fn main() {
         "the donor-crash case must fail over to the next donor"
     );
 
-    let unix_time = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|elapsed| elapsed.as_secs())
-        .unwrap_or(0);
+    // Metadata of the acceptance case (member-restart-10pct): the seed and
+    // loss must reconstruct a scenario that actually ran.
+    let meta = morpheus_bench::RunMeta {
+        seed: Scenario::member_restart(n, 0.1).seed,
+        n,
+        loss: 0.1,
+    };
 
     // Hand-rolled JSON: the workspace builds offline, without serde_json.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"rejoin-latency\",\n");
     json.push_str("  \"mode\": \"quick\",\n");
-    json.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
     json.push_str(&format!("  \"restart_n\": {n},\n"));
     json.push_str("  \"results\": [\n");
     for (index, result) in results.iter().enumerate() {

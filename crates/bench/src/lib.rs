@@ -63,6 +63,60 @@ pub fn run(scenario: &Scenario) -> RunReport {
     Runner::new().run(scenario)
 }
 
+/// Run metadata stamped into every quick-bench JSON so trajectories stay
+/// comparable across PRs: which commit produced the numbers, under which
+/// seed, at which group size and loss rate.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Seed of the (primary) scenario the bench runs.
+    pub seed: u64,
+    /// Group size of the primary scenario (`0` when not applicable, e.g.
+    /// the kernel micro-bench).
+    pub n: usize,
+    /// Loss rate of the primary degraded configuration (`0.0` when the
+    /// bench runs loss-free).
+    pub loss: f64,
+}
+
+/// The commit the bench ran on: `GITHUB_SHA` in CI, `git rev-parse HEAD`
+/// locally, `"unknown"` outside a work tree.
+pub fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the shared `"meta"` object every quick bench embeds in its JSON
+/// output (hand-rolled: the workspace builds offline, without serde_json).
+/// The caller splices it as one top-level member, e.g.
+/// `json.push_str(&format!("  {},\n", metadata_json(&meta)))`.
+pub fn metadata_json(meta: &RunMeta) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|elapsed| elapsed.as_secs())
+        .unwrap_or(0);
+    format!(
+        "\"meta\": {{\"seed\": {}, \"commit\": \"{}\", \"n\": {}, \"loss\": {:.2}, \
+         \"unix_time\": {}}}",
+        meta.seed,
+        commit_id(),
+        meta.n,
+        meta.loss,
+        unix_time,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +133,20 @@ mod tests {
 
         let wan = wan_scenario(8, StackKind::Gossip { fanout: 3, ttl: 4 }, 10);
         assert_eq!(wan.device_count(), 8);
+    }
+
+    #[test]
+    fn metadata_json_embeds_the_run_parameters() {
+        let rendered = metadata_json(&RunMeta {
+            seed: 7,
+            n: 250,
+            loss: 0.1,
+        });
+        assert!(rendered.starts_with("\"meta\": {"));
+        assert!(rendered.contains("\"seed\": 7"));
+        assert!(rendered.contains("\"n\": 250"));
+        assert!(rendered.contains("\"loss\": 0.10"));
+        assert!(rendered.contains("\"commit\": \""));
+        assert!(rendered.contains("\"unix_time\": "));
     }
 }

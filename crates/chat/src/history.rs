@@ -124,7 +124,8 @@ impl StateSection for ChatHistorySection {
     }
 }
 
-/// A testbed [`AppBinding`] that runs a real chat application over every
+/// A testbed [`AppBinding`](morpheus_testbed::AppBinding) that runs a real
+/// chat application over every
 /// simulated node: workload sends become wire-encoded [`ChatMessage`]s,
 /// deliveries are decoded into per-node [`RoomHistory`]s, and each node's
 /// history is registered as its rejoin state-transfer section — so a

@@ -142,7 +142,8 @@ impl Layer for CoreLayer {
                 .with_failure_detection(hb, suspect)
                 .with_fd_fanout(param_or(params, "control_fanout", 3usize))
                 .with_view_change_timing(retransmit, round_timeout)
-                .with_transfer_chunk_bytes(param_or(params, "transfer_chunk_bytes", 1024usize)),
+                .with_transfer_chunk_bytes(param_or(params, "transfer_chunk_bytes", 1024usize))
+                .with_gossip_repair(param_or(params, "gossip_repair_interval_ms", 1000u64)),
             members,
             data_channel,
             adaptive: param_or(params, "adaptive", true),

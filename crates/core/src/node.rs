@@ -70,6 +70,10 @@ pub struct NodeOptions {
     /// (heartbeat multicast + context flood) — the benchmarks' O(n²)
     /// baseline.
     pub control_fanout: usize,
+    /// Cadence of the epidemic data stack's NACK/anti-entropy repair pass,
+    /// in milliseconds (`0` disables repair, leaving the pure push-phase
+    /// gossip — the pre-repair baseline benchmarks compare against).
+    pub gossip_repair_interval_ms: u64,
     /// Whether this node is a *restarted* member re-entering a running
     /// group: its stacks come up in joining mode (empty view, blocked) and
     /// the recovery layer drives re-admission plus state transfer.
@@ -97,6 +101,7 @@ impl NodeOptions {
             retransmit_interval_ms: 500,
             round_timeout_ms: 4000,
             control_fanout: 3,
+            gossip_repair_interval_ms: 1000,
             rejoining: false,
             transfer_chunk_bytes: 1024,
             data_channel: "data".to_string(),
@@ -185,6 +190,7 @@ impl MorpheusNode {
             .with_fd_fanout(options.control_fanout)
             .with_view_change_timing(options.retransmit_interval_ms, options.round_timeout_ms)
             .with_transfer_chunk_bytes(options.transfer_chunk_bytes)
+            .with_gossip_repair(options.gossip_repair_interval_ms)
             .with_rejoining(options.rejoining);
 
         let data_config = catalog.config_for(&options.initial_stack);
@@ -215,6 +221,10 @@ impl MorpheusNode {
         core_params.push((
             "transfer_chunk_bytes".to_string(),
             options.transfer_chunk_bytes.to_string(),
+        ));
+        core_params.push((
+            "gossip_repair_interval_ms".to_string(),
+            options.gossip_repair_interval_ms.to_string(),
         ));
         let control_config = catalog.control_config(
             &options.control_channel,
@@ -271,6 +281,21 @@ impl MorpheusNode {
     /// Number of application messages sent so far.
     pub fn sent_messages(&self) -> u64 {
         self.sent_messages
+    }
+
+    /// Counters of the data channel's gossip session (push-phase forwards
+    /// and duplicates, repair digests/pulls/pushes, repaired deliveries), or
+    /// `None` when the current data stack is not epidemic. Read through the
+    /// session downcast hook; used by the testbed to report per-node
+    /// epidemic coverage and repair work.
+    pub fn gossip_stats(&self) -> Option<morpheus_groupcomm::gossip::GossipStats> {
+        let channel = self.kernel.channel(self.data_channel)?;
+        let session = channel.session_of(morpheus_groupcomm::gossip::GOSSIP_LAYER)?;
+        let session = session.borrow();
+        session
+            .as_any()?
+            .downcast_ref::<morpheus_groupcomm::gossip::GossipSession>()
+            .map(morpheus_groupcomm::gossip::GossipSession::stats)
     }
 
     /// Layer names of the data channel, bottom-first.

@@ -4,13 +4,35 @@ use morpheus_appia::layer::{param_or, LayerParams};
 
 use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
 
+/// The smallest TTL at which an epidemic push phase plausibly covers a group
+/// of size `n` at the given fan-out: the number of forwarding rounds after
+/// which `fanout^rounds >= n`, plus one slack round for the push targets
+/// lost to duplication. Floored at the historical default of 4 (small
+/// groups keep their behaviour) and capped at 12 (the repair pass closes
+/// whatever tail remains — deeper flooding only buys duplicates).
+///
+/// This is the plumbing-style per-size tuning (van Renesse et al.): the
+/// policy derives the dissemination parameters from the *live* group size
+/// instead of hard-coding one constant for every scale.
+pub fn derived_gossip_ttl(group_size: usize, fanout: usize) -> u32 {
+    let fanout = fanout.max(2);
+    let mut rounds: u32 = 0;
+    let mut covered: usize = 1;
+    while covered < group_size {
+        covered = covered.saturating_mul(fanout);
+        rounds += 1;
+    }
+    (rounds + 1).clamp(4, 12)
+}
+
 /// The rule-based policy used by the prototype, encoding the trade-offs the
 /// paper motivates, evaluated in priority order:
 ///
 /// 1. **Hybrid group** (some participants fixed, some mobile) → the Mecho
 ///    stack, with the best-resourced fixed node as relay.
 /// 2. **Large group** (at or above `large_group_threshold`) → epidemic
-///    multicast.
+///    multicast, with `ttl` derived from the live view size
+///    ([`derived_gossip_ttl`]) unless pinned by `gossip_ttl`.
 /// 3. **High error rate** (at or above `fec_error_threshold`) → forward error
 ///    correction ("mask the errors").
 /// 4. **Moderate error rate** (at or above `retransmit_error_threshold`) →
@@ -28,7 +50,9 @@ pub struct DefaultPolicy {
     pub fec_k: usize,
     /// Gossip fan-out used when gossip is selected.
     pub gossip_fanout: usize,
-    /// Gossip TTL used when gossip is selected.
+    /// Gossip TTL used when gossip is selected. `0` (the default) derives
+    /// the TTL from the live group size at evaluation time; a non-zero
+    /// value pins it.
     pub gossip_ttl: u32,
 }
 
@@ -40,7 +64,7 @@ impl Default for DefaultPolicy {
             retransmit_error_threshold: 0.005,
             fec_k: 4,
             gossip_fanout: 3,
-            gossip_ttl: 4,
+            gossip_ttl: 0,
         }
     }
 }
@@ -87,9 +111,14 @@ impl AdaptationPolicy for DefaultPolicy {
             return Some(StackKind::HybridMecho { relay });
         }
         if context.group_size() >= self.large_group_threshold {
+            let ttl = if self.gossip_ttl == 0 {
+                derived_gossip_ttl(context.group_size(), self.gossip_fanout)
+            } else {
+                self.gossip_ttl
+            };
             return Some(StackKind::Gossip {
                 fanout: self.gossip_fanout,
-                ttl: self.gossip_ttl,
+                ttl,
             });
         }
         let error_rate = context.store.max_error_rate();
@@ -166,6 +195,51 @@ mod tests {
         let context = context_with(snapshots);
         let decision = DefaultPolicy::default().evaluate(&context).unwrap();
         assert!(matches!(decision, StackKind::Gossip { .. }));
+    }
+
+    #[test]
+    fn gossip_ttl_derives_from_the_live_group_size() {
+        // fanout 3: 3^3 = 27 covers 20 → 3 rounds + 1 slack, floored at 4.
+        assert_eq!(derived_gossip_ttl(20, 3), 4);
+        // 3^4 = 81 covers 50 → 5; 3^5 = 243 covers 100 → 6; 250 needs 6 → 7.
+        assert_eq!(derived_gossip_ttl(50, 3), 5);
+        assert_eq!(derived_gossip_ttl(100, 3), 6);
+        assert_eq!(derived_gossip_ttl(250, 3), 7);
+        // Tiny groups keep the historical default; huge ones are capped.
+        assert_eq!(derived_gossip_ttl(2, 3), 4);
+        assert_eq!(derived_gossip_ttl(usize::MAX, 2), 12);
+
+        // The policy wires the derivation: a 250-member view gets a deeper
+        // push phase than a 20-member one, without any parameter change.
+        let small = context_with((0..20).map(fixed).collect());
+        let large = context_with((0..250).map(fixed).collect());
+        let policy = DefaultPolicy::default();
+        let Some(StackKind::Gossip {
+            fanout: f1,
+            ttl: t1,
+        }) = policy.evaluate(&small)
+        else {
+            panic!("small large-group context must select gossip");
+        };
+        let Some(StackKind::Gossip {
+            fanout: f2,
+            ttl: t2,
+        }) = policy.evaluate(&large)
+        else {
+            panic!("250-member context must select gossip");
+        };
+        assert_eq!((f1, t1), (3, 4));
+        assert_eq!((f2, t2), (3, 7));
+
+        // A pinned TTL bypasses the derivation.
+        let pinned = DefaultPolicy {
+            gossip_ttl: 9,
+            ..DefaultPolicy::default()
+        };
+        let Some(StackKind::Gossip { ttl, .. }) = pinned.evaluate(&large) else {
+            panic!("pinned policy must still select gossip");
+        };
+        assert_eq!(ttl, 9);
     }
 
     #[test]

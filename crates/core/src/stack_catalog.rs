@@ -24,6 +24,7 @@ pub struct StackCatalog {
     retransmit_interval_ms: u64,
     round_timeout_ms: u64,
     transfer_chunk_bytes: usize,
+    gossip_repair_interval_ms: u64,
     rejoining: bool,
 }
 
@@ -40,6 +41,7 @@ impl StackCatalog {
             retransmit_interval_ms: 500,
             round_timeout_ms: 4000,
             transfer_chunk_bytes: 1024,
+            gossip_repair_interval_ms: 1000,
             rejoining: false,
         }
     }
@@ -73,6 +75,13 @@ impl StackCatalog {
         self
     }
 
+    /// Overrides the epidemic repair-pass cadence of generated gossip stacks
+    /// (`0` disables the NACK/anti-entropy repair).
+    pub fn with_gossip_repair(mut self, interval_ms: u64) -> Self {
+        self.gossip_repair_interval_ms = interval_ms;
+        self
+    }
+
     /// Marks generated stacks as belonging to a restarted node re-entering
     /// the group (vsync starts with an empty view; the recovery layer drives
     /// re-admission and state transfer).
@@ -98,6 +107,7 @@ impl StackCatalog {
             .fd_fanout(self.fd_fanout)
             .view_change_timing(self.retransmit_interval_ms, self.round_timeout_ms)
             .transfer_chunk_bytes(self.transfer_chunk_bytes)
+            .gossip_repair_interval_ms(self.gossip_repair_interval_ms)
             .rejoining(self.rejoining)
     }
 

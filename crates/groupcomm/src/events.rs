@@ -46,6 +46,26 @@ sendable_event! {
 }
 
 sendable_event! {
+    /// Periodic gossip-repair digest: the spans of messages the sender's
+    /// repair log can serve (header: [`crate::headers::RepairDigest`]).
+    pub struct GossipRepairDigest, class: Control
+}
+
+sendable_event! {
+    /// NACK pull of the epidemic repair pass: the message identifiers the
+    /// sender misses and pulls from the digest's sender (header:
+    /// [`crate::headers::RepairPull`]).
+    pub struct GossipRepairPull, class: Control
+}
+
+sendable_event! {
+    /// Answer to a [`GossipRepairPull`]: one logged message, re-streamed to
+    /// the puller (header: [`crate::headers::RepairPushHeader`]; payload:
+    /// the original message bytes).
+    pub struct GossipRepairPush, class: Control
+}
+
+sendable_event! {
     /// A forward-error-correction parity block covering a window of data
     /// messages (header: [`crate::headers::FecParityHeader`]).
     pub struct FecParity, class: Control
@@ -98,6 +118,17 @@ internal_event! {
 internal_event! {
     /// Unblocks a previously blocked channel and re-emits buffered sends.
     pub struct ResumeRequest {}
+    categories: [Internal]
+}
+
+internal_event! {
+    /// Raised by the recovery layer when a never-crashed member detects it
+    /// was expelled from the group by a false suspicion (its failure
+    /// detector ended up suspecting every other view member). The
+    /// view-synchrony layer above answers by resetting into *joining* mode —
+    /// empty view, channel blocked — so the node re-enters through the same
+    /// join path a restarted node uses.
+    pub struct Rejoin {}
     categories: [Internal]
 }
 

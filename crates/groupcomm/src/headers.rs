@@ -91,11 +91,22 @@ impl Wire for NackHeader {
 }
 
 /// Header of a gossip-forwarded message.
+///
+/// A message is globally identified by `(origin, inc, seq)`: `seq` is dense
+/// (the origin's gossip session numbers group sends 1, 2, 3, …) *within* one
+/// `inc`arnation — the session's creation time, which distinguishes the
+/// sequence spaces of a node that restarted or had its gossip stack
+/// redeployed. Receivers track delivery and compute repair gaps per
+/// `(origin, inc)` pair, so a fresh session restarting at `seq = 1` can
+/// never be mistaken for duplicates of the previous incarnation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GossipHeader {
     /// The node that originated the message.
     pub origin: NodeId,
-    /// Origin-assigned sequence number (unique per origin).
+    /// Origin-session incarnation (session creation time, in milliseconds).
+    pub inc: u64,
+    /// Origin-assigned sequence number, dense within `inc` (unique per
+    /// origin and incarnation).
     pub seq: u64,
     /// Remaining number of forwarding rounds.
     pub ttl: u32,
@@ -104,6 +115,7 @@ pub struct GossipHeader {
 impl Wire for GossipHeader {
     fn encode(&self, w: &mut WireWriter) {
         self.origin.encode(w);
+        w.put_u64(self.inc);
         w.put_u64(self.seq);
         w.put_u32(self.ttl);
     }
@@ -111,8 +123,141 @@ impl Wire for GossipHeader {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(Self {
             origin: NodeId::decode(r)?,
+            inc: r.get_u64()?,
             seq: r.get_u64()?,
             ttl: r.get_u32()?,
+        })
+    }
+}
+
+/// One entry of a [`RepairDigest`]: the contiguous-ish span of an origin's
+/// messages the digest sender holds in its repair log and can serve on a
+/// NACK pull. `lo`/`hi` are the smallest and largest logged sequence
+/// numbers of that `(origin, inc)` stream (log eviction trims from `lo`
+/// upward, so the span is dense in the common case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairRange {
+    /// The stream's originating node.
+    pub origin: NodeId,
+    /// The stream's incarnation (see [`GossipHeader::inc`]).
+    pub inc: u64,
+    /// Smallest logged sequence number.
+    pub lo: u64,
+    /// Largest logged sequence number.
+    pub hi: u64,
+}
+
+impl Wire for RepairRange {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64(self.inc);
+        w.put_u64(self.lo);
+        w.put_u64(self.hi);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            inc: r.get_u64()?,
+            lo: r.get_u64()?,
+            hi: r.get_u64()?,
+        })
+    }
+}
+
+/// Body of a gossip repair digest: per origin stream, the span of messages
+/// the sender's bounded repair log currently holds. Receivers compare the
+/// spans against their own delivery record and NACK-pull the gaps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairDigest {
+    /// One entry per `(origin, inc)` stream held in the repair log.
+    pub entries: Vec<RepairRange>,
+}
+
+impl Wire for RepairDigest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            entry.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // Every entry occupies 28 wire bytes; reject adversarial counts
+        // before allocating.
+        if count > r.remaining() / 28 {
+            return Err(WireError::Malformed("repair digest count exceeds payload"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(RepairRange::decode(r)?);
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Body of a gossip repair pull (the NACK): the exact message identifiers
+/// the sender is missing and believes the addressed peer can serve.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairPull {
+    /// `(origin, inc, missing sequence numbers)` per stream.
+    pub wants: Vec<(NodeId, u64, Vec<u64>)>,
+}
+
+impl Wire for RepairPull {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.wants.len() as u32);
+        for (origin, inc, seqs) in &self.wants {
+            origin.encode(w);
+            w.put_u64(*inc);
+            w.put_u64_list(seqs);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // Every entry occupies at least 16 wire bytes (node + inc + an empty
+        // list's length prefix); reject adversarial counts before allocating.
+        if count > r.remaining() / 16 {
+            return Err(WireError::Malformed("repair pull count exceeds payload"));
+        }
+        let mut wants = Vec::with_capacity(count);
+        for _ in 0..count {
+            let origin = NodeId::decode(r)?;
+            let inc = r.get_u64()?;
+            let seqs = r.get_u64_list()?;
+            wants.push((origin, inc, seqs));
+        }
+        Ok(Self { wants })
+    }
+}
+
+/// Header of a gossip repair push: identifies the logged message whose
+/// original bytes (higher-layer headers plus payload) follow in the
+/// carrying message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairPushHeader {
+    /// The stream's originating node.
+    pub origin: NodeId,
+    /// The stream's incarnation.
+    pub inc: u64,
+    /// The repaired message's sequence number.
+    pub seq: u64,
+}
+
+impl Wire for RepairPushHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64(self.inc);
+        w.put_u64(self.seq);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            inc: r.get_u64()?,
+            seq: r.get_u64()?,
         })
     }
 }
@@ -334,8 +479,34 @@ mod tests {
         });
         roundtrip(GossipHeader {
             origin: NodeId(1),
+            inc: 12,
             seq: 77,
             ttl: 3,
+        });
+        roundtrip(RepairDigest {
+            entries: vec![
+                RepairRange {
+                    origin: NodeId(1),
+                    inc: 12,
+                    lo: 3,
+                    hi: 9,
+                },
+                RepairRange {
+                    origin: NodeId(4),
+                    inc: 0,
+                    lo: 1,
+                    hi: 1,
+                },
+            ],
+        });
+        roundtrip(RepairDigest::default());
+        roundtrip(RepairPull {
+            wants: vec![(NodeId(1), 12, vec![4, 5]), (NodeId(4), 0, vec![1])],
+        });
+        roundtrip(RepairPushHeader {
+            origin: NodeId(1),
+            inc: 12,
+            seq: 4,
         });
         roundtrip(LivenessDigest {
             entries: vec![(NodeId(0), 12), (NodeId(7), 3)],
@@ -375,6 +546,19 @@ mod tests {
         NodeId(1).encode(&mut w);
         w.put_u64(7);
         assert!(LivenessDigest::from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn adversarial_repair_counts_are_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        NodeId(1).encode(&mut w);
+        assert!(RepairDigest::from_bytes(&w.finish()).is_err());
+
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        NodeId(1).encode(&mut w);
+        assert!(RepairPull::from_bytes(&w.finish()).is_err());
     }
 
     #[test]

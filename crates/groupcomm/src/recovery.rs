@@ -44,7 +44,7 @@ use morpheus_appia::sendable_event;
 use morpheus_appia::session::Session;
 use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 
-use crate::events::{JoinRequest, Suspect, ViewInstall};
+use crate::events::{Alive, JoinRequest, Rejoin, Suspect, ViewInstall};
 use crate::view::View;
 
 /// Registered name of the recovery / state-transfer layer.
@@ -207,13 +207,14 @@ impl Layer for RecoveryLayer {
             EventSpec::of::<ViewInstall>(),
             EventSpec::of::<DataEvent>(),
             EventSpec::of::<Suspect>(),
+            EventSpec::of::<Alive>(),
             EventSpec::of::<StateRequest>(),
             EventSpec::of::<StateChunk>(),
         ]
     }
 
     fn provided_events(&self) -> Vec<&'static str> {
-        vec!["JoinRequest", "StateRequest", "StateChunk"]
+        vec!["JoinRequest", "Rejoin", "StateRequest", "StateChunk"]
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
@@ -231,6 +232,8 @@ impl Layer for RecoveryLayer {
             retry_ms: param_or(params, "retry_ms", 500u64).max(10),
             transfer_timeout_ms: param_or(params, "transfer_timeout_ms", 4000u64).max(100),
             chunk_bytes: param_or(params, "chunk_bytes", 1024usize).max(16),
+            self_heal: param_or(params, "self_heal", true),
+            suspected: BTreeSet::new(),
             serving: HashMap::new(),
             timer: None,
             phase_started_ms: 0,
@@ -296,6 +299,13 @@ pub struct RecoverySession {
     retry_ms: u64,
     transfer_timeout_ms: u64,
     chunk_bytes: usize,
+    /// Whether the expelled-but-alive detection is armed (default true).
+    self_heal: bool,
+    /// Members of the current view the local failure detector suspects —
+    /// the input of the expelled-but-alive detection: when *every* other
+    /// view member is suspected at once, the local node is overwhelmingly
+    /// the one that was cut off.
+    suspected: BTreeSet<NodeId>,
     serving: HashMap<NodeId, OutgoingTransfer>,
     timer: Option<u64>,
     phase_started_ms: u64,
@@ -636,6 +646,40 @@ impl RecoverySession {
         }
     }
 
+    /// Expelled-but-alive detection: a never-crashed member whose failure
+    /// detector ends up suspecting *every* other view member is, with
+    /// overwhelming likelihood, the one the group expelled (a false
+    /// suspicion, a partition). It re-enters through the existing joining
+    /// path: the vsync layer above is reset into joining mode via a
+    /// [`Rejoin`] event, and the node multicasts [`JoinRequest`]s like a
+    /// restarted node would. The threshold of two suspected peers keeps the
+    /// legitimate last-survivor case (a 2-member group whose peer crashes)
+    /// from blocking itself.
+    fn maybe_self_heal(&mut self, ctx: &mut EventContext<'_>) {
+        if !self.self_heal || !matches!(self.phase, Phase::Member) {
+            return;
+        }
+        let local = ctx.node_id();
+        let Some(view) = &self.view else {
+            return;
+        };
+        let others = view.others(local);
+        if others.len() < 2 || !others.iter().all(|member| self.suspected.contains(member)) {
+            return;
+        }
+        self.suspected.clear();
+        self.phase = Phase::Joining;
+        self.phase_started_ms = ctx.now_ms();
+        ctx.deliver(DeliveryKind::Notification(
+            "every other view member suspected: assuming false-suspicion expulsion, \
+             re-entering through the joining path"
+                .into(),
+        ));
+        ctx.dispatch(Event::up(Rejoin {}));
+        self.send_join_request(ctx);
+        self.arm_timer(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut EventContext<'_>) {
         let now = ctx.now_ms();
         match &self.phase {
@@ -693,6 +737,7 @@ impl Session for RecoverySession {
         if let Some(install) = event.get::<ViewInstall>() {
             let view = install.view.clone();
             self.serving.retain(|node, _| view.contains(*node));
+            self.suspected.retain(|node| view.contains(*node));
             let admitted = matches!(self.phase, Phase::Joining) && view.contains(ctx.node_id());
             self.view = Some(view.clone());
             if admitted {
@@ -723,11 +768,23 @@ impl Session for RecoverySession {
 
         if let Some(suspect) = event.get::<Suspect>() {
             let node = suspect.node;
+            self.suspected.insert(node);
             let donor_died = matches!(&self.phase, Phase::Syncing(sync)
                 if sync.donor() == Some(node));
             if donor_died {
                 self.failover("donor suspected", ctx);
             }
+            // The self-heal trigger runs before the suspicion is forwarded,
+            // so the Rejoin reset reaches vsync ahead of the Suspect that
+            // completed the everyone-is-suspected condition — the expelled
+            // node never installs a delusional solo view.
+            self.maybe_self_heal(ctx);
+            ctx.forward(event);
+            return;
+        }
+
+        if let Some(alive) = event.get::<Alive>() {
+            self.suspected.remove(&alive.node);
             ctx.forward(event);
             return;
         }
@@ -967,6 +1024,8 @@ mod tests {
             retry_ms: 100,
             transfer_timeout_ms: 1000,
             chunk_bytes: 16,
+            self_heal: true,
+            suspected: BTreeSet::new(),
             serving: HashMap::new(),
             timer: None,
             phase_started_ms: 0,
@@ -1210,6 +1269,86 @@ mod tests {
         assert_eq!(again.len(), 1);
         assert_eq!(again[0].0.version, version, "cached snapshot version");
         assert_eq!(again[0].1, first[0].1, "identical chunk bytes");
+    }
+
+    #[test]
+    fn suspecting_every_other_member_triggers_the_rejoin_path() {
+        // Expelled-but-alive self-heal: a member (never crashed) whose
+        // failure detector ends up suspecting everyone else concludes it
+        // was the one expelled and re-enters through the joining path.
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut recovery = Harness::new(
+            RecoveryLayer::new(),
+            &params(&[0, 1, 2], false),
+            &mut platform,
+        );
+        install_view(&mut recovery, &mut platform, &[0, 1, 2]);
+
+        // One of two peers suspected: no reaction yet.
+        let up = recovery.run_up(Event::up(Suspect { node: NodeId(0) }), &mut platform);
+        assert!(up.iter().any(|event| event.is::<Suspect>()));
+        assert!(up.iter().all(|event| !event.is::<Rejoin>()));
+        assert!(recovery
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<JoinRequest>()));
+
+        // The second suspicion completes the condition: the Rejoin reset is
+        // dispatched upward *before* the suspicion itself, and join
+        // requests go out to the boot membership.
+        let up = recovery.run_up(Event::up(Suspect { node: NodeId(1) }), &mut platform);
+        let rejoin_at = up.iter().position(|event| event.is::<Rejoin>());
+        let suspect_at = up.iter().position(|event| event.is::<Suspect>());
+        assert!(rejoin_at.is_some(), "the vsync reset is raised");
+        assert!(
+            rejoin_at < suspect_at,
+            "the reset must reach vsync before the final suspicion"
+        );
+        let down = recovery.drain_down();
+        assert!(down.iter().any(|event| event.is::<JoinRequest>()));
+
+        // Re-admission (a view containing the node) starts the state pull,
+        // exactly like a restarted node's rejoin.
+        let pulls = requests(&install_view(&mut recovery, &mut platform, &[0, 1, 2]));
+        assert_eq!(pulls.len(), 1, "re-admission starts the snapshot pull");
+        assert_eq!(pulls[0].0, NodeId(0), "lowest live id donates");
+    }
+
+    #[test]
+    fn an_alive_member_resets_the_self_heal_evidence() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut recovery = Harness::new(
+            RecoveryLayer::new(),
+            &params(&[0, 1, 2], false),
+            &mut platform,
+        );
+        install_view(&mut recovery, &mut platform, &[0, 1, 2]);
+
+        recovery.run_up(Event::up(Suspect { node: NodeId(0) }), &mut platform);
+        let healed = recovery.run_up(Event::up(Alive { node: NodeId(0) }), &mut platform);
+        assert!(
+            healed.iter().any(|event| event.is::<Alive>()),
+            "alive notifications keep flowing upward"
+        );
+        // Node 1's suspicion alone no longer completes the condition.
+        let up = recovery.run_up(Event::up(Suspect { node: NodeId(1) }), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<Rejoin>()));
+    }
+
+    #[test]
+    fn two_member_groups_never_self_heal() {
+        // The last survivor of a 2-member group legitimately suspects
+        // "everyone"; it must keep running solo, not block itself joining.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut recovery =
+            Harness::new(RecoveryLayer::new(), &params(&[1, 2], false), &mut platform);
+        install_view(&mut recovery, &mut platform, &[1, 2]);
+        let up = recovery.run_up(Event::up(Suspect { node: NodeId(2) }), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<Rejoin>()));
+        assert!(recovery
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<JoinRequest>()));
     }
 
     #[test]

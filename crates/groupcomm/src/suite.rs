@@ -15,7 +15,8 @@ use morpheus_appia::platform::NodeId;
 use crate::beb::BebLayer;
 use crate::causal::CausalLayer;
 use crate::events::{
-    FecParity, FlushAck, Heartbeat, JoinRequest, NackRequest, OrderInfo, ViewCommit, ViewPrepare,
+    FecParity, FlushAck, GossipRepairDigest, GossipRepairPull, GossipRepairPush, Heartbeat,
+    JoinRequest, NackRequest, OrderInfo, ViewCommit, ViewPrepare,
 };
 use crate::failure_detector::FailureDetectorLayer;
 use crate::fec::FecLayer;
@@ -50,6 +51,9 @@ pub fn register_suite(kernel: &mut Kernel) {
     let events = kernel.events_mut();
     Heartbeat::register(events);
     NackRequest::register(events);
+    GossipRepairDigest::register(events);
+    GossipRepairPull::register(events);
+    GossipRepairPush::register(events);
     ViewPrepare::register(events);
     FlushAck::register(events);
     ViewCommit::register(events);
@@ -128,6 +132,7 @@ pub struct StackBuilder {
     round_timeout_ms: u64,
     vsync_gossip_threshold: usize,
     transfer_chunk_bytes: usize,
+    gossip_repair_interval_ms: u64,
     joining: bool,
 }
 
@@ -149,6 +154,7 @@ impl StackBuilder {
             round_timeout_ms: 4000,
             vsync_gossip_threshold: 50,
             transfer_chunk_bytes: 1024,
+            gossip_repair_interval_ms: 1000,
             joining: false,
         }
     }
@@ -254,6 +260,13 @@ impl StackBuilder {
         self
     }
 
+    /// Overrides the epidemic repair-pass cadence of gossip stacks (`0`
+    /// disables the NACK/anti-entropy repair, leaving the pure push phase).
+    pub fn gossip_repair_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.gossip_repair_interval_ms = interval_ms;
+        self
+    }
+
     /// Marks the stack as belonging to a restarted node re-entering the
     /// group: vsync starts with an empty view (blocked) and the recovery
     /// layer drives re-admission plus state transfer.
@@ -292,7 +305,11 @@ impl StackBuilder {
             Multicast::Gossip { fanout, ttl } => LayerSpec::new("gossip")
                 .with_param("members", &members)
                 .with_param("fanout", fanout.to_string())
-                .with_param("ttl", ttl.to_string()),
+                .with_param("ttl", ttl.to_string())
+                .with_param(
+                    "repair_interval_ms",
+                    self.gossip_repair_interval_ms.to_string(),
+                ),
         });
 
         match self.reliability {

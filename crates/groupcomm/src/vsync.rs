@@ -56,8 +56,8 @@ use morpheus_appia::platform::{DeliveryKind, NodeId};
 use morpheus_appia::session::Session;
 
 use crate::events::{
-    Alive, BlockRequest, FlushAck, JoinRequest, ResumeRequest, Suspect, ViewCommit, ViewInstall,
-    ViewPrepare,
+    Alive, BlockRequest, FlushAck, JoinRequest, Rejoin, ResumeRequest, Suspect, ViewCommit,
+    ViewInstall, ViewPrepare,
 };
 use crate::gossip::sample_peers;
 use crate::headers::FlushBody;
@@ -110,6 +110,7 @@ impl Layer for VsyncLayer {
             EventSpec::of::<FlushAck>(),
             EventSpec::of::<ViewCommit>(),
             EventSpec::of::<JoinRequest>(),
+            EventSpec::of::<Rejoin>(),
             EventSpec::of::<BlockRequest>(),
             EventSpec::of::<ResumeRequest>(),
             EventSpec::of::<TimerExpired>(),
@@ -699,6 +700,26 @@ impl Session for VsyncSession {
         if let Some(alive) = event.get::<Alive>() {
             // A false suspicion healed before the removal ran: drop it.
             self.pending_removals.remove(&alive.node);
+            return;
+        }
+
+        if event.is::<Rejoin>() {
+            // The recovery layer detected the local node was expelled while
+            // alive: reset into joining mode — empty view, channel blocked,
+            // fresh ballot state — exactly how a restarted node boots, so
+            // the node re-enters through the same join path. Buffered sends
+            // are kept and released when the join view installs.
+            self.joining = true;
+            self.blocked = true;
+            self.round = None;
+            self.cancel_round_timer(ctx);
+            self.pending_removals.clear();
+            self.pending_joins.clear();
+            self.committed = None;
+            self.epoch = 0;
+            self.epoch_holder = NodeId(0);
+            self.installed_ballot = (0, NodeId(0));
+            self.view = View::new(0, Vec::new());
             return;
         }
 
@@ -1613,6 +1634,44 @@ mod tests {
             &mut platform,
         );
         assert!(view_changes(&mut platform).is_empty());
+    }
+
+    #[test]
+    fn a_rejoin_reset_reenters_joining_mode() {
+        let mut platform = TestPlatform::new(NodeId(3));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // A round is in flight when the reset arrives: all of it is wiped.
+        vsync.run_up(Event::up(Suspect { node: NodeId(1) }), &mut platform);
+        vsync.run_up(Event::up(Rejoin {}), &mut platform);
+        vsync.drain_down();
+
+        // Sends are buffered while re-joining.
+        let held = vsync.run_down(
+            Event::down(DataEvent::to_group(NodeId(3), Message::new())),
+            &mut platform,
+        );
+        assert!(held.iter().all(|event| !event.is::<DataEvent>()));
+
+        // The group re-admits the node (any ballot: joining mode accepts
+        // every view containing the local node); the buffered send flows.
+        let readmitted = View::new(4, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        vsync.run_up(
+            Event::up(ViewCommit::new(
+                NodeId(1),
+                Dest::Node(NodeId(3)),
+                round_message(2, &readmitted),
+            )),
+            &mut platform,
+        );
+        let changes = view_changes(&mut platform);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].1, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(vsync
+            .drain_down()
+            .iter()
+            .any(|event| event.is::<DataEvent>()));
     }
 
     #[test]

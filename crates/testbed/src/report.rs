@@ -86,6 +86,32 @@ pub struct NodeReport {
     /// The node's last completed rejoin, when it restarted and made it back
     /// into the group.
     pub rejoin: Option<RejoinReport>,
+    /// Counters of the node's epidemic data stack at the end of the run
+    /// (`None` when the final stack is not gossip-based).
+    pub gossip: Option<GossipReport>,
+}
+
+/// End-of-run counters of one node's epidemic (gossip) data stack: the
+/// push phase plus the NACK/anti-entropy repair pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GossipReport {
+    /// Push-phase forwards performed.
+    pub forwarded: u64,
+    /// Push-phase duplicates suppressed.
+    pub duplicates: u64,
+    /// Repair digests gossiped.
+    pub repair_digests: u64,
+    /// NACK pulls sent.
+    pub repair_pulls: u64,
+    /// Message identifiers requested across all pulls.
+    pub repair_pulled_seqs: u64,
+    /// Logged messages served in answer to pulls.
+    pub repair_pushes: u64,
+    /// Messages delivered through the repair pass (gaps the push phase
+    /// missed).
+    pub repaired_deliveries: u64,
+    /// Late duplicates suppressed by the delivery tracker.
+    pub late_duplicates: u64,
 }
 
 impl NodeReport {
@@ -122,6 +148,14 @@ pub struct RunReport {
     /// at delivery time — in-flight traffic towards a dead member, kept out
     /// of `messages_lost` so the safety metric covers live members only.
     pub messages_lost_to_crashed: u64,
+    /// Data-channel packets dropped by the runner's injected
+    /// [`crate::Scenario::data_loss`] — the loss the epidemic repair pass
+    /// masks. Kept out of `messages_lost`, which remains the live-link
+    /// safety metric.
+    pub data_dropped: u64,
+    /// Packets (all classes, both directions) dropped because a node was
+    /// partitioned ([`crate::Scenario::with_partition`]).
+    pub partition_dropped: u64,
     /// Per-node measurements, in node-id order.
     pub nodes: Vec<NodeReport>,
 }
@@ -207,6 +241,38 @@ impl RunReport {
             .and_then(|times| times.into_iter().max())
     }
 
+    /// Epidemic delivery coverage of a many-to-many chat: total application
+    /// deliveries over the expected count (`messages × (receivers − 1)` per
+    /// sender — nodes do not self-deliver). Deliberately *not* clamped: a
+    /// value above 1.0 means duplicate deliveries reached the application,
+    /// which is as much a delivery-guarantee violation as a gap — callers
+    /// assert both sides. Meaningful for crash-free runs on any multicast
+    /// stack.
+    pub fn delivery_coverage(&self, senders: usize, messages_per_sender: u64) -> f64 {
+        let expected = senders as u64 * messages_per_sender * (self.devices as u64 - 1);
+        if expected == 0 {
+            return 1.0;
+        }
+        self.total_app_deliveries() as f64 / expected as f64
+    }
+
+    /// Sum of the per-node gossip repair counters (zeros when no node ended
+    /// on an epidemic stack).
+    pub fn gossip_totals(&self) -> GossipReport {
+        let mut totals = GossipReport::default();
+        for gossip in self.nodes.iter().filter_map(|node| node.gossip.as_ref()) {
+            totals.forwarded += gossip.forwarded;
+            totals.duplicates += gossip.duplicates;
+            totals.repair_digests += gossip.repair_digests;
+            totals.repair_pulls += gossip.repair_pulls;
+            totals.repair_pulled_seqs += gossip.repair_pulled_seqs;
+            totals.repair_pushes += gossip.repair_pushes;
+            totals.repaired_deliveries += gossip.repaired_deliveries;
+            totals.late_duplicates += gossip.late_duplicates;
+        }
+        totals
+    }
+
     /// Every completed rejoin, in node order.
     pub fn rejoins(&self) -> Vec<(NodeId, &RejoinReport)> {
         self.nodes
@@ -290,6 +356,16 @@ mod tests {
             min_view_members: Some(2),
             restarts: 0,
             rejoin: None,
+            gossip: Some(GossipReport {
+                forwarded: 10,
+                duplicates: 2,
+                repair_digests: 3,
+                repair_pulls: 1,
+                repair_pulled_seqs: 2,
+                repair_pushes: 1,
+                repaired_deliveries: 1,
+                late_duplicates: 0,
+            }),
         }
     }
 
@@ -303,6 +379,8 @@ mod tests {
             messages_lost: 0,
             control_lost: 4,
             messages_lost_to_crashed: 0,
+            data_dropped: 0,
+            partition_dropped: 0,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
         }
     }
@@ -322,6 +400,20 @@ mod tests {
         assert_eq!(rounds.len(), 2);
         assert_eq!(rounds[0].epoch, 1, "rounds come out in epoch order");
         assert_eq!(report.total_retransmits(), 1);
+    }
+
+    #[test]
+    fn gossip_totals_and_coverage_aggregate() {
+        let report = report();
+        let totals = report.gossip_totals();
+        assert_eq!(totals.forwarded, 20);
+        assert_eq!(totals.repaired_deliveries, 2);
+        // 2 devices, 10 total deliveries: a ratio, unclamped — over-delivery
+        // (duplicates reaching the app) must be visible, not masked.
+        assert_eq!(report.delivery_coverage(2, 5), 1.0);
+        assert_eq!(report.delivery_coverage(1, 5), 2.0, "over-delivery shows");
+        assert!(report.delivery_coverage(3, 5) < 1.0);
+        assert_eq!(report.delivery_coverage(0, 5), 1.0, "degenerate workload");
     }
 
     #[test]

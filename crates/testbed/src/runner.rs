@@ -17,7 +17,7 @@ use morpheus_netsim::{
 };
 
 use crate::platform::SimPlatform;
-use crate::report::{NodeReport, RejoinReport, RoundReport, RunReport};
+use crate::report::{GossipReport, NodeReport, RejoinReport, RoundReport, RunReport};
 use crate::scenario::{Scenario, TopologyChoice};
 
 /// Per-node application bindings for a run.
@@ -100,6 +100,8 @@ struct NodeTally {
     reconfig_errors: u64,
     packet_errors: u64,
     control_dropped: u64,
+    data_dropped: u64,
+    partition_dropped: u64,
     context_converged_ms: Option<u64>,
     min_view_members: Option<usize>,
     restarts: u64,
@@ -143,9 +145,12 @@ impl Runner {
         let mut platforms: Vec<SimPlatform> = Vec::with_capacity(members.len());
         let mut tallies: Vec<NodeTally> = vec![NodeTally::default(); members.len()];
         let mut incarnations: Vec<u32> = vec![0; members.len()];
-        // The channel [`Scenario::control_loss`] degrades — read from the
-        // same options every node is built with, not hardcoded.
-        let control_channel = node_options(scenario, &members, false).control_channel;
+        // The channels [`Scenario::control_loss`] / [`Scenario::data_loss`]
+        // degrade — read from the same options every node is built with,
+        // not hardcoded.
+        let boot_options = node_options(scenario, &members, false);
+        let control_channel = boot_options.control_channel;
+        let data_channel = boot_options.data_channel;
 
         for member in &members {
             let (node, platform) = build_node(scenario, &members, *member, 0, 0, &network, binding);
@@ -161,6 +166,7 @@ impl Runner {
                 SimTime::ZERO,
                 scenario,
                 &control_channel,
+                &data_channel,
                 &mut nodes,
                 &mut platforms,
                 &mut tallies,
@@ -265,6 +271,7 @@ impl Runner {
                     time,
                     scenario,
                     &control_channel,
+                    &data_channel,
                     &mut nodes,
                     &mut platforms,
                     &mut tallies,
@@ -319,9 +326,16 @@ impl Runner {
                             payload: payload.bytes,
                         });
                     }
-                    tallies[index].packet_errors += nodes[index]
-                        .deliver_packet_batch(batch.drain(..), &mut platforms[index])
-                        as u64;
+                    if scenario.is_partitioned(to, time.as_millis()) {
+                        // The node is cut off: everything addressed to it in
+                        // this instant is dropped at its network interface.
+                        tallies[index].partition_dropped += batch.len() as u64;
+                        batch.clear();
+                    } else {
+                        tallies[index].packet_errors += nodes[index]
+                            .deliver_packet_batch(batch.drain(..), &mut platforms[index])
+                            as u64;
+                    }
                 }
                 SimEvent::Timer {
                     key, incarnation, ..
@@ -350,6 +364,7 @@ impl Runner {
                 time,
                 scenario,
                 &control_channel,
+                &data_channel,
                 &mut nodes,
                 &mut platforms,
                 &mut tallies,
@@ -376,6 +391,7 @@ fn node_options(scenario: &Scenario, members: &[NodeId], rejoining: bool) -> Nod
     options.retransmit_interval_ms = scenario.retransmit_interval_ms;
     options.round_timeout_ms = scenario.round_timeout_ms;
     options.control_fanout = scenario.control_fanout;
+    options.gossip_repair_interval_ms = scenario.repair_interval_ms;
     options.transfer_chunk_bytes = scenario.transfer_chunk_bytes;
     options.rejoining = rejoining;
     for (key, value) in &scenario.core_params {
@@ -482,6 +498,7 @@ fn flush_node(
     now: SimTime,
     scenario: &Scenario,
     control_channel: &str,
+    data_channel: &str,
     nodes: &mut [MorpheusNode],
     platforms: &mut [SimPlatform],
     tallies: &mut [NodeTally],
@@ -505,18 +522,30 @@ fn flush_node(
             }
         }
 
-        // 2. Outgoing packets. When the scenario degrades the control plane,
-        //    packets on the control channel are dropped here with the run's
-        //    rng — the data channel (and its membership handshake) keeps the
-        //    link model's own characteristics, so the experiment isolates the
-        //    reconfiguration protocol's loss tolerance.
+        // 2. Outgoing packets. When the scenario degrades the control plane
+        //    (or, for repair experiments, the data channel), packets on that
+        //    channel are dropped here with the run's rng, accounted
+        //    separately from the link model's own losses — so each
+        //    experiment isolates the loss tolerance of one protocol.
+        //    A partitioned node's traffic is dropped wholesale.
         for out in platforms[index].take_packets() {
             progressed = true;
+            if scenario.is_partitioned(NodeId(index as u32), now.as_millis()) {
+                tallies[index].partition_dropped += 1;
+                continue;
+            }
             if scenario.control_loss > 0.0
                 && out.channel.as_str() == control_channel
                 && rng.chance(scenario.control_loss)
             {
                 tallies[index].control_dropped += 1;
+                continue;
+            }
+            if scenario.data_loss > 0.0
+                && out.channel.as_str() == data_channel
+                && rng.chance(scenario.data_loss)
+            {
+                tallies[index].data_dropped += 1;
                 continue;
             }
             let target = match out.dest {
@@ -680,6 +709,16 @@ fn build_report(
             min_view_members: tally.min_view_members,
             restarts: tally.restarts,
             rejoin: tally.rejoin.clone(),
+            gossip: node.gossip_stats().map(|stats| GossipReport {
+                forwarded: stats.forwarded,
+                duplicates: stats.duplicates,
+                repair_digests: stats.repair_digests,
+                repair_pulls: stats.repair_pulls,
+                repair_pulled_seqs: stats.repair_pulled_seqs,
+                repair_pushes: stats.repair_pushes,
+                repaired_deliveries: stats.repaired_deliveries,
+                late_duplicates: stats.late_duplicates,
+            }),
         });
     }
     let stats = network.stats();
@@ -697,6 +736,8 @@ fn build_report(
                 .map(|tally| tally.control_dropped)
                 .sum::<u64>(),
         messages_lost_to_crashed: stats.total_lost_to_dead(),
+        data_dropped: tallies.iter().map(|tally| tally.data_dropped).sum(),
+        partition_dropped: tallies.iter().map(|tally| tally.partition_dropped).sum(),
         nodes: node_reports,
     }
 }

@@ -202,6 +202,7 @@ fn protocol_headers_roundtrip_for_any_field_values() {
 
         let gossip = GossipHeader {
             origin: NodeId(origin),
+            inc: seq.wrapping_mul(31),
             seq,
             ttl,
         };
