@@ -315,11 +315,17 @@ impl<'a> WireReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
     }
 
-    /// Reads a length-prefixed list of `u32` values.
+    /// Reads a length-prefixed list of `u32` values. The advertised count
+    /// is checked against the bytes actually present (4 per element) before
+    /// any allocation, so a corrupted or adversarial count cannot reserve
+    /// more memory than the message itself could hold.
     pub fn get_u32_list(&mut self) -> Result<Vec<u32>, WireError> {
         let len = u64::from(self.get_u32()?);
         if len > MAX_FIELD_LEN {
             return Err(WireError::LengthOutOfRange(len));
+        }
+        if len > self.remaining() as u64 / 4 {
+            return Err(WireError::Malformed("u32 list count exceeds payload"));
         }
         let mut out = Vec::with_capacity(len as usize);
         for _ in 0..len {
@@ -328,11 +334,15 @@ impl<'a> WireReader<'a> {
         Ok(out)
     }
 
-    /// Reads a length-prefixed list of `u64` values.
+    /// Reads a length-prefixed list of `u64` values; the count is checked
+    /// against the remaining bytes (8 per element) before allocating.
     pub fn get_u64_list(&mut self) -> Result<Vec<u64>, WireError> {
         let len = u64::from(self.get_u32()?);
         if len > MAX_FIELD_LEN {
             return Err(WireError::LengthOutOfRange(len));
+        }
+        if len > self.remaining() as u64 / 8 {
+            return Err(WireError::Malformed("u64 list count exceeds payload"));
         }
         let mut out = Vec::with_capacity(len as usize);
         for _ in 0..len {
@@ -399,6 +409,12 @@ impl<T: Wire> Wire for Vec<T> {
         let len = u64::from(r.get_u32()?);
         if len > MAX_FIELD_LEN {
             return Err(WireError::LengthOutOfRange(len));
+        }
+        // Every wire element costs at least one byte, so a count larger
+        // than the remaining payload is malformed — rejected before the
+        // allocation, not after the element loop runs out of bytes.
+        if len > r.remaining() as u64 {
+            return Err(WireError::Malformed("list count exceeds payload"));
         }
         let mut out = Vec::with_capacity(len as usize);
         for _ in 0..len {
@@ -501,5 +517,78 @@ mod tests {
             r.get_bytes().unwrap_err(),
             WireError::LengthOutOfRange(_)
         ));
+    }
+
+    #[test]
+    fn adversarial_list_counts_are_rejected_before_allocation() {
+        // A count claiming a million u32s backed by four payload bytes must
+        // fail on the count check, not inside the element loop (and without
+        // reserving a million-slot vector first).
+        let mut w = WireWriter::new();
+        w.put_u32(1_000_000);
+        w.put_u32(7);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_u32_list().unwrap_err(),
+            WireError::Malformed(_)
+        ));
+
+        let mut w = WireWriter::new();
+        w.put_u32(1_000_000);
+        w.put_u64(7);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_u64_list().unwrap_err(),
+            WireError::Malformed(_)
+        ));
+
+        // Same for the generic Vec<T> path: one string element encoded,
+        // count rewritten to claim far more than the payload holds.
+        let mut bytes = vec!["x".to_string()].to_bytes().to_vec();
+        bytes[..4].copy_from_slice(&1_000_000u32.to_be_bytes());
+        assert!(matches!(
+            Vec::<String>::from_bytes(&bytes).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_lists_decode_to_clean_errors() {
+        // Every possible truncation of a valid encoding errors out instead
+        // of panicking or looping.
+        let mut w = WireWriter::new();
+        w.put_u32_list(&[10, 20, 30]);
+        w.put_u64_list(&[40, 50]);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            let lists = (r.get_u32_list(), r.get_u64_list());
+            assert!(
+                lists.0.is_err() || lists.1.is_err(),
+                "truncation at {cut} of {} decoded both lists",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_the_list_decoders() {
+        // Deterministic exhaustive single-bit fuzz over a nested encoding:
+        // any outcome is fine except a panic or an over-allocation, which
+        // the count checks prevent.
+        let value = vec![
+            vec!["alpha".to_string(), "beta".to_string()],
+            vec!["gamma".to_string()],
+        ];
+        let bytes = value.to_bytes().to_vec();
+        for index in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[index] ^= 1 << bit;
+                let _ = Vec::<Vec<String>>::from_bytes(&mutated);
+            }
+        }
     }
 }

@@ -1,0 +1,253 @@
+//! Quick-mode adversarial fault explorer: the seed-sweeping wedge hunter.
+//!
+//! Samples `BENCH_FAULT_SCHEDULES` random fault schedules (link flaps,
+//! asymmetric one-way partitions, latency-class shifts, mass churn,
+//! byte-level packet corruption) with `FaultSchedule::generate`, runs each
+//! against the `fault_harness` scenario, and asserts the run's safety
+//! invariants:
+//!
+//! * no wedge — the runner's detector saw progress whenever live members
+//!   disagreed on the installed view, and neither the event queue nor the
+//!   round count grew without bound;
+//! * zero live-link data loss — every injected drop is accounted as a fault,
+//!   never as a lost chat message;
+//! * every decode error is explained by an injected corruption;
+//! * context dissemination converged on every node by the end of the run.
+//!
+//! Every case is deterministic in `(seed, schedule)`: when one fails, the
+//! exact one-line reproducer (`fault_harness(n=…, seed=…, schedule="…")`) is
+//! printed and embedded in `BENCH_fault_matrix.json`, which is written
+//! *before* the assertions so a red CI run still uploads the matrix.
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin
+//! fault_explorer_quick [output-path]`. Environment knobs:
+//! `BENCH_FAULT_SCHEDULES` (sweep budget, default 24), `BENCH_FAULT_N`
+//! (group size, default 16), `BENCH_FAULT_SEED` (base seed, default 1).
+
+use morpheus_netsim::FaultSchedule;
+use morpheus_testbed::{Runner, Scenario, WedgeReport};
+
+struct CaseResult {
+    seed: u64,
+    classes: Vec<&'static str>,
+    reproducer: String,
+    fault_dropped: u64,
+    corrupted_packets: u64,
+    messages_lost: u64,
+    errors: u64,
+    restarts: u64,
+    rejoins: u64,
+    min_deliveries: u64,
+    converged: bool,
+    wedge: Option<WedgeReport>,
+    wall_ms: f64,
+}
+
+impl CaseResult {
+    fn passed(&self) -> bool {
+        self.wedge.is_none()
+            && self.messages_lost == 0
+            && self.errors <= self.corrupted_packets
+            && self.converged
+    }
+}
+
+fn run_case(n: usize, seed: u64) -> CaseResult {
+    let base = Scenario::fault_harness(n, seed);
+    let schedule = FaultSchedule::generate(seed, n, base.end_time_ms());
+    let scenario = base.with_fault_schedule(schedule.clone());
+    let started = std::time::Instant::now();
+    let report = Runner::new().run(&scenario);
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    CaseResult {
+        seed,
+        classes: schedule.class_tags(),
+        reproducer: scenario.fault_reproducer(),
+        fault_dropped: report.fault_dropped,
+        corrupted_packets: report.corrupted_packets,
+        messages_lost: report.messages_lost,
+        errors: report.total_errors(),
+        restarts: report.nodes.iter().map(|node| node.restarts).sum(),
+        rejoins: report
+            .nodes
+            .iter()
+            .filter(|node| node.rejoin.is_some())
+            .count() as u64,
+        min_deliveries: report
+            .nodes
+            .iter()
+            .map(|node| node.app_deliveries)
+            .min()
+            .unwrap_or(0),
+        converged: report
+            .nodes
+            .iter()
+            .all(|node| node.context_converged_ms.is_some()),
+        wedge: report.wedge,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fault_matrix.json".into());
+    let budget: u64 = std::env::var("BENCH_FAULT_SCHEDULES")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|budget| *budget > 0)
+        .unwrap_or(24);
+    let n: usize = std::env::var("BENCH_FAULT_N")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|n| *n >= 4)
+        .unwrap_or(16);
+    let base_seed: u64 = std::env::var("BENCH_FAULT_SEED")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(1);
+
+    eprintln!(
+        "fault-explorer quick mode: {budget} generated schedules, n = {n}, seeds {base_seed}.."
+    );
+    eprintln!(
+        "{:>6}  {:>30}  {:>7}  {:>9}  {:>5}  {:>8}  {:>7}  {:>6}",
+        "seed", "classes", "dropped", "corrupted", "lost", "restarts", "wall-ms", "status"
+    );
+
+    let mut results = Vec::new();
+    for index in 0..budget {
+        let result = run_case(n, base_seed + index);
+        eprintln!(
+            "{:>6}  {:>30}  {:>7}  {:>9}  {:>5}  {:>8}  {:>7.0}  {:>6}",
+            result.seed,
+            result.classes.join("+"),
+            result.fault_dropped,
+            result.corrupted_packets,
+            result.messages_lost,
+            result.restarts,
+            result.wall_ms,
+            if result.passed() { "ok" } else { "FAIL" },
+        );
+        results.push(result);
+    }
+
+    let meta = morpheus_bench::RunMeta {
+        seed: base_seed,
+        n,
+        loss: 0.0,
+    };
+
+    // Survival matrix per fault class: how many sweep cases exercised the
+    // class and how many of those survived every invariant.
+    let all_classes = ["flap", "oneway", "latency", "churn", "corrupt"];
+    let class_row = |class: &str| -> (u64, u64) {
+        let runs = results
+            .iter()
+            .filter(|result| result.classes.contains(&class));
+        let total = runs.clone().count() as u64;
+        let passed = runs.filter(|result| result.passed()).count() as u64;
+        (total, passed)
+    };
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    // Written before any assertion so a failing sweep still ships the
+    // matrix (and the reproducer) as a CI artifact.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fault-matrix\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
+    json.push_str(&format!("  \"schedules\": {budget},\n"));
+    json.push_str("  \"survival\": {\n");
+    for (index, class) in all_classes.iter().enumerate() {
+        let (total, passed) = class_row(class);
+        json.push_str(&format!(
+            "    \"{class}\": {{\"runs\": {total}, \"passed\": {passed}}}{}\n",
+            if index + 1 == all_classes.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        let wedge = match &result.wedge {
+            Some(wedge) => format!(
+                "{{\"at_ms\": {}, \"reason\": \"{}\"}}",
+                wedge.at_ms,
+                wedge.reason.replace('"', "'")
+            ),
+            None => "null".into(),
+        };
+        json.push_str(&format!(
+            "    {{\"seed\": {}, \"classes\": \"{}\", \"fault_dropped\": {}, \
+             \"corrupted_packets\": {}, \"messages_lost\": {}, \"errors\": {}, \
+             \"restarts\": {}, \"rejoins\": {}, \"min_deliveries\": {}, \
+             \"converged\": {}, \"wedge\": {}, \"wall_ms\": {:.1}, \
+             \"reproducer\": \"{}\"}}{}\n",
+            result.seed,
+            result.classes.join("+"),
+            result.fault_dropped,
+            result.corrupted_packets,
+            result.messages_lost,
+            result.errors,
+            result.restarts,
+            result.rejoins,
+            result.min_deliveries,
+            result.converged,
+            wedge,
+            result.wall_ms,
+            result.reproducer.replace('"', "\\\""),
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+
+    // Sweep-wide coverage: a budget of >= 20 schedules must exercise every
+    // fault class, or the generator regressed.
+    if budget >= 20 {
+        for class in all_classes {
+            let (total, _) = class_row(class);
+            assert!(
+                total > 0,
+                "the sweep never generated a `{class}` fault — generator coverage regressed"
+            );
+        }
+    }
+
+    // Per-case safety invariants. The reproducer line is the failure
+    // artifact: paste it into `Scenario::fault_harness` +
+    // `FaultSchedule::parse` to replay the exact failing run.
+    for result in &results {
+        assert!(
+            result.wedge.is_none(),
+            "WEDGE at {}ms ({}). Reproduce with: {}",
+            result.wedge.as_ref().unwrap().at_ms,
+            result.wedge.as_ref().unwrap().reason,
+            result.reproducer
+        );
+        assert_eq!(
+            result.messages_lost, 0,
+            "live-link data loss under faults. Reproduce with: {}",
+            result.reproducer
+        );
+        assert!(
+            result.errors <= result.corrupted_packets,
+            "{} decode errors but only {} injected corruptions. Reproduce with: {}",
+            result.errors,
+            result.corrupted_packets,
+            result.reproducer
+        );
+        assert!(
+            result.converged,
+            "context dissemination never converged. Reproduce with: {}",
+            result.reproducer
+        );
+    }
+    eprintln!("all {budget} schedules survived: no wedges, no live-link loss");
+}

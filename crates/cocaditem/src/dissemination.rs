@@ -530,6 +530,12 @@ impl CocaditemSession {
     /// and retried after a publish interval, which bounds convergence under
     /// loss without any periodic full republish.
     fn on_digest(&mut self, body: DigestBody, from: NodeId, ctx: &mut EventContext<'_>) {
+        // A digest from outside the installed view is ignored wholesale: no
+        // pull goes back, and the sender is not tracked as a behind peer —
+        // expelled members must stop receiving anti-entropy traffic.
+        if !self.member_set.contains(&from) {
+            return;
+        }
         let now = ctx.now_ms();
         // Does the sender itself look *behind* (older versions than ours, or
         // snapshots it does not list at all)? If so, bias our next digest
@@ -596,6 +602,11 @@ impl CocaditemSession {
     /// Handles a pull request: answer with every requested snapshot batched
     /// into a single message.
     fn on_pull(&mut self, body: PullBody, from: NodeId, ctx: &mut EventContext<'_>) {
+        // Snapshots are served to current view members only; a removed peer
+        // rebuilds its context store through the rejoin state transfer.
+        if !self.member_set.contains(&from) {
+            return;
+        }
         let store = self.store.borrow();
         let snapshots: Vec<ContextSnapshot> = body
             .nodes
@@ -1358,5 +1369,71 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_u32(u32::MAX);
         assert!(PullBody::from_bytes(&w.finish()).is_err());
+    }
+    #[test]
+    fn expelled_members_get_no_anti_entropy_replies() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut cocaditem = Harness::new(
+            CocaditemLayer::default(),
+            &params(&[1, 2, 3], 1000),
+            &mut platform,
+        );
+        cocaditem.run_down(
+            Event::down(ViewInstall {
+                view: morpheus_groupcomm::View::new(2, vec![NodeId(1), NodeId(2)]),
+            }),
+            &mut platform,
+        );
+        cocaditem.drain_down();
+
+        // The expelled node 3 advertises a version node 1 has never seen:
+        // no pull goes back to it.
+        let mut digest = Message::new();
+        digest.push(&DigestBody {
+            entries: vec![(NodeId(2), 90)],
+        });
+        cocaditem.run_up(
+            Event::up(ContextDigest::new(NodeId(3), Dest::Node(NodeId(1)), digest)),
+            &mut platform,
+        );
+        assert!(
+            cocaditem
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<ContextPull>()),
+            "an expelled member's digest triggers no pull"
+        );
+
+        // Its pull for the (present) local snapshot is not answered either,
+        // while the same pull from a live member is.
+        let pull_from = |from: u32| {
+            let mut message = Message::new();
+            message.push(&PullBody {
+                nodes: vec![NodeId(1)],
+            });
+            Event::up(ContextPull::new(
+                NodeId(from),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        cocaditem.run_up(pull_from(3), &mut platform);
+        assert!(
+            cocaditem
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<ContextBatch>()),
+            "snapshots are not served to expelled members"
+        );
+        cocaditem.run_up(pull_from(2), &mut platform);
+        assert_eq!(
+            cocaditem
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<ContextBatch>())
+                .count(),
+            1,
+            "a current member's identical pull is answered"
+        );
     }
 }

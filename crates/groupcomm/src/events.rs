@@ -46,6 +46,16 @@ sendable_event! {
 }
 
 sendable_event! {
+    /// A participant rejected a [`ViewPrepare`] because it already promised a
+    /// stronger ballot (headers, top-first: the promised epoch, then the
+    /// epoch holder). The proposer answers by jumping its epoch past the
+    /// reported one and re-proposing immediately, instead of discovering the
+    /// obstruction one epoch per round timeout — which matters when a falsely
+    /// self-suspecting rejoiner abandons a cascade of high-ballot rounds.
+    pub struct StaleBallot, class: Control
+}
+
+sendable_event! {
     /// Periodic gossip-repair digest: the spans of messages the sender's
     /// repair log can serve (header: [`crate::headers::RepairDigest`]).
     pub struct GossipRepairDigest, class: Control

@@ -252,6 +252,10 @@ type StreamKey = (NodeId, u64);
 #[derive(Debug)]
 pub struct GossipSession {
     members: Vec<NodeId>,
+    /// Set view of `members`, refreshed on every view install: the guard
+    /// that keeps repair traffic (digest replies, NACK-pull answers) from
+    /// flowing to expelled or crashed peers that are no longer in the view.
+    member_set: HashSet<NodeId>,
     fanout: usize,
     ttl: u32,
     seen_cap: usize,
@@ -292,8 +296,10 @@ impl GossipSession {
     /// Builds a session from layer parameters — the single construction
     /// site shared by [`GossipLayer::create_session`] and the unit tests.
     fn from_params(params: &LayerParams) -> Self {
+        let members = param_node_list(params, "members");
         Self {
-            members: param_node_list(params, "members"),
+            member_set: members.iter().copied().collect(),
+            members,
             fanout: param_or(params, "fanout", 3usize).max(1),
             ttl: param_or(params, "ttl", 4u32),
             seen_cap: param_or(params, "seen_cap", DEFAULT_SEEN_CAP).max(16),
@@ -498,6 +504,12 @@ impl GossipSession {
         if !self.repair_enabled() || self.pulls_this_interval >= self.repair_pull_budget {
             return;
         }
+        // A digest from outside the installed view (an expelled member, a
+        // stale incarnation) gets no pull: answering would re-open a repair
+        // conversation with a peer the view agreement removed.
+        if !self.member_set.contains(&from) {
+            return;
+        }
         let local = ctx.node_id();
         let mut wants: Vec<(NodeId, u64, Vec<u64>)> = Vec::new();
         let mut total = 0usize;
@@ -540,6 +552,12 @@ impl GossipSession {
 
     /// A peer pulls gaps: serve them from the repair log.
     fn on_repair_pull(&mut self, from: NodeId, pull: RepairPull, ctx: &mut EventContext<'_>) {
+        // Serve log entries only to current view members — an expelled peer
+        // re-syncs through the recovery layer's state transfer, not through
+        // the repair path.
+        if !self.member_set.contains(&from) {
+            return;
+        }
         let local = ctx.node_id();
         // A malformed or adversarial pull cannot make the node stream more
         // than twice the advertised window.
@@ -634,6 +652,7 @@ impl Session for GossipSession {
 
         if let Some(install) = event.get::<ViewInstall>() {
             self.members = install.view.members.clone();
+            self.member_set = self.members.iter().copied().collect();
             ctx.forward(event);
             return;
         }
@@ -1344,5 +1363,135 @@ mod tests {
             .drain_down()
             .iter()
             .all(|event| !event.is::<GossipRepairPush>()));
+    }
+    #[test]
+    fn repair_traffic_is_not_sent_to_expelled_members() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..4).collect();
+        let mut gossip = Harness::new(GossipLayer, &gossip_params(&members), &mut platform);
+
+        // A group send populates the repair log, then node 3 is expelled.
+        gossip.run_down(
+            Event::down(DataEvent::to_group(
+                NodeId(1),
+                Message::with_payload(&b"m1"[..]),
+            )),
+            &mut platform,
+        );
+        gossip.drain_down();
+        gossip.run_down(
+            Event::down(ViewInstall {
+                view: crate::view::View::new(2, vec![NodeId(0), NodeId(1), NodeId(2)]),
+            }),
+            &mut platform,
+        );
+        gossip.drain_down();
+
+        // The expelled node's digest gets no NACK pull back...
+        let mut message = Message::new();
+        message.push(&RepairDigest {
+            entries: vec![RepairRange {
+                origin: NodeId(0),
+                inc: 7,
+                lo: 1,
+                hi: 3,
+            }],
+        });
+        gossip.run_up(
+            Event::up(GossipRepairDigest::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                message,
+            )),
+            &mut platform,
+        );
+        assert!(
+            gossip
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<GossipRepairPull>()),
+            "no pull goes back to an expelled digest sender"
+        );
+
+        // ...and its pull is not served from the log, while a live member's
+        // identical pull is.
+        let pull_from = |from: u32| {
+            let mut message = Message::new();
+            message.push(&RepairPull {
+                wants: vec![(NodeId(1), 0, vec![1])],
+            });
+            Event::up(GossipRepairPull::new(
+                NodeId(from),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        gossip.run_up(pull_from(3), &mut platform);
+        assert!(
+            gossip
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<GossipRepairPush>()),
+            "the repair log is not served to expelled members"
+        );
+        gossip.run_up(pull_from(2), &mut platform);
+        assert_eq!(
+            gossip
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<GossipRepairPush>())
+                .count(),
+            1,
+            "a current member's identical pull is served"
+        );
+    }
+    #[test]
+    fn sustained_churn_keeps_delivery_and_repair_memory_bounded() {
+        let mut gossip = test_session(&[0, 1, 2, 3]);
+        gossip.seen_cap = 64;
+        gossip.repair_log_cap = 128;
+        gossip.repair_interval_ms = 500;
+
+        // A flapping member (node 3) rejoins fifty times; every incarnation
+        // opens a fresh stream whose burst is remembered, tracked and
+        // logged. All three memories must stay inside their bounds at every
+        // step of the churn, not just at the end.
+        for incarnation in 0..50u64 {
+            let now = incarnation * 1_000;
+            for seq in 1..=20u64 {
+                gossip.remember((NodeId(3), incarnation, seq), now);
+                assert!(gossip.record_delivered(NodeId(3), incarnation, seq));
+                gossip.log_store((NodeId(3), incarnation), seq, Message::new(), now);
+            }
+            gossip.evict_log(now);
+            assert!(gossip.seen_len() <= 64, "seen ring bound");
+            assert!(gossip.log_len() <= 128, "repair log cap bound");
+            let tracked = gossip
+                .delivered
+                .keys()
+                .filter(|(node, _)| *node == NodeId(3))
+                .count();
+            assert!(
+                tracked <= GossipSession::TRACKED_INCS_PER_ORIGIN,
+                "delivery trackers per origin stay capped under churn \
+                 ({tracked} incarnations tracked)"
+            );
+        }
+
+        // Only the newest incarnations survive: the tracker never forgets a
+        // stream the repair logs can still serve (all retained incs are
+        // recent), and the TTL drains the log once the churn stops.
+        let newest: Vec<u64> = gossip
+            .delivered
+            .keys()
+            .filter(|(node, _)| *node == NodeId(3))
+            .map(|(_, inc)| *inc)
+            .collect();
+        assert!(
+            newest.iter().all(|inc| *inc >= 46),
+            "oldest incs pruned first"
+        );
+        gossip.evict_log(50_000 + gossip.repair_log_ttl_ms + 1);
+        assert_eq!(gossip.log_len(), 0, "TTL drains the log once churn stops");
     }
 }

@@ -585,4 +585,121 @@ mod tests {
         assert_eq!(seq.seq, 9);
         assert_eq!(message.payload().as_ref(), b"chat");
     }
+    #[test]
+    fn adversarial_counts_are_rejected_across_all_bodies() {
+        // RepairDigest claiming u32::MAX entries backed by one entry's bytes.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        RepairRange {
+            origin: NodeId(1),
+            inc: 1,
+            lo: 1,
+            hi: 1,
+        }
+        .encode(&mut w);
+        assert!(RepairDigest::from_bytes(&w.finish()).is_err());
+
+        // FlushBody claiming a membership far larger than the payload.
+        let mut w = WireWriter::new();
+        w.put_u64(3);
+        NodeId(2).encode(&mut w);
+        w.put_u32(u32::MAX);
+        NodeId(4).encode(&mut w);
+        assert!(FlushBody::from_bytes(&w.finish()).is_err());
+
+        // RepairPull with an honest entry count but an adversarial inner
+        // sequence-list count.
+        let mut w = WireWriter::new();
+        w.put_u32(1);
+        NodeId(1).encode(&mut w);
+        w.put_u64(9);
+        w.put_u32(u32::MAX);
+        assert!(RepairPull::from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_decode_to_clean_errors() {
+        let digest = RepairDigest {
+            entries: vec![RepairRange {
+                origin: NodeId(3),
+                inc: 7,
+                lo: 1,
+                hi: 4,
+            }],
+        };
+        let pull = RepairPull {
+            wants: vec![(NodeId(3), 7, vec![2, 3])],
+        };
+        let flush = FlushBody {
+            epoch: 5,
+            proposer: NodeId(1),
+            flushed: vec![NodeId(1), NodeId(2)],
+        };
+        let bodies: Vec<Vec<u8>> = vec![
+            digest.to_bytes().to_vec(),
+            pull.to_bytes().to_vec(),
+            flush.to_bytes().to_vec(),
+        ];
+        for (which, bytes) in bodies.iter().enumerate() {
+            for cut in 0..bytes.len() {
+                let truncated = &bytes[..cut];
+                let failed = match which {
+                    0 => RepairDigest::from_bytes(truncated).is_err(),
+                    1 => RepairPull::from_bytes(truncated).is_err(),
+                    _ => FlushBody::from_bytes(truncated).is_err(),
+                };
+                assert!(
+                    failed,
+                    "body {which} decoded from {cut} of {} bytes",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_panic_the_body_decoders() {
+        // Exhaustive deterministic single-bit fuzz: a flipped bit may decode
+        // to a different valid value or a clean error, never a panic or an
+        // attacker-sized allocation.
+        let digest = RepairDigest {
+            entries: vec![
+                RepairRange {
+                    origin: NodeId(1),
+                    inc: 2,
+                    lo: 3,
+                    hi: 9,
+                },
+                RepairRange {
+                    origin: NodeId(4),
+                    inc: 5,
+                    lo: 1,
+                    hi: 1,
+                },
+            ],
+        };
+        let pull = RepairPull {
+            wants: vec![(NodeId(1), 2, vec![4, 5, 6]), (NodeId(7), 8, vec![])],
+        };
+        let flush = FlushBody {
+            epoch: 11,
+            proposer: NodeId(0),
+            flushed: vec![NodeId(0), NodeId(1), NodeId(2)],
+        };
+        for bytes in [
+            digest.to_bytes().to_vec(),
+            pull.to_bytes().to_vec(),
+            flush.to_bytes().to_vec(),
+        ] {
+            for index in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut mutated = bytes.clone();
+                    mutated[index] ^= 1 << bit;
+                    let _ = RepairDigest::from_bytes(&mutated);
+                    let _ = RepairPull::from_bytes(&mutated);
+                    let _ = FlushBody::from_bytes(&mutated);
+                }
+            }
+        }
+    }
 }

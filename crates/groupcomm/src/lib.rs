@@ -43,7 +43,7 @@ pub mod vsync;
 
 pub use events::{
     BlockRequest, FecParity, FlushAck, Heartbeat, JoinRequest, NackRequest, OrderInfo,
-    ResumeRequest, Suspect, ViewCommit, ViewInstall, ViewPrepare,
+    ResumeRequest, StaleBallot, Suspect, ViewCommit, ViewInstall, ViewPrepare,
 };
 pub use recovery::{RecoveryLayer, StateSection};
 pub use suite::{register_suite, StackBuilder};

@@ -1372,4 +1372,78 @@ mod tests {
             header
         );
     }
+    #[test]
+    fn adversarial_state_transfer_encodings_are_rejected() {
+        // A request whose missing-chunk list claims more entries than the
+        // payload carries fails cleanly (no attacker-sized allocation).
+        let mut w = WireWriter::new();
+        w.put_u64(1);
+        w.put_u32(u32::MAX);
+        w.put_u32(5);
+        assert!(StateRequestBody::from_bytes(&w.finish()).is_err());
+
+        // Every truncation of a valid request and chunk header errors out.
+        let request = StateRequestBody {
+            transfer_epoch: 3,
+            missing: vec![1, 4, 9],
+        };
+        let bytes = request.to_bytes().to_vec();
+        for cut in 0..bytes.len() {
+            assert!(StateRequestBody::from_bytes(&bytes[..cut]).is_err());
+        }
+        let header = StateChunkHeader {
+            transfer_epoch: 3,
+            version: 7,
+            index: 1,
+            total: 4,
+        };
+        let bytes = header.to_bytes().to_vec();
+        for cut in 0..bytes.len() {
+            assert!(StateChunkHeader::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshot_blobs_install_as_failures_not_panics() {
+        let (alpha, _) = section("alpha", b"");
+        let session = RecoverySession {
+            sections: vec![alpha],
+            members: vec![],
+            view: None,
+            phase: Phase::Member,
+            buffered: VecDeque::new(),
+            retry_ms: 100,
+            transfer_timeout_ms: 1000,
+            chunk_bytes: 16,
+            self_heal: true,
+            suspected: BTreeSet::new(),
+            serving: HashMap::new(),
+            timer: None,
+            phase_started_ms: 0,
+        };
+
+        // A snapshot blob advertising u32::MAX sections with no section
+        // bytes behind it is rejected on the first missing section.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        assert!(!session.install_snapshot(&w.finish()));
+
+        // Single-bit fuzz over a well-formed two-section blob: install
+        // either succeeds (the flip hit ignorable content) or reports
+        // failure — it never panics.
+        let mut w = WireWriter::new();
+        w.put_u32(2);
+        w.put_str("alpha");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("beta");
+        w.put_bytes(&[4, 5]);
+        let bytes = w.finish().to_vec();
+        for index in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[index] ^= 1 << bit;
+                let _ = session.install_snapshot(&mutated);
+            }
+        }
+    }
 }

@@ -16,7 +16,7 @@ use crate::beb::BebLayer;
 use crate::causal::CausalLayer;
 use crate::events::{
     FecParity, FlushAck, GossipRepairDigest, GossipRepairPull, GossipRepairPush, Heartbeat,
-    JoinRequest, NackRequest, OrderInfo, ViewCommit, ViewPrepare,
+    JoinRequest, NackRequest, OrderInfo, StaleBallot, ViewCommit, ViewPrepare,
 };
 use crate::failure_detector::FailureDetectorLayer;
 use crate::fec::FecLayer;
@@ -58,6 +58,7 @@ pub fn register_suite(kernel: &mut Kernel) {
     FlushAck::register(events);
     ViewCommit::register(events);
     JoinRequest::register(events);
+    StaleBallot::register(events);
     StateRequest::register(events);
     StateChunk::register(events);
     FecParity::register(events);

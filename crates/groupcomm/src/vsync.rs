@@ -56,8 +56,8 @@ use morpheus_appia::platform::{DeliveryKind, NodeId};
 use morpheus_appia::session::Session;
 
 use crate::events::{
-    Alive, BlockRequest, FlushAck, JoinRequest, Rejoin, ResumeRequest, Suspect, ViewCommit,
-    ViewInstall, ViewPrepare,
+    Alive, BlockRequest, FlushAck, JoinRequest, Rejoin, ResumeRequest, StaleBallot, Suspect,
+    ViewCommit, ViewInstall, ViewPrepare,
 };
 use crate::gossip::sample_peers;
 use crate::headers::FlushBody;
@@ -109,6 +109,7 @@ impl Layer for VsyncLayer {
             EventSpec::of::<ViewPrepare>(),
             EventSpec::of::<FlushAck>(),
             EventSpec::of::<ViewCommit>(),
+            EventSpec::of::<StaleBallot>(),
             EventSpec::of::<JoinRequest>(),
             EventSpec::of::<Rejoin>(),
             EventSpec::of::<BlockRequest>(),
@@ -118,7 +119,13 @@ impl Layer for VsyncLayer {
     }
 
     fn provided_events(&self) -> Vec<&'static str> {
-        vec!["ViewPrepare", "FlushAck", "ViewCommit", "ViewInstall"]
+        vec![
+            "ViewPrepare",
+            "FlushAck",
+            "ViewCommit",
+            "StaleBallot",
+            "ViewInstall",
+        ]
     }
 
     fn create_session(&self, params: &LayerParams) -> Box<dyn Session> {
@@ -560,7 +567,23 @@ impl VsyncSession {
         let accept = ballot_beats(epoch, proposer, (self.epoch, self.epoch_holder))
             || (same_ballot && self.round.is_none());
         if !accept {
-            return; // stale ballot: old commands can never roll the view back
+            // Stale ballot: old commands can never roll the view back. If
+            // the promise this prepare lost to is strictly stronger, report
+            // it back so the proposer can jump its epoch past the
+            // obstruction in one step (see [`StaleBallot`]). A joining node
+            // never gets here with a winning promise — `Rejoin` resets its
+            // ballot state to zero.
+            if ballot_beats(self.epoch, self.epoch_holder, (epoch, proposer)) {
+                let mut message = Message::new();
+                message.push(&self.epoch_holder);
+                message.push(&self.epoch);
+                ctx.dispatch(Event::down(StaleBallot::new(
+                    local,
+                    Dest::Node(proposer),
+                    message,
+                )));
+            }
+            return;
         }
         self.epoch = epoch;
         self.epoch_holder = proposer;
@@ -625,6 +648,28 @@ impl VsyncSession {
         // Flushes from any other epoch are dropped: a stale flush replayed
         // from an aborted round cannot complete a newer round with a
         // different membership.
+    }
+
+    /// A participant promised a ballot stronger than our in-flight round
+    /// (typically scattered by a falsely self-suspecting rejoiner's
+    /// abandoned rounds). Adopt the reported epoch and re-propose now: the
+    /// fresh round starts past the obstruction instead of crawling towards
+    /// it one epoch per round timeout — under a wedge detector that window
+    /// is the difference between recovery and a declared livelock.
+    fn on_stale_ballot(&mut self, epoch: u64, holder: NodeId, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        if self.joining {
+            return;
+        }
+        let beaten = self.round.as_ref().is_some_and(|round| {
+            round.proposer == local && ballot_beats(epoch, holder, (round.epoch, local))
+        });
+        if !beaten {
+            return;
+        }
+        self.epoch = self.epoch.max(epoch);
+        self.abort_round(ctx);
+        self.maybe_start_next_round(ctx);
     }
 
     fn on_commit(&mut self, epoch: u64, proposer: NodeId, view: View, ctx: &mut EventContext<'_>) {
@@ -768,6 +813,24 @@ impl Session for VsyncSession {
                 return;
             };
             self.on_flush(source, body, ctx);
+            return;
+        }
+
+        if event.is::<StaleBallot>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(nack) = event.get_mut::<StaleBallot>() else {
+                return;
+            };
+            let Ok(epoch) = nack.message.pop::<u64>() else {
+                return;
+            };
+            let Ok(holder) = nack.message.pop::<NodeId>() else {
+                return;
+            };
+            self.on_stale_ballot(epoch, holder, ctx);
             return;
         }
 
@@ -1713,5 +1776,90 @@ mod tests {
         let retried = prepares(&vsync.drain_down());
         assert_eq!(retried.len(), 1);
         assert_eq!(retried[0].1.members, vec![NodeId(1), NodeId(2), NodeId(7)]);
+    }
+
+    #[test]
+    fn a_stale_prepare_is_nacked_with_the_promised_ballot() {
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // A rival proposer (node 3) opened a high-epoch round: node 2 now
+        // holds the promise (5, 3).
+        let rival = View::new(1, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(3),
+                Dest::Node(NodeId(2)),
+                round_message(5, &rival),
+            )),
+            &mut platform,
+        );
+
+        // Node 1's prepare under epoch 1 loses to that promise. It must be
+        // answered with a StaleBallot naming the stronger ballot — not
+        // silently dropped, which would leave node 1 crawling one epoch per
+        // round timeout.
+        let admitted = View::new(1, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        vsync.drain_down();
+        vsync.run_up(
+            Event::up(ViewPrepare::new(
+                NodeId(1),
+                Dest::Node(NodeId(2)),
+                round_message(1, &admitted),
+            )),
+            &mut platform,
+        );
+        let events = vsync.drain_down();
+        let nack = events
+            .iter()
+            .find_map(|event| event.get::<StaleBallot>())
+            .expect("stale prepare answered with a StaleBallot");
+        assert_eq!(nack.header.dest, Dest::Node(NodeId(1)));
+        let mut message = nack.message.clone();
+        assert_eq!(message.pop::<u64>().unwrap(), 5);
+        assert_eq!(message.pop::<NodeId>().unwrap(), NodeId(3));
+    }
+
+    #[test]
+    fn a_stale_ballot_nack_jumps_the_proposer_past_the_obstruction() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let mut vsync = Harness::new(VsyncLayer, &vsync_params(&[1, 2, 3]), &mut platform);
+        platform.take_deliveries();
+
+        // Node 4 asks to join: node 1 (the coordinator) opens round e=1.
+        vsync.run_up(
+            Event::up(JoinRequest::new(
+                NodeId(4),
+                Dest::Node(NodeId(1)),
+                Message::new(),
+            )),
+            &mut platform,
+        );
+        let opened = prepares(&vsync.drain_down());
+        assert_eq!(opened.len(), 1);
+        assert_eq!(opened[0].0, 1);
+
+        // A participant rejects: it promised ballot (5, node 7) to a round
+        // the proposer abandoned. The coordinator re-proposes immediately
+        // under an epoch beating the reported promise, keeping the queued
+        // join alive.
+        let mut message = Message::new();
+        message.push(&NodeId(7));
+        message.push(&5u64);
+        vsync.run_up(
+            Event::up(StaleBallot::new(NodeId(2), Dest::Node(NodeId(1)), message)),
+            &mut platform,
+        );
+        let reproposed = prepares(&vsync.drain_down());
+        assert_eq!(reproposed.len(), 1, "the round is re-proposed immediately");
+        assert!(
+            ballot_beats(reproposed[0].0, NodeId(1), (5, NodeId(7))),
+            "the fresh epoch beats the promised ballot"
+        );
+        assert!(
+            reproposed[0].1.contains(NodeId(4)),
+            "the queued join rides the re-proposal"
+        );
     }
 }

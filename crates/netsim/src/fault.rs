@@ -1,0 +1,584 @@
+//! Composable, deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a list of timed fault events — link flaps,
+//! asymmetric one-way partitions, latency-class shifts, mass churn and
+//! byte-level packet corruption — that the transport and the testbed runner
+//! evaluate against simulated time. Every decision a schedule influences is
+//! either pure window arithmetic (flaps, one-way drops, latency shifts) or
+//! drawn from the run's seeded [`SimRng`] (churn targets,
+//! corruption draws), so any failure replays exactly from the pair
+//! `(seed, schedule)` alone.
+//!
+//! Schedules render to (and parse from) a single line, e.g.
+//!
+//! ```text
+//! flap(node=3,start=6000,down=400,up=1600,until=14000);corrupt(start=6000,end=13000,rate=0.010)
+//! ```
+//!
+//! which is what the fault explorer prints as the reproducer when a sweep
+//! finds a failing run.
+
+use crate::link::LinkClass;
+use crate::node::NodeId;
+use crate::rng::SimRng;
+
+/// One timed fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The node's network interface flaps: starting at `start_ms` and until
+    /// `until_ms`, it repeats a cycle of `down_ms` milliseconds down (all
+    /// its links drop packets, in both directions) followed by `up_ms`
+    /// milliseconds up.
+    LinkFlap {
+        /// The flapping node.
+        node: NodeId,
+        /// First instant of the first down window.
+        start_ms: u64,
+        /// Length of each down window.
+        down_ms: u64,
+        /// Length of each up window between two down windows.
+        up_ms: u64,
+        /// End of the flapping régime (exclusive).
+        until_ms: u64,
+    },
+    /// An asymmetric partition: packets from `from` to `to` are dropped
+    /// during `[start_ms, end_ms)`; the reverse direction is unaffected.
+    OneWay {
+        /// Sender whose packets are dropped.
+        from: NodeId,
+        /// Receiver that never sees them.
+        to: NodeId,
+        /// Start of the window.
+        start_ms: u64,
+        /// End of the window (exclusive).
+        end_ms: u64,
+    },
+    /// Every link of one class gains `extra_ms` of latency during
+    /// `[start_ms, end_ms)` — a WAN region slowing down, an access point
+    /// buffering under load.
+    LatencyShift {
+        /// The affected link class.
+        class: LinkClass,
+        /// Start of the window.
+        start_ms: u64,
+        /// End of the window (exclusive).
+        end_ms: u64,
+        /// Added one-way latency, in milliseconds.
+        extra_ms: u64,
+    },
+    /// Mass churn: during `[start_ms, end_ms)`, every `interval_ms` one
+    /// eligible node crashes and restarts `down_ms` later. The runner picks
+    /// the victims with the run's seeded rng, skipping nodes still
+    /// recovering from an earlier tick.
+    Churn {
+        /// Start of the churn window.
+        start_ms: u64,
+        /// End of the churn window (exclusive).
+        end_ms: u64,
+        /// Time between two crashes (`1000 / k` for k crashes per second).
+        interval_ms: u64,
+        /// How long each victim stays down before restarting.
+        down_ms: u64,
+    },
+    /// Byte-level packet corruption: during `[start_ms, end_ms)` each
+    /// arriving packet is corrupted (one random bit flipped) with
+    /// probability `rate` — aimed at every decode boundary at once, since
+    /// all traffic classes are eligible.
+    Corrupt {
+        /// Start of the window.
+        start_ms: u64,
+        /// End of the window (exclusive).
+        end_ms: u64,
+        /// Per-packet corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+/// A composable schedule of timed fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// The scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Whether `at_ms` falls inside the half-open window `[start, end)`.
+fn in_window(at_ms: u64, start: u64, end: u64) -> bool {
+    at_ms >= start && at_ms < end
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the node's interface is flapped down at `at_ms`.
+    pub fn node_flapped_down(&self, node: NodeId, at_ms: u64) -> bool {
+        self.events.iter().any(|event| match event {
+            FaultEvent::LinkFlap {
+                node: flapping,
+                start_ms,
+                down_ms,
+                up_ms,
+                until_ms,
+            } => {
+                *flapping == node
+                    && in_window(at_ms, *start_ms, *until_ms)
+                    && (at_ms - start_ms) % (down_ms + up_ms).max(1) < *down_ms
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether a packet from `from` to `to` is dropped by a fault at
+    /// `at_ms` (a flap of either endpoint, or a one-way partition of this
+    /// exact direction).
+    pub fn link_down(&self, from: NodeId, to: NodeId, at_ms: u64) -> bool {
+        if self.node_flapped_down(from, at_ms) || self.node_flapped_down(to, at_ms) {
+            return true;
+        }
+        self.events.iter().any(|event| match event {
+            FaultEvent::OneWay {
+                from: blocked_from,
+                to: blocked_to,
+                start_ms,
+                end_ms,
+            } => *blocked_from == from && *blocked_to == to && in_window(at_ms, *start_ms, *end_ms),
+            _ => false,
+        })
+    }
+
+    /// Extra latency active on links of `class` at `at_ms`, in milliseconds
+    /// (shifts on the same class add up).
+    pub fn extra_latency_ms(&self, class: LinkClass, at_ms: u64) -> u64 {
+        self.events
+            .iter()
+            .map(|event| match event {
+                FaultEvent::LatencyShift {
+                    class: shifted,
+                    start_ms,
+                    end_ms,
+                    extra_ms,
+                } if *shifted == class && in_window(at_ms, *start_ms, *end_ms) => *extra_ms,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The packet-corruption probability active at `at_ms` (the maximum
+    /// over overlapping windows; `0.0` outside every window).
+    pub fn corruption_rate(&self, at_ms: u64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|event| match event {
+                FaultEvent::Corrupt {
+                    start_ms,
+                    end_ms,
+                    rate,
+                } if in_window(at_ms, *start_ms, *end_ms) => Some(*rate),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether any corruption window exists (used by runners to skip the
+    /// per-packet draw entirely on fault-free runs).
+    pub fn has_corruption(&self) -> bool {
+        self.events
+            .iter()
+            .any(|event| matches!(event, FaultEvent::Corrupt { .. }))
+    }
+
+    /// The churn régimes of the schedule, for the runner to expand into
+    /// crash/restart events.
+    pub fn churn_events(&self) -> impl Iterator<Item = (u64, u64, u64, u64)> + '_ {
+        self.events.iter().filter_map(|event| match event {
+            FaultEvent::Churn {
+                start_ms,
+                end_ms,
+                interval_ms,
+                down_ms,
+            } => Some((*start_ms, *end_ms, *interval_ms, *down_ms)),
+            _ => None,
+        })
+    }
+
+    /// Short tags of the fault classes present in the schedule, in render
+    /// order, deduplicated — what the survival matrix reports per case.
+    pub fn class_tags(&self) -> Vec<&'static str> {
+        let mut tags = Vec::new();
+        for event in &self.events {
+            let tag = match event {
+                FaultEvent::LinkFlap { .. } => "flap",
+                FaultEvent::OneWay { .. } => "oneway",
+                FaultEvent::LatencyShift { .. } => "latency",
+                FaultEvent::Churn { .. } => "churn",
+                FaultEvent::Corrupt { .. } => "corrupt",
+            };
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        }
+        tags
+    }
+
+    /// Generates a random schedule for a group of `nodes` members over a run
+    /// of `horizon_ms` simulated milliseconds. Deterministic in `seed`: the
+    /// same `(seed, nodes, horizon_ms)` always yields the same schedule.
+    ///
+    /// Faults are confined to the middle of the run — after the boot/warmup
+    /// transient, with a tail left clean so the group can re-converge and
+    /// the end-of-run invariants measure recovery, not an ongoing storm.
+    pub fn generate(seed: u64, nodes: usize, horizon_ms: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut events = Vec::new();
+        let floor = 6_000u64;
+        let ceil = horizon_ms.saturating_sub(16_000).max(floor + 4_000);
+
+        let window = |rng: &mut SimRng, min_len: u64, max_len: u64| {
+            let len = rng.random_range_inclusive(min_len, max_len.min(ceil - floor));
+            let start = rng.random_range_inclusive(floor, ceil - len);
+            (start, start + len)
+        };
+
+        if nodes > 1 && rng.chance(0.6) {
+            let (start, until) = window(&mut rng, 2_000, 6_000);
+            events.push(FaultEvent::LinkFlap {
+                // Node 0 is spared: it is the deterministic first donor of
+                // the rejoin path, which churn below may rely on.
+                node: NodeId(1 + rng.random_below(nodes as u64 - 1) as u32),
+                start_ms: start,
+                down_ms: rng.random_range_inclusive(200, 900),
+                up_ms: rng.random_range_inclusive(800, 2_500),
+                until_ms: until,
+            });
+        }
+        if nodes > 2 && rng.chance(0.6) {
+            let from = rng.random_below(nodes as u64) as u32;
+            let to = (from + 1 + rng.random_below(nodes as u64 - 1) as u32) % nodes as u32;
+            let (start, end) = window(&mut rng, 1_500, 5_000);
+            events.push(FaultEvent::OneWay {
+                from: NodeId(from),
+                to: NodeId(to),
+                start_ms: start,
+                end_ms: end,
+            });
+        }
+        if rng.chance(0.5) {
+            let class = *rng
+                .pick(&[LinkClass::WiredLan, LinkClass::Wireless, LinkClass::Wan])
+                .expect("non-empty");
+            let (start, end) = window(&mut rng, 2_000, 8_000);
+            events.push(FaultEvent::LatencyShift {
+                class,
+                start_ms: start,
+                end_ms: end,
+                extra_ms: rng.random_range_inclusive(30, 250),
+            });
+        }
+        if nodes > 4 && rng.chance(0.5) {
+            let (start, end) = window(&mut rng, 2_000, 5_000);
+            events.push(FaultEvent::Churn {
+                start_ms: start,
+                end_ms: end,
+                interval_ms: rng.random_range_inclusive(1_500, 3_000),
+                down_ms: rng.random_range_inclusive(2_500, 4_000),
+            });
+        }
+        if events.is_empty() || rng.chance(0.7) {
+            let (start, end) = window(&mut rng, 3_000, 9_000);
+            events.push(FaultEvent::Corrupt {
+                start_ms: start,
+                end_ms: end,
+                rate: rng.random_range_inclusive(2, 15) as f64 / 1_000.0,
+            });
+        }
+        Self { events }
+    }
+
+    /// Renders the schedule as one parseable line (see [`Self::parse`]).
+    pub fn render(&self) -> String {
+        self.events
+            .iter()
+            .map(|event| match event {
+                FaultEvent::LinkFlap {
+                    node,
+                    start_ms,
+                    down_ms,
+                    up_ms,
+                    until_ms,
+                } => format!(
+                    "flap(node={},start={start_ms},down={down_ms},up={up_ms},until={until_ms})",
+                    node.0
+                ),
+                FaultEvent::OneWay {
+                    from,
+                    to,
+                    start_ms,
+                    end_ms,
+                } => format!(
+                    "oneway(from={},to={},start={start_ms},end={end_ms})",
+                    from.0, to.0
+                ),
+                FaultEvent::LatencyShift {
+                    class,
+                    start_ms,
+                    end_ms,
+                    extra_ms,
+                } => format!(
+                    "latency(class={},start={start_ms},end={end_ms},extra={extra_ms})",
+                    class_tag(*class)
+                ),
+                FaultEvent::Churn {
+                    start_ms,
+                    end_ms,
+                    interval_ms,
+                    down_ms,
+                } => format!(
+                    "churn(start={start_ms},end={end_ms},interval={interval_ms},down={down_ms})"
+                ),
+                FaultEvent::Corrupt {
+                    start_ms,
+                    end_ms,
+                    rate,
+                } => format!("corrupt(start={start_ms},end={end_ms},rate={rate:.3})"),
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses a schedule from the one-line form [`Self::render`] produces.
+    /// An empty string yields an empty schedule.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for part in line.split(';').filter(|part| !part.trim().is_empty()) {
+            let part = part.trim();
+            let (kind, rest) = part
+                .split_once('(')
+                .ok_or_else(|| format!("missing '(' in fault `{part}`"))?;
+            let args = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("missing ')' in fault `{part}`"))?;
+            let mut fields = std::collections::BTreeMap::new();
+            for pair in args.split(',').filter(|pair| !pair.is_empty()) {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("missing '=' in `{pair}`"))?;
+                fields.insert(key.trim(), value.trim());
+            }
+            let num = |key: &str| -> Result<u64, String> {
+                fields
+                    .get(key)
+                    .ok_or_else(|| format!("fault `{kind}` is missing `{key}`"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{kind}`: `{key}` is not a number"))
+            };
+            events.push(match kind {
+                "flap" => FaultEvent::LinkFlap {
+                    node: NodeId(num("node")? as u32),
+                    start_ms: num("start")?,
+                    down_ms: num("down")?,
+                    up_ms: num("up")?,
+                    until_ms: num("until")?,
+                },
+                "oneway" => FaultEvent::OneWay {
+                    from: NodeId(num("from")? as u32),
+                    to: NodeId(num("to")? as u32),
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                },
+                "latency" => FaultEvent::LatencyShift {
+                    class: parse_class(
+                        fields
+                            .get("class")
+                            .ok_or_else(|| "fault `latency` is missing `class`".to_string())?,
+                    )?,
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    extra_ms: num("extra")?,
+                },
+                "churn" => FaultEvent::Churn {
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    interval_ms: num("interval")?.max(1),
+                    down_ms: num("down")?,
+                },
+                "corrupt" => FaultEvent::Corrupt {
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    rate: fields
+                        .get("rate")
+                        .ok_or_else(|| "fault `corrupt` is missing `rate`".to_string())?
+                        .parse::<f64>()
+                        .map_err(|_| "fault `corrupt`: `rate` is not a number".to_string())?,
+                },
+                other => return Err(format!("unknown fault kind `{other}`")),
+            });
+        }
+        Ok(Self { events })
+    }
+}
+
+fn class_tag(class: LinkClass) -> &'static str {
+    match class {
+        LinkClass::WiredLan => "wired",
+        LinkClass::Wireless => "wireless",
+        LinkClass::Wan => "wan",
+    }
+}
+
+fn parse_class(tag: &str) -> Result<LinkClass, String> {
+    match tag {
+        "wired" => Ok(LinkClass::WiredLan),
+        "wireless" => Ok(LinkClass::Wireless),
+        "wan" => Ok(LinkClass::Wan),
+        other => Err(format!("unknown link class `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultSchedule {
+        FaultSchedule {
+            events: vec![
+                FaultEvent::LinkFlap {
+                    node: NodeId(3),
+                    start_ms: 1_000,
+                    down_ms: 200,
+                    up_ms: 800,
+                    until_ms: 5_000,
+                },
+                FaultEvent::OneWay {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    start_ms: 2_000,
+                    end_ms: 4_000,
+                },
+                FaultEvent::LatencyShift {
+                    class: LinkClass::Wan,
+                    start_ms: 0,
+                    end_ms: 10_000,
+                    extra_ms: 150,
+                },
+                FaultEvent::Churn {
+                    start_ms: 3_000,
+                    end_ms: 6_000,
+                    interval_ms: 1_000,
+                    down_ms: 2_000,
+                },
+                FaultEvent::Corrupt {
+                    start_ms: 1_000,
+                    end_ms: 9_000,
+                    rate: 0.01,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn flap_windows_cycle_down_then_up() {
+        let schedule = sample();
+        // Cycle of 1000 ms starting at 1000: down during [1000, 1200).
+        assert!(!schedule.node_flapped_down(NodeId(3), 999));
+        assert!(schedule.node_flapped_down(NodeId(3), 1_000));
+        assert!(schedule.node_flapped_down(NodeId(3), 1_199));
+        assert!(!schedule.node_flapped_down(NodeId(3), 1_200));
+        // Next cycle.
+        assert!(schedule.node_flapped_down(NodeId(3), 2_100));
+        // Régime over.
+        assert!(!schedule.node_flapped_down(NodeId(3), 5_000));
+        // Other nodes are unaffected.
+        assert!(!schedule.node_flapped_down(NodeId(2), 1_100));
+        // A flapped endpoint downs the link in both directions.
+        assert!(schedule.link_down(NodeId(3), NodeId(0), 1_100));
+        assert!(schedule.link_down(NodeId(0), NodeId(3), 1_100));
+    }
+
+    #[test]
+    fn oneway_partitions_are_asymmetric() {
+        let schedule = sample();
+        assert!(schedule.link_down(NodeId(1), NodeId(2), 3_000));
+        assert!(!schedule.link_down(NodeId(2), NodeId(1), 3_000));
+        assert!(!schedule.link_down(NodeId(1), NodeId(2), 4_000));
+    }
+
+    #[test]
+    fn latency_and_corruption_windows_apply() {
+        let schedule = sample();
+        assert_eq!(schedule.extra_latency_ms(LinkClass::Wan, 5_000), 150);
+        assert_eq!(schedule.extra_latency_ms(LinkClass::WiredLan, 5_000), 0);
+        assert_eq!(schedule.extra_latency_ms(LinkClass::Wan, 10_000), 0);
+        assert_eq!(schedule.corruption_rate(500), 0.0);
+        assert_eq!(schedule.corruption_rate(1_000), 0.01);
+        assert!(schedule.has_corruption());
+        assert_eq!(schedule.churn_events().count(), 1);
+        assert_eq!(
+            schedule.class_tags(),
+            vec!["flap", "oneway", "latency", "churn", "corrupt"]
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let schedule = sample();
+        let line = schedule.render();
+        let parsed = FaultSchedule::parse(&line).expect("parses");
+        assert_eq!(parsed, schedule);
+        assert_eq!(FaultSchedule::parse("").unwrap(), FaultSchedule::none());
+        assert!(FaultSchedule::parse("bogus(x=1)").is_err());
+        assert!(FaultSchedule::parse("flap(node=1)").is_err());
+        assert!(FaultSchedule::parse("flap node=1").is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_windowed() {
+        let a = FaultSchedule::generate(42, 16, 30_000);
+        let b = FaultSchedule::generate(42, 16, 30_000);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultSchedule::generate(43, 16, 30_000);
+        assert_ne!(a, c, "different seeds give different schedules");
+        // Windows stay inside the fault band: after boot, before the tail.
+        for seed in 0..50u64 {
+            let schedule = FaultSchedule::generate(seed, 16, 30_000);
+            for event in &schedule.events {
+                let (start, end) = match event {
+                    FaultEvent::LinkFlap {
+                        start_ms, until_ms, ..
+                    } => (*start_ms, *until_ms),
+                    FaultEvent::OneWay {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::LatencyShift {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::Churn {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::Corrupt {
+                        start_ms, end_ms, ..
+                    } => (*start_ms, *end_ms),
+                };
+                assert!(start >= 6_000, "fault starts after boot: {event:?}");
+                assert!(end <= 14_000, "fault ends before the tail: {event:?}");
+                assert!(start < end);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_of_generated_schedules() {
+        for seed in 0..100u64 {
+            let schedule = FaultSchedule::generate(seed, 12, 40_000);
+            let reparsed = FaultSchedule::parse(&schedule.render()).expect("parses");
+            assert_eq!(reparsed, schedule, "seed {seed}");
+        }
+    }
+}

@@ -21,10 +21,13 @@
 //! * [`transport::Network`] — packet transmission: loss, latency, fan-out,
 //!   per-node statistics and battery drain;
 //! * [`stats`] — per-node and network-wide message/byte/energy counters;
+//! * [`fault`] — composable, deterministic fault schedules (flaps, one-way
+//!   partitions, latency shifts, churn, packet corruption);
 //! * [`trace`] — an optional bounded event trace for debugging.
 
 pub mod battery;
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod rng;
@@ -36,6 +39,7 @@ pub mod transport;
 
 pub use battery::{Battery, EnergyModel};
 pub use engine::EventQueue;
+pub use fault::{FaultEvent, FaultSchedule};
 pub use link::{LinkClass, LinkModel, LinkOutcome, WanLink, WiredLan, Wireless80211b};
 pub use node::{NodeId, NodeKind, SimNode};
 pub use rng::SimRng;

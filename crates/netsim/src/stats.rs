@@ -51,6 +51,11 @@ pub struct NodeStats {
     /// crash window: traffic in flight to a dead node is not a protocol
     /// failure.
     pub lost_to_dead: u64,
+    /// Messages this node sent that an injected fault (link flap, one-way
+    /// partition — see [`crate::FaultSchedule`]) swallowed. Kept separate
+    /// from `lost` for the same reason as `lost_to_dead`: injected fault
+    /// drops are the experiment, not a live-link protocol failure.
+    pub fault_dropped: u64,
     /// Bytes sent (sum over all classes).
     pub bytes_sent: u64,
     /// Bytes received (sum over all classes).
@@ -83,6 +88,11 @@ impl NodeStats {
     /// Records one message addressed to a dead receiver.
     pub fn record_lost_to_dead(&mut self) {
         self.lost_to_dead += 1;
+    }
+
+    /// Records one message swallowed by an injected fault.
+    pub fn record_fault_dropped(&mut self) {
+        self.fault_dropped += 1;
     }
 
     /// Messages lost of one class.
@@ -169,6 +179,14 @@ impl NetworkStats {
     /// Total messages addressed to dead receivers.
     pub fn total_lost_to_dead(&self) -> u64 {
         self.per_node.values().map(|stats| stats.lost_to_dead).sum()
+    }
+
+    /// Total messages swallowed by injected faults.
+    pub fn total_fault_dropped(&self) -> u64 {
+        self.per_node
+            .values()
+            .map(|stats| stats.fault_dropped)
+            .sum()
     }
 
     /// Clears every counter (used between benchmark repetitions).

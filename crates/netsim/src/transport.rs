@@ -7,6 +7,7 @@
 //! event queue.
 
 use crate::battery::EnergyModel;
+use crate::fault::FaultSchedule;
 use crate::link::LinkOutcome;
 use crate::node::{NodeId, NodeKind};
 use crate::rng::SimRng;
@@ -63,6 +64,7 @@ pub struct Network {
     stats: NetworkStats,
     wireless_energy: EnergyModel,
     wired_energy: EnergyModel,
+    faults: FaultSchedule,
 }
 
 impl Network {
@@ -73,7 +75,20 @@ impl Network {
             stats: NetworkStats::new(),
             wireless_energy: EnergyModel::wireless_pda(),
             wired_energy: EnergyModel::wired(),
+            faults: FaultSchedule::none(),
         }
+    }
+
+    /// Installs a fault schedule: flaps and one-way partitions drop packets
+    /// (accounted under [`crate::NodeStats::fault_dropped`], outside the
+    /// live-link loss metric) and latency shifts delay deliveries.
+    pub fn set_faults(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// The installed fault schedule.
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// The topology.
@@ -128,6 +143,7 @@ impl Network {
         receiver: NodeId,
         size_bytes: usize,
         class: TrafficClass,
+        now: SimTime,
         rng: &mut SimRng,
     ) -> Option<u64> {
         if receiver == from {
@@ -149,6 +165,13 @@ impl Network {
             self.stats.node_mut(from).record_lost_to_dead();
             return None;
         }
+        if self.faults.link_down(from, receiver, now.as_millis()) {
+            // An injected fault drop (flap, one-way partition) is the
+            // experiment, not a live-link loss — same separation as
+            // `lost_to_dead`.
+            self.stats.node_mut(from).record_fault_dropped();
+            return None;
+        }
         let operational = self
             .topology
             .node(receiver)
@@ -161,7 +184,10 @@ impl Network {
                 self.stats
                     .node_mut(receiver)
                     .record_received(class, size_bytes, rx_energy);
-                Some(latency_ms)
+                let shift = self
+                    .faults
+                    .extra_latency_ms(self.topology.link_class(from, receiver), now.as_millis());
+                Some(latency_ms + shift)
             }
             _ => {
                 self.stats.node_mut(from).record_lost(class);
@@ -206,6 +232,7 @@ impl Network {
                     receiver,
                     packet.size_bytes,
                     packet.class,
+                    now,
                     rng,
                 ) {
                     deliveries.push(Delivery {
@@ -226,6 +253,7 @@ impl Network {
                         receiver,
                         packet.size_bytes,
                         packet.class,
+                        now,
                         rng,
                     ) {
                         deliveries.push(Delivery {

@@ -20,6 +20,6 @@ pub mod runner;
 pub mod scenario;
 
 pub use platform::SimPlatform;
-pub use report::{NodeReport, RejoinReport, RoundReport, RunReport};
+pub use report::{NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport};
 pub use runner::{AppBinding, Runner};
 pub use scenario::{Scenario, TopologyChoice, Workload};

@@ -39,6 +39,17 @@ pub struct RejoinReport {
     pub elapsed_ms: u64,
 }
 
+/// A wedge the runner's progress detector caught: the run stopped making
+/// progress in a way waiting would not fix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WedgeReport {
+    /// Simulated time at which the wedge was declared.
+    pub at_ms: u64,
+    /// What tripped the detector (stalled disagreement, queue growth,
+    /// round churn).
+    pub reason: String,
+}
+
 /// Measurements for one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -156,6 +167,18 @@ pub struct RunReport {
     /// Packets (all classes, both directions) dropped because a node was
     /// partitioned ([`crate::Scenario::with_partition`]).
     pub partition_dropped: u64,
+    /// Packets swallowed by injected faults (link flaps, one-way
+    /// partitions — [`crate::Scenario::fault_schedule`]). Kept out of
+    /// `messages_lost`, which remains the live-link safety metric.
+    pub fault_dropped: u64,
+    /// Packets the runner corrupted in flight (byte flips driven by the
+    /// fault schedule). Each may surface as a decode error at the receiver;
+    /// `total_errors() <= corrupted_packets` is the decode-hardening
+    /// invariant fault sweeps assert.
+    pub corrupted_packets: u64,
+    /// The wedge the progress detector caught, if any (`None` on healthy
+    /// runs, and always `None` when the detector is disabled).
+    pub wedge: Option<WedgeReport>,
     /// Per-node measurements, in node-id order.
     pub nodes: Vec<NodeReport>,
 }
@@ -381,6 +404,9 @@ mod tests {
             messages_lost_to_crashed: 0,
             data_dropped: 0,
             partition_dropped: 0,
+            fault_dropped: 0,
+            corrupted_packets: 0,
+            wedge: None,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
         }
     }

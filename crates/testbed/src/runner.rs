@@ -17,7 +17,7 @@ use morpheus_netsim::{
 };
 
 use crate::platform::SimPlatform;
-use crate::report::{GossipReport, NodeReport, RejoinReport, RoundReport, RunReport};
+use crate::report::{GossipReport, NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport};
 use crate::scenario::{Scenario, TopologyChoice};
 
 /// Per-node application bindings for a run.
@@ -102,6 +102,8 @@ struct NodeTally {
     control_dropped: u64,
     data_dropped: u64,
     partition_dropped: u64,
+    corrupted: u64,
+    last_view_id: Option<u64>,
     context_converged_ms: Option<u64>,
     min_view_members: Option<usize>,
     restarts: u64,
@@ -111,6 +113,20 @@ struct NodeTally {
 /// Fixed per-packet framing overhead added to every transmission (UDP + IP
 /// headers), so energy and byte counts are not unrealistically small.
 const FRAMING_OVERHEAD_BYTES: usize = 28;
+
+/// How often (in simulated milliseconds) the wedge detector samples the
+/// run's progress.
+const WEDGE_SAMPLE_MS: u64 = 500;
+
+/// Completed reconfiguration rounds beyond which the wedge detector calls
+/// round-epoch churn: a healthy run completes a handful of rounds, a
+/// flip-flopping control loop completes them endlessly.
+const WEDGE_ROUND_CAP: u64 = 256;
+
+/// Margin (in simulated milliseconds) a churn victim is left alone after
+/// its restart before it may be crashed again, so every crash hits a member
+/// that had a chance to rejoin.
+const CHURN_REJOIN_MARGIN_MS: u64 = 10_000;
 
 /// Executes [`Scenario`]s.
 #[derive(Debug, Default, Clone)]
@@ -137,6 +153,7 @@ impl Runner {
         let members = scenario.members();
         let topology = build_topology(scenario);
         let mut network = Network::new(topology);
+        network.set_faults(scenario.fault_schedule.clone());
         let mut rng = SimRng::new(scenario.seed);
         let mut queue: EventQueue<SimEvent> = EventQueue::new();
 
@@ -203,10 +220,58 @@ impl Runner {
             );
         }
 
+        // Expand the fault schedule's churn régimes into crash/restart
+        // pairs. A dedicated rng stream keeps fault-free runs byte-for-byte
+        // identical to what they were without the fault layer, while churn
+        // victims still replay exactly from `(seed, schedule)`. Senders and
+        // node 0 (the deterministic first rejoin donor) are spared, and a
+        // victim is left alone long enough to rejoin before it is eligible
+        // again.
+        {
+            let mut churn_rng = SimRng::new(scenario.seed ^ 0xC4A5_F417_5EED_0001);
+            let mut busy_until: Vec<u64> = vec![0; members.len()];
+            for (start_ms, end_ms, interval_ms, down_ms) in scenario.fault_schedule.churn_events() {
+                let mut at = start_ms;
+                while at < end_ms {
+                    let eligible: Vec<usize> = (1..members.len())
+                        .filter(|index| {
+                            let node = members[*index];
+                            !scenario.workload.senders.contains(&node) && busy_until[*index] <= at
+                        })
+                        .collect();
+                    if let Some(&index) = churn_rng.pick(&eligible) {
+                        let node = members[index];
+                        queue.push(SimTime::from_millis(at), SimEvent::NodeFailure { node });
+                        queue.push(
+                            SimTime::from_millis(at + down_ms),
+                            SimEvent::NodeRestart { node },
+                        );
+                        busy_until[index] = at + down_ms + CHURN_REJOIN_MARGIN_MS;
+                    }
+                    at += interval_ms.max(1);
+                }
+            }
+        }
+
         // Main discrete-event loop.
         let end = SimTime::from_millis(scenario.end_time_ms());
         let mut processed: u64 = 0;
         let mut last_time = SimTime::ZERO;
+        // Wedge-detector state: progress is sampled on a sim-time grid; a
+        // wedge is declared when the signature stalls for a whole window
+        // while live, reachable members disagree on the installed view —
+        // or when the event queue or the round count grows without bound.
+        let wedge_enabled = scenario.wedge_window_ms > 0;
+        let wedge_queue_cap = if scenario.wedge_queue_cap > 0 {
+            scenario.wedge_queue_cap
+        } else {
+            100_000 + 2_000 * members.len() as u64
+        };
+        let mut wedge: Option<WedgeReport> = None;
+        let mut next_wedge_sample_ms: u64 = 0;
+        let mut last_progress_sig: u64 = 0;
+        let mut stalled_since: Option<u64> = None;
+        let corruption_possible = scenario.fault_schedule.has_corruption();
         // Reused across packet events so the hot loop does not allocate a
         // fresh batch vector per arrival.
         let mut batch: Vec<InPacket> = Vec::new();
@@ -219,6 +284,48 @@ impl Runner {
             }
             processed += 1;
             last_time = time;
+
+            if wedge_enabled && time.as_millis() >= next_wedge_sample_ms {
+                next_wedge_sample_ms = time.as_millis() + WEDGE_SAMPLE_MS;
+                if queue.len() as u64 > wedge_queue_cap {
+                    wedge = Some(WedgeReport {
+                        at_ms: time.as_millis(),
+                        reason: format!("event queue grew past {wedge_queue_cap} entries"),
+                    });
+                    break;
+                }
+                let rounds: u64 = tallies.iter().map(|tally| tally.rounds.len() as u64).sum();
+                if rounds > WEDGE_ROUND_CAP {
+                    wedge = Some(WedgeReport {
+                        at_ms: time.as_millis(),
+                        reason: format!(
+                            "more than {WEDGE_ROUND_CAP} reconfiguration rounds completed \
+                             (round-epoch churn)"
+                        ),
+                    });
+                    break;
+                }
+                let sig = progress_signature(&tallies);
+                if sig != last_progress_sig {
+                    last_progress_sig = sig;
+                    stalled_since = None;
+                } else if live_views_disagree(scenario, &network, &tallies, time.as_millis()) {
+                    let since = *stalled_since.get_or_insert(time.as_millis());
+                    if time.as_millis().saturating_sub(since) >= scenario.wedge_window_ms {
+                        wedge = Some(WedgeReport {
+                            at_ms: time.as_millis(),
+                            reason: format!(
+                                "no progress for {}ms while live members disagree on the \
+                                 installed view",
+                                scenario.wedge_window_ms
+                            ),
+                        });
+                        break;
+                    }
+                } else {
+                    stalled_since = None;
+                }
+            }
 
             let node_id = match &event {
                 SimEvent::Packet { to, .. } => *to,
@@ -260,6 +367,10 @@ impl Runner {
                 platforms[index] = platform;
                 tallies[index].restarts += 1;
                 tallies[index].rejoin = None;
+                // A fresh incarnation has not installed any view yet, so it
+                // must not count as "disagreeing" in the wedge detector
+                // until it actually installs one.
+                tallies[index].last_view_id = None;
                 // Post-restart context convergence is what the recovery
                 // metrics care about; the pre-crash value is obsolete.
                 tallies[index].context_converged_ms = None;
@@ -326,6 +437,25 @@ impl Runner {
                             payload: payload.bytes,
                         });
                     }
+                    if corruption_possible {
+                        // Byte-level corruption at the receive boundary: each
+                        // arriving packet independently gets one random bit
+                        // flipped, exercising every decode path with
+                        // adversarial input. Drawn from the run's rng, so the
+                        // damage replays from `(seed, schedule)`.
+                        let rate = scenario.fault_schedule.corruption_rate(time.as_millis());
+                        if rate > 0.0 {
+                            for packet in batch.iter_mut() {
+                                if !packet.payload.is_empty() && rng.chance(rate) {
+                                    let mut bytes = packet.payload.to_vec();
+                                    let at = rng.random_below(bytes.len() as u64) as usize;
+                                    bytes[at] ^= 1 << rng.random_below(8);
+                                    packet.payload = Bytes::from(bytes);
+                                    tallies[index].corrupted += 1;
+                                }
+                            }
+                        }
+                    }
                     if scenario.is_partitioned(to, time.as_millis()) {
                         // The node is cut off: everything addressed to it in
                         // this instant is dropped at its network interface.
@@ -376,8 +506,66 @@ impl Runner {
             );
         }
 
-        build_report(scenario, last_time, processed, &network, &nodes, &tallies)
+        build_report(
+            scenario, last_time, processed, &network, &nodes, &tallies, wedge,
+        )
     }
+}
+
+/// A scalar fingerprint of everything that counts as forward progress:
+/// deliveries, view installs, completed rounds, restarts, rejoins and
+/// context convergence. Any change between wedge samples means the run is
+/// still moving.
+fn progress_signature(tallies: &[NodeTally]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut sig: u64 = 0xcbf2_9ce4_8422_2325;
+    for tally in tallies {
+        for value in [
+            tally.app_deliveries,
+            tally.view_changes,
+            tally.rounds.len() as u64,
+            tally.restarts,
+            u64::from(tally.rejoin.is_some()),
+            tally.context_converged_ms.unwrap_or(0),
+            tally.last_view_id.unwrap_or(0),
+        ] {
+            sig = (sig ^ value).wrapping_mul(PRIME);
+        }
+    }
+    sig
+}
+
+/// True when at least two members that are alive, unpartitioned and not
+/// currently flapped down have installed different views. Stalled progress
+/// while this holds is the wedge signature; disagreement among nodes the
+/// schedule is actively isolating is expected and does not count.
+fn live_views_disagree(
+    scenario: &Scenario,
+    network: &Network,
+    tallies: &[NodeTally],
+    at_ms: u64,
+) -> bool {
+    let mut live_view: Option<u64> = None;
+    for (index, tally) in tallies.iter().enumerate() {
+        let node = NodeId(index as u32);
+        if !network.is_operational(SimNodeId(node.0))
+            || scenario.is_partitioned(node, at_ms)
+            || scenario
+                .fault_schedule
+                .node_flapped_down(SimNodeId(node.0), at_ms)
+        {
+            continue;
+        }
+        let Some(view) = tally.last_view_id else {
+            continue;
+        };
+        match live_view {
+            None => live_view = Some(view),
+            Some(existing) if existing != view => return true,
+            Some(_) => {}
+        }
+    }
+    false
 }
 
 /// The node options every incarnation of a scenario node is built with.
@@ -599,6 +787,7 @@ fn flush_node(
                     ref members,
                 } => {
                     tallies[index].view_changes += 1;
+                    tallies[index].last_view_id = Some(view_id);
                     let smallest = tallies[index].min_view_members.get_or_insert(members.len());
                     *smallest = (*smallest).min(members.len());
                     // Relay the data channel's view onto the control channel:
@@ -674,6 +863,7 @@ fn flush_node(
 }
 
 /// Assembles the final report.
+#[allow(clippy::too_many_arguments)]
 fn build_report(
     scenario: &Scenario,
     last_time: SimTime,
@@ -681,6 +871,7 @@ fn build_report(
     network: &Network,
     nodes: &[MorpheusNode],
     tallies: &[NodeTally],
+    wedge: Option<WedgeReport>,
 ) -> RunReport {
     let mut node_reports = Vec::with_capacity(nodes.len());
     for (index, node) in nodes.iter().enumerate() {
@@ -738,6 +929,9 @@ fn build_report(
         messages_lost_to_crashed: stats.total_lost_to_dead(),
         data_dropped: tallies.iter().map(|tally| tally.data_dropped).sum(),
         partition_dropped: tallies.iter().map(|tally| tally.partition_dropped).sum(),
+        fault_dropped: stats.total_fault_dropped(),
+        corrupted_packets: tallies.iter().map(|tally| tally.corrupted).sum(),
+        wedge,
         nodes: node_reports,
     }
 }
@@ -839,5 +1033,124 @@ mod tests {
         let runner = Runner { max_events: 10 };
         let report = runner.run(&small_figure3(3, false));
         assert!(report.total_app_deliveries() < 10);
+    }
+
+    use morpheus_netsim::FaultSchedule;
+
+    fn harness_with(schedule: &str, n: usize, seed: u64) -> Scenario {
+        Scenario::fault_harness(n, seed)
+            .with_fault_schedule(FaultSchedule::parse(schedule).expect("test schedule parses"))
+    }
+
+    #[test]
+    fn flap_and_oneway_drops_are_fault_accounted_not_lost() {
+        let scenario = harness_with(
+            "flap(node=3,start=7000,down=400,up=1200,until=11000);\
+             oneway(from=4,to=5,start=7000,end=10000)",
+            6,
+            11,
+        );
+        let report = Runner::new().run(&scenario);
+        assert!(
+            report.fault_dropped > 0,
+            "injected faults were active while traffic flowed"
+        );
+        assert_eq!(
+            report.messages_lost, 0,
+            "live links never lose data; every drop is fault-accounted"
+        );
+        assert!(
+            report.wedge.is_none(),
+            "unexpected wedge: {:?}",
+            report.wedge
+        );
+        assert!(report.total_app_deliveries() > 0);
+    }
+
+    #[test]
+    fn corrupted_packets_are_rejected_not_crashed_on() {
+        let scenario = harness_with("corrupt(start=6000,end=12000,rate=0.05)", 6, 13);
+        let report = Runner::new().run(&scenario);
+        assert!(
+            report.corrupted_packets > 0,
+            "corruption window saw traffic"
+        );
+        assert!(
+            report.total_errors() <= report.corrupted_packets,
+            "every decode error is explained by an injected corruption \
+             ({} errors, {} corrupted)",
+            report.total_errors(),
+            report.corrupted_packets
+        );
+        assert_eq!(report.messages_lost, 0);
+        assert!(
+            report.wedge.is_none(),
+            "unexpected wedge: {:?}",
+            report.wedge
+        );
+    }
+
+    #[test]
+    fn churn_victims_restart_and_rejoin() {
+        let scenario = harness_with("churn(start=6000,end=12000,interval=2000,down=2500)", 8, 17);
+        let report = Runner::new().run(&scenario);
+        let restarts: u64 = report.nodes.iter().map(|node| node.restarts).sum();
+        assert!(restarts >= 2, "churn produced only {restarts} restarts");
+        assert!(
+            report.nodes.iter().any(|node| node.rejoin.is_some()),
+            "at least one churn victim completed a state-transfer rejoin"
+        );
+        assert_eq!(report.messages_lost, 0);
+        assert!(
+            report.wedge.is_none(),
+            "unexpected wedge: {:?}",
+            report.wedge
+        );
+    }
+
+    #[test]
+    fn permanent_one_way_silence_wedges_deterministically() {
+        // Node 5 transmits into the void forever but hears everything: the
+        // group expels it, it can never complete a rejoin handshake, and the
+        // run makes no further progress while node 5 still holds the old
+        // view — exactly what the wedge detector exists to catch. Replaying
+        // the same `(seed, schedule)` must reproduce the identical wedge.
+        let schedule: String = (0..5)
+            .map(|to| format!("oneway(from=5,to={to},start=7000,end=600000)"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let scenario = harness_with(&schedule, 6, 23);
+        let first = Runner::new().run(&scenario);
+        let second = Runner::new().run(&scenario);
+        let wedge_a = first.wedge.expect("the silenced member wedges the run");
+        let wedge_b = second.wedge.expect("the replay wedges too");
+        assert_eq!(wedge_a, wedge_b, "wedge must replay from (seed, schedule)");
+    }
+
+    #[test]
+    fn fault_runs_replay_identically_from_seed_and_schedule() {
+        let base = Scenario::fault_harness(8, 42);
+        let schedule = FaultSchedule::generate(42, 8, base.end_time_ms());
+        let scenario = base.with_fault_schedule(schedule);
+        let first = Runner::new().run(&scenario);
+        let second = Runner::new().run(&scenario);
+        assert_eq!(
+            first, second,
+            "whole-report determinism in (seed, schedule)"
+        );
+    }
+
+    #[test]
+    fn fault_free_harness_run_is_clean() {
+        let report = Runner::new().run(&Scenario::fault_harness(5, 3));
+        assert_eq!(report.fault_dropped, 0);
+        assert_eq!(report.corrupted_packets, 0);
+        assert_eq!(report.messages_lost, 0);
+        assert!(
+            report.wedge.is_none(),
+            "unexpected wedge: {:?}",
+            report.wedge
+        );
+        assert!(report.total_app_deliveries() > 0);
     }
 }
