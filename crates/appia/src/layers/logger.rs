@@ -39,6 +39,7 @@ impl Layer for LoggerLayer {
 #[derive(Debug)]
 pub struct LoggerSession {
     verbose: bool,
+    // bound: one counter per (layer, direction) pair -- at most 2 x stack depth entries.
     counts: BTreeMap<(String, &'static str), u64>,
 }
 

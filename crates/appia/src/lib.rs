@@ -25,6 +25,8 @@
 //! outside world (clock, timers, network, application delivery) goes through
 //! the [`platform::Platform`] trait, which the simulation testbed implements.
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod config;
 pub mod error;

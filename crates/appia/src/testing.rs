@@ -31,6 +31,7 @@ struct CaptureLayer {
 
 struct CaptureSession {
     end: End,
+    // bound: test-harness capture; the driving test empties it via drain_up/drain_down.
     sink: Rc<RefCell<Vec<Event>>>,
 }
 

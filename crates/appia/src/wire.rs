@@ -242,17 +242,28 @@ impl<'a> WireReader<'a> {
     }
 
     fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < len {
-            return Err(WireError::UnexpectedEof);
-        }
-        let slice = &self.buf[self.pos..self.pos + len];
-        self.pos += len;
+        let end = self.pos.checked_add(len).ok_or(WireError::UnexpectedEof)?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEof)?;
+        self.pos = end;
         Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into an array (checked, never panics).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| WireError::UnexpectedEof)
     }
 
     /// Reads a single byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(WireError::UnexpectedEof)
     }
 
     /// Reads a boolean encoded as a single byte.
@@ -266,38 +277,27 @@ impl<'a> WireReader<'a> {
 
     /// Reads a big-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        let bytes = self.take(2)?;
-        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+        Ok(u16::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        let bytes = self.take(4)?;
-        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        let bytes = self.take(8)?;
-        let mut arr = [0u8; 8];
-        arr.copy_from_slice(bytes);
-        Ok(u64::from_be_bytes(arr))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
-        let bytes = self.take(8)?;
-        let mut arr = [0u8; 8];
-        arr.copy_from_slice(bytes);
-        Ok(i64::from_be_bytes(arr))
+        Ok(i64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads an IEEE-754 `f64`.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
-        let bytes = self.take(8)?;
-        let mut arr = [0u8; 8];
-        arr.copy_from_slice(bytes);
-        Ok(f64::from_be_bytes(arr))
+        Ok(f64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a length-prefixed byte slice.

@@ -1,0 +1,113 @@
+//! Pure codec smoke target for the wire format, kept free of clocks,
+//! threads and file I/O so it runs under `cargo miri test` unmodified —
+//! the CI `miri` job drives exactly this test. Under Miri the sweep sizes
+//! shrink (interpretation is ~1000× slower than native), but every code
+//! path is still exercised at least once.
+
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+
+#[cfg(miri)]
+const SWEEP_BUFFERS: usize = 8;
+#[cfg(not(miri))]
+const SWEEP_BUFFERS: usize = 256;
+
+/// Deterministic pseudo-random byte stream (no OS entropy: replays
+/// identically everywhere, including under Miri).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_byte(&mut self) -> u8 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 56) as u8
+    }
+}
+
+#[test]
+fn scalars_roundtrip() {
+    let mut w = WireWriter::new();
+    w.put_u8(0xAB);
+    w.put_bool(false);
+    w.put_u16(u16::MAX);
+    w.put_u32(1);
+    w.put_u64(u64::MAX);
+    w.put_i64(i64::MIN);
+    w.put_f64(-0.25);
+    let bytes = w.finish();
+
+    let mut r = WireReader::new(&bytes);
+    assert_eq!(r.get_u8().unwrap(), 0xAB);
+    assert!(!r.get_bool().unwrap());
+    assert_eq!(r.get_u16().unwrap(), u16::MAX);
+    assert_eq!(r.get_u32().unwrap(), 1);
+    assert_eq!(r.get_u64().unwrap(), u64::MAX);
+    assert_eq!(r.get_i64().unwrap(), i64::MIN);
+    assert_eq!(r.get_f64().unwrap(), -0.25);
+    assert_eq!(r.remaining(), 0);
+}
+
+#[test]
+fn compound_values_roundtrip() {
+    let value = vec!["".to_string(), "héllo".to_string(), "x".repeat(300)];
+    let decoded = Vec::<String>::from_bytes(&value.to_bytes()).unwrap();
+    assert_eq!(decoded, value);
+
+    let mut w = WireWriter::new();
+    w.put_bytes(&[0, 255, 1, 254]);
+    w.put_u32_list(&[7; 9]);
+    w.put_u64_list(&[u64::MAX, 0]);
+    let bytes = w.finish();
+    let mut r = WireReader::new(&bytes);
+    assert_eq!(r.get_bytes().unwrap().as_ref(), &[0, 255, 1, 254]);
+    assert_eq!(r.get_u32_list().unwrap(), vec![7; 9]);
+    assert_eq!(r.get_u64_list().unwrap(), vec![u64::MAX, 0]);
+}
+
+/// Every truncation of a valid encoding must decode to a clean error —
+/// never a panic, never an out-of-bounds read (the property Miri checks at
+/// the memory-model level).
+#[test]
+fn truncated_input_errors_cleanly() {
+    let value = vec!["abc".to_string(), "defgh".to_string()];
+    let bytes = value.to_bytes();
+    for len in 0..bytes.len() {
+        let err = Vec::<String>::from_bytes(&bytes[..len]);
+        assert!(err.is_err(), "truncation to {len} bytes must not decode");
+    }
+}
+
+/// Pseudo-random garbage buffers must never panic any reader primitive.
+#[test]
+fn garbage_input_never_panics() {
+    let mut rng = Lcg(0x5EED_0001);
+    for round in 0..SWEEP_BUFFERS {
+        let len = round % 40;
+        let buf: Vec<u8> = (0..len).map(|_| rng.next_byte()).collect();
+
+        let mut r = WireReader::new(&buf);
+        let _ = r.get_u32();
+        let _ = r.get_str();
+        let _ = r.get_bytes();
+        let _ = r.get_u64_list();
+
+        let _ = Vec::<String>::from_bytes(&buf);
+        let _ = u64::from_bytes(&buf);
+        let _ = String::from_bytes(&buf);
+    }
+}
+
+/// Absurd length prefixes are rejected by the sanity limit instead of
+/// triggering a huge allocation.
+#[test]
+fn hostile_length_prefix_is_rejected() {
+    let mut w = WireWriter::new();
+    w.put_u32(u32::MAX);
+    let bytes = w.finish();
+    let mut r = WireReader::new(&bytes);
+    assert!(matches!(
+        r.get_bytes().unwrap_err(),
+        WireError::LengthOutOfRange(_) | WireError::UnexpectedEof
+    ));
+}

@@ -23,6 +23,8 @@
 //! Run with `cargo run --release -p morpheus-bench --bin chat_fanin_quick
 //! [output-path]`.
 
+#![forbid(unsafe_code)]
+
 use morpheus_bench::{metadata_json, RunMeta};
 use morpheus_testbed::{Runner, Scenario};
 

@@ -24,6 +24,8 @@
 //! `BENCH_FAULT_SCHEDULES` (sweep budget, default 24), `BENCH_FAULT_N`
 //! (group size, default 16), `BENCH_FAULT_SEED` (base seed, default 1).
 
+#![forbid(unsafe_code)]
+
 use morpheus_netsim::FaultSchedule;
 use morpheus_testbed::{Runner, Scenario, WedgeReport};
 

@@ -22,6 +22,8 @@
 //! Run with `cargo run --release -p morpheus-bench --bin
 //! membership_scale_quick [output-path]`.
 
+#![forbid(unsafe_code)]
+
 use morpheus_testbed::{RunReport, Runner, Scenario};
 
 struct CaseResult {

@@ -14,6 +14,8 @@
 //! Run with `cargo run --release -p morpheus-bench --bin
 //! reconfig_latency_quick [output-path]`.
 
+#![forbid(unsafe_code)]
+
 use morpheus_testbed::{RunReport, Runner, Scenario};
 
 struct CaseResult {

@@ -19,6 +19,8 @@
 //! Run with `cargo run --release -p morpheus-bench --bin
 //! rejoin_latency_quick [output-path]`.
 
+#![forbid(unsafe_code)]
+
 use morpheus_appia::platform::NodeId;
 use morpheus_chat::ChatHistoryBinding;
 use morpheus_testbed::{RejoinReport, Runner, Scenario};

@@ -5,6 +5,8 @@
 //! reproduced data series to stderr, then measures the run time of a scaled
 //! configuration so regressions in the protocol stack show up in CI.
 
+#![forbid(unsafe_code)]
+
 use morpheus_appia::platform::NodeId;
 use morpheus_core::StackKind;
 use morpheus_testbed::{RunReport, Runner, Scenario, TopologyChoice, Workload};

@@ -20,6 +20,7 @@
 //!   text) matching the paper's parameters, and the bridge to a testbed
 //!   [`morpheus_testbed::Scenario`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod app;
 pub mod history;

@@ -306,15 +306,18 @@ fn changed_significantly(previous: &ContextSnapshot, current: &ContextSnapshot) 
 
 /// Session state of the Cocaditem dissemination layer.
 pub struct CocaditemSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     /// Same membership as `members`, indexed for the per-digest-entry check
     /// (a `Vec::contains` per entry would make every received digest O(n²)).
+    // bound: mirrors `members` -- rebuilt on view install, <= view size.
     member_set: std::collections::HashSet<NodeId>,
     publish_interval_ms: u64,
     refresh_every: u32,
     /// Push/digest fan-out; `0` selects the legacy all-to-all flood.
     fanout: usize,
     forward_ttl: u32,
+    // bound: fixed set installed at session construction; never grows.
     retrievers: Vec<Box<dyn ContextRetriever>>,
     store: Rc<RefCell<ContextStore>>,
     last_published: Option<ContextSnapshot>,
@@ -327,12 +330,14 @@ pub struct CocaditemSession {
     /// halves the tail under heavy control loss (a single lost answer no
     /// longer costs a whole extra interval), while still keeping the boot
     /// transient far below the flood it replaces.
+    // bound: pruned to live members on view install; a node's entry drops when its snapshot arrives.
     recent_pulls: std::collections::HashMap<NodeId, (u64, u32)>,
     /// Peers whose most recent digest advertised a staler view of the store
     /// than ours. Our own digest targets are biased towards them: a peer
     /// that is behind learns what to pull from us one interval sooner than
     /// uniform random targeting would manage, which shortens the last
     /// stragglers' convergence tail.
+    // bound: <= view size; retained against the membership on view install.
     behind_peers: std::collections::BTreeSet<NodeId>,
 }
 

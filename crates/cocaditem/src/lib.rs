@@ -16,6 +16,7 @@
 //!   control channel and maintains a store of every participant's last
 //!   published snapshot ([`store`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod context;
 pub mod dissemination;

@@ -6,7 +6,7 @@
 //! performed by the [`crate::dissemination`] layer, which republishes
 //! received snapshots into the local broker.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::context::ContextSnapshot;
 
@@ -35,7 +35,7 @@ impl Topic {
 }
 
 /// Handle identifying one subscription.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Subscription(u64);
 
 /// A published item: the topic it was published under plus the snapshot it
@@ -52,8 +52,10 @@ pub struct Publication {
 #[derive(Debug, Default)]
 pub struct Broker {
     next_id: u64,
-    patterns: HashMap<Subscription, Vec<Topic>>,
-    queues: HashMap<Subscription, VecDeque<Publication>>,
+    // BTreeMaps, not HashMaps: `publish` iterates the subscription table,
+    // and fan-out order must not depend on hash state (det:map-iter).
+    patterns: BTreeMap<Subscription, Vec<Topic>>,
+    queues: BTreeMap<Subscription, VecDeque<Publication>>,
     published: u64,
 }
 

@@ -208,6 +208,7 @@ impl InstalledStack {
 /// Session state of the Core control layer.
 #[derive(Debug)]
 pub struct CoreSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     data_channel: String,
     adaptive: bool,
@@ -224,7 +225,9 @@ pub struct CoreSession {
     /// of the ballot `(epoch, epoch_holder)`.
     epoch_holder: NodeId,
     pending: Option<PendingReconfiguration>,
+    // bound: <= view size; only view members ack, and the set is cleared per round.
     acks: BTreeSet<NodeId>,
+    // bound: fed by the control-plane failure detector -- only current members appear.
     suspected: BTreeSet<NodeId>,
     /// The configuration accepted from the most recent command, kept until
     /// the local module confirms the deployment (its ack passing back down
@@ -240,6 +243,7 @@ pub struct CoreSession {
     /// re-sent the installed configuration whenever the policy is otherwise
     /// satisfied — so a member whose command was lost while it was (even
     /// falsely) suspected still converges after the quorum moved on.
+    // bound: <= view size; rebuilt from the completed round's acks on commit.
     confirmed: BTreeSet<NodeId>,
     round_timer: Option<u64>,
     retransmit_interval_ms: u64,

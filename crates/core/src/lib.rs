@@ -21,6 +21,8 @@
 //! named stack configurations the policies can choose between are produced by
 //! [`stack_catalog`].
 
+#![forbid(unsafe_code)]
+
 pub mod control;
 pub mod node;
 pub mod policy;

@@ -54,6 +54,7 @@ impl Layer for BebLayer {
 /// Session state of the best-effort multicast layer.
 #[derive(Debug)]
 pub struct BebSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     use_native: bool,
     group_sends: u64,

@@ -50,7 +50,9 @@ impl Layer for CausalLayer {
 #[derive(Debug)]
 pub struct CausalSession {
     view: View,
+    // bound: one entry per view member; reallocated on view install.
     clock: Vec<u64>,
+    // bound: drained as the vector clock advances; flushed wholesale on view install.
     pending: Vec<(CausalHeader, Event)>,
     delayed: u64,
 }

@@ -88,9 +88,11 @@ impl Layer for FailureDetectorLayer {
 /// Session state of the failure detector.
 #[derive(Debug)]
 pub struct FailureDetectorSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     /// Same membership as `members`, indexed for the per-digest-entry check
     /// (a `Vec::contains` per entry would make every received digest O(n²)).
+    // bound: mirrors `members` -- rebuilt on view install, <= view size.
     member_set: HashSet<NodeId>,
     hb_interval_ms: u64,
     suspect_timeout_ms: u64,
@@ -98,10 +100,13 @@ pub struct FailureDetectorSession {
     fanout: usize,
     /// Highest known heartbeat counter per member (the local node's own
     /// entry is advanced on every tick).
+    // bound: retained against the membership on every view install.
     counters: HashMap<NodeId, u64>,
     /// Local time at which each member's counter last advanced (or the
     /// member was last heard from directly).
+    // bound: retained against the membership on every view install.
     last_advance: HashMap<NodeId, u64>,
+    // bound: subset of `members`; retained on view install.
     suspected: HashSet<NodeId>,
     heartbeats_sent: u64,
 }

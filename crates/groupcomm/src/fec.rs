@@ -98,12 +98,16 @@ impl ReceiveState {
 #[derive(Debug)]
 pub struct FecSession {
     k: usize,
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     next_seq: u64,
     /// Sequence numbers and encoded lengths of the current outgoing block.
+    // bound: flushed (cleared) every k data messages.
     block: Vec<(u64, u32)>,
     /// XOR accumulator of the current outgoing block.
+    // bound: length of the largest encoded message in the block; reset on flush.
     parity: Vec<u8>,
+    // bound: one entry per sender heard from; each inner window is capped at RECEIVE_WINDOW.
     received: HashMap<NodeId, ReceiveState>,
     recovered: u64,
 }

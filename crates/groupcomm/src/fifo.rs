@@ -57,6 +57,7 @@ struct SenderState {
 pub struct FifoSession {
     window: usize,
     next_seq: u64,
+    // bound: one entry per sender heard from; each reordering buffer is capped by `window` (overflow skips the gap).
     incoming: HashMap<NodeId, SenderState>,
 }
 

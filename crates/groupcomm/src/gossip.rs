@@ -251,10 +251,12 @@ type StreamKey = (NodeId, u64);
 /// Session state of the gossip layer.
 #[derive(Debug)]
 pub struct GossipSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     /// Set view of `members`, refreshed on every view install: the guard
     /// that keeps repair traffic (digest replies, NACK-pull answers) from
     /// flowing to expelled or crashed peers that are no longer in the view.
+    // bound: <= view size; rebuilt on every view install.
     member_set: HashSet<NodeId>,
     fanout: usize,
     ttl: u32,
@@ -271,21 +273,26 @@ pub struct GossipSession {
     inc: u64,
     inc_ready: bool,
     next_seq: u64,
+    // bound: capped at `seen_cap` and aged out after `seen_ttl_ms`, enforced via `seen_order`.
     seen: HashSet<(NodeId, u64, u64)>,
     /// Insertion-ordered `(id, remembered-at ms)` ring backing the eviction
     /// policy: bounded capacity plus age-based expiry, so the
     /// duplicate-suppression memory stays capped no matter how long the
     /// epidemic data path runs.
+    // bound: the ring itself -- `seen_cap` entries, `seen_ttl_ms` age.
     seen_order: VecDeque<((NodeId, u64, u64), u64)>,
     /// Per-stream delivery record — the repair pass's ground truth. Never
     /// capacity-evicted (unlike `seen`), so a message that fell out of the
     /// seen set is still known as delivered when a late NACK pull re-streams
     /// it.
+    // bound: <= TRACKED_INCS_PER_ORIGIN streams per origin (stale incarnations evicted); each entry is a contiguous floor plus a DELIVERED_GAP_CAP-capped sparse set.
     delivered: HashMap<StreamKey, Delivered>,
     /// The repair log: recently delivered original messages, servable on a
     /// NACK pull. Bounded by `repair_log_cap` (ring) and
     /// `repair_log_ttl_ms` (age).
+    // bound: `repair_log_cap` ring + `repair_log_ttl_ms` age, enforced via `log_order`.
     log: HashMap<StreamKey, BTreeMap<u64, Message>>,
+    // bound: same ring as `log` -- `repair_log_cap` entries, `repair_log_ttl_ms` age.
     log_order: VecDeque<(StreamKey, u64, u64)>,
     pulls_this_interval: usize,
     repair_timer: Option<u64>,

@@ -24,6 +24,7 @@
 //! kernel; [`suite`] also provides the standard channel compositions used by
 //! the Morpheus Core subsystem.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod beb;
 pub mod causal;

@@ -91,6 +91,7 @@ impl Layer for MechoLayer {
 /// Session state of the Mecho layer.
 #[derive(Debug)]
 pub struct MechoSession {
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     mode: MechoMode,
     relay: Option<NodeId>,

@@ -291,10 +291,13 @@ struct OutgoingTransfer {
 
 /// Session state of the recovery layer.
 pub struct RecoverySession {
+    // bound: fixed at stack construction -- one entry per registered state section.
     sections: Vec<Rc<dyn StateSection>>,
+    // bound: replaced wholesale on every view install; <= view size.
     members: Vec<NodeId>,
     view: Option<View>,
     phase: Phase,
+    // bound: capped at BUFFER_CAP (drop-oldest); flushed when the join completes.
     buffered: VecDeque<Event>,
     retry_ms: u64,
     transfer_timeout_ms: u64,
@@ -305,7 +308,9 @@ pub struct RecoverySession {
     /// the input of the expelled-but-alive detection: when *every* other
     /// view member is suspected at once, the local node is overwhelmingly
     /// the one that was cut off.
+    // bound: subset of the current view; retained on view install, cleared on resolution.
     suspected: BTreeSet<NodeId>,
+    // bound: one transfer per active joiner; quiet transfers are evicted after the transfer timeout and non-members on view install.
     serving: HashMap<NodeId, OutgoingTransfer>,
     timer: Option<u64>,
     phase_started_ms: u64,

@@ -6,7 +6,7 @@
 //! a bounded buffer of recently sent messages to serve those requests.
 //! Delivery is per-sender FIFO (the layer subsumes [`crate::fifo`]).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
 use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
@@ -59,7 +59,7 @@ impl Layer for ReliableLayer {
             nack_interval_ms: param_or(params, "nack_interval_ms", 200u64).max(10),
             next_seq: 0,
             sent: BTreeMap::new(),
-            incoming: HashMap::new(),
+            incoming: BTreeMap::new(),
             retransmissions: 0,
             nacks_sent: 0,
         })
@@ -79,8 +79,13 @@ pub struct ReliableSession {
     nack_interval_ms: u64,
     next_seq: u64,
     /// Recently sent messages (with the sequence header already pushed).
+    // bound: capped at `retention` -- the oldest entry is evicted on overflow.
     sent: BTreeMap<u64, Message>,
-    incoming: HashMap<NodeId, IncomingState>,
+    // A BTreeMap, not a HashMap: `send_nacks` iterates per-origin state and
+    // emits NACK packets — their on-wire order must not depend on hash
+    // state (det:map-iter).
+    // bound: one entry per origin in the group; each per-origin reorder buffer drains as NACK repair fills its gaps.
+    incoming: BTreeMap<NodeId, IncomingState>,
     retransmissions: u64,
     nacks_sent: u64,
 }
@@ -90,10 +95,9 @@ impl ReliableSession {
         let local = ctx.node_id();
         let mut requests: Vec<(NodeId, Vec<u64>)> = Vec::new();
         for (origin, state) in &self.incoming {
-            if state.pending.is_empty() {
+            let Some(highest) = state.pending.keys().next_back().copied() else {
                 continue;
-            }
-            let highest = *state.pending.keys().next_back().expect("non-empty");
+            };
             let missing: Vec<u64> = (state.expected..highest)
                 .filter(|seq| !state.pending.contains_key(seq))
                 .take(64)

@@ -71,8 +71,10 @@ pub struct TotalSession {
     /// Next global sequence number to deliver locally.
     next_delivery: u64,
     /// Global order as learnt from the sequencer: global seq -> message id.
+    // bound: drained in lockstep with `next_delivery` -- holds only the undelivered suffix.
     order: BTreeMap<u64, TotalIdHeader>,
     /// Messages waiting for their position in the global order.
+    // bound: entries leave on delivery; holds only messages awaiting their global slot.
     buffered: HashMap<TotalIdHeader, Event>,
     delivered: u64,
 }

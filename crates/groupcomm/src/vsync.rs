@@ -178,6 +178,7 @@ pub struct VsyncSession {
     /// True until the first view containing the local node installs.
     joining: bool,
     blocked: bool,
+    // bound: grows only while the channel is blocked; flushed on every resume or install.
     buffered: Vec<Event>,
     round: Option<Round>,
     /// Highest view-round ballot this node has proposed or accepted.
@@ -195,7 +196,9 @@ pub struct VsyncSession {
     installed_ballot: (u64, NodeId),
     /// Membership changes queued while no round can run them. Cleared only
     /// when an installed view reflects them, so an aborted round re-proposes.
+    // bound: subset of the current membership; cleared as installed views absorb it.
     pending_removals: BTreeSet<NodeId>,
+    // bound: <= announced joiners; cleared as installed views absorb it.
     pending_joins: BTreeSet<NodeId>,
     view_changes: u64,
     retransmit_interval_ms: u64,

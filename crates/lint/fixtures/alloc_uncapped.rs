@@ -1,0 +1,11 @@
+//! Fixture: pre-allocation from a decoded count with no cap guard against
+//! the bytes actually present. Expect exactly `alloc:cap`.
+
+fn decode_list(reader: &mut WireReader<'_>) -> Result<Vec<u64>, WireError> {
+    let count = reader.get_u32()? as usize;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        items.push(reader.get_u64()?);
+    }
+    Ok(items)
+}

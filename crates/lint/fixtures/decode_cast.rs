@@ -1,0 +1,6 @@
+//! Fixture: truncating cast on a decoded length field. Expect exactly
+//! `decode:cast`.
+
+fn decode_length(wire_len: u64) -> u16 {
+    wire_len as u16
+}

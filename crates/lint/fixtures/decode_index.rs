@@ -1,0 +1,6 @@
+//! Fixture: direct slice indexing on a decode path. Expect exactly
+//! `decode:index`.
+
+fn decode_tag(buf: &[u8]) -> u8 {
+    buf[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: panicking unwrap on a decode path. Expect exactly
+//! `decode:panic`.
+
+fn decode_header(buf: &[u8]) -> (u8, u8) {
+    let first = buf.first().copied().unwrap();
+    (first, first)
+}

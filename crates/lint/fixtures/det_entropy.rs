@@ -1,0 +1,5 @@
+//! Fixture: OS entropy in protocol code. Expect exactly `det:entropy`.
+
+fn roll() -> u32 {
+    rand::random()
+}

@@ -1,0 +1,15 @@
+//! Fixture: hash-order iteration with observable effects. Expect exactly
+//! `det:map-iter`.
+
+struct PeerTableFixture {
+    peers: HashMap<u32, u64>,
+    emitted: u64,
+}
+
+impl PeerTableFixture {
+    fn emit_all(&mut self) {
+        for (peer, seq) in &self.peers {
+            self.emitted += peer + seq;
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: hash iteration whose collected result is immediately sorted —
+//! order restored, so the pass must stay quiet. Expect no findings.
+
+struct SortedTableFixture {
+    peers: HashMap<u32, u64>,
+}
+
+impl SortedTableFixture {
+    fn snapshot(&self) -> Vec<(u32, u64)> {
+        let mut entries: Vec<(u32, u64)> = self.peers.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        entries
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: subprocess use in protocol code. Expect exactly `det:process`.
+
+fn shell_out() {
+    let _child = std::process::Command::new("true").spawn();
+}

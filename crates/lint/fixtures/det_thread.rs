@@ -1,0 +1,5 @@
+//! Fixture: OS thread spawn in protocol code. Expect exactly `det:thread`.
+
+fn run_detached() {
+    std::thread::spawn(|| loop {});
+}

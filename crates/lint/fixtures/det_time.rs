@@ -1,0 +1,6 @@
+//! Fixture: wall-clock use in protocol code. Expect exactly `det:time`.
+
+fn stamp() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis() as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock use carrying a justified waiver. Expect no
+//! findings (the waiver is consumed, so it is not stale either).
+
+fn stamp() -> u64 {
+    // lint:allow(det:time) -- fixture: exercising the waiver path
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis() as u64
+}

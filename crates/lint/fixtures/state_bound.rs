@@ -1,0 +1,18 @@
+//! Fixture: a `Session` type whose collection fields carry `// bound:`
+//! annotations. Expect no findings.
+
+struct BoundedFixtureSession {
+    // bound: capped at `retention`; oldest entry evicted on overflow.
+    backlog: Vec<Event>,
+    /// Peers of the current view.
+    ///
+    /// bound: replaced wholesale on every view install.
+    peers: Vec<u32>,
+    delivered: u64,
+}
+
+impl Session for BoundedFixtureSession {
+    fn layer_name(&self) -> &str {
+        "fixture"
+    }
+}

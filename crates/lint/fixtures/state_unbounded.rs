@@ -1,0 +1,13 @@
+//! Fixture: a `Session` type with an unannotated collection field. Expect
+//! exactly `state:bound`.
+
+struct UnboundedFixtureSession {
+    backlog: Vec<Event>,
+    delivered: u64,
+}
+
+impl Session for UnboundedFixtureSession {
+    fn layer_name(&self) -> &str {
+        "fixture"
+    }
+}

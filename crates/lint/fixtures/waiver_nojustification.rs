@@ -1,0 +1,7 @@
+//! Fixture: a waiver without the mandatory `-- justification` tail. Expect
+//! exactly `waiver:syntax`.
+
+fn quiet() -> u64 {
+    // lint:allow(det:time)
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: a waiver naming a rule the pass does not know. Expect exactly
+//! `waiver:unknown-rule`.
+
+fn quiet() -> u64 {
+    // lint:allow(bogus:rule) -- fixture: no such rule family
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: a well-formed waiver that suppresses nothing. Expect exactly
+//! `waiver:unused`.
+
+fn quiet() -> u64 {
+    // lint:allow(det:time) -- fixture: nothing on the next line trips this
+    7
+}

@@ -1,0 +1,74 @@
+//! CLI contract: exit codes, plain and JSON output.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_morpheus-lint"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn findings_exit_nonzero_and_print_one_line_per_diagnostic() {
+    let output = bin()
+        .arg("--crate")
+        .arg("appia")
+        .arg(fixture("det_time.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(
+        stdout.contains("det:time"),
+        "finding printed to stdout, got {stdout}"
+    );
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let output = bin()
+        .arg("--crate")
+        .arg("appia")
+        .arg(fixture("state_bound.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(0), "clean input must exit 0");
+}
+
+#[test]
+fn json_output_carries_rule_and_line() {
+    let output = bin()
+        .arg("--json")
+        .arg("--crate")
+        .arg("appia")
+        .arg(fixture("det_time.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(stdout.trim_start().starts_with('['), "JSON array: {stdout}");
+    assert!(stdout.contains("\"rule\":\"det:time\""), "rule: {stdout}");
+    assert!(stdout.contains("\"line\":4"), "line: {stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let output = bin().output().expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "no input is a usage error");
+
+    let output = bin()
+        .arg("--workspace")
+        .arg(fixture("det_time.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "--workspace plus explicit files is a usage error"
+    );
+}

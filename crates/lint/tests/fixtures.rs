@@ -1,0 +1,107 @@
+//! Fixture-driven rule tests: every bad fixture trips exactly its rule,
+//! every clean fixture stays silent, and the determinism family respects
+//! its protocol-crate scope.
+
+use std::path::PathBuf;
+
+use morpheus_lint::{run, SourceFile};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Runs the pass over one fixture as if it lived in `crate_name`, returning
+/// the sorted list of tripped rule ids.
+fn rules_for(name: &str, crate_name: &str) -> Vec<&'static str> {
+    let source = SourceFile {
+        path: fixture(name),
+        crate_name: crate_name.to_string(),
+    };
+    let diagnostics = run(std::slice::from_ref(&source)).expect("fixture readable");
+    diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[track_caller]
+fn assert_trips(name: &str, expected: &[&str]) {
+    assert_eq!(
+        rules_for(name, "appia"),
+        expected,
+        "fixture {name} must trip exactly {expected:?}"
+    );
+}
+
+#[test]
+fn determinism_fixtures() {
+    assert_trips("det_time.rs", &["det:time"]);
+    assert_trips("det_thread.rs", &["det:thread"]);
+    assert_trips("det_process.rs", &["det:process"]);
+    assert_trips("det_entropy.rs", &["det:entropy"]);
+    assert_trips("det_map_iter.rs", &["det:map-iter"]);
+}
+
+#[test]
+fn sorted_hash_iteration_is_exempt() {
+    assert_trips("det_map_iter_sorted.rs", &[]);
+}
+
+#[test]
+fn determinism_rules_only_cover_protocol_crates() {
+    assert_eq!(
+        rules_for("det_time.rs", "lint"),
+        Vec::<&str>::new(),
+        "the determinism family must not fire outside protocol crates"
+    );
+}
+
+#[test]
+fn decode_fixtures() {
+    assert_trips("decode_unwrap.rs", &["decode:panic"]);
+    assert_trips("decode_index.rs", &["decode:index"]);
+    assert_trips("decode_cast.rs", &["decode:cast"]);
+}
+
+#[test]
+fn decode_rules_fire_in_every_crate() {
+    assert_eq!(
+        rules_for("decode_unwrap.rs", "lint"),
+        vec!["decode:panic"],
+        "panic-freedom on decode paths is workspace-wide"
+    );
+}
+
+#[test]
+fn prealloc_fixtures() {
+    assert_trips("alloc_uncapped.rs", &["alloc:cap"]);
+    assert_trips("alloc_capped.rs", &[]);
+}
+
+#[test]
+fn session_state_fixtures() {
+    assert_trips("state_unbounded.rs", &["state:bound"]);
+    assert_trips("state_bound.rs", &[]);
+}
+
+#[test]
+fn waiver_fixtures() {
+    assert_trips("det_time_waivered.rs", &[]);
+    assert_trips("waiver_unused.rs", &["waiver:unused"]);
+    assert_trips("waiver_nojustification.rs", &["waiver:syntax"]);
+    assert_trips("waiver_unknown_rule.rs", &["waiver:unknown-rule"]);
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let source = SourceFile {
+        path: fixture("det_time.rs"),
+        crate_name: "appia".to_string(),
+    };
+    let diagnostics = run(std::slice::from_ref(&source)).expect("fixture readable");
+    assert_eq!(diagnostics.len(), 1);
+    let rendered = diagnostics[0].to_string();
+    assert!(
+        rendered.contains("det_time.rs:4: det:time:"),
+        "diagnostic renders as file:line: rule: message, got {rendered}"
+    );
+}

@@ -1,0 +1,28 @@
+//! The workspace must stay clean under its own invariants checker: any
+//! finding here means either a real regression or a rule that needs a
+//! justified waiver at the offending site.
+
+use std::path::PathBuf;
+
+use morpheus_lint::{run, workspace_files};
+
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let files = workspace_files(&root).expect("workspace walk succeeds");
+    assert!(
+        files.len() > 50,
+        "the walk must cover the whole workspace, found only {} files",
+        files.len()
+    );
+    let diagnostics = run(&files).expect("all sources readable");
+    let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diagnostics.is_empty(),
+        "workspace must be lint-clean, got:\n{}",
+        rendered.join("\n")
+    );
+}

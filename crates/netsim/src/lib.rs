@@ -25,6 +25,8 @@
 //!   partitions, latency shifts, churn, packet corruption);
 //! * [`trace`] — an optional bounded event trace for debugging.
 
+#![forbid(unsafe_code)]
+
 pub mod battery;
 pub mod engine;
 pub mod fault;

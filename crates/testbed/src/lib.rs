@@ -13,6 +13,7 @@
 //!   [`report::RunReport`] with the per-node message counts (the metric of
 //!   the paper's Figure 3), energy, deliveries and reconfiguration events.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod platform;
 pub mod report;

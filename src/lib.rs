@@ -34,6 +34,8 @@
 //! println!("{}", report.to_table());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use morpheus_appia as appia;
 pub use morpheus_chat as chat;
 pub use morpheus_cocaditem as cocaditem;
