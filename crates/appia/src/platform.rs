@@ -348,6 +348,19 @@ pub enum DeliveryKind {
         /// milliseconds.
         elapsed_ms: u64,
     },
+    /// A member that outlived its repair-log retention window (long
+    /// partition) closed the gap with a targeted state-section pull instead
+    /// of a full rejoin: no restart, no view change, no stack teardown.
+    /// Reported by the recovery layer on the healed node.
+    CaughtUp {
+        /// The member the snapshot sections were pulled from (the repair
+        /// floor's sender).
+        donor: NodeId,
+        /// Total snapshot bytes transferred.
+        bytes: u64,
+        /// Number of chunks the snapshot was streamed in.
+        chunks: u32,
+    },
     /// The local context store first covered the whole group membership:
     /// a snapshot is now known for every participant. Reported once per
     /// membership by the context dissemination layer, so testbeds can

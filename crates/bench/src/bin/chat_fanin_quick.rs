@@ -43,6 +43,14 @@ struct CaseResult {
     dup_ratio: f64,
     data_dropped: u64,
     messages_lost: u64,
+    control_lost: u64,
+    shed_packets: u64,
+    max_queue_depth: u64,
+    queue_cap: u64,
+    catchups: u64,
+    floor_escalations: u64,
+    restarts: u64,
+    wedged: bool,
     rounds: usize,
     msgs_per_sec: f64,
     wall_ms: f64,
@@ -73,6 +81,14 @@ fn run_case(name: &str, scenario: &Scenario) -> CaseResult {
         dup_ratio: gossip.duplicates as f64 / deliveries.max(1) as f64,
         data_dropped: report.data_dropped,
         messages_lost: report.messages_lost,
+        control_lost: report.control_lost,
+        shed_packets: report.shed_packets,
+        max_queue_depth: report.max_queue_depth,
+        queue_cap: scenario.wedge_queue_cap,
+        catchups: report.total_catchups(),
+        floor_escalations: gossip.floor_escalations,
+        restarts: report.nodes.iter().map(|node| node.restarts).sum(),
+        wedged: report.wedge.is_some(),
         rounds: report.completed_rounds().len(),
         msgs_per_sec: deliveries as f64 / (wall_ms / 1000.0).max(1e-9),
         wall_ms,
@@ -95,8 +111,18 @@ fn main() {
         loss * 100.0
     );
     eprintln!(
-        "{:>18}  {:>5}  {:>7}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>9}",
-        "case", "n", "repair", "coverage", "repaired", "pulls", "dup", "lost", "msgs/s"
+        "{:>18}  {:>5}  {:>7}  {:>9}  {:>9}  {:>8}  {:>8}  {:>7}  {:>7}  {:>7}  {:>9}",
+        "case",
+        "n",
+        "repair",
+        "coverage",
+        "repaired",
+        "pulls",
+        "dup",
+        "lost",
+        "shed",
+        "catchup",
+        "msgs/s"
     );
 
     let results = vec![
@@ -126,11 +152,17 @@ fn main() {
             "repair-on-n50",
             &Scenario::chat_fanin(50, 50).with_data_loss(loss),
         ),
+        // Overload resilience: every member sends at twice the service rate
+        // for 10 s of simulated time against the bounded event queue.
+        run_case("sustained-2x", &Scenario::sustained_overload(n, n, 10_000)),
+        // Partition healing: one member cut off for 3x the repair-log TTL
+        // reconverges through the repair→snapshot catch-up, not a rejoin.
+        run_case("long-partition-n50", &Scenario::long_partition(50, 30_000)),
     ];
 
     for result in &results {
         eprintln!(
-            "{:>18}  {:>5}  {:>7}  {:>8.3}%  {:>9}  {:>8}  {:>8.2}  {:>7}  {:>9.0}",
+            "{:>18}  {:>5}  {:>7}  {:>8.3}%  {:>9}  {:>8}  {:>8.2}  {:>7}  {:>7}  {:>7}  {:>9.0}",
             result.name,
             result.n,
             if result.repair_on { "on" } else { "off" },
@@ -139,6 +171,8 @@ fn main() {
             result.repair_pulls,
             result.dup_ratio,
             result.messages_lost,
+            result.shed_packets,
+            result.catchups,
             result.msgs_per_sec,
         );
     }
@@ -162,6 +196,9 @@ fn main() {
              \"repair\": {}, \"coverage\": {:.5}, \"deliveries\": {}, \"expected\": {}, \
              \"repair_pulls\": {}, \"repair_pushes\": {}, \"repaired_deliveries\": {}, \
              \"dup_ratio\": {:.4}, \"data_dropped\": {}, \"messages_lost\": {}, \
+             \"control_lost\": {}, \"shed_packets\": {}, \"max_queue_depth\": {}, \
+             \"queue_cap\": {}, \"catchups\": {}, \"floor_escalations\": {}, \
+             \"restarts\": {}, \"wedged\": {}, \
              \"rounds\": {}, \"msgs_per_sec\": {:.0}, \"wall_ms\": {:.1}}}{}\n",
             result.name,
             result.n,
@@ -177,6 +214,14 @@ fn main() {
             result.dup_ratio,
             result.data_dropped,
             result.messages_lost,
+            result.control_lost,
+            result.shed_packets,
+            result.max_queue_depth,
+            result.queue_cap,
+            result.catchups,
+            result.floor_escalations,
+            result.restarts,
+            result.wedged,
             result.rounds,
             result.msgs_per_sec,
             result.wall_ms,
@@ -190,13 +235,20 @@ fn main() {
 
     // --- Assertions: the acceptance criteria of the reliable epidemic data
     // plane (after the results file is written, so failed runs still record
-    // their data).
+    // their data). The overload and partition cases run without injected
+    // loss and with workloads that change the expected-delivery arithmetic,
+    // so the steady-state coverage criteria apply only to the fan-in cases.
+    let steady = |result: &&CaseResult| {
+        !result.name.starts_with("sustained") && !result.name.starts_with("long-partition")
+    };
     for result in &results {
         assert_eq!(
             result.messages_lost, 0,
             "live links lose nothing — injected drops are accounted separately ({})",
             result.name
         );
+    }
+    for result in results.iter().filter(steady) {
         assert!(
             result.data_dropped > 0,
             "the injected data loss must be real ({})",
@@ -207,15 +259,6 @@ fn main() {
             "the large-group adaptation round must have completed ({})",
             result.name
         );
-    }
-    let baseline = &results[0];
-    assert!(
-        baseline.coverage < 0.999,
-        "the pre-repair baseline should be visibly lossy, or the comparison is vacuous \
-         (got {:.4})",
-        baseline.coverage
-    );
-    for result in &results {
         // Coverage is an unclamped ratio: above 1.0 would mean duplicate
         // messages reached the application — as much a violation as a gap.
         assert!(
@@ -225,7 +268,18 @@ fn main() {
             result.coverage
         );
     }
-    for result in results.iter().filter(|result| result.repair_on) {
+    let baseline = &results[0];
+    assert!(
+        baseline.coverage < 0.999,
+        "the pre-repair baseline should be visibly lossy, or the comparison is vacuous \
+         (got {:.4})",
+        baseline.coverage
+    );
+    for result in results
+        .iter()
+        .filter(steady)
+        .filter(|result| result.repair_on)
+    {
         assert!(
             result.coverage >= 0.999,
             "with repair on, epidemic coverage must converge to >= 99.9% ({}: {:.4})",
@@ -237,5 +291,49 @@ fn main() {
             "the repair pass must have done the closing work ({})",
             result.name
         );
+        assert!(
+            result.dup_ratio < 1.4,
+            "push aggregation must keep the duplicate ratio under 1.4 ({}: {:.3})",
+            result.name,
+            result.dup_ratio
+        );
     }
+    // Overload resilience: 2x the service rate degrades gracefully — the
+    // queue stays inside the bounded-degradation envelope, nothing on the
+    // control plane is shed, no node wedges or crashes, and throughput
+    // holds a conservative floor.
+    let overload = results
+        .iter()
+        .find(|result| result.name == "sustained-2x")
+        .expect("the sustained-overload case ran");
+    assert!(!overload.wedged, "overload must degrade, not wedge");
+    assert_eq!(overload.control_lost, 0, "control traffic is never shed");
+    assert_eq!(overload.restarts, 0, "overload must not crash a node");
+    assert!(
+        overload.max_queue_depth <= overload.queue_cap * 2,
+        "queue depth {} exceeded the bounded-degradation envelope ({})",
+        overload.max_queue_depth,
+        overload.queue_cap * 2
+    );
+    assert!(
+        overload.msgs_per_sec > 20_000.0,
+        "overload throughput fell through the floor ({:.0} msgs/s)",
+        overload.msgs_per_sec
+    );
+    // Partition healing: a member cut off for 3x the repair-log TTL comes
+    // back through the repair→snapshot catch-up — no restart, no rejoin.
+    let partition = results
+        .iter()
+        .find(|result| result.name == "long-partition-n50")
+        .expect("the long-partition case ran");
+    assert!(!partition.wedged, "healing must not wedge");
+    assert_eq!(partition.restarts, 0, "healing must not restart the member");
+    assert!(
+        partition.floor_escalations >= 1,
+        "the evicted span must be detected via the repair-log floor"
+    );
+    assert!(
+        partition.catchups >= 1,
+        "the snapshot catch-up must have closed the evicted span"
+    );
 }

@@ -26,7 +26,7 @@
 
 #![forbid(unsafe_code)]
 
-use morpheus_netsim::FaultSchedule;
+use morpheus_netsim::{FaultEvent, FaultSchedule, NodeId};
 use morpheus_testbed::{Runner, Scenario, WedgeReport};
 
 struct CaseResult {
@@ -57,6 +57,13 @@ impl CaseResult {
 fn run_case(n: usize, seed: u64) -> CaseResult {
     let base = Scenario::fault_harness(n, seed);
     let schedule = FaultSchedule::generate(seed, n, base.end_time_ms());
+    run_scheduled(n, seed, schedule)
+}
+
+/// Runs one explicit (non-generated) schedule against the fault harness
+/// under the same invariants as the sweep cases.
+fn run_scheduled(n: usize, seed: u64, schedule: FaultSchedule) -> CaseResult {
+    let base = Scenario::fault_harness(n, seed);
     let scenario = base.with_fault_schedule(schedule.clone());
     let started = std::time::Instant::now();
     let report = Runner::new().run(&scenario);
@@ -118,8 +125,7 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for index in 0..budget {
-        let result = run_case(n, base_seed + index);
+    let print_row = |result: &CaseResult| {
         eprintln!(
             "{:>6}  {:>30}  {:>7}  {:>9}  {:>5}  {:>8}  {:>7.0}  {:>6}",
             result.seed,
@@ -131,6 +137,36 @@ fn main() {
             result.wall_ms,
             if result.passed() { "ok" } else { "FAIL" },
         );
+    };
+    for index in 0..budget {
+        let result = run_case(n, base_seed + index);
+        print_row(&result);
+        results.push(result);
+    }
+
+    // Two scheduled rows for the fault classes the generator deliberately
+    // never emits: a sustained 2x-rate overload across the chat window, and
+    // a single-node partition that outlives the suspicion timeout (expel,
+    // heal, reconverge). Both run under the full sweep invariants.
+    let harness = Scenario::fault_harness(n, base_seed);
+    let chat_start = harness.workload.warmup_ms;
+    let overload = FaultSchedule {
+        events: vec![FaultEvent::Overload {
+            start_ms: chat_start,
+            end_ms: chat_start + 4_000,
+            interval_ms: harness.workload.interval_ms,
+        }],
+    };
+    let partition = FaultSchedule {
+        events: vec![FaultEvent::Partition {
+            node: NodeId(n as u32 - 1),
+            start_ms: chat_start,
+            end_ms: chat_start + 7_000,
+        }],
+    };
+    for schedule in [overload, partition] {
+        let result = run_scheduled(n, base_seed, schedule);
+        print_row(&result);
         results.push(result);
     }
 
@@ -141,8 +177,20 @@ fn main() {
     };
 
     // Survival matrix per fault class: how many sweep cases exercised the
-    // class and how many of those survived every invariant.
+    // class and how many of those survived every invariant. `all_classes`
+    // is what `FaultSchedule::generate` can emit; the scheduled-only
+    // classes appear in the survival table but are exempt from the
+    // generator-coverage assertion below.
     let all_classes = ["flap", "oneway", "latency", "churn", "corrupt"];
+    let survival_classes = [
+        "flap",
+        "oneway",
+        "latency",
+        "churn",
+        "corrupt",
+        "overload",
+        "partition",
+    ];
     let class_row = |class: &str| -> (u64, u64) {
         let runs = results
             .iter()
@@ -162,11 +210,11 @@ fn main() {
     json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
     json.push_str(&format!("  \"schedules\": {budget},\n"));
     json.push_str("  \"survival\": {\n");
-    for (index, class) in all_classes.iter().enumerate() {
+    for (index, class) in survival_classes.iter().enumerate() {
         let (total, passed) = class_row(class);
         json.push_str(&format!(
             "    \"{class}\": {{\"runs\": {total}, \"passed\": {passed}}}{}\n",
-            if index + 1 == all_classes.len() {
+            if index + 1 == survival_classes.len() {
                 ""
             } else {
                 ","

@@ -71,6 +71,7 @@ impl ChatApp {
             DeliveryKind::ReconfigurationComplete { .. }
             | DeliveryKind::ContextConverged { .. }
             | DeliveryKind::Rejoined { .. }
+            | DeliveryKind::CaughtUp { .. }
             | DeliveryKind::Notification(_) => None,
         }
     }

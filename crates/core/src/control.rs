@@ -143,7 +143,11 @@ impl Layer for CoreLayer {
                 .with_fd_fanout(param_or(params, "control_fanout", 3usize))
                 .with_view_change_timing(retransmit, round_timeout)
                 .with_transfer_chunk_bytes(param_or(params, "transfer_chunk_bytes", 1024usize))
-                .with_gossip_repair(param_or(params, "gossip_repair_interval_ms", 1000u64)),
+                .with_gossip_repair(param_or(params, "gossip_repair_interval_ms", 1000u64))
+                .with_gossip_flow(
+                    param_or(params, "gossip_credit_window", 128usize),
+                    param_or(params, "gossip_batch_max", 4usize),
+                ),
             members,
             data_channel,
             adaptive: param_or(params, "adaptive", true),

@@ -74,6 +74,14 @@ pub struct NodeOptions {
     /// in milliseconds (`0` disables repair, leaving the pure push-phase
     /// gossip — the pre-repair baseline benchmarks compare against).
     pub gossip_repair_interval_ms: u64,
+    /// Per-peer credit window of the epidemic data stack: how many gossip
+    /// pushes a sender may have in flight towards one peer before it defers
+    /// into the bounded outbox and falls back to digest/pull repair (`0`
+    /// disables backpressure).
+    pub gossip_credit_window: usize,
+    /// How many application messages one gossip packet may aggregate
+    /// (`1` = singleton pushes, the pre-batching baseline).
+    pub gossip_batch_max: usize,
     /// Whether this node is a *restarted* member re-entering a running
     /// group: its stacks come up in joining mode (empty view, blocked) and
     /// the recovery layer drives re-admission plus state transfer.
@@ -102,6 +110,8 @@ impl NodeOptions {
             round_timeout_ms: 4000,
             control_fanout: 3,
             gossip_repair_interval_ms: 1000,
+            gossip_credit_window: 128,
+            gossip_batch_max: 4,
             rejoining: false,
             transfer_chunk_bytes: 1024,
             data_channel: "data".to_string(),
@@ -191,6 +201,7 @@ impl MorpheusNode {
             .with_view_change_timing(options.retransmit_interval_ms, options.round_timeout_ms)
             .with_transfer_chunk_bytes(options.transfer_chunk_bytes)
             .with_gossip_repair(options.gossip_repair_interval_ms)
+            .with_gossip_flow(options.gossip_credit_window, options.gossip_batch_max)
             .with_rejoining(options.rejoining);
 
         let data_config = catalog.config_for(&options.initial_stack);
@@ -225,6 +236,14 @@ impl MorpheusNode {
         core_params.push((
             "gossip_repair_interval_ms".to_string(),
             options.gossip_repair_interval_ms.to_string(),
+        ));
+        core_params.push((
+            "gossip_credit_window".to_string(),
+            options.gossip_credit_window.to_string(),
+        ));
+        core_params.push((
+            "gossip_batch_max".to_string(),
+            options.gossip_batch_max.to_string(),
         ));
         let control_config = catalog.control_config(
             &options.control_channel,
@@ -296,6 +315,20 @@ impl MorpheusNode {
             .as_any()?
             .downcast_ref::<morpheus_groupcomm::gossip::GossipSession>()
             .map(morpheus_groupcomm::gossip::GossipSession::stats)
+    }
+
+    /// Counters of the data channel's recovery session as
+    /// `(buffer_shed, catchups)`: application sends shed from the bounded
+    /// join-view buffer, and completed repair→snapshot catch-up transfers.
+    /// `None` when the data stack carries no recovery layer.
+    pub fn recovery_stats(&self) -> Option<(u64, u64)> {
+        let channel = self.kernel.channel(self.data_channel)?;
+        let session = channel.session_of(morpheus_groupcomm::recovery::RECOVERY_LAYER)?;
+        let session = session.borrow();
+        session
+            .as_any()?
+            .downcast_ref::<morpheus_groupcomm::recovery::RecoverySession>()
+            .map(|recovery| (recovery.buffer_shed(), recovery.catchup_count()))
     }
 
     /// Layer names of the data channel, bottom-first.

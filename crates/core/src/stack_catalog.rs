@@ -25,6 +25,8 @@ pub struct StackCatalog {
     round_timeout_ms: u64,
     transfer_chunk_bytes: usize,
     gossip_repair_interval_ms: u64,
+    gossip_credit_window: usize,
+    gossip_batch_max: usize,
     rejoining: bool,
 }
 
@@ -42,6 +44,8 @@ impl StackCatalog {
             round_timeout_ms: 4000,
             transfer_chunk_bytes: 1024,
             gossip_repair_interval_ms: 1000,
+            gossip_credit_window: 128,
+            gossip_batch_max: 4,
             rejoining: false,
         }
     }
@@ -82,6 +86,15 @@ impl StackCatalog {
         self
     }
 
+    /// Overrides the epidemic flow control of generated gossip stacks: the
+    /// per-peer credit window (`0` disables backpressure) and how many app
+    /// messages one gossip packet may aggregate (`1` = singleton pushes).
+    pub fn with_gossip_flow(mut self, credit_window: usize, batch_max: usize) -> Self {
+        self.gossip_credit_window = credit_window;
+        self.gossip_batch_max = batch_max.max(1);
+        self
+    }
+
     /// Marks generated stacks as belonging to a restarted node re-entering
     /// the group (vsync starts with an empty view; the recovery layer drives
     /// re-admission and state transfer).
@@ -108,6 +121,8 @@ impl StackCatalog {
             .view_change_timing(self.retransmit_interval_ms, self.round_timeout_ms)
             .transfer_chunk_bytes(self.transfer_chunk_bytes)
             .gossip_repair_interval_ms(self.gossip_repair_interval_ms)
+            .gossip_credit_window(self.gossip_credit_window)
+            .gossip_batch_max(self.gossip_batch_max)
             .rejoining(self.rejoining)
     }
 

@@ -76,6 +76,23 @@ sendable_event! {
 }
 
 sendable_event! {
+    /// Retention fall-through answer to a [`GossipRepairPull`] that asked
+    /// for sequence numbers older than the responder's repair-log floor
+    /// (header: [`crate::headers::RepairFloorBody`]). Tells the puller NACK
+    /// repair can never close that gap; the puller escalates to a targeted
+    /// state-section pull against the responder instead.
+    pub struct GossipRepairFloor, class: Control
+}
+
+sendable_event! {
+    /// Several app messages aggregated into one gossip packet (header:
+    /// [`crate::headers::GossipBatchBody`]). Data class: batches carry
+    /// application payloads and must experience the same loss and
+    /// accounting as singleton pushes.
+    pub struct GossipBatch, class: Data
+}
+
+sendable_event! {
     /// A forward-error-correction parity block covering a window of data
     /// messages (header: [`crate::headers::FecParityHeader`]).
     pub struct FecParity, class: Control
@@ -139,6 +156,20 @@ internal_event! {
     /// empty view, channel blocked — so the node re-enters through the same
     /// join path a restarted node uses.
     pub struct Rejoin {}
+    categories: [Internal]
+}
+
+internal_event! {
+    /// Raised *up* the stack by the gossip layer when a
+    /// [`GossipRepairFloor`] told it a missed span was evicted from every
+    /// reachable repair log. The recovery layer above answers with a
+    /// targeted state-section pull against the donor — snapshot catch-up
+    /// without a view change or stack teardown.
+    pub struct CatchupRequest {
+        /// The member whose repair log floored the pull: known complete up
+        /// to its digest, so it serves as the snapshot donor.
+        pub donor: NodeId,
+    }
     categories: [Internal]
 }
 

@@ -34,14 +34,24 @@ use morpheus_appia::message::Message;
 use morpheus_appia::platform::NodeId;
 use morpheus_appia::session::Session;
 
-use crate::events::{GossipRepairDigest, GossipRepairPull, GossipRepairPush, ViewInstall};
-use crate::headers::{GossipHeader, RepairDigest, RepairPull, RepairPushHeader, RepairRange};
+use crate::events::{
+    CatchupRequest, GossipBatch, GossipRepairDigest, GossipRepairFloor, GossipRepairPull,
+    GossipRepairPush, ViewInstall,
+};
+use crate::headers::{
+    GossipBatchBody, GossipHeader, RepairDigest, RepairFloorBody, RepairPull, RepairPushHeader,
+    RepairRange,
+};
 
 /// Registered name of the gossip multicast layer.
 pub const GOSSIP_LAYER: &str = "gossip";
 
 /// Timer tag of the periodic repair tick.
 const REPAIR_TAG: u32 = 1;
+
+/// Timer tag of the zero-delay outbox flush: pushes enqueued within one
+/// simulation instant leave together as aggregated [`GossipBatch`] packets.
+const FLUSH_TAG: u32 = 2;
 
 /// Default cap on message identifiers remembered for duplicate suppression.
 const DEFAULT_SEEN_CAP: usize = 65_536;
@@ -69,6 +79,23 @@ const DEFAULT_REPAIR_WINDOW: usize = 64;
 /// redundant pull, mirroring the context anti-entropy budget, so a single
 /// lost push batch does not cost a whole extra interval).
 const DEFAULT_REPAIR_PULL_BUDGET: usize = 2;
+
+/// Default per-peer credit window: how many push-path messages a sender may
+/// stream to one peer before it must wait for a re-grant (piggybacked on
+/// [`RepairDigest`]). `0` disables credit backpressure; the layer-parameter
+/// default is off so bare sessions keep the legacy behaviour, while the
+/// stack builder turns it on for real stacks.
+const DEFAULT_CREDIT_WINDOW: usize = 0;
+
+/// Default number of app messages aggregated per [`GossipBatch`] packet.
+/// `1` keeps the legacy one-packet-per-message push path.
+const DEFAULT_BATCH_MAX: usize = 1;
+
+/// Per-peer outbox cap when credit backpressure is off (with credit on, the
+/// cap is `4 × credit_window`). Beyond it the newest pushes are shed — they
+/// are already in the repair log, so the digest-announce + pull path
+/// recovers them.
+const DEFAULT_OUTBOX_CAP: usize = 1_024;
 
 /// Sparse-set cap of the per-stream delivery tracker: when more than this
 /// many delivered sequence numbers sit above the contiguous floor, the
@@ -128,6 +155,18 @@ pub struct GossipStats {
     /// or repair) of messages already delivered, including ones whose seen
     /// set entry had been evicted.
     pub late_duplicates: u64,
+    /// Push-flush deferrals: messages left waiting in a per-peer outbox at
+    /// a flush because the peer's credit was exhausted (one count per
+    /// message per flush attempt).
+    pub deferred_pushes: u64,
+    /// Pushes shed from a full per-peer outbox (drop-newest; the shed
+    /// messages stay recoverable through the repair log).
+    pub outbox_shed: u64,
+    /// Retention fall-throughs: `RepairFloor` answers that fast-forwarded a
+    /// stream past an un-servable span and escalated to a snapshot catch-up.
+    pub floor_escalations: u64,
+    /// Repair-pull answers cut short by the per-interval push rate limit.
+    pub rate_limited_pushes: u64,
 }
 
 /// Per-`(origin, inc)` record of delivered sequence numbers: a contiguous
@@ -176,6 +215,21 @@ impl Delivered {
         true
     }
 
+    /// Abandons every gap at or below `upto`: the span was evicted from all
+    /// reachable repair logs (a `RepairFloor` answer) and is being covered
+    /// by a snapshot catch-up instead, so NACK repair must stop asking for
+    /// it and late copies must not re-deliver.
+    fn fast_forward(&mut self, upto: u64) {
+        if upto <= self.floor {
+            return;
+        }
+        self.floor = upto;
+        self.above = self.above.split_off(&(self.floor + 1));
+        while self.above.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+    }
+
     /// Appends the sequence numbers in `[lo, hi]` not yet delivered, up to
     /// `limit` entries.
     fn missing_in(&self, lo: u64, hi: u64, limit: usize, out: &mut Vec<u64>) {
@@ -211,7 +265,11 @@ impl Delivered {
 /// * `repair_window` — cap on message identifiers pulled per interval
 ///   (default 64);
 /// * `repair_pull_budget` — digest senders pulled from per interval
-///   (default 2).
+///   (default 2);
+/// * `batch_max` — app messages aggregated per gossip packet (default 1:
+///   legacy singleton pushes);
+/// * `credit_window` — per-peer credit window for push backpressure
+///   (default 0: off; requires the repair pass for the grant channel).
 pub struct GossipLayer;
 
 impl Layer for GossipLayer {
@@ -228,6 +286,8 @@ impl Layer for GossipLayer {
             EventSpec::of::<GossipRepairDigest>(),
             EventSpec::of::<GossipRepairPull>(),
             EventSpec::of::<GossipRepairPush>(),
+            EventSpec::of::<GossipRepairFloor>(),
+            EventSpec::of::<GossipBatch>(),
         ]
     }
 
@@ -237,6 +297,9 @@ impl Layer for GossipLayer {
             "GossipRepairDigest",
             "GossipRepairPull",
             "GossipRepairPush",
+            "GossipRepairFloor",
+            "GossipBatch",
+            "CatchupRequest",
         ]
     }
 
@@ -287,6 +350,14 @@ pub struct GossipSession {
     /// it.
     // bound: <= TRACKED_INCS_PER_ORIGIN streams per origin (stale incarnations evicted); each entry is a contiguous floor plus a DELIVERED_GAP_CAP-capped sparse set.
     delivered: HashMap<StreamKey, Delivered>,
+    /// Per-stream `(first-seen ms, advertised lo, last advertiser)` for
+    /// sub-floor gaps sighted in digests (`lo` above this node's contiguous
+    /// delivery floor). A breach that survives two repair-log TTLs with the
+    /// gap still open escalates to a snapshot catch-up on the repair tick;
+    /// a transient breach — some other peer's later-arrival retention still
+    /// served the span — clears itself.
+    // bound: <= one entry per `delivered` stream; cleared on closure or escalation, pruned against `delivered` each repair tick.
+    floor_breaches: HashMap<StreamKey, (u64, u64, NodeId)>,
     /// The repair log: recently delivered original messages, servable on a
     /// NACK pull. Bounded by `repair_log_cap` (ring) and
     /// `repair_log_ttl_ms` (age).
@@ -295,7 +366,26 @@ pub struct GossipSession {
     // bound: same ring as `log` -- `repair_log_cap` entries, `repair_log_ttl_ms` age.
     log_order: VecDeque<(StreamKey, u64, u64)>,
     pulls_this_interval: usize,
+    pushes_this_interval: usize,
     repair_timer: Option<u64>,
+    /// App messages aggregated per gossip packet (1 = legacy singletons).
+    batch_max: usize,
+    /// Per-peer credit window (0 = no backpressure).
+    credit_window: usize,
+    /// Per-peer outbox cap (drop-newest beyond it).
+    outbox_cap: usize,
+    /// Deferred pushes per peer, flushed as aggregated batches on the
+    /// zero-delay flush timer once credit allows.
+    // bound: keys <= view size (pruned on view install); each queue capped at `outbox_cap` (drop-newest, counted in `outbox_shed`).
+    outbox: BTreeMap<NodeId, VecDeque<(GossipHeader, Message)>>,
+    /// Send-side credit remaining per peer, refilled by digest grants.
+    // bound: <= view size keys, pruned on view install.
+    credits: HashMap<NodeId, u32>,
+    /// Receive-side remainder of the credit last granted to each peer; when
+    /// it falls to half the window a fresh grant is sent.
+    // bound: <= view size keys, pruned on view install.
+    granted: HashMap<NodeId, u32>,
+    flush_timer: Option<u64>,
     stats: GossipStats,
 }
 
@@ -304,6 +394,7 @@ impl GossipSession {
     /// site shared by [`GossipLayer::create_session`] and the unit tests.
     fn from_params(params: &LayerParams) -> Self {
         let members = param_node_list(params, "members");
+        let credit_window = param_or(params, "credit_window", DEFAULT_CREDIT_WINDOW);
         Self {
             member_set: members.iter().copied().collect(),
             members,
@@ -324,10 +415,23 @@ impl GossipSession {
             seen: HashSet::new(),
             seen_order: VecDeque::new(),
             delivered: HashMap::new(),
+            floor_breaches: HashMap::new(),
             log: HashMap::new(),
             log_order: VecDeque::new(),
             pulls_this_interval: 0,
+            pushes_this_interval: 0,
             repair_timer: None,
+            batch_max: param_or(params, "batch_max", DEFAULT_BATCH_MAX).max(1),
+            credit_window,
+            outbox_cap: if credit_window > 0 {
+                credit_window * 4
+            } else {
+                DEFAULT_OUTBOX_CAP
+            },
+            outbox: BTreeMap::new(),
+            credits: HashMap::new(),
+            granted: HashMap::new(),
+            flush_timer: None,
             stats: GossipStats::default(),
         }
     }
@@ -349,6 +453,19 @@ impl GossipSession {
 
     fn repair_enabled(&self) -> bool {
         self.repair_interval_ms > 0
+    }
+
+    /// Credit backpressure needs the repair pass: grants ride on repair
+    /// digests, and deferred/shed pushes rely on digest-announce + pull for
+    /// eventual delivery. Without it senders would starve permanently.
+    fn credit_enabled(&self) -> bool {
+        self.credit_window > 0 && self.repair_enabled()
+    }
+
+    /// Whether the push path routes through per-peer outboxes (aggregated
+    /// [`GossipBatch`] packets) instead of legacy singleton sends.
+    fn aggregating(&self) -> bool {
+        self.batch_max > 1 || self.credit_enabled()
     }
 
     fn ensure_inc(&mut self, ctx: &mut EventContext<'_>) {
@@ -454,6 +571,12 @@ impl GossipSession {
                 }
             }
         }
+        // Breach timestamps for streams the delivery map no longer tracks
+        // (stale incarnations) go with them — the map stays bounded by the
+        // tracked-stream set.
+        let delivered = &self.delivered;
+        self.floor_breaches
+            .retain(|key, _| delivered.contains_key(key));
     }
 
     fn random_targets(&self, exclude: &[NodeId], ctx: &mut EventContext<'_>) -> Vec<NodeId> {
@@ -467,34 +590,251 @@ impl GossipSession {
         self.repair_timer = Some(ctx.set_timer(self.repair_interval_ms, REPAIR_TAG));
     }
 
+    fn arm_flush_timer(&mut self, ctx: &mut EventContext<'_>) {
+        if self.flush_timer.is_none() {
+            // Zero delay: fires after the current instant's queued events,
+            // so every same-instant push to one peer leaves in one batch.
+            self.flush_timer = Some(ctx.set_timer(0, FLUSH_TAG));
+        }
+    }
+
+    /// Queues one push into `peer`'s outbox. Shed policy: drop-newest
+    /// beyond the cap — the message is already in the repair log, so
+    /// digest-announce + pull recovers it. Returns `false` when shed.
+    fn outbox_enqueue(&mut self, peer: NodeId, header: GossipHeader, message: Message) -> bool {
+        let queue = self.outbox.entry(peer).or_default();
+        if queue.len() >= self.outbox_cap {
+            self.stats.outbox_shed += 1;
+            return false;
+        }
+        queue.push_back((header, message));
+        true
+    }
+
+    /// Defers one push into `peer`'s outbox and schedules the zero-delay
+    /// flush that sends it out as part of an aggregated batch.
+    fn enqueue_push(
+        &mut self,
+        peer: NodeId,
+        header: GossipHeader,
+        message: Message,
+        ctx: &mut EventContext<'_>,
+    ) {
+        if self.outbox_enqueue(peer, header, message) {
+            self.arm_flush_timer(ctx);
+        }
+    }
+
+    /// Sends every credit-covered outbox entry as aggregated
+    /// [`GossipBatch`] packets, at most `batch_max` app messages per packet.
+    /// Entries beyond a peer's credit stay queued until a grant refills it.
+    fn flush_outboxes(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let credit_on = self.credit_enabled();
+        // Deterministic peer order: the members list, never hash order.
+        let peers: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|peer| *peer != local)
+            .collect();
+        for peer in peers {
+            let waiting = self.outbox.get(&peer).map_or(0, VecDeque::len);
+            if waiting == 0 {
+                continue;
+            }
+            let available = if credit_on {
+                *self
+                    .credits
+                    .entry(peer)
+                    .or_insert(self.credit_window as u32) as usize
+            } else {
+                usize::MAX
+            };
+            let take = waiting.min(available);
+            if take < waiting {
+                self.stats.deferred_pushes += (waiting - take) as u64;
+            }
+            if take == 0 {
+                continue;
+            }
+            let mut entries: Vec<(GossipHeader, Message)> = {
+                let queue = self.outbox.get_mut(&peer).expect("waiting > 0");
+                queue.drain(..take).collect()
+            };
+            if self.outbox.get(&peer).is_some_and(VecDeque::is_empty) {
+                self.outbox.remove(&peer);
+            }
+            if credit_on {
+                if let Some(credit) = self.credits.get_mut(&peer) {
+                    *credit = credit.saturating_sub(take as u32);
+                }
+            }
+            while !entries.is_empty() {
+                let chunk: Vec<(GossipHeader, Message)> =
+                    entries.drain(..entries.len().min(self.batch_max)).collect();
+                let mut message = Message::new();
+                message.push(&GossipBatchBody { entries: chunk });
+                ctx.dispatch(Event::down(GossipBatch::new(
+                    local,
+                    Dest::Node(peer),
+                    message,
+                )));
+            }
+        }
+    }
+
+    /// The spans the repair log can currently serve, in deterministic
+    /// `(origin, inc)` order — the digest payload.
+    fn digest_entries(&self) -> Vec<RepairRange> {
+        let mut entries: Vec<RepairRange> = self
+            .log
+            .iter()
+            .filter_map(|((origin, inc), stream)| {
+                let lo = *stream.keys().next()?;
+                let hi = *stream.keys().next_back()?;
+                Some(RepairRange {
+                    origin: *origin,
+                    inc: *inc,
+                    lo,
+                    hi,
+                })
+            })
+            .collect();
+        entries.sort_unstable_by_key(|entry| (entry.origin.0, entry.inc));
+        entries
+    }
+
+    /// The credit value piggybacked on outgoing digests.
+    fn grant_value(&self) -> u32 {
+        if self.credit_enabled() {
+            self.credit_window as u32
+        } else {
+            0
+        }
+    }
+
+    /// Charges `count` push-path arrivals from `from` against the credit we
+    /// granted it, re-granting once half the window is consumed.
+    fn note_arrivals(&mut self, from: NodeId, count: u32, ctx: &mut EventContext<'_>) {
+        if !self.credit_enabled() || !self.member_set.contains(&from) {
+            return;
+        }
+        let window = self.credit_window as u32;
+        let remaining = self.granted.entry(from).or_insert(window);
+        *remaining = remaining.saturating_sub(count);
+        if *remaining <= window / 2 {
+            *remaining = window;
+            // The re-grant is a targeted repair digest: the grant rides in
+            // its credit field, and the log spans come along for free.
+            let local = ctx.node_id();
+            self.stats.repair_digests += 1;
+            let mut message = Message::new();
+            message.push(&RepairDigest {
+                credit: window,
+                entries: self.digest_entries(),
+            });
+            ctx.dispatch(Event::down(GossipRepairDigest::new(
+                local,
+                Dest::Node(from),
+                message,
+            )));
+        }
+    }
+
+    /// One aggregated batch arrived: run every entry through the ordinary
+    /// push-arrival path, then charge the batch against its sender's grant.
+    fn on_batch(&mut self, from: NodeId, body: GossipBatchBody, ctx: &mut EventContext<'_>) {
+        let arrivals = body.entries.len() as u32;
+        for (header, message) in body.entries {
+            self.on_push_arrival(from, header, message, ctx);
+        }
+        self.note_arrivals(from, arrivals, ctx);
+    }
+
+    /// A duplicate arrival is evidence the message is already circulating
+    /// widely: any copy of it still waiting in an outbox (the zero-delay
+    /// flush window, or a credit-starved queue) is redundant — drop it
+    /// before it costs a transmission and a duplicate at the receiver.
+    fn suppress_pending_relays(&mut self, origin: NodeId, inc: u64, seq: u64) {
+        for queue in self.outbox.values_mut() {
+            queue.retain(|(header, _)| {
+                !(header.origin == origin && header.inc == inc && header.seq == seq)
+            });
+        }
+    }
+
+    /// The push-phase receive path for one batched message: dedup, track,
+    /// log, relay while the TTL lasts, deliver upward.
+    fn on_push_arrival(
+        &mut self,
+        from: NodeId,
+        header: GossipHeader,
+        message: Message,
+        ctx: &mut EventContext<'_>,
+    ) {
+        if header.seq == 0 {
+            return;
+        }
+        let local = ctx.node_id();
+        let now = ctx.now_ms();
+        if !self.remember((header.origin, header.inc, header.seq), now) {
+            self.stats.duplicates += 1;
+            self.suppress_pending_relays(header.origin, header.inc, header.seq);
+            return;
+        }
+        if !self.record_delivered(header.origin, header.inc, header.seq) {
+            self.stats.late_duplicates += 1;
+            return;
+        }
+        self.log_store(
+            (header.origin, header.inc),
+            header.seq,
+            message.clone(),
+            now,
+        );
+        if header.ttl > 0 {
+            // The sender plainly has the message too — relaying back to it
+            // is a guaranteed duplicate, so it joins the exclusion list.
+            let targets = self.random_targets(&[local, header.origin, from], ctx);
+            if !targets.is_empty() {
+                self.stats.forwarded += 1;
+                let relay = GossipHeader {
+                    ttl: header.ttl - 1,
+                    ..header
+                };
+                for target in targets {
+                    self.enqueue_push(target, relay, message.clone(), ctx);
+                }
+            }
+        }
+        ctx.dispatch(Event::up(DataEvent::new(
+            header.origin,
+            Dest::Node(local),
+            message,
+        )));
+    }
+
     /// The periodic repair tick: evict the log, gossip a digest of what the
-    /// log can serve, reset the per-interval pull budget.
+    /// log can serve, reset the per-interval pull and push budgets, retry
+    /// credit-deferred outbox entries.
     fn on_repair_timer(&mut self, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
         let now = ctx.now_ms();
         self.evict_log(now);
+        self.escalate_stale_breaches(now, ctx);
         self.pulls_this_interval = 0;
+        self.pushes_this_interval = 0;
         if !self.log.is_empty() {
-            let mut entries: Vec<RepairRange> = self
-                .log
-                .iter()
-                .filter_map(|((origin, inc), stream)| {
-                    let lo = *stream.keys().next()?;
-                    let hi = *stream.keys().next_back()?;
-                    Some(RepairRange {
-                        origin: *origin,
-                        inc: *inc,
-                        lo,
-                        hi,
-                    })
-                })
-                .collect();
-            entries.sort_unstable_by_key(|entry| (entry.origin.0, entry.inc));
+            let entries = self.digest_entries();
             let targets = self.random_targets(&[local], ctx);
             if !targets.is_empty() {
                 self.stats.repair_digests += 1;
                 let mut message = Message::new();
-                message.push(&RepairDigest { entries });
+                message.push(&RepairDigest {
+                    credit: self.grant_value(),
+                    entries,
+                });
                 ctx.dispatch(Event::down(GossipRepairDigest::new(
                     local,
                     Dest::Nodes(targets),
@@ -502,13 +842,55 @@ impl GossipSession {
                 )));
             }
         }
+        // Credit-starved outboxes get a periodic flush retry, so a grant
+        // lost on the wire delays deferred pushes by one interval at most.
+        if self.outbox.values().any(|queue| !queue.is_empty()) {
+            self.arm_flush_timer(ctx);
+        }
         self.arm_repair_timer(ctx);
     }
 
-    /// A peer's digest arrived: NACK-pull the gaps it can serve, within the
-    /// per-interval budget.
+    /// Escalates every breach that has survived two repair-log TTLs with
+    /// its sub-floor gap still open: the span is beyond NACK-repair reach
+    /// group-wide, so the last advertiser becomes the snapshot donor. Runs
+    /// on the repair tick, not on digest arrival — by the time a breach
+    /// ages out, the stream's logs may have drained group-wide and digests
+    /// for it stopped entirely.
+    fn escalate_stale_breaches(&mut self, now: u64, ctx: &mut EventContext<'_>) {
+        let grace = self.repair_log_ttl_ms.saturating_mul(2);
+        let mut due: Vec<(StreamKey, u64, NodeId)> = self
+            .floor_breaches
+            .iter()
+            .filter(|(_, (since, _, _))| now.saturating_sub(*since) >= grace)
+            .map(|(key, (_, lo, donor))| (*key, *lo, *donor))
+            .collect();
+        // The map iterates in hash order; escalation must not.
+        due.sort_unstable_by_key(|(key, ..)| (key.0 .0, key.1));
+        for (key, lo, donor) in due {
+            self.floor_breaches.remove(&key);
+            let still_open = self
+                .delivered
+                .get(&key)
+                .map_or(lo > 1, |tracker| tracker.floor + 1 < lo);
+            if still_open {
+                self.on_repair_floor(
+                    donor,
+                    RepairFloorBody {
+                        origin: key.0,
+                        inc: key.1,
+                        floor: lo,
+                    },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// A peer's digest arrived: refill its push credit from the piggybacked
+    /// grant, then NACK-pull the gaps it can serve, within the per-interval
+    /// budget.
     fn on_repair_digest(&mut self, from: NodeId, digest: RepairDigest, ctx: &mut EventContext<'_>) {
-        if !self.repair_enabled() || self.pulls_this_interval >= self.repair_pull_budget {
+        if !self.repair_enabled() {
             return;
         }
         // A digest from outside the installed view (an expelled member, a
@@ -517,12 +899,52 @@ impl GossipSession {
         if !self.member_set.contains(&from) {
             return;
         }
+        if digest.credit > 0 && self.credit_enabled() {
+            self.credits.insert(from, digest.credit);
+            if self
+                .outbox
+                .get(&from)
+                .is_some_and(|queue| !queue.is_empty())
+            {
+                self.arm_flush_timer(ctx);
+            }
+        }
+        if self.pulls_this_interval >= self.repair_pull_budget {
+            return;
+        }
         let local = ctx.node_id();
         let mut wants: Vec<(NodeId, u64, Vec<u64>)> = Vec::new();
         let mut total = 0usize;
         for entry in &digest.entries {
             if entry.origin == local || entry.lo > entry.hi || total >= self.repair_window {
                 continue;
+            }
+            // The advertised span starts above this node's contiguous
+            // delivery floor: the sender's log has evicted everything below
+            // `lo`, so this sender can never close that gap. Another peer
+            // whose copies arrived later may still serve it (log age runs
+            // from arrival, not origination), so a single sighting is not
+            // proof of group-wide eviction — the breach is recorded here
+            // and the repair tick escalates it only once it has survived
+            // two repair-log TTLs with the gap still open. Two TTLs, not
+            // one: an overload burst of TTL length leaves a backlog that
+            // late retention can still repair, and escalating the whole
+            // group into snapshot transfers at once is the heavier failure.
+            let key = (entry.origin, entry.inc);
+            let evicted_below = match self.delivered.get(&key) {
+                Some(tracker) => tracker.floor + 1 < entry.lo,
+                None => entry.lo > 1,
+            };
+            if evicted_below {
+                let now = ctx.now_ms();
+                let breach = self
+                    .floor_breaches
+                    .entry(key)
+                    .or_insert((now, entry.lo, from));
+                breach.1 = breach.1.max(entry.lo);
+                breach.2 = from;
+            } else {
+                self.floor_breaches.remove(&key);
             }
             // Query only — a digest must never create (or displace) a
             // delivery record. An unknown stream is missing in its
@@ -557,7 +979,10 @@ impl GossipSession {
         )));
     }
 
-    /// A peer pulls gaps: serve them from the repair log.
+    /// A peer pulls gaps: serve them from the repair log. Wants older than
+    /// the log's floor that this node once delivered are answered with a
+    /// [`GossipRepairFloor`] instead — NACK repair can never close them, so
+    /// the puller escalates to a snapshot catch-up.
     fn on_repair_pull(&mut self, from: NodeId, pull: RepairPull, ctx: &mut EventContext<'_>) {
         // Serve log entries only to current view members — an expelled peer
         // re-syncs through the recovery layer's state transfer, not through
@@ -567,20 +992,52 @@ impl GossipSession {
         }
         let local = ctx.node_id();
         // A malformed or adversarial pull cannot make the node stream more
-        // than twice the advertised window.
+        // than twice the advertised window per pull…
         let mut budget = self.repair_window * 2;
+        // …nor more than four windows per repair interval across all pulls
+        // (a greedy or corrupt puller cannot amplify this node's send rate).
+        let interval_cap = self.repair_window * 4;
         for (origin, inc, seqs) in pull.wants {
-            let Some(stream) = self.log.get(&(origin, inc)) else {
+            let stream = self.log.get(&(origin, inc));
+            let servable_floor = stream.and_then(|stream| stream.keys().next().copied());
+            let delivered_floor = self
+                .delivered
+                .get(&(origin, inc))
+                .map(|tracker| tracker.floor)
+                .unwrap_or(0);
+            // Retention fall-through: a wanted seq this node delivered but
+            // has already evicted from its log can never be NACK-served —
+            // answer with the floor so the puller stops asking and
+            // escalates to the snapshot catch-up path.
+            let floored = seqs
+                .iter()
+                .any(|seq| *seq <= delivered_floor && servable_floor.is_none_or(|lo| *seq < lo));
+            if floored {
+                let floor = servable_floor.unwrap_or(u64::MAX).min(delivered_floor + 1);
+                let mut message = Message::new();
+                message.push(&RepairFloorBody { origin, inc, floor });
+                ctx.dispatch(Event::down(GossipRepairFloor::new(
+                    local,
+                    Dest::Node(from),
+                    message,
+                )));
+            }
+            let Some(stream) = stream else {
                 continue;
             };
             for seq in seqs {
                 if budget == 0 {
                     return;
                 }
+                if self.pushes_this_interval >= interval_cap {
+                    self.stats.rate_limited_pushes += 1;
+                    return;
+                }
                 let Some(original) = stream.get(&seq) else {
                     continue;
                 };
                 budget -= 1;
+                self.pushes_this_interval += 1;
                 self.stats.repair_pushes += 1;
                 let mut message = original.clone();
                 message.push(&RepairPushHeader { origin, inc, seq });
@@ -591,6 +1048,29 @@ impl GossipSession {
                 )));
             }
         }
+    }
+
+    /// A responder's log floored one of this node's pulls: the missed span
+    /// is gone from NACK-repair reach. Abandon it in the delivery tracker
+    /// (late copies must not re-deliver, pulls must stop asking) and ask the
+    /// recovery layer above for a targeted state-section pull against the
+    /// responder — snapshot catch-up without a view change.
+    fn on_repair_floor(&mut self, from: NodeId, body: RepairFloorBody, ctx: &mut EventContext<'_>) {
+        if !self.repair_enabled() || !self.member_set.contains(&from) {
+            return;
+        }
+        if body.floor == 0 {
+            return;
+        }
+        let tracker = self.delivered.entry((body.origin, body.inc)).or_default();
+        if tracker.floor + 1 >= body.floor {
+            // Nothing below the floor is missing here: either a stale
+            // answer or a duplicate — no escalation.
+            return;
+        }
+        tracker.fast_forward(body.floor - 1);
+        self.stats.floor_escalations += 1;
+        ctx.dispatch(Event::up(CatchupRequest { donor: from }));
     }
 
     /// A pulled message arrived: deliver it upward unless it is a late
@@ -650,6 +1130,9 @@ impl Session for GossipSession {
                 if timer.tag == REPAIR_TAG && self.repair_timer == Some(timer.timer_id) {
                     self.repair_timer = None;
                     self.on_repair_timer(ctx);
+                } else if timer.tag == FLUSH_TAG && self.flush_timer == Some(timer.timer_id) {
+                    self.flush_timer = None;
+                    self.flush_outboxes(ctx);
                 }
                 return;
             }
@@ -660,6 +1143,12 @@ impl Session for GossipSession {
         if let Some(install) = event.get::<ViewInstall>() {
             self.members = install.view.members.clone();
             self.member_set = self.members.iter().copied().collect();
+            // Per-peer backpressure state follows the membership: outboxes,
+            // credits and grants of expelled peers are dropped.
+            let member_set = &self.member_set;
+            self.outbox.retain(|peer, _| member_set.contains(peer));
+            self.credits.retain(|peer, _| member_set.contains(peer));
+            self.granted.retain(|peer, _| member_set.contains(peer));
             ctx.forward(event);
             return;
         }
@@ -712,6 +1201,38 @@ impl Session for GossipSession {
             return;
         }
 
+        if event.is::<GossipRepairFloor>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(floor) = event.get_mut::<GossipRepairFloor>() else {
+                return;
+            };
+            let from = floor.header.source;
+            let Ok(body) = floor.message.pop::<RepairFloorBody>() else {
+                return;
+            };
+            self.on_repair_floor(from, body, ctx);
+            return;
+        }
+
+        if event.is::<GossipBatch>() {
+            if event.direction == Direction::Down {
+                ctx.forward(event);
+                return;
+            }
+            let Some(batch) = event.get_mut::<GossipBatch>() else {
+                return;
+            };
+            let from = batch.header.source;
+            let Ok(body) = batch.message.pop::<GossipBatchBody>() else {
+                return;
+            };
+            self.on_batch(from, body, ctx);
+            return;
+        }
+
         match event.direction {
             Direction::Down => {
                 let local = ctx.node_id();
@@ -733,9 +1254,23 @@ impl Session for GossipSession {
                         let original = data.message.clone();
                         self.remember((header.origin, header.inc, header.seq), now);
                         self.record_delivered(header.origin, header.inc, header.seq);
-                        self.log_store((header.origin, header.inc), header.seq, original, now);
-                        data.message.push(&header);
+                        self.log_store(
+                            (header.origin, header.inc),
+                            header.seq,
+                            original.clone(),
+                            now,
+                        );
                         let targets = self.random_targets(&[local], ctx);
+                        if self.aggregating() {
+                            // Batched push path: the send is deferred into
+                            // the per-peer outboxes and leaves this instant
+                            // as aggregated packets, credit permitting.
+                            for target in targets {
+                                self.enqueue_push(target, header, original.clone(), ctx);
+                            }
+                            return;
+                        }
+                        data.message.push(&header);
                         event
                             .get_mut::<DataEvent>()
                             .expect("checked above")
@@ -783,21 +1318,28 @@ impl Session for GossipSession {
                     );
                 }
                 if header.seq != 0 && header.ttl > 0 {
-                    let mut forwarded_message = data.message.clone();
-                    forwarded_message.push(&GossipHeader {
+                    let relay = GossipHeader {
                         origin: header.origin,
                         inc: header.inc,
                         seq: header.seq,
                         ttl: header.ttl - 1,
-                    });
+                    };
                     let targets = self.random_targets(&[local, header.origin], ctx);
                     if !targets.is_empty() {
                         self.stats.forwarded += 1;
-                        ctx.dispatch(Event::down(DataEvent::new(
-                            header.origin,
-                            Dest::Nodes(targets),
-                            forwarded_message,
-                        )));
+                        if self.aggregating() {
+                            for target in targets {
+                                self.enqueue_push(target, relay, data.message.clone(), ctx);
+                            }
+                        } else {
+                            let mut forwarded_message = data.message.clone();
+                            forwarded_message.push(&relay);
+                            ctx.dispatch(Event::down(DataEvent::new(
+                                header.origin,
+                                Dest::Nodes(targets),
+                                forwarded_message,
+                            )));
+                        }
                     }
                 }
                 data.header.source = header.origin;
@@ -1089,6 +1631,7 @@ mod tests {
         // here yet, so all three are missing.
         let mut message = Message::new();
         message.push(&RepairDigest {
+            credit: 0,
             entries: vec![RepairRange {
                 origin: NodeId(0),
                 inc: 7,
@@ -1160,6 +1703,7 @@ mod tests {
         let digest_from = |from: u32, hi: u64| {
             let mut message = Message::new();
             message.push(&RepairDigest {
+                credit: 0,
                 entries: vec![RepairRange {
                     origin: NodeId(0),
                     inc: 1,
@@ -1397,6 +1941,7 @@ mod tests {
         // The expelled node's digest gets no NACK pull back...
         let mut message = Message::new();
         message.push(&RepairDigest {
+            credit: 0,
             entries: vec![RepairRange {
                 origin: NodeId(0),
                 inc: 7,
@@ -1500,5 +2045,535 @@ mod tests {
         );
         gossip.evict_log(50_000 + gossip.repair_log_ttl_ms + 1);
         assert_eq!(gossip.log_len(), 0, "TTL drains the log once churn stops");
+    }
+
+    #[test]
+    fn same_instant_pushes_leave_as_aggregated_batches() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let members: Vec<u32> = (0..4).collect();
+        let mut params = gossip_params(&members);
+        params.insert("batch_max".into(), "4".into());
+        params.insert("repair_interval_ms".into(), "0".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        for text in [&b"m1"[..], &b"m2"[..]] {
+            gossip.run_down(
+                Event::down(DataEvent::to_group(NodeId(0), Message::with_payload(text))),
+                &mut platform,
+            );
+        }
+        assert!(
+            gossip
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<DataEvent>()),
+            "pushes are deferred to the flush tick"
+        );
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        assert_eq!(timers.len(), 1, "one zero-delay flush timer armed");
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        let down = gossip.drain_down();
+        let batches: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<GossipBatch>())
+            .collect();
+        // fanout 3, members 4: every peer receives both sends in one packet.
+        assert_eq!(batches.len(), 3, "one aggregated packet per peer");
+        for event in &batches {
+            let batch = event.get::<GossipBatch>().unwrap();
+            let body = batch.message.clone().pop::<GossipBatchBody>().unwrap();
+            assert_eq!(body.entries.len(), 2, "same-instant sends aggregated");
+            assert_eq!(body.entries[0].0.seq, 1);
+            assert_eq!(body.entries[1].0.seq, 2);
+        }
+    }
+
+    #[test]
+    fn batch_receivers_unbatch_dedup_and_relay() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..8).collect();
+        let mut params = gossip_params(&members);
+        params.insert("batch_max".into(), "4".into());
+        params.insert("repair_interval_ms".into(), "0".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        let entry = |seq: u64, ttl: u32| {
+            (
+                GossipHeader {
+                    origin: NodeId(0),
+                    inc: 5,
+                    seq,
+                    ttl,
+                },
+                Message::with_payload(&b"x"[..]),
+            )
+        };
+        let make = |entries: Vec<(GossipHeader, Message)>| {
+            let mut message = Message::new();
+            message.push(&GossipBatchBody { entries });
+            Event::up(GossipBatch::new(NodeId(3), Dest::Node(NodeId(1)), message))
+        };
+
+        let up = gossip.run_up(make(vec![entry(1, 1), entry(2, 0)]), &mut platform);
+        assert_eq!(
+            up.iter().filter(|event| event.is::<DataEvent>()).count(),
+            2,
+            "every batched entry is delivered upward"
+        );
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        assert!(
+            gossip
+                .drain_down()
+                .iter()
+                .any(|event| event.is::<GossipBatch>()),
+            "the ttl-bearing entry is relayed onward as a batch"
+        );
+
+        // An identical batch is fully suppressed: no deliveries, no relays.
+        let up = gossip.run_up(make(vec![entry(1, 1), entry(2, 0)]), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<DataEvent>()));
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        assert!(gossip
+            .drain_down()
+            .iter()
+            .all(|event| !event.is::<GossipBatch>()));
+    }
+
+    #[test]
+    fn credit_exhaustion_defers_pushes_until_a_grant_refills() {
+        let mut platform = TestPlatform::new(NodeId(0));
+        let members = [0u32, 1];
+        let mut params = gossip_params(&members);
+        params.insert("credit_window".into(), "2".into());
+        params.insert("batch_max".into(), "4".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        for text in [&b"m1"[..], &b"m2"[..], &b"m3"[..]] {
+            gossip.run_down(
+                Event::down(DataEvent::to_group(NodeId(0), Message::with_payload(text))),
+                &mut platform,
+            );
+        }
+        // Fire only the zero-delay flush (the 1000 ms repair tick stays).
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (deadline, key) in timers {
+            if deadline == 0 {
+                gossip.fire_timer(key, &mut platform);
+            }
+        }
+        let down = gossip.drain_down();
+        let batches: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<GossipBatch>())
+            .collect();
+        assert_eq!(batches.len(), 1);
+        let body = batches[0]
+            .get::<GossipBatch>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<GossipBatchBody>()
+            .unwrap();
+        assert_eq!(
+            body.entries.len(),
+            2,
+            "the credit window caps what one flush may send"
+        );
+
+        // A grant digest from the peer refills the credit and re-arms the
+        // flush, releasing the deferred push.
+        let mut message = Message::new();
+        message.push(&RepairDigest {
+            credit: 2,
+            entries: vec![],
+        });
+        gossip.run_up(
+            Event::up(GossipRepairDigest::new(
+                NodeId(1),
+                Dest::Node(NodeId(0)),
+                message,
+            )),
+            &mut platform,
+        );
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        assert!(!timers.is_empty(), "the grant re-arms the flush timer");
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        let down = gossip.drain_down();
+        let batches: Vec<&Event> = down
+            .iter()
+            .filter(|event| event.is::<GossipBatch>())
+            .collect();
+        assert_eq!(batches.len(), 1, "the deferred push leaves after the grant");
+        let body = batches[0]
+            .get::<GossipBatch>()
+            .unwrap()
+            .message
+            .clone()
+            .pop::<GossipBatchBody>()
+            .unwrap();
+        assert_eq!(body.entries.len(), 1);
+        assert_eq!(body.entries[0].0.seq, 3);
+    }
+
+    #[test]
+    fn outbox_overflow_sheds_newest_and_stays_bounded() {
+        let mut gossip = test_session(&[0, 1]);
+        gossip.credit_window = 2;
+        gossip.outbox_cap = 8;
+        let header = |seq: u64| GossipHeader {
+            origin: NodeId(0),
+            inc: 1,
+            seq,
+            ttl: 2,
+        };
+        for seq in 1..=10u64 {
+            gossip.outbox_enqueue(NodeId(1), header(seq), Message::new());
+        }
+        let queue = gossip.outbox.get(&NodeId(1)).unwrap();
+        assert_eq!(queue.len(), 8, "the outbox never grows past its cap");
+        assert_eq!(
+            queue.front().unwrap().0.seq,
+            1,
+            "drop-newest keeps the oldest"
+        );
+        assert_eq!(queue.back().unwrap().0.seq, 8, "the newest pushes are shed");
+        assert_eq!(gossip.stats.outbox_shed, 2);
+    }
+
+    #[test]
+    fn pulls_below_the_log_floor_are_answered_with_a_repair_floor() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..4).collect();
+        let mut params = gossip_params(&members);
+        params.insert("repair_interval_ms".into(), "100".into());
+        params.insert("repair_log_ttl_ms".into(), "100".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        // Deliver seqs 1..=6 of (origin 0, inc 1), then age them out of the
+        // repair log: delivered knowledge survives, servability does not.
+        let deliver = |seq: u64| {
+            let mut message = Message::with_payload(&b"x"[..]);
+            message.push(&GossipHeader {
+                origin: NodeId(0),
+                inc: 1,
+                seq,
+                ttl: 0,
+            });
+            Event::up(DataEvent::new(NodeId(0), Dest::Node(NodeId(1)), message))
+        };
+        for seq in 1..=6u64 {
+            gossip.run_up(deliver(seq), &mut platform);
+        }
+        platform.advance(150);
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        gossip.run_up(deliver(7), &mut platform);
+        gossip.drain_down();
+
+        // A pull for the evicted span gets a floor answer; the still-logged
+        // seq is served normally alongside it.
+        let mut message = Message::new();
+        message.push(&RepairPull {
+            wants: vec![(NodeId(0), 1, vec![1, 2, 7])],
+        });
+        gossip.run_up(
+            Event::up(GossipRepairPull::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                message,
+            )),
+            &mut platform,
+        );
+        let down = gossip.drain_down();
+        let floors: Vec<RepairFloorBody> = down
+            .iter()
+            .filter_map(|event| {
+                event
+                    .get::<GossipRepairFloor>()
+                    .map(|floor| floor.message.clone().pop::<RepairFloorBody>().unwrap())
+            })
+            .collect();
+        assert_eq!(floors.len(), 1, "one floor answer per floored stream");
+        assert_eq!(floors[0].origin, NodeId(0));
+        assert_eq!(floors[0].inc, 1);
+        assert_eq!(floors[0].floor, 7, "the log's floor is reported");
+        assert_eq!(
+            down.iter()
+                .filter(|event| event.is::<GossipRepairPush>())
+                .count(),
+            1,
+            "the still-servable want is pushed normally"
+        );
+    }
+
+    #[test]
+    fn a_repair_floor_fast_forwards_and_escalates_to_catchup() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..4).collect();
+        let mut gossip = Harness::new(GossipLayer, &gossip_params(&members), &mut platform);
+
+        // Seqs 1..=2 of (origin 0, inc 1) were delivered before the
+        // partition; 3..=6 are gone from every reachable repair log.
+        let deliver = |seq: u64| {
+            let mut message = Message::with_payload(&b"x"[..]);
+            message.push(&GossipHeader {
+                origin: NodeId(0),
+                inc: 1,
+                seq,
+                ttl: 0,
+            });
+            Event::up(DataEvent::new(NodeId(0), Dest::Node(NodeId(1)), message))
+        };
+        gossip.run_up(deliver(1), &mut platform);
+        gossip.run_up(deliver(2), &mut platform);
+        gossip.drain_down();
+
+        let floor_answer = || {
+            let mut message = Message::new();
+            message.push(&RepairFloorBody {
+                origin: NodeId(0),
+                inc: 1,
+                floor: 7,
+            });
+            Event::up(GossipRepairFloor::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        let up = gossip.run_up(floor_answer(), &mut platform);
+        let catchups: Vec<&Event> = up
+            .iter()
+            .filter(|event| event.is::<CatchupRequest>())
+            .collect();
+        assert_eq!(catchups.len(), 1, "the floor escalates to a catch-up");
+        assert_eq!(
+            catchups[0].get::<CatchupRequest>().unwrap().donor,
+            NodeId(2),
+            "the floor's sender becomes the snapshot donor"
+        );
+
+        // The abandoned span stops being pulled: a digest advertising it
+        // finds nothing missing below the floor...
+        let digest = |lo: u64, hi: u64| {
+            let mut message = Message::new();
+            message.push(&RepairDigest {
+                credit: 0,
+                entries: vec![RepairRange {
+                    origin: NodeId(0),
+                    inc: 1,
+                    lo,
+                    hi,
+                }],
+            });
+            Event::up(GossipRepairDigest::new(
+                NodeId(3),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        gossip.run_up(digest(1, 6), &mut platform);
+        assert!(
+            gossip
+                .drain_down()
+                .iter()
+                .all(|event| !event.is::<GossipRepairPull>()),
+            "the fast-forwarded span is never pulled again"
+        );
+        // ...while newer seqs above the floor still repair normally.
+        gossip.run_up(digest(1, 8), &mut platform);
+        let down = gossip.drain_down();
+        let pulls: Vec<RepairPull> = down
+            .iter()
+            .filter_map(|event| {
+                event
+                    .get::<GossipRepairPull>()
+                    .map(|pull| pull.message.clone().pop::<RepairPull>().unwrap())
+            })
+            .collect();
+        assert_eq!(pulls.len(), 1);
+        assert_eq!(pulls[0].wants, vec![(NodeId(0), 1, vec![7, 8])]);
+
+        // A duplicate floor answer does not re-escalate.
+        let up = gossip.run_up(floor_answer(), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<CatchupRequest>()));
+    }
+
+    #[test]
+    fn a_digest_advertising_an_evicted_span_escalates_without_a_pull_round_trip() {
+        // A member that was cut off for longer than the repair-log TTL sees,
+        // on reconnection, digests whose `lo` sits above its own delivery
+        // floor. Pulling below `lo` is futile by construction — but a
+        // single sighting may be transient (another peer's later-arrival
+        // retention can still serve the span), so the breach must persist
+        // for a full repair-log TTL before the digest becomes the floor
+        // answer and escalates to a snapshot catch-up.
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..4).collect();
+        let mut params = gossip_params(&members);
+        params.insert("repair_pull_budget".into(), "16".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        // Seqs 1..=2 delivered before the cut; the advertiser's log now
+        // starts at 9.
+        let deliver = |seq: u64| {
+            let mut message = Message::with_payload(&b"x"[..]);
+            message.push(&GossipHeader {
+                origin: NodeId(0),
+                inc: 1,
+                seq,
+                ttl: 0,
+            });
+            Event::up(DataEvent::new(NodeId(0), Dest::Node(NodeId(1)), message))
+        };
+        gossip.run_up(deliver(1), &mut platform);
+        gossip.run_up(deliver(2), &mut platform);
+        gossip.drain_down();
+
+        let digest = |lo: u64, hi: u64| {
+            let mut message = Message::new();
+            message.push(&RepairDigest {
+                credit: 0,
+                entries: vec![RepairRange {
+                    origin: NodeId(0),
+                    inc: 1,
+                    lo,
+                    hi,
+                }],
+            });
+            Event::up(GossipRepairDigest::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        // First sighting: the breach is recorded but nothing escalates —
+        // the advertised span is still pulled normally.
+        let up = gossip.run_up(digest(9, 10), &mut platform);
+        assert!(
+            up.iter().all(|event| !event.is::<CatchupRequest>()),
+            "a fresh breach must not escalate immediately"
+        );
+        let pulls: Vec<RepairPull> = gossip
+            .drain_down()
+            .iter()
+            .filter_map(|event| {
+                event
+                    .get::<GossipRepairPull>()
+                    .map(|pull| pull.message.clone().pop::<RepairPull>().unwrap())
+            })
+            .collect();
+        assert_eq!(pulls.len(), 1);
+        assert_eq!(pulls[0].wants, vec![(NodeId(0), 1, vec![9, 10])]);
+
+        // The breach survives two full repair-log TTLs with the gap still
+        // open: the next repair tick escalates it — even though no further
+        // digest for the stream ever arrives (its logs may have drained
+        // group-wide by then).
+        platform.advance(DEFAULT_REPAIR_LOG_TTL_MS * 2);
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        let up = gossip.drain_up();
+        let catchups: Vec<&Event> = up
+            .iter()
+            .filter(|event| event.is::<CatchupRequest>())
+            .collect();
+        assert_eq!(catchups.len(), 1, "the aged breach triggers the catch-up");
+        assert_eq!(
+            catchups[0].get::<CatchupRequest>().unwrap().donor,
+            NodeId(2),
+            "the digest's sender becomes the snapshot donor"
+        );
+
+        // A repeat of the same digest does not re-escalate: the span was
+        // fast-forwarded past.
+        let up = gossip.run_up(digest(9, 10), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<CatchupRequest>()));
+
+        // A digest whose span starts at the delivery floor (nothing evicted
+        // from this node's point of view) never escalates.
+        let up = gossip.run_up(digest(1, 12), &mut platform);
+        assert!(up.iter().all(|event| !event.is::<CatchupRequest>()));
+    }
+
+    #[test]
+    fn repair_push_responses_are_rate_limited_per_interval() {
+        let mut platform = TestPlatform::new(NodeId(1));
+        let members: Vec<u32> = (0..4).collect();
+        let mut params = gossip_params(&members);
+        params.insert("repair_window".into(), "2".into());
+        let mut gossip = Harness::new(GossipLayer, &params, &mut platform);
+
+        // Twenty logged messages of (origin 0, inc 1).
+        let deliver = |seq: u64| {
+            let mut message = Message::with_payload(&b"x"[..]);
+            message.push(&GossipHeader {
+                origin: NodeId(0),
+                inc: 1,
+                seq,
+                ttl: 0,
+            });
+            Event::up(DataEvent::new(NodeId(0), Dest::Node(NodeId(1)), message))
+        };
+        for seq in 1..=20u64 {
+            gossip.run_up(deliver(seq), &mut platform);
+        }
+        gossip.drain_down();
+
+        let pull = |seqs: Vec<u64>| {
+            let mut message = Message::new();
+            message.push(&RepairPull {
+                wants: vec![(NodeId(0), 1, seqs)],
+            });
+            Event::up(GossipRepairPull::new(
+                NodeId(2),
+                Dest::Node(NodeId(1)),
+                message,
+            ))
+        };
+        let pushes = |gossip: &mut Harness| {
+            gossip
+                .drain_down()
+                .iter()
+                .filter(|event| event.is::<GossipRepairPush>())
+                .count()
+        };
+
+        // Per-pull budget: 2 × window = 4 of the 6 asked-for seqs.
+        gossip.run_up(pull((1..=6).collect()), &mut platform);
+        assert_eq!(pushes(&mut gossip), 4, "per-pull budget of 2x window");
+        // The interval cap (4 × window = 8) lets one more pull through...
+        gossip.run_up(pull((7..=10).collect()), &mut platform);
+        assert_eq!(pushes(&mut gossip), 4);
+        // ...then cuts every further response until the next repair tick.
+        gossip.run_up(pull(vec![11, 12]), &mut platform);
+        assert_eq!(
+            pushes(&mut gossip),
+            0,
+            "a greedy puller cannot amplify the responder's send rate"
+        );
+
+        platform.advance(1_000);
+        let timers: Vec<_> = std::mem::take(&mut platform.timers);
+        for (_, key) in timers {
+            gossip.fire_timer(key, &mut platform);
+        }
+        gossip.drain_down();
+        gossip.run_up(pull(vec![11, 12]), &mut platform);
+        assert_eq!(pushes(&mut gossip), 2, "the tick resets the push budget");
     }
 }

@@ -5,6 +5,7 @@
 //! event's [`morpheus_appia::Message`] on the way down; the peer pops it on
 //! the way up. Headers are encoded with the kernel's wire format.
 
+use morpheus_appia::message::Message;
 use morpheus_appia::platform::NodeId;
 use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 
@@ -168,14 +169,24 @@ impl Wire for RepairRange {
 /// Body of a gossip repair digest: per origin stream, the span of messages
 /// the sender's bounded repair log currently holds. Receivers compare the
 /// spans against their own delivery record and NACK-pull the gaps.
+///
+/// The digest doubles as the backpressure grant carrier: `credit` is the
+/// number of further push-path data messages the digest sender is prepared
+/// to accept from the addressed peer before that peer must fall back to
+/// digest-announce + pull. `credit == 0` means the sender does not run
+/// credit backpressure (the pre-credit wire form encoded no grant, so zero
+/// keeps old behaviour: senders treat the peer as uncredited).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RepairDigest {
+    /// Push-path credit granted to the receiving peer (0 = no backpressure).
+    pub credit: u32,
     /// One entry per `(origin, inc)` stream held in the repair log.
     pub entries: Vec<RepairRange>,
 }
 
 impl Wire for RepairDigest {
     fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.credit);
         w.put_u32(self.entries.len() as u32);
         for entry in &self.entries {
             entry.encode(w);
@@ -183,6 +194,7 @@ impl Wire for RepairDigest {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let credit = r.get_u32()?;
         let count = r.get_u32()? as usize;
         // Every entry occupies 28 wire bytes; reject adversarial counts
         // before allocating.
@@ -193,7 +205,7 @@ impl Wire for RepairDigest {
         for _ in 0..count {
             entries.push(RepairRange::decode(r)?);
         }
-        Ok(Self { entries })
+        Ok(Self { credit, entries })
     }
 }
 
@@ -259,6 +271,80 @@ impl Wire for RepairPushHeader {
             inc: r.get_u64()?,
             seq: r.get_u64()?,
         })
+    }
+}
+
+/// Body of a retention fall-through answer: a `RepairPull` asked for
+/// sequence numbers of the `(origin, inc)` stream that are older than the
+/// responder's repair-log floor and can never be served by NACK repair.
+/// The puller reacts by fast-forwarding its delivery tracker past the
+/// un-servable span and escalating to a targeted state-section pull
+/// against the responder (the repair→snapshot catch-up path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairFloorBody {
+    /// The stream's originating node.
+    pub origin: NodeId,
+    /// The stream's incarnation.
+    pub inc: u64,
+    /// Smallest sequence number the responder can still serve; everything
+    /// below it has been evicted from the repair log.
+    pub floor: u64,
+}
+
+impl Wire for RepairFloorBody {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_u64(self.inc);
+        w.put_u64(self.floor);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            origin: NodeId::decode(r)?,
+            inc: r.get_u64()?,
+            floor: r.get_u64()?,
+        })
+    }
+}
+
+/// Body of an aggregated gossip push: several app messages, each with its
+/// own [`GossipHeader`], batched into one packet. Same-instant sends and
+/// relays that would otherwise cost one packet per message travel together;
+/// the receiver unbatches and runs every entry through the ordinary gossip
+/// up path (dedup, delivery tracking, repair logging, re-forwarding).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GossipBatchBody {
+    /// `(gossip header, original message)` per batched app message; the
+    /// message carries the higher layers' headers and payload, without the
+    /// gossip header (which rides alongside, exactly as it would have been
+    /// pushed on a singleton send).
+    pub entries: Vec<(GossipHeader, Message)>,
+}
+
+impl Wire for GossipBatchBody {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for (header, message) in &self.entries {
+            header.encode(w);
+            message.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.get_u32()? as usize;
+        // Every entry occupies at least 32 wire bytes: a 24-byte gossip
+        // header plus an empty message's two length prefixes. Reject
+        // adversarial counts before allocating.
+        if count > r.remaining() / 32 {
+            return Err(WireError::Malformed("gossip batch count exceeds payload"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let header = GossipHeader::decode(r)?;
+            let message = Message::decode(r)?;
+            entries.push((header, message));
+        }
+        Ok(Self { entries })
     }
 }
 
@@ -484,6 +570,7 @@ mod tests {
             ttl: 3,
         });
         roundtrip(RepairDigest {
+            credit: 128,
             entries: vec![
                 RepairRange {
                     origin: NodeId(1),
@@ -508,6 +595,36 @@ mod tests {
             inc: 12,
             seq: 4,
         });
+        roundtrip(RepairFloorBody {
+            origin: NodeId(1),
+            inc: 12,
+            floor: 900,
+        });
+        let mut batched = Message::with_payload(&b"hello"[..]);
+        batched.push(&SeqHeader { seq: 2 });
+        roundtrip(GossipBatchBody {
+            entries: vec![
+                (
+                    GossipHeader {
+                        origin: NodeId(1),
+                        inc: 12,
+                        seq: 77,
+                        ttl: 3,
+                    },
+                    batched,
+                ),
+                (
+                    GossipHeader {
+                        origin: NodeId(4),
+                        inc: 0,
+                        seq: 1,
+                        ttl: 0,
+                    },
+                    Message::with_payload(&b""[..]),
+                ),
+            ],
+        });
+        roundtrip(GossipBatchBody::default());
         roundtrip(LivenessDigest {
             entries: vec![(NodeId(0), 12), (NodeId(7), 3)],
         });
@@ -615,11 +732,25 @@ mod tests {
         w.put_u64(9);
         w.put_u32(u32::MAX);
         assert!(RepairPull::from_bytes(&w.finish()).is_err());
+
+        // GossipBatchBody claiming u32::MAX entries backed by one entry.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        GossipHeader {
+            origin: NodeId(1),
+            inc: 1,
+            seq: 1,
+            ttl: 1,
+        }
+        .encode(&mut w);
+        Message::with_payload(&b"x"[..]).encode(&mut w);
+        assert!(GossipBatchBody::from_bytes(&w.finish()).is_err());
     }
 
     #[test]
     fn truncated_bodies_decode_to_clean_errors() {
         let digest = RepairDigest {
+            credit: 64,
             entries: vec![RepairRange {
                 origin: NodeId(3),
                 inc: 7,
@@ -635,10 +766,30 @@ mod tests {
             proposer: NodeId(1),
             flushed: vec![NodeId(1), NodeId(2)],
         };
+        let mut inner = Message::with_payload(&b"chat"[..]);
+        inner.push(&SeqHeader { seq: 3 });
+        let batch = GossipBatchBody {
+            entries: vec![(
+                GossipHeader {
+                    origin: NodeId(3),
+                    inc: 7,
+                    seq: 2,
+                    ttl: 1,
+                },
+                inner,
+            )],
+        };
+        let floor = RepairFloorBody {
+            origin: NodeId(3),
+            inc: 7,
+            floor: 41,
+        };
         let bodies: Vec<Vec<u8>> = vec![
             digest.to_bytes().to_vec(),
             pull.to_bytes().to_vec(),
             flush.to_bytes().to_vec(),
+            batch.to_bytes().to_vec(),
+            floor.to_bytes().to_vec(),
         ];
         for (which, bytes) in bodies.iter().enumerate() {
             for cut in 0..bytes.len() {
@@ -646,7 +797,9 @@ mod tests {
                 let failed = match which {
                     0 => RepairDigest::from_bytes(truncated).is_err(),
                     1 => RepairPull::from_bytes(truncated).is_err(),
-                    _ => FlushBody::from_bytes(truncated).is_err(),
+                    2 => FlushBody::from_bytes(truncated).is_err(),
+                    3 => GossipBatchBody::from_bytes(truncated).is_err(),
+                    _ => RepairFloorBody::from_bytes(truncated).is_err(),
                 };
                 assert!(
                     failed,
@@ -663,6 +816,7 @@ mod tests {
         // to a different valid value or a clean error, never a panic or an
         // attacker-sized allocation.
         let digest = RepairDigest {
+            credit: 32,
             entries: vec![
                 RepairRange {
                     origin: NodeId(1),
@@ -686,10 +840,30 @@ mod tests {
             proposer: NodeId(0),
             flushed: vec![NodeId(0), NodeId(1), NodeId(2)],
         };
+        let mut inner = Message::with_payload(&b"chat"[..]);
+        inner.push(&SeqHeader { seq: 3 });
+        let batch = GossipBatchBody {
+            entries: vec![(
+                GossipHeader {
+                    origin: NodeId(1),
+                    inc: 2,
+                    seq: 3,
+                    ttl: 1,
+                },
+                inner,
+            )],
+        };
+        let floor = RepairFloorBody {
+            origin: NodeId(1),
+            inc: 2,
+            floor: 9,
+        };
         for bytes in [
             digest.to_bytes().to_vec(),
             pull.to_bytes().to_vec(),
             flush.to_bytes().to_vec(),
+            batch.to_bytes().to_vec(),
+            floor.to_bytes().to_vec(),
         ] {
             for index in 0..bytes.len() {
                 for bit in 0..8 {
@@ -698,6 +872,8 @@ mod tests {
                     let _ = RepairDigest::from_bytes(&mutated);
                     let _ = RepairPull::from_bytes(&mutated);
                     let _ = FlushBody::from_bytes(&mutated);
+                    let _ = GossipBatchBody::from_bytes(&mutated);
+                    let _ = RepairFloorBody::from_bytes(&mutated);
                 }
             }
         }

@@ -44,7 +44,7 @@ use morpheus_appia::sendable_event;
 use morpheus_appia::session::Session;
 use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 
-use crate::events::{Alive, JoinRequest, Rejoin, Suspect, ViewInstall};
+use crate::events::{Alive, CatchupRequest, JoinRequest, Rejoin, Suspect, ViewInstall};
 use crate::view::View;
 
 /// Registered name of the recovery / state-transfer layer.
@@ -57,8 +57,17 @@ const RETRY_TAG: u32 = 1;
 /// what makes a donor crash observable *mid*-transfer).
 const WINDOW: usize = 8;
 
-/// Hard cap on buffered join-view messages (drop-oldest beyond it).
+/// Hard cap on buffered join-view messages (drop-newest beyond it: the kept
+/// prefix replays in order and the shed tail is recoverable through the
+/// normal repair path once the node is a member).
 const BUFFER_CAP: usize = 4096;
+
+/// Transfer epochs at or above this base mark a *catch-up* transfer: a
+/// healed member pulling a targeted snapshot after gossip repair reported
+/// its missed span evicted ([`CatchupRequest`]). Disjoint from rejoin
+/// epochs (which count up from 1) so a donor serving both never mixes the
+/// streams and the joiner can route chunks without extra state.
+const CATCHUP_EPOCH_BASE: u64 = 1_000_000_000;
 
 sendable_event! {
     /// Joiner → donor: start (or continue) a snapshot transfer (header:
@@ -208,6 +217,7 @@ impl Layer for RecoveryLayer {
             EventSpec::of::<DataEvent>(),
             EventSpec::of::<Suspect>(),
             EventSpec::of::<Alive>(),
+            EventSpec::of::<CatchupRequest>(),
             EventSpec::of::<StateRequest>(),
             EventSpec::of::<StateChunk>(),
         ]
@@ -237,6 +247,10 @@ impl Layer for RecoveryLayer {
             serving: HashMap::new(),
             timer: None,
             phase_started_ms: 0,
+            catchup: None,
+            catchup_count: 0,
+            catchup_done_ms: None,
+            buffer_shed: 0,
         })
     }
 }
@@ -289,6 +303,25 @@ struct OutgoingTransfer {
     last_request_ms: u64,
 }
 
+/// One in-flight *catch-up* transfer: a full member pulling a targeted
+/// snapshot from a donor because gossip repair reported its missed span
+/// evicted from every reachable repair log. Unlike a rejoin sync the stack
+/// stays up, sends keep flowing and no view changes — only the snapshot
+/// sections are refreshed underneath the running application.
+#[derive(Debug)]
+struct CatchupState {
+    donor: NodeId,
+    transfer_epoch: u64,
+    version: Option<u64>,
+    total: Option<u32>,
+    // bound: at most `total` chunks of one snapshot; dropped when the transfer completes or is abandoned.
+    chunks: BTreeMap<u32, Bytes>,
+    // bound: <= WINDOW indices (one request window).
+    outstanding: BTreeSet<u32>,
+    bytes: u64,
+    last_progress_ms: u64,
+}
+
 /// Session state of the recovery layer.
 pub struct RecoverySession {
     // bound: fixed at stack construction -- one entry per registered state section.
@@ -297,7 +330,7 @@ pub struct RecoverySession {
     members: Vec<NodeId>,
     view: Option<View>,
     phase: Phase,
-    // bound: capped at BUFFER_CAP (drop-oldest); flushed when the join completes.
+    // bound: capped at BUFFER_CAP (drop-newest + shed counter); flushed when the join completes.
     buffered: VecDeque<Event>,
     retry_ms: u64,
     transfer_timeout_ms: u64,
@@ -314,6 +347,15 @@ pub struct RecoverySession {
     serving: HashMap<NodeId, OutgoingTransfer>,
     timer: Option<u64>,
     phase_started_ms: u64,
+    /// The in-flight catch-up transfer, if any (at most one at a time).
+    catchup: Option<CatchupState>,
+    /// Completed catch-up transfers (drives the epoch counter and reports).
+    catchup_count: u64,
+    /// When the last catch-up completed — cooldown against floor-answer
+    /// storms re-pulling a snapshot that was just installed.
+    catchup_done_ms: Option<u64>,
+    /// Join-view messages shed because the buffer hit [`BUFFER_CAP`].
+    buffer_shed: u64,
 }
 
 impl std::fmt::Debug for RecoverySession {
@@ -338,6 +380,16 @@ impl RecoverySession {
     /// Whether the node is fully (re)joined.
     pub fn is_member(&self) -> bool {
         matches!(self.phase, Phase::Member)
+    }
+
+    /// Join-view messages shed at the buffer cap (see [`BUFFER_CAP`]).
+    pub fn buffer_shed(&self) -> u64 {
+        self.buffer_shed
+    }
+
+    /// Completed targeted catch-up transfers.
+    pub fn catchup_count(&self) -> u64 {
+        self.catchup_count
     }
 
     fn arm_timer(&mut self, ctx: &mut EventContext<'_>) {
@@ -393,6 +445,139 @@ impl RecoverySession {
             Dest::Node(donor),
             message,
         )));
+    }
+
+    /// Starts (or ignores) a targeted catch-up against the given donor:
+    /// gossip repair reported a missed span evicted from the donor's log, so
+    /// only a snapshot section pull can close the gap. The stack stays up —
+    /// no view change, no rejoin.
+    fn begin_catchup(&mut self, donor: NodeId, ctx: &mut EventContext<'_>) {
+        let now = ctx.now_ms();
+        if !matches!(self.phase, Phase::Member) || self.catchup.is_some() || donor == ctx.node_id()
+        {
+            return; // rejoining already transfers; one catch-up at a time
+        }
+        // Floor answers arrive once per floored stream; the first one's
+        // snapshot covers them all, so follow-ups inside the cooldown are
+        // satisfied already.
+        if let Some(done) = self.catchup_done_ms {
+            if now.saturating_sub(done) < self.transfer_timeout_ms {
+                return;
+            }
+        }
+        self.catchup = Some(CatchupState {
+            donor,
+            transfer_epoch: CATCHUP_EPOCH_BASE + self.catchup_count,
+            version: None,
+            total: None,
+            chunks: BTreeMap::new(),
+            outstanding: BTreeSet::new(),
+            bytes: 0,
+            last_progress_ms: now,
+        });
+        ctx.deliver(DeliveryKind::Notification(format!(
+            "repair floor from {donor}: pulling a targeted state snapshot to \
+             close the evicted span"
+        )));
+        self.send_catchup_request(ctx);
+        self.arm_timer(ctx);
+    }
+
+    /// Asks the catch-up donor for the next (or still-missing) chunk window.
+    fn send_catchup_request(&mut self, ctx: &mut EventContext<'_>) {
+        let local = ctx.node_id();
+        let Some(catchup) = &mut self.catchup else {
+            return;
+        };
+        let missing: Vec<u32> = match catchup.total {
+            None => Vec::new(),
+            Some(total) => (0..total)
+                .filter(|index| !catchup.chunks.contains_key(index))
+                .take(WINDOW)
+                .collect(),
+        };
+        catchup.outstanding = missing.iter().copied().collect();
+        let mut message = Message::new();
+        message.push(&StateRequestBody {
+            transfer_epoch: catchup.transfer_epoch,
+            missing,
+        });
+        ctx.dispatch(Event::down(StateRequest::new(
+            local,
+            Dest::Node(catchup.donor),
+            message,
+        )));
+    }
+
+    /// Accounts one catch-up chunk; installs the snapshot when complete.
+    /// Failures abandon the transfer instead of failing over — the donor was
+    /// *targeted* (its digest proved it complete), and if the gap persists
+    /// gossip raises a fresh [`CatchupRequest`] with the next floor answer.
+    fn on_catchup_chunk(
+        &mut self,
+        from: NodeId,
+        header: StateChunkHeader,
+        payload: Bytes,
+        ctx: &mut EventContext<'_>,
+    ) {
+        let now = ctx.now_ms();
+        let complete = {
+            let Some(catchup) = &mut self.catchup else {
+                return;
+            };
+            if header.transfer_epoch != catchup.transfer_epoch || from != catchup.donor {
+                return; // a late chunk from an abandoned catch-up
+            }
+            match catchup.version {
+                None => {
+                    catchup.version = Some(header.version);
+                    catchup.total = Some(header.total);
+                    catchup.outstanding = (0..header.total.min(WINDOW as u32)).collect();
+                }
+                Some(version) if version != header.version => return,
+                _ => {}
+            }
+            if header.index >= catchup.total.unwrap_or(0) {
+                return;
+            }
+            let len = payload.len() as u64;
+            if catchup.chunks.insert(header.index, payload).is_none() {
+                catchup.bytes += len;
+            }
+            catchup.outstanding.remove(&header.index);
+            catchup.last_progress_ms = now;
+            catchup.chunks.len() == catchup.total.unwrap_or(0) as usize
+        };
+        if complete {
+            let catchup = self.catchup.take().expect("checked above");
+            let mut blob = Vec::with_capacity(catchup.bytes as usize);
+            for chunk in catchup.chunks.values() {
+                blob.extend_from_slice(chunk);
+            }
+            if self.install_snapshot(&blob) {
+                self.catchup_count += 1;
+                self.catchup_done_ms = Some(now);
+                ctx.deliver(DeliveryKind::CaughtUp {
+                    donor: catchup.donor,
+                    bytes: catchup.bytes,
+                    chunks: catchup.total.unwrap_or(0),
+                });
+            } else {
+                ctx.deliver(DeliveryKind::Notification(format!(
+                    "catch-up donor {} streamed a malformed snapshot; abandoning \
+                     (gossip will re-escalate if the gap persists)",
+                    catchup.donor
+                )));
+            }
+        } else {
+            let drained = self
+                .catchup
+                .as_ref()
+                .is_some_and(|catchup| catchup.outstanding.is_empty());
+            if drained {
+                self.send_catchup_request(ctx);
+            }
+        }
     }
 
     /// Moves to the next donor under a fresh transfer epoch (donor crashed,
@@ -688,7 +873,23 @@ impl RecoverySession {
     fn on_timer(&mut self, ctx: &mut EventContext<'_>) {
         let now = ctx.now_ms();
         match &self.phase {
-            Phase::Member => return, // no re-arm
+            Phase::Member => {
+                // The only member-phase timer work is an in-flight catch-up:
+                // re-request lost chunks, or abandon a donor that went quiet
+                // (gossip re-escalates with a fresh floor answer if needed).
+                let Some(catchup) = &self.catchup else {
+                    return; // no re-arm
+                };
+                if now.saturating_sub(catchup.last_progress_ms) >= self.transfer_timeout_ms {
+                    let donor = catchup.donor;
+                    self.catchup = None;
+                    ctx.deliver(DeliveryKind::Notification(format!(
+                        "catch-up from {donor} stalled; abandoning the transfer"
+                    )));
+                    return; // no re-arm
+                }
+                self.send_catchup_request(ctx);
+            }
             Phase::Joining => self.send_join_request(ctx),
             Phase::Syncing(sync) => {
                 if now.saturating_sub(sync.last_progress_ms) >= self.transfer_timeout_ms {
@@ -707,6 +908,10 @@ impl RecoverySession {
 impl Session for RecoverySession {
     fn layer_name(&self) -> &str {
         RECOVERY_LAYER
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn handle(&mut self, mut event: Event, ctx: &mut EventContext<'_>) {
@@ -743,6 +948,13 @@ impl Session for RecoverySession {
             let view = install.view.clone();
             self.serving.retain(|node, _| view.contains(*node));
             self.suspected.retain(|node| view.contains(*node));
+            if self
+                .catchup
+                .as_ref()
+                .is_some_and(|catchup| !view.contains(catchup.donor))
+            {
+                self.catchup = None;
+            }
             let admitted = matches!(self.phase, Phase::Joining) && view.contains(ctx.node_id());
             self.view = Some(view.clone());
             if admitted {
@@ -779,6 +991,15 @@ impl Session for RecoverySession {
             if donor_died {
                 self.failover("donor suspected", ctx);
             }
+            if self
+                .catchup
+                .as_ref()
+                .is_some_and(|catchup| catchup.donor == node)
+            {
+                // A catch-up donor is not failed over — it was *targeted*;
+                // gossip re-escalates against a live digest sender instead.
+                self.catchup = None;
+            }
             // The self-heal trigger runs before the suspicion is forwarded,
             // so the Rejoin reset reaches vsync ahead of the Suspect that
             // completed the everyone-is-suspected condition — the expelled
@@ -791,6 +1012,15 @@ impl Session for RecoverySession {
         if let Some(alive) = event.get::<Alive>() {
             self.suspected.remove(&alive.node);
             ctx.forward(event);
+            return;
+        }
+
+        if let Some(request) = event.get::<CatchupRequest>() {
+            // Raised by the gossip layer below when a repair floor told it a
+            // missed span is unrecoverable by NACK repair. Consumed here —
+            // the escalation is recovery's to drive.
+            let donor = request.donor;
+            self.begin_catchup(donor, ctx);
             return;
         }
 
@@ -823,7 +1053,11 @@ impl Session for RecoverySession {
                 return;
             };
             let payload = chunk.message.payload().clone();
-            self.on_chunk(from, header, payload, ctx);
+            if header.transfer_epoch >= CATCHUP_EPOCH_BASE {
+                self.on_catchup_chunk(from, header, payload, ctx);
+            } else {
+                self.on_chunk(from, header, payload, ctx);
+            }
             return;
         }
 
@@ -835,7 +1069,11 @@ impl Session for RecoverySession {
             && !matches!(self.phase, Phase::Member)
         {
             if self.buffered.len() >= BUFFER_CAP {
-                self.buffered.pop_front();
+                // Drop-newest: the kept prefix still replays in arrival
+                // order, and the shed tail is exactly what gossip repair
+                // recovers once the join completes.
+                self.buffer_shed += 1;
+                return;
             }
             self.buffered.push_back(event);
             return;
@@ -1034,6 +1272,10 @@ mod tests {
             serving: HashMap::new(),
             timer: None,
             phase_started_ms: 0,
+            catchup: None,
+            catchup_count: 0,
+            catchup_done_ms: None,
+            buffer_shed: 0,
         };
         assert!(session.install_snapshot(&blob));
         assert_eq!(&*state_a.borrow(), b"aaaa");
@@ -1425,6 +1667,10 @@ mod tests {
             serving: HashMap::new(),
             timer: None,
             phase_started_ms: 0,
+            catchup: None,
+            catchup_count: 0,
+            catchup_done_ms: None,
+            buffer_shed: 0,
         };
 
         // A snapshot blob advertising u32::MAX sections with no section
@@ -1450,5 +1696,98 @@ mod tests {
                 let _ = session.install_snapshot(&mutated);
             }
         }
+    }
+
+    #[test]
+    fn a_catchup_request_pulls_a_targeted_snapshot_without_a_view_change() {
+        // Donor (member, node 0) with live section state; puller (member,
+        // node 2) holding an empty copy. A repair-floor escalation from the
+        // gossip layer (`CatchupRequest`) pulls the section snapshot over
+        // the ordinary StateRequest/StateChunk wire — the stack stays up:
+        // no rejoin, no view change, no teardown.
+        let payload = b"0123456789abcdef0123456789abcdef0123";
+        let (donor_section, _) = section("s", payload);
+        let mut donor_platform = TestPlatform::new(NodeId(0));
+        let mut donor = Harness::new(
+            RecoveryLayer::with_sections(vec![donor_section]),
+            &params(&[0, 1, 2], false),
+            &mut donor_platform,
+        );
+
+        let (puller_section, puller_state) = section("s", b"");
+        let mut platform = TestPlatform::new(NodeId(2));
+        let mut puller = Harness::new(
+            RecoveryLayer::with_sections(vec![puller_section]),
+            &params(&[0, 1, 2], false),
+            &mut platform,
+        );
+
+        puller.run_up(
+            Event::up(CatchupRequest { donor: NodeId(0) }),
+            &mut platform,
+        );
+        let mut outgoing = requests(&puller.drain_down());
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].0, NodeId(0), "the pull targets the donor");
+        assert!(
+            outgoing[0].1.transfer_epoch >= CATCHUP_EPOCH_BASE,
+            "catch-up transfers use the epoch namespace disjoint from rejoins"
+        );
+
+        // A second escalation while one is in flight is a no-op.
+        puller.run_up(
+            Event::up(CatchupRequest { donor: NodeId(1) }),
+            &mut platform,
+        );
+        assert!(
+            requests(&puller.drain_down()).is_empty(),
+            "one catch-up at a time"
+        );
+
+        // Ferry request/chunk rounds until the transfer completes.
+        for _ in 0..64 {
+            if outgoing.is_empty() {
+                break;
+            }
+            for (_, body) in outgoing.drain(..) {
+                let mut message = Message::new();
+                message.push(&body);
+                donor.run_up(
+                    Event::up(StateRequest::new(NodeId(2), Dest::Node(NodeId(0)), message)),
+                    &mut donor_platform,
+                );
+            }
+            for (header, chunk) in chunks(&donor.drain_down()) {
+                let mut message = Message::with_payload(chunk);
+                message.push(&header);
+                puller.run_up(
+                    Event::up(StateChunk::new(NodeId(0), Dest::Node(NodeId(2)), message)),
+                    &mut platform,
+                );
+            }
+            outgoing = requests(&puller.drain_down());
+        }
+
+        assert_eq!(
+            puller_state.borrow().as_slice(),
+            &payload[..],
+            "the missed span is installed from the snapshot"
+        );
+        assert!(platform.take_deliveries().iter().any(|delivery| matches!(
+            &delivery.kind,
+            DeliveryKind::CaughtUp { donor, .. } if *donor == NodeId(0)
+        )));
+
+        // The floor answer that triggered the escalation may be repeated by
+        // other digest senders: inside the cooldown the puller stays quiet
+        // instead of re-pulling the same snapshot.
+        puller.run_up(
+            Event::up(CatchupRequest { donor: NodeId(0) }),
+            &mut platform,
+        );
+        assert!(
+            requests(&puller.drain_down()).is_empty(),
+            "repeat escalations inside the cooldown are no-ops"
+        );
     }
 }

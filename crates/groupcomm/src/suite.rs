@@ -15,8 +15,9 @@ use morpheus_appia::platform::NodeId;
 use crate::beb::BebLayer;
 use crate::causal::CausalLayer;
 use crate::events::{
-    FecParity, FlushAck, GossipRepairDigest, GossipRepairPull, GossipRepairPush, Heartbeat,
-    JoinRequest, NackRequest, OrderInfo, StaleBallot, ViewCommit, ViewPrepare,
+    FecParity, FlushAck, GossipBatch, GossipRepairDigest, GossipRepairFloor, GossipRepairPull,
+    GossipRepairPush, Heartbeat, JoinRequest, NackRequest, OrderInfo, StaleBallot, ViewCommit,
+    ViewPrepare,
 };
 use crate::failure_detector::FailureDetectorLayer;
 use crate::fec::FecLayer;
@@ -54,6 +55,8 @@ pub fn register_suite(kernel: &mut Kernel) {
     GossipRepairDigest::register(events);
     GossipRepairPull::register(events);
     GossipRepairPush::register(events);
+    GossipRepairFloor::register(events);
+    GossipBatch::register(events);
     ViewPrepare::register(events);
     FlushAck::register(events);
     ViewCommit::register(events);
@@ -134,6 +137,8 @@ pub struct StackBuilder {
     vsync_gossip_threshold: usize,
     transfer_chunk_bytes: usize,
     gossip_repair_interval_ms: u64,
+    gossip_credit_window: usize,
+    gossip_batch_max: usize,
     joining: bool,
 }
 
@@ -156,6 +161,8 @@ impl StackBuilder {
             vsync_gossip_threshold: 50,
             transfer_chunk_bytes: 1024,
             gossip_repair_interval_ms: 1000,
+            gossip_credit_window: 128,
+            gossip_batch_max: 4,
             joining: false,
         }
     }
@@ -268,6 +275,20 @@ impl StackBuilder {
         self
     }
 
+    /// Overrides the per-peer gossip credit window (`0` disables the credit
+    /// backpressure, restoring unthrottled pushes).
+    pub fn gossip_credit_window(mut self, window: usize) -> Self {
+        self.gossip_credit_window = window;
+        self
+    }
+
+    /// Overrides how many app messages one gossip packet may aggregate
+    /// (`1` restores singleton pushes).
+    pub fn gossip_batch_max(mut self, batch_max: usize) -> Self {
+        self.gossip_batch_max = batch_max.max(1);
+        self
+    }
+
     /// Marks the stack as belonging to a restarted node re-entering the
     /// group: vsync starts with an empty view (blocked) and the recovery
     /// layer drives re-admission plus state transfer.
@@ -310,7 +331,9 @@ impl StackBuilder {
                 .with_param(
                     "repair_interval_ms",
                     self.gossip_repair_interval_ms.to_string(),
-                ),
+                )
+                .with_param("credit_window", self.gossip_credit_window.to_string())
+                .with_param("batch_max", self.gossip_batch_max.to_string()),
         });
 
         match self.reliability {
@@ -405,6 +428,8 @@ mod tests {
         for event in [
             "Heartbeat",
             "NackRequest",
+            "GossipRepairFloor",
+            "GossipBatch",
             "ViewPrepare",
             "FlushAck",
             "ViewCommit",

@@ -179,6 +179,9 @@ pub struct VsyncSession {
     joining: bool,
     blocked: bool,
     // bound: grows only while the channel is blocked; flushed on every resume or install.
+    // never-shed: view-synchrony state is control-plane — dropping a buffered
+    // send would break sending-view delivery; overload relief must come from
+    // the data-plane caps below (gossip outbox, testbed queue shed).
     buffered: Vec<Event>,
     round: Option<Round>,
     /// Highest view-round ballot this node has proposed or accepted.
@@ -197,8 +200,10 @@ pub struct VsyncSession {
     /// Membership changes queued while no round can run them. Cleared only
     /// when an installed view reflects them, so an aborted round re-proposes.
     // bound: subset of the current membership; cleared as installed views absorb it.
+    // never-shed: a dropped removal would strand a dead member in the view.
     pending_removals: BTreeSet<NodeId>,
     // bound: <= announced joiners; cleared as installed views absorb it.
+    // never-shed: a dropped join would strand a live joiner outside the view.
     pending_joins: BTreeSet<NodeId>,
     view_changes: u64,
     retransmit_interval_ms: u64,

@@ -6,9 +6,9 @@
 use morpheus_appia::platform::NodeId;
 use morpheus_appia::wire::Wire;
 use morpheus_groupcomm::headers::{
-    CausalHeader, FecParityHeader, FlushBody, GossipHeader, LivenessDigest, McastHeader,
-    McastMode, NackHeader, OrderHeader, RepairDigest, RepairPull, RepairPushHeader, RepairRange,
-    SeqHeader, TotalIdHeader,
+    CausalHeader, FecParityHeader, FlushBody, GossipHeader, LivenessDigest, McastHeader, McastMode,
+    NackHeader, OrderHeader, RepairDigest, RepairFloorBody, RepairPull, RepairPushHeader,
+    RepairRange, SeqHeader, TotalIdHeader,
 };
 
 #[cfg(miri)]
@@ -56,12 +56,18 @@ fn data_plane_headers_roundtrip() {
 #[test]
 fn repair_headers_roundtrip() {
     roundtrip(RepairDigest {
+        credit: 128,
         entries: vec![RepairRange {
             origin: NodeId(1),
             inc: 12,
             lo: 3,
             hi: 9,
         }],
+    });
+    roundtrip(RepairFloorBody {
+        origin: NodeId(2),
+        inc: 12,
+        floor: 900,
     });
     roundtrip(RepairPull {
         wants: vec![(NodeId(1), 12, vec![4, 5]), (NodeId(4), 0, vec![1])],

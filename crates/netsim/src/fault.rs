@@ -92,6 +92,31 @@ pub enum FaultEvent {
         /// Per-packet corruption probability in `[0, 1]`.
         rate: f64,
     },
+    /// Sustained overload: during `[start_ms, end_ms)` every workload
+    /// sender emits one *extra* application message each `interval_ms`,
+    /// on top of the scenario's configured rate — the drive under which
+    /// the backpressure and queue-shedding paths are exercised.
+    Overload {
+        /// Start of the overload window.
+        start_ms: u64,
+        /// End of the overload window (exclusive).
+        end_ms: u64,
+        /// Time between two extra sends per sender.
+        interval_ms: u64,
+    },
+    /// A full partition of one node: during `[start_ms, end_ms)` every
+    /// packet to or from it is dropped at the link layer (both
+    /// directions) while the node itself keeps running — the long-outage
+    /// régime that drives the repair→snapshot catch-up path when the
+    /// window outlives the repair-log TTL.
+    Partition {
+        /// The isolated node.
+        node: NodeId,
+        /// Start of the partition window.
+        start_ms: u64,
+        /// End of the partition window (exclusive).
+        end_ms: u64,
+    },
 }
 
 /// A composable schedule of timed fault events.
@@ -135,11 +160,27 @@ impl FaultSchedule {
         })
     }
 
+    /// Whether the node is fully partitioned (isolated in both directions,
+    /// but still running) at `at_ms`.
+    pub fn node_partitioned(&self, node: NodeId, at_ms: u64) -> bool {
+        self.events.iter().any(|event| match event {
+            FaultEvent::Partition {
+                node: isolated,
+                start_ms,
+                end_ms,
+            } => *isolated == node && in_window(at_ms, *start_ms, *end_ms),
+            _ => false,
+        })
+    }
+
     /// Whether a packet from `from` to `to` is dropped by a fault at
-    /// `at_ms` (a flap of either endpoint, or a one-way partition of this
-    /// exact direction).
+    /// `at_ms` (a flap or full partition of either endpoint, or a one-way
+    /// partition of this exact direction).
     pub fn link_down(&self, from: NodeId, to: NodeId, at_ms: u64) -> bool {
         if self.node_flapped_down(from, at_ms) || self.node_flapped_down(to, at_ms) {
+            return true;
+        }
+        if self.node_partitioned(from, at_ms) || self.node_partitioned(to, at_ms) {
             return true;
         }
         self.events.iter().any(|event| match event {
@@ -208,6 +249,19 @@ impl FaultSchedule {
         })
     }
 
+    /// The overload régimes of the schedule, for the runner to expand into
+    /// extra application sends.
+    pub fn overload_events(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.events.iter().filter_map(|event| match event {
+            FaultEvent::Overload {
+                start_ms,
+                end_ms,
+                interval_ms,
+            } => Some((*start_ms, *end_ms, *interval_ms)),
+            _ => None,
+        })
+    }
+
     /// Short tags of the fault classes present in the schedule, in render
     /// order, deduplicated — what the survival matrix reports per case.
     pub fn class_tags(&self) -> Vec<&'static str> {
@@ -219,6 +273,8 @@ impl FaultSchedule {
                 FaultEvent::LatencyShift { .. } => "latency",
                 FaultEvent::Churn { .. } => "churn",
                 FaultEvent::Corrupt { .. } => "corrupt",
+                FaultEvent::Overload { .. } => "overload",
+                FaultEvent::Partition { .. } => "partition",
             };
             if !tags.contains(&tag) {
                 tags.push(tag);
@@ -347,6 +403,18 @@ impl FaultSchedule {
                     end_ms,
                     rate,
                 } => format!("corrupt(start={start_ms},end={end_ms},rate={rate:.3})"),
+                FaultEvent::Overload {
+                    start_ms,
+                    end_ms,
+                    interval_ms,
+                } => {
+                    format!("overload(start={start_ms},end={end_ms},interval={interval_ms})")
+                }
+                FaultEvent::Partition {
+                    node,
+                    start_ms,
+                    end_ms,
+                } => format!("partition(node={},start={start_ms},end={end_ms})", node.0),
             })
             .collect::<Vec<_>>()
             .join(";")
@@ -416,6 +484,16 @@ impl FaultSchedule {
                         .ok_or_else(|| "fault `corrupt` is missing `rate`".to_string())?
                         .parse::<f64>()
                         .map_err(|_| "fault `corrupt`: `rate` is not a number".to_string())?,
+                },
+                "overload" => FaultEvent::Overload {
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    interval_ms: num("interval")?.max(1),
+                },
+                "partition" => FaultEvent::Partition {
+                    node: NodeId(num("node")? as u32),
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
                 },
                 other => return Err(format!("unknown fault kind `{other}`")),
             });
@@ -564,6 +642,12 @@ mod tests {
                     }
                     | FaultEvent::Corrupt {
                         start_ms, end_ms, ..
+                    }
+                    | FaultEvent::Overload {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::Partition {
+                        start_ms, end_ms, ..
                     } => (*start_ms, *end_ms),
                 };
                 assert!(start >= 6_000, "fault starts after boot: {event:?}");
@@ -571,6 +655,45 @@ mod tests {
                 assert!(start < end);
             }
         }
+    }
+
+    #[test]
+    fn overload_and_partition_classes_render_parse_and_apply() {
+        let schedule = FaultSchedule {
+            events: vec![
+                FaultEvent::Overload {
+                    start_ms: 5_000,
+                    end_ms: 15_000,
+                    interval_ms: 12,
+                },
+                FaultEvent::Partition {
+                    node: NodeId(7),
+                    start_ms: 4_000,
+                    end_ms: 34_000,
+                },
+            ],
+        };
+        assert_eq!(
+            schedule.render(),
+            "overload(start=5000,end=15000,interval=12);\
+             partition(node=7,start=4000,end=34000)"
+        );
+        assert_eq!(FaultSchedule::parse(&schedule.render()).unwrap(), schedule);
+        assert_eq!(schedule.class_tags(), vec!["overload", "partition"]);
+        assert_eq!(
+            schedule.overload_events().collect::<Vec<_>>(),
+            vec![(5_000, 15_000, 12)]
+        );
+        // The partition isolates node 7 in both directions for the whole
+        // window, without touching other links.
+        assert!(schedule.node_partitioned(NodeId(7), 4_000));
+        assert!(!schedule.node_partitioned(NodeId(7), 34_000));
+        assert!(schedule.link_down(NodeId(7), NodeId(0), 10_000));
+        assert!(schedule.link_down(NodeId(0), NodeId(7), 10_000));
+        assert!(!schedule.link_down(NodeId(0), NodeId(1), 10_000));
+        assert!(!schedule.link_down(NodeId(7), NodeId(0), 35_000));
+        // Overload sheds no packets by itself.
+        assert!(!schedule.node_flapped_down(NodeId(7), 10_000));
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct NodeReport {
     /// The node's last completed rejoin, when it restarted and made it back
     /// into the group.
     pub rejoin: Option<RejoinReport>,
+    /// Targeted snapshot catch-ups this node completed (repair-floor
+    /// escalations healed without a rejoin).
+    pub catchups: u64,
+    /// Join-view messages shed at the recovery layer's buffer cap.
+    pub buffer_shed: u64,
     /// Counters of the node's epidemic data stack at the end of the run
     /// (`None` when the final stack is not gossip-based).
     pub gossip: Option<GossipReport>,
@@ -123,6 +128,15 @@ pub struct GossipReport {
     pub repaired_deliveries: u64,
     /// Late duplicates suppressed by the delivery tracker.
     pub late_duplicates: u64,
+    /// Pushes left waiting in the outbox by a flush because the peer was
+    /// out of credit (backpressure at work, not a loss).
+    pub deferred_pushes: u64,
+    /// Pushes shed at the outbox cap (drop-newest; recoverable via repair).
+    pub outbox_shed: u64,
+    /// Repair-floor answers that escalated to a snapshot catch-up.
+    pub floor_escalations: u64,
+    /// Pull responses refused by the per-interval push rate limit.
+    pub rate_limited_pushes: u64,
 }
 
 impl NodeReport {
@@ -176,6 +190,13 @@ pub struct RunReport {
     /// `total_errors() <= corrupted_packets` is the decode-hardening
     /// invariant fault sweeps assert.
     pub corrupted_packets: u64,
+    /// Data-class packets shed at the bounded event queue's cap (drop-newest
+    /// graceful degradation under overload; recoverable via gossip repair).
+    /// Control-plane events are never shed.
+    pub shed_packets: u64,
+    /// Deepest the simulation event queue ever got. With the bounded queue
+    /// active this stays at or near the cap even under sustained overload.
+    pub max_queue_depth: u64,
     /// The wedge the progress detector caught, if any (`None` on healthy
     /// runs, and always `None` when the detector is disabled).
     pub wedge: Option<WedgeReport>,
@@ -292,8 +313,17 @@ impl RunReport {
             totals.repair_pushes += gossip.repair_pushes;
             totals.repaired_deliveries += gossip.repaired_deliveries;
             totals.late_duplicates += gossip.late_duplicates;
+            totals.deferred_pushes += gossip.deferred_pushes;
+            totals.outbox_shed += gossip.outbox_shed;
+            totals.floor_escalations += gossip.floor_escalations;
+            totals.rate_limited_pushes += gossip.rate_limited_pushes;
         }
         totals
+    }
+
+    /// Total targeted snapshot catch-ups completed across all nodes.
+    pub fn total_catchups(&self) -> u64 {
+        self.nodes.iter().map(|node| node.catchups).sum()
     }
 
     /// Every completed rejoin, in node order.
@@ -379,6 +409,8 @@ mod tests {
             min_view_members: Some(2),
             restarts: 0,
             rejoin: None,
+            catchups: 0,
+            buffer_shed: 0,
             gossip: Some(GossipReport {
                 forwarded: 10,
                 duplicates: 2,
@@ -388,6 +420,10 @@ mod tests {
                 repair_pushes: 1,
                 repaired_deliveries: 1,
                 late_duplicates: 0,
+                deferred_pushes: 4,
+                outbox_shed: 0,
+                floor_escalations: 0,
+                rate_limited_pushes: 1,
             }),
         }
     }
@@ -406,6 +442,8 @@ mod tests {
             partition_dropped: 0,
             fault_dropped: 0,
             corrupted_packets: 0,
+            shed_packets: 0,
+            max_queue_depth: 0,
             wedge: None,
             nodes: vec![node(0, false, 10, 2), node(1, true, 4, 1)],
         }
@@ -434,6 +472,8 @@ mod tests {
         let totals = report.gossip_totals();
         assert_eq!(totals.forwarded, 20);
         assert_eq!(totals.repaired_deliveries, 2);
+        assert_eq!(totals.deferred_pushes, 8);
+        assert_eq!(totals.rate_limited_pushes, 2);
         // 2 devices, 10 total deliveries: a ratio, unclamped — over-delivery
         // (duplicates reaching the app) must be visible, not masked.
         assert_eq!(report.delivery_coverage(2, 5), 1.0);

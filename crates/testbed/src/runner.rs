@@ -108,6 +108,8 @@ struct NodeTally {
     min_view_members: Option<usize>,
     restarts: u64,
     rejoin: Option<RejoinReport>,
+    catchups: u64,
+    shed_packets: u64,
 }
 
 /// Fixed per-packet framing overhead added to every transmission (UDP + IP
@@ -168,6 +170,17 @@ impl Runner {
         let boot_options = node_options(scenario, &members, false);
         let control_channel = boot_options.control_channel;
         let data_channel = boot_options.data_channel;
+        // One cap serves two roles: data-plane transmissions are *shed* at
+        // the enqueue boundary once the event queue reaches it (graceful
+        // overload degradation — gossip repair recovers what was shed),
+        // while control/context/timer events are never shed, so a queue that
+        // still grows past the cap is a control-plane runaway and trips the
+        // wedge detector below.
+        let queue_cap = if scenario.wedge_queue_cap > 0 {
+            scenario.wedge_queue_cap
+        } else {
+            100_000 + 2_000 * members.len() as u64
+        };
 
         for member in &members {
             let (node, platform) = build_node(scenario, &members, *member, 0, 0, &network, binding);
@@ -189,6 +202,7 @@ impl Runner {
                 &mut tallies,
                 &mut network,
                 &mut queue,
+                queue_cap,
                 &mut rng,
                 &incarnations,
                 binding,
@@ -218,6 +232,31 @@ impl Runner {
                 SimTime::from_millis(*at_ms),
                 SimEvent::NodeRestart { node: *node },
             );
+        }
+
+        // Expand the fault schedule's overload régimes into extra
+        // application sends: during each window every workload sender emits
+        // one additional message per interval on top of the configured
+        // rate. Extra sends reuse the AppSend path with sequence numbers
+        // beyond the configured workload, so payloads stay unique.
+        {
+            let mut extra_seq = scenario.workload.messages_per_sender;
+            for (start_ms, end_ms, interval_ms) in scenario.fault_schedule.overload_events() {
+                let mut at = start_ms;
+                while at < end_ms {
+                    for sender in &scenario.workload.senders {
+                        queue.push(
+                            SimTime::from_millis(at),
+                            SimEvent::AppSend {
+                                node: *sender,
+                                seq: extra_seq,
+                            },
+                        );
+                    }
+                    extra_seq += 1;
+                    at += interval_ms.max(1);
+                }
+            }
         }
 
         // Expand the fault schedule's churn régimes into crash/restart
@@ -262,12 +301,8 @@ impl Runner {
         // while live, reachable members disagree on the installed view —
         // or when the event queue or the round count grows without bound.
         let wedge_enabled = scenario.wedge_window_ms > 0;
-        let wedge_queue_cap = if scenario.wedge_queue_cap > 0 {
-            scenario.wedge_queue_cap
-        } else {
-            100_000 + 2_000 * members.len() as u64
-        };
         let mut wedge: Option<WedgeReport> = None;
+        let mut max_queue_depth: u64 = 0;
         let mut next_wedge_sample_ms: u64 = 0;
         let mut last_progress_sig: u64 = 0;
         let mut stalled_since: Option<u64> = None;
@@ -284,13 +319,20 @@ impl Runner {
             }
             processed += 1;
             last_time = time;
+            max_queue_depth = max_queue_depth.max(queue.len() as u64);
 
             if wedge_enabled && time.as_millis() >= next_wedge_sample_ms {
                 next_wedge_sample_ms = time.as_millis() + WEDGE_SAMPLE_MS;
-                if queue.len() as u64 > wedge_queue_cap {
+                // Data packets are shed at the cap, so only unsheddable
+                // (control-plane) growth can push the queue past it — with
+                // head-room for the control events already in flight.
+                if queue.len() as u64 > queue_cap * 2 {
                     wedge = Some(WedgeReport {
                         at_ms: time.as_millis(),
-                        reason: format!("event queue grew past {wedge_queue_cap} entries"),
+                        reason: format!(
+                            "event queue grew past {} entries despite data shedding",
+                            queue_cap * 2
+                        ),
                     });
                     break;
                 }
@@ -388,6 +430,7 @@ impl Runner {
                     &mut tallies,
                     &mut network,
                     &mut queue,
+                    queue_cap,
                     &mut rng,
                     &incarnations,
                     binding,
@@ -500,6 +543,7 @@ impl Runner {
                 &mut tallies,
                 &mut network,
                 &mut queue,
+                queue_cap,
                 &mut rng,
                 &incarnations,
                 binding,
@@ -507,7 +551,14 @@ impl Runner {
         }
 
         build_report(
-            scenario, last_time, processed, &network, &nodes, &tallies, wedge,
+            scenario,
+            last_time,
+            processed,
+            &network,
+            &nodes,
+            &tallies,
+            wedge,
+            max_queue_depth,
         )
     }
 }
@@ -553,6 +604,9 @@ fn live_views_disagree(
             || scenario
                 .fault_schedule
                 .node_flapped_down(SimNodeId(node.0), at_ms)
+            || scenario
+                .fault_schedule
+                .node_partitioned(SimNodeId(node.0), at_ms)
         {
             continue;
         }
@@ -692,6 +746,7 @@ fn flush_node(
     tallies: &mut [NodeTally],
     network: &mut Network,
     queue: &mut EventQueue<SimEvent>,
+    queue_cap: u64,
     rng: &mut SimRng,
     incarnations: &[u32],
     binding: &mut dyn AppBinding,
@@ -751,6 +806,16 @@ fn flush_node(
                 },
             };
             for delivery in network.send(packet, now, rng) {
+                // Bounded event queue with graceful shedding: once the
+                // queue is at capacity, *data*-plane arrivals are dropped
+                // here (the epidemic repair plane recovers them), while
+                // control/context arrivals and timers are never shed — a
+                // queue still growing past the cap is control runaway and
+                // is left to the wedge detector.
+                if out.class == PacketClass::Data && queue.len() as u64 >= queue_cap {
+                    tallies[index].shed_packets += 1;
+                    continue;
+                }
                 queue.push(
                     delivery.at,
                     SimEvent::Packet {
@@ -844,6 +909,17 @@ fn flush_node(
                         elapsed_ms,
                     });
                 }
+                DeliveryKind::CaughtUp {
+                    donor,
+                    bytes,
+                    chunks,
+                } => {
+                    tallies[index].notifications.push(format!(
+                        "caught up past the repair-log floor via donor {donor} \
+                         ({bytes} bytes, {chunks} chunks) without rejoining"
+                    ));
+                    tallies[index].catchups += 1;
+                }
                 DeliveryKind::ContextConverged { .. } => {
                     // First full coverage of the membership by this node's
                     // context store: the dissemination convergence metric.
@@ -872,6 +948,7 @@ fn build_report(
     nodes: &[MorpheusNode],
     tallies: &[NodeTally],
     wedge: Option<WedgeReport>,
+    max_queue_depth: u64,
 ) -> RunReport {
     let mut node_reports = Vec::with_capacity(nodes.len());
     for (index, node) in nodes.iter().enumerate() {
@@ -900,6 +977,11 @@ fn build_report(
             min_view_members: tally.min_view_members,
             restarts: tally.restarts,
             rejoin: tally.rejoin.clone(),
+            catchups: tally.catchups,
+            buffer_shed: node
+                .recovery_stats()
+                .map(|(buffer_shed, _)| buffer_shed)
+                .unwrap_or(0),
             gossip: node.gossip_stats().map(|stats| GossipReport {
                 forwarded: stats.forwarded,
                 duplicates: stats.duplicates,
@@ -909,6 +991,10 @@ fn build_report(
                 repair_pushes: stats.repair_pushes,
                 repaired_deliveries: stats.repaired_deliveries,
                 late_duplicates: stats.late_duplicates,
+                deferred_pushes: stats.deferred_pushes,
+                outbox_shed: stats.outbox_shed,
+                floor_escalations: stats.floor_escalations,
+                rate_limited_pushes: stats.rate_limited_pushes,
             }),
         });
     }
@@ -931,6 +1017,8 @@ fn build_report(
         partition_dropped: tallies.iter().map(|tally| tally.partition_dropped).sum(),
         fault_dropped: stats.total_fault_dropped(),
         corrupted_packets: tallies.iter().map(|tally| tally.corrupted).sum(),
+        shed_packets: tallies.iter().map(|tally| tally.shed_packets).sum(),
+        max_queue_depth,
         wedge,
         nodes: node_reports,
     }

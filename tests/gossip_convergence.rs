@@ -105,3 +105,110 @@ fn the_gossip_plane_stays_cheaper_than_all_to_all_at_scale() {
          all-to-all baseline ({baseline_control})"
     );
 }
+
+#[test]
+fn sustained_overload_sheds_data_gracefully_without_wedging() {
+    // Every member sends at twice the configured service rate for 10 s
+    // against a deliberately small event-queue cap. The acceptance shape is
+    // graceful degradation: data-plane transmissions are shed at the cap
+    // (and repaired later where the repair plane can still reach them), the
+    // queue depth stays bounded, the control plane loses nothing, and the
+    // run neither wedges nor crashes a node.
+    let mut scenario = Scenario::sustained_overload(50, 50, 10_000);
+    scenario.wedge_queue_cap = 4_000;
+    let report = Runner::new().run(&scenario);
+
+    assert!(
+        report.wedge.is_none(),
+        "overload must degrade, not wedge: {:?}",
+        report.wedge
+    );
+    assert!(
+        report.shed_packets > 0,
+        "the cap was sized to actually engage the shed path"
+    );
+    assert!(
+        report.max_queue_depth <= scenario.wedge_queue_cap * 2,
+        "queue depth {} exceeded the bounded-degradation envelope ({})",
+        report.max_queue_depth,
+        scenario.wedge_queue_cap * 2
+    );
+    assert_eq!(
+        report.control_lost, 0,
+        "control-plane traffic is never shed under data overload"
+    );
+    assert_eq!(report.messages_lost, 0, "live links lose nothing");
+    assert_eq!(report.total_errors(), 0);
+    for node in &report.nodes {
+        assert_eq!(
+            node.restarts, 0,
+            "overload must not crash node {}",
+            node.node
+        );
+    }
+    assert!(
+        report.total_app_deliveries() > 0,
+        "chat still flows under overload"
+    );
+}
+
+#[test]
+fn a_member_partitioned_past_the_log_ttl_heals_via_catchup_not_rejoin() {
+    // Node 49 (a non-sender) is isolated for 30 s — three times the 10 s
+    // repair-log TTL — while the chat keeps flowing. By the time the
+    // partition lifts, every live peer has evicted the early missed span
+    // from its repair log, so NACK repair alone cannot close the gap: the
+    // member must escalate to the targeted repair→snapshot section pull.
+    // No restart, no rejoin, no view change.
+    let scenario = Scenario::long_partition(50, 30_000);
+    let isolated = NodeId(49);
+    let mut binding = ChatHistoryBinding::new("icdcs");
+    let report = Runner::new().run_with_binding(&scenario, &mut binding);
+
+    assert!(report.wedge.is_none(), "no wedge: {:?}", report.wedge);
+    let node = report.node(isolated).unwrap();
+    assert_eq!(node.restarts, 0, "healing must not restart the node");
+    assert!(
+        node.rejoin.is_none(),
+        "healing must not use the rejoin path"
+    );
+    assert!(
+        node.catchups >= 1,
+        "the repair→snapshot catch-up must have closed the evicted span"
+    );
+    // The raised suspicion timeout kept the member in the view throughout:
+    // no node ever installed a shrunken membership.
+    for peer in &report.nodes {
+        assert_eq!(
+            peer.min_view_members,
+            Some(50),
+            "node {} expelled the partitioned member",
+            peer.node
+        );
+    }
+    // Full reconvergence: every message every sender emitted is in the
+    // isolated member's room history — via live delivery, NACK repair or
+    // the snapshot catch-up.
+    let history = binding
+        .history(isolated)
+        .expect("the chat binding tracks every node");
+    let all = scenario
+        .workload
+        .seqs_sent_between(0, scenario.end_time_ms());
+    assert!(!all.is_empty());
+    for sender in &scenario.workload.senders {
+        let sender = ChatHistoryBinding::sender_name(*sender);
+        let missing = all
+            .clone()
+            .filter(|seq| !history.contains("icdcs", &sender, *seq))
+            .count();
+        assert_eq!(
+            missing,
+            0,
+            "the partitioned member's history misses {missing} of {} messages \
+             from {sender}",
+            all.clone().count()
+        );
+    }
+    assert_eq!(report.messages_lost, 0, "live links lose nothing");
+}
