@@ -220,6 +220,11 @@ pub enum PacketClass {
     Control,
     /// Context dissemination traffic (Cocaditem publications).
     Context,
+    /// Loss-repair traffic (NACK digests, pulls and re-streamed originals).
+    Repair,
+    /// Overlay maintenance traffic (partial-view membership, shuffles,
+    /// per-room tree grafts and prunes).
+    Overlay,
 }
 
 impl PacketClass {
@@ -229,6 +234,8 @@ impl PacketClass {
             PacketClass::Data => 0,
             PacketClass::Control => 1,
             PacketClass::Context => 2,
+            PacketClass::Repair => 3,
+            PacketClass::Overlay => 4,
         }
     }
 
@@ -238,6 +245,8 @@ impl PacketClass {
             0 => Ok(PacketClass::Data),
             1 => Ok(PacketClass::Control),
             2 => Ok(PacketClass::Context),
+            3 => Ok(PacketClass::Repair),
+            4 => Ok(PacketClass::Overlay),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -598,6 +607,8 @@ mod tests {
             PacketClass::Data,
             PacketClass::Control,
             PacketClass::Context,
+            PacketClass::Repair,
+            PacketClass::Overlay,
         ] {
             let bytes = class.to_bytes();
             assert_eq!(PacketClass::from_bytes(&bytes).unwrap(), class);

@@ -24,7 +24,7 @@
 
 #![forbid(unsafe_code)]
 
-use morpheus_testbed::{RunReport, Runner, Scenario};
+use morpheus_testbed::{RunReport, Runner, Scenario, WireBytes};
 
 struct CaseResult {
     name: String,
@@ -40,6 +40,8 @@ struct CaseResult {
     combined_msgs_per_interval: f64,
     control_sent_total: u64,
     context_sent_total: u64,
+    /// Per-component bytes-on-wire breakdown across the whole run.
+    wire: WireBytes,
     context_converged_ms: Option<u64>,
     reconfigurations: u64,
     rounds: usize,
@@ -67,6 +69,7 @@ fn run_case(name: &str, scenario: &Scenario) -> CaseResult {
         combined_msgs_per_interval: (control_sent_total + context_sent_total) as f64 / intervals,
         control_sent_total,
         context_sent_total,
+        wire: report.wire_bytes_totals(),
         context_converged_ms: report.context_convergence_ms(),
         reconfigurations: report.total_reconfigurations(),
         rounds: report.completed_rounds().len(),
@@ -148,6 +151,20 @@ fn main() {
         );
     }
 
+    eprintln!("per-component bytes on the wire (data / control / context / repair / overlay):");
+    for result in &results {
+        eprintln!(
+            "{:>24}  {:>10} / {:>10} / {:>10} / {:>9} / {:>8}  (total {})",
+            result.name,
+            result.wire.data,
+            result.wire.control,
+            result.wire.context,
+            result.wire.repair,
+            result.wire.overlay,
+            result.wire.total(),
+        );
+    }
+
     let baseline = &results[0];
     let gossip_n100 = results
         .iter()
@@ -190,7 +207,10 @@ fn main() {
             "    {{\"case\": \"{}\", \"n\": {}, \"control_fanout\": {}, \"control_loss\": {:.2}, \
              \"control_msgs_per_interval\": {:.1}, \"combined_msgs_per_interval\": {:.1}, \
              \"control_sent_total\": {}, \
-             \"context_sent_total\": {}, \"context_converged_ms\": {}, \
+             \"context_sent_total\": {}, \
+             \"wire_bytes\": {{\"data\": {}, \"control\": {}, \"context\": {}, \
+             \"repair\": {}, \"overlay\": {}, \"total\": {}}}, \
+             \"context_converged_ms\": {}, \
              \"reconfigurations\": {}, \"rounds\": {}, \"messages_lost\": {}, \
              \"app_deliveries\": {}, \"events_processed\": {}, \"wall_ms\": {:.1}, \
              \"events_per_sec\": {:.0}}}{}\n",
@@ -202,6 +222,12 @@ fn main() {
             result.combined_msgs_per_interval,
             result.control_sent_total,
             result.context_sent_total,
+            result.wire.data,
+            result.wire.control,
+            result.wire.context,
+            result.wire.repair,
+            result.wire.overlay,
+            result.wire.total(),
             json_option(result.context_converged_ms),
             result.reconfigurations,
             result.rounds,

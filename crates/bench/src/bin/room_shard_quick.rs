@@ -1,0 +1,300 @@
+//! Quick-mode room-sharding scale measurement.
+//!
+//! Runs the partial-view + per-room overlay simulation
+//! ([`morpheus_overlay::RoomSimulation`]) across a Zipf room workload and
+//! emits machine-readable results to `BENCH_room_shard.json`. The headline
+//! claims, asserted after the results file is written:
+//!
+//! * **cost follows subscriptions** — at n = 500 with 1000 Zipf rooms, the
+//!   top-decile subscriber pays at least 3× the median node's data+overlay
+//!   bytes;
+//! * **cost does not follow group size** — doubling the population from
+//!   n = 250 to n = 500 while holding per-node subscriptions fixed (rooms
+//!   scale with n) moves the median node's cost by less than 2×;
+//! * **loss is repaired per room** — under 10% injected data loss, every
+//!   room still delivers every message to every live subscriber;
+//! * **churn is local** — crashed nodes rejoin through one contact's
+//!   partial view, exchanging messages with a small fraction of the group
+//!   rather than triggering a full-membership view change.
+//!
+//! Run with `cargo run --release -p morpheus-bench --bin room_shard_quick
+//! [output-path]`.
+
+#![forbid(unsafe_code)]
+
+use morpheus_overlay::{RoomSimulation, SimConfig};
+
+struct CaseResult {
+    name: String,
+    n: u32,
+    rooms: u32,
+    data_loss: f64,
+    churn: u32,
+    direct_rooms: usize,
+    tree_rooms: usize,
+    coverage: f64,
+    fully_covered_rooms: usize,
+    median_subscriptions: usize,
+    median_cost: u64,
+    top_decile_cost: u64,
+    data_bytes: u64,
+    overlay_bytes: u64,
+    repair_bytes: u64,
+    control_bytes: u64,
+    rejoined: usize,
+    rejoin_touched_max: usize,
+    events_processed: u64,
+    wall_ms: f64,
+}
+
+fn run_case(name: &str, cfg: SimConfig) -> CaseResult {
+    let started = std::time::Instant::now();
+    let report = RoomSimulation::new(cfg).run();
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    CaseResult {
+        name: name.to_string(),
+        n: cfg.nodes,
+        rooms: cfg.rooms,
+        data_loss: cfg.data_loss,
+        churn: cfg.churn_count,
+        direct_rooms: report.direct_rooms,
+        tree_rooms: report.tree_rooms,
+        coverage: report.coverage(),
+        fully_covered_rooms: report.fully_covered_rooms(),
+        median_subscriptions: report.median_subscriptions(),
+        median_cost: report.median_cost(),
+        top_decile_cost: report.top_decile_cost(),
+        data_bytes: report.nodes.iter().map(|node| node.data_bytes).sum(),
+        overlay_bytes: report.nodes.iter().map(|node| node.overlay_bytes).sum(),
+        repair_bytes: report.nodes.iter().map(|node| node.repair_bytes).sum(),
+        control_bytes: report.nodes.iter().map(|node| node.control_bytes).sum(),
+        rejoined: report.rejoined.len(),
+        rejoin_touched_max: report.rejoin_touched_max,
+        events_processed: report.events_processed,
+        wall_ms,
+    }
+}
+
+/// The headline scenario: 500 nodes, 1000 Zipf rooms, 10% data loss.
+fn headline(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        nodes: 500,
+        rooms: 1000,
+        zipf_exponent: 1.0,
+        duration_ms: 30_000,
+        publishes_per_room: 3,
+        payload_bytes: 512,
+        data_loss: 0.10,
+        // Background membership maintenance is uniform per node; a chatty
+        // shuffle cadence would bury the subscription-proportional cost the
+        // bench measures under it.
+        shuffle_interval_ms: 5_000,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_room_shard.json".into());
+    let wall_budget_ms: f64 = std::env::var("BENCH_WALL_BUDGET_MS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(120_000.0);
+
+    eprintln!("room-shard quick mode (wall budget per case: {wall_budget_ms:.0} ms)");
+    eprintln!(
+        "{:>18}  {:>5}  {:>6}  {:>5}  {:>9}  {:>9}  {:>5}  {:>10}  {:>10}  {:>9}",
+        "case",
+        "n",
+        "rooms",
+        "loss",
+        "coverage",
+        "full-rms",
+        "subs",
+        "median-B",
+        "top10%-B",
+        "wall-ms"
+    );
+
+    let results = vec![
+        // The headline case the acceptance ratios read.
+        run_case("rooms-n500-loss10", headline(17)),
+        // Half the population with half the rooms: per-node subscriptions
+        // stay fixed while the group doubles — the scale comparison.
+        run_case(
+            "rooms-n250-loss10",
+            SimConfig {
+                nodes: 250,
+                rooms: 500,
+                ..headline(17)
+            },
+        ),
+        // Churn on top of loss: five subscribed nodes crash mid-run and
+        // rejoin through a single contact each.
+        run_case(
+            "rooms-n500-churn5",
+            SimConfig {
+                churn_count: 5,
+                churn_at_ms: 10_000,
+                churn_restart_ms: 16_000,
+                ..headline(17)
+            },
+        ),
+    ];
+
+    for result in &results {
+        eprintln!(
+            "{:>18}  {:>5}  {:>6}  {:>5.2}  {:>9.4}  {:>9}  {:>5}  {:>10}  {:>10}  {:>9.1}",
+            result.name,
+            result.n,
+            result.rooms,
+            result.data_loss,
+            result.coverage,
+            result.fully_covered_rooms,
+            result.median_subscriptions,
+            result.median_cost,
+            result.top_decile_cost,
+            result.wall_ms,
+        );
+    }
+    eprintln!("per-component bytes on the wire (data / overlay / repair / control):");
+    for result in &results {
+        eprintln!(
+            "{:>18}  {:>11} / {:>11} / {:>10} / {:>9}",
+            result.name,
+            result.data_bytes,
+            result.overlay_bytes,
+            result.repair_bytes,
+            result.control_bytes,
+        );
+    }
+
+    let n500 = &results[0];
+    let n250 = &results[1];
+    let churned = &results[2];
+    let skew = n500.top_decile_cost as f64 / (n500.median_cost as f64).max(1.0);
+    let scale_ratio = n500.median_cost as f64 / (n250.median_cost as f64).max(1.0);
+    eprintln!(
+        "cost skew at n=500: top-decile {} B vs median {} B — {skew:.1}x; \
+         median cost n=250 -> n=500: {scale_ratio:.2}x",
+        n500.top_decile_cost, n500.median_cost
+    );
+
+    let meta = morpheus_bench::RunMeta {
+        seed: 17,
+        n: 500,
+        loss: 0.10,
+    };
+
+    // Hand-rolled JSON: the workspace builds offline, without serde_json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"room-shard\",\n");
+    json.push_str("  \"mode\": \"quick\",\n");
+    json.push_str(&format!("  {},\n", morpheus_bench::metadata_json(&meta)));
+    json.push_str(&format!("  \"top_decile_over_median\": {skew:.2},\n"));
+    json.push_str(&format!(
+        "  \"median_cost_scale_ratio\": {scale_ratio:.2},\n"
+    ));
+    json.push_str(&format!("  \"wall_budget_ms\": {wall_budget_ms:.0},\n"));
+    json.push_str("  \"results\": [\n");
+    for (index, result) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"rooms\": {}, \"data_loss\": {:.2}, \
+             \"churn\": {}, \"direct_rooms\": {}, \"tree_rooms\": {}, \
+             \"coverage\": {:.4}, \"fully_covered_rooms\": {}, \
+             \"median_subscriptions\": {}, \"median_cost_bytes\": {}, \
+             \"top_decile_cost_bytes\": {}, \
+             \"wire_bytes\": {{\"data\": {}, \"overlay\": {}, \"repair\": {}, \
+             \"control\": {}}}, \
+             \"rejoined\": {}, \"rejoin_touched_max\": {}, \
+             \"events_processed\": {}, \"wall_ms\": {:.1}}}{}\n",
+            result.name,
+            result.n,
+            result.rooms,
+            result.data_loss,
+            result.churn,
+            result.direct_rooms,
+            result.tree_rooms,
+            result.coverage,
+            result.fully_covered_rooms,
+            result.median_subscriptions,
+            result.median_cost,
+            result.top_decile_cost,
+            result.data_bytes,
+            result.overlay_bytes,
+            result.repair_bytes,
+            result.control_bytes,
+            result.rejoined,
+            result.rejoin_touched_max,
+            result.events_processed,
+            result.wall_ms,
+            if index + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&output, json).expect("write benchmark results");
+    eprintln!("wrote {output}");
+
+    // --- Assertions: the acceptance criteria of the room-sharded overlay
+    // (after the results file is written, so failed runs still record data).
+
+    // Cost follows subscriptions, not group size.
+    assert!(
+        skew >= 3.0,
+        "top-decile subscribers must pay >= 3x the median node's data+overlay \
+         bytes (got {skew:.1}x)"
+    );
+    assert!(
+        scale_ratio < 2.0 && scale_ratio > 0.5,
+        "median-node cost must stay flat (within 2x) when the group doubles at \
+         fixed subscriptions (got {scale_ratio:.2}x)"
+    );
+    assert!(
+        n500.median_subscriptions > 0 && n250.median_subscriptions > 0,
+        "the scale comparison needs subscribed median nodes"
+    );
+
+    // Every room fully recovers from 10% data loss.
+    assert_eq!(
+        n500.fully_covered_rooms, n500.rooms as usize,
+        "every room must deliver every message to every live subscriber under \
+         10% data loss ({}/{} rooms fully covered)",
+        n500.fully_covered_rooms, n500.rooms
+    );
+
+    // Churned nodes rejoin through the partial view, not a group-wide view
+    // change: each rejoiner talks to a small fraction of the population.
+    assert_eq!(
+        churned.rejoined, churned.churn as usize,
+        "every churned node must rejoin"
+    );
+    assert!(
+        churned.rejoin_touched_max < churned.n as usize / 2,
+        "a rejoin touched {} peers of {} — that is a group-wide view change",
+        churned.rejoin_touched_max,
+        churned.n
+    );
+    assert!(
+        churned.coverage >= 0.95,
+        "the room shards must keep delivering through churn (coverage {:.4})",
+        churned.coverage
+    );
+
+    for result in &results {
+        assert!(
+            result.tree_rooms > 0 && result.direct_rooms > 0,
+            "the per-room policy must split the workload across both stacks ({})",
+            result.name
+        );
+        assert!(
+            result.wall_ms <= wall_budget_ms,
+            "{} must stay within the CI wall budget ({:.0} ms > {wall_budget_ms:.0} ms)",
+            result.name,
+            result.wall_ms
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use morpheus_appia::platform::NodeId;
+use morpheus_overlay::RoomPlan;
 
 /// A directory of chat rooms. Each room is backed by one multicast group, as
 /// in the paper ("each group of users, defined from their interests, is
@@ -16,6 +17,18 @@ impl RoomDirectory {
     /// Creates an empty directory.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Materialises a directory from a generated room plan: one chat room
+    /// per plan room (`room-0000`, `room-0001`, …), membership copied
+    /// verbatim. This is how the Zipf-distributed scale scenarios become
+    /// ordinary chat rooms backed by the room-sharded overlay.
+    pub fn from_plan(plan: &RoomPlan) -> Self {
+        let mut directory = Self::new();
+        for room in 0..plan.room_count() as u32 {
+            directory.create_room(format!("room-{room:04}"), plan.members(room).to_vec());
+        }
+        directory
     }
 
     /// Creates (or replaces) a room with the given members.
@@ -96,6 +109,27 @@ mod tests {
         assert!(!directory.is_empty());
         assert!(directory.members("missing").is_empty());
         assert_eq!(directory.room_names(), vec!["games", "news"]);
+    }
+
+    #[test]
+    fn plan_backed_directories_mirror_the_plan() {
+        let plan = RoomPlan::generate(5, 40, 12, 1.0);
+        let directory = RoomDirectory::from_plan(&plan);
+        assert_eq!(directory.len(), 12);
+        for room in 0..12u32 {
+            assert_eq!(
+                directory.members(&format!("room-{room:04}")),
+                plan.members(room)
+            );
+        }
+        // Interest-driven membership: a node's chat rooms are exactly its
+        // plan subscriptions.
+        for id in 0..40u32 {
+            assert_eq!(
+                directory.rooms_of(NodeId(id)).len(),
+                plan.subscription_count(NodeId(id))
+            );
+        }
     }
 
     #[test]

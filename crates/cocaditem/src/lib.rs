@@ -22,6 +22,7 @@ pub mod context;
 pub mod dissemination;
 pub mod pubsub;
 pub mod retriever;
+pub mod room;
 pub mod store;
 
 pub use context::{ContextKey, ContextSnapshot, ContextValue};
@@ -31,4 +32,5 @@ pub use dissemination::{
 };
 pub use pubsub::{Broker, Subscription, Topic};
 pub use retriever::{default_retrievers, ContextRetriever};
+pub use room::RoomContext;
 pub use store::ContextStore;

@@ -1,0 +1,129 @@
+//! Per-room context: the slice of the distributed context one room shard
+//! adapts against.
+//!
+//! The group-wide [`GlobalContext`](crate) drives whole-stack
+//! reconfiguration; a room-sharded overlay adapts at a finer grain — each
+//! room picks its own dissemination stack from the context of *its own
+//! members only*. [`RoomContext`] is that slice: room size, observed
+//! publish rate, and the error/mobility summary of the subscribed members,
+//! extracted from the same [`ContextStore`] the dissemination layer
+//! already maintains.
+
+use morpheus_appia::platform::NodeId;
+
+use crate::store::ContextStore;
+
+/// The context one room shard's stack choice is evaluated against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomContext {
+    /// The room id.
+    pub room: u32,
+    /// Number of subscribed members.
+    pub size: usize,
+    /// Observed publish rate into the room, messages per minute.
+    pub publish_rate_per_min: f64,
+    /// Worst error rate reported by any subscribed member (`0.0` when no
+    /// member published one).
+    pub max_error_rate: f64,
+    /// Whether any subscribed member is mobile.
+    pub has_mobile: bool,
+    /// How many subscribed members have a snapshot in the store.
+    pub known_members: usize,
+}
+
+impl RoomContext {
+    /// Builds the room slice from the shared context store. Members without
+    /// a snapshot count toward `size` but not toward the summaries — the
+    /// room can still be classified before full context coverage.
+    pub fn from_store(
+        room: u32,
+        members: &[NodeId],
+        store: &ContextStore,
+        publish_rate_per_min: f64,
+    ) -> Self {
+        let mut max_error_rate = 0.0f64;
+        let mut has_mobile = false;
+        let mut known_members = 0usize;
+        for member in members {
+            let Some(snapshot) = store.get(*member) else {
+                continue;
+            };
+            known_members += 1;
+            if let Some(rate) = snapshot.error_rate() {
+                if rate > max_error_rate {
+                    max_error_rate = rate;
+                }
+            }
+            if snapshot.is_mobile() == Some(true) {
+                has_mobile = true;
+            }
+        }
+        Self {
+            room,
+            size: members.len(),
+            publish_rate_per_min,
+            max_error_rate,
+            has_mobile,
+            known_members,
+        }
+    }
+
+    /// A synthetic room context (tests, planning ahead of live context).
+    pub fn synthetic(room: u32, size: usize, publish_rate_per_min: f64) -> Self {
+        Self {
+            room,
+            size,
+            publish_rate_per_min,
+            max_error_rate: 0.0,
+            has_mobile: false,
+            known_members: size,
+        }
+    }
+
+    /// Whether every subscribed member has published context.
+    pub fn is_complete(&self) -> bool {
+        self.known_members >= self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use morpheus_appia::platform::NodeProfile;
+
+    use crate::context::{ContextKey, ContextSnapshot, ContextValue};
+
+    use super::*;
+
+    #[test]
+    fn room_slice_summarises_only_its_members() {
+        let mut store = ContextStore::new();
+        let mut lossy = ContextSnapshot::from_profile(&NodeProfile::fixed_pc(NodeId(0)), 1);
+        lossy.set(ContextKey::ErrorRate, ContextValue::Number(0.2));
+        store.update(lossy);
+        store.update(ContextSnapshot::from_profile(
+            &NodeProfile::mobile_pda(NodeId(1)),
+            1,
+        ));
+        store.update(ContextSnapshot::from_profile(
+            &NodeProfile::fixed_pc(NodeId(2)),
+            1,
+        ));
+
+        // Room over nodes 1 and 2: the lossy node 0 is not a member, so its
+        // error rate must not leak into the room summary.
+        let ctx = RoomContext::from_store(7, &[NodeId(1), NodeId(2)], &store, 12.0);
+        assert_eq!(ctx.room, 7);
+        assert_eq!(ctx.size, 2);
+        assert!(ctx.has_mobile);
+        assert_eq!(ctx.max_error_rate, 0.0);
+        assert!(ctx.is_complete());
+
+        // Room including node 0 sees the error rate; an unknown member
+        // makes the slice incomplete but still usable.
+        let ctx = RoomContext::from_store(8, &[NodeId(0), NodeId(9)], &store, 1.0);
+        assert!(ctx.max_error_rate >= 0.2);
+        assert!(!ctx.has_mobile);
+        assert_eq!(ctx.known_members, 1);
+        assert!(!ctx.is_complete());
+    }
+}

@@ -31,6 +31,6 @@ pub mod stack_catalog;
 
 pub use control::{register_core, ReconfigAck, ReconfigCommand, CORE_LAYER};
 pub use node::{MorpheusNode, NodeOptions};
-pub use policy::{AdaptationPolicy, GlobalContext, StackKind};
-pub use rules::DefaultPolicy;
+pub use policy::{AdaptationPolicy, GlobalContext, RoomStackKind, StackKind};
+pub use rules::{DefaultPolicy, RoomRules};
 pub use stack_catalog::StackCatalog;

@@ -49,6 +49,34 @@ impl StackKind {
     }
 }
 
+/// The dissemination stack one room shard runs over its subscribed
+/// members. Where [`StackKind`] reconfigures the whole-group data channel,
+/// a room kind adapts one shard of the room-sharded overlay — the same
+/// context-driven selection, applied at per-room grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoomStackKind {
+    /// Every link stays eager: each message is flooded to all room links.
+    /// Right for small or quiet rooms, where the tree's prune/graft
+    /// round-trips would cost more than the duplicates they save.
+    DirectPush,
+    /// Plumtree-style spanning tree: eager links prune to a broadcast tree
+    /// on duplicates, lazy links carry announcements and graft repairs.
+    TreePush {
+        /// Hop budget of the eager push, derived from the room size.
+        push_ttl: u32,
+    },
+}
+
+impl RoomStackKind {
+    /// A stable name for reports and reconfiguration commands.
+    pub fn name(&self) -> String {
+        match self {
+            RoomStackKind::DirectPush => "room-direct".to_string(),
+            RoomStackKind::TreePush { push_ttl } => format!("room-tree-t{push_ttl}"),
+        }
+    }
+}
+
 /// The distributed context an adaptation policy evaluates against.
 #[derive(Debug, Clone)]
 pub struct GlobalContext {

@@ -1,8 +1,9 @@
 //! The default rule-based adaptation policy.
 
 use morpheus_appia::layer::{param_or, LayerParams};
+use morpheus_cocaditem::RoomContext;
 
-use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
+use crate::policy::{AdaptationPolicy, GlobalContext, RoomStackKind, StackKind};
 
 /// The smallest TTL at which an epidemic push phase plausibly covers a group
 /// of size `n` at the given fan-out: the number of forwarding rounds after
@@ -23,6 +24,52 @@ pub fn derived_gossip_ttl(group_size: usize, fanout: usize) -> u32 {
         rounds += 1;
     }
     (rounds + 1).clamp(4, 12)
+}
+
+/// The rule-based per-room adaptation: maps one room's context slice to the
+/// dissemination stack that shard should run.
+///
+/// Small rooms flood: below `direct_max_size` members, a spanning tree
+/// saves at most a handful of duplicate payloads while adding prune/graft
+/// control traffic and a failure mode (a broken tree edge) — direct push is
+/// both cheaper and sturdier there. Quiet rooms flood too: pruning is only
+/// amortised when messages keep flowing along the tree, so below
+/// `busy_publish_rate` the duplicates are too rare to matter. Everything
+/// else runs the tree, with a push TTL derived from the room size exactly
+/// like the whole-group gossip TTL ([`derived_gossip_ttl`]).
+#[derive(Debug, Clone)]
+pub struct RoomRules {
+    /// Largest room that floods unconditionally.
+    pub direct_max_size: usize,
+    /// Publish rate (messages/minute) below which a room floods even when
+    /// large.
+    pub busy_publish_rate: f64,
+    /// Fan-out assumed when deriving the tree's push TTL.
+    pub tree_fanout: usize,
+}
+
+impl Default for RoomRules {
+    fn default() -> Self {
+        Self {
+            direct_max_size: 8,
+            busy_publish_rate: 2.0,
+            tree_fanout: 3,
+        }
+    }
+}
+
+impl RoomRules {
+    /// Picks the stack for one room shard.
+    pub fn evaluate(&self, context: &RoomContext) -> RoomStackKind {
+        if context.size <= self.direct_max_size
+            || context.publish_rate_per_min < self.busy_publish_rate
+        {
+            return RoomStackKind::DirectPush;
+        }
+        RoomStackKind::TreePush {
+            push_ttl: derived_gossip_ttl(context.size, self.tree_fanout),
+        }
+    }
 }
 
 /// The rule-based policy used by the prototype, encoding the trade-offs the
@@ -164,6 +211,29 @@ mod tests {
     fn with_error(mut snapshot: ContextSnapshot, rate: f64) -> ContextSnapshot {
         snapshot.set(ContextKey::ErrorRate, ContextValue::Number(rate));
         snapshot
+    }
+
+    #[test]
+    fn room_rules_split_direct_and_tree() {
+        let rules = RoomRules::default();
+        // Small rooms flood regardless of traffic.
+        let small = RoomContext::synthetic(0, 4, 100.0);
+        assert_eq!(rules.evaluate(&small), RoomStackKind::DirectPush);
+        // Large but quiet rooms flood too.
+        let quiet = RoomContext::synthetic(1, 80, 0.5);
+        assert_eq!(rules.evaluate(&quiet), RoomStackKind::DirectPush);
+        // Large busy rooms run the tree, TTL derived from the room size.
+        let busy = RoomContext::synthetic(2, 80, 30.0);
+        let RoomStackKind::TreePush { push_ttl } = rules.evaluate(&busy) else {
+            panic!("large busy room must run the tree");
+        };
+        assert_eq!(push_ttl, derived_gossip_ttl(80, 3));
+        // A bigger room derives a deeper push.
+        let huge = RoomContext::synthetic(3, 2000, 30.0);
+        let RoomStackKind::TreePush { push_ttl: deeper } = rules.evaluate(&huge) else {
+            panic!("huge busy room must run the tree");
+        };
+        assert!(deeper > push_ttl);
     }
 
     #[test]

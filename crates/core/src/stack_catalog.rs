@@ -4,7 +4,7 @@ use morpheus_appia::config::{ChannelConfig, LayerSpec};
 use morpheus_appia::platform::NodeId;
 use morpheus_groupcomm::suite::StackBuilder;
 
-use crate::policy::StackKind;
+use crate::policy::{RoomStackKind, StackKind};
 
 /// Produces the declarative channel descriptions for every [`StackKind`],
 /// over a fixed data-channel name and group membership.
@@ -145,6 +145,30 @@ impl StackCatalog {
             StackKind::HybridMecho { relay } => builder.mecho("auto", Some(*relay)).build(),
             StackKind::Gossip { fanout, ttl } => builder.gossip(*fanout, *ttl).build(),
         }
+    }
+
+    /// The rendered parameters of one room shard's overlay stack. Room
+    /// shards inherit the catalogue's epidemic repair cadence, so tuning
+    /// the group's repair knobs tunes every room the same way; the kind
+    /// contributes the tree/flood split and the derived push depth.
+    pub fn room_params(&self, kind: &RoomStackKind) -> Vec<(String, String)> {
+        let mut params = vec![
+            ("room_stack".to_string(), kind.name()),
+            (
+                "repair_interval_ms".to_string(),
+                self.gossip_repair_interval_ms.to_string(),
+            ),
+        ];
+        match kind {
+            RoomStackKind::DirectPush => {
+                params.push(("allow_prune".to_string(), "false".to_string()));
+            }
+            RoomStackKind::TreePush { push_ttl } => {
+                params.push(("allow_prune".to_string(), "true".to_string()));
+                params.push(("push_ttl".to_string(), push_ttl.to_string()));
+            }
+        }
+        params
     }
 
     /// The control-channel description: a control-plane failure detector,
@@ -307,6 +331,19 @@ mod tests {
             cocaditem.params.get("fanout").map(String::as_str),
             Some("0")
         );
+    }
+
+    #[test]
+    fn room_params_render_the_kind_and_inherit_the_repair_cadence() {
+        let catalog = StackCatalog::new("data", members(4)).with_gossip_repair(250);
+        let direct = catalog.room_params(&RoomStackKind::DirectPush);
+        assert!(direct.contains(&("room_stack".to_string(), "room-direct".to_string())));
+        assert!(direct.contains(&("allow_prune".to_string(), "false".to_string())));
+        assert!(direct.contains(&("repair_interval_ms".to_string(), "250".to_string())));
+        let tree = catalog.room_params(&RoomStackKind::TreePush { push_ttl: 6 });
+        assert!(tree.contains(&("room_stack".to_string(), "room-tree-t6".to_string())));
+        assert!(tree.contains(&("push_ttl".to_string(), "6".to_string())));
+        assert!(tree.contains(&("allow_prune".to_string(), "true".to_string())));
     }
 
     #[test]

@@ -58,21 +58,21 @@ sendable_event! {
 sendable_event! {
     /// Periodic gossip-repair digest: the spans of messages the sender's
     /// repair log can serve (header: [`crate::headers::RepairDigest`]).
-    pub struct GossipRepairDigest, class: Control
+    pub struct GossipRepairDigest, class: Repair
 }
 
 sendable_event! {
     /// NACK pull of the epidemic repair pass: the message identifiers the
     /// sender misses and pulls from the digest's sender (header:
     /// [`crate::headers::RepairPull`]).
-    pub struct GossipRepairPull, class: Control
+    pub struct GossipRepairPull, class: Repair
 }
 
 sendable_event! {
     /// Answer to a [`GossipRepairPull`]: one logged message, re-streamed to
     /// the puller (header: [`crate::headers::RepairPushHeader`]; payload:
     /// the original message bytes).
-    pub struct GossipRepairPush, class: Control
+    pub struct GossipRepairPush, class: Repair
 }
 
 sendable_event! {
@@ -81,7 +81,7 @@ sendable_event! {
     /// (header: [`crate::headers::RepairFloorBody`]). Tells the puller NACK
     /// repair can never close that gap; the puller escalates to a targeted
     /// state-section pull against the responder instead.
-    pub struct GossipRepairFloor, class: Control
+    pub struct GossipRepairFloor, class: Repair
 }
 
 sendable_event! {

@@ -24,7 +24,7 @@
 //!    delivery tracker — are suppressed, so coverage converges to 100%
 //!    shortly after the push phase tops out without ever re-delivering.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use morpheus_appia::event::{Dest, Direction, Event, EventSpec};
 use morpheus_appia::events::{ChannelInit, DataEvent, TimerExpired};
@@ -42,6 +42,7 @@ use crate::headers::{
     GossipBatchBody, GossipHeader, RepairDigest, RepairFloorBody, RepairPull, RepairPushHeader,
     RepairRange,
 };
+use crate::repair::{Delivered, RepairLog, StreamKey};
 
 /// Registered name of the gossip multicast layer.
 pub const GOSSIP_LAYER: &str = "gossip";
@@ -96,12 +97,6 @@ const DEFAULT_BATCH_MAX: usize = 1;
 /// are already in the repair log, so the digest-announce + pull path
 /// recovers them.
 const DEFAULT_OUTBOX_CAP: usize = 1_024;
-
-/// Sparse-set cap of the per-stream delivery tracker: when more than this
-/// many delivered sequence numbers sit above the contiguous floor, the
-/// oldest gaps are abandoned (treated as delivered) so the tracker's memory
-/// stays bounded even for gaps no repair log can serve any more.
-const DELIVERED_GAP_CAP: usize = 512;
 
 /// Picks up to `limit` distinct members uniformly at random, excluding
 /// `exclude` — the peer-sampling primitive shared by every gossip mechanism
@@ -169,82 +164,6 @@ pub struct GossipStats {
     pub rate_limited_pushes: u64,
 }
 
-/// Per-`(origin, inc)` record of delivered sequence numbers: a contiguous
-/// floor (everything at or below it was delivered or abandoned) plus a
-/// sparse set above it. Sequence numbers are dense within a stream, so the
-/// floor advances and the sparse set stays small; unlike the seen set this
-/// record is never evicted by capacity pressure, which is what makes the
-/// repair pass safe against re-delivery.
-#[derive(Debug, Default)]
-struct Delivered {
-    floor: u64,
-    above: BTreeSet<u64>,
-}
-
-impl Delivered {
-    fn contains(&self, seq: u64) -> bool {
-        seq <= self.floor || self.above.contains(&seq)
-    }
-
-    /// Records a delivered sequence number; returns `false` when it was
-    /// already recorded (a late duplicate).
-    fn record(&mut self, seq: u64) -> bool {
-        if self.contains(seq) {
-            return false;
-        }
-        self.above.insert(seq);
-        while self.above.remove(&(self.floor + 1)) {
-            self.floor += 1;
-        }
-        // Bounded memory: when too many delivered seqs sit above the floor,
-        // the oldest gaps are abandoned — no repair log still holds them.
-        while self.above.len() > DELIVERED_GAP_CAP {
-            let Some(lowest) = self.above.iter().next().copied() else {
-                break;
-            };
-            self.floor = lowest;
-            while {
-                let drained = self.above.remove(&self.floor);
-                let next = self.above.remove(&(self.floor + 1));
-                if next {
-                    self.floor += 1;
-                }
-                drained || next
-            } {}
-        }
-        true
-    }
-
-    /// Abandons every gap at or below `upto`: the span was evicted from all
-    /// reachable repair logs (a `RepairFloor` answer) and is being covered
-    /// by a snapshot catch-up instead, so NACK repair must stop asking for
-    /// it and late copies must not re-deliver.
-    fn fast_forward(&mut self, upto: u64) {
-        if upto <= self.floor {
-            return;
-        }
-        self.floor = upto;
-        self.above = self.above.split_off(&(self.floor + 1));
-        while self.above.remove(&(self.floor + 1)) {
-            self.floor += 1;
-        }
-    }
-
-    /// Appends the sequence numbers in `[lo, hi]` not yet delivered, up to
-    /// `limit` entries.
-    fn missing_in(&self, lo: u64, hi: u64, limit: usize, out: &mut Vec<u64>) {
-        let start = lo.max(self.floor + 1);
-        for seq in start..=hi {
-            if out.len() >= limit {
-                return;
-            }
-            if !self.above.contains(&seq) {
-                out.push(seq);
-            }
-        }
-    }
-}
-
 /// The epidemic multicast layer.
 ///
 /// Parameters:
@@ -308,9 +227,6 @@ impl Layer for GossipLayer {
     }
 }
 
-/// One stream of messages: an origin node plus its session incarnation.
-type StreamKey = (NodeId, u64);
-
 /// Session state of the gossip layer.
 #[derive(Debug)]
 pub struct GossipSession {
@@ -361,10 +277,8 @@ pub struct GossipSession {
     /// The repair log: recently delivered original messages, servable on a
     /// NACK pull. Bounded by `repair_log_cap` (ring) and
     /// `repair_log_ttl_ms` (age).
-    // bound: `repair_log_cap` ring + `repair_log_ttl_ms` age, enforced via `log_order`.
-    log: HashMap<StreamKey, BTreeMap<u64, Message>>,
-    // bound: same ring as `log` -- `repair_log_cap` entries, `repair_log_ttl_ms` age.
-    log_order: VecDeque<(StreamKey, u64, u64)>,
+    // bound: `repair_log_cap` ring + `repair_log_ttl_ms` age, enforced inside `RepairLog`.
+    log: RepairLog<Message>,
     pulls_this_interval: usize,
     pushes_this_interval: usize,
     repair_timer: Option<u64>,
@@ -416,8 +330,7 @@ impl GossipSession {
             seen_order: VecDeque::new(),
             delivered: HashMap::new(),
             floor_breaches: HashMap::new(),
-            log: HashMap::new(),
-            log_order: VecDeque::new(),
+            log: RepairLog::new(),
             pulls_this_interval: 0,
             pushes_this_interval: 0,
             repair_timer: None,
@@ -443,7 +356,7 @@ impl GossipSession {
 
     /// Messages currently held in the repair log.
     pub fn log_len(&self) -> usize {
-        self.log.values().map(BTreeMap::len).sum()
+        self.log.len()
     }
 
     /// The session's counters (push-phase and repair-pass).
@@ -530,9 +443,7 @@ impl GossipSession {
     }
 
     fn drop_stream_log(&mut self, key: &StreamKey) {
-        self.log.remove(key);
-        // The ring keeps its (now dangling) entries; they are skipped on
-        // eviction because the map lookup fails.
+        self.log.drop_stream(key);
     }
 
     /// Stores a delivered message in the bounded repair log.
@@ -540,37 +451,13 @@ impl GossipSession {
         if !self.repair_enabled() {
             return;
         }
-        let stream = self.log.entry(key).or_default();
-        if stream.insert(seq, message).is_none() {
-            self.log_order.push_back((key, seq, now_ms));
-        }
-        while self.log_order.len() > self.repair_log_cap {
-            let Some((old_key, old_seq, _)) = self.log_order.pop_front() else {
-                break;
-            };
-            if let Some(stream) = self.log.get_mut(&old_key) {
-                stream.remove(&old_seq);
-                if stream.is_empty() {
-                    self.log.remove(&old_key);
-                }
-            }
-        }
+        self.log
+            .store(key, seq, message, now_ms, self.repair_log_cap);
     }
 
     /// Drops logged messages older than `repair_log_ttl_ms`.
     fn evict_log(&mut self, now_ms: u64) {
-        while let Some((key, seq, at)) = self.log_order.front().copied() {
-            if now_ms.saturating_sub(at) < self.repair_log_ttl_ms {
-                break;
-            }
-            self.log_order.pop_front();
-            if let Some(stream) = self.log.get_mut(&key) {
-                stream.remove(&seq);
-                if stream.is_empty() {
-                    self.log.remove(&key);
-                }
-            }
-        }
+        self.log.evict(now_ms, self.repair_log_ttl_ms);
         // Breach timestamps for streams the delivery map no longer tracks
         // (stale incarnations) go with them — the map stays bounded by the
         // tracked-stream set.
@@ -687,22 +574,16 @@ impl GossipSession {
     /// The spans the repair log can currently serve, in deterministic
     /// `(origin, inc)` order — the digest payload.
     fn digest_entries(&self) -> Vec<RepairRange> {
-        let mut entries: Vec<RepairRange> = self
-            .log
-            .iter()
-            .filter_map(|((origin, inc), stream)| {
-                let lo = *stream.keys().next()?;
-                let hi = *stream.keys().next_back()?;
-                Some(RepairRange {
-                    origin: *origin,
-                    inc: *inc,
-                    lo,
-                    hi,
-                })
+        self.log
+            .spans()
+            .into_iter()
+            .map(|((origin, inc), lo, hi)| RepairRange {
+                origin,
+                inc,
+                lo,
+                hi,
             })
-            .collect();
-        entries.sort_unstable_by_key(|entry| (entry.origin.0, entry.inc));
-        entries
+            .collect()
     }
 
     /// The credit value piggybacked on outgoing digests.
@@ -998,7 +879,7 @@ impl GossipSession {
         // (a greedy or corrupt puller cannot amplify this node's send rate).
         let interval_cap = self.repair_window * 4;
         for (origin, inc, seqs) in pull.wants {
-            let stream = self.log.get(&(origin, inc));
+            let stream = self.log.stream(&(origin, inc));
             let servable_floor = stream.and_then(|stream| stream.keys().next().copied());
             let delivered_floor = self
                 .delivered
@@ -1357,6 +1238,7 @@ mod tests {
     use morpheus_appia::{Kernel, Message};
 
     use super::*;
+    use crate::repair::DELIVERED_GAP_CAP;
     use crate::suite::register_suite;
 
     fn gossip_config(members: &[u32], fanout: usize, ttl: u32) -> ChannelConfig {

@@ -37,6 +37,7 @@ pub mod headers;
 pub mod mecho;
 pub mod recovery;
 pub mod reliable;
+pub mod repair;
 pub mod suite;
 pub mod total;
 pub mod view;

@@ -354,7 +354,7 @@ pub struct RecoverySession {
     /// When the last catch-up completed — cooldown against floor-answer
     /// storms re-pulling a snapshot that was just installed.
     catchup_done_ms: Option<u64>,
-    /// Join-view messages shed because the buffer hit [`BUFFER_CAP`].
+    /// Join-view messages shed because the buffer hit `BUFFER_CAP`.
     buffer_shed: u64,
 }
 
@@ -382,7 +382,7 @@ impl RecoverySession {
         matches!(self.phase, Phase::Member)
     }
 
-    /// Join-view messages shed at the buffer cap (see [`BUFFER_CAP`]).
+    /// Join-view messages shed at the buffer cap (see `BUFFER_CAP`).
     pub fn buffer_shed(&self) -> u64 {
         self.buffer_shed
     }

@@ -1,0 +1,272 @@
+//! Reusable NACK / anti-entropy repair machinery.
+//!
+//! Both the epidemic multicast layer ([`crate::gossip`]) and the
+//! room-sharded overlay (`morpheus-overlay`) recover from probabilistic
+//! push-phase loss the same way: every member keeps a bounded log of
+//! recently delivered messages keyed by `(origin, inc, seq)`, advertises
+//! the spans it can serve, and answers NACK pulls with the logged
+//! originals. This module holds the two data structures that make that
+//! safe and bounded, extracted from the gossip layer so the overlay's
+//! per-room trees ride the exact same repair log semantics:
+//!
+//! * [`Delivered`] — the per-stream delivery record (contiguous floor plus
+//!   a capped sparse set), the ground truth that keeps repair re-streams
+//!   from ever re-delivering.
+//! * [`RepairLog`] — the bounded `(cap ring, TTL age)` store of delivered
+//!   originals, servable on a pull.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use morpheus_appia::platform::NodeId;
+
+/// A message stream: one `(origin, incarnation)` pair. Sequence numbers
+/// are dense within a stream; a node restart opens a fresh incarnation and
+/// with it a fresh sequence space.
+pub type StreamKey = (NodeId, u64);
+
+/// Sparse-set cap of the per-stream delivery tracker: when more than this
+/// many delivered sequence numbers sit above the contiguous floor, the
+/// oldest gaps are abandoned (treated as delivered) so the tracker's memory
+/// stays bounded even for gaps no repair log can serve any more.
+pub const DELIVERED_GAP_CAP: usize = 512;
+
+/// Per-`(origin, inc)` record of delivered sequence numbers: a contiguous
+/// floor (everything at or below it was delivered or abandoned) plus a
+/// sparse set above it. Sequence numbers are dense within a stream, so the
+/// floor advances and the sparse set stays small; unlike a duplicate-
+/// suppression seen set this record is never evicted by capacity pressure,
+/// which is what makes the repair pass safe against re-delivery.
+#[derive(Debug, Default, Clone)]
+pub struct Delivered {
+    pub(crate) floor: u64,
+    // bound: capped at DELIVERED_GAP_CAP entries; overflow folds into the floor.
+    pub(crate) above: BTreeSet<u64>,
+}
+
+impl Delivered {
+    /// Whether `seq` has been delivered (or abandoned past recovery).
+    pub fn contains(&self, seq: u64) -> bool {
+        seq <= self.floor || self.above.contains(&seq)
+    }
+
+    /// The contiguous delivery floor: every sequence number at or below it
+    /// was delivered or abandoned.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Records a delivered sequence number; returns `false` when it was
+    /// already recorded (a late duplicate).
+    pub fn record(&mut self, seq: u64) -> bool {
+        if self.contains(seq) {
+            return false;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+        // Bounded memory: when too many delivered seqs sit above the floor,
+        // the oldest gaps are abandoned — no repair log still holds them.
+        while self.above.len() > DELIVERED_GAP_CAP {
+            let Some(lowest) = self.above.iter().next().copied() else {
+                break;
+            };
+            self.floor = lowest;
+            while {
+                let drained = self.above.remove(&self.floor);
+                let next = self.above.remove(&(self.floor + 1));
+                if next {
+                    self.floor += 1;
+                }
+                drained || next
+            } {}
+        }
+        true
+    }
+
+    /// Abandons every gap at or below `upto`: the span was evicted from all
+    /// reachable repair logs (a floor answer) and is being covered by a
+    /// snapshot catch-up instead, so NACK repair must stop asking for it
+    /// and late copies must not re-deliver.
+    pub fn fast_forward(&mut self, upto: u64) {
+        if upto <= self.floor {
+            return;
+        }
+        self.floor = upto;
+        self.above = self.above.split_off(&(self.floor + 1));
+        while self.above.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+    }
+
+    /// Appends the sequence numbers in `[lo, hi]` not yet delivered, up to
+    /// `limit` entries.
+    pub fn missing_in(&self, lo: u64, hi: u64, limit: usize, out: &mut Vec<u64>) {
+        let start = lo.max(self.floor + 1);
+        for seq in start..=hi {
+            if out.len() >= limit {
+                return;
+            }
+            if !self.above.contains(&seq) {
+                out.push(seq);
+            }
+        }
+    }
+}
+
+/// The bounded repair log: recently delivered originals keyed by stream
+/// and sequence number, servable on a NACK pull. Two independent bounds —
+/// an insertion-ordered ring of at most `cap` entries and an age limit of
+/// `ttl_ms` — are enforced by the caller passing its knobs to [`store`]
+/// and [`evict`], so one log type serves sessions with different budgets.
+///
+/// [`store`]: RepairLog::store
+/// [`evict`]: RepairLog::evict
+#[derive(Debug, Default)]
+pub struct RepairLog<M> {
+    // bound: `cap` ring + `ttl_ms` age passed to store/evict, enforced via `order`.
+    streams: HashMap<StreamKey, BTreeMap<u64, M>>,
+    // bound: same ring as `streams` -- `cap` entries, `ttl_ms` age.
+    order: VecDeque<(StreamKey, u64, u64)>,
+}
+
+impl<M> RepairLog<M> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self {
+            streams: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Messages currently held across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the log holds no messages at all.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The logged messages of one stream, ordered by sequence number.
+    pub fn stream(&self, key: &StreamKey) -> Option<&BTreeMap<u64, M>> {
+        self.streams.get(key)
+    }
+
+    /// One logged original, if still held.
+    pub fn get(&self, key: &StreamKey, seq: u64) -> Option<&M> {
+        self.streams.get(key).and_then(|stream| stream.get(&seq))
+    }
+
+    /// Drops a whole stream (its incarnation went stale). The ring keeps
+    /// its now-dangling entries; they are skipped on eviction because the
+    /// map lookup fails.
+    pub fn drop_stream(&mut self, key: &StreamKey) {
+        self.streams.remove(key);
+    }
+
+    /// Stores a delivered message, evicting the oldest entries beyond
+    /// `cap`. Re-storing an already-held `(key, seq)` replaces the payload
+    /// without consuming another ring slot.
+    pub fn store(&mut self, key: StreamKey, seq: u64, message: M, now_ms: u64, cap: usize) {
+        let stream = self.streams.entry(key).or_default();
+        if stream.insert(seq, message).is_none() {
+            self.order.push_back((key, seq, now_ms));
+        }
+        while self.order.len() > cap {
+            let Some((old_key, old_seq, _)) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(stream) = self.streams.get_mut(&old_key) {
+                stream.remove(&old_seq);
+                if stream.is_empty() {
+                    self.streams.remove(&old_key);
+                }
+            }
+        }
+    }
+
+    /// Drops logged messages older than `ttl_ms`.
+    pub fn evict(&mut self, now_ms: u64, ttl_ms: u64) {
+        while let Some((key, seq, at)) = self.order.front().copied() {
+            if now_ms.saturating_sub(at) < ttl_ms {
+                break;
+            }
+            self.order.pop_front();
+            if let Some(stream) = self.streams.get_mut(&key) {
+                stream.remove(&seq);
+                if stream.is_empty() {
+                    self.streams.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// The `(stream, lo, hi)` spans the log can currently serve, in
+    /// deterministic `(origin, inc)` order — the digest payload.
+    pub fn spans(&self) -> Vec<(StreamKey, u64, u64)> {
+        let mut entries: Vec<(StreamKey, u64, u64)> = self
+            .streams
+            .iter()
+            .filter_map(|(key, stream)| {
+                let lo = *stream.keys().next()?;
+                let hi = *stream.keys().next_back()?;
+                Some((*key, lo, hi))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|((origin, inc), _, _)| (origin.0, *inc));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_floor_folds_contiguous_runs() {
+        let mut delivered = Delivered::default();
+        assert!(delivered.record(1));
+        assert!(delivered.record(2));
+        assert_eq!(delivered.floor(), 2);
+        assert!(delivered.record(5));
+        assert_eq!(delivered.floor(), 2, "gap at 3-4 holds the floor");
+        assert!(!delivered.record(5), "late duplicate");
+        assert!(delivered.record(3));
+        assert!(delivered.record(4));
+        assert_eq!(delivered.floor(), 5, "contiguous run folds into the floor");
+    }
+
+    #[test]
+    fn delivered_fast_forward_abandons_gaps() {
+        let mut delivered = Delivered::default();
+        delivered.record(1);
+        delivered.record(10);
+        delivered.fast_forward(9);
+        assert_eq!(delivered.floor(), 10, "seq 10 folds in after the jump");
+        let mut missing = Vec::new();
+        delivered.missing_in(1, 12, 16, &mut missing);
+        assert_eq!(missing, vec![11, 12]);
+    }
+
+    #[test]
+    fn log_ring_and_ttl_bounds_hold() {
+        let origin = NodeId(1);
+        let mut log: RepairLog<u32> = RepairLog::new();
+        for seq in 0..8u64 {
+            log.store((origin, 0), seq, seq as u32, seq * 100, 4);
+        }
+        assert_eq!(log.len(), 4, "ring cap evicts the oldest half");
+        assert!(log.get(&(origin, 0), 3).is_none());
+        assert_eq!(log.get(&(origin, 0), 7), Some(&7));
+        let spans = log.spans();
+        assert_eq!(spans, vec![((origin, 0), 4, 7)]);
+        log.evict(949, 250);
+        assert_eq!(log.spans(), vec![((origin, 0), 7, 7)]);
+        log.drop_stream(&(origin, 0));
+        assert!(log.is_empty());
+        // Ring entries for dropped streams are skipped without panicking.
+        log.evict(10_000, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: overlay-style fan-out target selection driven by hash-map
+//! iteration — the send order (and with a bounded fan-out, the *chosen
+//! targets*) depend on hash order. Expect exactly `det:map-iter`.
+
+struct FanoutFixture {
+    links: HashMap<u32, bool>,
+    sent: Vec<u32>,
+}
+
+impl FanoutFixture {
+    fn push_to_eager(&mut self, budget: usize) {
+        for (peer, eager) in &self.links {
+            if *eager && self.sent.len() < budget {
+                self.sent.push(*peer);
+            }
+        }
+    }
+}

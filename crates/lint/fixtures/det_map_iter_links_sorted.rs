@@ -1,0 +1,27 @@
+//! Fixture: overlay-style relay selection over ordered link sets — eager
+//! and lazy links in `BTreeSet`s, a digest pool collected and sorted before
+//! the rng picks an index. Order is deterministic end to end. Expect no
+//! findings.
+
+struct LinkSetsFixture {
+    eager: BTreeSet<u32>,
+    lazy: BTreeSet<u32>,
+}
+
+impl LinkSetsFixture {
+    fn relay_targets(&self, skip: u32) -> Vec<u32> {
+        self.eager
+            .iter()
+            .chain(self.lazy.iter())
+            .copied()
+            .filter(|peer| *peer != skip)
+            .collect()
+    }
+
+    fn digest_pool(&self, extras: &HashMap<u32, u64>) -> Vec<u32> {
+        let mut pool: Vec<u32> = extras.keys().copied().collect();
+        pool.sort_unstable();
+        pool.extend(self.relay_targets(0));
+        pool
+    }
+}

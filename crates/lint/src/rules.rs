@@ -24,6 +24,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "netsim",
     "testbed",
     "chat",
+    "overlay",
 ];
 
 /// File stems treated as wire/codec modules: the panic-freedom rules cover

@@ -47,6 +47,23 @@ fn sorted_hash_iteration_is_exempt() {
 }
 
 #[test]
+fn overlay_fanout_patterns() {
+    // Hash-ordered fan-out target selection must trip in overlay code too.
+    assert_eq!(
+        rules_for("det_map_iter_fanout.rs", "overlay"),
+        vec!["det:map-iter"],
+        "overlay is a protocol crate: hash-ordered fan-out must trip"
+    );
+    // The idiom the overlay actually uses — BTreeSet link sets, sorted
+    // digest pools — stays silent.
+    assert_eq!(
+        rules_for("det_map_iter_links_sorted.rs", "overlay"),
+        Vec::<&str>::new(),
+        "ordered link-set relay selection must stay clean"
+    );
+}
+
+#[test]
 fn determinism_rules_only_cover_protocol_crates() {
     assert_eq!(
         rules_for("det_time.rs", "lint"),

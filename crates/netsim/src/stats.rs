@@ -20,14 +20,21 @@ pub enum TrafficClass {
     Control,
     /// Context dissemination traffic.
     Context,
+    /// Loss-repair traffic (NACK digests, pulls, re-streamed originals).
+    Repair,
+    /// Overlay maintenance traffic (partial-view membership, shuffles,
+    /// per-room tree grafts and prunes).
+    Overlay,
 }
 
 impl TrafficClass {
     /// All traffic classes, in display order.
-    pub const ALL: [TrafficClass; 3] = [
+    pub const ALL: [TrafficClass; 5] = [
         TrafficClass::Data,
         TrafficClass::Control,
         TrafficClass::Context,
+        TrafficClass::Repair,
+        TrafficClass::Overlay,
     ];
 }
 
@@ -58,6 +65,10 @@ pub struct NodeStats {
     pub fault_dropped: u64,
     /// Bytes sent (sum over all classes).
     pub bytes_sent: u64,
+    /// Bytes sent, per traffic class — what lets the evaluation assert that
+    /// a node's data+overlay cost tracks its subscriptions while repair and
+    /// control stay bounded.
+    pub bytes_sent_by_class: BTreeMap<TrafficClass, u64>,
     /// Bytes received (sum over all classes).
     pub bytes_received: u64,
     /// Energy consumed by the radio, in joules.
@@ -69,6 +80,7 @@ impl NodeStats {
     pub fn record_sent(&mut self, class: TrafficClass, bytes: usize, energy_j: f64) {
         *self.sent.entry(class).or_insert(0) += 1;
         self.bytes_sent += bytes as u64;
+        *self.bytes_sent_by_class.entry(class).or_insert(0) += bytes as u64;
         self.energy_joules += energy_j;
     }
 
@@ -118,6 +130,11 @@ impl NodeStats {
     /// Messages received of one class.
     pub fn received_of(&self, class: TrafficClass) -> u64 {
         self.received.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Bytes sent of one class.
+    pub fn bytes_sent_of(&self, class: TrafficClass) -> u64 {
+        self.bytes_sent_by_class.get(&class).copied().unwrap_or(0)
     }
 }
 
@@ -213,6 +230,9 @@ mod tests {
         assert_eq!(stats.sent_of(TrafficClass::Context), 0);
         assert_eq!(stats.received_of(TrafficClass::Data), 1);
         assert_eq!(stats.bytes_sent, 120);
+        assert_eq!(stats.bytes_sent_of(TrafficClass::Data), 100);
+        assert_eq!(stats.bytes_sent_of(TrafficClass::Control), 20);
+        assert_eq!(stats.bytes_sent_of(TrafficClass::Repair), 0);
         assert_eq!(stats.bytes_received, 100);
         assert_eq!(stats.lost, 1);
         assert_eq!(stats.lost_of(TrafficClass::Data), 1);

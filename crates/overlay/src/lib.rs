@@ -1,0 +1,51 @@
+//! # morpheus-overlay
+//!
+//! Partial-view membership and room-sharded dissemination overlays: the
+//! scale substrate that makes a node's cost proportional to what it
+//! *subscribes to*, not to the size of the whole group.
+//!
+//! The full-membership planes (view synchrony, epidemic multicast over the
+//! complete member list) pay per-node costs that grow with the group: every
+//! member tracks every member and relays every stream. This crate provides
+//! the two layers that break that coupling, following the designs the
+//! large-scale gossip literature converged on:
+//!
+//! * [`membership`] — a HyParView-style **partial view**: each node keeps a
+//!   small symmetric *active* view (its gossip neighbours) and a larger
+//!   *passive* view (its repair reservoir), maintained with join /
+//!   forward-join random walks, periodic deterministic shuffles and
+//!   active-view repair on failure suspicion. Per-node membership state is
+//!   O(active + passive) regardless of group size.
+//! * [`plumtree`] — a Plumtree-style **per-room spanning-tree push**: each
+//!   chat room runs its own lightweight broadcast tree over only the
+//!   members subscribed to it. Links start eager (payload push) and are
+//!   demoted to lazy (`IHave` announcements) when they deliver duplicates;
+//!   a missing announcement is recovered with `Graft`, which both pulls the
+//!   payload and repairs the tree. Loss repair rides the exact same
+//!   `(origin, inc, seq)` repair log and NACK pull machinery as the
+//!   epidemic plane ([`morpheus_groupcomm::repair`]).
+//!
+//! The remaining modules wire those layers into the evaluation: [`wire`]
+//! defines the hardened message bodies, [`zipf`] generates deterministic
+//! Zipf-distributed room memberships, [`policy`] applies the paper's
+//! context-driven adaptation *per room shard* (small quiet rooms flood
+//! directly, large or busy rooms run the tree), and [`sim`] drives whole
+//! overlays over the deterministic network simulator with per-component
+//! byte accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod membership;
+pub mod plumtree;
+pub mod policy;
+pub mod sim;
+pub mod wire;
+pub mod zipf;
+
+pub use membership::{MembershipConfig, PartialView};
+pub use plumtree::{RoomConfig, RoomOverlay};
+pub use policy::{choose_room_stack, RoomStackKind};
+pub use sim::{RoomSimReport, RoomSimulation, SimConfig};
+pub use wire::OverlayMsg;
+pub use zipf::RoomPlan;

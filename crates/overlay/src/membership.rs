@@ -1,0 +1,600 @@
+//! Partial-view membership: the HyParView-style layer that bounds a node's
+//! membership state by two small views instead of the whole group.
+//!
+//! Every node keeps:
+//!
+//! * an **active view** — a small symmetric set of gossip neighbours. All
+//!   dissemination (tree links, lazy announcements, repair digests) runs
+//!   over active links only. Symmetry is maintained with explicit
+//!   `Neighbor` / `Disconnect` handshakes, so both ends agree on the link.
+//! * a **passive view** — a larger reservoir of known-alive addresses used
+//!   only for repair: when an active neighbour fails (failure-detector
+//!   suspicion) or disconnects, a passive member is promoted in its place.
+//!
+//! Joins enter through any contact node and propagate as bounded random
+//! walks (`ForwardJoin`, active walk length `arwl`): the walk's endpoint
+//! accepts the joiner into its active view, and a prefix point (`prwl`
+//! hops in) records it passively — so even a join through a single contact
+//! lands the new node in several distinct views. A periodic **shuffle**
+//! walks a sample of one node's views through the overlay and swaps it
+//! against the endpoint's passive sample, keeping passive views fresh
+//! without any global exchange.
+//!
+//! The state machine is pure: every handler returns the messages to send,
+//! and all randomness comes from the caller's deterministic [`SimRng`], so
+//! whole-overlay simulations replay exactly.
+
+use std::collections::BTreeSet;
+
+use morpheus_appia::platform::NodeId;
+use morpheus_netsim::SimRng;
+
+use crate::wire::OverlayMsg;
+
+/// Knobs of the partial-view layer.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// Active-view capacity (gossip degree). Small and O(1) in group size.
+    pub active_size: usize,
+    /// Passive-view capacity (repair reservoir).
+    pub passive_size: usize,
+    /// Active random-walk length of a forward-join.
+    pub arwl: u8,
+    /// Passive random-walk length: the hop at which a forward-join is also
+    /// recorded in the passive view.
+    pub prwl: u8,
+    /// Active-view members sampled into each shuffle.
+    pub shuffle_active: usize,
+    /// Passive-view members sampled into each shuffle.
+    pub shuffle_passive: usize,
+    /// Walk length of a shuffle.
+    pub shuffle_ttl: u8,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        Self {
+            active_size: 5,
+            passive_size: 30,
+            arwl: 6,
+            prwl: 3,
+            shuffle_active: 3,
+            shuffle_passive: 4,
+            shuffle_ttl: 3,
+        }
+    }
+}
+
+/// A message addressed to one peer — the output unit of every handler.
+pub type Send = (NodeId, OverlayMsg);
+
+/// The partial-view state of one node.
+#[derive(Debug, Clone)]
+pub struct PartialView {
+    me: NodeId,
+    cfg: MembershipConfig,
+    /// The symmetric gossip neighbours.
+    // bound: capped at `cfg.active_size`; eviction demotes to passive.
+    active: BTreeSet<NodeId>,
+    /// The repair reservoir.
+    // bound: capped at `cfg.passive_size`; random eviction on overflow.
+    passive: BTreeSet<NodeId>,
+    /// Neighbour promotions currently in flight (avoids re-asking the same
+    /// candidate every suspicion tick).
+    // bound: subset of `passive` plus at most `active_size` candidates, pruned on reply.
+    pending: BTreeSet<NodeId>,
+}
+
+impl PartialView {
+    /// A fresh, empty view.
+    pub fn new(me: NodeId, cfg: MembershipConfig) -> Self {
+        Self {
+            me,
+            cfg,
+            active: BTreeSet::new(),
+            passive: BTreeSet::new(),
+            pending: BTreeSet::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current active view, in node-id order.
+    pub fn active(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// The current passive view, in node-id order.
+    pub fn passive(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.passive.iter().copied()
+    }
+
+    /// Whether `peer` is an active neighbour.
+    pub fn is_active(&self, peer: NodeId) -> bool {
+        self.active.contains(&peer)
+    }
+
+    /// Active-view size.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Passive-view size.
+    pub fn passive_len(&self) -> usize {
+        self.passive.len()
+    }
+
+    /// Picks one member of a sorted candidate list with the deterministic
+    /// rng; `None` when empty.
+    fn pick(candidates: &[NodeId], rng: &mut SimRng) -> Option<NodeId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let index = rng.random_below(candidates.len() as u64) as usize;
+        candidates.get(index).copied()
+    }
+
+    /// Samples up to `limit` distinct members of a sorted candidate list
+    /// (partial Fisher–Yates over a copy — deterministic under the rng).
+    fn sample(candidates: &[NodeId], limit: usize, rng: &mut SimRng) -> Vec<NodeId> {
+        let mut pool = candidates.to_vec();
+        if pool.len() <= limit {
+            return pool;
+        }
+        for index in 0..limit {
+            let remaining = pool.len() - index;
+            let swap = index + rng.random_below(remaining as u64) as usize;
+            pool.swap(index, swap);
+        }
+        pool.truncate(limit);
+        pool
+    }
+
+    fn active_sorted(&self) -> Vec<NodeId> {
+        self.active.iter().copied().collect()
+    }
+
+    fn passive_sorted(&self) -> Vec<NodeId> {
+        self.passive.iter().copied().collect()
+    }
+
+    /// Adds `peer` to the active view, demoting a deterministic-random
+    /// victim to the passive view when full. Returns the messages needed
+    /// to keep links symmetric (a `Disconnect` to the victim).
+    fn add_active(&mut self, peer: NodeId, rng: &mut SimRng, out: &mut Vec<Send>) {
+        if peer == self.me || self.active.contains(&peer) {
+            return;
+        }
+        while self.active.len() >= self.cfg.active_size.max(1) {
+            let candidates = self.active_sorted();
+            let Some(victim) = Self::pick(&candidates, rng) else {
+                break;
+            };
+            self.active.remove(&victim);
+            self.add_passive(victim, rng);
+            out.push((victim, OverlayMsg::Disconnect));
+        }
+        self.passive.remove(&peer);
+        self.pending.remove(&peer);
+        self.active.insert(peer);
+    }
+
+    /// Adds `peer` to the passive view, evicting a deterministic-random
+    /// non-active victim when full.
+    fn add_passive(&mut self, peer: NodeId, rng: &mut SimRng) {
+        if peer == self.me || self.active.contains(&peer) || self.passive.contains(&peer) {
+            return;
+        }
+        while self.passive.len() >= self.cfg.passive_size.max(1) {
+            let candidates = self.passive_sorted();
+            let Some(victim) = Self::pick(&candidates, rng) else {
+                break;
+            };
+            self.passive.remove(&victim);
+        }
+        self.passive.insert(peer);
+    }
+
+    /// Initiates a join through `contact`: the only global knowledge a
+    /// node needs is one live address.
+    pub fn join(&mut self, contact: NodeId, rng: &mut SimRng) -> Vec<Send> {
+        let mut out = Vec::new();
+        self.add_active(contact, rng, &mut out);
+        out.push((contact, OverlayMsg::Join { joiner: self.me }));
+        out
+    }
+
+    /// A joiner knocked on this node: admit it (forced — contacts always
+    /// accept) and start the forward-join walks through the active view.
+    pub fn on_join(&mut self, joiner: NodeId, rng: &mut SimRng) -> Vec<Send> {
+        let mut out = Vec::new();
+        self.add_active(joiner, rng, &mut out);
+        let ttl = self.cfg.arwl;
+        for peer in self.active_sorted() {
+            if peer != joiner {
+                out.push((peer, OverlayMsg::ForwardJoin { joiner, ttl }));
+            }
+        }
+        out
+    }
+
+    /// One hop of a forward-join walk.
+    pub fn on_forward_join(
+        &mut self,
+        from: NodeId,
+        joiner: NodeId,
+        ttl: u8,
+        rng: &mut SimRng,
+    ) -> Vec<Send> {
+        let mut out = Vec::new();
+        if joiner == self.me || self.active.contains(&joiner) {
+            return out;
+        }
+        if ttl == 0 || self.active.len() <= 1 {
+            // Walk endpoint: accept the joiner into the active view and
+            // tell it so (high priority — the joiner may be starting out
+            // with an empty view).
+            self.add_active(joiner, rng, &mut out);
+            out.push((
+                joiner,
+                OverlayMsg::Neighbor {
+                    high_priority: true,
+                },
+            ));
+            return out;
+        }
+        if ttl == self.cfg.prwl {
+            self.add_passive(joiner, rng);
+        }
+        let candidates: Vec<NodeId> = self
+            .active_sorted()
+            .into_iter()
+            .filter(|peer| *peer != from && *peer != joiner)
+            .collect();
+        match Self::pick(&candidates, rng) {
+            Some(next) => out.push((
+                next,
+                OverlayMsg::ForwardJoin {
+                    joiner,
+                    ttl: ttl - 1,
+                },
+            )),
+            None => {
+                self.add_active(joiner, rng, &mut out);
+                out.push((
+                    joiner,
+                    OverlayMsg::Neighbor {
+                        high_priority: true,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// A peer asks to become an active neighbour.
+    pub fn on_neighbor(
+        &mut self,
+        from: NodeId,
+        high_priority: bool,
+        rng: &mut SimRng,
+    ) -> Vec<Send> {
+        let mut out = Vec::new();
+        let accepted = high_priority || self.active.len() < self.cfg.active_size;
+        if accepted {
+            self.add_active(from, rng, &mut out);
+        } else {
+            self.add_passive(from, rng);
+        }
+        out.push((from, OverlayMsg::NeighborReply { accepted }));
+        out
+    }
+
+    /// The answer to a neighbour request this node sent.
+    pub fn on_neighbor_reply(
+        &mut self,
+        from: NodeId,
+        accepted: bool,
+        rng: &mut SimRng,
+    ) -> Vec<Send> {
+        let mut out = Vec::new();
+        self.pending.remove(&from);
+        if accepted {
+            self.add_active(from, rng, &mut out);
+        } else {
+            // Keep it as a passive candidate; the retry happens on the next
+            // shuffle tick. Chaining an immediate retry here can livelock
+            // two full nodes into a Neighbor/reject ping-pong — the paced
+            // tick is what bounds the repair rate.
+            self.add_passive(from, rng);
+        }
+        out
+    }
+
+    /// A neighbour closed the link (eviction at its end).
+    pub fn on_disconnect(&mut self, from: NodeId, rng: &mut SimRng) -> Vec<Send> {
+        if self.active.remove(&from) {
+            self.add_passive(from, rng);
+            return self.promote_replacement(rng);
+        }
+        Vec::new()
+    }
+
+    /// The failure detector suspects an active neighbour: drop the link and
+    /// promote a passive member in its place — the active-view repair that
+    /// keeps the overlay connected through churn without any global view
+    /// change.
+    pub fn on_suspicion(&mut self, peer: NodeId, rng: &mut SimRng) -> Vec<Send> {
+        self.passive.remove(&peer);
+        self.pending.remove(&peer);
+        if self.active.remove(&peer) {
+            return self.promote_replacement(rng);
+        }
+        Vec::new()
+    }
+
+    /// Asks one passive member (not already being asked) to fill a hole in
+    /// the active view.
+    fn promote_replacement(&mut self, rng: &mut SimRng) -> Vec<Send> {
+        if self.active.len() >= self.cfg.active_size {
+            return Vec::new();
+        }
+        let candidates: Vec<NodeId> = self
+            .passive_sorted()
+            .into_iter()
+            .filter(|peer| !self.pending.contains(peer))
+            .collect();
+        let Some(candidate) = Self::pick(&candidates, rng) else {
+            return Vec::new();
+        };
+        self.pending.insert(candidate);
+        vec![(
+            candidate,
+            OverlayMsg::Neighbor {
+                high_priority: self.active.is_empty(),
+            },
+        )]
+    }
+
+    /// The periodic shuffle tick: walk a sample of this node's views to a
+    /// random active neighbour. Doubles as the paced retry of active-view
+    /// repair — any hole left by a rejected promotion is re-attempted here.
+    pub fn shuffle_tick(&mut self, rng: &mut SimRng) -> Vec<Send> {
+        let mut out = Vec::new();
+        if self.active.len() < self.cfg.active_size {
+            out.extend(self.promote_replacement(rng));
+        }
+        let candidates = self.active_sorted();
+        let Some(target) = Self::pick(&candidates, rng) else {
+            return out;
+        };
+        let mut nodes = vec![self.me];
+        let actives: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|p| *p != target)
+            .collect();
+        nodes.extend(Self::sample(&actives, self.cfg.shuffle_active, rng));
+        nodes.extend(Self::sample(
+            &self.passive_sorted(),
+            self.cfg.shuffle_passive,
+            rng,
+        ));
+        out.push((
+            target,
+            OverlayMsg::Shuffle {
+                origin: self.me,
+                ttl: self.cfg.shuffle_ttl,
+                nodes,
+            },
+        ));
+        out
+    }
+
+    /// One hop of a shuffle walk: forward while the TTL lasts, otherwise
+    /// swap passive samples with the origin.
+    pub fn on_shuffle(
+        &mut self,
+        from: NodeId,
+        origin: NodeId,
+        ttl: u8,
+        nodes: Vec<NodeId>,
+        rng: &mut SimRng,
+    ) -> Vec<Send> {
+        if origin == self.me {
+            return Vec::new();
+        }
+        if ttl > 0 {
+            let candidates: Vec<NodeId> = self
+                .active_sorted()
+                .into_iter()
+                .filter(|peer| *peer != from && *peer != origin)
+                .collect();
+            if let Some(next) = Self::pick(&candidates, rng) {
+                return vec![(
+                    next,
+                    OverlayMsg::Shuffle {
+                        origin,
+                        ttl: ttl - 1,
+                        nodes,
+                    },
+                )];
+            }
+        }
+        // Walk endpoint: answer with our own passive sample, then absorb
+        // the walked sample into the passive view.
+        let reply = Self::sample(&self.passive_sorted(), nodes.len().max(1), rng);
+        for node in nodes {
+            self.add_passive(node, rng);
+        }
+        vec![(origin, OverlayMsg::ShuffleReply { nodes: reply })]
+    }
+
+    /// The shuffle answer: absorb the endpoint's passive sample.
+    pub fn on_shuffle_reply(&mut self, nodes: Vec<NodeId>, rng: &mut SimRng) {
+        for node in nodes {
+            self.add_passive(node, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{BTreeMap, VecDeque};
+
+    use super::*;
+
+    /// Delivers every queued message until quiescence, routing each to the
+    /// right node's handler — a tiny synchronous bus for view tests.
+    fn run_bus(
+        views: &mut BTreeMap<NodeId, PartialView>,
+        rng: &mut SimRng,
+        seeds: Vec<(NodeId, Vec<Send>)>,
+    ) {
+        let mut queue: VecDeque<(NodeId, NodeId, OverlayMsg)> = seeds
+            .into_iter()
+            .flat_map(|(from, sends)| sends.into_iter().map(move |(to, msg)| (from, to, msg)))
+            .collect();
+        let mut hops = 0u32;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            hops += 1;
+            assert!(hops < 100_000, "membership bus diverged");
+            let Some(view) = views.get_mut(&to) else {
+                continue;
+            };
+            let replies = match msg {
+                OverlayMsg::Join { joiner } => view.on_join(joiner, rng),
+                OverlayMsg::ForwardJoin { joiner, ttl } => {
+                    view.on_forward_join(from, joiner, ttl, rng)
+                }
+                OverlayMsg::Neighbor { high_priority } => {
+                    view.on_neighbor(from, high_priority, rng)
+                }
+                OverlayMsg::NeighborReply { accepted } => {
+                    view.on_neighbor_reply(from, accepted, rng)
+                }
+                OverlayMsg::Disconnect => view.on_disconnect(from, rng),
+                OverlayMsg::Shuffle { origin, ttl, nodes } => {
+                    view.on_shuffle(from, origin, ttl, nodes, rng)
+                }
+                OverlayMsg::ShuffleReply { nodes } => {
+                    view.on_shuffle_reply(nodes, rng);
+                    Vec::new()
+                }
+                other => panic!("unexpected message on membership bus: {other:?}"),
+            };
+            for (target, reply) in replies {
+                queue.push_back((to, target, reply));
+            }
+        }
+    }
+
+    fn build_overlay(n: u32, seed: u64) -> (BTreeMap<NodeId, PartialView>, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let cfg = MembershipConfig::default();
+        let mut views: BTreeMap<NodeId, PartialView> = (0..n)
+            .map(|id| (NodeId(id), PartialView::new(NodeId(id), cfg)))
+            .collect();
+        for id in 1..n {
+            let contact = NodeId(0);
+            let sends = views.get_mut(&NodeId(id)).unwrap().join(contact, &mut rng);
+            run_bus(&mut views, &mut rng, vec![(NodeId(id), sends)]);
+        }
+        (views, rng)
+    }
+
+    #[test]
+    fn joins_fill_views_within_bounds() {
+        let (views, _) = build_overlay(40, 7);
+        let cfg = MembershipConfig::default();
+        for view in views.values() {
+            assert!(view.active_len() <= cfg.active_size);
+            assert!(view.passive_len() <= cfg.passive_size);
+            assert!(view.active_len() >= 1, "node {:?} is isolated", view.me());
+            assert!(!view.is_active(view.me()), "self-link");
+        }
+    }
+
+    #[test]
+    fn active_graph_is_connected() {
+        let (views, _) = build_overlay(40, 21);
+        // BFS over the union of active links (symmetry may be transiently
+        // one-sided right after an eviction; the union is what dissemination
+        // effectively uses since either side can push).
+        let mut reached = BTreeSet::new();
+        let mut frontier = vec![NodeId(0)];
+        reached.insert(NodeId(0));
+        while let Some(node) = frontier.pop() {
+            for peer in views[&node].active() {
+                if reached.insert(peer) {
+                    frontier.push(peer);
+                }
+            }
+            for (id, view) in views.iter() {
+                if view.is_active(node) && reached.insert(*id) {
+                    frontier.push(*id);
+                }
+            }
+        }
+        assert_eq!(reached.len(), views.len(), "partition in the active graph");
+    }
+
+    #[test]
+    fn suspicion_promotes_from_passive() {
+        let (mut views, mut rng) = build_overlay(40, 3);
+        let victim = views[&NodeId(5)].active().next().expect("has a neighbour");
+        let before = views[&NodeId(5)].active_len();
+        let sends = views
+            .get_mut(&NodeId(5))
+            .unwrap()
+            .on_suspicion(victim, &mut rng);
+        assert!(
+            views[&NodeId(5)].passive_len() == 0 || !sends.is_empty(),
+            "with a non-empty passive view, repair must ask a replacement"
+        );
+        assert_eq!(views[&NodeId(5)].active_len(), before - 1);
+        run_bus(&mut views, &mut rng, vec![(NodeId(5), sends)]);
+        assert!(views[&NodeId(5)].active_len() >= before - 1);
+    }
+
+    #[test]
+    fn shuffles_spread_passive_knowledge() {
+        let (mut views, mut rng) = build_overlay(30, 11);
+        for _ in 0..5 {
+            let ids: Vec<NodeId> = views.keys().copied().collect();
+            for id in ids {
+                let sends = views.get_mut(&id).unwrap().shuffle_tick(&mut rng);
+                run_bus(&mut views, &mut rng, vec![(id, sends)]);
+            }
+        }
+        let total_passive: usize = views.values().map(PartialView::passive_len).sum();
+        assert!(
+            total_passive >= views.len(),
+            "shuffling should leave every node with passive knowledge"
+        );
+        let cfg = MembershipConfig::default();
+        for view in views.values() {
+            assert!(view.passive_len() <= cfg.passive_size);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic_in_the_seed() {
+        let (a, _) = build_overlay(25, 42);
+        let (b, _) = build_overlay(25, 42);
+        for (id, view) in a.iter() {
+            let other = &b[id];
+            assert_eq!(
+                view.active().collect::<Vec<_>>(),
+                other.active().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                view.passive().collect::<Vec<_>>(),
+                other.passive().collect::<Vec<_>>()
+            );
+        }
+    }
+}

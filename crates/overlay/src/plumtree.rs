@@ -1,0 +1,773 @@
+//! Per-room spanning-tree push with gossip repair (Plumtree-style).
+//!
+//! Each room runs its own overlay over only the members subscribed to it.
+//! Links start **eager**: a new message is pushed with its payload along
+//! every eager link. A duplicate arrival demotes the link to **lazy**
+//! (`Prune`); lazy links carry only `IHave` announcements. When a node
+//! hears an announcement for a message that never arrives, it sends
+//! `Graft` — which both pulls the payload and promotes the link back to
+//! eager, repairing the tree around the failed branch. The steady state is
+//! a broadcast tree (payload cost `size − 1` per message) plus a thin lazy
+//! mesh that doubles as the tree's failure detector.
+//!
+//! Loss repair rides the same machinery as the epidemic plane: every
+//! member keeps a bounded [`RepairLog`] of delivered originals keyed by
+//! `(origin, inc, seq)` and a [`Delivered`] tracker per stream, gossips
+//! digests of servable spans each repair interval, and NACK-pulls gaps.
+//! Both types come from [`morpheus_groupcomm::repair`] — the overlay does
+//! not reimplement the repair half, it reuses it per room.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use morpheus_appia::platform::NodeId;
+use morpheus_groupcomm::repair::{Delivered, RepairLog, StreamKey};
+use morpheus_netsim::SimRng;
+
+use crate::wire::{MsgId, OverlayMsg, RoomSpan};
+
+/// Knobs of one room overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct RoomConfig {
+    /// Hop budget of the eager push (loop damping; the tree is shallow).
+    pub push_ttl: u8,
+    /// How long an announced-but-missing message waits before grafting.
+    pub graft_timeout_ms: u64,
+    /// Cadence of the room repair digest (`0` disables NACK repair).
+    pub repair_interval_ms: u64,
+    /// Cap on messages held in the room repair log.
+    pub repair_log_cap: usize,
+    /// Age after which a logged message is no longer served.
+    pub repair_log_ttl_ms: u64,
+    /// Cap on message ids pulled per digest.
+    pub repair_window: usize,
+    /// Digest targets per repair tick.
+    pub repair_fanout: usize,
+    /// Whether duplicate arrivals prune links to lazy. Direct-push rooms
+    /// (small, quiet — chosen by the per-room policy) keep every link
+    /// eager: the flood *is* the tree, and pruning would only add
+    /// round-trips.
+    pub allow_prune: bool,
+}
+
+impl Default for RoomConfig {
+    fn default() -> Self {
+        Self {
+            push_ttl: 12,
+            graft_timeout_ms: 150,
+            repair_interval_ms: 1_000,
+            repair_log_cap: 256,
+            repair_log_ttl_ms: 10_000,
+            repair_window: 32,
+            repair_fanout: 1,
+            allow_prune: true,
+        }
+    }
+}
+
+/// Counters of one room overlay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoomStats {
+    /// First-copy deliveries (local publishes included).
+    pub delivered: u64,
+    /// Duplicate eager arrivals (each may demote a link).
+    pub duplicates: u64,
+    /// Grafts sent (tree repairs / lazy pulls).
+    pub grafts: u64,
+    /// Prunes sent (tree trims).
+    pub prunes: u64,
+    /// Deliveries that came through the NACK repair pass.
+    pub repaired: u64,
+    /// Repair digests sent.
+    pub repair_digests: u64,
+    /// Repair pulls sent.
+    pub repair_pulls: u64,
+    /// Logged originals served in answer to pulls.
+    pub repair_pushes: u64,
+}
+
+/// A message addressed to one peer.
+pub type Send = (NodeId, OverlayMsg);
+
+/// A payload delivered to the room's application, with its id.
+pub type Delivery = (MsgId, Bytes);
+
+/// The per-room overlay state of one member.
+#[derive(Debug)]
+pub struct RoomOverlay {
+    me: NodeId,
+    room: u32,
+    cfg: RoomConfig,
+    /// Local stream incarnation (set once at construction from the clock).
+    inc: u64,
+    next_seq: u64,
+    /// Links currently carrying payload pushes.
+    // bound: subset of the room's neighbour links, capped by room degree.
+    eager: BTreeSet<NodeId>,
+    /// Links carrying only `IHave` announcements.
+    // bound: subset of the room's neighbour links, capped by room degree.
+    lazy: BTreeSet<NodeId>,
+    /// Per-stream delivery records.
+    // bound: one entry per (member, incarnation) stream of this room; members are capped by the room plan, stale incarnations die with the room.
+    delivered: BTreeMap<StreamKey, Delivered>,
+    /// The room repair log.
+    // bound: `cfg.repair_log_cap` ring + `cfg.repair_log_ttl_ms` age, enforced inside `RepairLog`.
+    log: RepairLog<Bytes>,
+    /// Announced-but-missing messages: first-heard time plus announcers
+    /// not yet grafted at.
+    // bound: capped at `cfg.repair_window * 4` entries (drop-oldest); each announcer list at most room degree.
+    missing: BTreeMap<MsgId, (u64, Vec<NodeId>)>,
+    stats: RoomStats,
+}
+
+/// Cap multiplier of the missing-announcement map (over `repair_window`).
+const MISSING_CAP_FACTOR: usize = 4;
+
+impl RoomOverlay {
+    /// A fresh room overlay; `inc` is the member's stream incarnation
+    /// (wall-clock at subscription, fenced against restarts).
+    pub fn new(me: NodeId, room: u32, inc: u64, cfg: RoomConfig) -> Self {
+        Self {
+            me,
+            room,
+            cfg,
+            inc,
+            // Streams start at 1: the Delivered tracker's floor semantics
+            // treat seq 0 as below the first deliverable message.
+            next_seq: 1,
+            eager: BTreeSet::new(),
+            lazy: BTreeSet::new(),
+            delivered: BTreeMap::new(),
+            log: RepairLog::new(),
+            missing: BTreeMap::new(),
+            stats: RoomStats::default(),
+        }
+    }
+
+    /// The room id.
+    pub fn room(&self) -> u32 {
+        self.room
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> RoomStats {
+        self.stats
+    }
+
+    /// Current eager links, in node-id order.
+    pub fn eager(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.eager.iter().copied()
+    }
+
+    /// Current lazy links, in node-id order.
+    pub fn lazy(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.lazy.iter().copied()
+    }
+
+    /// All links (eager + lazy).
+    pub fn degree(&self) -> usize {
+        self.eager.len() + self.lazy.len()
+    }
+
+    /// Whether this member has delivered (or itself published) the message.
+    pub fn delivered_contains(&self, id: MsgId) -> bool {
+        self.already_delivered(id)
+    }
+
+    /// Installs a neighbour link, eager-first (Plumtree starts eager and
+    /// prunes down to the tree).
+    pub fn add_link(&mut self, peer: NodeId) {
+        if peer != self.me && !self.lazy.contains(&peer) {
+            self.eager.insert(peer);
+        }
+    }
+
+    /// Removes a failed or departed neighbour entirely.
+    pub fn remove_link(&mut self, peer: NodeId) {
+        self.eager.remove(&peer);
+        self.lazy.remove(&peer);
+        for (_, announcers) in self.missing.values_mut() {
+            announcers.retain(|node| *node != peer);
+        }
+    }
+
+    fn promote_eager(&mut self, peer: NodeId) {
+        if peer != self.me {
+            self.lazy.remove(&peer);
+            self.eager.insert(peer);
+        }
+    }
+
+    fn demote_lazy(&mut self, peer: NodeId) {
+        if self.cfg.allow_prune && self.eager.remove(&peer) {
+            self.lazy.insert(peer);
+        }
+    }
+
+    fn record_delivered(&mut self, id: MsgId) -> bool {
+        self.delivered
+            .entry((id.origin, id.inc))
+            .or_default()
+            .record(id.seq)
+    }
+
+    fn already_delivered(&self, id: MsgId) -> bool {
+        self.delivered
+            .get(&(id.origin, id.inc))
+            .map(|tracker| tracker.contains(id.seq))
+            .unwrap_or(false)
+    }
+
+    /// Relays a first-copy arrival: payload along eager links, an
+    /// announcement along lazy links (the sender excluded from both).
+    fn relay(
+        &mut self,
+        id: MsgId,
+        round: u8,
+        payload: &Bytes,
+        skip: Option<NodeId>,
+        out: &mut Vec<Send>,
+    ) {
+        if round >= self.cfg.push_ttl {
+            return;
+        }
+        for peer in self.eager.iter().copied() {
+            if Some(peer) != skip {
+                out.push((
+                    peer,
+                    OverlayMsg::RoomPush {
+                        room: self.room,
+                        id,
+                        round: round + 1,
+                        payload: payload.clone(),
+                    },
+                ));
+            }
+        }
+        for peer in self.lazy.iter().copied() {
+            if Some(peer) != skip {
+                out.push((
+                    peer,
+                    OverlayMsg::RoomIHave {
+                        room: self.room,
+                        ids: vec![id],
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Publishes one payload into the room. Returns the sends; the local
+    /// delivery is implicit (publishers see their own messages).
+    pub fn publish(&mut self, payload: Bytes, now_ms: u64) -> Vec<Send> {
+        let id = MsgId {
+            origin: self.me,
+            inc: self.inc,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.record_delivered(id);
+        self.stats.delivered += 1;
+        if self.cfg.repair_interval_ms > 0 {
+            self.log.store(
+                (id.origin, id.inc),
+                id.seq,
+                payload.clone(),
+                now_ms,
+                self.cfg.repair_log_cap,
+            );
+        }
+        let mut out = Vec::new();
+        self.relay(id, 0, &payload, None, &mut out);
+        out
+    }
+
+    /// An eager payload arrival.
+    pub fn on_push(
+        &mut self,
+        from: NodeId,
+        id: MsgId,
+        round: u8,
+        payload: Bytes,
+        now_ms: u64,
+        deliveries: &mut Vec<Delivery>,
+    ) -> Vec<Send> {
+        let mut out = Vec::new();
+        if self.record_delivered(id) {
+            self.stats.delivered += 1;
+            self.missing.remove(&id);
+            if self.cfg.repair_interval_ms > 0 {
+                self.log.store(
+                    (id.origin, id.inc),
+                    id.seq,
+                    payload.clone(),
+                    now_ms,
+                    self.cfg.repair_log_cap,
+                );
+            }
+            deliveries.push((id, payload.clone()));
+            // The first sender becomes (stays) an eager link: it is this
+            // node's parent in the room's tree for that origin.
+            self.promote_eager(from);
+            self.relay(id, round, &payload, Some(from), &mut out);
+        } else {
+            // Duplicate: this link is redundant for the tree — demote it.
+            self.stats.duplicates += 1;
+            if self.cfg.allow_prune && self.eager.contains(&from) {
+                self.demote_lazy(from);
+                self.stats.prunes += 1;
+                out.push((from, OverlayMsg::RoomPrune { room: self.room }));
+            }
+        }
+        out
+    }
+
+    /// A lazy announcement: remember what is missing; the graft decision
+    /// happens on [`RoomOverlay::service`] once the timeout passes (the
+    /// eager copy usually wins the race).
+    pub fn on_ihave(&mut self, from: NodeId, ids: Vec<MsgId>, now_ms: u64) {
+        for id in ids {
+            if self.already_delivered(id) {
+                continue;
+            }
+            let entry = self
+                .missing
+                .entry(id)
+                .or_insert_with(|| (now_ms, Vec::new()));
+            if !entry.1.contains(&from) {
+                entry.1.push(from);
+            }
+        }
+        // Bounded: drop the oldest entries beyond the cap — they stay
+        // recoverable through the repair digests.
+        while self.missing.len() > self.cfg.repair_window * MISSING_CAP_FACTOR {
+            let Some(oldest) = self
+                .missing
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(id, _)| *id)
+            else {
+                break;
+            };
+            self.missing.remove(&oldest);
+        }
+    }
+
+    /// A peer grafts this link: promote it to eager and, when the wanted
+    /// message is still in the log, push it back along the now-eager link.
+    pub fn on_graft(&mut self, from: NodeId, id: MsgId, _now_ms: u64) -> Vec<Send> {
+        self.promote_eager(from);
+        let mut out = Vec::new();
+        if let Some(payload) = self.log.get(&(id.origin, id.inc), id.seq) {
+            out.push((
+                from,
+                OverlayMsg::RoomPush {
+                    room: self.room,
+                    id,
+                    // A grafted push re-enters normal dissemination at the
+                    // receiver (it may need to keep relaying downstream).
+                    round: self.cfg.push_ttl.saturating_sub(1),
+                    payload: payload.clone(),
+                },
+            ));
+        }
+        out
+    }
+
+    /// A peer pruned this link: stop pushing payloads to it.
+    pub fn on_prune(&mut self, from: NodeId) {
+        if self.eager.remove(&from) {
+            self.lazy.insert(from);
+        }
+    }
+
+    /// A room repair digest arrived: pull the gaps it can serve.
+    pub fn on_repair_digest(&mut self, from: NodeId, spans: Vec<RoomSpan>) -> Vec<Send> {
+        let mut wants = Vec::new();
+        for span in spans {
+            if span.origin == self.me {
+                continue;
+            }
+            let tracker = self.delivered.entry((span.origin, span.inc)).or_default();
+            let mut missing = Vec::new();
+            tracker.missing_in(
+                span.lo,
+                span.hi,
+                self.cfg.repair_window - wants.len().min(self.cfg.repair_window),
+                &mut missing,
+            );
+            wants.extend(missing.into_iter().map(|seq| MsgId {
+                origin: span.origin,
+                inc: span.inc,
+                seq,
+            }));
+            if wants.len() >= self.cfg.repair_window {
+                break;
+            }
+        }
+        if wants.is_empty() {
+            return Vec::new();
+        }
+        self.stats.repair_pulls += 1;
+        vec![(
+            from,
+            OverlayMsg::RoomRepairPull {
+                room: self.room,
+                wants,
+            },
+        )]
+    }
+
+    /// A peer pulls gaps: serve them from the room's repair log.
+    pub fn on_repair_pull(&mut self, from: NodeId, wants: Vec<MsgId>) -> Vec<Send> {
+        let mut out = Vec::new();
+        let budget = self.cfg.repair_window * 2;
+        for id in wants.into_iter().take(budget) {
+            if let Some(payload) = self.log.get(&(id.origin, id.inc), id.seq) {
+                self.stats.repair_pushes += 1;
+                out.push((
+                    from,
+                    OverlayMsg::RoomRepairPush {
+                        room: self.room,
+                        id,
+                        payload: payload.clone(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// A pulled original arrived.
+    pub fn on_repair_push(
+        &mut self,
+        id: MsgId,
+        payload: Bytes,
+        now_ms: u64,
+        deliveries: &mut Vec<Delivery>,
+    ) {
+        if self.record_delivered(id) {
+            self.stats.delivered += 1;
+            self.stats.repaired += 1;
+            self.missing.remove(&id);
+            if self.cfg.repair_interval_ms > 0 {
+                self.log.store(
+                    (id.origin, id.inc),
+                    id.seq,
+                    payload.clone(),
+                    now_ms,
+                    self.cfg.repair_log_cap,
+                );
+            }
+            deliveries.push((id, payload));
+        }
+    }
+
+    /// The periodic service tick: graft overdue missing announcements and,
+    /// on the repair cadence, gossip a digest of the servable spans.
+    /// `repair_due` is true when `repair_interval_ms` has elapsed since the
+    /// previous tick (the caller owns the clock).
+    pub fn service(&mut self, now_ms: u64, repair_due: bool, rng: &mut SimRng) -> Vec<Send> {
+        let mut out = Vec::new();
+        // Grafts for announcements that outlived the eager race.
+        let overdue: Vec<MsgId> = self
+            .missing
+            .iter()
+            .filter(|(id, (at, announcers))| {
+                now_ms.saturating_sub(*at) >= self.cfg.graft_timeout_ms
+                    && !announcers.is_empty()
+                    && !self.already_delivered(**id)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let Some((_, announcers)) = self.missing.get_mut(&id) else {
+                continue;
+            };
+            let target = announcers.remove(0);
+            let give_up = announcers.is_empty();
+            self.promote_eager(target);
+            self.stats.grafts += 1;
+            out.push((
+                target,
+                OverlayMsg::RoomGraft {
+                    room: self.room,
+                    id,
+                },
+            ));
+            if give_up {
+                // Out of announcers: leave recovery to the repair digests.
+                self.missing.remove(&id);
+            }
+        }
+        if repair_due && self.cfg.repair_interval_ms > 0 {
+            self.log.evict(now_ms, self.cfg.repair_log_ttl_ms);
+            let spans: Vec<RoomSpan> = self
+                .log
+                .spans()
+                .into_iter()
+                .map(|((origin, inc), lo, hi)| RoomSpan {
+                    origin,
+                    inc,
+                    lo,
+                    hi,
+                })
+                .collect();
+            if !spans.is_empty() {
+                let links: Vec<NodeId> =
+                    self.eager.iter().chain(self.lazy.iter()).copied().collect();
+                let mut pool = links;
+                pool.sort_unstable_by_key(|node| node.0);
+                for _ in 0..self.cfg.repair_fanout.min(pool.len()) {
+                    let index = rng.random_below(pool.len() as u64) as usize;
+                    let target = pool.swap_remove(index);
+                    self.stats.repair_digests += 1;
+                    out.push((
+                        target,
+                        OverlayMsg::RoomRepairDigest {
+                            room: self.room,
+                            spans: spans.clone(),
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links(overlays: &mut BTreeMap<NodeId, RoomOverlay>, edges: &[(u32, u32)]) {
+        for (a, b) in edges {
+            overlays.get_mut(&NodeId(*a)).unwrap().add_link(NodeId(*b));
+            overlays.get_mut(&NodeId(*b)).unwrap().add_link(NodeId(*a));
+        }
+    }
+
+    /// Synchronous bus: delivers messages FIFO until quiescence; drops
+    /// messages whose id is in `lossy` the first `loss_count` times.
+    fn run_bus(
+        overlays: &mut BTreeMap<NodeId, RoomOverlay>,
+        seeds: Vec<(NodeId, Vec<Send>)>,
+        now_ms: u64,
+        deliveries: &mut BTreeMap<NodeId, Vec<Delivery>>,
+        mut drop_one_push_to: Option<NodeId>,
+    ) {
+        let mut queue: std::collections::VecDeque<(NodeId, NodeId, OverlayMsg)> = seeds
+            .into_iter()
+            .flat_map(|(from, sends)| sends.into_iter().map(move |(to, m)| (from, to, m)))
+            .collect();
+        let mut hops = 0;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            hops += 1;
+            assert!(hops < 100_000, "room bus diverged");
+            if matches!(msg, OverlayMsg::RoomPush { .. }) && drop_one_push_to == Some(to) {
+                drop_one_push_to = None;
+                continue;
+            }
+            let Some(overlay) = overlays.get_mut(&to) else {
+                continue;
+            };
+            let delivered = deliveries.entry(to).or_default();
+            let replies = match msg {
+                OverlayMsg::RoomPush {
+                    id, round, payload, ..
+                } => overlay.on_push(from, id, round, payload, now_ms, delivered),
+                OverlayMsg::RoomIHave { ids, .. } => {
+                    overlay.on_ihave(from, ids, now_ms);
+                    Vec::new()
+                }
+                OverlayMsg::RoomGraft { id, .. } => overlay.on_graft(from, id, now_ms),
+                OverlayMsg::RoomPrune { .. } => {
+                    overlay.on_prune(from);
+                    Vec::new()
+                }
+                OverlayMsg::RoomRepairDigest { spans, .. } => overlay.on_repair_digest(from, spans),
+                OverlayMsg::RoomRepairPull { wants, .. } => overlay.on_repair_pull(from, wants),
+                OverlayMsg::RoomRepairPush { id, payload, .. } => {
+                    overlay.on_repair_push(id, payload, now_ms, delivered);
+                    Vec::new()
+                }
+                other => panic!("unexpected room message {other:?}"),
+            };
+            for (target, reply) in replies {
+                queue.push_back((to, target, reply));
+            }
+        }
+    }
+
+    fn room_of(n: u32, edges: &[(u32, u32)]) -> BTreeMap<NodeId, RoomOverlay> {
+        let mut overlays: BTreeMap<NodeId, RoomOverlay> = (0..n)
+            .map(|id| {
+                (
+                    NodeId(id),
+                    RoomOverlay::new(NodeId(id), 9, 1, RoomConfig::default()),
+                )
+            })
+            .collect();
+        links(&mut overlays, edges);
+        overlays
+    }
+
+    #[test]
+    fn flood_covers_every_member_once() {
+        let mut overlays = room_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut deliveries = BTreeMap::new();
+        let sends = overlays
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .publish(Bytes::from_static(b"m0"), 0);
+        run_bus(
+            &mut overlays,
+            vec![(NodeId(0), sends)],
+            0,
+            &mut deliveries,
+            None,
+        );
+        for id in 1..5u32 {
+            let got = &deliveries[&NodeId(id)];
+            assert_eq!(got.len(), 1, "node {id} must deliver exactly once");
+        }
+    }
+
+    #[test]
+    fn duplicates_prune_links_into_a_tree() {
+        let mut overlays = room_of(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut deliveries = BTreeMap::new();
+        for round in 0..4u64 {
+            let sends = overlays
+                .get_mut(&NodeId(0))
+                .unwrap()
+                .publish(Bytes::from_static(b"mm"), round * 10);
+            run_bus(
+                &mut overlays,
+                vec![(NodeId(0), sends)],
+                round * 10,
+                &mut deliveries,
+                None,
+            );
+        }
+        let total_eager: usize = overlays.values().map(|o| o.eager().count()).sum();
+        // A tree over 5 nodes has 4 edges = 8 directed eager links; pruning
+        // must have trimmed the 6-edge mesh close to that.
+        assert!(
+            total_eager <= 10,
+            "eager mesh not pruned: {total_eager} directed links"
+        );
+        let coverage: usize = deliveries.values().map(Vec::len).sum();
+        assert_eq!(coverage, 16, "4 messages x 4 receivers, no duplicates");
+    }
+
+    #[test]
+    fn graft_recovers_a_lost_eager_push() {
+        let mut overlays = room_of(3, &[(0, 1), (1, 2), (0, 2)]);
+        // Prune 0-2 into a lazy link so node 2 hangs off node 1.
+        overlays.get_mut(&NodeId(0)).unwrap().on_prune(NodeId(2));
+        overlays.get_mut(&NodeId(2)).unwrap().on_prune(NodeId(0));
+        let mut deliveries = BTreeMap::new();
+        // The eager push 1→2 is dropped; 2 only hears the IHave from 0.
+        let sends = overlays
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .publish(Bytes::from_static(b"lost"), 0);
+        run_bus(
+            &mut overlays,
+            vec![(NodeId(0), sends)],
+            0,
+            &mut deliveries,
+            Some(NodeId(2)),
+        );
+        assert!(deliveries.get(&NodeId(2)).map(Vec::len).unwrap_or(0) == 0);
+        // Service past the graft timeout: node 2 grafts at an announcer.
+        let mut rng = SimRng::new(5);
+        let sends = overlays
+            .get_mut(&NodeId(2))
+            .unwrap()
+            .service(1_000, false, &mut rng);
+        assert!(
+            sends
+                .iter()
+                .any(|(_, m)| matches!(m, OverlayMsg::RoomGraft { .. })),
+            "overdue announcement must graft"
+        );
+        run_bus(
+            &mut overlays,
+            vec![(NodeId(2), sends)],
+            1_000,
+            &mut deliveries,
+            None,
+        );
+        assert_eq!(deliveries[&NodeId(2)].len(), 1, "grafted payload arrives");
+        assert!(overlays[&NodeId(2)].stats().grafts >= 1);
+    }
+
+    #[test]
+    fn repair_digest_recovers_when_no_announcement_survived() {
+        let mut overlays = room_of(2, &[(0, 1)]);
+        let mut deliveries = BTreeMap::new();
+        // Publish while node 1's only link drops the push AND the IHave
+        // never exists (single link, no lazy edge): simulate by just not
+        // running the bus at all.
+        let _lost = overlays
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .publish(Bytes::from_static(b"gap"), 0);
+        // Repair tick on node 0 → digest → pull → push.
+        let mut rng = SimRng::new(9);
+        let sends = overlays
+            .get_mut(&NodeId(0))
+            .unwrap()
+            .service(1_000, true, &mut rng);
+        assert!(
+            sends
+                .iter()
+                .any(|(_, m)| matches!(m, OverlayMsg::RoomRepairDigest { .. })),
+            "repair tick must gossip a digest"
+        );
+        run_bus(
+            &mut overlays,
+            vec![(NodeId(0), sends)],
+            1_000,
+            &mut deliveries,
+            None,
+        );
+        assert_eq!(
+            deliveries[&NodeId(1)].len(),
+            1,
+            "NACK repair closes the gap"
+        );
+        assert_eq!(overlays[&NodeId(1)].stats().repaired, 1);
+    }
+
+    #[test]
+    fn direct_push_rooms_never_prune() {
+        let cfg = RoomConfig {
+            allow_prune: false,
+            ..RoomConfig::default()
+        };
+        let mut overlays: BTreeMap<NodeId, RoomOverlay> = (0..3)
+            .map(|id| (NodeId(id), RoomOverlay::new(NodeId(id), 1, 1, cfg)))
+            .collect();
+        links(&mut overlays, &[(0, 1), (1, 2), (0, 2)]);
+        let mut deliveries = BTreeMap::new();
+        for round in 0..3u64 {
+            let sends = overlays
+                .get_mut(&NodeId(0))
+                .unwrap()
+                .publish(Bytes::from_static(b"dp"), round);
+            run_bus(
+                &mut overlays,
+                vec![(NodeId(0), sends)],
+                round,
+                &mut deliveries,
+                None,
+            );
+        }
+        for overlay in overlays.values() {
+            assert_eq!(overlay.lazy().count(), 0, "direct-push keeps links eager");
+        }
+    }
+}

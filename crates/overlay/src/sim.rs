@@ -1,0 +1,943 @@
+//! Whole-overlay simulation over the deterministic network simulator.
+//!
+//! [`RoomSimulation`] drives a full deployment — partial-view membership on
+//! every node plus one [`RoomOverlay`] per (node, subscribed room) — over
+//! [`morpheus_netsim`]'s event-driven network: every protocol message is
+//! wire-encoded ([`OverlayMsg`]), charged to the sender under its traffic
+//! class, transmitted with latency and loss, and decoded at the receiver.
+//! The harness is what the scale evaluation runs: it produces per-node
+//! bytes-on-wire broken down by component and per-room coverage under
+//! injected data loss and churn.
+//!
+//! Two things are materialised by the harness rather than negotiated on
+//! the wire, both documented where they happen: the per-room neighbour
+//! graphs (a connected ring-plus-chords over each room's members — in a
+//! full deployment the rendezvous would route through the partial view)
+//! and failure suspicion (modelled as a delayed sweep after a crash, in
+//! place of a per-link failure detector). Everything else — joins,
+//! shuffles, subscriptions, pushes, grafts, prunes and NACK repair — flows
+//! through the simulated network as real encoded packets.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use morpheus_appia::platform::{NodeId, PacketClass};
+use morpheus_appia::wire::Wire;
+use morpheus_cocaditem::RoomContext;
+use morpheus_core::RoomStackKind;
+use morpheus_netsim::{
+    EventQueue, Network, NodeId as SimNodeId, Packet, PacketTarget, SimRng, SimTime, Topology,
+    TrafficClass,
+};
+
+use crate::membership::{MembershipConfig, PartialView};
+use crate::plumtree::{RoomConfig, RoomOverlay};
+use crate::policy::{choose_room_stack, render_room_config};
+use crate::wire::{MsgId, OverlayMsg};
+use crate::zipf::RoomPlan;
+
+/// Assumed per-packet header overhead (IP + UDP), in bytes.
+const HEADER_BYTES: usize = 28;
+
+/// Hard cap on processed events — a runaway-loop backstop far above any
+/// configured scenario.
+const EVENT_CAP: u64 = 50_000_000;
+
+/// The scenario one simulation runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Seed of every random choice in the run.
+    pub seed: u64,
+    /// Population size.
+    pub nodes: u32,
+    /// Number of rooms.
+    pub rooms: u32,
+    /// Zipf exponent of the room-size distribution.
+    pub zipf_exponent: f64,
+    /// Simulated duration, ms.
+    pub duration_ms: u64,
+    /// Messages published into each room over the run.
+    pub publishes_per_room: u32,
+    /// Application payload size per publish, bytes.
+    pub payload_bytes: usize,
+    /// Extra loss injected on Data-class deliveries (0.0–1.0).
+    pub data_loss: f64,
+    /// Partial-view knobs.
+    pub membership: MembershipConfig,
+    /// Cadence of the membership shuffle per node, ms.
+    pub shuffle_interval_ms: u64,
+    /// Cadence of the per-node service tick (graft timers), ms.
+    pub service_interval_ms: u64,
+    /// Cadence of the per-room repair digest, ms (`0` disables NACK repair).
+    pub repair_interval_ms: u64,
+    /// Age bound of the per-room repair log, ms.
+    pub repair_log_ttl_ms: u64,
+    /// How many subscribed nodes crash and later restart (`0` = no churn).
+    pub churn_count: u32,
+    /// Crash time, ms.
+    pub churn_at_ms: u64,
+    /// Restart time, ms.
+    pub churn_restart_ms: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            nodes: 60,
+            rooms: 40,
+            zipf_exponent: 1.0,
+            duration_ms: 20_000,
+            publishes_per_room: 3,
+            payload_bytes: 64,
+            data_loss: 0.0,
+            membership: MembershipConfig::default(),
+            shuffle_interval_ms: 1_000,
+            service_interval_ms: 100,
+            repair_interval_ms: 1_000,
+            repair_log_ttl_ms: 120_000,
+            churn_count: 0,
+            churn_at_ms: 0,
+            churn_restart_ms: 0,
+        }
+    }
+}
+
+/// Per-node bytes-on-wire, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCost {
+    /// The node.
+    pub node: u32,
+    /// How many rooms it subscribes to.
+    pub subscriptions: usize,
+    /// Application payload dissemination (eager pushes).
+    pub data_bytes: u64,
+    /// Overlay maintenance: joins, shuffles, announcements, grafts, prunes.
+    pub overlay_bytes: u64,
+    /// NACK repair: digests, pulls, served originals.
+    pub repair_bytes: u64,
+    /// Subscription control.
+    pub control_bytes: u64,
+}
+
+impl NodeCost {
+    /// The cost the scale criterion compares: data + overlay maintenance.
+    pub fn data_overlay(&self) -> u64 {
+        self.data_bytes + self.overlay_bytes
+    }
+}
+
+/// Per-room dissemination outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoomCoverage {
+    /// The room.
+    pub room: u32,
+    /// Subscribed members.
+    pub size: usize,
+    /// The stack the per-room policy chose.
+    pub stack: String,
+    /// Messages published into the room.
+    pub published: u64,
+    /// (message, live member) pairs that should have delivered.
+    pub expected: u64,
+    /// Pairs that actually delivered.
+    pub delivered: u64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomSimReport {
+    /// Per-node component costs, ordered by node id.
+    pub nodes: Vec<NodeCost>,
+    /// Per-room coverage, ordered by room id.
+    pub rooms: Vec<RoomCoverage>,
+    /// Rooms the policy put on direct push.
+    pub direct_rooms: usize,
+    /// Rooms the policy put on the spanning tree.
+    pub tree_rooms: usize,
+    /// Nodes that crashed and rejoined.
+    pub rejoined: Vec<u32>,
+    /// Largest number of distinct peers any rejoiner exchanged messages
+    /// with after restarting — the view-change blast radius of churn.
+    pub rejoin_touched_max: usize,
+    /// Events the run processed.
+    pub events_processed: u64,
+}
+
+impl RoomSimReport {
+    /// Overall delivery coverage across all rooms (1.0 = every live member
+    /// got every message).
+    pub fn coverage(&self) -> f64 {
+        let expected: u64 = self.rooms.iter().map(|r| r.expected).sum();
+        let delivered: u64 = self.rooms.iter().map(|r| r.delivered).sum();
+        if expected == 0 {
+            return 1.0;
+        }
+        delivered as f64 / expected as f64
+    }
+
+    /// Rooms whose every live member delivered every message.
+    pub fn fully_covered_rooms(&self) -> usize {
+        self.rooms
+            .iter()
+            .filter(|r| r.delivered >= r.expected)
+            .count()
+    }
+
+    /// Median per-node data+overlay cost across the population.
+    pub fn median_cost(&self) -> u64 {
+        let mut costs: Vec<u64> = self.nodes.iter().map(NodeCost::data_overlay).collect();
+        costs.sort_unstable();
+        costs.get(costs.len() / 2).copied().unwrap_or(0)
+    }
+
+    /// Median data+overlay cost of the top decile of subscribers (the
+    /// nodes with the most room memberships).
+    pub fn top_decile_cost(&self) -> u64 {
+        let mut by_subs = self.nodes.clone();
+        by_subs.sort_by_key(|n| n.subscriptions);
+        let decile = (by_subs.len() / 10).max(1);
+        let top: Vec<u64> = by_subs
+            .iter()
+            .rev()
+            .take(decile)
+            .map(NodeCost::data_overlay)
+            .collect();
+        let mut top = top;
+        top.sort_unstable();
+        top.get(top.len() / 2).copied().unwrap_or(0)
+    }
+
+    /// Median subscription count across the population.
+    pub fn median_subscriptions(&self) -> usize {
+        let mut subs: Vec<usize> = self.nodes.iter().map(|n| n.subscriptions).collect();
+        subs.sort_unstable();
+        subs.get(subs.len() / 2).copied().unwrap_or(0)
+    }
+}
+
+enum SimEvent {
+    /// A wire-encoded packet arriving at a node.
+    Arrive {
+        to: NodeId,
+        from: NodeId,
+        bytes: Bytes,
+    },
+    Join(NodeId),
+    Subscribe(NodeId),
+    Shuffle(NodeId),
+    Service(NodeId),
+    Publish {
+        room: u32,
+    },
+    Crash(NodeId),
+    /// The failure-suspicion sweep after a crash (models the failure
+    /// detector's notification without simulating per-link heartbeats).
+    Suspect(NodeId),
+    Restart(NodeId),
+}
+
+struct NodeState {
+    view: PartialView,
+    /// The node's room overlays, one per subscribed room.
+    // bound: one entry per subscription of this node, fixed by the room plan.
+    rooms: BTreeMap<u32, RoomOverlay>,
+    /// Room neighbour lists from the plan-derived room graphs.
+    // bound: one entry per subscription; each list is capped by the room's graph degree.
+    neighbors: BTreeMap<u32, Vec<NodeId>>,
+    alive: bool,
+    service_ticks: u64,
+    /// Distinct peers contacted since restarting (rejoiners only).
+    // bound: at most the population size; only populated for the few churned nodes.
+    rejoin_touched: Option<BTreeSet<NodeId>>,
+}
+
+/// The simulation harness.
+pub struct RoomSimulation {
+    cfg: SimConfig,
+    plan: RoomPlan,
+    network: Network,
+    rng: SimRng,
+    queue: EventQueue<SimEvent>,
+    /// Per-node protocol state, indexed by node id.
+    // bound: one entry per node, fixed at construction.
+    nodes: Vec<NodeState>,
+    /// Message ids published into each room.
+    // bound: `publishes_per_room` ids per room, fixed by the scenario.
+    published: Vec<Vec<MsgId>>,
+    /// The stack each room runs.
+    // bound: one entry per room, fixed at construction.
+    kinds: Vec<RoomStackKind>,
+    rejoined: Vec<u32>,
+    events_processed: u64,
+    now_ms: u64,
+}
+
+fn traffic_class(class: PacketClass) -> TrafficClass {
+    match class {
+        PacketClass::Data => TrafficClass::Data,
+        PacketClass::Control => TrafficClass::Control,
+        PacketClass::Context => TrafficClass::Context,
+        PacketClass::Repair => TrafficClass::Repair,
+        PacketClass::Overlay => TrafficClass::Overlay,
+    }
+}
+
+impl RoomSimulation {
+    /// Builds the scenario: generates the room plan, classifies every room
+    /// through the per-room policy, derives the room neighbour graphs and
+    /// schedules joins, subscriptions, ticks, publishes and churn.
+    pub fn new(cfg: SimConfig) -> Self {
+        let plan = RoomPlan::generate(cfg.seed, cfg.nodes, cfg.rooms, cfg.zipf_exponent);
+        let mut rng = SimRng::new(cfg.seed ^ 0x4f56_4c53_494d);
+        let network = Network::new(Topology::lan(cfg.nodes as usize, false));
+
+        // Per-room stack selection: the publish rate is the scenario's
+        // configured rate; size comes from the plan.
+        let rate_per_min = if cfg.duration_ms == 0 {
+            0.0
+        } else {
+            cfg.publishes_per_room as f64 * 60_000.0 / cfg.duration_ms as f64
+        };
+        let kinds: Vec<RoomStackKind> = (0..plan.room_count() as u32)
+            .map(|room| {
+                let context = RoomContext::synthetic(room, plan.members(room).len(), rate_per_min);
+                choose_room_stack(&context)
+            })
+            .collect();
+
+        // Room graphs: a ring over the members plus random chords, so every
+        // room is connected with bounded degree. In a full deployment the
+        // rendezvous would route through the partial view; the harness
+        // materialises the same outcome deterministically.
+        let mut neighbor_sets: Vec<BTreeMap<NodeId, BTreeSet<NodeId>>> =
+            Vec::with_capacity(plan.room_count());
+        for room in 0..plan.room_count() as u32 {
+            let members = plan.members(room);
+            let size = members.len();
+            let mut edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+            let add = |a: NodeId, b: NodeId, edges: &mut BTreeSet<(NodeId, NodeId)>| {
+                if a != b {
+                    edges.insert((a.min(b), a.max(b)));
+                }
+            };
+            for i in 0..size {
+                add(members[i], members[(i + 1) % size], &mut edges);
+            }
+            if size > 4 {
+                for i in 0..size {
+                    let j = rng.random_below(size as u64) as usize;
+                    add(members[i], members[j], &mut edges);
+                }
+            }
+            let mut map: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+            for (a, b) in edges {
+                map.entry(a).or_default().insert(b);
+                map.entry(b).or_default().insert(a);
+            }
+            neighbor_sets.push(map);
+        }
+
+        let base_room_cfg = RoomConfig {
+            repair_interval_ms: cfg.repair_interval_ms,
+            repair_log_ttl_ms: cfg.repair_log_ttl_ms,
+            ..RoomConfig::default()
+        };
+        let nodes: Vec<NodeState> = (0..cfg.nodes)
+            .map(|id| {
+                let me = NodeId(id);
+                let mut rooms = BTreeMap::new();
+                let mut neighbors = BTreeMap::new();
+                for room in plan.rooms_of(me) {
+                    let room_cfg = render_room_config(&kinds[*room as usize], base_room_cfg);
+                    rooms.insert(*room, RoomOverlay::new(me, *room, 1, room_cfg));
+                    let peers: Vec<NodeId> = neighbor_sets[*room as usize]
+                        .get(&me)
+                        .map(|set| set.iter().copied().collect())
+                        .unwrap_or_default();
+                    neighbors.insert(*room, peers);
+                }
+                NodeState {
+                    view: PartialView::new(me, cfg.membership),
+                    rooms,
+                    neighbors,
+                    alive: true,
+                    service_ticks: 0,
+                    rejoin_touched: None,
+                }
+            })
+            .collect();
+
+        let mut queue = EventQueue::new();
+        for id in 0..cfg.nodes {
+            let node = NodeId(id);
+            queue.push(
+                SimTime::from_millis(u64::from(id % 97)),
+                SimEvent::Join(node),
+            );
+            queue.push(
+                SimTime::from_millis(100 + u64::from(id % 61)),
+                SimEvent::Subscribe(node),
+            );
+            queue.push(
+                SimTime::from_millis(cfg.shuffle_interval_ms + u64::from(id % 199)),
+                SimEvent::Shuffle(node),
+            );
+            queue.push(
+                SimTime::from_millis(cfg.service_interval_ms + u64::from(id % 53)),
+                SimEvent::Service(node),
+            );
+        }
+        // Publishes: spread over the middle of the run, leaving the tail
+        // for the repair pass to close residual gaps.
+        let warm = cfg.duration_ms / 5;
+        let span = cfg.duration_ms / 2;
+        for room in 0..plan.room_count() as u32 {
+            for index in 0..cfg.publishes_per_room {
+                let at = warm
+                    + u64::from(index) * span / u64::from(cfg.publishes_per_room.max(1))
+                    + u64::from(room % 211);
+                queue.push(SimTime::from_millis(at), SimEvent::Publish { room });
+            }
+        }
+        // Churn: crash subscribed nodes, restart them later.
+        if cfg.churn_count > 0 {
+            let mut candidates: Vec<NodeId> = (0..cfg.nodes)
+                .map(NodeId)
+                .filter(|node| !plan.rooms_of(*node).is_empty())
+                .collect();
+            for _ in 0..cfg.churn_count.min(candidates.len() as u32) {
+                let index = rng.random_below(candidates.len() as u64) as usize;
+                let victim = candidates.swap_remove(index);
+                queue.push(
+                    SimTime::from_millis(cfg.churn_at_ms),
+                    SimEvent::Crash(victim),
+                );
+                queue.push(
+                    SimTime::from_millis(cfg.churn_at_ms + 2_000),
+                    SimEvent::Suspect(victim),
+                );
+                queue.push(
+                    SimTime::from_millis(cfg.churn_restart_ms),
+                    SimEvent::Restart(victim),
+                );
+            }
+        }
+
+        let published = vec![Vec::new(); plan.room_count()];
+        Self {
+            cfg,
+            plan,
+            network,
+            rng,
+            queue,
+            nodes,
+            published,
+            kinds,
+            rejoined: Vec::new(),
+            events_processed: 0,
+            now_ms: 0,
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: &OverlayMsg) {
+        let bytes = msg.to_bytes();
+        let class = traffic_class(msg.class());
+        let packet = Packet {
+            from: SimNodeId(from.0),
+            target: PacketTarget::Unicast(SimNodeId(to.0)),
+            size_bytes: bytes.len() + HEADER_BYTES,
+            class,
+            payload: bytes,
+        };
+        let now = SimTime::from_millis(self.now_ms);
+        for delivery in self.network.send(packet, now, &mut self.rng) {
+            // Injected data loss, on top of the link model's own: the
+            // bytes were spent (the sender is still charged), the packet
+            // just never arrives — which is what the repair pass exists
+            // to survive.
+            if delivery.class == TrafficClass::Data && self.rng.chance(self.cfg.data_loss) {
+                continue;
+            }
+            self.queue.push(
+                delivery.at,
+                SimEvent::Arrive {
+                    to: NodeId(delivery.to.0),
+                    from: NodeId(delivery.from.0),
+                    bytes: delivery.payload,
+                },
+            );
+        }
+    }
+
+    fn dispatch(&mut self, from: NodeId, sends: Vec<(NodeId, OverlayMsg)>) {
+        if let Some(touched) = self.nodes[from.0 as usize].rejoin_touched.as_mut() {
+            for (to, _) in &sends {
+                touched.insert(*to);
+            }
+        }
+        for (to, msg) in sends {
+            self.transmit(from, to, &msg);
+        }
+    }
+
+    fn on_arrive(&mut self, to: NodeId, from: NodeId, bytes: Bytes) {
+        let Ok(msg) = OverlayMsg::from_bytes(&bytes) else {
+            return;
+        };
+        let index = to.0 as usize;
+        if !self.nodes[index].alive {
+            return;
+        }
+        let now_ms = self.now_ms;
+        let mut deliveries = Vec::new();
+        let sends = {
+            let node = &mut self.nodes[index];
+            match msg {
+                OverlayMsg::Join { joiner } => node.view.on_join(joiner, &mut self.rng),
+                OverlayMsg::ForwardJoin { joiner, ttl } => {
+                    node.view.on_forward_join(from, joiner, ttl, &mut self.rng)
+                }
+                OverlayMsg::Neighbor { high_priority } => {
+                    node.view.on_neighbor(from, high_priority, &mut self.rng)
+                }
+                OverlayMsg::NeighborReply { accepted } => {
+                    node.view.on_neighbor_reply(from, accepted, &mut self.rng)
+                }
+                OverlayMsg::Disconnect => node.view.on_disconnect(from, &mut self.rng),
+                OverlayMsg::Shuffle { origin, ttl, nodes } => {
+                    node.view
+                        .on_shuffle(from, origin, ttl, nodes, &mut self.rng)
+                }
+                OverlayMsg::ShuffleReply { nodes } => {
+                    node.view.on_shuffle_reply(nodes, &mut self.rng);
+                    Vec::new()
+                }
+                OverlayMsg::Subscribe { room } => {
+                    if let Some(overlay) = node.rooms.get_mut(&room) {
+                        overlay.add_link(from);
+                    }
+                    Vec::new()
+                }
+                OverlayMsg::Unsubscribe { room } => {
+                    if let Some(overlay) = node.rooms.get_mut(&room) {
+                        overlay.remove_link(from);
+                    }
+                    Vec::new()
+                }
+                OverlayMsg::RoomPush {
+                    room,
+                    id,
+                    round,
+                    payload,
+                } => node
+                    .rooms
+                    .get_mut(&room)
+                    .map(|overlay| {
+                        overlay.on_push(from, id, round, payload, now_ms, &mut deliveries)
+                    })
+                    .unwrap_or_default(),
+                OverlayMsg::RoomIHave { room, ids } => {
+                    if let Some(overlay) = node.rooms.get_mut(&room) {
+                        overlay.on_ihave(from, ids, now_ms);
+                    }
+                    Vec::new()
+                }
+                OverlayMsg::RoomGraft { room, id } => node
+                    .rooms
+                    .get_mut(&room)
+                    .map(|overlay| overlay.on_graft(from, id, now_ms))
+                    .unwrap_or_default(),
+                OverlayMsg::RoomPrune { room } => {
+                    if let Some(overlay) = node.rooms.get_mut(&room) {
+                        overlay.on_prune(from);
+                    }
+                    Vec::new()
+                }
+                OverlayMsg::RoomRepairDigest { room, spans } => node
+                    .rooms
+                    .get_mut(&room)
+                    .map(|overlay| overlay.on_repair_digest(from, spans))
+                    .unwrap_or_default(),
+                OverlayMsg::RoomRepairPull { room, wants } => node
+                    .rooms
+                    .get_mut(&room)
+                    .map(|overlay| overlay.on_repair_pull(from, wants))
+                    .unwrap_or_default(),
+                OverlayMsg::RoomRepairPush { room, id, payload } => {
+                    if let Some(overlay) = node.rooms.get_mut(&room) {
+                        overlay.on_repair_push(id, payload, now_ms, &mut deliveries);
+                    }
+                    Vec::new()
+                }
+            }
+        };
+        self.dispatch(to, sends);
+    }
+
+    fn on_event(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::Arrive { to, from, bytes } => self.on_arrive(to, from, bytes),
+            SimEvent::Join(node) => {
+                if node.0 > 0 {
+                    let contact = NodeId(self.rng.random_below(u64::from(node.0)) as u32);
+                    let sends = self.nodes[node.0 as usize]
+                        .view
+                        .join(contact, &mut self.rng);
+                    self.dispatch(node, sends);
+                }
+            }
+            SimEvent::Subscribe(node) => {
+                let index = node.0 as usize;
+                if !self.nodes[index].alive {
+                    return;
+                }
+                let sends: Vec<(NodeId, OverlayMsg)> = self.nodes[index]
+                    .neighbors
+                    .iter()
+                    .flat_map(|(room, peers)| {
+                        peers
+                            .iter()
+                            .map(|peer| (*peer, OverlayMsg::Subscribe { room: *room }))
+                    })
+                    .collect();
+                // Our side of each link comes up as the subscription goes
+                // out; the peer's side comes up when it arrives.
+                let rooms: Vec<(u32, Vec<NodeId>)> = self.nodes[index]
+                    .neighbors
+                    .iter()
+                    .map(|(room, peers)| (*room, peers.clone()))
+                    .collect();
+                for (room, peers) in rooms {
+                    if let Some(overlay) = self.nodes[index].rooms.get_mut(&room) {
+                        for peer in peers {
+                            overlay.add_link(peer);
+                        }
+                    }
+                }
+                self.dispatch(node, sends);
+            }
+            SimEvent::Shuffle(node) => {
+                let index = node.0 as usize;
+                if self.nodes[index].alive {
+                    let sends = self.nodes[index].view.shuffle_tick(&mut self.rng);
+                    self.dispatch(node, sends);
+                }
+                let next = self.now_ms + self.cfg.shuffle_interval_ms;
+                if next < self.cfg.duration_ms {
+                    self.queue
+                        .push(SimTime::from_millis(next), SimEvent::Shuffle(node));
+                }
+            }
+            SimEvent::Service(node) => {
+                let index = node.0 as usize;
+                if self.nodes[index].alive {
+                    self.nodes[index].service_ticks += 1;
+                    let ticks = self.nodes[index].service_ticks;
+                    let per_repair =
+                        (self.cfg.repair_interval_ms / self.cfg.service_interval_ms.max(1)).max(1);
+                    let repair_due = ticks.is_multiple_of(per_repair);
+                    let rooms: Vec<u32> = self.nodes[index].rooms.keys().copied().collect();
+                    for room in rooms {
+                        let sends = {
+                            let overlay = self.nodes[index].rooms.get_mut(&room).unwrap();
+                            overlay.service(self.now_ms, repair_due, &mut self.rng)
+                        };
+                        self.dispatch(node, sends);
+                    }
+                }
+                let next = self.now_ms + self.cfg.service_interval_ms;
+                if next < self.cfg.duration_ms {
+                    self.queue
+                        .push(SimTime::from_millis(next), SimEvent::Service(node));
+                }
+            }
+            SimEvent::Publish { room } => {
+                let Some(publisher) = self
+                    .plan
+                    .members(room)
+                    .iter()
+                    .copied()
+                    .find(|member| self.nodes[member.0 as usize].alive)
+                else {
+                    return;
+                };
+                let payload = Bytes::from(vec![0x6du8; self.cfg.payload_bytes]);
+                let (id, sends) = {
+                    let overlay = self.nodes[publisher.0 as usize]
+                        .rooms
+                        .get_mut(&room)
+                        .expect("publisher subscribes to its own room");
+                    let before = overlay.stats().delivered;
+                    let sends = overlay.publish(payload, self.now_ms);
+                    debug_assert_eq!(overlay.stats().delivered, before + 1);
+                    // The id the publish was assigned is reconstructible
+                    // from the first push; for empty rooms fall back below.
+                    let id = sends.iter().find_map(|(_, msg)| match msg {
+                        OverlayMsg::RoomPush { id, .. } => Some(*id),
+                        _ => None,
+                    });
+                    (id, sends)
+                };
+                if let Some(id) = id {
+                    self.published[room as usize].push(id);
+                }
+                self.dispatch(publisher, sends);
+            }
+            SimEvent::Crash(node) => {
+                let index = node.0 as usize;
+                self.nodes[index].alive = false;
+                if let Some(sim_node) = self.network.topology_mut().node_mut(SimNodeId(node.0)) {
+                    sim_node.alive = false;
+                }
+            }
+            SimEvent::Suspect(crashed) => {
+                // The failure detector's verdict reaches everyone who holds
+                // a link to the crashed node: active views repair around it,
+                // room overlays drop its links.
+                for id in 0..self.cfg.nodes {
+                    if id == crashed.0 || !self.nodes[id as usize].alive {
+                        continue;
+                    }
+                    let node = NodeId(id);
+                    let sends = {
+                        let state = &mut self.nodes[id as usize];
+                        let mut sends = Vec::new();
+                        if state.view.is_active(crashed) {
+                            sends = state.view.on_suspicion(crashed, &mut self.rng);
+                        }
+                        for overlay in state.rooms.values_mut() {
+                            overlay.remove_link(crashed);
+                        }
+                        sends
+                    };
+                    self.dispatch(node, sends);
+                }
+            }
+            SimEvent::Restart(node) => {
+                let index = node.0 as usize;
+                if self.nodes[index].alive {
+                    return;
+                }
+                self.nodes[index].alive = true;
+                if let Some(sim_node) = self.network.topology_mut().node_mut(SimNodeId(node.0)) {
+                    sim_node.alive = true;
+                }
+                self.rejoined.push(node.0);
+                // Fresh membership state and a new stream incarnation: the
+                // node re-enters through one contact's partial view — no
+                // group-wide view change exists to wait for.
+                let base_room_cfg = RoomConfig {
+                    repair_interval_ms: self.cfg.repair_interval_ms,
+                    repair_log_ttl_ms: self.cfg.repair_log_ttl_ms,
+                    ..RoomConfig::default()
+                };
+                {
+                    let state = &mut self.nodes[index];
+                    state.view = PartialView::new(node, self.cfg.membership);
+                    state.rejoin_touched = Some(BTreeSet::new());
+                    let rooms: Vec<u32> = state.neighbors.keys().copied().collect();
+                    for room in rooms {
+                        let cfg = render_room_config(&self.kinds[room as usize], base_room_cfg);
+                        state
+                            .rooms
+                            .insert(room, RoomOverlay::new(node, room, 2, cfg));
+                    }
+                }
+                let contact = (0..self.cfg.nodes)
+                    .map(NodeId)
+                    .find(|peer| *peer != node && self.nodes[peer.0 as usize].alive);
+                if let Some(contact) = contact {
+                    let sends = self.nodes[index].view.join(contact, &mut self.rng);
+                    self.dispatch(node, sends);
+                }
+                self.queue.push(
+                    SimTime::from_millis(self.now_ms + 10),
+                    SimEvent::Subscribe(node),
+                );
+            }
+        }
+    }
+
+    /// Runs the scenario to its configured duration and reports.
+    pub fn run(mut self) -> RoomSimReport {
+        while let Some((at, event)) = self.queue.pop() {
+            if at.as_millis() > self.cfg.duration_ms {
+                break;
+            }
+            self.now_ms = at.as_millis();
+            self.events_processed += 1;
+            assert!(
+                self.events_processed < EVENT_CAP,
+                "room simulation event cap exceeded"
+            );
+            self.on_event(event);
+        }
+        self.report()
+    }
+
+    fn report(&self) -> RoomSimReport {
+        let stats = self.network.stats();
+        let nodes: Vec<NodeCost> = (0..self.cfg.nodes)
+            .map(|id| {
+                let node_stats = stats.node_or_default(SimNodeId(id));
+                NodeCost {
+                    node: id,
+                    subscriptions: self.plan.subscription_count(NodeId(id)),
+                    data_bytes: node_stats.bytes_sent_of(TrafficClass::Data),
+                    overlay_bytes: node_stats.bytes_sent_of(TrafficClass::Overlay),
+                    repair_bytes: node_stats.bytes_sent_of(TrafficClass::Repair),
+                    control_bytes: node_stats.bytes_sent_of(TrafficClass::Control),
+                }
+            })
+            .collect();
+        let mut rooms = Vec::with_capacity(self.plan.room_count());
+        let mut direct_rooms = 0;
+        let mut tree_rooms = 0;
+        for room in 0..self.plan.room_count() as u32 {
+            match self.kinds[room as usize] {
+                RoomStackKind::DirectPush => direct_rooms += 1,
+                RoomStackKind::TreePush { .. } => tree_rooms += 1,
+            }
+            let members = self.plan.members(room);
+            let ids = &self.published[room as usize];
+            let mut expected = 0u64;
+            let mut delivered = 0u64;
+            for member in members {
+                let state = &self.nodes[member.0 as usize];
+                if !state.alive {
+                    continue;
+                }
+                let Some(overlay) = state.rooms.get(&room) else {
+                    continue;
+                };
+                for id in ids {
+                    expected += 1;
+                    if overlay.delivered_contains(*id) {
+                        delivered += 1;
+                    }
+                }
+            }
+            rooms.push(RoomCoverage {
+                room,
+                size: members.len(),
+                stack: self.kinds[room as usize].name(),
+                published: ids.len() as u64,
+                expected,
+                delivered,
+            });
+        }
+        let rejoin_touched_max = self
+            .nodes
+            .iter()
+            .filter_map(|state| state.rejoin_touched.as_ref().map(BTreeSet::len))
+            .max()
+            .unwrap_or(0);
+        RoomSimReport {
+            nodes,
+            rooms,
+            direct_rooms,
+            tree_rooms,
+            rejoined: self.rejoined.clone(),
+            rejoin_touched_max,
+            events_processed: self.events_processed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            seed: 11,
+            nodes: 40,
+            rooms: 25,
+            duration_ms: 12_000,
+            publishes_per_room: 2,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_run_covers_every_room() {
+        let report = RoomSimulation::new(quick_cfg()).run();
+        assert_eq!(report.rooms.len(), 25);
+        assert!(
+            report.coverage() >= 1.0,
+            "lossless coverage {} < 1.0",
+            report.coverage()
+        );
+        assert_eq!(report.fully_covered_rooms(), 25);
+        assert!(report.direct_rooms > 0, "small rooms must flood");
+    }
+
+    #[test]
+    fn repair_closes_gaps_under_data_loss() {
+        let cfg = SimConfig {
+            data_loss: 0.10,
+            ..quick_cfg()
+        };
+        let report = RoomSimulation::new(cfg).run();
+        assert!(
+            report.coverage() >= 1.0,
+            "10% loss not repaired: coverage {}",
+            report.coverage()
+        );
+        let repair_bytes: u64 = report.nodes.iter().map(|n| n.repair_bytes).sum();
+        assert!(repair_bytes > 0, "repair must actually run under loss");
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let a = RoomSimulation::new(quick_cfg()).run();
+        let b = RoomSimulation::new(quick_cfg()).run();
+        assert_eq!(a, b, "same config must replay the identical report");
+    }
+
+    #[test]
+    fn heavy_subscribers_pay_more_than_the_median() {
+        let cfg = SimConfig {
+            seed: 3,
+            nodes: 80,
+            rooms: 120,
+            duration_ms: 15_000,
+            publishes_per_room: 3,
+            ..SimConfig::default()
+        };
+        let report = RoomSimulation::new(cfg).run();
+        let top = report.top_decile_cost();
+        let median = report.median_cost();
+        assert!(
+            top > median,
+            "cost must scale with subscriptions: top {top} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn churned_nodes_rejoin_without_a_group_wide_view_change() {
+        let cfg = SimConfig {
+            churn_count: 3,
+            churn_at_ms: 4_000,
+            churn_restart_ms: 7_000,
+            data_loss: 0.05,
+            ..quick_cfg()
+        };
+        let report = RoomSimulation::new(cfg).run();
+        assert_eq!(report.rejoined.len(), 3, "every churned node restarts");
+        assert!(report.rejoin_touched_max > 0, "rejoin exchanges messages");
+        assert!(
+            report.rejoin_touched_max < 40 / 2,
+            "rejoin touched {} peers — that is a group-wide view change",
+            report.rejoin_touched_max
+        );
+        // The room shards themselves recover: coverage stays high even
+        // though three members lost all state mid-run.
+        assert!(
+            report.coverage() >= 0.98,
+            "churn coverage {}",
+            report.coverage()
+        );
+    }
+}

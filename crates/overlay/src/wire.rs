@@ -1,0 +1,540 @@
+//! Wire bodies of the overlay planes.
+//!
+//! One tagged union covers both layers — partial-view membership
+//! maintenance and per-room tree dissemination — so the simulation can
+//! carry every overlay packet as opaque bytes and every receive path goes
+//! through one hardened decoder. Decoding never panics: every length
+//! prefix is checked against both a protocol cap and the remaining bytes
+//! before any allocation, and unknown tags are rejected.
+
+use bytes::Bytes;
+use morpheus_appia::platform::{NodeId, PacketClass};
+use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// Cap on node-list lengths (shuffle exchanges). Views are small by
+/// design; anything larger is malformed or adversarial.
+pub const MAX_NODE_LIST: usize = 64;
+
+/// Cap on message-id and span lists (`IHave`, repair digests and pulls).
+pub const MAX_ID_LIST: usize = 256;
+
+/// Identifier of one room message: the stream key plus the sequence
+/// number — the same `(origin, inc, seq)` coordinates the epidemic plane's
+/// repair log uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgId {
+    /// Originating node.
+    pub origin: NodeId,
+    /// Origin's stream incarnation.
+    pub inc: u64,
+    /// Sequence number within the stream.
+    pub seq: u64,
+}
+
+impl Wire for MsgId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.origin.0);
+        w.put_u64(self.inc);
+        w.put_u64(self.seq);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MsgId {
+            origin: NodeId(r.get_u32()?),
+            inc: r.get_u64()?,
+            seq: r.get_u64()?,
+        })
+    }
+}
+
+/// One servable span of a room repair digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoomSpan {
+    /// Originating node of the stream.
+    pub origin: NodeId,
+    /// Stream incarnation.
+    pub inc: u64,
+    /// Lowest servable sequence number.
+    pub lo: u64,
+    /// Highest servable sequence number.
+    pub hi: u64,
+}
+
+impl Wire for RoomSpan {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.origin.0);
+        w.put_u64(self.inc);
+        w.put_u64(self.lo);
+        w.put_u64(self.hi);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RoomSpan {
+            origin: NodeId(r.get_u32()?),
+            inc: r.get_u64()?,
+            lo: r.get_u64()?,
+            hi: r.get_u64()?,
+        })
+    }
+}
+
+/// Every overlay packet body, across both planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayMsg {
+    /// A new node asks a contact to admit it (HyParView join).
+    Join {
+        /// The joining node.
+        joiner: NodeId,
+    },
+    /// A join propagated through the overlay as a bounded random walk.
+    ForwardJoin {
+        /// The joining node.
+        joiner: NodeId,
+        /// Remaining walk length.
+        ttl: u8,
+    },
+    /// Request to become an active-view neighbour.
+    Neighbor {
+        /// High priority: the requester's active view is empty, the
+        /// receiver must accept even if it has to evict.
+        high_priority: bool,
+    },
+    /// Answer to a [`OverlayMsg::Neighbor`] request.
+    NeighborReply {
+        /// Whether the receiver admitted the requester.
+        accepted: bool,
+    },
+    /// Symmetric removal from the sender's active view.
+    Disconnect,
+    /// Periodic shuffle: a bounded random walk carrying a sample of the
+    /// origin's views, refreshing passive views along the way.
+    Shuffle {
+        /// Node whose sample this is (the walk's initiator).
+        origin: NodeId,
+        /// Remaining walk length.
+        ttl: u8,
+        /// The origin's sample (itself + active + passive picks).
+        nodes: Vec<NodeId>,
+    },
+    /// Answer to a shuffle: the receiver's own passive sample.
+    ShuffleReply {
+        /// The replier's passive-view sample.
+        nodes: Vec<NodeId>,
+    },
+    /// The sender subscribes to a room (enters its per-room overlay).
+    Subscribe {
+        /// Room identifier.
+        room: u32,
+    },
+    /// The sender leaves a room's overlay.
+    Unsubscribe {
+        /// Room identifier.
+        room: u32,
+    },
+    /// Eager payload push along a room's broadcast tree.
+    RoomPush {
+        /// Room identifier.
+        room: u32,
+        /// Message identifier.
+        id: MsgId,
+        /// Hop count from the origin (grows by one per eager hop).
+        round: u8,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Lazy announcement along non-tree links: "I have these messages".
+    RoomIHave {
+        /// Room identifier.
+        room: u32,
+        /// Announced message identifiers.
+        ids: Vec<MsgId>,
+    },
+    /// Pulls a missing announced message and promotes the link to eager —
+    /// the tree-repair half of the lazy path.
+    RoomGraft {
+        /// Room identifier.
+        room: u32,
+        /// The missing message.
+        id: MsgId,
+    },
+    /// Demotes the link to lazy after a duplicate eager delivery.
+    RoomPrune {
+        /// Room identifier.
+        room: u32,
+    },
+    /// Periodic room repair digest: the spans the sender's per-room repair
+    /// log can serve.
+    RoomRepairDigest {
+        /// Room identifier.
+        room: u32,
+        /// Servable spans, in deterministic stream order.
+        spans: Vec<RoomSpan>,
+    },
+    /// NACK pull of room messages the sender misses.
+    RoomRepairPull {
+        /// Room identifier.
+        room: u32,
+        /// The missing message identifiers.
+        wants: Vec<MsgId>,
+    },
+    /// Answer to a pull: one logged original, re-streamed.
+    RoomRepairPush {
+        /// Room identifier.
+        room: u32,
+        /// Message identifier.
+        id: MsgId,
+        /// The original payload.
+        payload: Bytes,
+    },
+}
+
+impl OverlayMsg {
+    /// Accounting class of this body: payload pushes are data, loss repair
+    /// is repair, subscriptions are control, everything that maintains
+    /// views or tree links is overlay maintenance.
+    pub fn class(&self) -> PacketClass {
+        match self {
+            OverlayMsg::RoomPush { .. } => PacketClass::Data,
+            OverlayMsg::Subscribe { .. } | OverlayMsg::Unsubscribe { .. } => PacketClass::Control,
+            OverlayMsg::RoomRepairDigest { .. }
+            | OverlayMsg::RoomRepairPull { .. }
+            | OverlayMsg::RoomRepairPush { .. } => PacketClass::Repair,
+            _ => PacketClass::Overlay,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            OverlayMsg::Join { .. } => 1,
+            OverlayMsg::ForwardJoin { .. } => 2,
+            OverlayMsg::Neighbor { .. } => 3,
+            OverlayMsg::NeighborReply { .. } => 4,
+            OverlayMsg::Disconnect => 5,
+            OverlayMsg::Shuffle { .. } => 6,
+            OverlayMsg::ShuffleReply { .. } => 7,
+            OverlayMsg::Subscribe { .. } => 8,
+            OverlayMsg::Unsubscribe { .. } => 9,
+            OverlayMsg::RoomPush { .. } => 10,
+            OverlayMsg::RoomIHave { .. } => 11,
+            OverlayMsg::RoomGraft { .. } => 12,
+            OverlayMsg::RoomPrune { .. } => 13,
+            OverlayMsg::RoomRepairDigest { .. } => 14,
+            OverlayMsg::RoomRepairPull { .. } => 15,
+            OverlayMsg::RoomRepairPush { .. } => 16,
+        }
+    }
+}
+
+fn put_node_list(w: &mut WireWriter, nodes: &[NodeId]) {
+    let count = nodes.len().min(MAX_NODE_LIST);
+    w.put_u16(count as u16);
+    for node in nodes.iter().take(count) {
+        w.put_u32(node.0);
+    }
+}
+
+fn get_node_list(r: &mut WireReader<'_>) -> Result<Vec<NodeId>, WireError> {
+    let len = usize::from(r.get_u16()?);
+    if len > MAX_NODE_LIST {
+        return Err(WireError::LengthOutOfRange(len as u64));
+    }
+    if len > r.remaining() / 4 {
+        return Err(WireError::Malformed("node list count exceeds payload"));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(NodeId(r.get_u32()?));
+    }
+    Ok(out)
+}
+
+fn put_list<T: Wire>(w: &mut WireWriter, items: &[T], cap: usize) {
+    let count = items.len().min(cap);
+    w.put_u16(count as u16);
+    for item in items.iter().take(count) {
+        item.encode(w);
+    }
+}
+
+fn get_list<T: Wire>(
+    r: &mut WireReader<'_>,
+    cap: usize,
+    min_encoded: usize,
+) -> Result<Vec<T>, WireError> {
+    let len = usize::from(r.get_u16()?);
+    if len > cap {
+        return Err(WireError::LengthOutOfRange(len as u64));
+    }
+    if len > r.remaining() / min_encoded {
+        return Err(WireError::Malformed("list count exceeds payload"));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl Wire for OverlayMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(self.tag());
+        match self {
+            OverlayMsg::Join { joiner } => w.put_u32(joiner.0),
+            OverlayMsg::ForwardJoin { joiner, ttl } => {
+                w.put_u32(joiner.0);
+                w.put_u8(*ttl);
+            }
+            OverlayMsg::Neighbor { high_priority } => w.put_bool(*high_priority),
+            OverlayMsg::NeighborReply { accepted } => w.put_bool(*accepted),
+            OverlayMsg::Disconnect => {}
+            OverlayMsg::Shuffle { origin, ttl, nodes } => {
+                w.put_u32(origin.0);
+                w.put_u8(*ttl);
+                put_node_list(w, nodes);
+            }
+            OverlayMsg::ShuffleReply { nodes } => put_node_list(w, nodes),
+            OverlayMsg::Subscribe { room } | OverlayMsg::Unsubscribe { room } => w.put_u32(*room),
+            OverlayMsg::RoomPush {
+                room,
+                id,
+                round,
+                payload,
+            } => {
+                w.put_u32(*room);
+                id.encode(w);
+                w.put_u8(*round);
+                w.put_bytes(payload);
+            }
+            OverlayMsg::RoomIHave { room, ids } => {
+                w.put_u32(*room);
+                put_list(w, ids, MAX_ID_LIST);
+            }
+            OverlayMsg::RoomGraft { room, id } => {
+                w.put_u32(*room);
+                id.encode(w);
+            }
+            OverlayMsg::RoomPrune { room } => w.put_u32(*room),
+            OverlayMsg::RoomRepairDigest { room, spans } => {
+                w.put_u32(*room);
+                put_list(w, spans, MAX_ID_LIST);
+            }
+            OverlayMsg::RoomRepairPull { room, wants } => {
+                w.put_u32(*room);
+                put_list(w, wants, MAX_ID_LIST);
+            }
+            OverlayMsg::RoomRepairPush { room, id, payload } => {
+                w.put_u32(*room);
+                id.encode(w);
+                w.put_bytes(payload);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            1 => OverlayMsg::Join {
+                joiner: NodeId(r.get_u32()?),
+            },
+            2 => OverlayMsg::ForwardJoin {
+                joiner: NodeId(r.get_u32()?),
+                ttl: r.get_u8()?,
+            },
+            3 => OverlayMsg::Neighbor {
+                high_priority: r.get_bool()?,
+            },
+            4 => OverlayMsg::NeighborReply {
+                accepted: r.get_bool()?,
+            },
+            5 => OverlayMsg::Disconnect,
+            6 => OverlayMsg::Shuffle {
+                origin: NodeId(r.get_u32()?),
+                ttl: r.get_u8()?,
+                nodes: get_node_list(r)?,
+            },
+            7 => OverlayMsg::ShuffleReply {
+                nodes: get_node_list(r)?,
+            },
+            8 => OverlayMsg::Subscribe { room: r.get_u32()? },
+            9 => OverlayMsg::Unsubscribe { room: r.get_u32()? },
+            10 => OverlayMsg::RoomPush {
+                room: r.get_u32()?,
+                id: MsgId::decode(r)?,
+                round: r.get_u8()?,
+                payload: r.get_bytes()?,
+            },
+            11 => OverlayMsg::RoomIHave {
+                room: r.get_u32()?,
+                ids: get_list(r, MAX_ID_LIST, 20)?,
+            },
+            12 => OverlayMsg::RoomGraft {
+                room: r.get_u32()?,
+                id: MsgId::decode(r)?,
+            },
+            13 => OverlayMsg::RoomPrune { room: r.get_u32()? },
+            14 => OverlayMsg::RoomRepairDigest {
+                room: r.get_u32()?,
+                spans: get_list(r, MAX_ID_LIST, 28)?,
+            },
+            15 => OverlayMsg::RoomRepairPull {
+                room: r.get_u32()?,
+                wants: get_list(r, MAX_ID_LIST, 20)?,
+            },
+            16 => OverlayMsg::RoomRepairPush {
+                room: r.get_u32()?,
+                id: MsgId::decode(r)?,
+                payload: r.get_bytes()?,
+            },
+            other => return Err(WireError::InvalidTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<OverlayMsg> {
+        let id = MsgId {
+            origin: NodeId(7),
+            inc: 11,
+            seq: 42,
+        };
+        vec![
+            OverlayMsg::Join { joiner: NodeId(3) },
+            OverlayMsg::ForwardJoin {
+                joiner: NodeId(3),
+                ttl: 6,
+            },
+            OverlayMsg::Neighbor {
+                high_priority: true,
+            },
+            OverlayMsg::NeighborReply { accepted: false },
+            OverlayMsg::Disconnect,
+            OverlayMsg::Shuffle {
+                origin: NodeId(9),
+                ttl: 4,
+                nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+            OverlayMsg::ShuffleReply {
+                nodes: vec![NodeId(5)],
+            },
+            OverlayMsg::Subscribe { room: 77 },
+            OverlayMsg::Unsubscribe { room: 77 },
+            OverlayMsg::RoomPush {
+                room: 77,
+                id,
+                round: 2,
+                payload: Bytes::from_static(b"hello room"),
+            },
+            OverlayMsg::RoomIHave {
+                room: 77,
+                ids: vec![id],
+            },
+            OverlayMsg::RoomGraft { room: 77, id },
+            OverlayMsg::RoomPrune { room: 77 },
+            OverlayMsg::RoomRepairDigest {
+                room: 77,
+                spans: vec![RoomSpan {
+                    origin: NodeId(7),
+                    inc: 11,
+                    lo: 1,
+                    hi: 42,
+                }],
+            },
+            OverlayMsg::RoomRepairPull {
+                room: 77,
+                wants: vec![id],
+            },
+            OverlayMsg::RoomRepairPush {
+                room: 77,
+                id,
+                payload: Bytes::from_static(b"replay"),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_body_roundtrips() {
+        for msg in samples() {
+            let bytes = msg.to_bytes();
+            let back = OverlayMsg::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_planes() {
+        use PacketClass::*;
+        let classes: Vec<PacketClass> = samples().iter().map(OverlayMsg::class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                Overlay, Overlay, Overlay, Overlay, Overlay, Overlay, Overlay, Control, Control,
+                Data, Overlay, Overlay, Overlay, Repair, Repair, Repair,
+            ]
+        );
+    }
+
+    /// Every truncation of every valid encoding must fail cleanly (or, for
+    /// self-delimiting prefixes, decode to *something*) — never panic.
+    #[test]
+    fn truncation_sweep_never_panics() {
+        for msg in samples() {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                let _ = OverlayMsg::from_bytes(&bytes[..cut]);
+            }
+        }
+    }
+
+    /// Deterministic single-bit flips across every encoding: decode must
+    /// return (ok or error), never panic, and never over-allocate.
+    #[test]
+    fn bit_flip_sweep_never_panics() {
+        for msg in samples() {
+            let bytes = msg.to_bytes();
+            for index in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut flipped = bytes.to_vec();
+                    flipped[index] ^= 1 << bit;
+                    let _ = OverlayMsg::from_bytes(&flipped);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_lengths_are_rejected() {
+        // A shuffle whose node-list length claims more than the cap.
+        let mut w = WireWriter::new();
+        w.put_u8(6);
+        w.put_u32(9);
+        w.put_u8(4);
+        w.put_u16(u16::MAX);
+        let bytes = w.finish();
+        assert!(matches!(
+            OverlayMsg::from_bytes(&bytes),
+            Err(WireError::LengthOutOfRange(_))
+        ));
+
+        // An IHave whose id count exceeds what the payload could hold.
+        let mut w = WireWriter::new();
+        w.put_u8(11);
+        w.put_u32(1);
+        w.put_u16(200);
+        let bytes = w.finish();
+        assert!(OverlayMsg::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_lists_are_clamped_on_encode() {
+        let nodes: Vec<NodeId> = (0..(MAX_NODE_LIST as u32 + 9)).map(NodeId).collect();
+        let msg = OverlayMsg::ShuffleReply { nodes };
+        let decoded = OverlayMsg::from_bytes(&msg.to_bytes()).expect("decodes");
+        match decoded {
+            OverlayMsg::ShuffleReply { nodes } => assert_eq!(nodes.len(), MAX_NODE_LIST),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic Zipf-distributed room membership.
+//!
+//! Real chat workloads are heavy-tailed twice over: a few rooms hold a
+//! large share of the population while most rooms are tiny, and a few
+//! users sit in many rooms while most sit in a handful. [`RoomPlan`]
+//! generates both tails deterministically from `(seed, n, rooms,
+//! exponent)` — the same tuple always produces byte-identical plans, so a
+//! scenario can be replayed exactly across runs and machines.
+//!
+//! Room sizes follow `size(r) ∝ 1 / (r+1)^exponent` (clamped to
+//! `[MIN_ROOM_SIZE, n]`), and members are drawn by weighted sampling with
+//! node weights `w(i) ∝ 1 / (rank(i)+1)^SUBSCRIBER_EXPONENT` over a
+//! seed-derived rank permutation — which is what skews per-node
+//! subscription counts and lets the evaluation compare top-decile against
+//! median subscribers.
+
+use morpheus_appia::platform::NodeId;
+use morpheus_netsim::SimRng;
+
+/// Smallest room the generator produces: a room needs a publisher and at
+/// least one other subscriber to measure dissemination at all.
+pub const MIN_ROOM_SIZE: usize = 2;
+
+/// The largest room, as a fraction denominator of the population (`n / 5`).
+const MAX_ROOM_DIVISOR: usize = 5;
+
+/// Zipf exponent of the per-node subscription weights.
+const SUBSCRIBER_EXPONENT: f64 = 0.9;
+
+/// A fully materialised room-membership plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomPlan {
+    n: u32,
+    /// Members of each room, sorted by node id.
+    // bound: `rooms` entries of at most `n / MAX_ROOM_DIVISOR` members each, fixed at generation.
+    members: Vec<Vec<NodeId>>,
+    /// Rooms of each node, sorted by room id.
+    // bound: `n` entries; total size equals the sum of room sizes, fixed at generation.
+    subscriptions: Vec<Vec<u32>>,
+}
+
+impl RoomPlan {
+    /// Generates the plan for `n` nodes across `rooms` rooms. Deterministic
+    /// in all four arguments; `exponent` shapes the room-size tail.
+    pub fn generate(seed: u64, n: u32, rooms: u32, exponent: f64) -> RoomPlan {
+        let mut rng = SimRng::new(seed ^ 0x524f_4f4d_504c_414e);
+        let n_usize = n.max(2) as usize;
+        let max_size = (n_usize / MAX_ROOM_DIVISOR).max(MIN_ROOM_SIZE);
+
+        // Seed-derived popularity ranks: a permutation of the nodes, so the
+        // heavy subscribers are spread over the id space instead of always
+        // being the low ids.
+        let mut ranked: Vec<u32> = (0..n.max(2)).collect();
+        for index in 0..ranked.len() {
+            let remaining = ranked.len() - index;
+            let swap = index + rng.random_below(remaining as u64) as usize;
+            ranked.swap(index, swap);
+        }
+        // Cumulative subscription weights in ranked order.
+        let mut cumulative = Vec::with_capacity(n_usize);
+        let mut total = 0.0f64;
+        for rank in 0..n_usize {
+            total += 1.0 / ((rank + 1) as f64).powf(SUBSCRIBER_EXPONENT);
+            cumulative.push(total);
+        }
+
+        let mut members = Vec::with_capacity(rooms as usize);
+        let mut subscriptions: Vec<Vec<u32>> = vec![Vec::new(); n_usize];
+        for room in 0..rooms {
+            let scale = 1.0 / ((room + 1) as f64).powf(exponent.max(0.0));
+            let size = ((max_size as f64 * scale).round() as usize).clamp(MIN_ROOM_SIZE, n_usize);
+            let mut picked: Vec<NodeId> = Vec::with_capacity(size);
+            let mut attempts = 0usize;
+            let attempt_cap = size * 30;
+            while picked.len() < size && attempts < attempt_cap {
+                attempts += 1;
+                let point = rng.random_f64() * total;
+                let rank = cumulative.partition_point(|c| *c < point).min(n_usize - 1);
+                let node = NodeId(ranked[rank]);
+                if !picked.contains(&node) {
+                    picked.push(node);
+                }
+            }
+            // Pathological weight skew can starve the sampler; fill the
+            // remainder deterministically from the lowest unpicked ids.
+            let mut next = 0u32;
+            while picked.len() < size {
+                let candidate = NodeId(next);
+                if !picked.contains(&candidate) {
+                    picked.push(candidate);
+                }
+                next += 1;
+            }
+            picked.sort_unstable_by_key(|node| node.0);
+            for node in &picked {
+                subscriptions[node.0 as usize].push(room);
+            }
+            members.push(picked);
+        }
+        RoomPlan {
+            n: n.max(2),
+            members,
+            subscriptions,
+        }
+    }
+
+    /// Number of nodes the plan covers.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of rooms.
+    pub fn room_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members of one room, sorted by node id. Empty for unknown rooms.
+    pub fn members(&self, room: u32) -> &[NodeId] {
+        self.members
+            .get(room as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The rooms one node subscribes to, sorted by room id.
+    pub fn rooms_of(&self, node: NodeId) -> &[u32] {
+        self.subscriptions
+            .get(node.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of rooms one node subscribes to.
+    pub fn subscription_count(&self, node: NodeId) -> usize {
+        self.rooms_of(node).len()
+    }
+
+    /// The designated publisher of a room: its lowest-id member.
+    pub fn publisher(&self, room: u32) -> Option<NodeId> {
+        self.members(room).first().copied()
+    }
+
+    /// Total memberships across every room.
+    pub fn total_memberships(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Per-node subscription counts, sorted ascending — the input to
+    /// percentile comparisons.
+    pub fn subscription_distribution(&self) -> Vec<usize> {
+        let mut counts: Vec<usize> = self.subscriptions.iter().map(Vec::len).collect();
+        counts.sort_unstable();
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_replays_exactly() {
+        let a = RoomPlan::generate(99, 200, 300, 1.0);
+        let b = RoomPlan::generate(99, 200, 300, 1.0);
+        assert_eq!(a, b, "same (seed, n, rooms, exponent) must replay exactly");
+        let c = RoomPlan::generate(100, 200, 300, 1.0);
+        assert_ne!(a, c, "a different seed must move the plan");
+    }
+
+    #[test]
+    fn room_sizes_follow_the_zipf_tail() {
+        let plan = RoomPlan::generate(7, 500, 1000, 1.0);
+        assert_eq!(plan.room_count(), 1000);
+        let head = plan.members(0).len();
+        let tail = plan.members(999).len();
+        assert!(head >= 50, "the head room should be large, got {head}");
+        assert_eq!(tail, MIN_ROOM_SIZE, "the tail collapses to the minimum");
+        // At least half of all rooms sit at the minimum size: the tail is
+        // heavy, which is what makes per-room (not per-group) cost matter.
+        let at_min = (0..1000)
+            .filter(|room| plan.members(*room).len() == MIN_ROOM_SIZE)
+            .count();
+        assert!(at_min >= 500, "only {at_min} rooms at minimum size");
+        // Sizes are nonincreasing in room rank (same clamp, shrinking scale).
+        for room in 1..1000u32 {
+            assert!(plan.members(room).len() <= plan.members(room - 1).len());
+        }
+    }
+
+    #[test]
+    fn membership_lists_are_sorted_unique_and_consistent() {
+        let plan = RoomPlan::generate(13, 120, 200, 1.2);
+        for room in 0..plan.room_count() as u32 {
+            let members = plan.members(room);
+            assert!(members.windows(2).all(|w| w[0].0 < w[1].0), "sorted+unique");
+            for member in members {
+                assert!(member.0 < plan.node_count());
+                assert!(plan.rooms_of(*member).contains(&room), "inverse index");
+            }
+        }
+        let forward: usize = plan.total_memberships();
+        let inverse: usize = (0..plan.node_count())
+            .map(|id| plan.subscription_count(NodeId(id)))
+            .sum();
+        assert_eq!(forward, inverse);
+    }
+
+    #[test]
+    fn subscription_counts_are_heavy_tailed() {
+        let plan = RoomPlan::generate(42, 500, 1000, 1.0);
+        let counts = plan.subscription_distribution();
+        let median = counts[counts.len() / 2];
+        let p90 = counts[counts.len() * 9 / 10];
+        assert!(median >= 1, "every percentile subscribed to something");
+        assert!(
+            p90 as f64 >= 2.5 * median as f64,
+            "subscription skew too flat: p90 {p90} vs median {median}"
+        );
+        assert!(
+            counts[counts.len() - 1] < plan.room_count(),
+            "nobody is in every room"
+        );
+    }
+}

@@ -21,6 +21,6 @@ pub mod runner;
 pub mod scenario;
 
 pub use platform::SimPlatform;
-pub use report::{NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport};
+pub use report::{NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport, WireBytes};
 pub use runner::{AppBinding, Runner};
 pub use scenario::{Scenario, TopologyChoice, Workload};

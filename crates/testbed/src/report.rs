@@ -50,6 +50,40 @@ pub struct WedgeReport {
     pub reason: String,
 }
 
+/// Bytes put on the wire by one node, broken down by component — the
+/// measurement behind the subscription-proportional cost claim: a node's
+/// data + overlay bytes should track what it subscribes to, while control,
+/// context and repair stay bounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireBytes {
+    /// Application data bytes.
+    pub data: u64,
+    /// Group-communication control bytes (membership, flush, acks, ...).
+    pub control: u64,
+    /// Context dissemination bytes.
+    pub context: u64,
+    /// Loss-repair bytes (NACK digests, pulls, re-streamed originals).
+    pub repair: u64,
+    /// Overlay-maintenance bytes (partial views, shuffles, grafts, prunes).
+    pub overlay: u64,
+}
+
+impl WireBytes {
+    /// Sum over every component.
+    pub fn total(&self) -> u64 {
+        self.data + self.control + self.context + self.repair + self.overlay
+    }
+
+    /// Adds another breakdown component-wise.
+    pub fn add(&mut self, other: &WireBytes) {
+        self.data += other.data;
+        self.control += other.control;
+        self.context += other.context;
+        self.repair += other.repair;
+        self.overlay += other.overlay;
+    }
+}
+
 /// Measurements for one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeReport {
@@ -63,10 +97,16 @@ pub struct NodeReport {
     pub sent_control: u64,
     /// Context dissemination messages transmitted.
     pub sent_context: u64,
+    /// Loss-repair messages transmitted (NACK digests, pulls, re-streams).
+    pub sent_repair: u64,
+    /// Overlay-maintenance messages transmitted.
+    pub sent_overlay: u64,
     /// Messages received (all classes).
     pub received_total: u64,
     /// Bytes transmitted.
     pub bytes_sent: u64,
+    /// Bytes transmitted, broken down by component.
+    pub wire_bytes: WireBytes,
     /// Energy spent by the radio, in joules.
     pub energy_joules: f64,
     /// Remaining battery fraction at the end of the run.
@@ -143,7 +183,11 @@ impl NodeReport {
     /// Total messages transmitted by this node, all classes included — the
     /// quantity the paper's Figure 3 plots for the mobile device.
     pub fn sent_total(&self) -> u64 {
-        self.sent_data + self.sent_control + self.sent_context
+        self.sent_data
+            + self.sent_control
+            + self.sent_context
+            + self.sent_repair
+            + self.sent_overlay
     }
 }
 
@@ -321,6 +365,16 @@ impl RunReport {
         totals
     }
 
+    /// Sum of the per-node wire-byte breakdowns — the run's cost profile by
+    /// component.
+    pub fn wire_bytes_totals(&self) -> WireBytes {
+        let mut totals = WireBytes::default();
+        for node in &self.nodes {
+            totals.add(&node.wire_bytes);
+        }
+        totals
+    }
+
     /// Total targeted snapshot catch-ups completed across all nodes.
     pub fn total_catchups(&self) -> u64 {
         self.nodes.iter().map(|node| node.catchups).sum()
@@ -387,8 +441,17 @@ mod tests {
             sent_data: data,
             sent_control: control,
             sent_context: 1,
+            sent_repair: 0,
+            sent_overlay: 0,
             received_total: 0,
             bytes_sent: 0,
+            wire_bytes: WireBytes {
+                data: 100,
+                control: 20,
+                context: 4,
+                repair: 8,
+                overlay: 16,
+            },
             energy_joules: 0.0,
             battery_fraction: 1.0,
             app_deliveries: 5,
@@ -480,6 +543,18 @@ mod tests {
         assert_eq!(report.delivery_coverage(1, 5), 2.0, "over-delivery shows");
         assert!(report.delivery_coverage(3, 5) < 1.0);
         assert_eq!(report.delivery_coverage(0, 5), 1.0, "degenerate workload");
+    }
+
+    #[test]
+    fn wire_bytes_break_down_by_component() {
+        let report = report();
+        let totals = report.wire_bytes_totals();
+        assert_eq!(totals.data, 200);
+        assert_eq!(totals.control, 40);
+        assert_eq!(totals.context, 8);
+        assert_eq!(totals.repair, 16);
+        assert_eq!(totals.overlay, 32);
+        assert_eq!(totals.total(), 296);
     }
 
     #[test]

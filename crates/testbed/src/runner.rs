@@ -17,7 +17,9 @@ use morpheus_netsim::{
 };
 
 use crate::platform::SimPlatform;
-use crate::report::{GossipReport, NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport};
+use crate::report::{
+    GossipReport, NodeReport, RejoinReport, RoundReport, RunReport, WedgeReport, WireBytes,
+};
 use crate::scenario::{Scenario, TopologyChoice};
 
 /// Per-node application bindings for a run.
@@ -727,6 +729,8 @@ fn traffic_class(class: PacketClass) -> TrafficClass {
         PacketClass::Data => TrafficClass::Data,
         PacketClass::Control => TrafficClass::Control,
         PacketClass::Context => TrafficClass::Context,
+        PacketClass::Repair => TrafficClass::Repair,
+        PacketClass::Overlay => TrafficClass::Overlay,
     }
 }
 
@@ -962,8 +966,17 @@ fn build_report(
             sent_data: stats.sent_of(TrafficClass::Data),
             sent_control: stats.sent_of(TrafficClass::Control),
             sent_context: stats.sent_of(TrafficClass::Context),
+            sent_repair: stats.sent_of(TrafficClass::Repair),
+            sent_overlay: stats.sent_of(TrafficClass::Overlay),
             received_total: stats.total_received(),
             bytes_sent: stats.bytes_sent,
+            wire_bytes: WireBytes {
+                data: stats.bytes_sent_of(TrafficClass::Data),
+                control: stats.bytes_sent_of(TrafficClass::Control),
+                context: stats.bytes_sent_of(TrafficClass::Context),
+                repair: stats.bytes_sent_of(TrafficClass::Repair),
+                overlay: stats.bytes_sent_of(TrafficClass::Overlay),
+            },
             energy_joules: stats.energy_joules,
             battery_fraction: network.battery_fraction(sim_id),
             app_deliveries: tally.app_deliveries,
@@ -1008,6 +1021,8 @@ fn build_report(
         messages_lost: stats.total_lost_of(TrafficClass::Data),
         control_lost: stats.total_lost_of(TrafficClass::Control)
             + stats.total_lost_of(TrafficClass::Context)
+            + stats.total_lost_of(TrafficClass::Repair)
+            + stats.total_lost_of(TrafficClass::Overlay)
             + tallies
                 .iter()
                 .map(|tally| tally.control_dropped)
