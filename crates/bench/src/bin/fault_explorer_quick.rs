@@ -1,7 +1,8 @@
 //! Quick-mode adversarial fault explorer: the seed-sweeping wedge hunter.
 //!
 //! Samples `BENCH_FAULT_SCHEDULES` random fault schedules (link flaps,
-//! asymmetric one-way partitions, latency-class shifts, mass churn,
+//! asymmetric one-way partitions — steady and flapping, latency-class
+//! shifts, WAN multi-region latency tiers, churn and mass churn,
 //! byte-level packet corruption) with `FaultSchedule::generate`, runs each
 //! against the `fault_harness` scenario, and asserts the run's safety
 //! invariants:
@@ -21,8 +22,11 @@
 //!
 //! Run with `cargo run --release -p morpheus-bench --bin
 //! fault_explorer_quick [output-path]`. Environment knobs:
-//! `BENCH_FAULT_SCHEDULES` (sweep budget, default 24), `BENCH_FAULT_N`
-//! (group size, default 16), `BENCH_FAULT_SEED` (base seed, default 1).
+//! `BENCH_FAULT_SCHEDULES` (sweep budget, default 48), `BENCH_FAULT_N`
+//! (group size, default 16), `BENCH_FAULT_SEED` (base seed, default 1),
+//! `MORPHEUS_FAULT_SEEDS` (extended sweep: a comma-separated list of extra
+//! seeds, each run as one additional generated case after the base window —
+//! e.g. `MORPHEUS_FAULT_SEEDS=$(seq -s, 1000 1499)` for an overnight soak).
 
 #![forbid(unsafe_code)]
 
@@ -105,7 +109,7 @@ fn main() {
         .ok()
         .and_then(|raw| raw.parse().ok())
         .filter(|budget| *budget > 0)
-        .unwrap_or(24);
+        .unwrap_or(48);
     let n: usize = std::env::var("BENCH_FAULT_N")
         .ok()
         .and_then(|raw| raw.parse().ok())
@@ -144,10 +148,33 @@ fn main() {
         results.push(result);
     }
 
-    // Two scheduled rows for the fault classes the generator deliberately
-    // never emits: a sustained 2x-rate overload across the chat window, and
-    // a single-node partition that outlives the suspicion timeout (expel,
-    // heal, reconverge). Both run under the full sweep invariants.
+    // Extended sweep: every seed listed in MORPHEUS_FAULT_SEEDS runs one
+    // additional generated case after the base window, so a soak job can
+    // explore arbitrary seed ranges without touching the budget knob.
+    let extra_seeds: Vec<u64> = std::env::var("MORPHEUS_FAULT_SEEDS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    if !extra_seeds.is_empty() {
+        eprintln!("extended sweep: {} extra seeds", extra_seeds.len());
+        for seed in extra_seeds {
+            let result = run_case(n, seed);
+            print_row(&result);
+            results.push(result);
+        }
+    }
+
+    // Scheduled rows that run regardless of what the generator sampled:
+    // a sustained 2x-rate overload across the chat window; a single-node
+    // partition that outlives the suspicion timeout (expel, heal,
+    // reconverge); and one pinned row per adversarial class — WAN region
+    // tiers, mass churn, and a flapping one-way link — so every class has
+    // at least one deterministic survivor in the matrix. All run under the
+    // full sweep invariants.
     let harness = Scenario::fault_harness(n, base_seed);
     let chat_start = harness.workload.warmup_ms;
     let overload = FaultSchedule {
@@ -164,7 +191,33 @@ fn main() {
             end_ms: chat_start + 7_000,
         }],
     };
-    for schedule in [overload, partition] {
+    let wan_regions = FaultSchedule {
+        events: vec![FaultEvent::WanRegions {
+            start_ms: chat_start,
+            end_ms: chat_start + 7_000,
+            regions: 3,
+            step_ms: 80,
+        }],
+    };
+    let mass_churn = FaultSchedule {
+        events: vec![FaultEvent::MassChurn {
+            start_ms: chat_start,
+            end_ms: chat_start + 4_000,
+            per_second: 2,
+            down_ms: 2_000,
+        }],
+    };
+    let flap_oneway = FaultSchedule {
+        events: vec![FaultEvent::FlapOneWay {
+            from: NodeId(1),
+            to: NodeId(n as u32 - 1),
+            start_ms: chat_start,
+            down_ms: 500,
+            up_ms: 900,
+            until_ms: chat_start + 6_000,
+        }],
+    };
+    for schedule in [overload, partition, wan_regions, mass_churn, flap_oneway] {
         let result = run_scheduled(n, base_seed, schedule);
         print_row(&result);
         results.push(result);
@@ -181,7 +234,16 @@ fn main() {
     // is what `FaultSchedule::generate` can emit; the scheduled-only
     // classes appear in the survival table but are exempt from the
     // generator-coverage assertion below.
-    let all_classes = ["flap", "oneway", "latency", "churn", "corrupt"];
+    let all_classes = [
+        "flap",
+        "oneway",
+        "latency",
+        "churn",
+        "corrupt",
+        "wanregions",
+        "masschurn",
+        "flaponeway",
+    ];
     let survival_classes = [
         "flap",
         "oneway",
@@ -190,6 +252,9 @@ fn main() {
         "corrupt",
         "overload",
         "partition",
+        "wanregions",
+        "masschurn",
+        "flaponeway",
     ];
     let class_row = |class: &str| -> (u64, u64) {
         let runs = results
@@ -299,5 +364,8 @@ fn main() {
             result.reproducer
         );
     }
-    eprintln!("all {budget} schedules survived: no wedges, no live-link loss");
+    eprintln!(
+        "all {} cases survived: no wedges, no live-link loss",
+        results.len()
+    );
 }

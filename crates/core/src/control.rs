@@ -24,6 +24,9 @@
 //! cannot roll the stack back), and the coordinator rejects acknowledgements
 //! whose epoch does not match the round in flight (so an ack replayed from a
 //! previous round to the same stack cannot complete a newer round early).
+//! The ballot ordering, ack bookkeeping and retransmit/timeout clock are the
+//! shared [`morpheus_groupcomm::round`] engine; this layer keeps only the
+//! reconfiguration payloads and wire formats.
 //!
 //! Failures are tolerated through the control-channel failure detector: a
 //! [`Suspect`]ed member is excluded from the ack quorum (the round can finish
@@ -53,7 +56,7 @@ use morpheus_appia::Kernel;
 use morpheus_cocaditem::dissemination::ContextUpdated;
 use morpheus_cocaditem::ContextStore;
 use morpheus_groupcomm::events::{Alive, Suspect, ViewInstall};
-use morpheus_groupcomm::vsync::ballot_beats;
+use morpheus_groupcomm::round::{Ballot, Engine as RoundEngine, Tick};
 
 use crate::policy::{AdaptationPolicy, GlobalContext, StackKind};
 use crate::rules::DefaultPolicy;
@@ -157,12 +160,11 @@ impl Layer for CoreLayer {
                 .get("initial_stack")
                 .cloned()
                 .unwrap_or_else(|| "best-effort".to_string()),
-            epoch: 0,
-            // Epoch 0 is never a valid round: holder 0 makes every epoch-0
-            // ballot lose the tie-break.
-            epoch_holder: NodeId(0),
+            // The engine starts at `Ballot::ZERO`: holder 0 makes every
+            // epoch-0 ballot lose the tie-break, so epoch 0 is never a valid
+            // round.
+            engine: RoundEngine::new(),
             pending: None,
-            acks: BTreeSet::new(),
             suspected: BTreeSet::new(),
             accepted: None,
             installed: None,
@@ -177,16 +179,15 @@ impl Layer for CoreLayer {
     }
 }
 
+/// The proposal payload of the round in flight. Its ballot, ack set, start
+/// time and retransmit count live in the round engine.
 #[derive(Debug, Clone)]
 struct PendingReconfiguration {
-    epoch: u64,
     /// The stack kind of the round (kept so repairs can re-render the
     /// description over a changed live membership later).
     kind: StackKind,
     stack_name: String,
     description: String,
-    started_at_ms: u64,
-    retransmits: u64,
 }
 
 /// A stack configuration this node deployed (member side) or saw the group
@@ -223,14 +224,14 @@ pub struct CoreSession {
     /// committed when a round *completes* (never optimistically), so an
     /// aborted round leaves the policy free to re-fire.
     current_stack: String,
-    /// Highest reconfiguration epoch this node has initiated or accepted.
-    epoch: u64,
-    /// The coordinator holding [`CoreSession::epoch`] — the tie-break half
-    /// of the ballot `(epoch, epoch_holder)`.
-    epoch_holder: NodeId,
+    /// The shared round engine: ballot monotonicity (the highest epoch this
+    /// node initiated or accepted, with the holding coordinator as the
+    /// tie-break), the in-flight round's ack set, and the retransmit/timeout
+    /// clock.
+    engine: RoundEngine<NodeId>,
+    /// The in-flight proposal payload, kept in lockstep with the engine's
+    /// round on the coordinator.
     pending: Option<PendingReconfiguration>,
-    // bound: <= view size; only view members ack, and the set is cleared per round.
-    acks: BTreeSet<NodeId>,
     // bound: fed by the control-plane failure detector -- only current members appear.
     suspected: BTreeSet<NodeId>,
     /// The configuration accepted from the most recent command, kept until
@@ -308,11 +309,11 @@ impl CoreSession {
     }
 
     fn send_command(&self, targets: Vec<NodeId>, ctx: &mut EventContext<'_>) {
-        let Some(pending) = &self.pending else {
+        let (Some(pending), Some(round)) = (&self.pending, self.engine.round()) else {
             return;
         };
         Self::dispatch_command(
-            pending.epoch,
+            round.ballot.epoch,
             &pending.stack_name,
             &pending.description,
             targets,
@@ -366,18 +367,18 @@ impl CoreSession {
         // listing crashed nodes.
         let config = self.catalog.config_for_members(&kind, self.live_members());
         let description = config.to_xml();
-        self.epoch += 1;
-        self.epoch_holder = local;
+        // Every member must ack — the coordinator and suspected ones
+        // included; completion excludes whoever is suspected *at completion
+        // time* instead.
+        let ballot = self
+            .engine
+            .open(local, self.members.iter().copied(), ctx.now_ms());
         self.reconfigurations_started += 1;
         self.pending = Some(PendingReconfiguration {
-            epoch: self.epoch,
             kind,
             stack_name: desired.clone(),
             description: description.clone(),
-            started_at_ms: ctx.now_ms(),
-            retransmits: 0,
         });
-        self.acks.clear();
 
         let others: Vec<NodeId> = self
             .members
@@ -390,7 +391,7 @@ impl CoreSession {
             channel: self.data_channel.clone(),
             stack_name: desired,
             description,
-            epoch: self.epoch,
+            epoch: ballot.epoch,
             coordinator: local,
         });
         self.cancel_round_timer(ctx);
@@ -398,33 +399,30 @@ impl CoreSession {
     }
 
     fn maybe_complete(&mut self, ctx: &mut EventContext<'_>) {
-        if self.pending.is_none() {
+        if self.pending.is_none() || !self.engine.completed(&self.suspected) {
             return;
         }
-        let quorum = self.live_members();
-        if !quorum.iter().all(|member| self.acks.contains(member)) {
-            return;
-        }
+        let round = self.engine.complete().expect("completed round in flight");
         let pending = self.pending.take().expect("pending checked above");
-        let elapsed = ctx.now_ms().saturating_sub(pending.started_at_ms);
+        let elapsed = ctx.now_ms().saturating_sub(round.started_at_ms);
         self.current_stack = pending.stack_name.clone();
         self.reconfigurations_completed += 1;
         // Remember what the group committed and who is known to run it, so
         // members that were cut out of the quorum can be repaired later.
         self.installed = Some(InstalledStack {
-            epoch: pending.epoch,
+            epoch: round.ballot.epoch,
             kind: Some(pending.kind.clone()),
             stack_name: pending.stack_name.clone(),
             description: pending.description.clone(),
         });
-        self.confirmed = std::mem::take(&mut self.acks);
+        self.confirmed = round.acked().clone();
         self.cancel_round_timer(ctx);
         ctx.deliver(DeliveryKind::ReconfigurationComplete {
             stack: pending.stack_name,
-            epoch: pending.epoch,
+            epoch: round.ballot.epoch,
             latency_ms: elapsed,
-            retransmits: pending.retransmits,
-            nodes: quorum.len(),
+            retransmits: round.retransmits,
+            nodes: self.live_members().len(),
         });
     }
 
@@ -462,8 +460,10 @@ impl CoreSession {
         if behind.is_empty() {
             return;
         }
-        self.epoch += 1;
-        self.epoch_holder = local;
+        // A repair opens no round: just adopt the successor ballot, so the
+        // re-asserted command outranks everything seen so far.
+        self.engine
+            .adopt(Ballot::new(self.engine.epoch() + 1, local));
         // Re-render the committed configuration over the *current* live
         // membership before re-asserting it: a member repaired after a crash
         // elsewhere must not receive stacks still listing the dead node.
@@ -473,7 +473,7 @@ impl CoreSession {
             .and_then(|installed| installed.kind.clone())
             .map(|kind| self.catalog.config_for_members(&kind, live).to_xml());
         let installed = self.installed.as_mut().expect("installed checked above");
-        installed.epoch = self.epoch;
+        installed.epoch = self.engine.epoch();
         if let Some(description) = refreshed {
             installed.description = description;
         }
@@ -492,7 +492,7 @@ impl CoreSession {
         if self.pending.take().is_some() {
             self.reconfigurations_aborted += 1;
         }
-        self.acks.clear();
+        self.engine.abort();
         self.cancel_round_timer(ctx);
     }
 
@@ -504,60 +504,58 @@ impl CoreSession {
         if self.pending.is_none() {
             return;
         }
-        let (started_at_ms, acked) = {
-            let pending = self.pending.as_ref().expect("checked above");
-            (pending.started_at_ms, self.acks.clone())
-        };
-        if ctx.now_ms().saturating_sub(started_at_ms) >= self.round_timeout_ms {
-            // The round failed (e.g. the command kept getting lost, or a
-            // member died without being suspected yet): abort and let the
-            // policy re-fire immediately under a fresh epoch.
-            let aborted = self.pending.clone();
-            self.abort_round(ctx);
-            self.evaluate(ctx);
-            if self.pending.is_none() {
-                // The policy did not re-fire (e.g. the context shifted back
-                // mid-round) — but this node itself already deployed the
-                // aborted configuration at initiation. Roll its own data
-                // channel back to the committed stack so the coordinator is
-                // not the one node silently running the abandoned one.
-                let rollback = match (&aborted, &self.installed) {
-                    (Some(aborted), Some(installed))
-                        if installed.stack_name == self.current_stack
-                            && aborted.stack_name != self.current_stack =>
-                    {
-                        Some(installed.clone())
+        match self.engine.tick(ctx.now_ms(), self.round_timeout_ms) {
+            Tick::Idle => {}
+            Tick::TimedOut => {
+                // The round failed (e.g. the command kept getting lost, or a
+                // member died without being suspected yet): abort and let the
+                // policy re-fire immediately under a fresh epoch.
+                let aborted = self.pending.clone();
+                self.abort_round(ctx);
+                self.evaluate(ctx);
+                if self.pending.is_none() {
+                    // The policy did not re-fire (e.g. the context shifted
+                    // back mid-round) — but this node itself already deployed
+                    // the aborted configuration at initiation. Roll its own
+                    // data channel back to the committed stack so the
+                    // coordinator is not the one node silently running the
+                    // abandoned one.
+                    let rollback = match (&aborted, &self.installed) {
+                        (Some(aborted), Some(installed))
+                            if installed.stack_name == self.current_stack
+                                && aborted.stack_name != self.current_stack =>
+                        {
+                            Some(installed.clone())
+                        }
+                        _ => None,
+                    };
+                    if let Some(installed) = rollback {
+                        ctx.request_reconfiguration(ReconfigRequest {
+                            channel: self.data_channel.clone(),
+                            stack_name: installed.stack_name,
+                            description: installed.description,
+                            epoch: installed.epoch,
+                            coordinator: ctx.node_id(),
+                        });
                     }
-                    _ => None,
-                };
-                if let Some(installed) = rollback {
-                    ctx.request_reconfiguration(ReconfigRequest {
-                        channel: self.data_channel.clone(),
-                        stack_name: installed.stack_name,
-                        description: installed.description,
-                        epoch: installed.epoch,
-                        coordinator: ctx.node_id(),
-                    });
                 }
             }
-            return;
-        }
-        // Retransmit to everyone still missing, suspected members included
-        // (a falsely suspected member must still converge on the new stack).
-        let local = ctx.node_id();
-        let missing: Vec<NodeId> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|member| *member != local && !acked.contains(member))
-            .collect();
-        if !missing.is_empty() {
-            if let Some(pending) = self.pending.as_mut() {
-                pending.retransmits += 1;
+            Tick::Retransmit(missing) => {
+                // Retransmit to everyone still missing, suspected members
+                // included (a falsely suspected member must still converge on
+                // the new stack). The engine also lists the coordinator's own
+                // unfinished deployment, which is not a wire target.
+                let local = ctx.node_id();
+                let targets: Vec<NodeId> = missing
+                    .into_iter()
+                    .filter(|member| *member != local)
+                    .collect();
+                if !targets.is_empty() {
+                    self.send_command(targets, ctx);
+                }
+                self.arm_round_timer(ctx);
             }
-            self.send_command(missing, ctx);
         }
-        self.arm_round_timer(ctx);
     }
 
     fn on_suspect(&mut self, node: NodeId, ctx: &mut EventContext<'_>) {
@@ -596,9 +594,7 @@ impl CoreSession {
             return;
         };
 
-        if ballot_beats(epoch, coordinator, (self.epoch, self.epoch_holder)) {
-            self.epoch = epoch;
-            self.epoch_holder = coordinator;
+        if self.engine.adopt(Ballot::new(epoch, coordinator)) {
             // A winning ballot supersedes anything this node initiated
             // itself — including a concurrent round under the *same* epoch
             // number from a higher-id coordinator (split-brain after a false
@@ -648,13 +644,13 @@ impl CoreSession {
         stack_name: &str,
         ctx: &mut EventContext<'_>,
     ) {
-        let matches = self
-            .pending
-            .as_ref()
-            .map(|pending| pending.epoch == epoch && pending.stack_name == stack_name)
-            .unwrap_or(false);
-        if matches {
-            self.acks.insert(source);
+        let in_round = self.engine.round_epoch() == Some(epoch)
+            && self
+                .pending
+                .as_ref()
+                .is_some_and(|pending| pending.stack_name == stack_name);
+        if in_round {
+            self.engine.record_ack(epoch, source);
             self.maybe_complete(ctx);
         } else if self
             .installed
@@ -715,6 +711,9 @@ impl Session for CoreSession {
             self.suspected.retain(|node| self.members.contains(node));
             self.confirmed.retain(|node| self.members.contains(node));
             self.store.retain_members(&self.members);
+            // Refreeze the in-flight round's ack threshold over the new
+            // membership: expelled members stop being awaited.
+            self.engine.set_participants(self.members.iter().copied());
             // The quorum may just have shrunk to the already-collected acks
             // (same reason on_suspect re-checks): an expelled member must
             // not stall a round it was the last missing ack of.

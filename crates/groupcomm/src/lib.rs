@@ -38,6 +38,7 @@ pub mod mecho;
 pub mod recovery;
 pub mod reliable;
 pub mod repair;
+pub mod round;
 pub mod suite;
 pub mod total;
 pub mod view;
@@ -48,5 +49,6 @@ pub use events::{
     ResumeRequest, StaleBallot, Suspect, ViewCommit, ViewInstall, ViewPrepare,
 };
 pub use recovery::{RecoveryLayer, StateSection};
+pub use round::{Ballot, Engine as RoundEngine};
 pub use suite::{register_suite, StackBuilder};
 pub use view::View;

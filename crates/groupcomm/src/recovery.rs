@@ -45,6 +45,7 @@ use morpheus_appia::session::Session;
 use morpheus_appia::wire::{Wire, WireError, WireReader, WireWriter};
 
 use crate::events::{Alive, CatchupRequest, JoinRequest, Rejoin, Suspect, ViewInstall};
+use crate::round::{Ballot, Engine as RoundEngine, Tick};
 use crate::view::View;
 
 /// Registered name of the recovery / state-transfer layer.
@@ -262,8 +263,9 @@ enum Phase {
     Member,
     /// Restarted, multicasting join requests until a view admits it.
     Joining,
-    /// Admitted; pulling the state snapshot from a donor.
-    Syncing(SyncState),
+    /// Admitted; pulling the state snapshot from a donor. Boxed: the sync
+    /// state (round engine, chunk map) dwarfs the other variants.
+    Syncing(Box<SyncState>),
 }
 
 /// Joiner-side state of one snapshot transfer.
@@ -273,13 +275,18 @@ struct SyncState {
     /// deterministic donor is the lowest live id).
     candidates: Vec<NodeId>,
     donor_index: usize,
-    transfer_epoch: u64,
+    /// The shared round engine instantiated over *chunk indices*: the
+    /// transfer epoch is the round ballot (held by the donor), received
+    /// chunks are its acks, and the stall clock is the round's progress
+    /// clock (refreshed per chunk, ticked by the retry timer).
+    engine: RoundEngine<u32>,
     version: Option<u64>,
     total: Option<u32>,
+    // bound: at most `total` chunks of one snapshot; cleared on failover.
     chunks: BTreeMap<u32, Bytes>,
+    // bound: <= WINDOW indices (one request window).
     outstanding: BTreeSet<u32>,
     bytes: u64,
-    last_progress_ms: u64,
 }
 
 impl SyncState {
@@ -288,6 +295,12 @@ impl SyncState {
             return None;
         }
         Some(self.candidates[self.donor_index % self.candidates.len()])
+    }
+
+    /// The transfer epoch: the in-flight round's ballot epoch (bumped by
+    /// re-opening the round on every donor failover).
+    fn transfer_epoch(&self) -> u64 {
+        self.engine.round_epoch().unwrap_or(0)
     }
 }
 
@@ -311,7 +324,10 @@ struct OutgoingTransfer {
 #[derive(Debug)]
 struct CatchupState {
     donor: NodeId,
-    transfer_epoch: u64,
+    /// Round engine over chunk indices, opened at the catch-up epoch
+    /// namespace (`CATCHUP_EPOCH_BASE + n`) so donor streams never mix with
+    /// rejoin transfers.
+    engine: RoundEngine<u32>,
     version: Option<u64>,
     total: Option<u32>,
     // bound: at most `total` chunks of one snapshot; dropped when the transfer completes or is abandoned.
@@ -319,7 +335,12 @@ struct CatchupState {
     // bound: <= WINDOW indices (one request window).
     outstanding: BTreeSet<u32>,
     bytes: u64,
-    last_progress_ms: u64,
+}
+
+impl CatchupState {
+    fn transfer_epoch(&self) -> u64 {
+        self.engine.round_epoch().unwrap_or(0)
+    }
 }
 
 /// Session state of the recovery layer.
@@ -427,17 +448,17 @@ impl RecoverySession {
         let Some(donor) = sync.donor() else {
             return;
         };
+        // Before the first chunk the total is unknown: an empty missing list
+        // asks the donor for a fresh snapshot's first window. Afterwards the
+        // engine's un-acked chunk indices are exactly what is missing.
         let missing: Vec<u32> = match sync.total {
             None => Vec::new(),
-            Some(total) => (0..total)
-                .filter(|index| !sync.chunks.contains_key(index))
-                .take(WINDOW)
-                .collect(),
+            Some(_) => sync.engine.missing().into_iter().take(WINDOW).collect(),
         };
         sync.outstanding = missing.iter().copied().collect();
         let mut message = Message::new();
         message.push(&StateRequestBody {
-            transfer_epoch: sync.transfer_epoch,
+            transfer_epoch: sync.transfer_epoch(),
             missing,
         });
         ctx.dispatch(Event::down(StateRequest::new(
@@ -465,15 +486,20 @@ impl RecoverySession {
                 return;
             }
         }
+        let mut engine = RoundEngine::new();
+        engine.open_at(
+            Ballot::new(CATCHUP_EPOCH_BASE + self.catchup_count, donor),
+            [],
+            now,
+        );
         self.catchup = Some(CatchupState {
             donor,
-            transfer_epoch: CATCHUP_EPOCH_BASE + self.catchup_count,
+            engine,
             version: None,
             total: None,
             chunks: BTreeMap::new(),
             outstanding: BTreeSet::new(),
             bytes: 0,
-            last_progress_ms: now,
         });
         ctx.deliver(DeliveryKind::Notification(format!(
             "repair floor from {donor}: pulling a targeted state snapshot to \
@@ -491,15 +517,12 @@ impl RecoverySession {
         };
         let missing: Vec<u32> = match catchup.total {
             None => Vec::new(),
-            Some(total) => (0..total)
-                .filter(|index| !catchup.chunks.contains_key(index))
-                .take(WINDOW)
-                .collect(),
+            Some(_) => catchup.engine.missing().into_iter().take(WINDOW).collect(),
         };
         catchup.outstanding = missing.iter().copied().collect();
         let mut message = Message::new();
         message.push(&StateRequestBody {
-            transfer_epoch: catchup.transfer_epoch,
+            transfer_epoch: catchup.transfer_epoch(),
             missing,
         });
         ctx.dispatch(Event::down(StateRequest::new(
@@ -525,13 +548,14 @@ impl RecoverySession {
             let Some(catchup) = &mut self.catchup else {
                 return;
             };
-            if header.transfer_epoch != catchup.transfer_epoch || from != catchup.donor {
+            if header.transfer_epoch != catchup.transfer_epoch() || from != catchup.donor {
                 return; // a late chunk from an abandoned catch-up
             }
             match catchup.version {
                 None => {
                     catchup.version = Some(header.version);
                     catchup.total = Some(header.total);
+                    catchup.engine.extend_participants(0..header.total);
                     catchup.outstanding = (0..header.total.min(WINDOW as u32)).collect();
                 }
                 Some(version) if version != header.version => return,
@@ -544,9 +568,12 @@ impl RecoverySession {
             if catchup.chunks.insert(header.index, payload).is_none() {
                 catchup.bytes += len;
             }
+            catchup
+                .engine
+                .record_ack(header.transfer_epoch, header.index);
             catchup.outstanding.remove(&header.index);
-            catchup.last_progress_ms = now;
-            catchup.chunks.len() == catchup.total.unwrap_or(0) as usize
+            catchup.engine.note_progress(now);
+            catchup.engine.completed(&BTreeSet::new())
         };
         if complete {
             let catchup = self.catchup.take().expect("checked above");
@@ -603,13 +630,16 @@ impl RecoverySession {
             .map(|node| node.to_string())
             .unwrap_or_else(|| "<none>".into());
         sync.donor_index = donor_index;
-        sync.transfer_epoch += 1;
+        // Abort the old donor's round and open a fresh epoch under the new
+        // donor: chunks from different donors or epochs must never be mixed.
+        sync.engine.abort();
+        let donor = sync.donor().unwrap_or_else(|| ctx.node_id());
+        sync.engine.open(donor, [], now);
         sync.version = None;
         sync.total = None;
         sync.chunks.clear();
         sync.outstanding.clear();
         sync.bytes = 0;
-        sync.last_progress_ms = now;
         let next = sync
             .donor()
             .map(|node| node.to_string())
@@ -617,7 +647,7 @@ impl RecoverySession {
         ctx.deliver(DeliveryKind::Notification(format!(
             "state transfer from {failed} {reason}; failing over to {next} \
              under transfer epoch {}",
-            sync.transfer_epoch
+            sync.transfer_epoch()
         )));
         self.send_request(ctx);
     }
@@ -633,17 +663,18 @@ impl RecoverySession {
             self.finish(local, 0, ctx);
             return;
         }
-        self.phase = Phase::Syncing(SyncState {
+        let mut engine = RoundEngine::new();
+        engine.open(candidates[0], [], now); // transfer epoch 1, first donor
+        self.phase = Phase::Syncing(Box::new(SyncState {
             candidates,
             donor_index: 0,
-            transfer_epoch: 1,
+            engine,
             version: None,
             total: None,
             chunks: BTreeMap::new(),
             outstanding: BTreeSet::new(),
             bytes: 0,
-            last_progress_ms: now,
-        });
+        }));
         self.send_request(ctx);
         self.arm_timer(ctx);
     }
@@ -651,7 +682,7 @@ impl RecoverySession {
     /// Snapshot complete (or nothing to transfer): install, report, replay.
     fn finish(&mut self, donor: NodeId, chunk_count: u32, ctx: &mut EventContext<'_>) {
         let (bytes, epochs) = match &self.phase {
-            Phase::Syncing(sync) => (sync.bytes, sync.transfer_epoch),
+            Phase::Syncing(sync) => (sync.bytes, sync.transfer_epoch()),
             _ => (0, 0),
         };
         let elapsed_ms = ctx.now_ms().saturating_sub(self.phase_started_ms);
@@ -786,16 +817,19 @@ impl RecoverySession {
             let Phase::Syncing(sync) = &mut self.phase else {
                 return;
             };
-            if header.transfer_epoch != sync.transfer_epoch || Some(from) != sync.donor() {
+            if header.transfer_epoch != sync.transfer_epoch() || Some(from) != sync.donor() {
                 return; // a late chunk from a failed-over donor
             }
             match sync.version {
                 None => {
                     sync.version = Some(header.version);
                     sync.total = Some(header.total);
-                    // The initial request could not name indices (the total
-                    // was unknown); the donor answered with the first
-                    // window, which is what is outstanding now.
+                    // The first chunk reveals the participant set: one round
+                    // participant per chunk index. The initial request could
+                    // not name indices (the total was unknown); the donor
+                    // answered with the first window, which is what is
+                    // outstanding now.
+                    sync.engine.extend_participants(0..header.total);
                     sync.outstanding = (0..header.total.min(WINDOW as u32)).collect();
                 }
                 Some(version) if version != header.version => return,
@@ -808,10 +842,10 @@ impl RecoverySession {
             if sync.chunks.insert(header.index, payload).is_none() {
                 sync.bytes += len;
             }
+            sync.engine.record_ack(header.transfer_epoch, header.index);
             sync.outstanding.remove(&header.index);
-            sync.last_progress_ms = now;
-            let total = sync.total.unwrap_or(0) as usize;
-            sync.chunks.len() == total
+            sync.engine.note_progress(now);
+            sync.engine.completed(&BTreeSet::new())
         };
         if complete {
             let Phase::Syncing(sync) = &self.phase else {
@@ -872,15 +906,15 @@ impl RecoverySession {
 
     fn on_timer(&mut self, ctx: &mut EventContext<'_>) {
         let now = ctx.now_ms();
-        match &self.phase {
+        match &mut self.phase {
             Phase::Member => {
                 // The only member-phase timer work is an in-flight catch-up:
                 // re-request lost chunks, or abandon a donor that went quiet
                 // (gossip re-escalates with a fresh floor answer if needed).
-                let Some(catchup) = &self.catchup else {
+                let Some(catchup) = &mut self.catchup else {
                     return; // no re-arm
                 };
-                if now.saturating_sub(catchup.last_progress_ms) >= self.transfer_timeout_ms {
+                if catchup.engine.tick(now, self.transfer_timeout_ms) == Tick::TimedOut {
                     let donor = catchup.donor;
                     self.catchup = None;
                     ctx.deliver(DeliveryKind::Notification(format!(
@@ -892,7 +926,7 @@ impl RecoverySession {
             }
             Phase::Joining => self.send_join_request(ctx),
             Phase::Syncing(sync) => {
-                if now.saturating_sub(sync.last_progress_ms) >= self.transfer_timeout_ms {
+                if sync.engine.tick(now, self.transfer_timeout_ms) == Tick::TimedOut {
                     self.failover("stalled", ctx);
                 } else {
                     // Re-request whatever is outstanding (lost chunks) or

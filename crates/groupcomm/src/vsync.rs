@@ -61,6 +61,7 @@ use crate::events::{
 };
 use crate::gossip::sample_peers;
 use crate::headers::FlushBody;
+use crate::round::{Ballot, Engine as RoundEngine, Promise, Tick};
 use crate::view::View;
 
 /// Registered name of the view-synchrony / membership layer.
@@ -69,14 +70,7 @@ pub const VSYNC_LAYER: &str = "vsync";
 /// Timer tag of the round retransmit/timeout tick.
 const ROUND_TAG: u32 = 1;
 
-/// Whether ballot `(epoch, holder)` outranks `current` — the Paxos-ballot
-/// ordering shared by the view agreement and the reconfiguration protocol:
-/// the epoch dominates, equal epochs are tie-broken by the holder id with
-/// the *lower* id winning (consistent with the deterministic lowest-live-id
-/// election).
-pub fn ballot_beats(epoch: u64, holder: NodeId, current: (u64, NodeId)) -> bool {
-    epoch > current.0 || (epoch == current.0 && holder.0 < current.1 .0)
-}
+pub use crate::round::ballot_beats;
 
 /// The view-synchrony and group membership layer.
 ///
@@ -140,13 +134,12 @@ impl Layer for VsyncLayer {
             joining,
             blocked: joining,
             buffered: Vec::new(),
-            round: None,
-            epoch: 0,
-            // Epoch 0 is never a valid round: holder 0 makes every epoch-0
-            // ballot lose the tie-break.
-            epoch_holder: NodeId(0),
+            // Ballot zero is never a valid round: holder 0 makes every
+            // epoch-0 ballot lose the tie-break.
+            engine: RoundEngine::new(),
+            proposal: None,
             committed: None,
-            installed_ballot: (0, NodeId(0)),
+            installed_ballot: Ballot::ZERO,
             pending_removals: BTreeSet::new(),
             pending_joins: BTreeSet::new(),
             view_changes: 0,
@@ -157,18 +150,6 @@ impl Layer for VsyncLayer {
             round_timer: None,
         })
     }
-}
-
-/// One in-flight view round, on the proposer and on every participant.
-#[derive(Debug, Clone)]
-struct Round {
-    epoch: u64,
-    proposer: NodeId,
-    view: View,
-    /// Members known (transitively, in gossip mode) to have flushed.
-    flushed: BTreeSet<NodeId>,
-    started_at_ms: u64,
-    retransmits: u64,
 }
 
 /// Session state of the view-synchrony layer.
@@ -183,10 +164,16 @@ pub struct VsyncSession {
     // send would break sending-view delivery; overload relief must come from
     // the data-plane caps below (gossip outbox, testbed queue shed).
     buffered: Vec<Event>,
-    round: Option<Round>,
-    /// Highest view-round ballot this node has proposed or accepted.
-    epoch: u64,
-    epoch_holder: NodeId,
+    /// The shared round machinery ([`crate::round`]): ballot monotonicity,
+    /// the flush (ack) bookkeeping of the in-flight round, retransmit
+    /// counting and the timeout clock. View-round flushes are the engine's
+    /// acks; in gossip mode the merged flush sets arrive via
+    /// [`RoundEngine::merge_acks`].
+    engine: RoundEngine<NodeId>,
+    /// The in-flight round's proposed view — the round *payload*; the
+    /// ballot and flush bookkeeping live in `engine`. Always `Some` exactly
+    /// when the engine has a round in flight.
+    proposal: Option<View>,
     /// The last round this node committed as proposer: a straggler that
     /// missed the commit keeps retransmitting its flush and is answered
     /// with the commit.
@@ -196,7 +183,7 @@ pub struct VsyncSession {
     /// installs at an *equal* view id are therefore ordered by ballot too,
     /// so every member converges on the winning proposer's view instead of
     /// sticking with whichever commit arrived first.
-    installed_ballot: (u64, NodeId),
+    installed_ballot: Ballot,
     /// Membership changes queued while no round can run them. Cleared only
     /// when an installed view reflects them, so an aborted round re-proposes.
     // bound: subset of the current membership; cleared as installed views absorb it.
@@ -263,13 +250,14 @@ impl VsyncSession {
         });
     }
 
-    fn install(&mut self, view: View, ballot: (u64, NodeId), ctx: &mut EventContext<'_>) {
+    fn install(&mut self, view: View, ballot: Ballot, ctx: &mut EventContext<'_>) {
         if self.joining && view.contains(ctx.node_id()) {
             self.joining = false;
         }
         self.view = view;
         self.installed_ballot = ballot;
-        self.round = None;
+        self.engine.complete();
+        self.proposal = None;
         self.cancel_round_timer(ctx);
         self.blocked = false;
         self.view_changes += 1;
@@ -300,7 +288,7 @@ impl VsyncSession {
     /// Starts a round for the queued membership changes, when this node is
     /// the effective coordinator and no round is in flight.
     fn maybe_start_next_round(&mut self, ctx: &mut EventContext<'_>) {
-        if self.round.is_some() || self.joining {
+        if self.engine.in_flight() || self.joining {
             return;
         }
         if self.pending_removals.is_empty() && self.pending_joins.is_empty() {
@@ -328,26 +316,20 @@ impl VsyncSession {
 
     fn start_round(&mut self, target: View, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
-        self.epoch += 1;
-        self.epoch_holder = local;
         self.blocked = true;
-        let mut flushed = BTreeSet::new();
-        flushed.insert(local);
-        self.round = Some(Round {
-            epoch: self.epoch,
-            proposer: local,
-            view: target.clone(),
-            flushed,
-            started_at_ms: ctx.now_ms(),
-            retransmits: 0,
-        });
+        let ballot = self
+            .engine
+            .open(local, target.members.iter().copied(), ctx.now_ms());
+        // The proposer has trivially flushed its own round.
+        self.engine.record_ack(ballot.epoch, local);
+        self.proposal = Some(target.clone());
         let others = target.others(local);
         if others.is_empty() {
             // Degenerate single-member view: install immediately.
             self.commit_round(ctx);
             return;
         }
-        Self::send_prepare(self.epoch, &target, others, ctx);
+        Self::send_prepare(ballot.epoch, &target, others, ctx);
         self.arm_round_timer(ctx);
     }
 
@@ -369,18 +351,18 @@ impl VsyncSession {
     /// at gossip scale, to `fanout` random peers so coverage aggregates
     /// epidemically instead of all acks converging on one node.
     fn send_flush(&mut self, ctx: &mut EventContext<'_>) {
-        let Some(round) = &self.round else {
+        let (Some(round), Some(view)) = (self.engine.round(), self.proposal.as_ref()) else {
             return;
         };
         let local = ctx.node_id();
         let body = FlushBody {
-            epoch: round.epoch,
-            proposer: round.proposer,
-            flushed: round.flushed.iter().copied().collect(),
+            epoch: round.ballot.epoch,
+            proposer: round.ballot.holder,
+            flushed: round.acked().iter().copied().collect(),
         };
-        let proposer = round.proposer;
-        let gossip = round.view.len() >= self.gossip_threshold;
-        let members = round.view.members.clone();
+        let proposer = round.ballot.holder;
+        let gossip = view.len() >= self.gossip_threshold;
+        let members = view.members.clone();
         let mut targets = vec![proposer];
         if gossip {
             targets.extend(sample_peers(&members, &[local, proposer], self.fanout, ctx));
@@ -395,45 +377,49 @@ impl VsyncSession {
     }
 
     /// Proposer side: every member of the proposed view has flushed — commit.
+    /// (The engine's completion predicate with no exclusions: view synchrony
+    /// aborts a round awaiting a suspect rather than committing around it.)
     fn maybe_commit(&mut self, ctx: &mut EventContext<'_>) {
-        let complete = self.round.as_ref().is_some_and(|round| {
-            round.proposer == ctx.node_id()
-                && round
-                    .view
-                    .members
-                    .iter()
-                    .all(|member| round.flushed.contains(member))
-        });
+        let complete = self
+            .engine
+            .round()
+            .is_some_and(|round| round.ballot.holder == ctx.node_id())
+            && self.engine.completed(&BTreeSet::new());
         if complete {
             self.commit_round(ctx);
         }
     }
 
     fn commit_round(&mut self, ctx: &mut EventContext<'_>) {
-        let Some(round) = self.round.take() else {
+        let Some(round) = self.engine.complete() else {
+            return;
+        };
+        let Some(view) = self.proposal.take() else {
             return;
         };
         let local = ctx.node_id();
-        let others = round.view.others(local);
+        let epoch = round.ballot.epoch;
+        let others = view.others(local);
         if !others.is_empty() {
             let mut message = Message::new();
-            message.push(&round.view);
-            message.push(&round.epoch);
+            message.push(&view);
+            message.push(&epoch);
             ctx.dispatch(Event::down(ViewCommit::new(
                 local,
                 Dest::Nodes(others),
                 message,
             )));
         }
-        self.committed = Some((round.epoch, round.view.clone()));
-        self.install(round.view, (round.epoch, local), ctx);
+        self.committed = Some((epoch, view.clone()));
+        self.install(view, Ballot::new(epoch, local), ctx);
     }
 
     /// Abandons the in-flight round: the round state is cleared (so future
     /// view changes are never blocked behind it) and the channel resumes in
     /// the still-installed view, releasing buffered sends.
     fn abort_round(&mut self, ctx: &mut EventContext<'_>) {
-        self.round = None;
+        self.engine.abort();
+        self.proposal = None;
         self.cancel_round_timer(ctx);
         if !self.joining {
             self.blocked = false;
@@ -442,49 +428,59 @@ impl VsyncSession {
     }
 
     fn on_round_timer(&mut self, ctx: &mut EventContext<'_>) {
-        let Some(round) = self.round.clone() else {
-            return;
-        };
         let local = ctx.node_id();
-        if ctx.now_ms().saturating_sub(round.started_at_ms) >= self.round_timeout_ms {
-            // The round is dead (a member crashed without being suspected
-            // yet, or the proposer vanished): give up and — on the proposer —
-            // immediately re-propose under a fresh epoch, because the queued
-            // membership interest is cleared only by an install. A *joiner*
-            // that never flushed is the exception: it may have crashed right
-            // after its join request and nothing (no Suspect — it is not a
-            // view member) would ever clear it, looping the re-proposal
-            // forever. Its queued join is dropped; a live joiner re-queues
-            // itself with its next JoinRequest retransmission.
-            for member in &round.view.members {
-                if !self.view.contains(*member) && !round.flushed.contains(member) {
-                    self.pending_joins.remove(member);
+        match self.engine.tick(ctx.now_ms(), self.round_timeout_ms) {
+            Tick::Idle => return,
+            Tick::TimedOut => {
+                // The round is dead (a member crashed without being suspected
+                // yet, or the proposer vanished): give up and — on the
+                // proposer — immediately re-propose under a fresh epoch,
+                // because the queued membership interest is cleared only by
+                // an install. A *joiner* that never flushed is the exception:
+                // it may have crashed right after its join request and
+                // nothing (no Suspect — it is not a view member) would ever
+                // clear it, looping the re-proposal forever. Its queued join
+                // is dropped; a live joiner re-queues itself with its next
+                // JoinRequest retransmission.
+                let vanished: Vec<NodeId> = match (self.engine.round(), self.proposal.as_ref()) {
+                    (Some(round), Some(view)) => view
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|member| {
+                            !self.view.contains(*member) && !round.acked().contains(member)
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                for member in vanished {
+                    self.pending_joins.remove(&member);
+                }
+                self.abort_round(ctx);
+                self.maybe_start_next_round(ctx);
+                return;
+            }
+            Tick::Retransmit(missing) => {
+                let proposing = self
+                    .engine
+                    .round()
+                    .is_some_and(|round| round.ballot.holder == local);
+                if proposing {
+                    // Retransmit the prepare to everyone still missing.
+                    if !missing.is_empty() {
+                        if let (Some(round), Some(view)) =
+                            (self.engine.round(), self.proposal.as_ref())
+                        {
+                            Self::send_prepare(round.ballot.epoch, view, missing, ctx);
+                        }
+                    }
+                } else {
+                    // Retransmit the flush towards the proposer: repairs both
+                    // a lost flush (the proposer is still collecting) and a
+                    // lost commit (the proposer answers with the commit).
+                    self.send_flush(ctx);
                 }
             }
-            self.abort_round(ctx);
-            self.maybe_start_next_round(ctx);
-            return;
-        }
-        if round.proposer == local {
-            // Retransmit the prepare to everyone still missing.
-            let missing: Vec<NodeId> = round
-                .view
-                .members
-                .iter()
-                .copied()
-                .filter(|member| !round.flushed.contains(member))
-                .collect();
-            if !missing.is_empty() {
-                if let Some(active) = self.round.as_mut() {
-                    active.retransmits += 1;
-                }
-                Self::send_prepare(round.epoch, &round.view, missing, ctx);
-            }
-        } else {
-            // Retransmit the flush towards the proposer: repairs both a lost
-            // flush (the proposer is still collecting) and a lost commit
-            // (the proposer answers with the commit).
-            self.send_flush(ctx);
         }
         self.arm_round_timer(ctx);
     }
@@ -498,8 +494,10 @@ impl VsyncSession {
         // A round awaiting the suspect's flush can never complete: abort it
         // now and re-propose without the suspect instead of burning the
         // whole round timeout.
-        let awaited = self.round.as_ref().is_some_and(|round| {
-            round.proposer == local && round.view.contains(node) && !round.flushed.contains(&node)
+        let awaited = self.engine.round().is_some_and(|round| {
+            round.ballot.holder == local
+                && round.participants().contains(&node)
+                && !round.acked().contains(&node)
         });
         if awaited {
             self.abort_round(ctx);
@@ -520,7 +518,7 @@ impl VsyncSession {
             if self.effective_coordinator() == Some(local) {
                 let mut message = Message::new();
                 message.push(&self.view);
-                message.push(&self.epoch);
+                message.push(&self.engine.epoch());
                 ctx.dispatch(Event::down(ViewCommit::new(
                     local,
                     Dest::Node(joiner),
@@ -538,18 +536,19 @@ impl VsyncSession {
 
     fn on_prepare(&mut self, epoch: u64, proposer: NodeId, view: View, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
+        let ballot = Ballot::new(epoch, proposer);
         // Duplicate of the round we are already in: idempotent re-flush.
         if self
-            .round
-            .as_ref()
-            .is_some_and(|round| round.epoch == epoch && round.proposer == proposer)
+            .engine
+            .round()
+            .is_some_and(|round| round.ballot == ballot)
         {
             self.send_flush(ctx);
             return;
         }
-        let same_ballot = epoch == self.epoch && proposer == self.epoch_holder;
+        let same_ballot = ballot == self.engine.promised();
         let supersedes = view.id > self.view.id
-            || (view.id == self.view.id && ballot_beats(epoch, proposer, self.installed_ballot))
+            || (view.id == self.view.id && ballot.beats(self.installed_ballot))
             || (self.joining && view.contains(local));
         if !supersedes {
             // Already installed this view id under a ballot at least as
@@ -572,69 +571,69 @@ impl VsyncSession {
             }
             return;
         }
-        let accept = ballot_beats(epoch, proposer, (self.epoch, self.epoch_holder))
-            || (same_ballot && self.round.is_none());
-        if !accept {
-            // Stale ballot: old commands can never roll the view back. If
-            // the promise this prepare lost to is strictly stronger, report
-            // it back so the proposer can jump its epoch past the
-            // obstruction in one step (see [`StaleBallot`]). A joining node
-            // never gets here with a winning promise — `Rejoin` resets its
-            // ballot state to zero.
-            if ballot_beats(self.epoch, self.epoch_holder, (epoch, proposer)) {
+        match self.engine.try_promise(ballot) {
+            Promise::Accepted => {}
+            // A same-ballot retransmission while another round is in flight:
+            // the duplicate check above already covers the round we are in,
+            // so there is nothing to ack here.
+            Promise::Duplicate => return,
+            Promise::Superseded(promised) => {
+                // Stale ballot: old commands can never roll the view back.
+                // The promise this prepare lost to is strictly stronger —
+                // report it back so the proposer can jump its epoch past the
+                // obstruction in one step (see [`StaleBallot`]). A joining
+                // node never gets here with a winning promise — `Rejoin`
+                // resets its ballot state to zero.
                 let mut message = Message::new();
-                message.push(&self.epoch_holder);
-                message.push(&self.epoch);
+                message.push(&promised.holder);
+                message.push(&promised.epoch);
                 ctx.dispatch(Event::down(StaleBallot::new(
                     local,
                     Dest::Node(proposer),
                     message,
                 )));
+                return;
             }
-            return;
         }
-        self.epoch = epoch;
-        self.epoch_holder = proposer;
         self.blocked = true;
-        let mut flushed = BTreeSet::new();
-        flushed.insert(local);
-        self.round = Some(Round {
-            epoch,
-            proposer,
-            view,
-            flushed,
-            started_at_ms: ctx.now_ms(),
-            retransmits: 0,
-        });
+        self.engine
+            .open_at(ballot, view.members.iter().copied(), ctx.now_ms());
+        self.engine.record_ack(epoch, local);
+        self.proposal = Some(view);
         self.arm_round_timer(ctx);
         self.send_flush(ctx);
     }
 
     fn on_flush(&mut self, source: NodeId, body: FlushBody, ctx: &mut EventContext<'_>) {
         let local = ctx.node_id();
-        if let Some(round) = self.round.as_mut() {
-            if round.epoch == body.epoch && round.proposer == body.proposer {
-                let before = round.flushed.len();
-                let view = round.view.clone();
-                round
-                    .flushed
-                    .extend(body.flushed.iter().copied().filter(|m| view.contains(*m)));
-                // The sender itself demonstrably flushed (it sent this ack).
-                if view.contains(source) {
-                    round.flushed.insert(source);
-                }
-                let grew = round.flushed.len() > before;
-                if round.proposer == local {
-                    if grew {
-                        self.maybe_commit(ctx);
-                    }
-                } else if grew && view.len() >= self.gossip_threshold {
-                    // Aggregation: re-gossip the merged set so coverage
-                    // converges towards the proposer epidemically.
-                    self.send_flush(ctx);
-                }
+        let ballot = Ballot::new(body.epoch, body.proposer);
+        if self
+            .engine
+            .round()
+            .is_some_and(|round| round.ballot == ballot)
+        {
+            let Some(view) = self.proposal.clone() else {
                 return;
+            };
+            let mut fresh = self.engine.merge_acks(
+                body.epoch,
+                body.flushed.iter().copied().filter(|m| view.contains(*m)),
+            );
+            // The sender itself demonstrably flushed (it sent this ack).
+            if view.contains(source) {
+                fresh += self.engine.merge_acks(body.epoch, [source]);
             }
+            let grew = fresh > 0;
+            if body.proposer == local {
+                if grew {
+                    self.maybe_commit(ctx);
+                }
+            } else if grew && view.len() >= self.gossip_threshold {
+                // Aggregation: re-gossip the merged set so coverage
+                // converges towards the proposer epidemically.
+                self.send_flush(ctx);
+            }
+            return;
         }
         // A straggler still flushing for a round we already committed missed
         // the commit — answer with it. Only flushes addressed to *this*
@@ -669,28 +668,26 @@ impl VsyncSession {
         if self.joining {
             return;
         }
-        let beaten = self.round.as_ref().is_some_and(|round| {
-            round.proposer == local && ballot_beats(epoch, holder, (round.epoch, local))
+        let beaten = self.engine.round().is_some_and(|round| {
+            round.ballot.holder == local && Ballot::new(epoch, holder).beats(round.ballot)
         });
         if !beaten {
             return;
         }
-        self.epoch = self.epoch.max(epoch);
+        self.engine.fast_forward(epoch);
         self.abort_round(ctx);
         self.maybe_start_next_round(ctx);
     }
 
     fn on_commit(&mut self, epoch: u64, proposer: NodeId, view: View, ctx: &mut EventContext<'_>) {
-        if ballot_beats(epoch, proposer, (self.epoch, self.epoch_holder)) {
-            self.epoch = epoch;
-            self.epoch_holder = proposer;
-        }
+        let ballot = Ballot::new(epoch, proposer);
+        self.engine.adopt(ballot);
         let local = ctx.node_id();
         let supersedes = view.id > self.view.id
-            || (view.id == self.view.id && ballot_beats(epoch, proposer, self.installed_ballot))
+            || (view.id == self.view.id && ballot.beats(self.installed_ballot))
             || (self.joining && view.contains(local));
         if supersedes {
-            self.install(view, (epoch, proposer), ctx);
+            self.install(view, ballot, ctx);
         }
     }
 }
@@ -764,14 +761,13 @@ impl Session for VsyncSession {
             // are kept and released when the join view installs.
             self.joining = true;
             self.blocked = true;
-            self.round = None;
+            self.engine.reset();
+            self.proposal = None;
             self.cancel_round_timer(ctx);
             self.pending_removals.clear();
             self.pending_joins.clear();
             self.committed = None;
-            self.epoch = 0;
-            self.epoch_holder = NodeId(0);
-            self.installed_ballot = (0, NodeId(0));
+            self.installed_ballot = Ballot::ZERO;
             self.view = View::new(0, Vec::new());
             return;
         }

@@ -1,0 +1,20 @@
+//! Fixture: round-engine-style participant bookkeeping kept in a `HashSet`
+//! — iterating it to pick retransmission targets makes the send order (and
+//! the per-tick retransmit budget's *victims*) depend on hash order, so two
+//! nodes replaying one schedule diverge. Expect exactly `det:map-iter`.
+
+struct RoundFixture {
+    participants: HashSet<u32>,
+    acked: HashSet<u32>,
+    resent: Vec<u32>,
+}
+
+impl RoundFixture {
+    fn retransmit_missing(&mut self) {
+        for participant in &self.participants {
+            if !self.acked.contains(participant) {
+                self.resent.push(*participant);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the idiom `groupcomm::round` actually uses — participant and
+//! ack sets in `BTreeSet`, so the missing-participant sweep walks ids in
+//! ascending order on every node. Expect no findings.
+
+struct SortedRoundFixture {
+    participants: BTreeSet<u32>,
+    acked: BTreeSet<u32>,
+    resent: Vec<u32>,
+}
+
+impl SortedRoundFixture {
+    fn retransmit_missing(&mut self) {
+        for participant in &self.participants {
+            if !self.acked.contains(participant) {
+                self.resent.push(*participant);
+            }
+        }
+    }
+}

@@ -47,6 +47,24 @@ fn sorted_hash_iteration_is_exempt() {
 }
 
 #[test]
+fn round_participant_iteration_patterns() {
+    // Retransmission target selection over a hash-ordered participant set
+    // must trip in the protocol crate that hosts the round engine...
+    assert_eq!(
+        rules_for("det_map_iter_participants.rs", "groupcomm"),
+        vec!["det:map-iter"],
+        "hash-ordered participant sweeps must trip"
+    );
+    // ...while the BTreeSet bookkeeping `groupcomm::round` actually uses
+    // stays silent.
+    assert_eq!(
+        rules_for("det_map_iter_participants_sorted.rs", "groupcomm"),
+        Vec::<&str>::new(),
+        "ordered participant sweeps must stay clean"
+    );
+}
+
+#[test]
 fn overlay_fanout_patterns() {
     // Hash-ordered fan-out target selection must trip in overlay code too.
     assert_eq!(

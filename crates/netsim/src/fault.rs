@@ -117,6 +117,56 @@ pub enum FaultEvent {
         /// End of the partition window (exclusive).
         end_ms: u64,
     },
+    /// WAN multi-region latency tiers: during `[start_ms, end_ms)` the
+    /// group is striped into `regions` regions (node *n* lives in region
+    /// `n % regions`) and every packet crossing region boundaries gains
+    /// `step_ms` milliseconds per region of distance — a geo-distributed
+    /// deployment where quorum latency is dominated by the farthest
+    /// region, not the link class.
+    WanRegions {
+        /// Start of the window.
+        start_ms: u64,
+        /// End of the window (exclusive).
+        end_ms: u64,
+        /// Number of regions the group is striped into.
+        regions: u32,
+        /// Added one-way latency per region of distance, in milliseconds.
+        step_ms: u64,
+    },
+    /// Mass churn: during `[start_ms, end_ms)` `per_second` eligible nodes
+    /// crash *every second* and restart `down_ms` later — the k-joins-and-
+    /// leaves-per-second régime, an order of magnitude denser than
+    /// [`FaultEvent::Churn`]. Expanded by the runner through the same
+    /// seeded-victim machinery as ordinary churn.
+    MassChurn {
+        /// Start of the churn window.
+        start_ms: u64,
+        /// End of the churn window (exclusive).
+        end_ms: u64,
+        /// Crash/restart cycles initiated per second.
+        per_second: u64,
+        /// How long each victim stays down before restarting.
+        down_ms: u64,
+    },
+    /// A flapping asymmetric partition: starting at `start_ms` and until
+    /// `until_ms`, packets from `from` to `to` are dropped for `down_ms`
+    /// milliseconds out of every `down_ms + up_ms` cycle; the reverse
+    /// direction never drops. The cruellest failure-detector input: the
+    /// link heals just long enough to cancel every suspicion it caused.
+    FlapOneWay {
+        /// Sender whose packets are dropped during down windows.
+        from: NodeId,
+        /// Receiver that misses them.
+        to: NodeId,
+        /// First instant of the first down window.
+        start_ms: u64,
+        /// Length of each down window.
+        down_ms: u64,
+        /// Length of each up window between two down windows.
+        up_ms: u64,
+        /// End of the flapping régime (exclusive).
+        until_ms: u64,
+    },
 }
 
 /// A composable schedule of timed fault events.
@@ -190,6 +240,19 @@ impl FaultSchedule {
                 start_ms,
                 end_ms,
             } => *blocked_from == from && *blocked_to == to && in_window(at_ms, *start_ms, *end_ms),
+            FaultEvent::FlapOneWay {
+                from: blocked_from,
+                to: blocked_to,
+                start_ms,
+                down_ms,
+                up_ms,
+                until_ms,
+            } => {
+                *blocked_from == from
+                    && *blocked_to == to
+                    && in_window(at_ms, *start_ms, *until_ms)
+                    && (at_ms - start_ms) % (down_ms + up_ms).max(1) < *down_ms
+            }
             _ => false,
         })
     }
@@ -206,6 +269,29 @@ impl FaultSchedule {
                     end_ms,
                     extra_ms,
                 } if *shifted == class && in_window(at_ms, *start_ms, *end_ms) => *extra_ms,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Extra pairwise latency between two *specific* nodes at `at_ms`, in
+    /// milliseconds: the WAN-region tiers ([`FaultEvent::WanRegions`])
+    /// charge `step_ms` per region of distance between the endpoints'
+    /// regions (`node % regions`). Overlapping régimes add up. Zero for
+    /// same-region pairs and outside every window.
+    pub fn extra_pair_latency_ms(&self, from: NodeId, to: NodeId, at_ms: u64) -> u64 {
+        self.events
+            .iter()
+            .map(|event| match event {
+                FaultEvent::WanRegions {
+                    start_ms,
+                    end_ms,
+                    regions,
+                    step_ms,
+                } if in_window(at_ms, *start_ms, *end_ms) && *regions > 1 => {
+                    let distance = (from.0 % *regions).abs_diff(to.0 % *regions);
+                    u64::from(distance) * *step_ms
+                }
                 _ => 0,
             })
             .sum()
@@ -245,6 +331,19 @@ impl FaultSchedule {
                 interval_ms,
                 down_ms,
             } => Some((*start_ms, *end_ms, *interval_ms, *down_ms)),
+            // Mass churn is ordinary churn at `per_second` cycles a second:
+            // it expands through the same seeded-victim machinery.
+            FaultEvent::MassChurn {
+                start_ms,
+                end_ms,
+                per_second,
+                down_ms,
+            } => Some((
+                *start_ms,
+                *end_ms,
+                (1_000 / (*per_second).max(1)).max(1),
+                *down_ms,
+            )),
             _ => None,
         })
     }
@@ -275,6 +374,9 @@ impl FaultSchedule {
                 FaultEvent::Corrupt { .. } => "corrupt",
                 FaultEvent::Overload { .. } => "overload",
                 FaultEvent::Partition { .. } => "partition",
+                FaultEvent::WanRegions { .. } => "wanregions",
+                FaultEvent::MassChurn { .. } => "masschurn",
+                FaultEvent::FlapOneWay { .. } => "flaponeway",
             };
             if !tags.contains(&tag) {
                 tags.push(tag);
@@ -346,6 +448,37 @@ impl FaultSchedule {
                 down_ms: rng.random_range_inclusive(2_500, 4_000),
             });
         }
+        if nodes > 3 && rng.chance(0.5) {
+            let (start, end) = window(&mut rng, 2_000, 7_000);
+            events.push(FaultEvent::WanRegions {
+                start_ms: start,
+                end_ms: end,
+                regions: rng.random_range_inclusive(2, 4.min(nodes as u64)) as u32,
+                step_ms: rng.random_range_inclusive(20, 120),
+            });
+        }
+        if nodes > 5 && rng.chance(0.4) {
+            let (start, end) = window(&mut rng, 1_500, 4_000);
+            events.push(FaultEvent::MassChurn {
+                start_ms: start,
+                end_ms: end,
+                per_second: rng.random_range_inclusive(1, 3),
+                down_ms: rng.random_range_inclusive(1_500, 3_000),
+            });
+        }
+        if nodes > 2 && rng.chance(0.5) {
+            let from = rng.random_below(nodes as u64) as u32;
+            let to = (from + 1 + rng.random_below(nodes as u64 - 1) as u32) % nodes as u32;
+            let (start, until) = window(&mut rng, 2_000, 6_000);
+            events.push(FaultEvent::FlapOneWay {
+                from: NodeId(from),
+                to: NodeId(to),
+                start_ms: start,
+                down_ms: rng.random_range_inclusive(300, 900),
+                up_ms: rng.random_range_inclusive(700, 2_000),
+                until_ms: until,
+            });
+        }
         if events.is_empty() || rng.chance(0.7) {
             let (start, end) = window(&mut rng, 3_000, 9_000);
             events.push(FaultEvent::Corrupt {
@@ -415,6 +548,33 @@ impl FaultSchedule {
                     start_ms,
                     end_ms,
                 } => format!("partition(node={},start={start_ms},end={end_ms})", node.0),
+                FaultEvent::WanRegions {
+                    start_ms,
+                    end_ms,
+                    regions,
+                    step_ms,
+                } => format!(
+                    "wanregions(start={start_ms},end={end_ms},regions={regions},step={step_ms})"
+                ),
+                FaultEvent::MassChurn {
+                    start_ms,
+                    end_ms,
+                    per_second,
+                    down_ms,
+                } => format!(
+                    "masschurn(start={start_ms},end={end_ms},per={per_second},down={down_ms})"
+                ),
+                FaultEvent::FlapOneWay {
+                    from,
+                    to,
+                    start_ms,
+                    down_ms,
+                    up_ms,
+                    until_ms,
+                } => format!(
+                    "flaponeway(from={},to={},start={start_ms},down={down_ms},up={up_ms},until={until_ms})",
+                    from.0, to.0
+                ),
             })
             .collect::<Vec<_>>()
             .join(";")
@@ -494,6 +654,26 @@ impl FaultSchedule {
                     node: NodeId(num("node")? as u32),
                     start_ms: num("start")?,
                     end_ms: num("end")?,
+                },
+                "wanregions" => FaultEvent::WanRegions {
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    regions: (num("regions")? as u32).max(1),
+                    step_ms: num("step")?,
+                },
+                "masschurn" => FaultEvent::MassChurn {
+                    start_ms: num("start")?,
+                    end_ms: num("end")?,
+                    per_second: num("per")?.max(1),
+                    down_ms: num("down")?,
+                },
+                "flaponeway" => FaultEvent::FlapOneWay {
+                    from: NodeId(num("from")? as u32),
+                    to: NodeId(num("to")? as u32),
+                    start_ms: num("start")?,
+                    down_ms: num("down")?,
+                    up_ms: num("up")?,
+                    until_ms: num("until")?,
                 },
                 other => return Err(format!("unknown fault kind `{other}`")),
             });
@@ -630,6 +810,9 @@ mod tests {
                 let (start, end) = match event {
                     FaultEvent::LinkFlap {
                         start_ms, until_ms, ..
+                    }
+                    | FaultEvent::FlapOneWay {
+                        start_ms, until_ms, ..
                     } => (*start_ms, *until_ms),
                     FaultEvent::OneWay {
                         start_ms, end_ms, ..
@@ -647,6 +830,12 @@ mod tests {
                         start_ms, end_ms, ..
                     }
                     | FaultEvent::Partition {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::WanRegions {
+                        start_ms, end_ms, ..
+                    }
+                    | FaultEvent::MassChurn {
                         start_ms, end_ms, ..
                     } => (*start_ms, *end_ms),
                 };
@@ -694,6 +883,121 @@ mod tests {
         assert!(!schedule.link_down(NodeId(7), NodeId(0), 35_000));
         // Overload sheds no packets by itself.
         assert!(!schedule.node_flapped_down(NodeId(7), 10_000));
+    }
+
+    #[test]
+    fn wan_region_tiers_charge_per_region_distance() {
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::WanRegions {
+                start_ms: 6_000,
+                end_ms: 12_000,
+                regions: 3,
+                step_ms: 40,
+            }],
+        };
+        assert_eq!(
+            schedule.render(),
+            "wanregions(start=6000,end=12000,regions=3,step=40)"
+        );
+        assert_eq!(FaultSchedule::parse(&schedule.render()).unwrap(), schedule);
+        assert_eq!(schedule.class_tags(), vec!["wanregions"]);
+        // Node n lives in region n % 3: nodes 0 and 3 are co-located,
+        // nodes 0 and 1 one region apart, nodes 0 and 2 two apart.
+        assert_eq!(
+            schedule.extra_pair_latency_ms(NodeId(0), NodeId(3), 8_000),
+            0
+        );
+        assert_eq!(
+            schedule.extra_pair_latency_ms(NodeId(0), NodeId(1), 8_000),
+            40
+        );
+        assert_eq!(
+            schedule.extra_pair_latency_ms(NodeId(0), NodeId(2), 8_000),
+            80
+        );
+        assert_eq!(
+            schedule.extra_pair_latency_ms(NodeId(2), NodeId(0), 8_000),
+            80,
+            "distance is symmetric"
+        );
+        // Outside the window the tiers vanish; the link stays up throughout.
+        assert_eq!(
+            schedule.extra_pair_latency_ms(NodeId(0), NodeId(2), 12_000),
+            0
+        );
+        assert!(!schedule.link_down(NodeId(0), NodeId(2), 8_000));
+        // Per-class latency shifts are a different axis entirely.
+        assert_eq!(schedule.extra_latency_ms(LinkClass::Wan, 8_000), 0);
+    }
+
+    #[test]
+    fn mass_churn_expands_through_churn_events() {
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::MassChurn {
+                start_ms: 7_000,
+                end_ms: 11_000,
+                per_second: 4,
+                down_ms: 1_800,
+            }],
+        };
+        assert_eq!(
+            schedule.render(),
+            "masschurn(start=7000,end=11000,per=4,down=1800)"
+        );
+        assert_eq!(FaultSchedule::parse(&schedule.render()).unwrap(), schedule);
+        assert_eq!(schedule.class_tags(), vec!["masschurn"]);
+        // 4 cycles a second = one crash every 250 ms, same shape as Churn.
+        assert_eq!(
+            schedule.churn_events().collect::<Vec<_>>(),
+            vec![(7_000, 11_000, 250, 1_800)]
+        );
+    }
+
+    #[test]
+    fn flap_oneway_drops_cycle_in_one_direction_only() {
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::FlapOneWay {
+                from: NodeId(2),
+                to: NodeId(5),
+                start_ms: 6_000,
+                down_ms: 400,
+                up_ms: 600,
+                until_ms: 9_000,
+            }],
+        };
+        assert_eq!(
+            schedule.render(),
+            "flaponeway(from=2,to=5,start=6000,down=400,up=600,until=9000)"
+        );
+        assert_eq!(FaultSchedule::parse(&schedule.render()).unwrap(), schedule);
+        assert_eq!(schedule.class_tags(), vec!["flaponeway"]);
+        // Cycle of 1000 ms starting at 6000: down during [6000, 6400).
+        assert!(!schedule.link_down(NodeId(2), NodeId(5), 5_999));
+        assert!(schedule.link_down(NodeId(2), NodeId(5), 6_000));
+        assert!(schedule.link_down(NodeId(2), NodeId(5), 6_399));
+        assert!(!schedule.link_down(NodeId(2), NodeId(5), 6_400));
+        // Next cycle down window.
+        assert!(schedule.link_down(NodeId(2), NodeId(5), 7_100));
+        // The reverse direction never drops — asymmetric by construction.
+        assert!(!schedule.link_down(NodeId(5), NodeId(2), 6_100));
+        // Régime over.
+        assert!(!schedule.link_down(NodeId(2), NodeId(5), 9_000));
+        // Flap-oneway never marks a *node* down: only the directed link.
+        assert!(!schedule.node_flapped_down(NodeId(2), 6_100));
+        assert!(!schedule.node_flapped_down(NodeId(5), 6_100));
+    }
+
+    #[test]
+    fn generation_covers_the_new_classes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..60u64 {
+            for tag in FaultSchedule::generate(seed, 16, 30_000).class_tags() {
+                seen.insert(tag);
+            }
+        }
+        for tag in ["wanregions", "masschurn", "flaponeway"] {
+            assert!(seen.contains(tag), "generator never emitted `{tag}`");
+        }
     }
 
     #[test]

@@ -186,7 +186,10 @@ impl Network {
                     .record_received(class, size_bytes, rx_energy);
                 let shift = self
                     .faults
-                    .extra_latency_ms(self.topology.link_class(from, receiver), now.as_millis());
+                    .extra_latency_ms(self.topology.link_class(from, receiver), now.as_millis())
+                    + self
+                        .faults
+                        .extra_pair_latency_ms(from, receiver, now.as_millis());
                 Some(latency_ms + shift)
             }
             _ => {

@@ -1212,6 +1212,56 @@ mod tests {
     }
 
     #[test]
+    fn wan_region_tiers_slow_the_group_without_losing_data() {
+        let scenario = harness_with("wanregions(start=7000,end=13000,regions=3,step=60)", 6, 19);
+        let first = Runner::new().run(&scenario);
+        assert_eq!(
+            first.messages_lost, 0,
+            "region latency delays packets, it never drops them"
+        );
+        assert!(first.wedge.is_none(), "unexpected wedge: {:?}", first.wedge);
+        assert!(first.total_app_deliveries() > 0);
+        let second = Runner::new().run(&scenario);
+        assert_eq!(first, second, "WAN-region replay from (seed, schedule)");
+    }
+
+    #[test]
+    fn mass_churn_victims_restart_and_replay_deterministically() {
+        let scenario = harness_with("masschurn(start=7000,end=11000,per=2,down=2000)", 8, 29);
+        let first = Runner::new().run(&scenario);
+        let restarts: u64 = first.nodes.iter().map(|node| node.restarts).sum();
+        assert!(
+            restarts >= 4,
+            "mass churn produced only {restarts} restarts"
+        );
+        assert_eq!(first.messages_lost, 0);
+        assert!(first.wedge.is_none(), "unexpected wedge: {:?}", first.wedge);
+        let second = Runner::new().run(&scenario);
+        assert_eq!(first, second, "mass-churn replay from (seed, schedule)");
+    }
+
+    #[test]
+    fn flap_oneway_drops_are_fault_accounted_and_replay() {
+        let scenario = harness_with(
+            "flaponeway(from=2,to=4,start=7000,down=500,up=900,until=12000)",
+            6,
+            31,
+        );
+        let first = Runner::new().run(&scenario);
+        assert!(
+            first.fault_dropped > 0,
+            "the flapping one-way link dropped traffic"
+        );
+        assert_eq!(
+            first.messages_lost, 0,
+            "every drop is fault-accounted, never a live-link loss"
+        );
+        assert!(first.wedge.is_none(), "unexpected wedge: {:?}", first.wedge);
+        let second = Runner::new().run(&scenario);
+        assert_eq!(first, second, "flap-oneway replay from (seed, schedule)");
+    }
+
+    #[test]
     fn permanent_one_way_silence_wedges_deterministically() {
         // Node 5 transmits into the void forever but hears everything: the
         // group expels it, it can never complete a rejoin handshake, and the

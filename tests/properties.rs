@@ -283,6 +283,105 @@ fn context_snapshots_roundtrip_and_preserve_classification() {
 }
 
 #[test]
+fn ballot_order_is_total_antisymmetric_and_favours_lower_ids() {
+    use morpheus::groupcomm::Ballot;
+
+    let mut gen = Gen::new(0xBA1107);
+    for _ in 0..CASES {
+        // Small bounds so epoch and holder collisions actually happen.
+        let mut ballot = || Ballot::new(gen.below(4), NodeId(gen.below(4) as u32));
+        let (a, b, c) = (ballot(), ballot(), ballot());
+
+        // `beats` and `Ord` agree, and the order is total: for any pair
+        // exactly one of beats/is-beaten/equal holds.
+        for (x, y) in [(a, b), (b, c), (a, c)] {
+            assert_eq!(x.beats(y), x > y);
+            let relations = [x.beats(y), y.beats(x), x == y]
+                .iter()
+                .filter(|r| **r)
+                .count();
+            assert_eq!(relations, 1, "exactly one relation for {x:?} vs {y:?}");
+        }
+        // Antisymmetry is implied above; transitivity:
+        if a.beats(b) && b.beats(c) {
+            assert!(a.beats(c), "transitivity: {a:?} > {b:?} > {c:?}");
+        }
+        // Higher epoch always wins; on an epoch tie the *lower* node id is
+        // the stronger proposer (the deterministic contest tie-break).
+        if a.epoch != b.epoch {
+            assert_eq!(a.beats(b), a.epoch > b.epoch);
+        } else if a.holder != b.holder {
+            assert_eq!(a.beats(b), a.holder.0 < b.holder.0);
+        }
+    }
+}
+
+#[test]
+fn round_engine_epochs_never_regress_under_arbitrary_operation_sequences() {
+    use morpheus::groupcomm::{Ballot, RoundEngine};
+
+    let mut gen = Gen::new(0x0E9612E);
+    for _ in 0..CASES {
+        let mut engine: RoundEngine<NodeId> = RoundEngine::new();
+        let mut now_ms = 0u64;
+        for _ in 0..32 {
+            let epoch_before = engine.epoch();
+            let promised_before = engine.promised();
+            now_ms += gen.below(1000);
+            match gen.below(8) {
+                0 => {
+                    // A fresh proposer round always climbs above the promise.
+                    let participants = gen.node_ids();
+                    let ballot = engine.open(NodeId(gen.below(8) as u32), participants, now_ms);
+                    assert!(ballot.epoch > epoch_before);
+                }
+                1 => {
+                    engine.open_at(
+                        Ballot::new(gen.below(6), NodeId(gen.below(8) as u32)),
+                        gen.node_ids(),
+                        now_ms,
+                    );
+                }
+                2 => {
+                    engine.adopt(Ballot::new(gen.below(6), NodeId(gen.below(8) as u32)));
+                }
+                3 => {
+                    engine.try_promise(Ballot::new(gen.below(6), NodeId(gen.below(8) as u32)));
+                }
+                4 => engine.fast_forward(gen.below(6)),
+                5 => {
+                    let in_flight = engine.in_flight();
+                    let aborted = engine.abort();
+                    assert_eq!(aborted.is_some(), in_flight);
+                }
+                6 => {
+                    engine.complete();
+                }
+                _ => {
+                    engine.record_ack(gen.below(6), NodeId(gen.below(8) as u32));
+                    engine.tick(now_ms, 500);
+                }
+            }
+            // The two monotonicity invariants everything else builds on:
+            // the epoch counter and the promised ballot never move backwards
+            // (only `reset`, deliberately excluded here, may regress them).
+            assert!(
+                engine.epoch() >= epoch_before,
+                "epoch regressed {} -> {}",
+                epoch_before,
+                engine.epoch()
+            );
+            assert!(
+                !promised_before.beats(engine.promised()),
+                "promise regressed {:?} -> {:?}",
+                promised_before,
+                engine.promised()
+            );
+        }
+    }
+}
+
+#[test]
 fn fifo_delivery_order_matches_send_order_under_arbitrary_arrival_order() {
     use morpheus::appia::event::Dest;
     use morpheus::appia::events::DataEvent;
